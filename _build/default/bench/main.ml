@@ -1,0 +1,200 @@
+(* Benchmark harness: one Bechamel micro-benchmark per experiment
+   (E1..E13) measuring its core computational kernel, plus codec
+   microbenchmarks, followed by a full regeneration of every
+   experiment table (the paper's figures). *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Benchmarked kernels                                                 *)
+
+(* Representative unit of work per experiment; scenarios are prepared
+   up front so only the policy-engine / codec work is measured. *)
+let experiment_tests () =
+  let fir = Experiments.Util.scenario "fir" in
+  let dijkstra = Experiments.Util.scenario "dijkstra" in
+  let fsm = Experiments.Util.scenario "fsm" in
+  let matmul = Experiments.Util.scenario "matmul" in
+  let profile_fsm = Core.Scenario.profile fsm in
+  let profile_dijkstra = Core.Scenario.profile dijkstra in
+  let run sc policy () = ignore (Core.Scenario.run sc policy) in
+  [
+    Test.make ~name:"E1/fig1-kedge"
+      (Staged.stage (fun () -> ignore (Experiments.Fig1.holds ())));
+    Test.make ~name:"E2/fig2-predecompress"
+      (Staged.stage (fun () -> ignore (Experiments.Fig2.holds ())));
+    Test.make ~name:"E3/fig3-design-space"
+      (Staged.stage (fun () -> ignore (Experiments.Fig3.pre_all_set ())));
+    Test.make ~name:"E4/fig4-three-threads"
+      (Staged.stage (fun () -> ignore (Experiments.Fig4.holds ())));
+    Test.make ~name:"E5/fig5-memory-image"
+      (Staged.stage (fun () -> ignore (Experiments.Fig5.holds ())));
+    Test.make ~name:"E6/kedge-sweep-unit"
+      (Staged.stage (run fir (Core.Policy.on_demand ~k:8)));
+    Test.make ~name:"E7/strategy-unit"
+      (Staged.stage
+         (run fsm
+            (Core.Policy.pre_single ~k:8 ~lookahead:2
+               ~predictor:(Core.Predictor.By_profile profile_fsm))));
+    Test.make ~name:"E8/predecomp-unit"
+      (Staged.stage (run dijkstra (Core.Policy.pre_all ~k:8 ~lookahead:4)));
+    Test.make ~name:"E9/recompress-unit"
+      (Staged.stage
+         (run matmul
+            (Core.Policy.make ~mode:Core.Policy.Recompress ~compress_k:4 ())));
+    Test.make ~name:"E10/budget-unit"
+      (Staged.stage
+         (run fsm (Core.Policy.make ~compress_k:8 ~budget:64 ())));
+    Test.make ~name:"E11/procedure-granularity-unit"
+      (Staged.stage (fun () ->
+           ignore
+             (Baselines.Granularity.run dijkstra
+                (Baselines.Granularity.whole_program
+                   dijkstra.Core.Scenario.graph)
+                (Core.Policy.on_demand ~k:8))));
+    Test.make ~name:"E12/codec-unit"
+      (Staged.stage (fun () ->
+           ignore (Experiments.Codecs_exp.codecs_for fir)));
+    Test.make ~name:"E13/predictor-unit"
+      (Staged.stage
+         (run dijkstra
+            (Core.Policy.pre_single ~k:8 ~lookahead:2
+               ~predictor:(Core.Predictor.By_profile profile_dijkstra))));
+    Test.make ~name:"E14/adaptive-k-unit"
+      (Staged.stage
+         (run fsm
+            (Core.Policy.make ~compress_k:4
+               ~adaptive_k:
+                 (Core.Adaptive.reuse_aware fsm.Core.Scenario.graph
+                    fsm.Core.Scenario.trace)
+               ())));
+    Test.make ~name:"E15/coresidence-unit"
+      (Staged.stage (run matmul (Core.Policy.on_demand ~k:4)));
+    (let prog =
+       Eris.Asm.assemble_exn
+         (Workloads.Suite.find_exn "dijkstra").Workloads.Common.source
+     in
+     Test.make ~name:"E16/runtime-unit"
+       (Staged.stage (fun () -> ignore (Runtime.run ~k:4 prog))));
+  ]
+
+let toolchain_tests () =
+  let sieve_src =
+    "int sieve[100]; int main() { int c = 0; for (int i = 2; i < 100; i = i \
+     + 1) { if (sieve[i] == 0) { c = c + 1; for (int j = i + i; j < 100; j \
+     = j + i) { sieve[j] = 1; } } } return c; }"
+  in
+  let prog =
+    match Minic.Compile.to_program sieve_src with
+    | Ok p -> p
+    | Error _ -> failwith "bench: sieve failed to compile"
+  in
+  [
+    Test.make ~name:"toolchain/minic-compile"
+      (Staged.stage (fun () -> ignore (Minic.Compile.to_assembly sieve_src)));
+    Test.make ~name:"toolchain/minic-compile-O"
+      (Staged.stage (fun () ->
+           ignore (Minic.Compile.to_assembly ~optimize:true sieve_src)));
+    Test.make ~name:"toolchain/assemble"
+      (Staged.stage
+         (let asm =
+            match Minic.Compile.to_assembly sieve_src with
+            | Ok a -> a
+            | Error _ -> assert false
+          in
+          fun () -> ignore (Eris.Asm.assemble asm)));
+    Test.make ~name:"toolchain/interpret"
+      (Staged.stage (fun () ->
+           let m = Eris.Machine.create prog in
+           ignore (Eris.Machine.run_to_halt m)));
+    Test.make ~name:"toolchain/cfg-build"
+      (Staged.stage (fun () -> ignore (Cfg.Build.of_program prog)));
+  ]
+
+let codec_tests () =
+  let payload =
+    Core.Scenario.synthetic_block_bytes ~id:7 ~size:4096
+  in
+  List.concat_map
+    (fun codec ->
+      let compressed = codec.Compress.Codec.compress payload in
+      [
+        Test.make
+          ~name:(Printf.sprintf "codec/%s/compress" codec.Compress.Codec.name)
+          (Staged.stage (fun () ->
+               ignore (codec.Compress.Codec.compress payload)));
+        Test.make
+          ~name:
+            (Printf.sprintf "codec/%s/decompress" codec.Compress.Codec.name)
+          (Staged.stage (fun () ->
+               ignore (codec.Compress.Codec.decompress compressed)));
+      ])
+    (Compress.Registry.all ())
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+
+let benchmark tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.2) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"ccomp" tests)
+  in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let print_results results =
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> e
+          | Some [] | None -> nan
+        in
+        let r2 = Option.value ~default:nan (Analyze.OLS.r_square ols) in
+        (name, estimate, r2) :: acc)
+      results []
+    |> List.sort compare
+  in
+  let t =
+    Report.Table.create ~title:"bechamel microbenchmarks (monotonic clock)"
+      ~columns:
+        [
+          ("benchmark", Report.Table.Left);
+          ("ns/run", Report.Table.Right);
+          ("r²", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (name, estimate, r2) ->
+      Report.Table.add_row t
+        [
+          name;
+          Report.Table.fmt_float ~decimals:0 estimate;
+          Report.Table.fmt_float ~decimals:3 r2;
+        ])
+    rows;
+  Report.Table.print t
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  print_endline
+    "ccomp benchmark harness: micro-benchmarks per experiment, then the \
+     regenerated tables for every figure/table of the paper.\n";
+  let tests = experiment_tests () @ codec_tests () @ toolchain_tests () in
+  print_results (benchmark tests);
+  print_newline ();
+  List.iter
+    (fun ((e : Experiments.Registry.entry), table) ->
+      Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
+        (Report.Table.render table))
+    (Experiments.Registry.run_all ())

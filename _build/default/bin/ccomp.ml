@@ -1,0 +1,421 @@
+(* ccomp: command-line front end for the access-pattern-based code
+   compression library (Ozturk et al., DATE 2005 reproduction). *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsers                                             *)
+
+let workload_arg =
+  let doc =
+    Printf.sprintf "Workload name (one of: %s)."
+      (String.concat ", " Workloads.Suite.names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+
+let codec_arg =
+  let doc =
+    Printf.sprintf
+      "Codec: %s, or 'code' for the positional shared-Huffman model \
+       trained on the workload itself (default)."
+      (String.concat ", " (Compress.Registry.names ()))
+  in
+  Arg.(value & opt string "code" & info [ "codec" ] ~docv:"CODEC" ~doc)
+
+let k_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "k" ] ~docv:"K" ~doc:"k of the k-edge compression algorithm.")
+
+let lookahead_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "lookahead" ] ~docv:"K" ~doc:"Pre-decompression distance.")
+
+let strategy_arg =
+  let doc = "Decompression strategy: on-demand, pre-all or pre-single." in
+  Arg.(
+    value
+    & opt (enum [ ("on-demand", `On_demand); ("pre-all", `Pre_all); ("pre-single", `Pre_single) ]) `On_demand
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
+let predictor_arg =
+  let doc = "Predictor for pre-single: first, last-taken or profile." in
+  Arg.(
+    value
+    & opt (enum [ ("first", `First); ("last-taken", `Last); ("profile", `Profile) ]) `Profile
+    & info [ "predictor" ] ~docv:"PRED" ~doc)
+
+let budget_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "budget" ] ~docv:"BYTES"
+        ~doc:"Maximum decompressed-area bytes (LRU eviction).")
+
+let recompress_arg =
+  Arg.(
+    value & flag
+    & info [ "recompress" ]
+        ~doc:
+          "Use the background-recompression mode instead of the paper's \
+           discard implementation.")
+
+let scenario_of ~codec name =
+  let w = Workloads.Suite.find_exn name in
+  match codec with
+  | "code" -> Workloads.Common.scenario w
+  | other ->
+    Workloads.Common.scenario ~codec:(Compress.Registry.find_exn other) w
+
+(* ------------------------------------------------------------------ *)
+(* ccomp sim                                                           *)
+
+let sim workload codec k strategy lookahead predictor budget recompress =
+  match scenario_of ~codec workload with
+  | sc ->
+    let predictor =
+      match predictor with
+      | `First -> Core.Predictor.First_successor
+      | `Last -> Core.Predictor.Last_taken
+      | `Profile -> Core.Predictor.By_profile (Core.Scenario.profile sc)
+    in
+    let strategy =
+      match strategy with
+      | `On_demand -> Core.Policy.On_demand
+      | `Pre_all -> Core.Policy.Pre_all { lookahead }
+      | `Pre_single -> Core.Policy.Pre_single { lookahead; predictor }
+    in
+    let mode =
+      if recompress then Core.Policy.Recompress else Core.Policy.Discard
+    in
+    let policy = Core.Policy.make ~mode ~strategy ?budget ~compress_k:k () in
+    Format.printf "%a@.policy: %s@.@." Core.Scenario.pp_summary sc
+      (Core.Policy.describe policy);
+    let metrics = Core.Scenario.run sc policy in
+    Format.printf "%a@." Core.Metrics.pp metrics;
+    0
+  | exception Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let sim_cmd =
+  let doc = "Simulate one workload under a compression policy." in
+  Cmd.v
+    (Cmd.info "sim" ~doc)
+    Term.(
+      const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
+      $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp experiments                                                   *)
+
+let experiments ids csv_dir =
+  let entries =
+    match ids with
+    | [] -> Experiments.Registry.all
+    | ids ->
+      List.map
+        (fun id ->
+          match Experiments.Registry.find id with
+          | Some e -> e
+          | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+        ids
+  in
+  List.iter
+    (fun (e : Experiments.Registry.entry) ->
+      let table = e.runner () in
+      Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
+        (Report.Table.render table);
+      match csv_dir with
+      | None -> ()
+      | Some dir ->
+        let path = Filename.concat dir (e.slug ^ ".csv") in
+        let oc = open_out path in
+        output_string oc (Report.Table.to_csv table);
+        close_out oc;
+        Printf.printf "(csv written to %s)\n\n" path)
+    entries;
+  0
+
+let experiments_cmd =
+  let ids =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (E1..E16) or slugs; all when omitted.")
+  in
+  let csv =
+    Arg.(
+      value & opt (some dir) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV here.")
+  in
+  let doc = "Regenerate the paper's figures/tables (E1..E16)." in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const experiments $ ids $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp workloads                                                     *)
+
+let workloads_check () =
+  let results = Workloads.Suite.check_all () in
+  List.iter
+    (fun (name, result) ->
+      match result with
+      | Ok () -> Printf.printf "PASS %s\n" name
+      | Error msg -> Printf.printf "FAIL %s: %s\n" name msg)
+    results;
+  if List.for_all (fun (_, r) -> Result.is_ok r) results then 0 else 1
+
+let workloads_cmd =
+  let doc = "Run every benchmark kernel against its OCaml reference." in
+  Cmd.v (Cmd.info "workloads" ~doc) Term.(const workloads_check $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* ccomp asm                                                           *)
+
+let asm file listing dot =
+  match In_channel.with_open_text file In_channel.input_all with
+  | source -> (
+    match Eris.Asm.assemble source with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Eris.Asm.pp_error e;
+      1
+    | Ok prog ->
+      let graph = Cfg.Build.of_program prog in
+      Format.printf "%s: %d instructions, %d bytes@." file
+        (Eris.Program.length prog)
+        (Eris.Program.byte_size prog);
+      Format.printf "%a@." Cfg.Graph.pp_stats graph;
+      if listing then Format.printf "@.%a" Eris.Program.pp_listing prog;
+      (match dot with
+      | Some path ->
+        Cfg.Dot.write_file path graph;
+        Format.printf "CFG written to %s@." path
+      | None -> ());
+      0)
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let asm_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Assembly source.")
+  in
+  let listing =
+    Arg.(value & flag & info [ "listing" ] ~doc:"Print the disassembly listing.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"OUT" ~doc:"Write the CFG in Graphviz format.")
+  in
+  let doc = "Assemble an ERIS-32 source file and analyze its CFG." in
+  Cmd.v (Cmd.info "asm" ~doc) Term.(const asm $ file $ listing $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp trace                                                         *)
+
+let trace_cmd_impl workload codec out =
+  match scenario_of ~codec workload with
+  | sc ->
+    Format.printf "%a@." Core.Scenario.pp_summary sc;
+    let profile = Core.Scenario.profile sc in
+    let g = sc.Core.Scenario.graph in
+    Format.printf "block visit counts:@.";
+    Array.iter
+      (fun (b : Cfg.Graph.block) ->
+        Format.printf "  B%-3d %6d visits  (%3dB%s)@." b.id
+          (Cfg.Profile.block_count profile b.id)
+          b.byte_size
+          (match b.label with Some l -> ", " ^ l | None -> ""))
+      (Cfg.Graph.blocks g);
+    (match out with
+    | Some path ->
+      Trace.Io.save path sc.Core.Scenario.trace;
+      Format.printf "trace written to %s@." path
+    | None -> ());
+    0
+  | exception Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let trace_cmd =
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Save the block trace to a file.")
+  in
+  let doc = "Show a workload's dynamic basic-block access pattern." in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const trace_cmd_impl $ workload_arg $ codec_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp cc                                                            *)
+
+let cc file emit_asm optimize k =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | source -> (
+    match Minic.Compile.to_assembly ~optimize source with
+    | Error e ->
+      Format.eprintf "%s: %a@." file Minic.Compile.pp_error e;
+      1
+    | Ok asm ->
+      if emit_asm then begin
+        print_string asm;
+        0
+      end
+      else begin
+        let prog = Eris.Asm.assemble_exn asm in
+        let graph = Cfg.Build.of_program prog in
+        Format.printf "%s: %d instructions, %d basic blocks@." file
+          (Eris.Program.length prog)
+          (Cfg.Graph.num_blocks graph);
+        match Runtime.run ~k prog with
+        | Ok (machine, stats) ->
+          Format.printf
+            "main() = %d (executed from compressed memory, k=%d)@.%d \
+             instructions, %d traps, %d decompressions, %dB peak copies@."
+            (let raw = Eris.Machine.read_word machine Minic.Codegen.result_addr in
+             if raw land 0x80000000 <> 0 then raw - 0x100000000 else raw)
+            k stats.Runtime.instructions stats.Runtime.traps
+            stats.Runtime.decompressions stats.Runtime.peak_copy_bytes;
+          0
+        | Error (Runtime.Out_of_fuel _) ->
+          Format.eprintf "error: out of fuel@.";
+          1
+        | Error (Runtime.Machine_fault { pc; message; _ }) ->
+          Format.eprintf "error: fault at %d: %s@." pc message;
+          1
+      end)
+
+let cc_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniC source.")
+  in
+  let emit_asm =
+    Arg.(value & flag & info [ "S" ] ~doc:"Emit ERIS-32 assembly and stop.")
+  in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "O" ]
+          ~doc:"Optimize (constant folding, strength reduction, branch pruning).")
+  in
+  let doc =
+    "Compile a MiniC source file and execute it from compressed memory."
+  in
+  Cmd.v (Cmd.info "cc" ~doc) Term.(const cc $ file $ emit_asm $ optimize $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp run                                                           *)
+
+let run_real workload codec k =
+  let w = Workloads.Suite.find_exn workload in
+  let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
+  let codec_v =
+    match codec with
+    | "code" -> None
+    | other -> Some (Compress.Registry.find_exn other)
+  in
+  match Runtime.run ~k ?codec:codec_v prog with
+  | Ok (machine, stats) ->
+    let got = Eris.Machine.read_word machine w.Workloads.Common.result_addr in
+    Format.printf
+      "@[<v>%s executed from compressed memory (k=%d)@,\
+       checksum: 0x%08x (%s)@,\
+       instructions: %d; traps: %d; decompressions: %d; patches: %d; \
+       deletions: %d@,\
+       image: %dB original, %dB compressed; copies: %dB peak, %dB at halt@]@."
+      workload k got
+      (if got = w.Workloads.Common.expected then "matches reference"
+       else "MISMATCH")
+      stats.Runtime.instructions stats.Runtime.traps
+      stats.Runtime.decompressions stats.Runtime.patches
+      stats.Runtime.deletions stats.Runtime.original_image_bytes
+      stats.Runtime.compressed_image_bytes stats.Runtime.peak_copy_bytes
+      stats.Runtime.live_copy_bytes;
+    if got = w.Workloads.Common.expected then 0 else 1
+  | Error (Runtime.Out_of_fuel _) ->
+    Format.eprintf "error: out of fuel@.";
+    1
+  | Error (Runtime.Machine_fault { pc; message; _ }) ->
+    Format.eprintf "error: fault at %d: %s@." pc message;
+    1
+
+let run_cmd =
+  let doc =
+    "Execute a workload for real from an all-compressed image (the \
+     executable implementation of the paper's section 5 scheme)."
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run_real $ workload_arg $ codec_arg $ k_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp analyze                                                       *)
+
+let analyze workload codec =
+  match scenario_of ~codec workload with
+  | sc ->
+    let g = sc.Core.Scenario.graph in
+    let n = Cfg.Graph.num_blocks g in
+    Format.printf "%a@.@." Core.Scenario.pp_summary sc;
+    Format.printf "%a@.@." (Trace.Analysis.pp_summary ~blocks:n)
+      sc.Core.Scenario.trace;
+    let loops = Cfg.Loop.detect g in
+    Format.printf "natural loops: %d@." (List.length loops);
+    List.iter
+      (fun l ->
+        Format.printf "  header B%d, body {%s}@." l.Cfg.Loop.header
+          (String.concat ", "
+             (List.map (Printf.sprintf "B%d") l.Cfg.Loop.body)))
+      loops;
+    let profile = Core.Scenario.profile sc in
+    Format.printf "hot blocks (95%% of visits): {%s}@.@."
+      (String.concat ", "
+         (List.map (Printf.sprintf "B%d")
+            (Cfg.Profile.hot_blocks profile ~fraction:0.95)));
+    let loop_k = Core.Adaptive.loop_aware g in
+    let reuse_k = Core.Adaptive.reuse_aware g sc.Core.Scenario.trace in
+    Format.printf "recommended per-block k (loop-aware / reuse-aware):@.";
+    Array.iter
+      (fun (b : Cfg.Graph.block) ->
+        Format.printf "  B%-3d %3d / %3d  (%d visits)@." b.id (loop_k b.id)
+          (reuse_k b.id)
+          (Cfg.Profile.block_count profile b.id))
+      (Cfg.Graph.blocks g);
+    0
+  | exception Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+
+let analyze_cmd =
+  let doc =
+    "Analyze a workload's access pattern: reuse distances, loops, hot \
+     blocks and recommended k values."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ workload_arg $ codec_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  let doc =
+    "access pattern-based code compression for memory-constrained embedded \
+     systems (DATE 2005 reproduction)"
+  in
+  Cmd.group
+    (Cmd.info "ccomp" ~version:"1.0.0" ~doc)
+    [
+      sim_cmd;
+      cc_cmd;
+      run_cmd;
+      experiments_cmd;
+      workloads_cmd;
+      asm_cmd;
+      trace_cmd;
+      analyze_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

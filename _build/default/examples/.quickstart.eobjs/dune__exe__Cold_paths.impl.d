@@ -1,0 +1,1 @@
+examples/cold_paths.ml: Baselines Cfg Core Format List Printf Report String Workloads

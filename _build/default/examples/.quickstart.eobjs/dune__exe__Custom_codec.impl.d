@@ -1,0 +1,1 @@
+examples/custom_codec.ml: Array Buffer Bytes Char Compress Core List Report Workloads

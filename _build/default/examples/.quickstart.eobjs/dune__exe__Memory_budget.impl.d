@@ -1,0 +1,1 @@
+examples/memory_budget.ml: Array Core Format List Printf Report Sys Workloads

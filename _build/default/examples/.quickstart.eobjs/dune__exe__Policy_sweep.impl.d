@@ -1,0 +1,1 @@
+examples/policy_sweep.ml: Array Core Format List Printf Report Sys Workloads

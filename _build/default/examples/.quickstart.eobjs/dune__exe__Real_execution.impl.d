@@ -1,0 +1,1 @@
+examples/real_execution.ml: Array Eris Format List Printf Report Runtime Sys Workloads

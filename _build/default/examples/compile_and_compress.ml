@@ -1,0 +1,65 @@
+(* The whole toolchain in one pipeline: MiniC source -> compiler ->
+   ERIS-32 binary -> CFG + access pattern -> policy engine, and
+   finally real execution from compressed memory.
+
+   Run with: dune exec examples/compile_and_compress.exe *)
+
+let source =
+  {|
+/* find the perfect numbers below 100 (6 and 28) */
+int divisor_sum(int n) {
+  int s = 0;
+  for (int d = 1; d < n; d = d + 1) {
+    if (n % d == 0) { s = s + d; }
+  }
+  return s;
+}
+
+int main() {
+  int found = 0;
+  for (int n = 2; n < 100; n = n + 1) {
+    if (divisor_sum(n) == n) { found = found * 1000 + n; }
+  }
+  return found;
+}
+|}
+
+let () =
+  (* 1. Compile. *)
+  let prog =
+    match Minic.Compile.to_program source with
+    | Ok p -> p
+    | Error e ->
+      Format.eprintf "compile error: %a@." Minic.Compile.pp_error e;
+      exit 1
+  in
+  let graph = Cfg.Build.of_program prog in
+  Format.printf "compiled: %d instructions, %d blocks, %d loops@."
+    (Eris.Program.length prog)
+    (Cfg.Graph.num_blocks graph)
+    (List.length (Cfg.Loop.detect graph));
+
+  (* 2. Model the policies on the compiled binary. *)
+  let sc = Core.Scenario.of_program ~name:"perfect" prog in
+  Format.printf "%a@.@." Core.Scenario.pp_summary sc;
+  List.iter
+    (fun k ->
+      let m = Core.Scenario.run sc (Core.Policy.on_demand ~k) in
+      Format.printf "model k=%-3d %a@." k Core.Metrics.pp_brief m)
+    [ 2; 8; 32 ];
+
+  (* 3. Execute it for real from compressed memory. *)
+  print_newline ();
+  List.iter
+    (fun k ->
+      match Runtime.run ~k prog with
+      | Ok (machine, stats) ->
+        Format.printf
+          "runtime k=%-3d main() = %d; %d traps, %d decompressions, %dB peak \
+           copies@."
+          k
+          (Eris.Machine.read_word machine Minic.Codegen.result_addr)
+          stats.Runtime.traps stats.Runtime.decompressions
+          stats.Runtime.peak_copy_bytes
+      | Error _ -> Format.printf "runtime k=%d failed@." k)
+    [ 2; 8; 32 ]

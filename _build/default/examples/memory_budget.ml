@@ -1,0 +1,41 @@
+(* The §2 budgeted variant: cap the decompressed area and watch the
+   LRU eviction keep the footprint under it, trading cycles for bytes.
+
+   Run with: dune exec examples/memory_budget.exe [workload] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "fsm" in
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn name) in
+  Format.printf "%a@.@." Core.Scenario.pp_summary sc;
+  let unbounded = Core.Scenario.run sc (Core.Policy.on_demand ~k:8) in
+  let peak = unbounded.Core.Metrics.peak_decompressed_bytes in
+  Format.printf
+    "unbudgeted: peak decompressed area %dB, overhead %s@.@." peak
+    (Report.Table.fmt_pct (Core.Metrics.overhead_ratio unbounded));
+  let table =
+    Report.Table.create ~title:"budgeted runs (k=8, LRU eviction)"
+      ~columns:
+        [
+          ("budget", Report.Table.Right);
+          ("peak used", Report.Table.Right);
+          ("evictions", Report.Table.Right);
+          ("overflows", Report.Table.Right);
+          ("overhead", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun pct ->
+      let budget = max 1 (peak * pct / 100) in
+      let m =
+        Core.Scenario.run sc (Core.Policy.make ~compress_k:8 ~budget ())
+      in
+      Report.Table.add_row table
+        [
+          Printf.sprintf "%d%% (%dB)" pct budget;
+          string_of_int m.Core.Metrics.peak_decompressed_bytes;
+          string_of_int m.Core.Metrics.evictions;
+          string_of_int m.Core.Metrics.budget_overflows;
+          Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+        ])
+    [ 100; 75; 50; 25; 10 ];
+  Report.Table.print table

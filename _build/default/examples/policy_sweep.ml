@@ -1,0 +1,49 @@
+(* Policy sweep over one of the benchmark kernels: every combination
+   of compression k and decompression strategy, printed as a table.
+
+   Run with: dune exec examples/policy_sweep.exe [workload] *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "dijkstra" in
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn name) in
+  Format.printf "%a@.@." Core.Scenario.pp_summary sc;
+  let profile = Core.Scenario.profile sc in
+  let table =
+    Report.Table.create
+      ~title:(Printf.sprintf "policy sweep on %s" name)
+      ~columns:
+        [
+          ("k", Report.Table.Right);
+          ("strategy", Report.Table.Left);
+          ("overhead", Report.Table.Right);
+          ("peak saving", Report.Table.Right);
+          ("avg saving", Report.Table.Right);
+          ("stalls", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun k ->
+      let policies =
+        [
+          ("on-demand", Core.Policy.on_demand ~k);
+          ("pre-all/2", Core.Policy.pre_all ~k ~lookahead:2);
+          ( "pre-single/2",
+            Core.Policy.pre_single ~k ~lookahead:2
+              ~predictor:(Core.Predictor.By_profile profile) );
+        ]
+      in
+      List.iter
+        (fun (sname, policy) ->
+          let m = Core.Scenario.run sc policy in
+          Report.Table.add_row table
+            [
+              string_of_int k;
+              sname;
+              Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+              Report.Table.fmt_pct (Core.Metrics.peak_memory_saving m);
+              Report.Table.fmt_pct (Core.Metrics.avg_memory_saving m);
+              string_of_int m.Core.Metrics.stall_cycles;
+            ])
+        policies)
+    [ 1; 2; 4; 8; 16 ];
+  Report.Table.print table

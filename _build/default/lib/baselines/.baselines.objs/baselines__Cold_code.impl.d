@@ -1,0 +1,1 @@
+lib/baselines/cold_code.ml: Array Cfg Core List

@@ -1,0 +1,1 @@
+lib/baselines/cold_code.mli: Core

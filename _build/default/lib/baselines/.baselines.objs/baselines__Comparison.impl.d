@@ -1,0 +1,1 @@
+lib/baselines/comparison.ml: Array Cold_code Core Granularity Printf

@@ -1,0 +1,1 @@
+lib/baselines/granularity.ml: Array Buffer Bytes Cfg Compress Core Eris Hashtbl List

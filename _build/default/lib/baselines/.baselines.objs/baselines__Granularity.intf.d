@@ -1,0 +1,1 @@
+lib/baselines/granularity.mli: Cfg Core Eris

@@ -1,0 +1,67 @@
+type result = {
+  hot_blocks : int;
+  cold_blocks : int;
+  static_bytes : int;
+  buffer_bytes : int;
+  total_cycles : int;
+  baseline_cycles : int;
+  decompressions : int;
+}
+
+let overhead_ratio r =
+  if r.baseline_cycles = 0 then 0.0
+  else (float_of_int r.total_cycles /. float_of_int r.baseline_cycles) -. 1.0
+
+let run ?config ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
+  let config =
+    match config with Some c -> c | None -> Core.Config.of_codec sc.codec
+  in
+  let n = Cfg.Graph.num_blocks sc.graph in
+  let profile = Core.Scenario.profile sc in
+  let hot = Array.make n false in
+  List.iter
+    (fun b -> hot.(b) <- true)
+    (Cfg.Profile.hot_blocks profile ~fraction:hot_fraction);
+  let cold_usizes = ref [] in
+  let static_bytes = ref 0 in
+  let hot_count = ref 0 in
+  Array.iteri
+    (fun b (info : Core.Engine.block_info) ->
+      if hot.(b) then begin
+        incr hot_count;
+        static_bytes := !static_bytes + info.uncompressed_bytes
+      end
+      else begin
+        static_bytes := !static_bytes + info.compressed_bytes;
+        cold_usizes := info.uncompressed_bytes :: !cold_usizes
+      end)
+    sc.info;
+  let buffer_bytes = List.fold_left max 0 !cold_usizes in
+  let baseline_cycles =
+    Array.fold_left (fun a b -> a + sc.info.(b).Core.Engine.exec_cycles) 0 sc.trace
+  in
+  let total = ref 0 and decompressions = ref 0 in
+  let in_buffer = ref (-1) in
+  Array.iter
+    (fun b ->
+      total := !total + sc.info.(b).Core.Engine.exec_cycles;
+      if not hot.(b) then
+        if !in_buffer <> b then begin
+          incr decompressions;
+          total :=
+            !total
+            + config.Core.Config.costs.exception_cycles
+            + Core.Config.dec_cycles config
+                ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes;
+          in_buffer := b
+        end)
+    sc.trace;
+  {
+    hot_blocks = !hot_count;
+    cold_blocks = n - !hot_count;
+    static_bytes = !static_bytes + buffer_bytes;
+    buffer_bytes;
+    total_cycles = !total;
+    baseline_cycles;
+    decompressions = !decompressions;
+  }

@@ -1,0 +1,72 @@
+type row = {
+  scheme : string;
+  peak_footprint : int;
+  avg_footprint : float;
+  overhead : float;
+  notes : string;
+}
+
+let row_of_metrics scheme notes (m : Core.Metrics.t) =
+  {
+    scheme;
+    peak_footprint = m.peak_footprint_bytes;
+    avg_footprint = m.avg_footprint_bytes;
+    overhead = Core.Metrics.overhead_ratio m;
+    notes;
+  }
+
+let rows ?config ?(k = 8) (sc : Core.Scenario.t) =
+  let original =
+    Array.fold_left
+      (fun a (i : Core.Engine.block_info) -> a + i.uncompressed_bytes)
+      0 sc.info
+  in
+  let no_compression =
+    {
+      scheme = "no-compression";
+      peak_footprint = original;
+      avg_footprint = float_of_int original;
+      overhead = 0.0;
+      notes = "whole image resident";
+    }
+  in
+  let ours =
+    row_of_metrics "block/k-edge"
+      (Printf.sprintf "ours, k=%d, on-demand" k)
+      (Core.Scenario.run ?config sc (Core.Policy.on_demand ~k))
+  in
+  let once =
+    row_of_metrics "block/decompress-once" "blocks never recompressed"
+      (Core.Scenario.run ?config sc Core.Policy.never_compress)
+  in
+  let procedure =
+    match sc.program with
+    | None -> []
+    | Some prog ->
+      let grouping = Granularity.procedures_of_program prog sc.graph in
+      [
+        row_of_metrics "procedure/k-edge"
+          (Printf.sprintf "Debray-Evans/Kirovski granularity, %d procs"
+             grouping.num_units)
+          (Granularity.run ?config sc grouping (Core.Policy.on_demand ~k));
+      ]
+  in
+  let whole =
+    let grouping = Granularity.whole_program sc.graph in
+    row_of_metrics "whole-image"
+      "single compressed unit"
+      (Granularity.run ?config sc grouping (Core.Policy.on_demand ~k))
+  in
+  let cold =
+    let r = Cold_code.run ?config sc in
+    {
+      scheme = "cold-code-static";
+      peak_footprint = r.Cold_code.static_bytes;
+      avg_footprint = float_of_int r.Cold_code.static_bytes;
+      overhead = Cold_code.overhead_ratio r;
+      notes =
+        Printf.sprintf "%d hot / %d cold blocks" r.Cold_code.hot_blocks
+          r.Cold_code.cold_blocks;
+    }
+  in
+  [ no_compression; ours; once ] @ procedure @ [ whole; cold ]

@@ -1,0 +1,21 @@
+(** Cross-scheme comparison rows for experiment E11: the same scenario
+    under every memory-management scheme, on one axis of granularity
+    and one of policy. *)
+
+type row = {
+  scheme : string;
+  peak_footprint : int;  (** worst-moment memory for code, bytes *)
+  avg_footprint : float;
+  overhead : float;  (** cycle overhead ratio vs. plain execution *)
+  notes : string;
+}
+
+val rows :
+  ?config:Core.Config.t ->
+  ?k:int ->
+  Core.Scenario.t ->
+  row list
+(** Schemes, in order: [no-compression], [block/k-edge] (ours, with
+    the given [k], default 8), [block/decompress-once],
+    [procedure/k-edge] (when the scenario has a program),
+    [whole-image], [cold-code-static]. *)

@@ -1,0 +1,119 @@
+type grouping = { unit_of_block : int array; num_units : int }
+
+let procedures_of_program prog graph =
+  (* Procedure entries: address 0 plus every linking-jal target. *)
+  let entries = ref [ 0 ] in
+  Array.iteri
+    (fun i ins ->
+      match (ins : Eris.Types.instruction) with
+      | Jal (rd, off) when Eris.Types.reg_index rd <> 0 ->
+        let target = (i * 4) + 4 + (4 * off) in
+        if target >= 0 && target < Eris.Program.byte_size prog then
+          entries := target :: !entries
+      | Jal _ | Jalr _ | Halt | Branch _ | Alu _ | Alui _ | Lui _ | Load _
+      | Store _ -> ())
+    prog.Eris.Program.instrs;
+  let entries = List.sort_uniq compare !entries in
+  let entry_arr = Array.of_list entries in
+  let unit_of_addr addr =
+    (* Index of the last entry <= addr. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi + 1) / 2 in
+        if entry_arr.(mid) <= addr then search mid hi else search lo (mid - 1)
+    in
+    search 0 (Array.length entry_arr - 1)
+  in
+  let unit_of_block =
+    Array.map
+      (fun (b : Cfg.Graph.block) -> unit_of_addr b.addr)
+      (Cfg.Graph.blocks graph)
+  in
+  { unit_of_block; num_units = Array.length entry_arr }
+
+let whole_program graph =
+  {
+    unit_of_block = Array.make (Cfg.Graph.num_blocks graph) 0;
+    num_units = 1;
+  }
+
+let block_bytes (sc : Core.Scenario.t) (b : Cfg.Graph.block) =
+  match sc.program with
+  | Some prog ->
+    Eris.Program.slice_bytes prog ~lo:b.addr ~hi:(b.addr + b.byte_size)
+  | None -> Core.Scenario.synthetic_block_bytes ~id:b.id ~size:b.byte_size
+
+let regroup (sc : Core.Scenario.t) g =
+  let n = Cfg.Graph.num_blocks sc.graph in
+  if Array.length g.unit_of_block <> n then
+    invalid_arg "Baselines.Granularity.regroup: grouping size mismatch";
+  (* Unit contents and sizes. *)
+  let members = Array.make g.num_units [] in
+  Array.iteri
+    (fun b u -> members.(u) <- b :: members.(u))
+    g.unit_of_block;
+  Array.iteri (fun u l -> members.(u) <- List.rev l) members;
+  let unit_info =
+    Array.map
+      (fun blocks ->
+        let buf = Buffer.create 256 in
+        let cycles = ref 0 in
+        List.iter
+          (fun b ->
+            let blk = Cfg.Graph.block sc.graph b in
+            Buffer.add_bytes buf (block_bytes sc blk);
+            cycles := !cycles + blk.exec_cycles)
+          blocks;
+        let bytes = Bytes.of_string (Buffer.contents buf) in
+        {
+          Core.Engine.exec_cycles = max 1 !cycles;
+          uncompressed_bytes = max 1 (Bytes.length bytes);
+          compressed_bytes =
+            max 1 (Bytes.length (sc.codec.Compress.Codec.compress bytes));
+        })
+      members
+  in
+  (* Unit graph: block sizes are irrelevant (info carries the truth);
+     edges are block edges projected onto units, self-edges included
+     so re-entry stays a valid traversal. *)
+  let edge_set = Hashtbl.create 64 in
+  List.iter
+    (fun (src, dst, _) ->
+      Hashtbl.replace edge_set (g.unit_of_block.(src), g.unit_of_block.(dst)) ())
+    (Cfg.Graph.edges sc.graph);
+  let edges = Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] in
+  let sizes =
+    Array.map (fun i -> i.Core.Engine.uncompressed_bytes) unit_info
+  in
+  let unit_graph = Cfg.Graph.synthetic ~sizes g.num_units (List.sort compare edges) in
+  (* Collapse the trace into stays. *)
+  let stays = ref [] in
+  let cost = ref 0 in
+  let current = ref (-1) in
+  Array.iter
+    (fun b ->
+      let u = g.unit_of_block.(b) in
+      let c = (Cfg.Graph.block sc.graph b).exec_cycles in
+      if u = !current then cost := !cost + c
+      else begin
+        if !current >= 0 then stays := (!current, !cost) :: !stays;
+        current := u;
+        cost := c
+      end)
+    sc.trace;
+  if !current >= 0 then stays := (!current, !cost) :: !stays;
+  let stays = Array.of_list (List.rev !stays) in
+  let unit_trace = Array.map fst stays in
+  let step_cycles = Array.map snd stays in
+  (unit_graph, unit_info, unit_trace, step_cycles)
+
+let run ?config sc g policy =
+  let unit_graph, unit_info, unit_trace, step_cycles = regroup sc g in
+  let config =
+    match config with
+    | Some c -> c
+    | None -> Core.Config.of_codec sc.Core.Scenario.codec
+  in
+  Core.Engine.run ~config ~step_cycles ~graph:unit_graph ~info:unit_info
+    ~trace:unit_trace policy

@@ -1,0 +1,38 @@
+(** Coarser compression granularities, for the paper's §6 comparison
+    against procedure-based schemes (Debray–Evans, Kirovski et al.).
+
+    A grouping maps each basic block to a {e unit}; the scenario is
+    re-expressed at unit granularity (unit CFG, unit sizes, collapsed
+    trace with exact per-stay cycle costs) and run through the same
+    engine, so the only variable is the granularity itself. *)
+
+type grouping = {
+  unit_of_block : int array;  (** block id -> unit id, dense from 0 *)
+  num_units : int;
+}
+
+val procedures_of_program : Eris.Program.t -> Cfg.Graph.t -> grouping
+(** Units are procedures: address 0 plus every target of a linking
+    [jal] starts one; a block belongs to the nearest preceding
+    procedure entry. *)
+
+val whole_program : Cfg.Graph.t -> grouping
+(** One unit containing everything (the coarsest possible scheme). *)
+
+val regroup :
+  Core.Scenario.t ->
+  grouping ->
+  Cfg.Graph.t * Core.Engine.block_info array * int array * int array
+(** [regroup scenario g] is [(unit_graph, unit_info, unit_trace,
+    step_cycles)]: consecutive trace entries in the same unit collapse
+    into one stay whose cost is the exact sum of its blocks' cycles;
+    unit bytes are the concatenation of member block bytes, compressed
+    with the scenario's codec. *)
+
+val run :
+  ?config:Core.Config.t ->
+  Core.Scenario.t ->
+  grouping ->
+  Core.Policy.t ->
+  Core.Metrics.t
+(** {!regroup} followed by {!Core.Engine.run}. *)

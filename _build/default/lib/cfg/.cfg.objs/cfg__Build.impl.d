@@ -1,0 +1,1 @@
+lib/cfg/build.ml: Array Eris Graph Hashtbl Int List Set

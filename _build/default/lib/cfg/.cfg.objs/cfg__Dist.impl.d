@@ -1,0 +1,1 @@
+lib/cfg/dist.ml: Array Graph List Queue

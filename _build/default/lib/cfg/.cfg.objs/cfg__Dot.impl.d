@@ -1,0 +1,1 @@
+lib/cfg/dot.ml: Array Buffer Fun Graph List Printf

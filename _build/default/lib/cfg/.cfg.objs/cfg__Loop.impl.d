@@ -1,0 +1,1 @@
+lib/cfg/loop.ml: Array Dom Graph Hashtbl Int List Set

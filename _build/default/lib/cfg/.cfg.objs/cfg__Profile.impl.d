@@ -1,0 +1,1 @@
+lib/cfg/profile.ml: Array Graph Hashtbl List Option

@@ -1,0 +1,114 @@
+module IntSet = Set.Make (Int)
+
+let branch_target pc off = pc + 4 + (4 * off)
+
+let leaders prog =
+  let n = Eris.Program.length prog in
+  let set = ref (IntSet.singleton 0) in
+  let add addr = if addr >= 0 && addr < n * 4 then set := IntSet.add addr !set in
+  Array.iteri
+    (fun i ins ->
+      let pc = i * 4 in
+      match (ins : Eris.Types.instruction) with
+      | Branch (_, _, _, off) ->
+        add (branch_target pc off);
+        add (pc + 4)
+      | Jal (_, off) ->
+        add (branch_target pc off);
+        add (pc + 4)
+      | Jalr _ | Halt -> add (pc + 4)
+      | Alu _ | Alui _ | Lui _ | Load _ | Store _ -> ())
+    prog.Eris.Program.instrs;
+  IntSet.elements !set
+
+let of_program prog =
+  let n = Eris.Program.length prog in
+  if n = 0 then invalid_arg "Cfg.Build.of_program: empty program";
+  let leader_list = leaders prog in
+  let leader_arr = Array.of_list leader_list in
+  let num = Array.length leader_arr in
+  let block_end i = if i + 1 < num then leader_arr.(i + 1) else n * 4 in
+  let blocks =
+    Array.init num (fun i ->
+        let addr = leader_arr.(i) in
+        let stop = block_end i in
+        let n_instrs = (stop - addr) / 4 in
+        let exec_cycles = ref 0 in
+        for j = addr / 4 to (stop / 4) - 1 do
+          exec_cycles :=
+            !exec_cycles + Eris.Types.cycle_cost prog.Eris.Program.instrs.(j)
+        done;
+        {
+          Graph.id = i;
+          addr;
+          n_instrs;
+          byte_size = stop - addr;
+          exec_cycles = !exec_cycles;
+          label = Eris.Program.symbol_at prog addr;
+        })
+  in
+  let block_of_addr =
+    let tbl = Hashtbl.create num in
+    Array.iteri (fun i addr -> Hashtbl.add tbl addr i) leader_arr;
+    fun addr -> Hashtbl.find_opt tbl addr
+  in
+  (* Return sites: the block following each linking jal. *)
+  let return_sites = ref [] in
+  Array.iteri
+    (fun i ins ->
+      match (ins : Eris.Types.instruction) with
+      | Jal (rd, _) when Eris.Types.reg_index rd <> 0 -> (
+        match block_of_addr ((i * 4) + 4) with
+        | Some b -> return_sites := b :: !return_sites
+        | None -> ())
+      | Jal _ | Jalr _ | Halt | Branch _ | Alu _ | Alui _ | Lui _ | Load _
+      | Store _ -> ())
+    prog.Eris.Program.instrs;
+  let return_sites = List.sort_uniq compare !return_sites in
+  let edges = ref [] in
+  let add src dst kind = edges := (src, dst, kind) :: !edges in
+  Array.iteri
+    (fun b _ ->
+      let last_pc = block_end b - 4 in
+      let last = prog.Eris.Program.instrs.(last_pc / 4) in
+      let fallthrough kind =
+        if b + 1 < num then add b (b + 1) kind
+      in
+      match (last : Eris.Types.instruction) with
+      | Branch (_, _, _, off) ->
+        (match block_of_addr (branch_target last_pc off) with
+        | Some dst -> add b dst Graph.Taken
+        | None -> ());
+        fallthrough Graph.Fallthrough
+      | Jal (rd, off) -> (
+        match block_of_addr (branch_target last_pc off) with
+        | Some dst ->
+          add b dst
+            (if Eris.Types.reg_index rd <> 0 then Graph.Call else Graph.Taken)
+        | None -> ())
+      | Jalr _ ->
+        List.iter (fun site -> add b site Graph.Return) return_sites
+      | Halt -> ()
+      | Alu _ | Alui _ | Lui _ | Load _ | Store _ ->
+        fallthrough Graph.Fallthrough)
+    blocks;
+  Graph.make blocks (List.rev !edges)
+
+let trace_of_run ?fuel ?(mem_init = fun _ -> ()) prog =
+  let graph = of_program prog in
+  let machine = Eris.Machine.create prog in
+  mem_init machine;
+  let trace = ref [] in
+  let on_block addr =
+    match Graph.block_of_leader graph addr with
+    | Some b -> trace := b :: !trace
+    | None -> ()
+  in
+  let _ =
+    Eris.Machine.run ?fuel ~leaders:(leaders prog) ~on_block machine
+  in
+  if not (Eris.Machine.halted machine) then
+    raise
+      (Eris.Machine.Fault
+         { pc = Eris.Machine.pc machine; message = "trace run did not halt" });
+  (graph, Array.of_list (List.rev !trace))

@@ -1,0 +1,27 @@
+(** Construction of a CFG from an assembled ERIS-32 program.
+
+    Basic blocks follow the classical leader rule (paper, §2): the
+    entry instruction, every branch/jump target, and every instruction
+    following a control transfer start a block; jumps end a block.
+
+    Indirect jumps ([jalr]) cannot be resolved statically. We treat
+    [jalr r0, …] as a {e return} and conservatively add edges to every
+    recorded call-return site (the block following each [jal] that
+    links [ra]), which over-approximates the real control flow — the
+    CFG stays a conservative representation of all execution paths. *)
+
+val leaders : Eris.Program.t -> int list
+(** Sorted byte addresses of all basic-block leaders. *)
+
+val of_program : Eris.Program.t -> Graph.t
+(** Builds the CFG. Block 0 starts at address 0 (the entry).
+    @raise Invalid_argument on an empty program. *)
+
+val trace_of_run :
+  ?fuel:int -> ?mem_init:(Eris.Machine.t -> unit) -> Eris.Program.t ->
+  Graph.t * int array
+(** [trace_of_run p] builds the CFG, executes [p] from a fresh machine
+    ([mem_init] may preload inputs) and returns the dynamic basic-block
+    trace as a sequence of block ids.
+    @raise Eris.Machine.Fault if the program faults or runs out of
+    fuel. *)

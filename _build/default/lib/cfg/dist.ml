@@ -1,0 +1,37 @@
+let bfs g ~from ~limit ~visit =
+  let n = Graph.num_blocks g in
+  let dist = Array.make n max_int in
+  let q = Queue.create () in
+  List.iter
+    (fun s ->
+      if dist.(s) = max_int then begin
+        dist.(s) <- 1;
+        Queue.add s q
+      end)
+    (Graph.succ_ids g from);
+  while not (Queue.is_empty q) do
+    let b = Queue.pop q in
+    visit b dist.(b);
+    if dist.(b) < limit then
+      List.iter
+        (fun s ->
+          if dist.(s) = max_int then begin
+            dist.(s) <- dist.(b) + 1;
+            Queue.add s q
+          end)
+        (Graph.succ_ids g b)
+  done;
+  dist
+
+let within g ~from ~k =
+  if k < 0 then invalid_arg "Cfg.Dist.within: negative k";
+  let acc = ref [] in
+  let _ = bfs g ~from ~limit:k ~visit:(fun b d -> acc := (b, d) :: !acc) in
+  List.rev !acc
+
+let all_distances g ~from =
+  bfs g ~from ~limit:(Graph.num_blocks g + 1) ~visit:(fun _ _ -> ())
+
+let distance g ~src ~dst =
+  let dist = all_distances g ~from:src in
+  if dist.(dst) = max_int then None else Some dist.(dst)

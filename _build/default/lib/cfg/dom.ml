@@ -1,0 +1,77 @@
+type t = { graph : Graph.t; idoms : int array (* -1 = none *) }
+
+let reverse_postorder g =
+  let n = Graph.num_blocks g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter dfs (Graph.succ_ids g i);
+      order := i :: !order
+    end
+  in
+  dfs (Graph.entry g);
+  Array.of_list !order
+
+let compute g =
+  let n = Graph.num_blocks g in
+  let rpo = reverse_postorder g in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i b -> rpo_index.(b) <- i) rpo;
+  let idoms = Array.make n (-1) in
+  let entry = Graph.entry g in
+  idoms.(entry) <- entry;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idoms.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idoms.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun b ->
+        if b <> entry then begin
+          let processed =
+            List.filter (fun p -> idoms.(p) <> -1) (Graph.pred_ids g b)
+          in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idoms.(b) <> new_idom then begin
+              idoms.(b) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { graph = g; idoms }
+
+let idom t b =
+  let entry = Graph.entry t.graph in
+  if b = entry || t.idoms.(b) = -1 then None else Some t.idoms.(b)
+
+let dominators t b =
+  let entry = Graph.entry t.graph in
+  if t.idoms.(b) = -1 then []
+  else
+    let rec up acc b =
+      if b = entry then List.rev (entry :: acc) else up (b :: acc) t.idoms.(b)
+    in
+    up [] b
+
+let dominates t a b =
+  if t.idoms.(b) = -1 then false
+  else
+    let entry = Graph.entry t.graph in
+    let rec walk b = if b = a then true else if b = entry then a = entry else walk t.idoms.(b) in
+    walk b

@@ -1,0 +1,19 @@
+(** Dominator analysis (iterative dataflow, Cooper–Harvey–Kennedy
+    style on reverse postorder). Only blocks reachable from the entry
+    get a dominator; unreachable blocks report [None]. *)
+
+type t
+
+val compute : Graph.t -> t
+
+val idom : t -> int -> int option
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+
+val dominates : t -> int -> int -> bool
+(** [dominates t a b] iff [a] dominates [b] (reflexive). *)
+
+val dominators : t -> int -> int list
+(** All dominators of a block, from the block itself up to the entry. *)
+
+val reverse_postorder : Graph.t -> int array
+(** Reverse postorder of the reachable blocks. *)

@@ -1,0 +1,39 @@
+let default_label (b : Graph.block) =
+  match b.label with
+  | Some s -> Printf.sprintf "%s\\nB%d (%dB)" s b.id b.byte_size
+  | None -> Printf.sprintf "B%d (%dB)" b.id b.byte_size
+
+let to_string ?(name = "cfg") ?(highlight = []) ?(block_label = default_label) g
+    =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  Array.iter
+    (fun (b : Graph.block) ->
+      let style =
+        if List.mem b.id highlight then ", style=filled, fillcolor=lightblue"
+        else if b.id = Graph.entry g then ", style=bold"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"%s\"%s];\n" b.id (block_label b) style))
+    (Graph.blocks g);
+  List.iter
+    (fun (src, dst, kind) ->
+      let attr =
+        match (kind : Graph.edge_kind) with
+        | Graph.Fallthrough -> ""
+        | Taken -> " [style=solid]"
+        | Call -> " [style=dashed, label=call]"
+        | Return -> " [style=dotted, label=ret]"
+      in
+      Buffer.add_string buf (Printf.sprintf "  b%d -> b%d%s;\n" src dst attr))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?name ?highlight ?block_label path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?highlight ?block_label g))

@@ -1,0 +1,18 @@
+(** Graphviz export of CFGs, for debugging and documentation. *)
+
+val to_string :
+  ?name:string ->
+  ?highlight:int list ->
+  ?block_label:(Graph.block -> string) ->
+  Graph.t ->
+  string
+(** DOT source for the graph. [highlight]ed blocks are filled;
+    [block_label] overrides the default ["B<id> (<bytes>B)"] label. *)
+
+val write_file :
+  ?name:string ->
+  ?highlight:int list ->
+  ?block_label:(Graph.block -> string) ->
+  string ->
+  Graph.t ->
+  unit

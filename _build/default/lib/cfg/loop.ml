@@ -1,0 +1,53 @@
+type loop = {
+  header : int;
+  back_edges : (int * int) list;
+  body : int list;
+}
+
+module IntSet = Set.Make (Int)
+
+(* Natural loop of back edge (latch, header): header plus all blocks
+   that reach the latch without passing through the header. *)
+let natural_loop g header latch =
+  let body = ref (IntSet.singleton header) in
+  let rec pull b =
+    if not (IntSet.mem b !body) then begin
+      body := IntSet.add b !body;
+      List.iter pull (Graph.pred_ids g b)
+    end
+  in
+  pull latch;
+  !body
+
+let detect g =
+  let dom = Dom.compute g in
+  let back_edges = ref [] in
+  List.iter
+    (fun (src, dst, _) ->
+      if Dom.dominates dom dst src then back_edges := (src, dst) :: !back_edges)
+    (Graph.edges g);
+  let by_header = Hashtbl.create 8 in
+  List.iter
+    (fun (latch, header) ->
+      let body = natural_loop g header latch in
+      match Hashtbl.find_opt by_header header with
+      | None -> Hashtbl.replace by_header header ([ (latch, header) ], body)
+      | Some (es, b) ->
+        Hashtbl.replace by_header header
+          ((latch, header) :: es, IntSet.union b body))
+    !back_edges;
+  Hashtbl.fold
+    (fun header (es, body) acc ->
+      { header; back_edges = List.rev es; body = IntSet.elements body } :: acc)
+    by_header []
+  |> List.sort (fun a b -> compare a.header b.header)
+
+let loop_depth g =
+  let n = Graph.num_blocks g in
+  let depth = Array.make n 0 in
+  List.iter
+    (fun l -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    (detect g);
+  depth
+
+let in_any_loop g = Array.map (fun d -> d > 0) (loop_depth g)

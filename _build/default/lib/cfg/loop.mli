@@ -1,0 +1,20 @@
+(** Natural-loop detection from back edges (an edge [t -> h] is a back
+    edge when [h] dominates [t]). A cycle in the CFG may imply a loop
+    in the application code (paper, §2); loop membership is what the
+    cold-code baseline and the workload analyses use to separate hot
+    from cold blocks. *)
+
+type loop = {
+  header : int;
+  back_edges : (int * int) list;  (** latch -> header edges *)
+  body : int list;  (** sorted block ids, header included *)
+}
+
+val detect : Graph.t -> loop list
+(** Natural loops, one per header (loops sharing a header are merged),
+    sorted by header id. *)
+
+val loop_depth : Graph.t -> int array
+(** For each block, the number of detected loops containing it. *)
+
+val in_any_loop : Graph.t -> bool array

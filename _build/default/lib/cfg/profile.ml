@@ -1,0 +1,81 @@
+type t = {
+  graph : Graph.t;
+  blocks : int array;
+  edges : (int * int, int) Hashtbl.t;
+  out_total : int array;
+}
+
+let of_trace g trace =
+  let n = Graph.num_blocks g in
+  let blocks = Array.make n 0 in
+  let edges = Hashtbl.create 64 in
+  let out_total = Array.make n 0 in
+  let len = Array.length trace in
+  for i = 0 to len - 1 do
+    let b = trace.(i) in
+    if b >= 0 && b < n then begin
+      blocks.(b) <- blocks.(b) + 1;
+      if i + 1 < len then begin
+        let d = trace.(i + 1) in
+        if List.mem d (Graph.succ_ids g b) then begin
+          let key = (b, d) in
+          Hashtbl.replace edges key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt edges key));
+          out_total.(b) <- out_total.(b) + 1
+        end
+      end
+    end
+  done;
+  { graph = g; blocks; edges; out_total }
+
+let uniform g = of_trace g [||]
+
+let block_count t b = t.blocks.(b)
+
+let edge_count t ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.edges (src, dst))
+
+let edge_probability t ~src ~dst =
+  let succ = Graph.succ_ids t.graph src in
+  if not (List.mem dst succ) then 0.0
+  else if t.out_total.(src) = 0 then 1.0 /. float_of_int (List.length succ)
+  else float_of_int (edge_count t ~src ~dst) /. float_of_int t.out_total.(src)
+
+let hottest_successor t b =
+  match Graph.succ_ids t.graph b with
+  | [] -> None
+  | succ ->
+    let best =
+      List.fold_left
+        (fun acc s ->
+          let c = edge_count t ~src:b ~dst:s in
+          match acc with
+          | None -> Some (s, c)
+          | Some (_, bc) when c > bc -> Some (s, c)
+          | Some _ -> acc)
+        None succ
+    in
+    Option.map fst best
+
+let hot_blocks t ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Cfg.Profile.hot_blocks: fraction must be in [0,1]";
+  let total = Array.fold_left ( + ) 0 t.blocks in
+  if total = 0 then []
+  else begin
+    let order =
+      Array.mapi (fun i c -> (i, c)) t.blocks
+      |> Array.to_list
+      |> List.sort (fun (i1, c1) (i2, c2) ->
+             if c1 <> c2 then compare c2 c1 else compare i1 i2)
+    in
+    let target = fraction *. float_of_int total in
+    let rec take acc covered = function
+      | [] -> List.rev acc
+      | (_, 0) :: _ -> List.rev acc
+      | (b, c) :: rest ->
+        if float_of_int covered >= target then List.rev acc
+        else take (b :: acc) (covered + c) rest
+    in
+    take [] 0 order
+  end

@@ -1,0 +1,28 @@
+(** Execution profiles: block and edge frequencies extracted from a
+    basic-block trace. The pre-decompress-single policy uses edge
+    probabilities to predict the most likely next block (paper, §4). *)
+
+type t
+
+val of_trace : Graph.t -> int array -> t
+(** Counts block visits and edge traversals from a trace. Trace steps
+    that do not correspond to a CFG edge are counted as blocks only. *)
+
+val uniform : Graph.t -> t
+(** A profile in which every outgoing edge of a block is equally
+    likely (used when no profiling run is available). *)
+
+val block_count : t -> int -> int
+val edge_count : t -> src:int -> dst:int -> int
+
+val edge_probability : t -> src:int -> dst:int -> float
+(** Probability of taking [src -> dst] among the recorded outgoing
+    traversals of [src]; falls back to uniform over successors when
+    [src] was never left in the profile. *)
+
+val hottest_successor : t -> int -> int option
+(** Most frequently taken successor (ties broken by block id). *)
+
+val hot_blocks : t -> fraction:float -> int list
+(** Smallest set of blocks covering [fraction] of all block visits,
+    hottest first. *)

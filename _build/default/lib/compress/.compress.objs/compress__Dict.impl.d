@@ -1,0 +1,1 @@
+lib/compress/dict.ml: Array Buffer Bytes Char Codec Hashtbl List Option

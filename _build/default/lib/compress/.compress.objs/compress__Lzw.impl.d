@@ -1,0 +1,1 @@
+lib/compress/lzw.ml: Array Bitio Buffer Bytes Char Codec Hashtbl List

@@ -1,0 +1,1 @@
+lib/compress/mtf.ml: Array Bytes Char Codec Rle

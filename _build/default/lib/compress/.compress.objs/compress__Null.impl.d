@@ -1,0 +1,1 @@
+lib/compress/null.ml: Bytes Codec

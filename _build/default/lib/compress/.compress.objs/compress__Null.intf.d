@@ -1,0 +1,1 @@
+lib/compress/null.mli: Codec

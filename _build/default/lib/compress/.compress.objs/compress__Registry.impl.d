@@ -1,0 +1,1 @@
+lib/compress/registry.ml: Codec Dict Huffman List Lzss Lzw Mtf Null Printf Rle

@@ -1,0 +1,1 @@
+lib/compress/stats.ml: Bytes Codec Format List

@@ -1,0 +1,1 @@
+lib/compress/stats.mli: Codec Format

@@ -1,0 +1,53 @@
+module Writer = struct
+  type t = { mutable buf : Buffer.t; mutable acc : int; mutable nbits : int }
+
+  let create () = { buf = Buffer.create 64; acc = 0; nbits = 0 }
+
+  let flush_byte t =
+    Buffer.add_char t.buf (Char.chr ((t.acc lsr (t.nbits - 8)) land 0xFF));
+    t.nbits <- t.nbits - 8;
+    t.acc <- t.acc land ((1 lsl t.nbits) - 1)
+
+  let add_bit t b =
+    t.acc <- (t.acc lsl 1) lor if b then 1 else 0;
+    t.nbits <- t.nbits + 1;
+    if t.nbits = 8 then flush_byte t
+
+  let add_bits t ~value ~bits =
+    if bits < 0 || bits > 30 then invalid_arg "Bitio.Writer.add_bits";
+    for i = bits - 1 downto 0 do
+      add_bit t ((value lsr i) land 1 = 1)
+    done
+
+  let bit_length t = (Buffer.length t.buf * 8) + t.nbits
+
+  let contents t =
+    let tail =
+      if t.nbits = 0 then ""
+      else
+        String.make 1 (Char.chr ((t.acc lsl (8 - t.nbits)) land 0xFF))
+    in
+    Bytes.of_string (Buffer.contents t.buf ^ tail)
+end
+
+module Reader = struct
+  type t = { data : bytes; mutable pos : int (* in bits *) }
+
+  let create data = { data; pos = 0 }
+
+  let bits_left t = (Bytes.length t.data * 8) - t.pos
+
+  let read_bit t =
+    if bits_left t <= 0 then raise (Codec.Corrupt "Bitio: out of bits");
+    let byte = Char.code (Bytes.get t.data (t.pos / 8)) in
+    let bit = (byte lsr (7 - (t.pos mod 8))) land 1 in
+    t.pos <- t.pos + 1;
+    bit = 1
+
+  let read_bits t bits =
+    let v = ref 0 in
+    for _ = 1 to bits do
+      v := (!v lsl 1) lor if read_bit t then 1 else 0
+    done;
+    !v
+end

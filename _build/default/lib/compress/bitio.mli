@@ -1,0 +1,32 @@
+(** Bit-level readers and writers (MSB-first within each byte), used by
+    the Huffman and LZW codecs. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val add_bit : t -> bool -> unit
+
+  val add_bits : t -> value:int -> bits:int -> unit
+  (** Writes the low [bits] bits of [value], most significant first.
+      @raise Invalid_argument if [bits] is outside [0, 30]. *)
+
+  val bit_length : t -> int
+
+  val contents : t -> bytes
+  (** Pads the final byte with zero bits. *)
+end
+
+module Reader : sig
+  type t
+
+  val create : bytes -> t
+
+  val bits_left : t -> int
+
+  val read_bit : t -> bool
+  (** @raise Compress.Codec.Corrupt past the end of input. *)
+
+  val read_bits : t -> int -> int
+end

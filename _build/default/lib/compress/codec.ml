@@ -1,0 +1,56 @@
+exception Corrupt of string
+
+type t = {
+  name : string;
+  dec_cycles_per_byte : int;
+  comp_cycles_per_byte : int;
+  compress : bytes -> bytes;
+  decompress : bytes -> bytes;
+}
+
+let make ~name ?(dec_cycles_per_byte = 4) ?(comp_cycles_per_byte = 8) ~compress
+    ~decompress () =
+  { name; dec_cycles_per_byte; comp_cycles_per_byte; compress; decompress }
+
+let compressed_size t b = Bytes.length (t.compress b)
+
+let ratio t b =
+  let n = Bytes.length b in
+  if n = 0 then 1.0 else float_of_int (compressed_size t b) /. float_of_int n
+
+let roundtrip_ok t b =
+  match t.decompress (t.compress b) with
+  | b' -> Bytes.equal b b'
+  | exception Corrupt _ -> false
+
+let never_expanding inner =
+  let compress b =
+    let c = inner.compress b in
+    if Bytes.length c < Bytes.length b then begin
+      let out = Bytes.create (Bytes.length c + 1) in
+      Bytes.set out 0 '\001';
+      Bytes.blit c 0 out 1 (Bytes.length c);
+      out
+    end
+    else begin
+      let out = Bytes.create (Bytes.length b + 1) in
+      Bytes.set out 0 '\000';
+      Bytes.blit b 0 out 1 (Bytes.length b);
+      out
+    end
+  in
+  let decompress b =
+    if Bytes.length b = 0 then raise (Corrupt "never_expanding: empty input");
+    let payload = Bytes.sub b 1 (Bytes.length b - 1) in
+    match Bytes.get b 0 with
+    | '\000' -> payload
+    | '\001' -> inner.decompress payload
+    | c -> raise (Corrupt (Printf.sprintf "never_expanding: bad tag %d" (Char.code c)))
+  in
+  {
+    name = inner.name;
+    dec_cycles_per_byte = inner.dec_cycles_per_byte;
+    comp_cycles_per_byte = inner.comp_cycles_per_byte;
+    compress;
+    decompress;
+  }

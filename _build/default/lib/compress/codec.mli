@@ -1,0 +1,44 @@
+(** Common interface for the basic-block compression codecs.
+
+    A codec maps a byte string to a (hopefully smaller) byte string and
+    back, byte-exact. Each codec also advertises a nominal
+    decompression cost in cycles per {e compressed} byte, which the
+    policy engine's cost model uses. *)
+
+exception Corrupt of string
+(** Raised by [decompress] on malformed input. *)
+
+type t = {
+  name : string;
+  dec_cycles_per_byte : int;
+      (** decompression cost per compressed byte, in cycles *)
+  comp_cycles_per_byte : int;
+      (** compression cost per uncompressed byte, in cycles *)
+  compress : bytes -> bytes;
+  decompress : bytes -> bytes;
+}
+
+val make :
+  name:string ->
+  ?dec_cycles_per_byte:int ->
+  ?comp_cycles_per_byte:int ->
+  compress:(bytes -> bytes) ->
+  decompress:(bytes -> bytes) ->
+  unit ->
+  t
+(** Constructor with cost defaults of 4 and 8 cycles/byte. *)
+
+val compressed_size : t -> bytes -> int
+
+val ratio : t -> bytes -> float
+(** [compressed size / original size]; 1.0 for empty input. Values
+    above 1.0 mean the codec expanded the data. *)
+
+val roundtrip_ok : t -> bytes -> bool
+(** [decompress (compress b) = b], with [Corrupt] mapped to [false]. *)
+
+val never_expanding : t -> t
+(** Wraps a codec with a 1-byte header so that incompressible blocks
+    are stored verbatim: the output is never more than
+    [input + 1] bytes. This mirrors what production code compressors
+    do for blocks that do not compress. *)

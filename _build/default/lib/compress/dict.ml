@@ -1,0 +1,87 @@
+let escape = 0xFF
+let max_entries = 254
+
+let read_word b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let dictionary_words ~corpus =
+  let freq = Hashtbl.create 256 in
+  for w = 0 to (Bytes.length corpus / 4) - 1 do
+    let word = read_word corpus (4 * w) in
+    Hashtbl.replace freq word
+      (1 + Option.value ~default:0 (Hashtbl.find_opt freq word))
+  done;
+  Hashtbl.fold (fun word count acc -> (word, count) :: acc) freq []
+  |> List.filter (fun (_, count) -> count >= 2)
+  |> List.sort (fun (w1, c1) (w2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare w1 w2)
+  |> List.filteri (fun i _ -> i < max_entries)
+  |> List.map fst
+
+let write_u16 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+
+let read_u16 b off =
+  if Bytes.length b < off + 2 then raise (Codec.Corrupt "dict: truncated header");
+  Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let shared ~corpus =
+  let words = dictionary_words ~corpus in
+  let table = Array.of_list words in
+  let index = Hashtbl.create 256 in
+  Array.iteri (fun i w -> Hashtbl.replace index w i) table;
+  let compress b =
+    let n = Bytes.length b in
+    if n >= 0x10000 then
+      invalid_arg "Dict.shared handles blocks under 64 KiB";
+    let out = Buffer.create (n / 2) in
+    write_u16 out n;
+    let words = n / 4 in
+    for w = 0 to words - 1 do
+      let word = read_word b (4 * w) in
+      match Hashtbl.find_opt index word with
+      | Some i -> Buffer.add_char out (Char.chr i)
+      | None ->
+        Buffer.add_char out (Char.chr escape);
+        Buffer.add_subbytes out b (4 * w) 4
+    done;
+    Buffer.add_subbytes out b (words * 4) (n - (words * 4));
+    Bytes.of_string (Buffer.contents out)
+  in
+  let decompress b =
+    let orig_len = read_u16 b 0 in
+    let out = Buffer.create orig_len in
+    let pos = ref 2 in
+    let byte () =
+      if !pos >= Bytes.length b then raise (Codec.Corrupt "dict: truncated");
+      let c = Char.code (Bytes.get b !pos) in
+      incr pos;
+      c
+    in
+    let words = orig_len / 4 in
+    for _ = 1 to words do
+      match byte () with
+      | c when c = escape ->
+        for _ = 1 to 4 do
+          Buffer.add_char out (Char.chr (byte ()))
+        done
+      | i ->
+        if i >= Array.length table then
+          raise (Codec.Corrupt "dict: index beyond dictionary");
+        let word = table.(i) in
+        Buffer.add_char out (Char.chr (word land 0xFF));
+        Buffer.add_char out (Char.chr ((word lsr 8) land 0xFF));
+        Buffer.add_char out (Char.chr ((word lsr 16) land 0xFF));
+        Buffer.add_char out (Char.chr ((word lsr 24) land 0xFF))
+    done;
+    for _ = 1 to orig_len - (words * 4) do
+      Buffer.add_char out (Char.chr (byte ()))
+    done;
+    Bytes.of_string (Buffer.contents out)
+  in
+  Codec.make ~name:"dict" ~dec_cycles_per_byte:1 ~comp_cycles_per_byte:2
+    ~compress ~decompress ()

@@ -1,0 +1,22 @@
+(** Instruction-dictionary codec (Lefurgy et al. style, the classic
+    hardware code-compression scheme): the most frequent 32-bit
+    instruction words of the program are stored once in a dictionary
+    shipped with the image; each occurrence is then a single index
+    byte, and words outside the dictionary are escaped verbatim.
+
+    Decompression is a table lookup per word — the cheapest of all the
+    codecs here — which is exactly why dictionary schemes dominated
+    embedded practice. *)
+
+val shared : corpus:bytes -> Codec.t
+(** [shared ~corpus] builds the dictionary from the corpus's word
+    frequencies (up to 254 entries, most frequent first; only words
+    occurring at least twice are admitted).
+
+    Wire format: a 16-bit original length, then one byte per word —
+    a dictionary index in [0, 253], or [0xFF] followed by the 4 raw
+    word bytes — then any trailing sub-word bytes verbatim. Blocks
+    must be under 64 KiB. *)
+
+val dictionary_words : corpus:bytes -> int list
+(** The dictionary contents (exposed for tests and inspection). *)

@@ -1,0 +1,38 @@
+(** Canonical Huffman codecs.
+
+    {!codec} stores a per-block model: a 4-byte original length, a
+    symbol/length table and the bit-packed payload. Small blocks pay a
+    visible header cost — exactly the effect that makes shared-model
+    compressors attractive for basic-block granularity.
+
+    {!shared} builds the model once from a whole-program corpus (the
+    way CodePack-style code compressors ship one dictionary for the
+    whole image) and emits headerless blocks: only the 4-byte length
+    plus payload. *)
+
+val codec : Codec.t
+
+val shared : corpus:bytes -> Codec.t
+(** [shared ~corpus] trains on [corpus] with add-one smoothing, so any
+    byte remains encodable. The decoder only accepts data produced by
+    a codec trained on the same corpus. Blocks must be under 64 KiB
+    (the header stores a 16-bit length). *)
+
+val shared_positional : corpus:bytes -> Codec.t
+(** Like {!shared} but with four models, one per byte position within
+    a 32-bit word: instruction streams put opcodes and immediates at
+    fixed positions, so positional models code them far more tightly
+    than one global distribution. This is the codec the experiments
+    default to for real programs. *)
+
+(**/**)
+
+(* Exposed for tests. *)
+
+val code_lengths : int array -> int array
+(** [code_lengths freqs] maps 256 frequencies to Huffman code lengths
+    (0 for absent symbols). *)
+
+val canonical_codes : int array -> (int * int) array
+(** [canonical_codes lengths] assigns canonical [(code, length)] pairs;
+    absent symbols get [(0, 0)]. *)

@@ -1,0 +1,124 @@
+let window = 4096
+let min_match = 3
+let max_match = 18
+
+(* Hash chains over 3-byte prefixes keep the search near-linear. *)
+let hash b i =
+  (Char.code (Bytes.get b i) lsl 10)
+  lxor (Char.code (Bytes.get b (i + 1)) lsl 5)
+  lxor Char.code (Bytes.get b (i + 2))
+  land 0xFFF
+
+let max_chain = 64
+
+let find_match b i chains =
+  let n = Bytes.length b in
+  if i + min_match > n then None
+  else begin
+    let best_len = ref 0 and best_pos = ref (-1) in
+    let tries = ref 0 in
+    let rec walk = function
+      | [] -> ()
+      | j :: rest ->
+        if j >= i - window && !tries < max_chain then begin
+          incr tries;
+          let len =
+            let rec ext k =
+              if k < max_match && i + k < n && Bytes.get b (j + k) = Bytes.get b (i + k)
+              then ext (k + 1)
+              else k
+            in
+            ext 0
+          in
+          if len > !best_len then begin
+            best_len := len;
+            best_pos := j
+          end;
+          if !best_len < max_match then walk rest
+        end
+    in
+    walk (Hashtbl.find_all chains (hash b i));
+    if !best_len >= min_match then Some (!best_pos, !best_len) else None
+  end
+
+let compress b =
+  let n = Bytes.length b in
+  let out = Buffer.create (n + (n / 8) + 1) in
+  let chains = Hashtbl.create 4096 in
+  let add_pos i = if i + min_match <= n then Hashtbl.add chains (hash b i) i in
+  (* Pending group: up to 8 items buffered until the flag byte is known. *)
+  let flags = ref 0 and nitems = ref 0 in
+  let group = Buffer.create 17 in
+  let flush () =
+    if !nitems > 0 then begin
+      Buffer.add_char out (Char.chr (!flags lsl (8 - !nitems) land 0xFF));
+      Buffer.add_buffer out group;
+      Buffer.clear group;
+      flags := 0;
+      nitems := 0
+    end
+  in
+  let push_item is_literal =
+    flags := (!flags lsl 1) lor if is_literal then 1 else 0;
+    incr nitems;
+    if !nitems = 8 then flush ()
+  in
+  let rec loop i =
+    if i < n then
+      match find_match b i chains with
+      | Some (pos, len) ->
+        let dist = i - pos in
+        Buffer.add_char group (Char.chr (((dist - 1) lsr 4) land 0xFF));
+        Buffer.add_char group
+          (Char.chr ((((dist - 1) land 0xF) lsl 4) lor (len - min_match)));
+        push_item false;
+        for k = i to i + len - 1 do
+          add_pos k
+        done;
+        loop (i + len)
+      | None ->
+        Buffer.add_char group (Bytes.get b i);
+        push_item true;
+        add_pos i;
+        loop (i + 1)
+  in
+  loop 0;
+  flush ();
+  Bytes.of_string (Buffer.contents out)
+
+let decompress b =
+  let n = Bytes.length b in
+  let out = Buffer.create (n * 2) in
+  let i = ref 0 in
+  let byte () =
+    if !i >= n then raise (Codec.Corrupt "lzss: truncated input");
+    let c = Char.code (Bytes.get b !i) in
+    incr i;
+    c
+  in
+  while !i < n do
+    let flags = byte () in
+    let item = ref 0 in
+    while !item < 8 && !i < n do
+      let is_literal = (flags lsr (7 - !item)) land 1 = 1 in
+      if is_literal then Buffer.add_char out (Char.chr (byte ()))
+      else begin
+        let hi = byte () in
+        let lo = byte () in
+        let dist = ((hi lsl 4) lor (lo lsr 4)) + 1 in
+        let len = (lo land 0xF) + min_match in
+        let start = Buffer.length out - dist in
+        if start < 0 then raise (Codec.Corrupt "lzss: bad back-reference");
+        for k = 0 to len - 1 do
+          (* Overlapping copies read bytes produced in this loop. *)
+          Buffer.add_char out (Buffer.nth out (start + k))
+        done
+      end;
+      incr item
+    done
+  done;
+  Bytes.of_string (Buffer.contents out)
+
+let codec =
+  Codec.make ~name:"lzss" ~dec_cycles_per_byte:3 ~comp_cycles_per_byte:12
+    ~compress ~decompress ()

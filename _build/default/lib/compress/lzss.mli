@@ -1,0 +1,8 @@
+(** LZSS codec: 4096-byte sliding window, match lengths 3..18.
+
+    Items are grouped 8 at a time behind a flag byte (MSB first): a
+    set bit means a literal byte; a clear bit means a match encoded as
+    two bytes — 12 bits of backwards distance minus 1 and 4 bits of
+    match length minus 3. *)
+
+val codec : Codec.t

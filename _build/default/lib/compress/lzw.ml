@@ -1,0 +1,116 @@
+let code_bits = 12
+let dict_limit = 1 lsl code_bits
+
+let write_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF))
+
+let read_u32 b off =
+  if Bytes.length b < off + 4 then raise (Codec.Corrupt "lzw: truncated header");
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+let compress b =
+  let n = Bytes.length b in
+  let header = Buffer.create (4 + n) in
+  write_u32 header n;
+  let w = Bitio.Writer.create () in
+  if n > 0 then begin
+    let dict = Hashtbl.create 4096 in
+    let next_code = ref 256 in
+    let reset () =
+      Hashtbl.reset dict;
+      next_code := 256
+    in
+    reset ();
+    (* Current phrase is tracked as a dictionary code plus its first
+       position/length so we never materialize strings. *)
+    let cur = ref (Char.code (Bytes.get b 0)) in
+    for i = 1 to n - 1 do
+      let c = Char.code (Bytes.get b i) in
+      match Hashtbl.find_opt dict (!cur, c) with
+      | Some code -> cur := code
+      | None ->
+        Bitio.Writer.add_bits w ~value:!cur ~bits:code_bits;
+        if !next_code < dict_limit then begin
+          Hashtbl.add dict (!cur, c) !next_code;
+          incr next_code
+        end
+        else reset ();
+        cur := c
+    done;
+    Bitio.Writer.add_bits w ~value:!cur ~bits:code_bits
+  end;
+  Buffer.add_bytes header (Bitio.Writer.contents w);
+  Bytes.of_string (Buffer.contents header)
+
+let decompress b =
+  let orig_len = read_u32 b 0 in
+  let out = Buffer.create orig_len in
+  if orig_len > 0 then begin
+    let r = Bitio.Reader.create (Bytes.sub b 4 (Bytes.length b - 4)) in
+    (* Dictionary entries as (prefix code, appended byte); -1 prefix
+       marks the 256 roots. *)
+    let prefix = Array.make dict_limit (-1) in
+    let suffix = Array.make dict_limit '\000' in
+    let next_code = ref 256 in
+    let reset () = next_code := 256 in
+    let expand code =
+      let rec collect acc code =
+        if code < 0 || code >= !next_code then
+          raise (Codec.Corrupt "lzw: bad code")
+        else if code < 256 then Char.chr code :: acc
+        else collect (suffix.(code) :: acc) prefix.(code)
+      in
+      collect [] code
+    in
+    let first_char entry = match entry with [] -> assert false | c :: _ -> c in
+    let add_entry l = List.iter (Buffer.add_char out) l in
+    let read_code () = Bitio.Reader.read_bits r code_bits in
+    let prev = ref (read_code ()) in
+    if !prev >= 256 then raise (Codec.Corrupt "lzw: bad first code");
+    add_entry (expand !prev);
+    while Buffer.length out < orig_len do
+      let code = read_code () in
+      let entry =
+        if code < !next_code then expand code
+        else if code = !next_code then begin
+          (* KwKwK case: entry = prev ^ first(prev) *)
+          let p = expand !prev in
+          p @ [ first_char p ]
+        end
+        else raise (Codec.Corrupt "lzw: code out of range")
+      in
+      if !next_code < dict_limit then begin
+        prefix.(!next_code) <- !prev;
+        suffix.(!next_code) <- first_char entry;
+        incr next_code;
+        add_entry entry;
+        prev := code;
+        if !next_code = dict_limit then begin
+          (* Mirror the encoder's reset. *)
+          reset ();
+          if Buffer.length out < orig_len then begin
+            let c = read_code () in
+            if c >= 256 then raise (Codec.Corrupt "lzw: bad code after reset");
+            add_entry (expand c);
+            prev := c
+          end
+        end
+      end
+      else begin
+        add_entry entry;
+        prev := code
+      end
+    done;
+    if Buffer.length out <> orig_len then raise (Codec.Corrupt "lzw: length mismatch")
+  end;
+  Bytes.of_string (Buffer.contents out)
+
+let codec =
+  Codec.make ~name:"lzw" ~dec_cycles_per_byte:5 ~comp_cycles_per_byte:10
+    ~compress ~decompress ()

@@ -1,0 +1,7 @@
+(** LZW codec with fixed 12-bit codes.
+
+    The dictionary starts with the 256 single-byte strings; both sides
+    reset it once it reaches 4096 entries. Output is a bit-packed
+    sequence of 12-bit codes preceded by the 32-bit original length. *)
+
+val codec : Codec.t

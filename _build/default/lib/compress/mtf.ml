@@ -1,0 +1,40 @@
+(* The alphabet is kept in a 256-entry array; moving a symbol to the
+   front is an explicit shift, O(rank) per byte. *)
+
+let init_alphabet () = Array.init 256 (fun i -> i)
+
+let move_to_front alphabet rank =
+  let sym = alphabet.(rank) in
+  Array.blit alphabet 0 alphabet 1 rank;
+  alphabet.(0) <- sym;
+  sym
+
+let transform b =
+  let alphabet = init_alphabet () in
+  let out = Bytes.create (Bytes.length b) in
+  Bytes.iteri
+    (fun i c ->
+      let sym = Char.code c in
+      let rec find r = if alphabet.(r) = sym then r else find (r + 1) in
+      let rank = find 0 in
+      ignore (move_to_front alphabet rank);
+      Bytes.set out i (Char.chr rank))
+    b;
+  out
+
+let untransform b =
+  let alphabet = init_alphabet () in
+  let out = Bytes.create (Bytes.length b) in
+  Bytes.iteri
+    (fun i c ->
+      let rank = Char.code c in
+      let sym = move_to_front alphabet rank in
+      Bytes.set out i (Char.chr sym))
+    b;
+  out
+
+let codec =
+  let compress b = Rle.codec.Codec.compress (transform b) in
+  let decompress b = untransform (Rle.codec.Codec.decompress b) in
+  Codec.make ~name:"mtf-rle" ~dec_cycles_per_byte:4 ~comp_cycles_per_byte:6
+    ~compress ~decompress ()

@@ -1,0 +1,12 @@
+(** Move-to-front transform composed with RLE.
+
+    Code bytes are highly repetitive locally; MTF turns that locality
+    into long runs of small values which RLE then collapses. *)
+
+val transform : bytes -> bytes
+(** The raw MTF transform (self-inverse via {!untransform}). *)
+
+val untransform : bytes -> bytes
+
+val codec : Codec.t
+(** MTF followed by {!Rle.codec}. *)

@@ -1,0 +1,3 @@
+let codec =
+  Codec.make ~name:"null" ~dec_cycles_per_byte:1 ~comp_cycles_per_byte:1
+    ~compress:Bytes.copy ~decompress:Bytes.copy ()

@@ -1,0 +1,4 @@
+(** Identity codec: models "no compression" while exercising the same
+    machinery (useful as a control in the experiments). *)
+
+val codec : Codec.t

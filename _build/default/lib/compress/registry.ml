@@ -1,0 +1,26 @@
+let raw () =
+  [ Null.codec; Rle.codec; Huffman.codec; Lzss.codec; Lzw.codec; Mtf.codec ]
+
+let all () = List.map Codec.never_expanding (raw ())
+
+let find name =
+  List.find_opt (fun c -> c.Codec.name = name) (all ())
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg (Printf.sprintf "Compress.Registry.find_exn: %S" name)
+
+let default = Codec.never_expanding Lzss.codec
+
+let shared_huffman ~corpus = Codec.never_expanding (Huffman.shared ~corpus)
+
+let code_codec ~corpus =
+  Codec.never_expanding (Huffman.shared_positional ~corpus)
+
+let dict_codec ~corpus = Codec.never_expanding (Dict.shared ~corpus)
+
+let shared_all ~corpus =
+  [ shared_huffman ~corpus; code_codec ~corpus; dict_codec ~corpus ]
+
+let names () = List.map (fun c -> c.Codec.name) (all ())

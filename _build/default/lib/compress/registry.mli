@@ -1,0 +1,33 @@
+(** Codec registry used by the CLI, the experiments and the tests. *)
+
+val all : unit -> Codec.t list
+(** The built-in codecs (null, rle, huffman, lzss, lzw, mtf-rle), each
+    wrapped with {!Codec.never_expanding} so pathological blocks only
+    cost one extra byte. *)
+
+val find : string -> Codec.t option
+(** Lookup by name among {!all}. *)
+
+val find_exn : string -> Codec.t
+(** @raise Invalid_argument for unknown names. *)
+
+val default : Codec.t
+(** The codec used by the experiments unless stated otherwise:
+    [lzss]. *)
+
+val shared_huffman : corpus:bytes -> Codec.t
+(** {!Huffman.shared} wrapped with {!Codec.never_expanding}. *)
+
+val code_codec : corpus:bytes -> Codec.t
+(** {!Huffman.shared_positional} wrapped with
+    {!Codec.never_expanding}: the recommended codec for instruction
+    images (train it on the whole program). *)
+
+val dict_codec : corpus:bytes -> Codec.t
+(** {!Dict.shared} wrapped with {!Codec.never_expanding}. *)
+
+val shared_all : corpus:bytes -> Codec.t list
+(** The three shared-model codecs (global Huffman, positional Huffman,
+    instruction dictionary) trained on [corpus]. *)
+
+val names : unit -> string list

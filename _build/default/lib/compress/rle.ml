@@ -1,0 +1,66 @@
+let max_literal = 128
+let max_run = 129 (* control byte 0xFF encodes a run of 0x7F + 2 = 129 *)
+
+let run_length b i =
+  let n = Bytes.length b in
+  let c = Bytes.get b i in
+  let rec scan j = if j < n && j - i < max_run && Bytes.get b j = c then scan (j + 1) else j in
+  scan (i + 1) - i
+
+let compress b =
+  let n = Bytes.length b in
+  let out = Buffer.create (n / 2) in
+  let rec loop i =
+    if i < n then begin
+      let r = run_length b i in
+      if r >= 3 then begin
+        Buffer.add_char out (Char.chr (0x80 + r - 2));
+        Buffer.add_char out (Bytes.get b i);
+        loop (i + r)
+      end
+      else begin
+        (* Collect a literal run up to the next long run. *)
+        let rec extend j =
+          if j >= n || j - i >= max_literal then j
+          else if run_length b j >= 3 then j
+          else extend (j + 1)
+        in
+        let j = extend (i + 1) in
+        Buffer.add_char out (Char.chr (j - i - 1));
+        Buffer.add_subbytes out b i (j - i);
+        loop j
+      end
+    end
+  in
+  loop 0;
+  Bytes.of_string (Buffer.contents out)
+
+let decompress b =
+  let n = Bytes.length b in
+  let out = Buffer.create (n * 2) in
+  let rec loop i =
+    if i < n then begin
+      let c = Char.code (Bytes.get b i) in
+      if c <= 0x7F then begin
+        let len = c + 1 in
+        if i + 1 + len > n then raise (Codec.Corrupt "rle: truncated literal run");
+        Buffer.add_subbytes out b (i + 1) len;
+        loop (i + 1 + len)
+      end
+      else begin
+        if i + 1 >= n then raise (Codec.Corrupt "rle: truncated repeat run");
+        let len = c - 0x80 + 2 in
+        let byte = Bytes.get b (i + 1) in
+        for _ = 1 to len do
+          Buffer.add_char out byte
+        done;
+        loop (i + 2)
+      end
+    end
+  in
+  loop 0;
+  Bytes.of_string (Buffer.contents out)
+
+let codec =
+  Codec.make ~name:"rle" ~dec_cycles_per_byte:2 ~comp_cycles_per_byte:3
+    ~compress ~decompress ()

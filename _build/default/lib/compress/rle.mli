@@ -1,0 +1,8 @@
+(** Byte-level run-length codec.
+
+    Packet format: a control byte [c] followed by payload.
+    [c <= 0x7F]: a literal run of [c + 1] bytes follows.
+    [c >= 0x80]: the next byte repeats [c - 0x80 + 2] times (2..129).
+    Runs shorter than 3 bytes are folded into literal runs. *)
+
+val codec : Codec.t

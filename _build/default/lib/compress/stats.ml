@@ -1,0 +1,44 @@
+type t = {
+  codec_name : string;
+  blocks : int;
+  original_bytes : int;
+  compressed_bytes : int;
+  ratio : float;
+  worst_block_ratio : float;
+  best_block_ratio : float;
+}
+
+let measure codec blocks =
+  let original = ref 0 and compressed = ref 0 in
+  let worst = ref 0.0 and best = ref infinity in
+  let count = ref 0 in
+  List.iter
+    (fun b ->
+      let n = Bytes.length b in
+      if n > 0 then begin
+        incr count;
+        let c = Bytes.length (codec.Codec.compress b) in
+        original := !original + n;
+        compressed := !compressed + c;
+        let r = float_of_int c /. float_of_int n in
+        if r > !worst then worst := r;
+        if r < !best then best := r
+      end)
+    blocks;
+  {
+    codec_name = codec.Codec.name;
+    blocks = !count;
+    original_bytes = !original;
+    compressed_bytes = !compressed;
+    ratio =
+      (if !original = 0 then 1.0
+       else float_of_int !compressed /. float_of_int !original);
+    worst_block_ratio = (if !count = 0 then 1.0 else !worst);
+    best_block_ratio = (if !count = 0 then 1.0 else !best);
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %d blocks, %d -> %d bytes (ratio %.3f, best %.3f, worst %.3f)"
+    t.codec_name t.blocks t.original_bytes t.compressed_bytes t.ratio
+    t.best_block_ratio t.worst_block_ratio

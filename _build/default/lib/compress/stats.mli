@@ -1,0 +1,17 @@
+(** Corpus-level compression statistics, used by the codec-comparison
+    experiment (E12). *)
+
+type t = {
+  codec_name : string;
+  blocks : int;
+  original_bytes : int;
+  compressed_bytes : int;
+  ratio : float;  (** compressed / original *)
+  worst_block_ratio : float;
+  best_block_ratio : float;
+}
+
+val measure : Codec.t -> bytes list -> t
+(** Compresses every block independently and aggregates. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Array Cfg List

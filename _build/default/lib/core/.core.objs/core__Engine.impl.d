@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bytes Cfg Compress Config Eris Kedge List Memsim Metrics Policy Predictor

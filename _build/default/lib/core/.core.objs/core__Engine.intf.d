@@ -1,0 +1,1 @@
+lib/core/engine.mli: Cfg Compress Config Eris Metrics Policy

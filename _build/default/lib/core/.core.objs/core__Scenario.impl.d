@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Bytes Cfg Char Compress Config Engine Eris Format

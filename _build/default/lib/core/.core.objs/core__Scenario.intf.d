@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Cfg Compress Config Engine Eris Format Metrics Policy

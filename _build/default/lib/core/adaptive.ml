@@ -1,0 +1,43 @@
+let loop_aware ?(slack = 2) ?(cold_k = 1) g =
+  let n = Cfg.Graph.num_blocks g in
+  let k = Array.make n cold_k in
+  let loops = Cfg.Loop.detect g in
+  List.iter
+    (fun l ->
+      let size = List.length l.Cfg.Loop.body in
+      List.iter
+        (fun b ->
+          let candidate = size + slack in
+          (* smallest containing loop wins *)
+          if k.(b) = cold_k || candidate < k.(b) then k.(b) <- candidate)
+        l.Cfg.Loop.body)
+    loops;
+  fun b -> if b >= 0 && b < n then k.(b) else cold_k
+
+let reuse_aware ?(percentile = 0.9) g trace =
+  let n = Cfg.Graph.num_blocks g in
+  let last_seen = Array.make n (-1) in
+  let distances = Array.make n [] in
+  Array.iteri
+    (fun step b ->
+      if b >= 0 && b < n then begin
+        if last_seen.(b) >= 0 then
+          distances.(b) <- (step - last_seen.(b)) :: distances.(b);
+        last_seen.(b) <- step
+      end)
+    trace;
+  let k = Array.make n 1 in
+  Array.iteri
+    (fun b ds ->
+      match ds with
+      | [] -> k.(b) <- 1
+      | ds ->
+        let sorted = List.sort compare ds in
+        let len = List.length sorted in
+        let idx =
+          min (len - 1)
+            (int_of_float (percentile *. float_of_int len))
+        in
+        k.(b) <- max 1 (List.nth sorted idx))
+    distances;
+  fun b -> if b >= 0 && b < n then k.(b) else 1

@@ -1,0 +1,25 @@
+(** Access-pattern-aware choices of the k parameter.
+
+    The paper fixes one k for the whole program; its own §3 discussion
+    ("a small k could entail frequent compressions and decompressions
+    for blocks with high temporal reuse") points directly at a
+    per-block k. These helpers derive one from static structure or a
+    profile:
+
+    - blocks inside a natural loop get a k just above the loop's
+      circumference, so their copies survive between iterations;
+    - blocks outside any loop get the most aggressive k, so
+      straight-line and cold code is recompressed immediately. *)
+
+val loop_aware : ?slack:int -> ?cold_k:int -> Cfg.Graph.t -> int -> int
+(** [loop_aware g] maps each block to
+    [smallest containing loop body size + slack] (default slack 2), or
+    [cold_k] (default 1) outside loops. Usable directly as
+    {!Policy.make}'s [adaptive_k]. *)
+
+val reuse_aware : ?percentile:float -> Cfg.Graph.t -> int array -> int -> int
+(** [reuse_aware g trace] measures each block's reuse distances (in
+    edge traversals) in the profiling [trace] and picks the given
+    [percentile] (default 0.9) of them as the block's k — large enough
+    to cover most of its observed revisits, small enough to retire it
+    otherwise. Blocks never revisited get k = 1. *)

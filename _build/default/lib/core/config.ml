@@ -1,0 +1,36 @@
+type cost_model = {
+  exception_cycles : int;
+  patch_cycles : int;
+  dec_setup_cycles : int;
+  dec_cycles_per_byte : int;
+  comp_setup_cycles : int;
+  comp_cycles_per_byte : int;
+}
+
+let default_cost_model =
+  {
+    exception_cycles = 40;
+    patch_cycles = 4;
+    dec_setup_cycles = 30;
+    dec_cycles_per_byte = 4;
+    comp_setup_cycles = 30;
+    comp_cycles_per_byte = 8;
+  }
+
+let cost_model_of_codec codec =
+  {
+    default_cost_model with
+    dec_cycles_per_byte = codec.Compress.Codec.dec_cycles_per_byte;
+    comp_cycles_per_byte = codec.Compress.Codec.comp_cycles_per_byte;
+  }
+
+type t = { costs : cost_model }
+
+let default = { costs = default_cost_model }
+let of_codec codec = { costs = cost_model_of_codec codec }
+
+let dec_cycles t ~compressed_bytes =
+  t.costs.dec_setup_cycles + (t.costs.dec_cycles_per_byte * compressed_bytes)
+
+let comp_cycles t ~uncompressed_bytes =
+  t.costs.comp_setup_cycles + (t.costs.comp_cycles_per_byte * uncompressed_bytes)

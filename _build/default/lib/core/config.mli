@@ -1,0 +1,32 @@
+(** Cost model of the simulated embedded platform.
+
+    All costs are in cycles. Decompression cost scales with the
+    {e compressed} size (that is what the decompressor reads);
+    compression cost scales with the {e uncompressed} size. *)
+
+type cost_model = {
+  exception_cycles : int;
+      (** taking the memory-protection exception that §5 uses to
+          trigger the handler *)
+  patch_cycles : int;  (** updating one branch target *)
+  dec_setup_cycles : int;
+  dec_cycles_per_byte : int;
+  comp_setup_cycles : int;
+  comp_cycles_per_byte : int;
+}
+
+val default_cost_model : cost_model
+(** exception 40, patch 4, decompression 30 + 4/byte,
+    compression 30 + 8/byte. *)
+
+val cost_model_of_codec : Compress.Codec.t -> cost_model
+(** {!default_cost_model} with the per-byte rates advertised by the
+    codec. *)
+
+type t = { costs : cost_model }
+
+val default : t
+val of_codec : Compress.Codec.t -> t
+
+val dec_cycles : t -> compressed_bytes:int -> int
+val comp_cycles : t -> uncompressed_bytes:int -> int

@@ -1,0 +1,464 @@
+type block_info = {
+  exec_cycles : int;
+  uncompressed_bytes : int;
+  compressed_bytes : int;
+}
+
+let info_of_graph ?(ratio = 0.6) g =
+  Array.map
+    (fun (b : Cfg.Graph.block) ->
+      {
+        exec_cycles = b.exec_cycles;
+        uncompressed_bytes = b.byte_size;
+        compressed_bytes =
+          max 1 (int_of_float (ratio *. float_of_int b.byte_size));
+      })
+    (Cfg.Graph.blocks g)
+
+let info_of_program ~codec prog g =
+  Array.map
+    (fun (b : Cfg.Graph.block) ->
+      let bytes =
+        Eris.Program.slice_bytes prog ~lo:b.addr ~hi:(b.addr + b.byte_size)
+      in
+      {
+        exec_cycles = b.exec_cycles;
+        uncompressed_bytes = b.byte_size;
+        compressed_bytes = Bytes.length (codec.Compress.Codec.compress bytes);
+      })
+    (Cfg.Graph.blocks g)
+
+type event =
+  | Exec of { block : int; at : int }
+  | Exception of { block : int; at : int }
+  | Demand_decompress of { block : int; at : int; cycles : int }
+  | Prefetch_issue of { block : int; at : int; ready_at : int }
+  | Stall of { block : int; at : int; cycles : int }
+  | Patch of { target : int; site : int; at : int }
+  | Discard of { block : int; at : int; patched_back : int; wasted : bool }
+  | Evict of { block : int; at : int }
+  | Recompress_queued of { block : int; at : int; done_at : int }
+
+(* Residency state of one block's decompressed copy. *)
+type status =
+  | Compressed
+  | Decompressing of { ready_at : int; prefetched : bool }
+  | Resident of { mutable used : bool; prefetched : bool }
+  | Recompressing of { done_at : int }
+
+type state = {
+  graph : Cfg.Graph.t;
+  info : block_info array;
+  policy : Policy.t;
+  config : Config.t;
+  log : event -> unit;
+  status : status array;
+  kedge : Kedge.t;
+  remember : Memsim.Remember.t;
+  lru : Memsim.Lru.t;
+  pred_state : Predictor.state;
+  mutable now : int;
+  mutable dec_free_at : int;
+  mutable comp_free_at : int;
+  mutable live_bytes : int;  (* decompressed area, settled view *)
+  mutable inflight : (int * int) list;  (* (ready_at, block), sorted *)
+  mutable pending_frees : (int * int) list;  (* (time, bytes), sorted *)
+  mutable mem_events : (int * int) list;  (* (time, delta), unsorted *)
+  (* counters *)
+  mutable exec_cycles : int;
+  mutable exception_cycles : int;
+  mutable patch_cycles : int;
+  mutable demand_dec_cycles : int;
+  mutable stall_cycles : int;
+  mutable exceptions : int;
+  mutable patches : int;
+  mutable demand_decompressions : int;
+  mutable prefetch_decompressions : int;
+  mutable useful_prefetches : int;
+  mutable wasted_prefetches : int;
+  mutable discards : int;
+  mutable evictions : int;
+  mutable budget_overflows : int;
+  mutable dec_busy : int;
+  mutable comp_busy : int;
+}
+
+let insert_sorted l entry = List.sort compare (entry :: l)
+
+let mem_event st ~time ~delta = st.mem_events <- (time, delta) :: st.mem_events
+
+(* Promote finished prefetches and apply recompression frees whose
+   time has passed. *)
+let settle st =
+  let rec promote = function
+    | (ready_at, b) :: rest when ready_at <= st.now ->
+      (match st.status.(b) with
+      | Decompressing { prefetched; _ } ->
+        st.status.(b) <- Resident { used = false; prefetched };
+        Memsim.Lru.touch st.lru b ~time:ready_at
+      | Compressed | Resident _ | Recompressing _ -> ());
+      promote rest
+    | rest -> rest
+  in
+  st.inflight <- promote st.inflight;
+  let rec apply = function
+    | (time, bytes) :: rest when time <= st.now ->
+      st.live_bytes <- st.live_bytes - bytes;
+      apply rest
+    | rest -> rest
+  in
+  st.pending_frees <- apply st.pending_frees
+
+let usize st b = st.info.(b).uncompressed_bytes
+let csize st b = st.info.(b).compressed_bytes
+
+let dec_time st b = Config.dec_cycles st.config ~compressed_bytes:(csize st b)
+
+let comp_time st b =
+  Config.comp_cycles st.config ~uncompressed_bytes:(usize st b)
+
+(* Deletes the decompressed copy of [b] (k-edge retirement or LRU
+   eviction). Patch-backs run on the compression thread. *)
+let delete_copy st ~eviction b =
+  let wasted =
+    match st.status.(b) with
+    | Resident { used; prefetched } -> prefetched && not used
+    | Compressed | Decompressing _ | Recompressing _ ->
+      invalid_arg "Core.Engine.delete_copy: block not resident"
+  in
+  if wasted then st.wasted_prefetches <- st.wasted_prefetches + 1;
+  let patched_back = Memsim.Remember.flush st.remember ~target:b in
+  st.patches <- st.patches + patched_back;
+  st.comp_free_at <-
+    max st.comp_free_at st.now
+    + (patched_back * st.config.Config.costs.patch_cycles);
+  st.comp_busy <-
+    st.comp_busy + (patched_back * st.config.Config.costs.patch_cycles);
+  (* Branches inside [b] vanish with it: drop them from the remember
+     sets of their targets. *)
+  List.iter
+    (fun s -> ignore (Memsim.Remember.remove_site st.remember ~target:s ~site:b))
+    (Cfg.Graph.succ_ids st.graph b);
+  Memsim.Lru.remove st.lru b;
+  Kedge.untrack st.kedge ~block:b;
+  (match st.policy.Policy.mode with
+  | Policy.Discard ->
+    st.live_bytes <- st.live_bytes - usize st b;
+    mem_event st ~time:st.now ~delta:(-usize st b);
+    st.status.(b) <- Compressed
+  | Policy.Recompress ->
+    let start = max st.now st.comp_free_at in
+    let done_at = start + comp_time st b in
+    st.comp_free_at <- done_at;
+    st.comp_busy <- st.comp_busy + comp_time st b;
+    st.pending_frees <- insert_sorted st.pending_frees (done_at, usize st b);
+    mem_event st ~time:done_at ~delta:(-usize st b);
+    st.status.(b) <- Recompressing { done_at };
+    st.log (Recompress_queued { block = b; at = st.now; done_at }));
+  if eviction then begin
+    st.evictions <- st.evictions + 1;
+    st.log (Evict { block = b; at = st.now })
+  end
+  else begin
+    st.discards <- st.discards + 1;
+    st.log (Discard { block = b; at = st.now; patched_back; wasted })
+  end
+
+(* Ensures [bytes] fit under the budget, evicting LRU residents.
+   Returns false if the space cannot be freed. *)
+let make_room st ~exclude bytes =
+  match st.policy.Policy.budget with
+  | None -> true
+  | Some cap ->
+    settle st;
+    let excluded v =
+      List.mem v exclude
+      ||
+      match st.status.(v) with
+      | Resident _ -> false
+      | Compressed | Decompressing _ | Recompressing _ -> true
+    in
+    let rec evict () =
+      if st.live_bytes + bytes <= cap then true
+      else
+        match Memsim.Lru.victim st.lru ~exclude:excluded () with
+        | Some v ->
+          delete_copy st ~eviction:true v;
+          evict ()
+        | None -> false
+    in
+    evict ()
+
+(* Allocates space for a decompressed copy of [b]. *)
+let allocate st ~exclude b =
+  let ok = make_room st ~exclude (usize st b) in
+  if not ok then st.budget_overflows <- st.budget_overflows + 1;
+  st.live_bytes <- st.live_bytes + usize st b;
+  mem_event st ~time:st.now ~delta:(usize st b)
+
+let charge_exception st b =
+  st.exceptions <- st.exceptions + 1;
+  st.exception_cycles <- st.exception_cycles + st.config.Config.costs.exception_cycles;
+  st.now <- st.now + st.config.Config.costs.exception_cycles;
+  st.log (Exception { block = b; at = st.now })
+
+let charge_patch st ~target ~site =
+  st.patches <- st.patches + 1;
+  st.patch_cycles <- st.patch_cycles + st.config.Config.costs.patch_cycles;
+  st.now <- st.now + st.config.Config.costs.patch_cycles;
+  st.log (Patch { target; site; at = st.now })
+
+(* Records the branch site and charges the patch if it is new. The
+   caller has already paid the exception. *)
+let patch_site st ~target ~site =
+  match site with
+  | None -> ()
+  | Some site ->
+    if Memsim.Remember.record st.remember ~target ~site then
+      charge_patch st ~target ~site
+
+let stall_until st b t =
+  if t > st.now then begin
+    let w = t - st.now in
+    st.stall_cycles <- st.stall_cycles + w;
+    st.now <- t;
+    st.log (Stall { block = b; at = st.now; cycles = w })
+  end
+
+(* The execution thread arrives at block [b], coming from [prev]. *)
+let rec arrive st ~prev b =
+  settle st;
+  match st.status.(b) with
+  | Resident _ -> (
+    (* No cost when the branch already targets the decompressed copy;
+       otherwise the exception fires and the handler patches (Fig. 5,
+       steps 5-6). The initial entry (no prev) faults too but has no
+       site to patch. *)
+    match prev with
+    | Some site ->
+      if not (Memsim.Remember.record st.remember ~target:b ~site) then ()
+      else begin
+        charge_exception st b;
+        charge_patch st ~target:b ~site
+      end
+    | None -> charge_exception st b)
+  | Decompressing { ready_at; prefetched } ->
+    (* The branch still points into the compressed area: exception,
+       then wait for the in-flight pre-decompression. *)
+    charge_exception st b;
+    stall_until st b ready_at;
+    st.inflight <- List.filter (fun (_, blk) -> blk <> b) st.inflight;
+    st.status.(b) <- Resident { used = false; prefetched };
+    Memsim.Lru.touch st.lru b ~time:st.now;
+    patch_site st ~target:b ~site:prev
+  | Recompressing { done_at } ->
+    (* Rare: reached while the compression thread still owns it. Wait
+       out the compression, then take the demand path. *)
+    stall_until st b done_at;
+    settle st;
+    st.status.(b) <- Compressed;
+    arrive st ~prev b
+  | Compressed ->
+    charge_exception st b;
+    allocate st ~exclude:[ b ] b;
+    let cycles = dec_time st b in
+    st.demand_decompressions <- st.demand_decompressions + 1;
+    st.demand_dec_cycles <- st.demand_dec_cycles + cycles;
+    st.now <- st.now + cycles;
+    st.status.(b) <- Resident { used = false; prefetched = false };
+    Memsim.Lru.touch st.lru b ~time:st.now;
+    st.log (Demand_decompress { block = b; at = st.now; cycles });
+    patch_site st ~target:b ~site:prev
+
+let execute st ~step ~cycles b =
+  (match st.status.(b) with
+  | Resident r ->
+    if r.prefetched && not r.used then
+      st.useful_prefetches <- st.useful_prefetches + 1;
+    r.used <- true
+  | Compressed | Decompressing _ | Recompressing _ ->
+    invalid_arg "Core.Engine.execute: block not resident");
+  Kedge.track st.kedge ~block:b ~step;
+  Memsim.Lru.touch st.lru b ~time:st.now;
+  st.log (Exec { block = b; at = st.now });
+  st.exec_cycles <- st.exec_cycles + cycles;
+  st.now <- st.now + cycles
+
+(* Queue a pre-decompression of [c] on the decompression thread. *)
+let issue_prefetch st ~step ~exclude c =
+  match st.status.(c) with
+  | Compressed ->
+    if make_room st ~exclude (usize st c) then begin
+      st.live_bytes <- st.live_bytes + usize st c;
+      mem_event st ~time:st.now ~delta:(usize st c);
+      let start = max st.now st.dec_free_at in
+      let ready_at = start + dec_time st c in
+      st.dec_free_at <- ready_at;
+      st.dec_busy <- st.dec_busy + dec_time st c;
+      st.status.(c) <- Decompressing { ready_at; prefetched = true };
+      st.inflight <- insert_sorted st.inflight (ready_at, c);
+      Kedge.track st.kedge ~block:c ~step;
+      st.prefetch_decompressions <- st.prefetch_decompressions + 1;
+      st.log (Prefetch_issue { block = c; at = st.now; ready_at })
+    end
+  | Resident _ | Decompressing _ | Recompressing _ -> ()
+
+(* Edge traversal from trace position [i] (block [b]) to [i+1]
+   (block [next]): k-edge retirement, then pre-decompression. *)
+let traverse_edge st ~b ~next ~step =
+  settle st;
+  (* k-edge: delete the copies whose counter reaches k, sparing the
+     branch target (its counter resets on execution instead, §5). *)
+  List.iter
+    (fun d ->
+      if d <> next then
+        match st.status.(d) with
+        | Resident _ -> delete_copy st ~eviction:false d
+        | Decompressing _ ->
+          (* Still in flight: give it another k edges. *)
+          Kedge.track st.kedge ~block:d ~step
+        | Compressed | Recompressing _ -> ())
+    (Kedge.due st.kedge ~step);
+  (* Pre-decompression of blocks up to [lookahead] edges ahead. *)
+  (match st.policy.Policy.strategy with
+  | Policy.On_demand -> ()
+  | Policy.Pre_all { lookahead } ->
+    List.iter
+      (fun (c, _dist) -> issue_prefetch st ~step ~exclude:[ b; next; c ] c)
+      (Cfg.Dist.within st.graph ~from:b ~k:lookahead)
+  | Policy.Pre_single { lookahead; predictor } -> (
+    let candidates =
+      Cfg.Dist.within st.graph ~from:b ~k:lookahead
+      |> List.filter_map (fun (c, _) ->
+             match st.status.(c) with
+             | Compressed -> Some c
+             | Resident _ | Decompressing _ | Recompressing _ -> None)
+    in
+    match
+      Predictor.choose predictor st.pred_state st.graph ~from:b ~k:lookahead
+        ~candidates
+    with
+    | Some c -> issue_prefetch st ~step ~exclude:[ b; next; c ] c
+    | None -> ()));
+  Predictor.note_edge st.pred_state ~src:b ~dst:next
+
+(* Final accounting pass over the memory event stream. *)
+let memory_stats st =
+  let events = List.sort compare (List.rev st.mem_events) in
+  let acc = Memsim.Accounting.create () in
+  List.iter
+    (fun (time, delta) -> Memsim.Accounting.add acc ~time ~delta)
+    events;
+  let end_time =
+    List.fold_left (fun m (t, _) -> max m t) st.now events
+  in
+  let peak = Memsim.Accounting.peak acc in
+  let avg = Memsim.Accounting.average acc ~until:(max end_time 1) in
+  (peak, avg)
+
+let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
+    ~info ~trace policy =
+  let n = Cfg.Graph.num_blocks graph in
+  if Array.length info <> n then
+    invalid_arg "Core.Engine.run: info does not match graph";
+  (match step_cycles with
+  | Some sc when Array.length sc <> Array.length trace ->
+    invalid_arg "Core.Engine.run: step_cycles does not match trace"
+  | Some _ | None -> ());
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= n then
+        invalid_arg "Core.Engine.run: trace mentions unknown block")
+    trace;
+  let st =
+    {
+      graph;
+      info;
+      policy;
+      config;
+      log;
+      status = Array.make n Compressed;
+      kedge =
+        Kedge.create ?k_of:policy.Policy.adaptive_k ~blocks:n
+          ~k:policy.Policy.compress_k ();
+      remember = Memsim.Remember.create ~blocks:n;
+      lru = Memsim.Lru.create ();
+      pred_state = Predictor.create_state ~blocks:n;
+      now = 0;
+      dec_free_at = 0;
+      comp_free_at = 0;
+      live_bytes = 0;
+      inflight = [];
+      pending_frees = [];
+      mem_events = [];
+      exec_cycles = 0;
+      exception_cycles = 0;
+      patch_cycles = 0;
+      demand_dec_cycles = 0;
+      stall_cycles = 0;
+      exceptions = 0;
+      patches = 0;
+      demand_decompressions = 0;
+      prefetch_decompressions = 0;
+      useful_prefetches = 0;
+      wasted_prefetches = 0;
+      discards = 0;
+      evictions = 0;
+      budget_overflows = 0;
+      dec_busy = 0;
+      comp_busy = 0;
+    }
+  in
+  let cycles_at i b =
+    match step_cycles with
+    | Some sc -> sc.(i)
+    | None -> info.(b).exec_cycles
+  in
+  let len = Array.length trace in
+  for i = 0 to len - 1 do
+    let b = trace.(i) in
+    let prev = if i = 0 then None else Some trace.(i - 1) in
+    arrive st ~prev b;
+    execute st ~step:i ~cycles:(cycles_at i b) b;
+    if i + 1 < len then traverse_edge st ~b ~next:trace.(i + 1) ~step:(i + 1)
+  done;
+  let peak_dec, avg_dec = memory_stats st in
+  let original_bytes =
+    Array.fold_left (fun acc b -> acc + b.uncompressed_bytes) 0 info
+  in
+  let compressed_area_bytes =
+    Array.fold_left (fun acc b -> acc + b.compressed_bytes) 0 info
+  in
+  let baseline_cycles =
+    let sum = ref 0 in
+    Array.iteri (fun i b -> sum := !sum + cycles_at i b) trace;
+    !sum
+  in
+  {
+    Metrics.total_cycles = st.now;
+    exec_cycles = st.exec_cycles;
+    exception_cycles = st.exception_cycles;
+    patch_cycles = st.patch_cycles;
+    demand_dec_cycles = st.demand_dec_cycles;
+    stall_cycles = st.stall_cycles;
+    baseline_cycles;
+    exceptions = st.exceptions;
+    patches = st.patches;
+    demand_decompressions = st.demand_decompressions;
+    prefetch_decompressions = st.prefetch_decompressions;
+    useful_prefetches = st.useful_prefetches;
+    wasted_prefetches = st.wasted_prefetches;
+    discards = st.discards;
+    evictions = st.evictions;
+    budget_overflows = st.budget_overflows;
+    dec_thread_busy_cycles = st.dec_busy;
+    comp_thread_busy_cycles = st.comp_busy;
+    original_bytes;
+    compressed_area_bytes;
+    peak_decompressed_bytes = peak_dec;
+    avg_decompressed_bytes = avg_dec;
+    peak_footprint_bytes = compressed_area_bytes + peak_dec;
+    avg_footprint_bytes = float_of_int compressed_area_bytes +. avg_dec;
+    trace_length = len;
+    blocks = n;
+  }

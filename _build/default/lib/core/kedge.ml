@@ -1,0 +1,52 @@
+type t = {
+  k : int;
+  k_of : int -> int;
+  base : int array;  (* step of last reset; -1 = untracked *)
+  due_at : (int, int list) Hashtbl.t;
+}
+
+let create ?k_of ~blocks ~k () =
+  if k < 1 then invalid_arg "Core.Kedge.create: k must be >= 1";
+  if blocks < 1 then invalid_arg "Core.Kedge.create: blocks must be >= 1";
+  let k_of =
+    match k_of with
+    | None -> fun _ -> k
+    | Some f ->
+      fun b ->
+        let kb = f b in
+        if kb < 1 then invalid_arg "Core.Kedge: per-block k must be >= 1"
+        else kb
+  in
+  { k; k_of; base = Array.make blocks (-1); due_at = Hashtbl.create 64 }
+
+let k t = t.k
+let k_for t ~block = t.k_of block
+
+let track t ~block ~step =
+  t.base.(block) <- step;
+  let kb = t.k_of block in
+  (* Guard against overflow for "never compress" style huge k. *)
+  if kb <= max_int - step then begin
+    let due = step + kb in
+    let l = Option.value ~default:[] (Hashtbl.find_opt t.due_at due) in
+    Hashtbl.replace t.due_at due (block :: l)
+  end
+
+let untrack t ~block = t.base.(block) <- -1
+let tracked t ~block = t.base.(block) >= 0
+
+let counter t ~block ~step =
+  let base = t.base.(block) in
+  if base < 0 then None else Some (step - base)
+
+let due t ~step =
+  match Hashtbl.find_opt t.due_at step with
+  | None -> []
+  | Some blocks ->
+    Hashtbl.remove t.due_at step;
+    (* A block is really due only if it was not reset again since the
+       entry was queued and is still tracked. *)
+    List.filter
+      (fun b -> t.base.(b) >= 0 && t.base.(b) + t.k_of b = step)
+      blocks
+    |> List.sort_uniq compare

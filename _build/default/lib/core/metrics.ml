@@ -1,0 +1,71 @@
+type t = {
+  total_cycles : int;
+  exec_cycles : int;
+  exception_cycles : int;
+  patch_cycles : int;
+  demand_dec_cycles : int;
+  stall_cycles : int;
+  baseline_cycles : int;
+  exceptions : int;
+  patches : int;
+  demand_decompressions : int;
+  prefetch_decompressions : int;
+  useful_prefetches : int;
+  wasted_prefetches : int;
+  discards : int;
+  evictions : int;
+  budget_overflows : int;
+  dec_thread_busy_cycles : int;
+  comp_thread_busy_cycles : int;
+  original_bytes : int;
+  compressed_area_bytes : int;
+  peak_decompressed_bytes : int;
+  avg_decompressed_bytes : float;
+  peak_footprint_bytes : int;
+  avg_footprint_bytes : float;
+  trace_length : int;
+  blocks : int;
+}
+
+let overhead_ratio t =
+  if t.baseline_cycles = 0 then 0.0
+  else
+    (float_of_int t.total_cycles /. float_of_int t.baseline_cycles) -. 1.0
+
+let peak_memory_saving t =
+  if t.original_bytes = 0 then 0.0
+  else
+    1.0 -. (float_of_int t.peak_footprint_bytes /. float_of_int t.original_bytes)
+
+let avg_memory_saving t =
+  if t.original_bytes = 0 then 0.0
+  else 1.0 -. (t.avg_footprint_bytes /. float_of_int t.original_bytes)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cycles: %d (baseline %d, overhead %.1f%%)@,\
+     \  exec %d, exceptions %d, patches %d, demand-dec %d, stalls %d@,\
+     events: %d exceptions, %d patches, %d demand / %d prefetch \
+     decompressions (%d useful, %d wasted), %d discards, %d evictions, %d \
+     overflows@,\
+     threads: dec busy %d, comp busy %d@,\
+     memory: original %dB, compressed area %dB, decompressed peak %dB (avg \
+     %.1fB)@,\
+     \  footprint peak %dB (saving %.1f%%), avg %.1fB (saving %.1f%%)@]"
+    t.total_cycles t.baseline_cycles
+    (100.0 *. overhead_ratio t)
+    t.exec_cycles t.exception_cycles t.patch_cycles t.demand_dec_cycles
+    t.stall_cycles t.exceptions t.patches t.demand_decompressions
+    t.prefetch_decompressions t.useful_prefetches t.wasted_prefetches
+    t.discards t.evictions t.budget_overflows t.dec_thread_busy_cycles
+    t.comp_thread_busy_cycles t.original_bytes t.compressed_area_bytes
+    t.peak_decompressed_bytes t.avg_decompressed_bytes t.peak_footprint_bytes
+    (100.0 *. peak_memory_saving t)
+    t.avg_footprint_bytes
+    (100.0 *. avg_memory_saving t)
+
+let pp_brief ppf t =
+  Format.fprintf ppf "overhead %.1f%%, peak saving %.1f%%, avg saving %.1f%%"
+    (100.0 *. overhead_ratio t)
+    (100.0 *. peak_memory_saving t)
+    (100.0 *. avg_memory_saving t)

@@ -1,0 +1,52 @@
+(** Results of one policy-engine run. *)
+
+type t = {
+  (* time *)
+  total_cycles : int;  (** wall clock of the execution thread *)
+  exec_cycles : int;  (** cycles spent executing block bodies *)
+  exception_cycles : int;
+  patch_cycles : int;
+  demand_dec_cycles : int;  (** decompression on the critical path *)
+  stall_cycles : int;  (** waiting for in-flight pre-decompressions *)
+  baseline_cycles : int;
+      (** the same trace with everything resident (no compression
+          machinery at all) *)
+  (* events *)
+  exceptions : int;
+  patches : int;
+  demand_decompressions : int;
+  prefetch_decompressions : int;
+  useful_prefetches : int;  (** prefetched copies that were executed *)
+  wasted_prefetches : int;
+      (** prefetched copies deleted or evicted before any execution *)
+  discards : int;  (** k-edge deletions *)
+  evictions : int;  (** budget-forced LRU deletions *)
+  budget_overflows : int;
+      (** decompressions admitted above the budget because no victim
+          was evictable *)
+  (* helper threads *)
+  dec_thread_busy_cycles : int;
+  comp_thread_busy_cycles : int;
+  (* memory *)
+  original_bytes : int;  (** full uncompressed image *)
+  compressed_area_bytes : int;  (** always-resident compressed image *)
+  peak_decompressed_bytes : int;
+  avg_decompressed_bytes : float;
+  peak_footprint_bytes : int;  (** compressed area + decompressed peak *)
+  avg_footprint_bytes : float;
+  (* shape *)
+  trace_length : int;
+  blocks : int;
+}
+
+val overhead_ratio : t -> float
+(** [total_cycles / baseline_cycles - 1]; 0 = no slowdown. *)
+
+val peak_memory_saving : t -> float
+(** [1 - peak_footprint / original]: fraction of the original image
+    freed at the worst moment. Negative if compression lost. *)
+
+val avg_memory_saving : t -> float
+
+val pp : Format.formatter -> t -> unit
+val pp_brief : Format.formatter -> t -> unit

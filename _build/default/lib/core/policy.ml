@@ -1,0 +1,56 @@
+type compression_mode = Discard | Recompress
+
+type decompression_strategy =
+  | On_demand
+  | Pre_all of { lookahead : int }
+  | Pre_single of { lookahead : int; predictor : Predictor.t }
+
+type t = {
+  compress_k : int;
+  adaptive_k : (int -> int) option;
+  mode : compression_mode;
+  strategy : decompression_strategy;
+  budget : int option;
+}
+
+let validate t =
+  if t.compress_k < 1 then invalid_arg "Core.Policy: compress_k must be >= 1";
+  (match t.strategy with
+  | On_demand -> ()
+  | Pre_all { lookahead } | Pre_single { lookahead; _ } ->
+    if lookahead < 1 then invalid_arg "Core.Policy: lookahead must be >= 1");
+  match t.budget with
+  | Some b when b <= 0 -> invalid_arg "Core.Policy: budget must be positive"
+  | Some _ | None -> ()
+
+let make ?(mode = Discard) ?(strategy = On_demand) ?budget ?adaptive_k
+    ~compress_k () =
+  let t = { compress_k; adaptive_k; mode; strategy; budget } in
+  validate t;
+  t
+
+let on_demand ~k = make ~compress_k:k ()
+let pre_all ~k ~lookahead = make ~compress_k:k ~strategy:(Pre_all { lookahead }) ()
+
+let pre_single ~k ~lookahead ~predictor =
+  make ~compress_k:k ~strategy:(Pre_single { lookahead; predictor }) ()
+
+let never_compress = make ~compress_k:max_int ()
+
+let describe t =
+  let strategy =
+    match t.strategy with
+    | On_demand -> "on-demand"
+    | Pre_all { lookahead } -> Printf.sprintf "pre-all(k=%d)" lookahead
+    | Pre_single { lookahead; predictor } ->
+      Printf.sprintf "pre-single(k=%d,%s)" lookahead (Predictor.name predictor)
+  in
+  Printf.sprintf "%s, %s-edge compression (%s)%s" strategy
+    (match t.adaptive_k with
+    | Some _ -> "adaptive"
+    | None ->
+      if t.compress_k = max_int then "inf" else string_of_int t.compress_k)
+    (match t.mode with Discard -> "discard" | Recompress -> "recompress")
+    (match t.budget with
+    | None -> ""
+    | Some b -> Printf.sprintf ", budget %dB" b)

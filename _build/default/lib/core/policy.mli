@@ -1,0 +1,60 @@
+(** The policy space of the paper (Figure 3): the k-edge compression
+    algorithm paired with one of three decompression strategies, plus
+    the optional §2 memory budget. *)
+
+(** What "compressing" a finished block means. *)
+type compression_mode =
+  | Discard
+      (** §5 implementation: the compressed original never moved, so
+          deleting the decompressed copy suffices — no background
+          compression work. This is the paper's default. *)
+  | Recompress
+      (** §3 narrative: a background compression thread actually
+          recompresses the block; the memory is only freed when the
+          thread finishes. *)
+
+type decompression_strategy =
+  | On_demand
+      (** lazy: decompress when the execution thread faults on the
+          block *)
+  | Pre_all of { lookahead : int }
+      (** decompress every compressed block at most [lookahead] edges
+          ahead *)
+  | Pre_single of { lookahead : int; predictor : Predictor.t }
+      (** decompress only the predicted most likely block *)
+
+type t = {
+  compress_k : int;
+      (** the k of the k-edge compression algorithm (>= 1): a resident
+          block's decompressed copy is deleted once k further edges
+          have been traversed since its last execution *)
+  adaptive_k : (int -> int) option;
+      (** per-block k override (see {!Adaptive}); [compress_k] is
+          ignored for blocks the function covers *)
+  mode : compression_mode;
+  strategy : decompression_strategy;
+  budget : int option;
+      (** optional cap on decompressed-area bytes; LRU eviction keeps
+          the area under it *)
+}
+
+val make :
+  ?mode:compression_mode ->
+  ?strategy:decompression_strategy ->
+  ?budget:int ->
+  ?adaptive_k:(int -> int) ->
+  compress_k:int ->
+  unit ->
+  t
+(** Defaults: [Discard], [On_demand], no budget, uniform k.
+    @raise Invalid_argument if [compress_k < 1], a lookahead is
+    [< 1], or the budget is [<= 0]. *)
+
+val on_demand : k:int -> t
+val pre_all : k:int -> lookahead:int -> t
+val pre_single : k:int -> lookahead:int -> predictor:Predictor.t -> t
+
+val never_compress : t
+(** Decompress-once baseline: huge [compress_k], on-demand. *)
+
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/eris/asm.ml: Array Encoding Format Hashtbl List Printf Program Result String Types

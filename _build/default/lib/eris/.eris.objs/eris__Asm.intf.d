@@ -1,0 +1,1 @@
+lib/eris/asm.mli: Format Program Types

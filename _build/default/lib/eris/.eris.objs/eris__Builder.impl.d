@@ -1,0 +1,1 @@
+lib/eris/builder.ml: Array Hashtbl List Printf Program Types

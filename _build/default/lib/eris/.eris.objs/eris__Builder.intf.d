@@ -1,0 +1,1 @@
+lib/eris/builder.mli: Program Types

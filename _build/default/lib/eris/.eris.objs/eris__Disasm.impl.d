@@ -1,0 +1,1 @@
+lib/eris/disasm.ml: Bytes Char Encoding Format List Printf String Types

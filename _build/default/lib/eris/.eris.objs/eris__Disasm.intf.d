@@ -1,0 +1,1 @@
+lib/eris/disasm.mli: Format

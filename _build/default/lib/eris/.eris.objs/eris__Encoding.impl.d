@@ -1,0 +1,1 @@
+lib/eris/encoding.ml: Array Bytes Char List Printf Types

@@ -1,0 +1,1 @@
+lib/eris/encoding.mli: Types

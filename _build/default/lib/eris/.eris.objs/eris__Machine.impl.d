@@ -1,0 +1,1 @@
+lib/eris/machine.ml: Array Bytes Char Encoding List Printf Program Types

@@ -1,0 +1,1 @@
+lib/eris/machine.mli: Program Types

@@ -1,0 +1,1 @@
+lib/eris/program.ml: Array Bytes Encoding Format List Printf Types

@@ -1,0 +1,1 @@
+lib/eris/program.mli: Format Types

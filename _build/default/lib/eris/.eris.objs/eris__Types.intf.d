@@ -1,0 +1,1 @@
+lib/eris/types.mli: Format

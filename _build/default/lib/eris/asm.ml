@@ -1,0 +1,316 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Error of error
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Error { line; message = m })) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Lexing                                                              *)
+
+let strip_comment s =
+  let cut i = String.sub s 0 i in
+  let n = String.length s in
+  let rec scan i =
+    if i >= n then s
+    else
+      match s.[i] with
+      | ';' | '#' -> cut i
+      | '/' when i + 1 < n && s.[i + 1] = '/' -> cut i
+      | _ -> scan (i + 1)
+  in
+  scan 0
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim = String.trim
+
+(* Splits a statement into mnemonic and comma-separated operands. *)
+let split_operands s =
+  match String.index_opt s ' ' with
+  | None -> (String.lowercase_ascii s, [])
+  | Some i ->
+    let mnemonic = String.lowercase_ascii (String.sub s 0 i) in
+    let rest = trim (String.sub s i (String.length s - i)) in
+    if rest = "" then (mnemonic, [])
+    else (mnemonic, List.map trim (String.split_on_char ',' rest))
+
+(* ------------------------------------------------------------------ *)
+(* Operand parsing                                                     *)
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Some v
+  | None -> None
+
+let parse_reg line s =
+  match Types.reg_of_name s with
+  | Some r -> r
+  | None -> fail line "expected register, got %S" s
+
+(* "off(reg)" for loads/stores. *)
+let parse_mem line s =
+  match String.index_opt s '(' with
+  | None -> fail line "expected off(reg), got %S" s
+  | Some i ->
+    let off_s = trim (String.sub s 0 i) in
+    let n = String.length s in
+    if n = 0 || s.[n - 1] <> ')' then fail line "expected off(reg), got %S" s
+    else
+      let reg_s = trim (String.sub s (i + 1) (n - i - 2)) in
+      let off =
+        if off_s = "" then 0
+        else
+          match parse_int off_s with
+          | Some v -> v
+          | None -> fail line "bad offset %S" off_s
+      in
+      (off, parse_reg line reg_s)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+type stmt =
+  | S_instr of string * string list
+  | S_data_at of int
+  | S_data_word of int
+
+type src_line = { num : int; labels : string list; stmt : stmt option }
+
+let parse_source text =
+  let lines = String.split_on_char '\n' text in
+  List.mapi
+    (fun i raw ->
+      let num = i + 1 in
+      let s = trim (strip_comment raw) in
+      (* Peel off leading "label:" prefixes. *)
+      let rec peel labels s =
+        match String.index_opt s ':' with
+        | Some j when j > 0 && not (String.exists is_space (String.sub s 0 j))
+          ->
+          let label = String.sub s 0 j in
+          let rest = trim (String.sub s (j + 1) (String.length s - j - 1)) in
+          peel (label :: labels) rest
+        | Some _ | None -> (List.rev labels, s)
+      in
+      let labels, body = peel [] s in
+      let stmt =
+        if body = "" then None
+        else if body.[0] = '.' then begin
+          match split_operands body with
+          | ".data", [ a ] -> (
+            match parse_int a with
+            | Some v -> Some (S_data_at v)
+            | None -> fail num "bad .data address %S" a)
+          | ".dw", [ v ] -> (
+            match parse_int v with
+            | Some v -> Some (S_data_word v)
+            | None -> fail num "bad .dw value %S" v)
+          | d, _ -> fail num "unknown or malformed directive %S" d
+        end
+        else
+          let m, ops = split_operands body in
+          Some (S_instr (m, ops))
+      in
+      { num; labels; stmt })
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Instruction table                                                   *)
+
+let alu_of_mnemonic = function
+  | "add" -> Some Types.Add
+  | "sub" -> Some Sub
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "sll" -> Some Sll
+  | "srl" -> Some Srl
+  | "sra" -> Some Sra
+  | "slt" -> Some Slt
+  | "mul" -> Some Mul
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Types.Eq
+  | "bne" -> Some Ne
+  | "blt" -> Some Lt
+  | "bge" -> Some Ge
+  | _ -> None
+
+(* Number of 32-bit words a statement expands to. *)
+let words_of_instr line m ops =
+  match m with
+  | "li" -> (
+    match ops with
+    | [ _; imm ] -> (
+      match parse_int imm with
+      | Some v -> if Types.imm14_fits v then 1 else 2
+      | None -> fail line "li needs an integer literal, got %S" imm)
+    | _ -> fail line "li takes 2 operands")
+  | "la" -> 2
+  | _ -> 1
+
+let norm32 v = v land 0xFFFFFFFF
+
+(* Expands one statement to instructions.  [pc] is the byte address of
+   the first emitted word; [lookup] resolves labels. *)
+let emit line lookup pc m ops =
+  let reg = parse_reg line in
+  let int_of s =
+    match parse_int s with Some v -> v | None -> fail line "bad integer %S" s
+  in
+  let target s =
+    match parse_int s with
+    | Some off -> off
+    | None -> (
+      match lookup s with
+      | Some addr ->
+        let delta = addr - (pc + 4) in
+        if delta mod 4 <> 0 then fail line "unaligned target %S" s
+        else delta / 4
+      | None -> fail line "undefined label %S" s)
+  in
+  let check i =
+    match Types.validate i with
+    | Ok () -> i
+    | Error msg -> fail line "%s" msg
+  in
+  (* The 1-vs-2-word decision must match [words_of_instr] exactly, so
+     both test the raw literal. *)
+  let load_imm rd v =
+    if Types.imm14_fits v then [ check (Types.Alui (Add, rd, Types.r0, v)) ]
+    else
+      let v = norm32 v in
+      [
+        check (Types.Lui (rd, (v lsr 14) land 0x3FFFF));
+        check (Types.Alui (Or, rd, rd, v land 0x3FFF));
+      ]
+  in
+  match (m, ops) with
+  (* Pseudo-instructions *)
+  | "nop", [] -> [ Types.Alui (Add, Types.r0, Types.r0, 0) ]
+  | "mov", [ rd; rs ] -> [ check (Types.Alui (Add, reg rd, reg rs, 0)) ]
+  | "li", [ rd; imm ] -> load_imm (reg rd) (int_of imm)
+  | "la", [ rd; label ] -> (
+    match lookup label with
+    | Some addr ->
+      let rd = reg rd in
+      [
+        check (Types.Lui (rd, (addr lsr 14) land 0x3FFFF));
+        check (Types.Alui (Or, rd, rd, addr land 0x3FFF));
+      ]
+    | None -> fail line "undefined label %S" label)
+  | "j", [ t ] -> [ check (Types.Jal (Types.r0, target t)) ]
+  | "call", [ t ] -> [ check (Types.Jal (Types.ra, target t)) ]
+  | "ret", [] -> [ Types.Jalr (Types.r0, Types.ra, 0) ]
+  | "ble", [ rs1; rs2; t ] ->
+    [ check (Types.Branch (Ge, reg rs2, reg rs1, target t)) ]
+  | "bgt", [ rs1; rs2; t ] ->
+    [ check (Types.Branch (Lt, reg rs2, reg rs1, target t)) ]
+  | "halt", [] -> [ Types.Halt ]
+  (* Real instructions *)
+  | "lui", [ rd; imm ] -> [ check (Types.Lui (reg rd, int_of imm)) ]
+  | "lw", [ rd; mem ] ->
+    let off, base = parse_mem line mem in
+    [ check (Types.Load (W32, reg rd, base, off)) ]
+  | "lb", [ rd; mem ] ->
+    let off, base = parse_mem line mem in
+    [ check (Types.Load (W8, reg rd, base, off)) ]
+  | "sw", [ rs; mem ] ->
+    let off, base = parse_mem line mem in
+    [ check (Types.Store (W32, reg rs, base, off)) ]
+  | "sb", [ rs; mem ] ->
+    let off, base = parse_mem line mem in
+    [ check (Types.Store (W8, reg rs, base, off)) ]
+  | "jal", [ t ] -> [ check (Types.Jal (Types.ra, target t)) ]
+  | "jal", [ rd; t ] -> [ check (Types.Jal (reg rd, target t)) ]
+  | "jalr", [ rd; rs1; off ] ->
+    [ check (Types.Jalr (reg rd, reg rs1, int_of off)) ]
+  | _ -> (
+    match (alu_of_mnemonic m, cond_of_mnemonic m, ops) with
+    | Some op, _, [ rd; rs1; rs2 ] ->
+      [ check (Types.Alu (op, reg rd, reg rs1, reg rs2)) ]
+    | _, Some c, [ rs1; rs2; t ] ->
+      [ check (Types.Branch (c, reg rs1, reg rs2, target t)) ]
+    | _ -> (
+      (* "<op>i" immediate forms *)
+      let n = String.length m in
+      if n > 1 && m.[n - 1] = 'i' then
+        match (alu_of_mnemonic (String.sub m 0 (n - 1)), ops) with
+        | Some op, [ rd; rs1; imm ] ->
+          [ check (Types.Alui (op, reg rd, reg rs1, int_of imm)) ]
+        | Some _, _ -> fail line "%s takes 3 operands" m
+        | None, _ -> fail line "unknown mnemonic %S" m
+      else fail line "unknown mnemonic %S or wrong operand count" m))
+
+(* ------------------------------------------------------------------ *)
+(* Passes                                                              *)
+
+let assemble_exn text =
+  let src = parse_source text in
+  (* Pass 1: addresses and symbols. *)
+  let symbols = Hashtbl.create 64 in
+  let pc = ref 0 in
+  List.iter
+    (fun { num; labels; stmt } ->
+      List.iter
+        (fun label ->
+          if Hashtbl.mem symbols label then fail num "duplicate label %S" label;
+          Hashtbl.add symbols label !pc)
+        labels;
+      match stmt with
+      | Some (S_instr (m, ops)) -> pc := !pc + (4 * words_of_instr num m ops)
+      | Some (S_data_at _) | Some (S_data_word _) | None -> ())
+    src;
+  (* Pass 2: emission. *)
+  let lookup name = Hashtbl.find_opt symbols name in
+  let instrs = ref [] in
+  let data = ref [] in
+  let data_cursor = ref 0 in
+  let pc = ref 0 in
+  List.iter
+    (fun { num; labels = _; stmt } ->
+      match stmt with
+      | None -> ()
+      | Some (S_data_at a) -> data_cursor := a
+      | Some (S_data_word v) ->
+        data := (!data_cursor, norm32 v) :: !data;
+        data_cursor := !data_cursor + 4
+      | Some (S_instr (m, ops)) ->
+        let emitted = emit num lookup !pc m ops in
+        List.iter (fun i -> instrs := i :: !instrs) emitted;
+        pc := !pc + (4 * List.length emitted))
+    src;
+  let instrs = Array.of_list (List.rev !instrs) in
+  let symbols =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) symbols []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  {
+    Program.instrs;
+    image = Encoding.encode_program instrs;
+    symbols;
+    data = List.rev !data;
+  }
+
+let assemble text =
+  match assemble_exn text with
+  | p -> Ok p
+  | exception Error e -> Error e
+
+let parse_line s =
+  let run () =
+    let s = trim (strip_comment s) in
+    if s = "" then None
+    else
+      let m, ops = split_operands s in
+      match emit 1 (fun _ -> None) 0 m ops with
+      | [ i ] -> Some i
+      | _ :: _ :: _ -> None (* multi-word pseudo: not a single instruction *)
+      | [] -> None
+  in
+  match run () with
+  | v -> Ok v
+  | exception Error e -> Result.Error e.message

@@ -1,0 +1,45 @@
+(** Two-pass textual assembler for ERIS-32.
+
+    Syntax overview (one statement per line; [;], [#] and [//] start
+    comments):
+
+    {v
+    loop:                       ; labels end with ':'
+      add   r1, r2, r3          ; register ALU ops: add sub and or xor
+      addi  r1, r2, -5          ;   sll srl sra slt mul (+ 'i' forms)
+      lui   r4, 0x3FF
+      lw    r5, 8(sp)           ; lw lb sw sb
+      sw    r5, 0(r6)
+      beq   r1, r0, done        ; beq bne blt bge, target label or imm
+      jal   ra, func            ; 'jal func' defaults rd to ra
+      jalr  r0, ra, 0
+      halt
+
+      nop                       ; pseudo-instructions
+      mov   r1, r2              ;   -> addi r1, r2, 0
+      li    r1, 0x12345678      ;   -> addi / lui+ori (1 or 2 words)
+      j     loop                ;   -> jal r0, loop
+      call  func                ;   -> jal ra, func
+      ret                       ;   -> jalr r0, ra, 0
+      ble   r1, r2, done        ;   -> bge r2, r1, done
+      bgt   r1, r2, done        ;   -> blt r2, r1, done
+
+    .data 0x100                 ; set data-preload cursor (byte address)
+    .dw   42                    ; preload one data word, cursor += 4
+    v} *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+exception Error of error
+
+val assemble : string -> (Program.t, error) result
+(** Assembles a full source text. *)
+
+val assemble_exn : string -> Program.t
+(** @raise Error on any syntax, range or symbol problem. *)
+
+val parse_line : string -> (Types.instruction option, string) result
+(** Parses a single statement with no label references (used by tests
+    and the REPL-ish tooling); [Ok None] for blank lines. *)

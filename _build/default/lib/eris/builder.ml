@@ -1,0 +1,65 @@
+type item =
+  | Literal of Types.instruction
+  | Branch_to of Types.cond * Types.reg * Types.reg * string
+  | Jump_to of Types.reg * string
+
+type t = {
+  mutable rev_items : item list;
+  mutable count : int;
+  labels : (string, int) Hashtbl.t;  (* label -> instruction index *)
+  mutable next_label : int;
+}
+
+let create () =
+  { rev_items = []; count = 0; labels = Hashtbl.create 16; next_label = 0 }
+
+let fresh_label t =
+  let l = Printf.sprintf "L%d" t.next_label in
+  t.next_label <- t.next_label + 1;
+  l
+
+let place t label =
+  if Hashtbl.mem t.labels label then
+    invalid_arg (Printf.sprintf "Eris.Builder.place: label %S placed twice" label);
+  Hashtbl.replace t.labels label t.count
+
+let push t item =
+  t.rev_items <- item :: t.rev_items;
+  t.count <- t.count + 1
+
+let emit t i = push t (Literal i)
+let branch_to t c rs1 rs2 label = push t (Branch_to (c, rs1, rs2, label))
+let jump_to t label = push t (Jump_to (Types.r0, label))
+let call_to t label = push t (Jump_to (Types.ra, label))
+let halt t = emit t Types.Halt
+let position t = 4 * t.count
+
+let to_program t =
+  let resolve label =
+    match Hashtbl.find_opt t.labels label with
+    | Some idx -> idx
+    | None ->
+      invalid_arg (Printf.sprintf "Eris.Builder.to_program: unplaced label %S" label)
+  in
+  let items = Array.of_list (List.rev t.rev_items) in
+  let check i =
+    match Types.validate i with
+    | Ok () -> i
+    | Error msg -> invalid_arg ("Eris.Builder.to_program: " ^ msg)
+  in
+  let instrs =
+    Array.mapi
+      (fun idx item ->
+        match item with
+        | Literal i -> check i
+        | Branch_to (c, rs1, rs2, label) ->
+          check (Types.Branch (c, rs1, rs2, resolve label - idx - 1))
+        | Jump_to (rd, label) ->
+          check (Types.Jal (rd, resolve label - idx - 1)))
+      items
+  in
+  let symbols =
+    Hashtbl.fold (fun name idx acc -> (name, 4 * idx) :: acc) t.labels []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  Program.of_instructions ~symbols instrs

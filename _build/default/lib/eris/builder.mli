@@ -1,0 +1,37 @@
+(** Programmatic construction of ERIS-32 programs: an imperative
+    emitter with symbolic labels, resolved on {!to_program}. Used where
+    generating assembly text would be roundabout — program generators
+    in tests, JIT-style experiment drivers. *)
+
+type t
+
+val create : unit -> t
+
+val fresh_label : t -> string
+(** A new unique label (not yet placed). *)
+
+val place : t -> string -> unit
+(** Binds a label to the current position.
+    @raise Invalid_argument if already placed. *)
+
+val emit : t -> Types.instruction -> unit
+(** Appends a literal instruction (no label resolution). *)
+
+val branch_to : t -> Types.cond -> Types.reg -> Types.reg -> string -> unit
+(** Conditional branch to a label. *)
+
+val jump_to : t -> string -> unit
+(** [jal r0] to a label. *)
+
+val call_to : t -> string -> unit
+(** [jal ra] to a label. *)
+
+val halt : t -> unit
+
+val position : t -> int
+(** Byte address of the next emitted instruction. *)
+
+val to_program : t -> Program.t
+(** Resolves all label references.
+    @raise Invalid_argument on unplaced labels or out-of-range
+    offsets. *)

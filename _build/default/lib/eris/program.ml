@@ -1,0 +1,39 @@
+type t = {
+  instrs : Types.instruction array;
+  image : bytes;
+  symbols : (string * int) list;
+  data : (int * int) list;
+}
+
+let of_instructions ?(symbols = []) instrs =
+  { instrs; image = Encoding.encode_program instrs; symbols; data = [] }
+
+let length p = Array.length p.instrs
+let byte_size p = Bytes.length p.image
+
+let instr_at p addr =
+  if addr < 0 || addr >= byte_size p || addr mod 4 <> 0 then
+    invalid_arg (Printf.sprintf "Eris.Program.instr_at: bad address %d" addr);
+  p.instrs.(addr / 4)
+
+let address_of_symbol p name = List.assoc_opt name p.symbols
+
+let symbol_at p addr =
+  List.fold_left
+    (fun acc (name, a) -> if a = addr then Some name else acc)
+    None p.symbols
+
+let slice_bytes p ~lo ~hi =
+  if lo < 0 || hi > byte_size p || lo > hi then
+    invalid_arg "Eris.Program.slice_bytes";
+  Bytes.sub p.image lo (hi - lo)
+
+let pp_listing ppf p =
+  Array.iteri
+    (fun i ins ->
+      let addr = i * 4 in
+      (match symbol_at p addr with
+      | Some s -> Format.fprintf ppf "%s:@." s
+      | None -> ());
+      Format.fprintf ppf "  %04x:  %a@." addr Types.pp ins)
+    p.instrs

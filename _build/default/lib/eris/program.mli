@@ -1,0 +1,36 @@
+(** An assembled ERIS-32 program: instruction image plus symbol table. *)
+
+type t = {
+  instrs : Types.instruction array;  (** decoded instruction image *)
+  image : bytes;  (** binary encoding, 4 bytes per instruction *)
+  symbols : (string * int) list;
+      (** label -> byte address, in address order *)
+  data : (int * int) list;
+      (** initial data-memory contents: (byte address, word value) pairs
+          accumulated from [.data]/[.word] directives *)
+}
+
+val of_instructions : ?symbols:(string * int) list -> Types.instruction array -> t
+(** Builds a program from raw instructions (no data preload). *)
+
+val length : t -> int
+(** Number of instructions. *)
+
+val byte_size : t -> int
+(** Size of the instruction image in bytes. *)
+
+val instr_at : t -> int -> Types.instruction
+(** [instr_at p addr] is the instruction at byte address [addr].
+    @raise Invalid_argument if [addr] is out of range or unaligned. *)
+
+val address_of_symbol : t -> string -> int option
+
+val symbol_at : t -> int -> string option
+(** Reverse symbol lookup (exact address match). *)
+
+val slice_bytes : t -> lo:int -> hi:int -> bytes
+(** [slice_bytes p ~lo ~hi] is the image bytes for addresses
+    [lo] (inclusive) to [hi] (exclusive). *)
+
+val pp_listing : Format.formatter -> t -> unit
+(** Disassembly listing with addresses and symbols. *)

@@ -1,0 +1,1 @@
+lib/experiments/adaptive_exp.ml: Core List Report Util

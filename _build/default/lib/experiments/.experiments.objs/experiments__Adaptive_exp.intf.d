@@ -1,0 +1,1 @@
+lib/experiments/adaptive_exp.mli: Core Report

@@ -1,0 +1,1 @@
+lib/experiments/budget_exp.ml: Core List Printf Report Util

@@ -1,0 +1,1 @@
+lib/experiments/budget_exp.mli: Core Report

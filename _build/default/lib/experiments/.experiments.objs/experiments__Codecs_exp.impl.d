@@ -1,0 +1,1 @@
+lib/experiments/codecs_exp.ml: Array Bytes Cfg Compress Core Eris List Report Util

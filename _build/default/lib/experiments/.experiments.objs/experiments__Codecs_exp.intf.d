@@ -1,0 +1,1 @@
+lib/experiments/codecs_exp.mli: Compress Core Report

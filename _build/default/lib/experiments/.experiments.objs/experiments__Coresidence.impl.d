@@ -1,0 +1,1 @@
+lib/experiments/coresidence.ml: Array Core List Printf Report Util

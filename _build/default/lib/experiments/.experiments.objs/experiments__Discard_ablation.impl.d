@@ -1,0 +1,1 @@
+lib/experiments/discard_ablation.ml: Array Core Hashtbl List Memsim Report Util

@@ -1,0 +1,1 @@
+lib/experiments/discard_ablation.mli: Core Report

@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Core List Paper_figures Printf Report Util

@@ -1,0 +1,1 @@
+lib/experiments/fig3.ml: Array Cfg Core List Paper_figures Printf Report String

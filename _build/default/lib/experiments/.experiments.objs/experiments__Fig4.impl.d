@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Core Hashtbl List Paper_figures Printf Report Util

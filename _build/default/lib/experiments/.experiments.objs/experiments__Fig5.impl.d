@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Core List Memsim Paper_figures Printf Report String

@@ -1,0 +1,1 @@
+lib/experiments/granularity_exp.ml: Baselines Core List Report Util

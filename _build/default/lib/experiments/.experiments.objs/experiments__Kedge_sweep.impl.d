@@ -1,0 +1,1 @@
+lib/experiments/kedge_sweep.ml: Core List Report Util

@@ -1,0 +1,1 @@
+lib/experiments/kedge_sweep.mli: Core Report

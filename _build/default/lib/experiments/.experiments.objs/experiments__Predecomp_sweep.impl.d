@@ -1,0 +1,1 @@
+lib/experiments/predecomp_sweep.ml: Core List Printf Report Util

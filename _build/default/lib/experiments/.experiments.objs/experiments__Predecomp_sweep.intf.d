@@ -1,0 +1,1 @@
+lib/experiments/predecomp_sweep.mli: Report

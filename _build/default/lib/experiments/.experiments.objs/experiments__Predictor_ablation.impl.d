@@ -1,0 +1,1 @@
+lib/experiments/predictor_ablation.ml: Core List Printf Report Util

@@ -1,0 +1,1 @@
+lib/experiments/predictor_ablation.mli: Core Report

@@ -1,0 +1,1 @@
+lib/experiments/strategy_compare.ml: Core List Printf Report Util

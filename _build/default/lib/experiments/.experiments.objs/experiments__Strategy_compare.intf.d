@@ -1,0 +1,1 @@
+lib/experiments/strategy_compare.mli: Core Report

@@ -1,0 +1,1 @@
+lib/experiments/validation.ml: Core Eris List Printf Report Runtime Util Workloads

@@ -1,0 +1,50 @@
+let metrics_for sc =
+  let g = sc.Core.Scenario.graph in
+  let policies =
+    [
+      ("fixed k=4", Core.Policy.on_demand ~k:4);
+      ("fixed k=8", Core.Policy.on_demand ~k:8);
+      ("fixed k=16", Core.Policy.on_demand ~k:16);
+      ( "loop-aware",
+        Core.Policy.make ~compress_k:4 ~adaptive_k:(Core.Adaptive.loop_aware g)
+          () );
+      ( "reuse-aware",
+        Core.Policy.make ~compress_k:4
+          ~adaptive_k:(Core.Adaptive.reuse_aware g sc.Core.Scenario.trace)
+          () );
+    ]
+  in
+  List.map (fun (name, p) -> (name, Util.run sc p)) policies
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        "E14 (extension): fixed vs. per-block adaptive k, on-demand \
+         decompression"
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("k policy", Report.Table.Left);
+          ("overhead", Report.Table.Right);
+          ("avg mem saving", Report.Table.Right);
+          ("peak mem saving", Report.Table.Right);
+          ("demand decs", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (name, m) ->
+          Report.Table.add_row t
+            [
+              sc.Core.Scenario.name;
+              name;
+              Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+              Report.Table.fmt_pct (Core.Metrics.avg_memory_saving m);
+              Report.Table.fmt_pct (Core.Metrics.peak_memory_saving m);
+              string_of_int m.Core.Metrics.demand_decompressions;
+            ])
+        (metrics_for sc))
+    (Util.scenarios ());
+  t

@@ -1,0 +1,11 @@
+(** E14 — extension: per-block adaptive k. The paper's §3 tradeoff
+    discussion implies the best k differs per block ("blocks with
+    high temporal reuse" want a large k); this experiment compares
+    fixed k against the structure-derived ({!Core.Adaptive.loop_aware})
+    and profile-derived ({!Core.Adaptive.reuse_aware}) per-block
+    choices. *)
+
+val run : unit -> Report.Table.t
+
+val metrics_for : Core.Scenario.t -> (string * Core.Metrics.t) list
+(** fixed k=4 / k=8 / k=16, loop-aware, reuse-aware. *)

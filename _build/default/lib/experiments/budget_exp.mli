@@ -1,0 +1,13 @@
+(** E10 — the §2 budgeted variant: a hard cap on the decompressed
+    area with LRU eviction. Overhead stays flat until the budget
+    drops below the hot working set, then climbs steeply. *)
+
+val workload_names : string list
+
+val fractions : float list
+(** Budget as a fraction of the unbudgeted run's peak decompressed
+    bytes. *)
+
+val run : unit -> Report.Table.t
+
+val series : Core.Scenario.t -> (float * Core.Metrics.t) list

@@ -1,0 +1,66 @@
+let block_bytes (sc : Core.Scenario.t) =
+  match sc.program with
+  | Some prog ->
+    Array.to_list
+      (Array.map
+         (fun (b : Cfg.Graph.block) ->
+           Eris.Program.slice_bytes prog ~lo:b.addr ~hi:(b.addr + b.byte_size))
+         (Cfg.Graph.blocks sc.graph))
+  | None ->
+    Array.to_list
+      (Array.map
+         (fun (b : Cfg.Graph.block) ->
+           Core.Scenario.synthetic_block_bytes ~id:b.id ~size:b.byte_size)
+         (Cfg.Graph.blocks sc.graph))
+
+let corpus sc =
+  let blocks = block_bytes sc in
+  Bytes.concat Bytes.empty blocks
+
+let codecs_for sc =
+  Compress.Registry.all () @ Compress.Registry.shared_all ~corpus:(corpus sc)
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:"E12: codec comparison on basic-block code bytes"
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("codec", Report.Table.Left);
+          ("ratio", Report.Table.Right);
+          ("best block", Report.Table.Right);
+          ("worst block", Report.Table.Right);
+          ("avg dec cycles/block", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun sc ->
+      let blocks = block_bytes sc in
+      List.iter
+        (fun codec ->
+          let stats = Compress.Stats.measure codec blocks in
+          let config = Core.Config.of_codec codec in
+          let avg_dec =
+            if stats.Compress.Stats.blocks = 0 then 0.0
+            else
+              float_of_int
+                (Core.Config.dec_cycles config
+                   ~compressed_bytes:
+                     (stats.Compress.Stats.compressed_bytes
+                    / stats.Compress.Stats.blocks))
+          in
+          Report.Table.add_row t
+            [
+              sc.Core.Scenario.name;
+              codec.Compress.Codec.name;
+              Report.Table.fmt_float ~decimals:3 stats.Compress.Stats.ratio;
+              Report.Table.fmt_float ~decimals:3
+                stats.Compress.Stats.best_block_ratio;
+              Report.Table.fmt_float ~decimals:3
+                stats.Compress.Stats.worst_block_ratio;
+              Report.Table.fmt_float ~decimals:0 avg_dec;
+            ])
+        (codecs_for sc))
+    (Util.scenarios ());
+  t

@@ -1,0 +1,91 @@
+type pair_result = {
+  a : string;
+  b : string;
+  uncompressed : int;
+  decompress_once : int;
+  kedge : int;
+  kedge_avg : float;
+  saving_vs_uncompressed : float;
+  avg_saving_vs_uncompressed : float;
+}
+
+let compress_k = 4
+
+let workload_pairs =
+  [
+    ("fsm", "dijkstra");
+    ("adpcm", "dct");
+    ("matmul", "qsort");
+    ("crc32", "strsearch");
+    ("fir", "histogram");
+    ("rotmix", "bsort");
+  ]
+
+let footprints sc =
+  let original =
+    Array.fold_left
+      (fun acc (i : Core.Engine.block_info) -> acc + i.uncompressed_bytes)
+      0 sc.Core.Scenario.info
+  in
+  let once = Util.run sc Core.Policy.never_compress in
+  let kedge = Util.run sc (Core.Policy.on_demand ~k:compress_k) in
+  ( original,
+    once.Core.Metrics.peak_footprint_bytes,
+    kedge.Core.Metrics.peak_footprint_bytes,
+    kedge.Core.Metrics.avg_footprint_bytes )
+
+let pairs () =
+  List.map
+    (fun (a, b) ->
+      let oa, da, ka, va = footprints (Util.scenario a) in
+      let ob, db, kb, vb = footprints (Util.scenario b) in
+      let uncompressed = oa + ob in
+      let kedge = ka + kb in
+      let kedge_avg = va +. vb in
+      {
+        a;
+        b;
+        uncompressed;
+        decompress_once = da + db;
+        kedge;
+        kedge_avg;
+        saving_vs_uncompressed =
+          1.0 -. (float_of_int kedge /. float_of_int uncompressed);
+        avg_saving_vs_uncompressed =
+          1.0 -. (kedge_avg /. float_of_int uncompressed);
+      })
+    workload_pairs
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "E15 (extension): co-resident applications sharing one code \
+            memory - worst-case combined peak footprints (k=%d)"
+           compress_k)
+      ~columns:
+        [
+          ("pair", Report.Table.Left);
+          ("uncompressed", Report.Table.Right);
+          ("decompress-once", Report.Table.Right);
+          ("k-edge peak", Report.Table.Right);
+          ("k-edge avg", Report.Table.Right);
+          ("peak saving", Report.Table.Right);
+          ("avg saving", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Report.Table.add_row t
+        [
+          r.a ^ " + " ^ r.b;
+          string_of_int r.uncompressed;
+          string_of_int r.decompress_once;
+          string_of_int r.kedge;
+          Report.Table.fmt_float ~decimals:0 r.kedge_avg;
+          Report.Table.fmt_pct r.saving_vs_uncompressed;
+          Report.Table.fmt_pct r.avg_saving_vs_uncompressed;
+        ])
+    (pairs ());
+  t

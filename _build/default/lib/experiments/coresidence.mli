@@ -1,0 +1,22 @@
+(** E15 — the paper's motivating claim (§1): "the executable code
+    occupies less memory space at a given time, and the saved space
+    can be used by some other (concurrently executing) applications."
+
+    For pairs of workloads sharing one code memory, compares the
+    worst-case combined footprint of: both images uncompressed, both
+    under decompress-once, and both under the k-edge policy. *)
+
+val run : unit -> Report.Table.t
+
+type pair_result = {
+  a : string;
+  b : string;
+  uncompressed : int;  (** sum of original images *)
+  decompress_once : int;  (** sum of per-run peak footprints *)
+  kedge : int;  (** worst-case: both peaks coincide *)
+  kedge_avg : float;  (** time-average combined footprint *)
+  saving_vs_uncompressed : float;
+  avg_saving_vs_uncompressed : float;
+}
+
+val pairs : unit -> pair_result list

@@ -1,0 +1,12 @@
+(** E9 — the §5 implementation choice: [Discard] (keep compressed
+    originals in place, delete decompressed copies; no background
+    compression work, no compressed-area fragmentation) versus
+    [Recompress] (the §3 narrative with a real compression thread).
+    Also replays each run's allocation sequence against a tight
+    first-fit heap to measure decompressed-area fragmentation. *)
+
+val run : unit -> Report.Table.t
+
+val fragmentation : Core.Scenario.t -> Core.Policy.t -> float * int
+(** [(max external fragmentation, allocation failures)] when replaying
+    the run's allocations in a heap sized to the observed peak. *)

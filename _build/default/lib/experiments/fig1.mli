@@ -1,0 +1,11 @@
+(** E1 — Figure 1: with k = 2, after visiting B1 and traversing edges
+    a (B1->B3) and b (B3->B4), the k-edge algorithm compresses B1 just
+    before execution enters B4. The table is the engine's event log;
+    the [verdict] row checks the discard of B1 happens exactly on the
+    edge into B4. *)
+
+val run : unit -> Report.Table.t
+
+val holds : unit -> bool
+(** The property the figure illustrates, as a boolean (used by the
+    test suite). *)

@@ -1,0 +1,8 @@
+(** E2 — Figure 2: with pre-decompression distance k = 3, basic block
+    B7 (3 edges from B1's exit in the reconstruction: B1->B3->B6->B7)
+    is pre-decompressed at the moment the execution thread exits B1. *)
+
+val run : unit -> Report.Table.t
+
+val holds : unit -> bool
+(** B7's prefetch is issued when B1 finishes, before B3 executes. *)

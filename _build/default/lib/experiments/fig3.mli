@@ -1,0 +1,17 @@
+(** E3 — Figure 3 and the §4 example: the decompression design space.
+    With the execution thread just leaving B0, lookahead k = 2 and a
+    set of compressed blocks, pre-decompress-all decompresses every
+    compressed block within 2 edges while pre-decompress-single picks
+    only the predicted one.
+
+    The paper's example lists B4, B5, B8, B9 as compressed; in our
+    Figure-2 reconstruction B8 and B9 lie 3 edges from B0, so the
+    within-2 candidates are B4 and B5 (documented deviation). *)
+
+val run : unit -> Report.Table.t
+
+val pre_all_set : unit -> int list
+(** The blocks pre-decompress-all would decompress. *)
+
+val pre_single_choice : unit -> int option
+(** The single block the profile predictor picks. *)

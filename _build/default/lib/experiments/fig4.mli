@@ -1,0 +1,12 @@
+(** E4 — Figure 4: the cooperation of the three threads. Replays a
+    path through the Figure 2 CFG under pre-decompress-all with
+    [Recompress] mode and renders the event log as a per-thread
+    timeline: the decompression thread issues ahead of the execution
+    thread, the compression thread retires blocks behind it, and the
+    k parameters control the distances. *)
+
+val run : unit -> Report.Table.t
+
+val holds : unit -> bool
+(** Every prefetch is issued before its block executes, and every
+    recompression is queued after its block's last execution. *)

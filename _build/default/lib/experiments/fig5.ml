@@ -1,0 +1,123 @@
+type step = { label : string; action : string }
+
+type outcome = {
+  steps : (step * string) list;  (* snapshot summary per step *)
+  final_ok : bool;
+}
+
+let summary layout =
+  let resident = ref [] in
+  for b = Memsim.Layout.num_blocks layout - 1 downto 0 do
+    if Memsim.Layout.resident layout b then resident := b :: !resident
+  done;
+  Printf.sprintf "resident: {%s}; decompressed %dB; footprint %dB"
+    (String.concat ", " (List.map (Printf.sprintf "B%d'") !resident))
+    (Memsim.Layout.decompressed_bytes layout)
+    (Memsim.Layout.footprint layout)
+
+let replay () =
+  let g = Paper_figures.fig5 () in
+  let sc = Paper_figures.scenario ~name:"fig5" g ~trace:Paper_figures.fig5_trace in
+  let csizes = Array.map (fun i -> i.Core.Engine.compressed_bytes) sc.info in
+  let usizes = Array.map (fun i -> i.Core.Engine.uncompressed_bytes) sc.info in
+  let layout =
+    Memsim.Layout.create ~compressed_sizes:csizes ~uncompressed_sizes:usizes ()
+  in
+  let kedge = Core.Kedge.create ~blocks:4 ~k:2 () in
+  let steps = ref [] in
+  let patched_back = ref 0 in
+  let snap label action =
+    steps := ({ label; action }, summary layout) :: !steps
+  in
+  snap "(1)" "initial image: all blocks compressed, PC at B0";
+  (* Replay the trace against the layout, §5 narrative. *)
+  let trace = Paper_figures.fig5_trace in
+  let stepno = ref 1 in
+  Array.iteri
+    (fun i b ->
+      let describe = ref [] in
+      let note s = describe := s :: !describe in
+      (* k-edge deletions on this edge traversal. *)
+      if i > 0 then
+        List.iter
+          (fun d ->
+            if d <> b && Memsim.Layout.resident layout d then begin
+              let patches = Memsim.Layout.discard layout d in
+              patched_back := !patched_back + patches;
+              Core.Kedge.untrack kedge ~block:d;
+              note
+                (Printf.sprintf "delete B%d' (%d branch sites patched back)" d
+                   patches)
+            end)
+          (Core.Kedge.due kedge ~step:i);
+      (* Arrival. *)
+      (if Memsim.Layout.resident layout b then begin
+         match i with
+         | 0 -> ()
+         | _ ->
+           let site = trace.(i - 1) in
+           if Memsim.Layout.record_branch layout ~target:b ~site then
+             note
+               (Printf.sprintf
+                  "exception; handler patches branch in B%d' to B%d'" site b)
+           else note (Printf.sprintf "direct branch to B%d', no exception" b)
+       end
+       else begin
+         (match Memsim.Layout.decompress layout b with
+         | Ok _ -> ()
+         | Error `No_space -> failwith "fig5: unexpected allocation failure");
+         note (Printf.sprintf "exception; decompress B%d into B%d'" b b);
+         if i > 0 then begin
+           let site = trace.(i - 1) in
+           if Memsim.Layout.record_branch layout ~target:b ~site then
+             note (Printf.sprintf "patch branch in B%d' to B%d'" site b)
+         end
+       end);
+      Core.Kedge.track kedge ~block:b ~step:i;
+      incr stepno;
+      snap
+        (Printf.sprintf "(%d)" !stepno)
+        (Printf.sprintf "execute B%d: %s" b
+           (String.concat "; " (List.rev !describe))))
+    trace;
+  let final_ok =
+    (not (Memsim.Layout.resident layout 0))
+    && Memsim.Layout.resident layout 1
+    && Memsim.Layout.resident layout 3
+    && (not (Memsim.Layout.resident layout 2))
+    && !patched_back = 1
+    && Memsim.Layout.compressed_area_bytes layout
+       = Array.fold_left ( + ) 0 csizes
+  in
+  { steps = List.rev !steps; final_ok }
+
+let holds () = (replay ()).final_ok
+
+let run () =
+  let { steps; final_ok } = replay () in
+  let t =
+    Report.Table.create
+      ~title:
+        "E5 / Figure 5: memory image over the access pattern B0, B1, B0, \
+         B1, B3 (k=2)"
+      ~columns:
+        [
+          ("step", Report.Table.Left);
+          ("action", Report.Table.Left);
+          ("memory state", Report.Table.Left);
+        ]
+  in
+  List.iter
+    (fun ({ label; action }, state) ->
+      Report.Table.add_row t [ label; action; state ])
+    steps;
+  Report.Table.add_row t
+    [
+      "";
+      Printf.sprintf
+        "verdict: final residents {B1', B3'}, B0' deleted with 1 patch-back \
+         = %b"
+        final_ok;
+      "";
+    ];
+  t

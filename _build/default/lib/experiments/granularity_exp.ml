@@ -1,0 +1,32 @@
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        "E11: granularity / scheme comparison (k=8 where applicable); \
+         footprints in bytes, lower is better"
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("scheme", Report.Table.Left);
+          ("peak footprint", Report.Table.Right);
+          ("avg footprint", Report.Table.Right);
+          ("overhead", Report.Table.Right);
+          ("notes", Report.Table.Left);
+        ]
+  in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (r : Baselines.Comparison.row) ->
+          Report.Table.add_row t
+            [
+              sc.Core.Scenario.name;
+              r.scheme;
+              string_of_int r.peak_footprint;
+              Report.Table.fmt_float ~decimals:0 r.avg_footprint;
+              Report.Table.fmt_pct r.overhead;
+              r.notes;
+            ])
+        (Baselines.Comparison.rows sc))
+    (Util.scenarios ());
+  t

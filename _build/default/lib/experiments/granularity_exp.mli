@@ -1,0 +1,6 @@
+(** E11 — the §6 comparison: compression granularity and scheme.
+    Basic-block granularity (the paper's contribution) against
+    procedure-granularity (Debray–Evans / Kirovski), whole-image
+    compression, static cold-code compression, and no compression. *)
+
+val run : unit -> Report.Table.t

@@ -1,0 +1,39 @@
+let ks = [ 1; 2; 4; 8; 16; 32 ]
+
+let series sc =
+  List.map (fun k -> (k, Util.run sc (Core.Policy.on_demand ~k))) ks
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        "E6: k-edge compression sweep (on-demand decompression) - memory \
+         vs. performance tradeoff"
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("k", Report.Table.Right);
+          ("overhead", Report.Table.Right);
+          ("peak mem saving", Report.Table.Right);
+          ("avg mem saving", Report.Table.Right);
+          ("demand decs", Report.Table.Right);
+          ("discards", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (k, m) ->
+          Report.Table.add_row t
+            [
+              sc.Core.Scenario.name;
+              string_of_int k;
+              Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+              Report.Table.fmt_pct (Core.Metrics.peak_memory_saving m);
+              Report.Table.fmt_pct (Core.Metrics.avg_memory_saving m);
+              string_of_int m.Core.Metrics.demand_decompressions;
+              string_of_int m.Core.Metrics.discards;
+            ])
+        (series sc))
+    (Util.scenarios ());
+  t

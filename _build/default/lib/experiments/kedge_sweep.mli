@@ -1,0 +1,13 @@
+(** E6 — the §3 tradeoff: sweeping the compression parameter k under
+    on-demand decompression, per workload. Small k compresses
+    aggressively (low memory, high overhead from re-decompressions of
+    blocks with temporal reuse); large k converges to
+    decompress-once. *)
+
+val ks : int list
+
+val run : unit -> Report.Table.t
+
+val series : Core.Scenario.t -> (int * Core.Metrics.t) list
+(** [(k, metrics)] for one scenario (used by tests to assert
+    monotone-ish shape). *)

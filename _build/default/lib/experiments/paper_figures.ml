@@ -1,0 +1,30 @@
+let fig1 () =
+  Cfg.Graph.synthetic ~block_bytes:64 6
+    [
+      (0, 1); (0, 2);  (* entry split *)
+      (1, 3); (2, 3);  (* join at B3 *)
+      (3, 4); (3, 5);  (* split *)
+      (4, 1);          (* back edge: loop {B1, B3, B4} *)
+      (4, 5);
+      (5, 2);          (* back edge: loop {B2, B3, B5} *)
+    ]
+
+let fig1_trace = [| 0; 1; 3; 4 |]
+
+let fig2 () =
+  Cfg.Graph.synthetic ~block_bytes:64 10
+    [
+      (0, 1); (0, 2);
+      (1, 3); (1, 4);
+      (2, 4); (2, 5);
+      (3, 6); (4, 6); (5, 6);
+      (6, 7); (6, 8);
+      (7, 9); (8, 9);
+    ]
+
+let fig5 () =
+  Cfg.Graph.synthetic ~block_bytes:64 4 [ (0, 1); (1, 0); (1, 2); (1, 3); (2, 3) ]
+
+let fig5_trace = [| 0; 1; 0; 1; 3 |]
+
+let scenario ?(name = "figure") g ~trace = Core.Scenario.of_graph ~name g ~trace

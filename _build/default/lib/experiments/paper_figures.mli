@@ -1,0 +1,30 @@
+(** The CFG fragments of the paper's figures.
+
+    Figure 1 is fully specified by its text; Figure 2's exact topology
+    is not recoverable from the paper, so we use a reconstruction that
+    satisfies both statements made about it: (i) from the end of B1 to
+    the beginning of B7 at most 3 edges must be traversed, and (ii)
+    several of the blocks named in the §4 example (B4, B5) lie within
+    2 edges of B0's exit. The parts of the §4 example that depended on
+    the unrecoverable part of the topology (B8, B9 within 2 edges) are
+    adapted accordingly and noted in EXPERIMENTS.md. *)
+
+val fig1 : unit -> Cfg.Graph.t
+(** 6 blocks, two natural loops; edge [a] is B1->B3 and [b] is
+    B3->B4. *)
+
+val fig1_trace : int array
+(** B0, B1 (left branch), then edges a and b into B4. *)
+
+val fig2 : unit -> Cfg.Graph.t
+(** 10 blocks B0..B9, double-diamond chain with a shortcut so that
+    d(B1 exit -> B7) = 3. *)
+
+val fig5 : unit -> Cfg.Graph.t
+(** 4 blocks B0..B3 with the loop B0 <-> B1 and exits to B2/B3. *)
+
+val fig5_trace : int array
+(** The access pattern of Figure 5: B0, B1, B0, B1, B3. *)
+
+val scenario : ?name:string -> Cfg.Graph.t -> trace:int array -> Core.Scenario.t
+(** Wraps a figure graph with synthetic block contents. *)

@@ -1,0 +1,55 @@
+let workload_names = [ "fsm"; "dijkstra"; "adpcm" ]
+let lookaheads = [ 1; 2; 3; 4; 6; 8 ]
+let compress_k = 8
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "E8: pre-decompression distance sweep (compression k=%d)"
+           compress_k)
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("strategy", Report.Table.Left);
+          ("lookahead", Report.Table.Right);
+          ("overhead", Report.Table.Right);
+          ("stall cyc", Report.Table.Right);
+          ("prefetch", Report.Table.Right);
+          ("wasted", Report.Table.Right);
+          ("peak dec bytes", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let sc = Util.scenario name in
+      let profile = Core.Scenario.profile sc in
+      List.iter
+        (fun lookahead ->
+          let policies =
+            [
+              ("pre-all", Core.Policy.pre_all ~k:compress_k ~lookahead);
+              ( "pre-single",
+                Core.Policy.pre_single ~k:compress_k ~lookahead
+                  ~predictor:(Core.Predictor.By_profile profile) );
+            ]
+          in
+          List.iter
+            (fun (pname, policy) ->
+              let m = Util.run sc policy in
+              Report.Table.add_row t
+                [
+                  name;
+                  pname;
+                  string_of_int lookahead;
+                  Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+                  string_of_int m.Core.Metrics.stall_cycles;
+                  string_of_int m.Core.Metrics.prefetch_decompressions;
+                  string_of_int m.Core.Metrics.wasted_prefetches;
+                  string_of_int m.Core.Metrics.peak_decompressed_bytes;
+                ])
+            policies)
+        lookaheads)
+    workload_names;
+  t

@@ -1,0 +1,8 @@
+(** E8 — the §4 timing dimension: sweeping the pre-decompression
+    lookahead distance. Earlier pre-decompression (larger k) hides
+    more latency but holds more blocks decompressed. *)
+
+val workload_names : string list
+val lookaheads : int list
+
+val run : unit -> Report.Table.t

@@ -1,0 +1,62 @@
+let workload_names = [ "fsm"; "dijkstra"; "bsort" ]
+let compress_k = 8
+let lookahead = 2
+
+let metrics_for sc =
+  let profile = Core.Scenario.profile sc in
+  let predictors =
+    [
+      ("first-successor", Core.Predictor.First_successor);
+      ("last-taken", Core.Predictor.Last_taken);
+      ("profile", Core.Predictor.By_profile profile);
+    ]
+  in
+  List.map
+    (fun (name, predictor) ->
+      ( name,
+        Util.run sc
+          (Core.Policy.pre_single ~k:compress_k ~lookahead ~predictor) ))
+    predictors
+
+let accuracy (m : Core.Metrics.t) =
+  let settled = m.useful_prefetches + m.wasted_prefetches in
+  if settled = 0 then 1.0
+  else float_of_int m.useful_prefetches /. float_of_int settled
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: predictor ablation for pre-decompress-single (k=%d, \
+            lookahead=%d)"
+           compress_k lookahead)
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("predictor", Report.Table.Left);
+          ("overhead", Report.Table.Right);
+          ("stall cyc", Report.Table.Right);
+          ("useful", Report.Table.Right);
+          ("wasted", Report.Table.Right);
+          ("accuracy", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun name ->
+      let sc = Util.scenario name in
+      List.iter
+        (fun (pname, m) ->
+          Report.Table.add_row t
+            [
+              name;
+              pname;
+              Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+              string_of_int m.Core.Metrics.stall_cycles;
+              string_of_int m.Core.Metrics.useful_prefetches;
+              string_of_int m.Core.Metrics.wasted_prefetches;
+              Report.Table.fmt_pct (accuracy m);
+            ])
+        (metrics_for sc))
+    workload_names;
+  t

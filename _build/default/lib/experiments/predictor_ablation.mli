@@ -1,0 +1,11 @@
+(** E13 — predictor ablation for pre-decompress-single: how much does
+    the quality of the "most likely next block" prediction matter?
+    Accuracy is useful prefetches over all prefetches that left the
+    pipeline (useful + wasted). *)
+
+val workload_names : string list
+
+val run : unit -> Report.Table.t
+
+val metrics_for :
+  Core.Scenario.t -> (string * Core.Metrics.t) list

@@ -1,0 +1,74 @@
+let compress_k = 8
+let lookahead = 2
+
+(* Two platforms: the default software decompressor (rates from the
+   codec) and a CodePack-style hardware unit that decompresses an
+   order of magnitude faster. The paper's "pre-decompression hides
+   the latency" story assumes the latter; with a slow single-threaded
+   software decompressor, indiscriminate pre-all can queue useless
+   work ahead of useful work and lose to pre-single on both axes. *)
+let fast_config (sc : Core.Scenario.t) =
+  let base = (Core.Config.of_codec sc.codec).Core.Config.costs in
+  {
+    Core.Config.costs =
+      { base with dec_setup_cycles = 5; dec_cycles_per_byte = 1 };
+  }
+
+let metrics_with ?config sc =
+  let profile = Core.Scenario.profile sc in
+  [
+    ("on-demand", Core.Scenario.run ?config sc (Core.Policy.on_demand ~k:compress_k));
+    ( "pre-all",
+      Core.Scenario.run ?config sc (Core.Policy.pre_all ~k:compress_k ~lookahead) );
+    ( "pre-single",
+      Core.Scenario.run ?config sc
+        (Core.Policy.pre_single ~k:compress_k ~lookahead
+           ~predictor:(Core.Predictor.By_profile profile)) );
+  ]
+
+let metrics_for sc = metrics_with sc
+
+let run () =
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "E7: decompression strategy comparison (k=%d, lookahead=%d, \
+            profile predictor; sw = codec-rate decompressor, hw = fast \
+            CodePack-style unit)"
+           compress_k lookahead)
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("dec unit", Report.Table.Left);
+          ("strategy", Report.Table.Left);
+          ("overhead", Report.Table.Right);
+          ("stall cyc", Report.Table.Right);
+          ("demand", Report.Table.Right);
+          ("prefetch", Report.Table.Right);
+          ("wasted", Report.Table.Right);
+          ("peak mem saving", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (unit_name, config) ->
+          List.iter
+            (fun (name, m) ->
+              Report.Table.add_row t
+                [
+                  sc.Core.Scenario.name;
+                  unit_name;
+                  name;
+                  Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+                  string_of_int m.Core.Metrics.stall_cycles;
+                  string_of_int m.Core.Metrics.demand_decompressions;
+                  string_of_int m.Core.Metrics.prefetch_decompressions;
+                  string_of_int m.Core.Metrics.wasted_prefetches;
+                  Report.Table.fmt_pct (Core.Metrics.peak_memory_saving m);
+                ])
+            (metrics_with ?config sc))
+        [ ("sw", None); ("hw", Some (fast_config sc)) ])
+    (Util.scenarios ());
+  t

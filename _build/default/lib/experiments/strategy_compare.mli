@@ -1,0 +1,24 @@
+(** E7 — the Figure 3 design space, quantified: on-demand vs.
+    pre-decompress-all vs. pre-decompress-single (profile predictor)
+    at fixed k. Pre-all should minimize stalls at the highest memory
+    cost; pre-single sits between; on-demand uses the least memory and
+    pays the most cycles. *)
+
+val compress_k : int
+val lookahead : int
+
+val run : unit -> Report.Table.t
+
+val metrics_for :
+  Core.Scenario.t -> (string * Core.Metrics.t) list
+(** [("on-demand", m); ("pre-all", m); ("pre-single", m)] under the
+    default (software-rate) cost model. *)
+
+val fast_config : Core.Scenario.t -> Core.Config.t
+(** A CodePack-style fast hardware decompressor (setup 5 cycles,
+    1 cycle per compressed byte). *)
+
+val metrics_with :
+  ?config:Core.Config.t ->
+  Core.Scenario.t ->
+  (string * Core.Metrics.t) list

@@ -1,0 +1,18 @@
+(** Shared helpers for the experiment drivers. *)
+
+val scenarios : unit -> Core.Scenario.t list
+(** The 8 workload scenarios (built once and memoized: building one
+    executes the kernel to extract its trace). *)
+
+val scenario : string -> Core.Scenario.t
+(** By workload name. @raise Invalid_argument if unknown. *)
+
+val collect_events : unit -> Core.Engine.event list ref * (Core.Engine.event -> unit)
+(** An event sink for engine logs; the list accumulates newest-first
+    ([List.rev] it for chronological order). *)
+
+val event_to_string : Core.Engine.event -> string
+val event_time : Core.Engine.event -> int
+
+val run : Core.Scenario.t -> Core.Policy.t -> Core.Metrics.t
+(** {!Core.Scenario.run} with the scenario codec's cost model. *)

@@ -1,0 +1,27 @@
+(** E16 — model validation: the timing model ({!Core.Engine}) against
+    the executable runtime ({!Runtime}), which really decompresses,
+    relocates, patches and deletes code while the machine executes it.
+
+    For each workload the table shows the engine's demand
+    decompressions next to the runtime's actual handler
+    decompressions, under the same k. They agree exactly wherever the
+    model's block-granularity abstraction is exact, and within a small
+    factor where the runtime's realities (returns landing one past a
+    call, mid-run reloads) differ — with the runtime's checksum
+    matching the reference as ground truth. *)
+
+val compress_k : int
+
+val run : unit -> Report.Table.t
+
+type row = {
+  workload : string;
+  engine_demand : int;
+  runtime_decompressions : int;
+  runtime_traps : int;
+  engine_discards : int;
+  runtime_deletions : int;
+  checksum_ok : bool;
+}
+
+val rows : unit -> row list

@@ -1,0 +1,1 @@
+lib/memsim/accounting.ml: Printf

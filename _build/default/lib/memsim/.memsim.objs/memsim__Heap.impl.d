@@ -1,0 +1,1 @@
+lib/memsim/heap.ml: Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/memsim/layout.ml: Array Format Heap List Option Printf Remember String

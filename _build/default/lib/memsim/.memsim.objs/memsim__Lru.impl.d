@@ -1,0 +1,1 @@
+lib/memsim/lru.ml: Hashtbl List Option

@@ -1,0 +1,34 @@
+type t = {
+  mutable now : int;
+  mutable level : int;
+  mutable peak : int;
+  mutable integral : int;
+}
+
+let create () = { now = 0; level = 0; peak = 0; integral = 0 }
+
+let advance t ~time =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Memsim.Accounting: time went backwards (%d < %d)" time
+         t.now);
+  t.integral <- t.integral + (t.level * (time - t.now));
+  t.now <- time
+
+let set_level t ~time ~level =
+  if level < 0 then invalid_arg "Memsim.Accounting.set_level: negative level";
+  advance t ~time;
+  t.level <- level;
+  if level > t.peak then t.peak <- level
+
+let add t ~time ~delta = set_level t ~time ~level:(t.level + delta)
+let level t = t.level
+let peak t = t.peak
+
+let integral t ~until =
+  advance t ~time:until;
+  t.integral
+
+let average t ~until =
+  let i = integral t ~until in
+  if until = 0 then 0.0 else float_of_int i /. float_of_int until

@@ -1,0 +1,28 @@
+(** Time-weighted memory-occupancy accounting.
+
+    The level (bytes currently occupied) changes at discrete
+    simulation times; {!average} is the integral of the level divided
+    by elapsed time, and {!peak} the maximum level ever reached. *)
+
+type t
+
+val create : unit -> t
+(** Starts at time 0 with level 0. *)
+
+val set_level : t -> time:int -> level:int -> unit
+(** Advances to [time] and sets the new level.
+    @raise Invalid_argument if [time] goes backwards or [level] is
+    negative. *)
+
+val add : t -> time:int -> delta:int -> unit
+(** [set_level] relative to the current level. *)
+
+val level : t -> int
+val peak : t -> int
+
+val average : t -> until:int -> float
+(** Mean level over [0, until]; advances internal time to [until].
+    0 when [until] is 0. *)
+
+val integral : t -> until:int -> int
+(** Byte-cycles. *)

@@ -1,0 +1,81 @@
+type t = {
+  cap : int;
+  mutable holes : (int * int) list;  (* (offset, len), sorted by offset *)
+  allocs : (int, int) Hashtbl.t;  (* offset -> len *)
+  mutable used : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Memsim.Heap.create";
+  { cap = capacity; holes = [ (0, capacity) ]; allocs = Hashtbl.create 64; used = 0 }
+
+let capacity t = t.cap
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Memsim.Heap.alloc: non-positive size";
+  let rec fit acc = function
+    | [] -> None
+    | (off, len) :: rest when len >= size ->
+      let remaining = if len = size then [] else [ (off + size, len - size) ] in
+      t.holes <- List.rev_append acc (remaining @ rest);
+      Hashtbl.replace t.allocs off size;
+      t.used <- t.used + size;
+      Some off
+    | hole :: rest -> fit (hole :: acc) rest
+  in
+  fit [] t.holes
+
+let size_of t off = Hashtbl.find_opt t.allocs off
+
+let free t off =
+  match Hashtbl.find_opt t.allocs off with
+  | None -> invalid_arg (Printf.sprintf "Memsim.Heap.free: offset %d not live" off)
+  | Some size ->
+    Hashtbl.remove t.allocs off;
+    t.used <- t.used - size;
+    (* Insert the hole in order and coalesce with its neighbours. *)
+    let rec insert = function
+      | [] -> [ (off, size) ]
+      | (o, l) :: rest when o + l = off -> coalesce_back ((o, l + size) :: rest)
+      | (o, l) :: rest when o > off ->
+        if off + size = o then (off, size + l) :: rest
+        else (off, size) :: (o, l) :: rest
+      | hole :: rest -> hole :: insert rest
+    and coalesce_back = function
+      | (o, l) :: (o2, l2) :: rest when o + l = o2 -> (o, l + l2) :: rest
+      | holes -> holes
+    in
+    t.holes <- insert t.holes
+
+let used_bytes t = t.used
+let free_bytes t = t.cap - t.used
+
+let largest_free t = List.fold_left (fun m (_, l) -> max m l) 0 t.holes
+
+let external_fragmentation t =
+  let free = free_bytes t in
+  if free = 0 then 0.0
+  else 1.0 -. (float_of_int (largest_free t) /. float_of_int free)
+
+let live_allocations t =
+  Hashtbl.fold (fun off len acc -> (off, len) :: acc) t.allocs []
+  |> List.sort compare
+
+let check_invariants t =
+  let regions =
+    List.map (fun (o, l) -> (o, l, `Hole)) t.holes
+    @ List.map (fun (o, l) -> (o, l, `Alloc)) (live_allocations t)
+    |> List.sort compare
+  in
+  let rec walk pos prev = function
+    | [] ->
+      if pos = t.cap then Ok ()
+      else Error (Printf.sprintf "coverage stops at %d, capacity %d" pos t.cap)
+    | (o, l, kind) :: rest ->
+      if o <> pos then Error (Printf.sprintf "gap or overlap at offset %d" o)
+      else if l <= 0 then Error (Printf.sprintf "empty region at %d" o)
+      else if kind = `Hole && prev = Some `Hole then
+        Error (Printf.sprintf "uncoalesced holes at %d" o)
+      else walk (o + l) (Some kind) rest
+  in
+  walk 0 None regions

@@ -1,0 +1,40 @@
+(** First-fit free-list allocator for the decompressed-block area.
+
+    The paper's implementation (§5) never moves the compressed
+    originals, so all allocation churn happens in this area; the
+    fragmentation numbers in experiment E9 come from here. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] in bytes; use [max_int] for an unbounded area. *)
+
+val capacity : t -> int
+
+val alloc : t -> int -> int option
+(** [alloc t size] returns the byte offset of a fresh block, first-fit,
+    or [None] if no hole is large enough.
+    @raise Invalid_argument on non-positive sizes. *)
+
+val free : t -> int -> unit
+(** Frees the allocation starting at the given offset, coalescing
+    adjacent holes.
+    @raise Invalid_argument if the offset is not currently allocated. *)
+
+val size_of : t -> int -> int option
+(** Size of the live allocation at an offset. *)
+
+val used_bytes : t -> int
+val free_bytes : t -> int
+val largest_free : t -> int
+
+val external_fragmentation : t -> float
+(** [1 - largest_free / free_bytes]; 0 when the free space is one
+    hole (or there is no free space). *)
+
+val live_allocations : t -> (int * int) list
+(** [(offset, size)] pairs, sorted by offset. *)
+
+val check_invariants : t -> (unit, string) result
+(** Free holes are sorted, non-overlapping, non-adjacent, and disjoint
+    from live allocations; everything covers exactly the capacity. *)

@@ -1,0 +1,96 @@
+type status = In_compressed_area | Resident of int
+
+type t = {
+  csizes : int array;
+  usizes : int array;
+  coffsets : int array;
+  heap : Heap.t;
+  remember : Remember.t;
+  status : status array;
+}
+
+let create ?decompressed_capacity ~compressed_sizes ~uncompressed_sizes () =
+  let n = Array.length compressed_sizes in
+  if n = 0 || Array.length uncompressed_sizes <> n then
+    invalid_arg "Memsim.Layout.create: size arrays empty or mismatched";
+  Array.iteri
+    (fun i s ->
+      if s <= 0 || uncompressed_sizes.(i) <= 0 then
+        invalid_arg "Memsim.Layout.create: non-positive block size")
+    compressed_sizes;
+  let coffsets = Array.make n 0 in
+  let off = ref 0 in
+  Array.iteri
+    (fun i s ->
+      coffsets.(i) <- !off;
+      off := !off + s)
+    compressed_sizes;
+  {
+    csizes = Array.copy compressed_sizes;
+    usizes = Array.copy uncompressed_sizes;
+    coffsets;
+    heap =
+      Heap.create
+        ~capacity:(Option.value ~default:max_int decompressed_capacity);
+    remember = Remember.create ~blocks:n;
+    status = Array.make n In_compressed_area;
+  }
+
+let num_blocks t = Array.length t.status
+let status t b = t.status.(b)
+let resident t b = match t.status.(b) with Resident _ -> true | In_compressed_area -> false
+
+let compressed_area_bytes t = Array.fold_left ( + ) 0 t.csizes
+let compressed_offset t b = t.coffsets.(b)
+let decompressed_bytes t = Heap.used_bytes t.heap
+let footprint t = compressed_area_bytes t + decompressed_bytes t
+
+let decompress t b =
+  match t.status.(b) with
+  | Resident off -> Ok off
+  | In_compressed_area -> (
+    match Heap.alloc t.heap t.usizes.(b) with
+    | Some off ->
+      t.status.(b) <- Resident off;
+      Ok off
+    | None -> Error `No_space)
+
+let discard t b =
+  match t.status.(b) with
+  | In_compressed_area ->
+    invalid_arg (Printf.sprintf "Memsim.Layout.discard: block %d not resident" b)
+  | Resident off ->
+    Heap.free t.heap off;
+    t.status.(b) <- In_compressed_area;
+    Remember.flush t.remember ~target:b
+
+let record_branch t ~target ~site = Remember.record t.remember ~target ~site
+let remember_sites t b = Remember.sites t.remember ~target:b
+let heap t = t.heap
+
+let pp_snapshot ppf t =
+  Format.fprintf ppf "compressed code area:@.";
+  Array.iteri
+    (fun b off ->
+      Format.fprintf ppf "  [%4d..%4d) B%d (%dB)@." off (off + t.csizes.(b)) b
+        t.csizes.(b))
+    t.coffsets;
+  Format.fprintf ppf "decompressed area (%d bytes live):@."
+    (decompressed_bytes t);
+  let any = ref false in
+  Array.iteri
+    (fun b st ->
+      match st with
+      | Resident off ->
+        any := true;
+        Format.fprintf ppf "  [%4d..%4d) B%d' (%dB)%s@." off
+          (off + t.usizes.(b))
+          b t.usizes.(b)
+          (match remember_sites t b with
+          | [] -> ""
+          | sites ->
+            Printf.sprintf "  remember:{%s}"
+              (String.concat "," (List.map string_of_int sites)))
+      | In_compressed_area -> ())
+    t.status;
+  if not !any then Format.fprintf ppf "  (empty)@."

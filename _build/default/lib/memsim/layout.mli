@@ -1,0 +1,61 @@
+(** The paper's §5 memory organization: a fixed {e compressed code
+    area} holding every block's compressed form at an immutable offset,
+    plus a managed area for decompressed copies. "Compressing" a block
+    is deleting its decompressed copy; the compressed original never
+    moves, so the compressed area never fragments.
+
+    This module is the state behind Figure 5's nine snapshots and the
+    fragmentation numbers of experiment E9. *)
+
+type status =
+  | In_compressed_area  (** only the compressed form exists *)
+  | Resident of int  (** decompressed copy lives at this heap offset *)
+
+type t
+
+val create :
+  ?decompressed_capacity:int ->
+  compressed_sizes:int array ->
+  uncompressed_sizes:int array ->
+  unit ->
+  t
+(** One entry per basic block. The compressed area is laid out
+    back-to-back in block order. [decompressed_capacity] defaults to
+    unbounded. *)
+
+val num_blocks : t -> int
+val status : t -> int -> status
+val resident : t -> int -> bool
+
+val compressed_area_bytes : t -> int
+(** Total size of the (always present) compressed area — the paper's
+    "minimum memory required to store the application code". *)
+
+val compressed_offset : t -> int -> int
+
+val decompressed_bytes : t -> int
+val footprint : t -> int
+(** [compressed_area_bytes + decompressed_bytes]. *)
+
+val decompress : t -> int -> (int, [ `No_space ]) result
+(** Allocates a decompressed copy; returns its heap offset. No-op
+    ([Ok offset]) if already resident. *)
+
+val discard : t -> int -> int
+(** Deletes the decompressed copy, returning the number of branch
+    sites that had to be patched back (the remember set is flushed).
+    @raise Invalid_argument if the block is not resident. *)
+
+val record_branch : t -> target:int -> site:int -> bool
+(** A branch at [site] was redirected to [target]'s decompressed copy;
+    returns [true] if this is a new remember-set entry (i.e. a patch
+    was performed now). *)
+
+val remember_sites : t -> int -> int list
+
+val heap : t -> Heap.t
+(** The decompressed-area allocator (for fragmentation metrics). *)
+
+val pp_snapshot : Format.formatter -> t -> unit
+(** Figure-5-style rendering: the compressed area, then the live
+    decompressed copies. *)

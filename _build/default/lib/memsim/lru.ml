@@ -1,0 +1,28 @@
+(* Block populations are small (hundreds), so a hash table plus a scan
+   for the victim is simpler than an intrusive list and fast enough. *)
+
+type t = { last_use : (int, int) Hashtbl.t }
+
+let create () = { last_use = Hashtbl.create 64 }
+let touch t b ~time = Hashtbl.replace t.last_use b time
+let remove t b = Hashtbl.remove t.last_use b
+let mem t b = Hashtbl.mem t.last_use b
+let cardinal t = Hashtbl.length t.last_use
+
+let victim t ?(exclude = fun _ -> false) () =
+  Hashtbl.fold
+    (fun b time acc ->
+      if exclude b then acc
+      else
+        match acc with
+        | None -> Some (b, time)
+        | Some (b', time') ->
+          if time < time' || (time = time' && b < b') then Some (b, time)
+          else acc)
+    t.last_use None
+  |> Option.map fst
+
+let to_list t =
+  Hashtbl.fold (fun b time acc -> (b, time) :: acc) t.last_use []
+  |> List.sort (fun (b1, t1) (b2, t2) ->
+         if t1 <> t2 then compare t1 t2 else compare b1 b2)

@@ -1,0 +1,34 @@
+module IntSet = Set.Make (Int)
+
+type t = { sets : IntSet.t array }
+
+let create ~blocks =
+  if blocks <= 0 then invalid_arg "Memsim.Remember.create";
+  { sets = Array.make blocks IntSet.empty }
+
+let record t ~target ~site =
+  let s = t.sets.(target) in
+  if IntSet.mem site s then false
+  else begin
+    t.sets.(target) <- IntSet.add site s;
+    true
+  end
+
+let sites t ~target = IntSet.elements t.sets.(target)
+let cardinal t ~target = IntSet.cardinal t.sets.(target)
+
+let flush t ~target =
+  let n = IntSet.cardinal t.sets.(target) in
+  t.sets.(target) <- IntSet.empty;
+  n
+
+let remove_site t ~target ~site =
+  let s = t.sets.(target) in
+  if IntSet.mem site s then begin
+    t.sets.(target) <- IntSet.remove site s;
+    true
+  end
+  else false
+
+let total_sites t =
+  Array.fold_left (fun acc s -> acc + IntSet.cardinal s) 0 t.sets

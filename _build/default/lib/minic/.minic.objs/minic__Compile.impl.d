@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Codegen Eris Format Optim Parser Printf

@@ -1,0 +1,1 @@
+lib/minic/optim.ml: Ast List Option

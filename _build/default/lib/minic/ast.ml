@@ -1,0 +1,69 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land
+  | Lor
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+
+type unop = Neg | Lnot | Bnot
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr
+  | Call of string * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+
+type stmt =
+  | Expr of expr
+  | Assign of string * expr option * expr
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Decl of string * expr option
+  | Block of block
+
+and block = stmt list
+
+type global = Gvar of string * int option | Garr of string * int * int list option
+
+type func = { name : string; params : string list; body : block }
+
+type program = { globals : global list; funcs : func list }
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Land -> "&&"
+  | Lor -> "||"
+  | Band -> "&"
+  | Bor -> "|"
+  | Bxor -> "^"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let unop_name = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"

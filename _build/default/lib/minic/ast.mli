@@ -1,0 +1,62 @@
+(** Abstract syntax of MiniC, the small C subset that compiles to
+    ERIS-32: 32-bit ints, global scalars and arrays, functions with
+    value parameters and recursion, and the usual statement forms. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div  (** truncating, C semantics *)
+  | Mod
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Land  (** short-circuit && *)
+  | Lor  (** short-circuit || *)
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr  (** arithmetic shift, as on int *)
+
+type unop =
+  | Neg
+  | Lnot  (** !x *)
+  | Bnot  (** ~x *)
+
+type expr =
+  | Int of int
+  | Var of string
+  | Index of string * expr  (** a[i] on a global array *)
+  | Call of string * expr list
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+
+type stmt =
+  | Expr of expr  (** evaluated for side effects *)
+  | Assign of string * expr option * expr
+      (** [Assign (x, None, e)] is [x = e]; [Assign (a, Some i, e)] is
+          [a[i] = e] *)
+  | If of expr * block * block option
+  | While of expr * block
+  | For of stmt option * expr option * stmt option * block
+  | Return of expr option
+  | Decl of string * expr option  (** [int x = e;] local *)
+  | Block of block
+
+and block = stmt list
+
+type global =
+  | Gvar of string * int option  (** [int x = 3;] *)
+  | Garr of string * int * int list option
+      (** [int a[4] = {1,2,3,4};] *)
+
+type func = { name : string; params : string list; body : block }
+
+type program = { globals : global list; funcs : func list }
+
+val binop_name : binop -> string
+val unop_name : unop -> string

@@ -1,0 +1,466 @@
+type error = { message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s" e.message
+
+exception Cg_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Cg_error m)) fmt
+
+let globals_base = 0x2000
+let stack_top = 0xF000
+let result_addr = 0x0FF0
+
+(* ------------------------------------------------------------------ *)
+(* Environments                                                        *)
+
+type gsym =
+  | Scalar of int  (* address *)
+  | Array of int * int  (* address, length *)
+
+type fenv = {
+  globals : (string, gsym) Hashtbl.t;
+  funcs : (string, int) Hashtbl.t;  (* name -> arity *)
+}
+
+(* Lexically scoped locals: every declaration gets a fresh stack slot
+   (no slot reuse between sibling scopes — simple and always correct);
+   name lookup walks the scope stack, parameters sit in the outermost
+   frame scope. *)
+type local_env = {
+  mutable scopes : (string, int) Hashtbl.t list;
+  mutable next_slot : int;
+}
+
+let enter_scope lenv = lenv.scopes <- Hashtbl.create 8 :: lenv.scopes
+
+let exit_scope lenv =
+  match lenv.scopes with
+  | _ :: rest -> lenv.scopes <- rest
+  | [] -> assert false
+
+let in_scope lenv f =
+  enter_scope lenv;
+  let r = f () in
+  exit_scope lenv;
+  r
+
+let lookup_local lenv name =
+  let rec walk = function
+    | [] -> None
+    | scope :: rest -> (
+      match Hashtbl.find_opt scope name with
+      | Some off -> Some off
+      | None -> walk rest)
+  in
+  walk lenv.scopes
+
+let declare_local lenv name =
+  match lenv.scopes with
+  | scope :: _ ->
+    if Hashtbl.mem scope name then fail "duplicate local %s in this scope" name;
+    lenv.next_slot <- lenv.next_slot + 1;
+    let off = -4 * lenv.next_slot in
+    Hashtbl.replace scope name off;
+    off
+  | [] -> assert false
+
+(* ------------------------------------------------------------------ *)
+(* Emitter                                                             *)
+
+type emitter = {
+  buf : Buffer.t;
+  mutable label_counter : int;
+  mutable uses_divmod : bool;
+}
+
+let emit e fmt = Printf.ksprintf (fun s -> Buffer.add_string e.buf (s ^ "\n")) fmt
+let label e prefix =
+  e.label_counter <- e.label_counter + 1;
+  Printf.sprintf "%s_%d" prefix e.label_counter
+
+let place e l = emit e "%s:" l
+
+let push e reg =
+  emit e "        subi sp, sp, 4";
+  emit e "        sw   %s, 0(sp)" reg
+
+let pop e reg =
+  emit e "        lw   %s, 0(sp)" reg;
+  emit e "        addi sp, sp, 4"
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: result in r1                                           *)
+
+let bool_diamond e ~emit_branch =
+  let lt = label e "Ltrue" and le = label e "Lend" in
+  emit_branch lt;
+  emit e "        li   r1, 0";
+  emit e "        j    %s" le;
+  place e lt;
+  emit e "        li   r1, 1";
+  place e le
+
+let rec gen_expr e fenv lenv (x : Ast.expr) =
+  match x with
+  | Int v -> emit e "        li   r1, %d" v
+  | Var name -> (
+    match lookup_local lenv name with
+    | Some off -> emit e "        lw   r1, %d(fp)" off
+    | None -> (
+      match Hashtbl.find_opt fenv.globals name with
+      | Some (Scalar addr) ->
+        emit e "        li   r2, %d" addr;
+        emit e "        lw   r1, 0(r2)"
+      | Some (Array _) -> fail "array %s used without an index" name
+      | None -> fail "unknown variable %s" name))
+  | Index (name, idx) ->
+    let addr = array_address fenv lenv name in
+    gen_expr e fenv lenv idx;
+    emit e "        slli r1, r1, 2";
+    emit e "        li   r2, %d" addr;
+    emit e "        add  r2, r2, r1";
+    emit e "        lw   r1, 0(r2)"
+  | Call (name, args) ->
+    (match Hashtbl.find_opt fenv.funcs name with
+    | None -> fail "unknown function %s" name
+    | Some arity ->
+      if arity <> List.length args then
+        fail "function %s expects %d arguments, got %d" name arity
+          (List.length args));
+    List.iter
+      (fun a ->
+        gen_expr e fenv lenv a;
+        push e "r1")
+      args;
+    emit e "        call fn_%s" name;
+    if args <> [] then emit e "        addi sp, sp, %d" (4 * List.length args)
+  | Unary (op, inner) -> (
+    gen_expr e fenv lenv inner;
+    match op with
+    | Neg -> emit e "        sub  r1, r0, r1"
+    | Bnot ->
+      emit e "        li   r2, -1";
+      emit e "        xor  r1, r1, r2"
+    | Lnot ->
+      bool_diamond e ~emit_branch:(fun lt ->
+          emit e "        beq  r1, r0, %s" lt))
+  | Binary (Land, lhs, rhs) ->
+    let lfalse = label e "Lfalse" and lend = label e "Lend" in
+    gen_expr e fenv lenv lhs;
+    emit e "        beq  r1, r0, %s" lfalse;
+    gen_expr e fenv lenv rhs;
+    emit e "        beq  r1, r0, %s" lfalse;
+    emit e "        li   r1, 1";
+    emit e "        j    %s" lend;
+    place e lfalse;
+    emit e "        li   r1, 0";
+    place e lend
+  | Binary (Lor, lhs, rhs) ->
+    let ltrue = label e "Ltrue" and lend = label e "Lend" in
+    gen_expr e fenv lenv lhs;
+    emit e "        bne  r1, r0, %s" ltrue;
+    gen_expr e fenv lenv rhs;
+    emit e "        bne  r1, r0, %s" ltrue;
+    emit e "        li   r1, 0";
+    emit e "        j    %s" lend;
+    place e ltrue;
+    emit e "        li   r1, 1";
+    place e lend
+  | Binary (op, lhs, rhs) -> (
+    gen_expr e fenv lenv lhs;
+    push e "r1";
+    gen_expr e fenv lenv rhs;
+    emit e "        mov  r2, r1";
+    pop e "r1";
+    match op with
+    | Add -> emit e "        add  r1, r1, r2"
+    | Sub -> emit e "        sub  r1, r1, r2"
+    | Mul -> emit e "        mul  r1, r1, r2"
+    | Band -> emit e "        and  r1, r1, r2"
+    | Bor -> emit e "        or   r1, r1, r2"
+    | Bxor -> emit e "        xor  r1, r1, r2"
+    | Shl -> emit e "        sll  r1, r1, r2"
+    | Shr -> emit e "        sra  r1, r1, r2"
+    | Div ->
+      e.uses_divmod <- true;
+      emit e "        call __divmod"
+    | Mod ->
+      e.uses_divmod <- true;
+      emit e "        call __divmod";
+      emit e "        mov  r1, r2"
+    | Eq ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        beq  r1, r2, %s" lt)
+    | Ne ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        bne  r1, r2, %s" lt)
+    | Lt ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        blt  r1, r2, %s" lt)
+    | Le ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        bge  r2, r1, %s" lt)
+    | Gt ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        blt  r2, r1, %s" lt)
+    | Ge ->
+      bool_diamond e ~emit_branch:(fun lt -> emit e "        bge  r1, r2, %s" lt)
+    | Land | Lor -> assert false)
+
+and array_address fenv lenv name =
+  match lookup_local lenv name with
+  | Some _ -> fail "local %s is not an array" name
+  | None -> (
+    match Hashtbl.find_opt fenv.globals name with
+    | Some (Array (addr, _)) -> addr
+    | Some (Scalar _) -> fail "%s is a scalar, not an array" name
+    | None -> fail "unknown array %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+let rec gen_stmt e fenv lenv ~ret_label (s : Ast.stmt) =
+  match s with
+  | Expr x -> gen_expr e fenv lenv x
+  | Decl (name, init) -> (
+    (* evaluate the initializer before the name becomes visible,
+       so [int x = x;] cannot read the fresh slot *)
+    (match init with
+    | Some x -> gen_expr e fenv lenv x
+    | None -> emit e "        li   r1, 0");
+    let off = declare_local lenv name in
+    emit e "        sw   r1, %d(fp)" off)
+  | Assign (name, None, rhs) -> (
+    gen_expr e fenv lenv rhs;
+    match lookup_local lenv name with
+    | Some off -> emit e "        sw   r1, %d(fp)" off
+    | None -> (
+      match Hashtbl.find_opt fenv.globals name with
+      | Some (Scalar addr) ->
+        emit e "        li   r2, %d" addr;
+        emit e "        sw   r1, 0(r2)"
+      | Some (Array _) -> fail "array %s assigned without an index" name
+      | None -> fail "unknown variable %s" name))
+  | Assign (name, Some idx, rhs) ->
+    let addr = array_address fenv lenv name in
+    gen_expr e fenv lenv rhs;
+    push e "r1";
+    gen_expr e fenv lenv idx;
+    emit e "        slli r1, r1, 2";
+    emit e "        li   r2, %d" addr;
+    emit e "        add  r2, r2, r1";
+    pop e "r3";
+    emit e "        sw   r3, 0(r2)"
+  | If (cond, then_b, else_b) -> (
+    gen_expr e fenv lenv cond;
+    match else_b with
+    | None ->
+      let lend = label e "Lend" in
+      emit e "        beq  r1, r0, %s" lend;
+      in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label then_b);
+      place e lend
+    | Some else_b ->
+      let lelse = label e "Lelse" and lend = label e "Lend" in
+      emit e "        beq  r1, r0, %s" lelse;
+      in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label then_b);
+      emit e "        j    %s" lend;
+      place e lelse;
+      in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label else_b);
+      place e lend)
+  | While (cond, body) ->
+    let lcond = label e "Lcond" and lend = label e "Lend" in
+    place e lcond;
+    gen_expr e fenv lenv cond;
+    emit e "        beq  r1, r0, %s" lend;
+    in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label body);
+    emit e "        j    %s" lcond;
+    place e lend
+  | For (init, cond, step, body) ->
+    in_scope lenv (fun () ->
+        Option.iter (gen_stmt e fenv lenv ~ret_label) init;
+        let lcond = label e "Lcond" and lend = label e "Lend" in
+        place e lcond;
+        (match cond with
+        | Some c ->
+          gen_expr e fenv lenv c;
+          emit e "        beq  r1, r0, %s" lend
+        | None -> ());
+        in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label body);
+        Option.iter (gen_stmt e fenv lenv ~ret_label) step;
+        emit e "        j    %s" lcond;
+        place e lend)
+  | Return x ->
+    (match x with
+    | Some x -> gen_expr e fenv lenv x
+    | None -> emit e "        li   r1, 0");
+    emit e "        j    %s" ret_label
+  | Block b -> in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label b)
+
+and gen_block e fenv lenv ~ret_label b =
+  List.iter (gen_stmt e fenv lenv ~ret_label) b
+
+(* ------------------------------------------------------------------ *)
+(* Functions                                                           *)
+
+(* Total number of Decl nodes = frame slots needed (no reuse). *)
+let count_decls (f : Ast.func) =
+  let n = ref 0 in
+  let rec walk_stmt (s : Ast.stmt) =
+    match s with
+    | Decl _ -> incr n
+    | If (_, a, b) ->
+      List.iter walk_stmt a;
+      Option.iter (List.iter walk_stmt) b
+    | While (_, b) -> List.iter walk_stmt b
+    | For (i, _, st, b) ->
+      Option.iter walk_stmt i;
+      Option.iter walk_stmt st;
+      List.iter walk_stmt b
+    | Block b -> List.iter walk_stmt b
+    | Expr _ | Assign _ | Return _ -> ()
+  in
+  List.iter walk_stmt f.body;
+  !n
+
+let gen_func e fenv (f : Ast.func) =
+  let nlocals = count_decls f in
+  let lenv = { scopes = []; next_slot = 0 } in
+  enter_scope lenv;
+  let nparams = List.length f.params in
+  List.iteri
+    (fun i p ->
+      match lenv.scopes with
+      | scope :: _ ->
+        if Hashtbl.mem scope p then fail "duplicate parameter %s in %s" p f.name;
+        Hashtbl.replace scope p (8 + (4 * (nparams - 1 - i)))
+      | [] -> assert false)
+    f.params;
+  let ret_label = label e "Lret" in
+  emit e "fn_%s:" f.name;
+  push e "ra";
+  push e "fp";
+  emit e "        mov  fp, sp";
+  if nlocals > 0 then emit e "        subi sp, sp, %d" (4 * nlocals);
+  in_scope lenv (fun () -> gen_block e fenv lenv ~ret_label f.body);
+  emit e "        li   r1, 0";
+  place e ret_label;
+  emit e "        mov  sp, fp";
+  pop e "fp";
+  pop e "ra";
+  emit e "        ret"
+
+(* Software signed divide/modulo: r1 = r1 / r2, r2 = r1 %% r2 (both at
+   once), truncating toward zero; restoring shift-subtract over 32
+   bits. Magnitudes must stay below 2^30 for the internal comparison
+   to be exact. *)
+let divmod_routine =
+  {|__divmod:
+        li   r7, 0
+        li   r8, 0
+        bge  r1, r0, dm_a_pos
+        sub  r1, r0, r1
+        li   r7, 1
+        li   r8, 1
+dm_a_pos:
+        bge  r2, r0, dm_b_pos
+        sub  r2, r0, r2
+        xori r7, r7, 1
+dm_b_pos:
+        li   r3, 0
+        li   r4, 0
+        li   r5, 31
+dm_loop:
+        slli r4, r4, 1
+        srl  r6, r1, r5
+        andi r6, r6, 1
+        or   r4, r4, r6
+        blt  r4, r2, dm_skip
+        sub  r4, r4, r2
+        li   r6, 1
+        sll  r6, r6, r5
+        or   r3, r3, r6
+dm_skip:
+        subi r5, r5, 1
+        bge  r5, r0, dm_loop
+        beq  r7, r0, dm_q_pos
+        sub  r3, r0, r3
+dm_q_pos:
+        beq  r8, r0, dm_r_pos
+        sub  r4, r0, r4
+dm_r_pos:
+        mov  r1, r3
+        mov  r2, r4
+        ret|}
+
+(* ------------------------------------------------------------------ *)
+(* Program                                                             *)
+
+let build_fenv (p : Ast.program) =
+  let fenv = { globals = Hashtbl.create 16; funcs = Hashtbl.create 16 } in
+  let cursor = ref globals_base in
+  List.iter
+    (fun g ->
+      let name, size =
+        match g with
+        | Ast.Gvar (name, _) -> (name, 1)
+        | Ast.Garr (name, size, init) ->
+          if size <= 0 then fail "array %s has non-positive size" name;
+          (match init with
+          | Some vals when List.length vals > size ->
+            fail "initializer of %s longer than the array" name
+          | Some _ | None -> ());
+          (name, size)
+      in
+      if Hashtbl.mem fenv.globals name then fail "duplicate global %s" name;
+      let sym =
+        match g with
+        | Ast.Gvar _ -> Scalar !cursor
+        | Ast.Garr _ -> Array (!cursor, size)
+      in
+      Hashtbl.replace fenv.globals name sym;
+      cursor := !cursor + (4 * size))
+    p.globals;
+  List.iter
+    (fun (f : Ast.func) ->
+      if Hashtbl.mem fenv.funcs f.name then fail "duplicate function %s" f.name;
+      if Hashtbl.mem fenv.globals f.name then
+        fail "%s is both a global and a function" f.name;
+      Hashtbl.replace fenv.funcs f.name (List.length f.params))
+    p.funcs;
+  fenv
+
+let gen_data e fenv (p : Ast.program) =
+  List.iter
+    (fun g ->
+      match g with
+      | Ast.Gvar (name, Some v) -> (
+        match Hashtbl.find fenv.globals name with
+        | Scalar addr ->
+          emit e ".data %d" addr;
+          emit e ".dw %d" v
+        | Array _ -> assert false)
+      | Ast.Garr (name, _, Some vals) -> (
+        match Hashtbl.find fenv.globals name with
+        | Array (addr, _) ->
+          emit e ".data %d" addr;
+          List.iter (fun v -> emit e ".dw %d" v) vals
+        | Scalar _ -> assert false)
+      | Ast.Gvar (_, None) | Ast.Garr (_, _, None) -> ())
+    p.globals
+
+let to_assembly (p : Ast.program) =
+  match
+    let fenv = build_fenv p in
+    (match Hashtbl.find_opt fenv.funcs "main" with
+    | Some 0 -> ()
+    | Some _ -> fail "main must take no parameters"
+    | None -> fail "no main function");
+    let e = { buf = Buffer.create 4096; label_counter = 0; uses_divmod = false } in
+    emit e "; generated by the MiniC compiler";
+    emit e "        li   sp, %d" stack_top;
+    emit e "        call fn_main";
+    emit e "        li   r9, %d" result_addr;
+    emit e "        sw   r1, 0(r9)";
+    emit e "        halt";
+    List.iter (gen_func e fenv) p.funcs;
+    if e.uses_divmod then emit e "%s" divmod_routine;
+    gen_data e fenv p;
+    Buffer.contents e.buf
+  with
+  | asm -> Ok asm
+  | exception Cg_error message -> Error { message }

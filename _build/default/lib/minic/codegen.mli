@@ -1,0 +1,34 @@
+(** MiniC → ERIS-32 assembly.
+
+    A straightforward stack-machine code generator:
+
+    - expressions evaluate into [r1] with temporaries spilled to the
+      machine stack, so values are never held in caller-clobbered
+      registers across calls;
+    - the calling convention pushes arguments left-to-right, returns
+      in [r1], and frames are [saved fp at fp+0, saved ra at fp+4,
+      args from fp+8, locals below fp];
+    - comparisons and the logical operators compile to branch
+      diamonds, which keeps the generated CFGs rich — deliberately so,
+      since the compiled programs feed the code-compression
+      experiments;
+    - [/] and [%] compile to one shared software divide routine
+      (shift-subtract, truncating toward zero; operands are treated as
+      signed values of magnitude below 2{^30}).
+
+    Globals live from data address 0x2000; the stack grows down from
+    0xF000; [main]'s return value is stored to 0x0FF0 (the workload
+    checksum convention) before [halt]. *)
+
+type error = { message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val globals_base : int
+val stack_top : int
+val result_addr : int
+
+val to_assembly : Ast.program -> (string, error) result
+(** Generates assembly text accepted by {!Eris.Asm.assemble}.
+    Performs the semantic checks (unknown/duplicate names, arity,
+    array vs. scalar use, missing parameterless [main]). *)

@@ -1,0 +1,55 @@
+type error = {
+  stage : [ `Parse | `Codegen | `Assemble ];
+  message : string;
+}
+
+let pp_error ppf e =
+  Format.fprintf ppf "%s error: %s"
+    (match e.stage with
+    | `Parse -> "parse"
+    | `Codegen -> "codegen"
+    | `Assemble -> "assembly")
+    e.message
+
+let to_assembly ?(optimize = false) source =
+  match Parser.parse source with
+  | Error e ->
+    Error
+      {
+        stage = `Parse;
+        message = Format.asprintf "%a" Parser.pp_error e;
+      }
+  | Ok ast -> (
+    let ast = if optimize then Optim.optimize ast else ast in
+    match Codegen.to_assembly ast with
+    | Error e -> Error { stage = `Codegen; message = e.Codegen.message }
+    | Ok asm -> Ok asm)
+
+let to_program ?optimize source =
+  match to_assembly ?optimize source with
+  | Error e -> Error e
+  | Ok asm -> (
+    match Eris.Asm.assemble asm with
+    | Ok prog -> Ok prog
+    | Error e ->
+      Error
+        {
+          stage = `Assemble;
+          message = Format.asprintf "%a" Eris.Asm.pp_error e;
+        })
+
+let run_main ?(fuel = 20_000_000) ?optimize source =
+  match to_program ?optimize source with
+  | Error e -> Error e
+  | Ok prog -> (
+    let machine = Eris.Machine.create prog in
+    match Eris.Machine.run_to_halt ~fuel machine with
+    | _ ->
+      let raw = Eris.Machine.read_word machine Codegen.result_addr in
+      Ok (if raw land 0x80000000 <> 0 then raw - 0x100000000 else raw)
+    | exception Eris.Machine.Fault { pc; message } ->
+      Error
+        {
+          stage = `Assemble;
+          message = Printf.sprintf "machine fault at pc %d: %s" pc message;
+        })

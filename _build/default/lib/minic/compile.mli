@@ -1,0 +1,20 @@
+(** The MiniC compiler driver: source text in, ERIS-32 program out. *)
+
+type error = {
+  stage : [ `Parse | `Codegen | `Assemble ];
+  message : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val to_assembly : ?optimize:bool -> string -> (string, error) result
+(** Parse + semantic checks + code generation; [optimize] (default
+    false) runs {!Optim.optimize} first. *)
+
+val to_program : ?optimize:bool -> string -> (Eris.Program.t, error) result
+(** {!to_assembly} followed by {!Eris.Asm.assemble}. *)
+
+val run_main : ?fuel:int -> ?optimize:bool -> string -> (int, error) result
+(** Compiles and executes; returns [main]'s result as a signed 32-bit
+    value (read back from the {!Codegen.result_addr} checksum word).
+    Machine faults are reported as [`Assemble]-stage errors. *)

@@ -1,0 +1,202 @@
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMPAMP
+  | PIPEPIPE
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | BANG
+  | TILDE
+  | EOF
+
+type located = { token : token; line : int }
+
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+let token_name = function
+  | INT v -> string_of_int v
+  | IDENT s -> s
+  | KW_INT -> "int"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_RETURN -> "return"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | AMPAMP -> "&&"
+  | PIPEPIPE -> "||"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | BANG -> "!"
+  | TILDE -> "~"
+  | EOF -> "<eof>"
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+exception Lex_error of error
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Lex_error { line = !line; message = m })) fmt
+  in
+  let emit token = out := { token; line = !line } :: !out in
+  let rec skip_block_comment i =
+    if i + 1 >= n then fail "unterminated comment"
+    else if src.[i] = '\n' then begin
+      incr line;
+      skip_block_comment (i + 1)
+    end
+    else if src.[i] = '*' && src.[i + 1] = '/' then i + 2
+    else skip_block_comment (i + 1)
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\n' then begin
+        incr line;
+        go (i + 1)
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then go (i + 1)
+      else if c = '/' && i + 1 < n && src.[i + 1] = '/' then begin
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol i)
+      end
+      else if c = '/' && i + 1 < n && src.[i + 1] = '*' then
+        go (skip_block_comment (i + 2))
+      else if is_digit c then begin
+        let j =
+          if c = '0' && i + 1 < n && (src.[i + 1] = 'x' || src.[i + 1] = 'X')
+          then begin
+            let rec hex j = if j < n && is_hex src.[j] then hex (j + 1) else j in
+            let j = hex (i + 2) in
+            if j = i + 2 then fail "bad hex literal";
+            j
+          end
+          else
+            let rec dec j = if j < n && is_digit src.[j] then dec (j + 1) else j in
+            dec i
+        in
+        (match int_of_string_opt (String.sub src i (j - i)) with
+        | Some v -> emit (INT v)
+        | None -> fail "bad integer literal");
+        go j
+      end
+      else if is_ident_start c then begin
+        let rec ident j = if j < n && is_ident src.[j] then ident (j + 1) else j in
+        let j = ident i in
+        let word = String.sub src i (j - i) in
+        (match keyword word with
+        | Some kw -> emit kw
+        | None -> emit (IDENT word));
+        go j
+      end
+      else
+        let two tk = emit tk; go (i + 2) in
+        let one tk = emit tk; go (i + 1) in
+        let peek = if i + 1 < n then Some src.[i + 1] else None in
+        match (c, peek) with
+        | '=', Some '=' -> two EQ
+        | '!', Some '=' -> two NE
+        | '<', Some '=' -> two LE
+        | '>', Some '=' -> two GE
+        | '<', Some '<' -> two SHL
+        | '>', Some '>' -> two SHR
+        | '&', Some '&' -> two AMPAMP
+        | '|', Some '|' -> two PIPEPIPE
+        | '=', _ -> one ASSIGN
+        | '!', _ -> one BANG
+        | '<', _ -> one LT
+        | '>', _ -> one GT
+        | '&', _ -> one AMP
+        | '|', _ -> one PIPE
+        | '^', _ -> one CARET
+        | '~', _ -> one TILDE
+        | '+', _ -> one PLUS
+        | '-', _ -> one MINUS
+        | '*', _ -> one STAR
+        | '/', _ -> one SLASH
+        | '%', _ -> one PERCENT
+        | '(', _ -> one LPAREN
+        | ')', _ -> one RPAREN
+        | '{', _ -> one LBRACE
+        | '}', _ -> one RBRACE
+        | '[', _ -> one LBRACKET
+        | ']', _ -> one RBRACKET
+        | ';', _ -> one SEMI
+        | ',', _ -> one COMMA
+        | _ -> fail "unexpected character %C" c
+  in
+  match go 0 with
+  | () ->
+    emit EOF;
+    Ok (List.rev !out)
+  | exception Lex_error e -> Error e

@@ -1,0 +1,53 @@
+(** Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | KW_INT
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_FOR
+  | KW_RETURN
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | AMPAMP
+  | PIPEPIPE
+  | AMP
+  | PIPE
+  | CARET
+  | SHL
+  | SHR
+  | BANG
+  | TILDE
+  | EOF
+
+type located = { token : token; line : int }
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val tokenize : string -> (located list, error) result
+(** Handles decimal and hex literals, identifiers/keywords, [//] and
+    [/* *]/ comments. The result always ends with an [EOF] token. *)
+
+val token_name : token -> string

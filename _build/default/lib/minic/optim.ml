@@ -1,0 +1,143 @@
+(* 32-bit wrap helpers: all arithmetic is reduced to signed 32-bit
+   values, matching what the generated code computes on the machine. *)
+let to_signed v =
+  let m = v land 0xFFFFFFFF in
+  if m land 0x80000000 <> 0 then m - 0x100000000 else m
+
+let wrap v = to_signed v
+
+let rec pure (x : Ast.expr) =
+  match x with
+  | Int _ | Var _ -> true
+  | Index (_, i) -> pure i
+  | Call _ -> false
+  | Unary (_, a) -> pure a
+  | Binary (_, a, b) -> pure a && pure b
+
+let fold_binop op a b =
+  let bool_ c = if c then 1 else 0 in
+  match (op : Ast.binop) with
+  | Add -> Some (wrap (a + b))
+  | Sub -> Some (wrap (a - b))
+  | Mul -> Some (wrap (a * b))
+  | Div ->
+    if b = 0 then None
+    else
+      (* C: truncation toward zero *)
+      let q = if (a < 0) = (b < 0) then abs a / abs b else -(abs a / abs b) in
+      Some (wrap q)
+  | Mod ->
+    if b = 0 then None
+    else
+      let q = if (a < 0) = (b < 0) then abs a / abs b else -(abs a / abs b) in
+      Some (wrap (a - (q * b)))
+  | Eq -> Some (bool_ (a = b))
+  | Ne -> Some (bool_ (a <> b))
+  | Lt -> Some (bool_ (a < b))
+  | Le -> Some (bool_ (a <= b))
+  | Gt -> Some (bool_ (a > b))
+  | Ge -> Some (bool_ (a >= b))
+  | Land -> Some (bool_ (a <> 0 && b <> 0))
+  | Lor -> Some (bool_ (a <> 0 || b <> 0))
+  | Band -> Some (to_signed ((a land 0xFFFFFFFF) land (b land 0xFFFFFFFF)))
+  | Bor -> Some (to_signed ((a land 0xFFFFFFFF) lor (b land 0xFFFFFFFF)))
+  | Bxor -> Some (to_signed ((a land 0xFFFFFFFF) lxor (b land 0xFFFFFFFF)))
+  | Shl -> Some (wrap (a lsl (b land 31)))
+  | Shr -> Some (to_signed (to_signed a asr (b land 31)))
+
+let fold_unop op a =
+  match (op : Ast.unop) with
+  | Neg -> wrap (-a)
+  | Lnot -> if a = 0 then 1 else 0
+  | Bnot -> to_signed (lnot a)
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let rec log2 v = if v <= 1 then 0 else 1 + log2 (v / 2)
+
+let rec fold_expr (x : Ast.expr) : Ast.expr =
+  match x with
+  | Int v -> Int (to_signed v)
+  | Var _ -> x
+  | Index (name, i) -> Index (name, fold_expr i)
+  | Call (name, args) -> Call (name, List.map fold_expr args)
+  | Unary (op, a) -> (
+    let a = fold_expr a in
+    match a with
+    | Int v -> Int (fold_unop op v)
+    | _ -> Unary (op, a))
+  | Binary (op, a, b) -> (
+    let a = fold_expr a and b = fold_expr b in
+    match (a, b) with
+    | Int va, Int vb -> (
+      match fold_binop op va vb with
+      | Some v -> Int v
+      | None -> Binary (op, a, b))
+    | _ -> (
+      (* algebraic identities; dropping an operand requires purity *)
+      match (op, a, b) with
+      | Ast.Add, Int 0, e | Ast.Add, e, Int 0 -> e
+      | Ast.Sub, e, Int 0 -> e
+      | Ast.Mul, e, Int 1 | Ast.Mul, Int 1, e -> e
+      | Ast.Mul, e, Int 0 when pure e -> Int 0
+      | Ast.Mul, Int 0, e when pure e -> Int 0
+      | Ast.Mul, e, Int v when is_power_of_two v ->
+        Binary (Ast.Shl, e, Int (log2 v))
+      | Ast.Mul, Int v, e when is_power_of_two v ->
+        Binary (Ast.Shl, e, Int (log2 v))
+      | Ast.Div, e, Int 1 -> e
+      | Ast.Band, e, Int 0 when pure e -> Int 0
+      | Ast.Bor, e, Int 0 | Ast.Bxor, e, Int 0 -> e
+      | Ast.Shl, e, Int 0 | Ast.Shr, e, Int 0 -> e
+      | Ast.Land, Int c, e when c <> 0 ->
+        (* (1 && e) is e normalized to 0/1 *)
+        Binary (Ast.Ne, e, Int 0)
+      | Ast.Land, Int 0, _ -> Int 0
+      | Ast.Lor, Int 0, e -> Binary (Ast.Ne, e, Int 0)
+      | Ast.Lor, Int c, _ when c <> 0 -> Int 1
+      | _ -> Binary (op, a, b)))
+
+let eval_const x =
+  match fold_expr x with Int v -> Some v | _ -> None
+
+let rec fold_stmt (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Expr x ->
+    let x = fold_expr x in
+    (* a pure expression statement has no effect at all *)
+    if pure x then [] else [ Expr x ]
+  | Assign (n, i, e) -> [ Assign (n, Option.map fold_expr i, fold_expr e) ]
+  | Decl (n, e) -> [ Decl (n, Option.map fold_expr e) ]
+  | Return e -> [ Return (Option.map fold_expr e) ]
+  | Block b -> [ Block (fold_block b) ]
+  | If (c, t, e) -> (
+    match fold_expr c with
+    | Int 0 -> (
+      match e with
+      | Some e -> [ Block (fold_block e) ]
+      | None -> [])
+    | Int _ -> [ Block (fold_block t) ]
+    | c -> [ If (c, fold_block t, Option.map fold_block e) ])
+  | While (c, b) -> (
+    match fold_expr c with
+    | Int 0 -> []
+    | c -> [ While (c, fold_block b) ])
+  | For (i, c, st, b) -> (
+    let i = Option.map (fun s -> List.hd (fold_stmt s @ [ Ast.Block [] ])) i in
+    let c = Option.map fold_expr c in
+    match c with
+    | Some (Int 0) -> (
+      (* loop never runs; keep the init statement's effects *)
+      match i with Some s -> [ s ] | None -> [])
+    | _ -> [ For (i, c, st, fold_block b) ])
+
+and fold_block b = List.concat_map fold_stmt b
+
+let optimize (p : Ast.program) =
+  {
+    p with
+    Ast.funcs =
+      List.map
+        (fun (f : Ast.func) -> { f with Ast.body = fold_block f.body })
+        p.funcs;
+  }

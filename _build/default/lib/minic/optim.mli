@@ -1,0 +1,20 @@
+(** AST-level optimizer for MiniC: constant folding with 32-bit wrap
+    semantics, algebraic identities and strength reduction on {e pure}
+    operands (no calls — a call's side effects must survive), and
+    pruning of statically-decided branches. Dividing by a constant
+    zero is left unfolded (the program keeps its runtime behaviour).
+
+    The optimizer is semantics-preserving by construction and checked
+    against the unoptimized compiler by differential tests. *)
+
+val fold_expr : Ast.expr -> Ast.expr
+val optimize : Ast.program -> Ast.program
+
+val pure : Ast.expr -> bool
+(** No calls anywhere inside. Reads of globals/locals/arrays count as
+    pure (statements are folded one at a time, so no write can
+    intervene within a single expression's evaluation). *)
+
+val eval_const : Ast.expr -> int option
+(** The expression's value if it is a compile-time constant, with the
+    machine's 32-bit wrap semantics (result as signed 32-bit). *)

@@ -1,0 +1,341 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.message
+
+exception Parse_error of error
+
+(* Token cursor over the lexer output. *)
+type cursor = { mutable toks : Lexer.located list }
+
+let fail line fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error { line; message = m })) fmt
+
+let peek cur =
+  match cur.toks with
+  | t :: _ -> t
+  | [] -> assert false (* lexer always ends with EOF *)
+
+let advance cur =
+  match cur.toks with
+  | _ :: rest when rest <> [] -> cur.toks <- rest
+  | _ -> ()
+
+let next cur =
+  let t = peek cur in
+  advance cur;
+  t
+
+let expect cur token what =
+  let t = next cur in
+  if t.Lexer.token <> token then
+    fail t.Lexer.line "expected %s, got %s" what (Lexer.token_name t.Lexer.token)
+
+let expect_ident cur what =
+  let t = next cur in
+  match t.Lexer.token with
+  | Lexer.IDENT s -> s
+  | other -> fail t.Lexer.line "expected %s, got %s" what (Lexer.token_name other)
+
+let expect_int cur what =
+  let t = next cur in
+  match t.Lexer.token with
+  | Lexer.INT v -> v
+  | Lexer.MINUS -> (
+    let t2 = next cur in
+    match t2.Lexer.token with
+    | Lexer.INT v -> -v
+    | other ->
+      fail t2.Lexer.line "expected %s, got -%s" what (Lexer.token_name other))
+  | other -> fail t.Lexer.line "expected %s, got %s" what (Lexer.token_name other)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions: precedence climbing                                    *)
+
+let binop_of_token = function
+  | Lexer.PIPEPIPE -> Some (Ast.Lor, 1)
+  | Lexer.AMPAMP -> Some (Ast.Land, 2)
+  | Lexer.PIPE -> Some (Ast.Bor, 3)
+  | Lexer.CARET -> Some (Ast.Bxor, 4)
+  | Lexer.AMP -> Some (Ast.Band, 5)
+  | Lexer.EQ -> Some (Ast.Eq, 6)
+  | Lexer.NE -> Some (Ast.Ne, 6)
+  | Lexer.LT -> Some (Ast.Lt, 7)
+  | Lexer.LE -> Some (Ast.Le, 7)
+  | Lexer.GT -> Some (Ast.Gt, 7)
+  | Lexer.GE -> Some (Ast.Ge, 7)
+  | Lexer.SHL -> Some (Ast.Shl, 8)
+  | Lexer.SHR -> Some (Ast.Shr, 8)
+  | Lexer.PLUS -> Some (Ast.Add, 9)
+  | Lexer.MINUS -> Some (Ast.Sub, 9)
+  | Lexer.STAR -> Some (Ast.Mul, 10)
+  | Lexer.SLASH -> Some (Ast.Div, 10)
+  | Lexer.PERCENT -> Some (Ast.Mod, 10)
+  | _ -> None
+
+let rec parse_primary cur =
+  let t = next cur in
+  match t.Lexer.token with
+  | Lexer.INT v -> Ast.Int v
+  | Lexer.LPAREN ->
+    let e = parse_expression cur 1 in
+    expect cur Lexer.RPAREN ")";
+    e
+  | Lexer.MINUS -> Ast.Unary (Ast.Neg, parse_primary cur)
+  | Lexer.BANG -> Ast.Unary (Ast.Lnot, parse_primary cur)
+  | Lexer.TILDE -> Ast.Unary (Ast.Bnot, parse_primary cur)
+  | Lexer.IDENT name -> (
+    match (peek cur).Lexer.token with
+    | Lexer.LPAREN ->
+      advance cur;
+      let args = parse_args cur in
+      Ast.Call (name, args)
+    | Lexer.LBRACKET ->
+      advance cur;
+      let idx = parse_expression cur 1 in
+      expect cur Lexer.RBRACKET "]";
+      Ast.Index (name, idx)
+    | _ -> Ast.Var name)
+  | other -> fail t.Lexer.line "expected an expression, got %s" (Lexer.token_name other)
+
+and parse_args cur =
+  match (peek cur).Lexer.token with
+  | Lexer.RPAREN ->
+    advance cur;
+    []
+  | _ ->
+    let rec more acc =
+      let e = parse_expression cur 1 in
+      match (next cur).Lexer.token with
+      | Lexer.COMMA -> more (e :: acc)
+      | Lexer.RPAREN -> List.rev (e :: acc)
+      | other ->
+        fail (peek cur).Lexer.line "expected , or ) in call, got %s"
+          (Lexer.token_name other)
+    in
+    more []
+
+and parse_expression cur min_prec =
+  let lhs = ref (parse_primary cur) in
+  let rec loop () =
+    match binop_of_token (peek cur).Lexer.token with
+    | Some (op, prec) when prec >= min_prec ->
+      advance cur;
+      let rhs = parse_expression cur (prec + 1) in
+      lhs := Ast.Binary (op, !lhs, rhs);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  !lhs
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* Simple statements usable in for-headers: declaration, assignment or
+   bare expression, without the trailing semicolon. *)
+let rec parse_simple cur =
+  match (peek cur).Lexer.token with
+  | Lexer.KW_INT ->
+    advance cur;
+    let name = expect_ident cur "variable name" in
+    let init =
+      match (peek cur).Lexer.token with
+      | Lexer.ASSIGN ->
+        advance cur;
+        Some (parse_expression cur 1)
+      | _ -> None
+    in
+    Ast.Decl (name, init)
+  | Lexer.IDENT name -> (
+    advance cur;
+    match (peek cur).Lexer.token with
+    | Lexer.ASSIGN ->
+      advance cur;
+      Ast.Assign (name, None, parse_expression cur 1)
+    | Lexer.LBRACKET -> (
+      advance cur;
+      let idx = parse_expression cur 1 in
+      expect cur Lexer.RBRACKET "]";
+      match (peek cur).Lexer.token with
+      | Lexer.ASSIGN ->
+        advance cur;
+        Ast.Assign (name, Some idx, parse_expression cur 1)
+      | _ -> fail (peek cur).Lexer.line "expected = after index expression")
+    | Lexer.LPAREN ->
+      advance cur;
+      let args = parse_args cur in
+      Ast.Expr (Ast.Call (name, args))
+    | other ->
+      fail (peek cur).Lexer.line "expected =, [ or ( after identifier, got %s"
+        (Lexer.token_name other))
+  | _ -> Ast.Expr (parse_expression cur 1)
+
+and parse_stmt cur =
+  let t = peek cur in
+  match t.Lexer.token with
+  | Lexer.LBRACE -> Ast.Block (parse_block cur)
+  | Lexer.KW_IF ->
+    advance cur;
+    expect cur Lexer.LPAREN "(";
+    let cond = parse_expression cur 1 in
+    expect cur Lexer.RPAREN ")";
+    let then_b = parse_block cur in
+    let else_b =
+      match (peek cur).Lexer.token with
+      | Lexer.KW_ELSE -> (
+        advance cur;
+        match (peek cur).Lexer.token with
+        | Lexer.KW_IF -> Some [ parse_stmt cur ]
+        | _ -> Some (parse_block cur))
+      | _ -> None
+    in
+    Ast.If (cond, then_b, else_b)
+  | Lexer.KW_WHILE ->
+    advance cur;
+    expect cur Lexer.LPAREN "(";
+    let cond = parse_expression cur 1 in
+    expect cur Lexer.RPAREN ")";
+    Ast.While (cond, parse_block cur)
+  | Lexer.KW_FOR ->
+    advance cur;
+    expect cur Lexer.LPAREN "(";
+    let init =
+      match (peek cur).Lexer.token with
+      | Lexer.SEMI -> None
+      | _ -> Some (parse_simple cur)
+    in
+    expect cur Lexer.SEMI ";";
+    let cond =
+      match (peek cur).Lexer.token with
+      | Lexer.SEMI -> None
+      | _ -> Some (parse_expression cur 1)
+    in
+    expect cur Lexer.SEMI ";";
+    let step =
+      match (peek cur).Lexer.token with
+      | Lexer.RPAREN -> None
+      | _ -> Some (parse_simple cur)
+    in
+    expect cur Lexer.RPAREN ")";
+    Ast.For (init, cond, step, parse_block cur)
+  | Lexer.KW_RETURN ->
+    advance cur;
+    let e =
+      match (peek cur).Lexer.token with
+      | Lexer.SEMI -> None
+      | _ -> Some (parse_expression cur 1)
+    in
+    expect cur Lexer.SEMI ";";
+    Ast.Return e
+  | _ ->
+    let s = parse_simple cur in
+    expect cur Lexer.SEMI ";";
+    s
+
+and parse_block cur =
+  expect cur Lexer.LBRACE "{";
+  let rec stmts acc =
+    match (peek cur).Lexer.token with
+    | Lexer.RBRACE ->
+      advance cur;
+      List.rev acc
+    | Lexer.EOF -> fail (peek cur).Lexer.line "unterminated block"
+    | _ -> stmts (parse_stmt cur :: acc)
+  in
+  stmts []
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+
+let parse_top cur =
+  let globals = ref [] in
+  let funcs = ref [] in
+  let rec loop () =
+    match (peek cur).Lexer.token with
+    | Lexer.EOF -> ()
+    | Lexer.KW_INT -> (
+      advance cur;
+      let name = expect_ident cur "name" in
+      match (peek cur).Lexer.token with
+      | Lexer.LPAREN ->
+        (* function *)
+        advance cur;
+        let params =
+          match (peek cur).Lexer.token with
+          | Lexer.RPAREN ->
+            advance cur;
+            []
+          | _ ->
+            let rec more acc =
+              expect cur Lexer.KW_INT "int";
+              let p = expect_ident cur "parameter name" in
+              match (next cur).Lexer.token with
+              | Lexer.COMMA -> more (p :: acc)
+              | Lexer.RPAREN -> List.rev (p :: acc)
+              | other ->
+                fail (peek cur).Lexer.line "expected , or ), got %s"
+                  (Lexer.token_name other)
+            in
+            more []
+        in
+        let body = parse_block cur in
+        funcs := { Ast.name; params; body } :: !funcs;
+        loop ()
+      | Lexer.LBRACKET ->
+        advance cur;
+        let size = expect_int cur "array size" in
+        expect cur Lexer.RBRACKET "]";
+        let init =
+          match (peek cur).Lexer.token with
+          | Lexer.ASSIGN ->
+            advance cur;
+            expect cur Lexer.LBRACE "{";
+            let rec elts acc =
+              let v = expect_int cur "array element" in
+              match (next cur).Lexer.token with
+              | Lexer.COMMA -> elts (v :: acc)
+              | Lexer.RBRACE -> List.rev (v :: acc)
+              | other ->
+                fail (peek cur).Lexer.line "expected , or } in initializer, got %s"
+                  (Lexer.token_name other)
+            in
+            Some (elts [])
+          | _ -> None
+        in
+        expect cur Lexer.SEMI ";";
+        globals := Ast.Garr (name, size, init) :: !globals;
+        loop ()
+      | _ ->
+        let init =
+          match (peek cur).Lexer.token with
+          | Lexer.ASSIGN ->
+            advance cur;
+            Some (expect_int cur "initializer")
+          | _ -> None
+        in
+        expect cur Lexer.SEMI ";";
+        globals := Ast.Gvar (name, init) :: !globals;
+        loop ())
+    | other ->
+      fail (peek cur).Lexer.line "expected a declaration, got %s"
+        (Lexer.token_name other)
+  in
+  loop ();
+  { Ast.globals = List.rev !globals; funcs = List.rev !funcs }
+
+let with_cursor src k =
+  match Lexer.tokenize src with
+  | Error e -> Error { line = e.Lexer.line; message = e.Lexer.message }
+  | Ok toks -> (
+    let cur = { toks } in
+    match k cur with
+    | v -> Ok v
+    | exception Parse_error e -> Error e)
+
+let parse src = with_cursor src parse_top
+
+let parse_expr src =
+  with_cursor src (fun cur ->
+      let e = parse_expression cur 1 in
+      expect cur Lexer.EOF "end of input";
+      e)

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+    {v
+    program  := (global | func)*
+    global   := "int" IDENT ("=" INT)? ";"
+              | "int" IDENT "[" INT "]" ("=" "{" INT ("," INT)* "}")? ";"
+    func     := "int" IDENT "(" params? ")" block
+    block    := "{" stmt* "}"
+    stmt     := "int" IDENT ("=" expr)? ";"
+              | IDENT ("[" expr "]")? "=" expr ";"
+              | "if" "(" expr ")" block ("else" (block | if-stmt))?
+              | "while" "(" expr ")" block
+              | "for" "(" simple? ";" expr? ";" simple? ")" block
+              | "return" expr? ";"
+              | block | expr ";"
+    expr     := precedence climbing over || && | ^ & == != < <= > >=
+                << >> + - * / % with unary - ! ~
+    v} *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (Ast.program, error) result
+(** Lexes and parses a full translation unit. *)
+
+val parse_expr : string -> (Ast.expr, error) result
+(** Parses a single expression (for tests). *)

@@ -1,0 +1,92 @@
+type align = Left | Right
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rev_rows : string list list;
+}
+
+let create ~title ~columns = { title; columns; rev_rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Report.Table.add_row: %d cells for %d columns"
+         (List.length row) (List.length t.columns));
+  t.rev_rows <- row :: t.rev_rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let title t = t.title
+let columns t = List.map fst t.columns
+let rows t = List.rev t.rev_rows
+
+let cell t ~row ~col =
+  let ri = row in
+  let rows = rows t in
+  if ri < 0 || ri >= List.length rows then raise Not_found;
+  let row = List.nth rows ri in
+  let rec find cols cells =
+    match (cols, cells) with
+    | (name, _) :: _, c :: _ when name = col -> c
+    | _ :: cols, _ :: cells -> find cols cells
+    | _, _ -> raise Not_found
+  in
+  find t.columns row
+
+let render t =
+  let headers = List.map fst t.columns in
+  let all_rows = headers :: rows t in
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          0 all_rows)
+      t.columns
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_row row =
+    List.map2
+      (fun (cell, (_, align)) width -> pad align width cell)
+      (List.combine row t.columns)
+      widths
+    |> String.concat "  "
+  in
+  let sep =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    (rows t);
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n" (line (columns t) :: List.map line (rows t)) ^ "\n"
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let fmt_int = string_of_int
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let fmt_pct ?(decimals = 1) v = Printf.sprintf "%.*f%%" decimals (100.0 *. v)
+let fmt_bytes n = Printf.sprintf "%dB" n

@@ -1,0 +1,39 @@
+(** Plain-text tables for the experiment harness (the "rows the paper
+    reports"). *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : title:string -> columns:(string * align) list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the arity does not match the columns. *)
+
+val add_rows : t -> string list list -> unit
+
+val title : t -> string
+val columns : t -> string list
+val rows : t -> string list list
+
+val cell : t -> row:int -> col:string -> string
+(** @raise Not_found for unknown column names or row indexes. *)
+
+val render : t -> string
+(** ASCII rendering with a title line, a header and aligned columns. *)
+
+val to_csv : t -> string
+
+val print : t -> unit
+(** [render] to stdout followed by a blank line. *)
+
+(** Formatting helpers used across experiments. *)
+
+val fmt_int : int -> string
+val fmt_float : ?decimals:int -> float -> string
+val fmt_pct : ?decimals:int -> float -> string
+(** [fmt_pct 0.123] = ["12.3%"]. *)
+
+val fmt_bytes : int -> string

@@ -1,0 +1,457 @@
+type stats = {
+  instructions : int;
+  traps : int;
+  decompressions : int;
+  patches : int;
+  unpatches : int;
+  deletions : int;
+  flushes : int;
+  edges : int;
+  peak_copy_bytes : int;
+  live_copy_bytes : int;
+  compressed_image_bytes : int;
+  original_image_bytes : int;
+}
+
+type error =
+  | Out_of_fuel of stats
+  | Machine_fault of { pc : int; message : string; stats : stats }
+
+(* ------------------------------------------------------------------ *)
+(* Per-block relocation layout                                         *)
+
+(* Each basic block has one fixed relocation layout, computed once:
+   how its instructions expand into copy slots.
+
+   - conditional branches become an inverted skip-branch plus an
+     unconditional [jal r0] (so every outward transfer is a patchable
+     22-bit jump);
+   - linking jumps (calls) become [lui rd / ori rd / jal r0]: the
+     return address is materialized as the {e home} address of the
+     next instruction, so return addresses never point into copies and
+     deleting a copy can never strand a return;
+   - blocks that can fall through get a synthetic trailing jump to the
+     next home block.
+
+   Together with remember-set un-patching on deletion (below), no
+   reference to a deleted copy can survive anywhere — which is what
+   makes recycling the copy address space safe. *)
+type slot =
+  | Plain of Eris.Types.instruction
+  | Skip of Eris.Types.cond * Eris.Types.reg * Eris.Types.reg
+      (** inverted branch over the next slot *)
+  | Jump of int  (** [jal r0] to this home target; the patchable kind *)
+
+type layout = {
+  slots : slot array;
+  home_offs : int array;  (* length = slots + 1; last = block size *)
+}
+
+exception Runtime_bug of string
+
+let needs_fallthrough (last : Eris.Types.instruction) =
+  match last with
+  | Branch _ | Alu _ | Alui _ | Lui _ | Load _ | Store _ -> true
+  | Jal _ | Jalr _ | Halt -> false
+
+let invert_cond (c : Eris.Types.cond) =
+  match c with
+  | Eris.Types.Eq -> Eris.Types.Ne
+  | Ne -> Eq
+  | Lt -> Ge
+  | Ge -> Lt
+
+let layout_of_block (b : Cfg.Graph.block) decoded =
+  let rev = ref [] in
+  let add slot home_off = rev := (slot, home_off) :: !rev in
+  Array.iteri
+    (fun i instr ->
+      let home_off = 4 * i in
+      let home_pc = b.addr + home_off in
+      match (instr : Eris.Types.instruction) with
+      | Branch (c, rs1, rs2, off) ->
+        add (Skip (invert_cond c, rs1, rs2)) home_off;
+        add (Jump (home_pc + 4 + (4 * off))) home_off
+      | Jal (rd, off) ->
+        let target = home_pc + 4 + (4 * off) in
+        if Eris.Types.reg_index rd <> 0 then begin
+          (* set the link register to the HOME return address *)
+          let ret = home_pc + 4 in
+          if not (Eris.Types.uimm18_fits (ret lsr 14)) then
+            raise (Runtime_bug "image too large for call relocation");
+          add (Plain (Eris.Types.Lui (rd, ret lsr 14))) home_off;
+          add (Plain (Eris.Types.Alui (Or, rd, rd, ret land 0x3FFF))) home_off
+        end;
+        add (Jump target) home_off
+      | Alu _ | Alui _ | Lui _ | Load _ | Store _ | Jalr _ | Halt ->
+        add (Plain instr) home_off)
+    decoded;
+  if needs_fallthrough decoded.(Array.length decoded - 1) then
+    add (Jump (b.addr + b.byte_size)) b.byte_size;
+  let pairs = Array.of_list (List.rev !rev) in
+  {
+    slots = Array.map fst pairs;
+    home_offs =
+      Array.init
+        (Array.length pairs + 1)
+        (fun i -> if i < Array.length pairs then snd pairs.(i) else b.byte_size);
+  }
+
+(* The instruction a slot holds when (re)targeted at its home address. *)
+let materialize layout ~base idx =
+  match layout.slots.(idx) with
+  | Plain i -> i
+  | Skip (c, rs1, rs2) -> Eris.Types.Branch (c, rs1, rs2, 1)
+  | Jump home_target ->
+    Eris.Types.Jal (Eris.Types.r0, (home_target - (base + (4 * idx) + 4)) / 4)
+
+(* ------------------------------------------------------------------ *)
+(* Copies                                                              *)
+
+type copy = {
+  block : int;
+  base : int;
+  mutable instrs : Eris.Types.instruction array;  (* emptied on retirement *)
+  mutable live : bool;
+}
+
+type state = {
+  prog : Eris.Program.t;
+  graph : Cfg.Graph.t;
+  machine : Eris.Machine.t;
+  codec : Compress.Codec.t;
+  compressed : bytes array;
+  layouts : layout array;
+  kedge : Core.Kedge.t;
+  by_block : copy option array;
+  remember : (copy * int) list array;
+      (* per target block: the patched jump sites currently pointing at
+         its copy — the paper's remember sets, for real *)
+  mutable copies : copy array;  (* current epoch, base-ordered *)
+  mutable ncopies : int;
+  copy_base : int;
+  copy_limit : int;
+  mutable copy_ptr : int;
+  mutable live_bytes : int;
+  mutable peak_bytes : int;
+  mutable last_site : (copy * int) option;
+  mutable traps : int;
+  mutable decompressions : int;
+  mutable patches : int;
+  mutable unpatches : int;
+  mutable deletions : int;
+  mutable flushes : int;
+  mutable edges : int;
+}
+
+let image_size st = Eris.Program.byte_size st.prog
+let copy_bytes c = 4 * Array.length c.instrs
+
+(* Greatest current-epoch copy with base <= pc. *)
+let copy_at st pc =
+  let lo = ref 0 and hi = ref (st.ncopies - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if st.copies.(mid).base <= pc then begin
+      found := Some st.copies.(mid);
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !found
+
+let exec_slot st pc =
+  match copy_at st pc with
+  | Some c
+    when c.live && pc >= c.base && pc < c.base + copy_bytes c && pc mod 4 = 0
+    ->
+    Some (c, (pc - c.base) / 4)
+  | Some _ | None -> None
+
+(* With home return addresses and deletion-time un-patching, every
+   valid pc outside a live copy is a home address. *)
+let home_of st pc =
+  if pc >= 0 && pc < image_size st && pc mod 4 = 0 then Some pc else None
+
+(* ------------------------------------------------------------------ *)
+(* Patching and the remember sets                                      *)
+
+let patch_site st (c, idx) ~target_block ~target_addr =
+  if c.live then begin
+    match st.layouts.(c.block).slots.(idx) with
+    | Jump _ ->
+      let site_pc = c.base + (4 * idx) in
+      let patched = Eris.Types.Jal (Eris.Types.r0, (target_addr - (site_pc + 4)) / 4) in
+      (match Eris.Types.validate patched with
+      | Ok () ->
+        c.instrs.(idx) <- patched;
+        st.remember.(target_block) <- (c, idx) :: st.remember.(target_block);
+        st.patches <- st.patches + 1
+      | Error _ -> () (* out of reach: leave it faulting *))
+    | Plain _ | Skip _ -> () (* jalr sites and the like: not patchable *)
+  end
+
+(* Patch every remembered site back to the home address (the §5
+   patch-back step), dropping entries whose site copy is itself gone. *)
+let unpatch_sites st block =
+  List.iter
+    (fun (c, idx) ->
+      if c.live then begin
+        c.instrs.(idx) <- materialize st.layouts.(c.block) ~base:c.base idx;
+        st.unpatches <- st.unpatches + 1
+      end)
+    st.remember.(block);
+  st.remember.(block) <- []
+
+let delete_copy st c =
+  unpatch_sites st c.block;
+  c.live <- false;
+  st.by_block.(c.block) <- None;
+  st.live_bytes <- st.live_bytes - copy_bytes c;
+  c.instrs <- [||];
+  st.deletions <- st.deletions + 1
+
+(* Retire everything and recycle the address space. Safe because
+   nothing can reference a copy once its remember set is patched back
+   and return addresses are home addresses. *)
+let flush st =
+  Array.iteri
+    (fun b copy ->
+      match copy with
+      | Some c ->
+        unpatch_sites st b;
+        c.live <- false;
+        c.instrs <- [||];
+        st.by_block.(b) <- None;
+        st.deletions <- st.deletions + 1
+      | None -> st.remember.(b) <- [])
+    st.by_block;
+  st.copies <- [||];
+  st.ncopies <- 0;
+  st.copy_ptr <- st.copy_base;
+  st.live_bytes <- 0;
+  st.flushes <- st.flushes + 1
+
+(* ------------------------------------------------------------------ *)
+(* Copy creation (the real decompression path)                         *)
+
+let make_copy st block_id =
+  let b = Cfg.Graph.block st.graph block_id in
+  (* Really decompress and decode; any codec bug surfaces here. *)
+  let bytes = st.codec.Compress.Codec.decompress st.compressed.(block_id) in
+  if Bytes.length bytes <> b.byte_size then
+    raise (Runtime_bug "decompressed size mismatch");
+  (match Eris.Encoding.decode_program bytes with
+  | Ok decoded ->
+    (* cross-check against the layout built at startup *)
+    if Array.length decoded <> b.n_instrs then
+      raise (Runtime_bug "decode after decompress: wrong instruction count")
+  | Error msg -> raise (Runtime_bug ("decode after decompress: " ^ msg)));
+  st.decompressions <- st.decompressions + 1;
+  let layout = st.layouts.(block_id) in
+  let slots = Array.length layout.slots in
+  (* guard word between copies keeps one-past-the-end unambiguous *)
+  if st.copy_ptr + (4 * slots) + 4 > st.copy_limit then flush st;
+  let base = st.copy_ptr in
+  let instrs = Array.init slots (fun i -> materialize layout ~base i) in
+  Array.iter
+    (fun i ->
+      match Eris.Types.validate i with
+      | Ok () -> ()
+      | Error msg -> raise (Runtime_bug ("relocation overflow: " ^ msg)))
+    instrs;
+  let c = { block = block_id; base; instrs; live = true } in
+  st.copy_ptr <- st.copy_ptr + (4 * slots) + 4;
+  if st.ncopies = Array.length st.copies then begin
+    let bigger = Array.make (max 16 (2 * st.ncopies)) c in
+    Array.blit st.copies 0 bigger 0 st.ncopies;
+    st.copies <- bigger
+  end;
+  st.copies.(st.ncopies) <- c;
+  st.ncopies <- st.ncopies + 1;
+  st.by_block.(block_id) <- Some c;
+  st.live_bytes <- st.live_bytes + (4 * slots);
+  if st.live_bytes > st.peak_bytes then st.peak_bytes <- st.live_bytes;
+  c
+
+(* ------------------------------------------------------------------ *)
+(* Edge bookkeeping (the k-edge algorithm, for real)                   *)
+
+let block_of_home st home =
+  match Cfg.Graph.block_at_addr st.graph home with
+  | Some b -> b
+  | None -> raise (Runtime_bug (Printf.sprintf "no block at home %d" home))
+
+let on_edge st ~target_block =
+  st.edges <- st.edges + 1;
+  List.iter
+    (fun d ->
+      if d <> target_block then
+        match st.by_block.(d) with
+        | Some c -> delete_copy st c
+        | None -> ())
+    (Core.Kedge.due st.kedge ~step:st.edges);
+  Core.Kedge.track st.kedge ~block:target_block ~step:st.edges
+
+(* ------------------------------------------------------------------ *)
+(* The trap handler (§5's memory-protection exception)                 *)
+
+let handle_trap st pc =
+  match home_of st pc with
+  | None ->
+    raise
+      (Eris.Machine.Fault { pc; message = "wild pc outside image and copies" })
+  | Some home ->
+    st.traps <- st.traps + 1;
+    let block = block_of_home st home in
+    let c =
+      match st.by_block.(block) with
+      | Some c -> c
+      | None -> make_copy st block
+    in
+    let home_base = (Cfg.Graph.block st.graph block).addr in
+    let off = home - home_base in
+    let layout = st.layouts.(block) in
+    (* first slot carrying this home offset (for a branch pair, the
+       skip-branch; for a call sequence, the lui) *)
+    let slot =
+      let rec find i =
+        if i >= Array.length layout.slots then
+          raise
+            (Runtime_bug
+               (Printf.sprintf "no slot for home offset %d in block %d" off
+                  block))
+        else if layout.home_offs.(i) = off then i
+        else find (i + 1)
+      in
+      find 0
+    in
+    let target = c.base + (4 * slot) in
+    (match st.last_site with
+    | Some site -> patch_site st site ~target_block:block ~target_addr:target
+    | None -> ());
+    Eris.Machine.set_pc st.machine target
+
+(* ------------------------------------------------------------------ *)
+(* Main loop                                                           *)
+
+let stats_of st =
+  {
+    instructions = Eris.Machine.instr_count st.machine;
+    traps = st.traps;
+    decompressions = st.decompressions;
+    patches = st.patches;
+    unpatches = st.unpatches;
+    deletions = st.deletions;
+    flushes = st.flushes;
+    edges = st.edges;
+    peak_copy_bytes = st.peak_bytes;
+    live_copy_bytes = st.live_bytes;
+    compressed_image_bytes =
+      Array.fold_left (fun a b -> a + Bytes.length b) 0 st.compressed;
+    original_image_bytes = image_size st;
+  }
+
+let run ?(fuel = 20_000_000) ?(k = 8) ?codec prog =
+  let graph = Cfg.Build.of_program prog in
+  let codec =
+    match codec with
+    | Some c -> c
+    | None -> Compress.Registry.code_codec ~corpus:prog.Eris.Program.image
+  in
+  let compressed =
+    Array.map
+      (fun (b : Cfg.Graph.block) ->
+        codec.Compress.Codec.compress
+          (Eris.Program.slice_bytes prog ~lo:b.addr ~hi:(b.addr + b.byte_size)))
+      (Cfg.Graph.blocks graph)
+  in
+  let layouts =
+    Array.map
+      (fun (b : Cfg.Graph.block) ->
+        let instrs =
+          Array.sub prog.Eris.Program.instrs (b.addr / 4) b.n_instrs
+        in
+        layout_of_block b instrs)
+      (Cfg.Graph.blocks graph)
+  in
+  let copy_base = ((Eris.Program.byte_size prog / 4096) + 1) * 4096 in
+  let st =
+    {
+      prog;
+      graph;
+      machine = Eris.Machine.create prog;
+      codec;
+      compressed;
+      layouts;
+      kedge = Core.Kedge.create ~blocks:(Cfg.Graph.num_blocks graph) ~k ();
+      by_block = Array.make (Cfg.Graph.num_blocks graph) None;
+      remember = Array.make (Cfg.Graph.num_blocks graph) [];
+      copies = [||];
+      ncopies = 0;
+      copy_base;
+      (* conditional branches are gone from copies (replaced by pairs),
+         so only jal reach matters: +-8 MiB covers this window *)
+      copy_limit = copy_base + (6 * 1024 * 1024);
+      copy_ptr = copy_base;
+      live_bytes = 0;
+      peak_bytes = 0;
+      last_site = None;
+      traps = 0;
+      decompressions = 0;
+      patches = 0;
+      unpatches = 0;
+      deletions = 0;
+      flushes = 0;
+      edges = 0;
+    }
+  in
+  let rec loop budget =
+    if Eris.Machine.halted st.machine then Ok (st.machine, stats_of st)
+    else if budget <= 0 then Error (Out_of_fuel (stats_of st))
+    else begin
+      let pc = Eris.Machine.pc st.machine in
+      match exec_slot st pc with
+      | Some (c, idx) ->
+        Eris.Machine.execute_instruction st.machine c.instrs.(idx);
+        let new_pc = Eris.Machine.pc st.machine in
+        (if (not (Eris.Machine.halted st.machine)) && new_pc <> pc + 4 then
+           let is_skip =
+             match st.layouts.(c.block).slots.(idx) with
+             | Skip _ -> true
+             | Plain _ | Jump _ -> false
+           in
+           if is_skip then st.last_site <- None
+           else begin
+             st.last_site <- Some (c, idx);
+             match exec_slot st new_pc with
+             | Some (tc, _) -> on_edge st ~target_block:tc.block
+             | None -> (
+               match home_of st new_pc with
+               | Some home -> on_edge st ~target_block:(block_of_home st home)
+               | None ->
+                 raise
+                   (Eris.Machine.Fault
+                      { pc = new_pc; message = "transfer to unknown address" }))
+           end
+         else if new_pc = pc + 4 then st.last_site <- None);
+        loop (budget - 1)
+      | None ->
+        handle_trap st pc;
+        st.last_site <- None;
+        loop budget
+    end
+  in
+  Core.Kedge.track st.kedge ~block:(Cfg.Graph.entry graph) ~step:0;
+  match loop fuel with
+  | result -> result
+  | exception Eris.Machine.Fault { pc; message } ->
+    Error (Machine_fault { pc; message; stats = stats_of st })
+  | exception Runtime_bug message ->
+    Error
+      (Machine_fault
+         { pc = Eris.Machine.pc st.machine; message; stats = stats_of st })
+
+let run_source ?fuel ?k ?codec source =
+  run ?fuel ?k ?codec (Eris.Asm.assemble_exn source)

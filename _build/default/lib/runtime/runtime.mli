@@ -1,0 +1,69 @@
+(** An {e executable} implementation of the paper's §5 scheme — not a
+    timing model (that is {!Core.Engine}) but the real mechanism,
+    running real programs:
+
+    - the program image is stored {e only} in compressed form (each
+      basic block compressed with a real codec);
+    - fetching from a compressed (or deleted-copy) address raises the
+      memory-protection exception; the handler {e really} decompresses
+      the block's bytes, decodes them, relocates the instructions into
+      a fresh copy (rewriting pc-relative targets to absolute home
+      addresses and appending a synthetic jump for fallthrough), and
+      redirects the pc;
+    - the jump that faulted is {e really} patched to target the copy,
+      and recorded in the target block's {e remember set}, so
+      steady-state re-entry costs nothing;
+    - the k-edge algorithm {e really} deletes copies, patching every
+      remembered site back to its home target first (§5's patch-back);
+      calls materialize {e home} return addresses, so no reference to
+      a deleted copy can survive anywhere — which is also what makes
+      recycling the copy address space safe.
+
+    Because the machine executes the relocated copies for real, a
+    workload's checksum coming out right under any k is end-to-end
+    evidence that compression, decompression, relocation, patching and
+    deletion are all correct. *)
+
+type stats = {
+  instructions : int;  (** instructions executed *)
+  traps : int;  (** memory-protection exceptions taken *)
+  decompressions : int;  (** handler decompressions, reloads included *)
+  patches : int;  (** jump sites rewritten to copy addresses *)
+  unpatches : int;
+      (** remember-set patch-backs performed when copies are deleted *)
+  deletions : int;  (** k-edge copy deletions (flushed copies included) *)
+  flushes : int;
+      (** address-space recycles: all copies retired at once when the
+          relocation window fills — rare, and safe because un-patching
+          plus home-valued return addresses leave no reference to any
+          retired copy *)
+  edges : int;  (** control transfers observed *)
+  peak_copy_bytes : int;  (** high-water mark of live copies *)
+  live_copy_bytes : int;  (** at halt *)
+  compressed_image_bytes : int;
+  original_image_bytes : int;
+}
+
+type error =
+  | Out_of_fuel of stats
+  | Machine_fault of { pc : int; message : string; stats : stats }
+
+val run :
+  ?fuel:int ->
+  ?k:int ->
+  ?codec:Compress.Codec.t ->
+  Eris.Program.t ->
+  (Eris.Machine.t * stats, error) result
+(** Executes the program from an all-compressed image until [Halt].
+    [k] (default 8) is the k-edge deletion distance; [codec] defaults
+    to the positional shared-Huffman model trained on this image.
+    The returned machine exposes final registers and data memory. *)
+
+val run_source :
+  ?fuel:int ->
+  ?k:int ->
+  ?codec:Compress.Codec.t ->
+  string ->
+  (Eris.Machine.t * stats, error) result
+(** {!run} over assembled source. @raise Eris.Asm.Error on syntax
+    problems. *)

@@ -1,0 +1,1 @@
+lib/trace/analysis.ml: Array Format Hashtbl List

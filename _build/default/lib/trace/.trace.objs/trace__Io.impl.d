@@ -1,0 +1,1 @@
+lib/trace/io.ml: Array Buffer Fun In_channel List Printf String

@@ -1,0 +1,67 @@
+let reuse_distances ~blocks trace =
+  let last = Array.make blocks (-1) in
+  let out = Array.make blocks [] in
+  Array.iteri
+    (fun step b ->
+      if b >= 0 && b < blocks then begin
+        if last.(b) >= 0 then out.(b) <- (step - last.(b)) :: out.(b);
+        last.(b) <- step
+      end)
+    trace;
+  Array.map List.rev out
+
+let all_reuse_distances ~blocks trace =
+  reuse_distances ~blocks trace
+  |> Array.to_list |> List.concat |> List.sort compare
+
+let percentile p sorted =
+  if p < 0.0 || p > 1.0 then invalid_arg "Trace.Analysis.percentile";
+  match sorted with
+  | [] -> None
+  | l ->
+    let n = List.length l in
+    let idx = min (n - 1) (int_of_float (p *. float_of_int n)) in
+    Some (List.nth l idx)
+
+let survival_fraction ~blocks trace ~k =
+  let ds = all_reuse_distances ~blocks trace in
+  match ds with
+  | [] -> 1.0
+  | ds ->
+    let hits = List.length (List.filter (fun d -> d <= k) ds) in
+    float_of_int hits /. float_of_int (List.length ds)
+
+let working_set_sizes trace ~window =
+  if window <= 0 then invalid_arg "Trace.Analysis.working_set_sizes";
+  let len = Array.length trace in
+  let nwin = (len + window - 1) / window in
+  Array.init nwin (fun w ->
+      let seen = Hashtbl.create 16 in
+      let lo = w * window in
+      let hi = min len (lo + window) in
+      for i = lo to hi - 1 do
+        Hashtbl.replace seen trace.(i) ()
+      done;
+      Hashtbl.length seen)
+
+let distinct_blocks trace =
+  let seen = Hashtbl.create 16 in
+  Array.iter (fun b -> Hashtbl.replace seen b ()) trace;
+  Hashtbl.length seen
+
+let pp_summary ~blocks ppf trace =
+  let ds = all_reuse_distances ~blocks trace in
+  let pct p =
+    match percentile p ds with Some v -> string_of_int v | None -> "-"
+  in
+  Format.fprintf ppf
+    "@[<v>trace length: %d; distinct blocks: %d@,\
+     reuse distances: %d samples; p25 %s, p50 %s, p75 %s, p90 %s, max %s@,\
+     k-edge hit rate: k=2 %.0f%%, k=4 %.0f%%, k=8 %.0f%%, k=16 %.0f%%@]"
+    (Array.length trace) (distinct_blocks trace) (List.length ds) (pct 0.25)
+    (pct 0.5) (pct 0.75) (pct 0.9)
+    (match List.rev ds with v :: _ -> string_of_int v | [] -> "-")
+    (100.0 *. survival_fraction ~blocks trace ~k:2)
+    (100.0 *. survival_fraction ~blocks trace ~k:4)
+    (100.0 *. survival_fraction ~blocks trace ~k:8)
+    (100.0 *. survival_fraction ~blocks trace ~k:16)

@@ -1,0 +1,32 @@
+(** Access-pattern analytics over basic-block traces: the quantities
+    that determine how a trace responds to the k-edge policy.
+
+    A block's {e reuse distance} (here: edge traversals between
+    consecutive executions of the same block) decides its fate under a
+    given k — it survives iff its reuse distance stays below k. *)
+
+val reuse_distances : blocks:int -> int array -> int list array
+(** Per block, the list of observed reuse distances (chronological). *)
+
+val all_reuse_distances : blocks:int -> int array -> int list
+(** All reuse distances in one sorted list. *)
+
+val percentile : float -> int list -> int option
+(** [percentile 0.5 sorted] is the median; [None] on empty lists.
+    @raise Invalid_argument outside [0, 1]. The list must be sorted. *)
+
+val survival_fraction : blocks:int -> int array -> k:int -> float
+(** Fraction of re-executions whose reuse distance is <= [k] — i.e.
+    the hit rate the k-edge policy would achieve on this trace
+    (1.0 when there are no re-executions). *)
+
+val working_set_sizes : int array -> window:int -> int array
+(** Number of distinct blocks in each consecutive window (stride =
+    window). @raise Invalid_argument if [window <= 0]. *)
+
+val distinct_blocks : int array -> int
+
+val pp_summary :
+  blocks:int -> Format.formatter -> int array -> unit
+(** Human-readable digest: length, distinct blocks, reuse-distance
+    quartiles, suggested k values. *)

@@ -1,0 +1,41 @@
+let header = "ccomp-trace 1"
+
+let to_string trace =
+  let buf = Buffer.create ((Array.length trace * 4) + 16) in
+  Buffer.add_string buf header;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun b ->
+      Buffer.add_string buf (string_of_int b);
+      Buffer.add_char buf '\n')
+    trace;
+  Buffer.contents buf
+
+let of_string s =
+  match String.split_on_char '\n' s with
+  | h :: rest when h = header ->
+    let ids = List.filter (fun l -> String.trim l <> "") rest in
+    let rec parse acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | l :: tl -> (
+        match int_of_string_opt (String.trim l) with
+        | Some v -> parse (v :: acc) tl
+        | None -> Error (Printf.sprintf "bad trace line %S" l))
+    in
+    parse [] ids
+  | h :: _ -> Error (Printf.sprintf "bad trace header %S" h)
+  | [] -> Error "empty trace file"
+
+let save path trace =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string trace))
+
+let load path =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string (In_channel.input_all ic))
+  | exception Sys_error msg -> Error msg

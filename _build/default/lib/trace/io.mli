@@ -1,0 +1,11 @@
+(** Plain-text serialization of basic-block traces, so profiling runs
+    can be captured once and replayed across experiments. *)
+
+val to_string : int array -> string
+(** Format: a ["ccomp-trace 1"] header line, one decimal block id per
+    line. *)
+
+val of_string : string -> (int array, string) result
+
+val save : string -> int array -> unit
+val load : string -> (int array, string) result

@@ -1,0 +1,134 @@
+let markov ?(seed = 42) ?weight g ~length =
+  if length < 0 then invalid_arg "Trace.Synthetic.markov: negative length";
+  let rng = Random.State.make [| seed |] in
+  let weight =
+    match weight with Some w -> w | None -> fun ~src:_ ~dst:_ -> 1.0
+  in
+  let pick src =
+    match Cfg.Graph.succ_ids g src with
+    | [] -> None
+    | succ ->
+      let weights = List.map (fun dst -> max 0.0 (weight ~src ~dst)) succ in
+      let total = List.fold_left ( +. ) 0.0 weights in
+      if total <= 0.0 then
+        (* All-zero weights: fall back to uniform. *)
+        Some (List.nth succ (Random.State.int rng (List.length succ)))
+      else begin
+        let r = Random.State.float rng total in
+        let rec choose acc = function
+          | [ (d, _) ] -> d
+          | (d, w) :: rest -> if acc +. w >= r then d else choose (acc +. w) rest
+          | [] -> assert false
+        in
+        Some (choose 0.0 (List.combine succ weights))
+      end
+  in
+  let entry = Cfg.Graph.entry g in
+  let out = Array.make (max length 0) entry in
+  let cur = ref entry in
+  for i = 0 to length - 1 do
+    out.(i) <- !cur;
+    cur :=
+      (match pick !cur with
+      | Some next -> next
+      | None -> entry (* program "re-runs": restart at the entry *))
+  done;
+  out
+
+let loop_nest ~levels ~iters =
+  if levels <= 0 then invalid_arg "Trace.Synthetic.loop_nest: levels";
+  if Array.length iters <> levels then
+    invalid_arg "Trace.Synthetic.loop_nest: iters length mismatch";
+  Array.iter
+    (fun i -> if i <= 0 then invalid_arg "Trace.Synthetic.loop_nest: iters")
+    iters;
+  (* Blocks per level l (0 = outermost): header h_l, body b_l, exit e_l.
+     Control: h_l -> b_l; b_l -> h_(l+1) (or b_l -> h_l again for the
+     innermost); innermost body loops back to its own header; a header
+     that finishes iterating goes to its exit; exits chain upward. *)
+  let header l = 3 * l in
+  let body l = (3 * l) + 1 in
+  let exit_ l = (3 * l) + 2 in
+  let n = 3 * levels in
+  let edges = ref [] in
+  let add a b = edges := (a, b) :: !edges in
+  for l = 0 to levels - 1 do
+    add (header l) (body l);
+    add (header l) (exit_ l);
+    if l < levels - 1 then begin
+      add (body l) (header (l + 1));
+      add (exit_ (l + 1)) (header l)
+    end
+    else add (body l) (header l)
+  done;
+  let g = Cfg.Graph.synthetic n (List.rev !edges) in
+  (* Exact trace of one execution. *)
+  let buf = ref [] in
+  let emit b = buf := b :: !buf in
+  let rec run l =
+    for _ = 1 to iters.(l) do
+      emit (header l);
+      emit (body l);
+      if l < levels - 1 then run (l + 1)
+    done;
+    emit (header l);
+    emit (exit_ l)
+  in
+  run 0;
+  (g, Array.of_list (List.rev !buf))
+
+let hot_cold ?(seed = 7) ~hot_blocks ~cold_blocks ~hot_iters ~cold_visit_every
+    () =
+  if hot_blocks < 2 || cold_blocks < 1 || hot_iters < 1 || cold_visit_every < 1
+  then invalid_arg "Trace.Synthetic.hot_cold";
+  (* Blocks: 0 .. hot_blocks-1 form a cycle; hot_blocks .. +cold_blocks-1
+     form a chain entered from block 0 and returning to block 0. *)
+  let n = hot_blocks + cold_blocks in
+  let edges = ref [] in
+  let add a b = edges := (a, b) :: !edges in
+  for i = 0 to hot_blocks - 1 do
+    add i ((i + 1) mod hot_blocks)
+  done;
+  add 0 hot_blocks;
+  for i = 0 to cold_blocks - 2 do
+    add (hot_blocks + i) (hot_blocks + i + 1)
+  done;
+  add (hot_blocks + cold_blocks - 1) 0;
+  let sizes =
+    Array.init n (fun i -> if i < hot_blocks then 48 else 96)
+  in
+  let g = Cfg.Graph.synthetic ~sizes n (List.rev !edges) in
+  let rng = Random.State.make [| seed |] in
+  ignore rng;
+  let buf = ref [] in
+  let emit b = buf := b :: !buf in
+  for it = 1 to hot_iters do
+    emit 0;
+    if it mod cold_visit_every = 0 then
+      for c = 0 to cold_blocks - 1 do
+        emit (hot_blocks + c)
+      done
+    else
+      for i = 1 to hot_blocks - 1 do
+        emit i
+      done
+  done;
+  (g, Array.of_list (List.rev !buf))
+
+let diamond_chain ~diamonds =
+  if diamonds <= 0 then invalid_arg "Trace.Synthetic.diamond_chain";
+  (* Each diamond d: split s_d, then t_d / f_d, then join j_d; the join
+     is the next diamond's split. Block ids: 3d = split, 3d+1 = then,
+     3d+2 = else, last block = final join. *)
+  let n = (3 * diamonds) + 1 in
+  let edges = ref [] in
+  let add a b = edges := (a, b) :: !edges in
+  for d = 0 to diamonds - 1 do
+    let split = 3 * d in
+    let join = 3 * (d + 1) in
+    add split (split + 1);
+    add split (split + 2);
+    add (split + 1) join;
+    add (split + 2) join
+  done;
+  Cfg.Graph.synthetic n (List.rev !edges)

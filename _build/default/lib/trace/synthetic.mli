@@ -1,0 +1,39 @@
+(** Synthetic instruction-access patterns: random walks and canned CFG
+    families for studying the policies at scales and shapes no single
+    benchmark provides. *)
+
+val markov :
+  ?seed:int ->
+  ?weight:(src:int -> dst:int -> float) ->
+  Cfg.Graph.t ->
+  length:int ->
+  int array
+(** Random walk over the CFG edges starting at the entry. Successor
+    choice is proportional to [weight] (default uniform); walks that
+    reach an exit block restart at the entry (so the result satisfies
+    {!Cfg.Graph.validate_trace} exactly when every visited block has a
+    successor). *)
+
+val loop_nest : levels:int -> iters:int array -> Cfg.Graph.t * int array
+(** A nest of [levels] counted loops; level [i] runs [iters.(i)]
+    times per entry of its parent. Returns the graph (3 blocks per
+    level: header, body, latch-exit) and the exact trace of one full
+    execution. High temporal reuse: the paper's motivating shape. *)
+
+val hot_cold :
+  ?seed:int ->
+  hot_blocks:int ->
+  cold_blocks:int ->
+  hot_iters:int ->
+  cold_visit_every:int ->
+  unit ->
+  Cfg.Graph.t * int array
+(** A hot loop of [hot_blocks] blocks plus a rarely-taken cold chain
+    of [cold_blocks] blocks, entered once every [cold_visit_every]
+    loop iterations — the "large fraction of the code is rarely
+    touched" shape from Debray–Evans that motivates
+    block-granularity compression. *)
+
+val diamond_chain : diamonds:int -> Cfg.Graph.t
+(** A chain of if-then-else diamonds (4 blocks each), as in the
+    paper's Figure 2 reconstruction. *)

@@ -1,0 +1,1 @@
+lib/workloads/bsort.ml: Array Common Printf

@@ -1,0 +1,1 @@
+lib/workloads/bytecode_vm.ml: Common Format List Minic Printf String

@@ -1,0 +1,1 @@
+lib/workloads/bytecode_vm.mli: Common

@@ -1,0 +1,1 @@
+lib/workloads/collatz.ml: Common Format Minic Printf

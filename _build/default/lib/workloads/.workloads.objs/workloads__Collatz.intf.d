@@ -1,0 +1,1 @@
+lib/workloads/collatz.mli: Common

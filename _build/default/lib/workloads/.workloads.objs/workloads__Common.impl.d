@@ -1,0 +1,1 @@
+lib/workloads/common.ml: Buffer Core Eris Format List Printf

@@ -1,0 +1,1 @@
+lib/workloads/common.mli: Compress Core Eris

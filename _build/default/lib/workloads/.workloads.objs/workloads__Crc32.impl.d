@@ -1,0 +1,1 @@
+lib/workloads/crc32.ml: Common List Printf

@@ -1,0 +1,1 @@
+lib/workloads/dct.ml: Array Common Printf

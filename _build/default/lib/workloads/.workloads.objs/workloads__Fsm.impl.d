@@ -1,0 +1,1 @@
+lib/workloads/fsm.ml: Array Char Common List Printf

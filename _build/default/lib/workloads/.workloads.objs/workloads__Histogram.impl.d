@@ -1,0 +1,1 @@
+lib/workloads/histogram.ml: Array Common List Printf

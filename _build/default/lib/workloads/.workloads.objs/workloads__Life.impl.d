@@ -1,0 +1,1 @@
+lib/workloads/life.ml: Array Common Format List Minic Printf

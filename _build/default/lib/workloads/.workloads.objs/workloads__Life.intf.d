@@ -1,0 +1,1 @@
+lib/workloads/life.mli: Common

@@ -1,0 +1,1 @@
+lib/workloads/rotmix.ml: Array Common Printf

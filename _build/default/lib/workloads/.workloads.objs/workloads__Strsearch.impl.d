@@ -1,0 +1,1 @@
+lib/workloads/strsearch.ml: Array Common List Printf

@@ -1,0 +1,1 @@
+lib/workloads/strsearch.mli: Common

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Adpcm Bsort Bytecode_vm Collatz Common Crc32 Dct Dijkstra Fir Fsm Histogram Life List Matmul Nqueens Printf Qsort Rotmix Strsearch

@@ -1,0 +1,140 @@
+let n = 64
+let x_addr = 0x1000
+let step_addr = 0x1300
+let idx_addr = 0x1380
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31 |]
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let reference samples =
+  let predicted = ref 0 and index = ref 0 and checksum = ref 0 in
+  Array.iter
+    (fun s ->
+      let step = step_table.(!index) in
+      let diff = s - !predicted in
+      let sign = if diff < 0 then 8 else 0 in
+      let diff = abs diff in
+      let delta = ref 0 in
+      let diff = ref diff in
+      if !diff >= step then begin
+        delta := !delta lor 4;
+        diff := !diff - step
+      end;
+      let step2 = step lsr 1 in
+      if !diff >= step2 then begin
+        delta := !delta lor 2;
+        diff := !diff - step2
+      end;
+      let step4 = step lsr 2 in
+      if !diff >= step4 then delta := !delta lor 1;
+      let vpdiff = (((2 * !delta) + 1) * step) lsr 3 in
+      if sign = 8 then predicted := !predicted - vpdiff
+      else predicted := !predicted + vpdiff;
+      if !predicted > 32767 then predicted := 32767;
+      if !predicted < -32768 then predicted := -32768;
+      index := !index + index_table.(!delta);
+      if !index < 0 then index := 0;
+      if !index > 15 then index := 15;
+      let delta_full = !delta lor sign in
+      checksum := Common.mask32 ((!checksum * 31) + delta_full))
+    samples;
+  !checksum
+
+let make () =
+  let state = ref 31337 in
+  let samples = Array.init n (fun _ -> (Common.lcg state mod 4001) - 2000) in
+  let expected = reference samples in
+  let source =
+    Printf.sprintf
+      {|
+; simplified IMA-ADPCM encoder
+        li   r11, 0           ; predicted
+        li   r12, 0           ; step index
+        li   r10, 0           ; checksum
+        li   r1, 0            ; i
+sample_loop:
+        slli r2, r1, 2
+        li   r3, %d           ; X
+        add  r3, r3, r2
+        lw   r2, 0(r3)        ; s
+        slli r3, r12, 2
+        li   r4, %d           ; STEPTAB
+        add  r3, r4, r3
+        lw   r3, 0(r3)        ; step
+        sub  r4, r2, r11      ; diff
+        li   r5, 0            ; sign
+        bge  r4, r0, positive
+        li   r5, 8
+        sub  r4, r0, r4
+positive:
+        li   r6, 0            ; delta
+        blt  r4, r3, q2
+        ori  r6, r6, 4
+        sub  r4, r4, r3
+q2:
+        srli r7, r3, 1
+        blt  r4, r7, q1
+        ori  r6, r6, 2
+        sub  r4, r4, r7
+q1:
+        srli r7, r3, 2
+        blt  r4, r7, quant_done
+        ori  r6, r6, 1
+quant_done:
+        slli r7, r6, 1
+        addi r7, r7, 1
+        mul  r7, r7, r3
+        srli r7, r7, 3        ; vpdiff
+        beq  r5, r0, add_pred
+        sub  r11, r11, r7
+        j    clamp
+add_pred:
+        add  r11, r11, r7
+clamp:
+        li   r8, 32767
+        bge  r8, r11, clamp_low
+        mov  r11, r8
+clamp_low:
+        li   r8, -32768
+        bge  r11, r8, adjust_index
+        mov  r11, r8
+adjust_index:
+        slli r7, r6, 2
+        li   r8, %d           ; IDXTAB
+        add  r7, r8, r7
+        lw   r7, 0(r7)
+        add  r12, r12, r7
+        bge  r12, r0, idx_high
+        li   r12, 0
+idx_high:
+        li   r8, 15
+        bge  r8, r12, emit
+        mov  r12, r8
+emit:
+        or   r9, r6, r5       ; delta | sign
+        li   r7, 31
+        mul  r10, r10, r7
+        add  r10, r10, r9
+        addi r1, r1, 1
+        li   r7, %d           ; N
+        blt  r1, r7, sample_loop
+        li   r3, %d           ; RES
+        sw   r10, 0(r3)
+        halt
+%s%s%s|}
+      x_addr step_addr idx_addr n Common.result_addr
+      (Common.data_section ~addr:x_addr (Array.to_list samples))
+      (Common.data_section ~addr:step_addr (Array.to_list step_table))
+      (Common.data_section ~addr:idx_addr (Array.to_list index_table))
+  in
+  {
+    Common.name = "adpcm";
+    description = "simplified IMA-ADPCM encoder, 64 samples";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

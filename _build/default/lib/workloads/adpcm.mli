@@ -1,0 +1,6 @@
+(** Simplified IMA-ADPCM encoder over 64 samples: sign/magnitude
+    quantization with index and output clamping — a dense thicket of
+    short data-dependent branches, the canonical MediaBench-style
+    embedded media kernel. *)
+
+val workload : Common.t

@@ -1,0 +1,68 @@
+let n = 48
+let arr_addr = 0x1000
+
+let make () =
+  let state = ref 2025 in
+  let data = Array.init n (fun _ -> Common.lcg state mod 1000) in
+  let expected =
+    let a = Array.copy data in
+    Array.sort compare a;
+    (* Position-weighted checksum detects wrong orderings, not just
+       wrong multisets. *)
+    let sum = ref 0 in
+    Array.iteri (fun i v -> sum := Common.mask32 (!sum + ((i + 1) * v))) a;
+    !sum
+  in
+  let source =
+    Printf.sprintf
+      {|
+; bubble sort, then checksum = sum (i+1)*a[i]
+        li   r1, 0            ; pass
+pass_loop:
+        li   r2, 0            ; j
+inner:
+        slli r3, r2, 2
+        li   r4, %d           ; ARR
+        add  r4, r4, r3
+        lw   r5, 0(r4)        ; a[j]
+        lw   r6, 4(r4)        ; a[j+1]
+        bge  r6, r5, noswap
+        sw   r6, 0(r4)
+        sw   r5, 4(r4)
+noswap:
+        addi r2, r2, 1
+        li   r7, %d           ; N-1-pass... conservative: N-1
+        blt  r2, r7, inner
+        addi r1, r1, 1
+        li   r7, %d           ; N-1 passes
+        blt  r1, r7, pass_loop
+; checksum
+        li   r2, 0
+        li   r10, 0
+cksum:
+        slli r3, r2, 2
+        li   r4, %d
+        add  r4, r4, r3
+        lw   r5, 0(r4)
+        addi r6, r2, 1
+        mul  r5, r5, r6
+        add  r10, r10, r5
+        addi r2, r2, 1
+        li   r7, %d
+        blt  r2, r7, cksum
+        li   r4, %d
+        sw   r10, 0(r4)
+        halt
+%s|}
+      arr_addr (n - 1) (n - 1) arr_addr n Common.result_addr
+      (Common.data_section ~addr:arr_addr (Array.to_list data))
+  in
+  {
+    Common.name = "bsort";
+    description = "bubble sort of 48 words (data-dependent swap branch)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** Bubble sort of 48 words: quadratic loop nest with a data-dependent
+    swap branch taken roughly half the time early and almost never
+    late — the access pattern drifts as the run progresses. *)
+
+val workload : Common.t

@@ -1,0 +1,92 @@
+(* Opcodes: 0 HALT, 1 PUSH imm, 2 ADD, 3 SUB, 4 MUL, 5 DUP, 6 SWAP,
+   7 LOAD slot, 8 STORE slot, 9 JMP target, 10 JNZ target, 11 LT,
+   12 DROP. The bytecode below computes sum of n*n for n in 1..12.
+
+   Layout per instruction: one opcode word, one operand word (unused
+   operands are 0), so targets are instruction indexes. *)
+
+let bytecode =
+  [
+    (* 0: acc = 0 *) (1, 0); (8, 0);
+    (* 2: n = 1 *) (1, 1); (8, 1);
+    (* loop head (index 4): acc += n*n *)
+    (7, 1); (5, 0); (4, 0); (7, 0); (2, 0); (8, 0);
+    (* 10: n += 1 *)
+    (7, 1); (1, 1); (2, 0); (8, 1);
+    (* 14: if n < 13 jump to 4 *)
+    (7, 1); (1, 13); (11, 0); (10, 4);
+    (* 18: push acc, halt *)
+    (7, 0); (0, 0);
+  ]
+
+let reference () =
+  let acc = ref 0 in
+  for n = 1 to 12 do
+    acc := !acc + (n * n)
+  done;
+  !acc
+
+let source_c =
+  let words =
+    List.concat_map (fun (op, arg) -> [ op; arg ]) bytecode
+  in
+  let n = List.length words in
+  Printf.sprintf
+    {|
+int code[%d] = {%s};
+int stack[64];
+int slots[8];
+
+int main() {
+  int pc = 0;
+  int sp = 0;
+  while (1) {
+    int op = code[pc * 2];
+    int arg = code[pc * 2 + 1];
+    pc = pc + 1;
+    if (op == 0) { return stack[sp - 1]; }
+    else if (op == 1) { stack[sp] = arg; sp = sp + 1; }
+    else if (op == 2) { stack[sp - 2] = stack[sp - 2] + stack[sp - 1]; sp = sp - 1; }
+    else if (op == 3) { stack[sp - 2] = stack[sp - 2] - stack[sp - 1]; sp = sp - 1; }
+    else if (op == 4) { stack[sp - 2] = stack[sp - 2] * stack[sp - 1]; sp = sp - 1; }
+    else if (op == 5) { stack[sp] = stack[sp - 1]; sp = sp + 1; }
+    else if (op == 6) {
+      int t = stack[sp - 1];
+      stack[sp - 1] = stack[sp - 2];
+      stack[sp - 2] = t;
+    }
+    else if (op == 7) { stack[sp] = slots[arg]; sp = sp + 1; }
+    else if (op == 8) { sp = sp - 1; slots[arg] = stack[sp]; }
+    else if (op == 9) { pc = arg; }
+    else if (op == 10) { sp = sp - 1; if (stack[sp] != 0) { pc = arg; } }
+    else if (op == 11) {
+      if (stack[sp - 2] < stack[sp - 1]) { stack[sp - 2] = 1; } else { stack[sp - 2] = 0; }
+      sp = sp - 1;
+    }
+    else if (op == 12) { sp = sp - 1; }
+    else { return 0 - 1; }
+  }
+  return 0;
+}
+|}
+    (n / 2 * 2)
+    (String.concat ", " (List.map string_of_int words))
+
+let make () =
+  let source =
+    match Minic.Compile.to_assembly source_c with
+    | Ok asm -> asm
+    | Error e ->
+      failwith
+        (Format.asprintf "bytecode_vm failed to compile: %a"
+           Minic.Compile.pp_error e)
+  in
+  {
+    Common.name = "vm";
+    description = "stack bytecode interpreter (MiniC), sum of squares 1..12";
+    source;
+    result_addr = Common.result_addr;
+    expected = reference ();
+  }
+
+let workload = make ()

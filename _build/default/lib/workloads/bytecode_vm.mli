@@ -1,0 +1,8 @@
+(** A stack-based bytecode interpreter written in MiniC, running a
+    small bytecode program (sum of squares via a loop). The dispatch
+    chain — one compare-and-branch per opcode — is the classic
+    interpreter CFG: a long cold chain of handlers of which only a few
+    are hot, the shape that favors basic-block-granularity compression
+    most strongly. *)
+
+val workload : Common.t

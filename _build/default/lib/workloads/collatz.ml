@@ -1,0 +1,47 @@
+let limit = 60
+
+let source_c =
+  Printf.sprintf
+    {|
+int main() {
+  int total = 0;
+  for (int i = 1; i <= %d; i = i + 1) {
+    int x = i;
+    while (x != 1) {
+      if (x %% 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }
+      total = total + 1;
+    }
+  }
+  return total;
+}
+|}
+    limit
+
+let reference () =
+  let total = ref 0 in
+  for i = 1 to limit do
+    let x = ref i in
+    while !x <> 1 do
+      if !x mod 2 = 0 then x := !x / 2 else x := (3 * !x) + 1;
+      incr total
+    done
+  done;
+  !total
+
+let make () =
+  let source =
+    match Minic.Compile.to_assembly source_c with
+    | Ok asm -> asm
+    | Error e ->
+      failwith (Format.asprintf "collatz failed to compile: %a" Minic.Compile.pp_error e)
+  in
+  {
+    Common.name = "collatz";
+    description =
+      Printf.sprintf "Collatz steps for 1..%d, compiled from MiniC" limit;
+    source;
+    result_addr = Common.result_addr;
+    expected = reference ();
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** Total Collatz trajectory length for 1..60 — compiled from MiniC;
+    the data-dependent parity branch plus the software divide give a
+    long, irregular access pattern from a tiny source program. *)
+
+val workload : Common.t

@@ -1,0 +1,69 @@
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  result_addr : int;
+  expected : int;
+}
+
+let result_addr = 0x0FF0
+
+let lcg state =
+  state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+  !state
+
+let data_section ~addr words =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf ".data %d\n" addr);
+  List.iter (fun w -> Buffer.add_string buf (Printf.sprintf ".dw %d\n" w)) words;
+  Buffer.contents buf
+
+let bytes_to_words bytes =
+  let rec pack acc = function
+    | [] -> List.rev acc
+    | b ->
+      let take n l =
+        let rec go acc n = function
+          | x :: tl when n > 0 -> go (x :: acc) (n - 1) tl
+          | rest -> (List.rev acc, rest)
+        in
+        go [] n l
+      in
+      let chunk, rest = take 4 b in
+      let padded = chunk @ List.init (4 - List.length chunk) (fun _ -> 0) in
+      let word =
+        match padded with
+        | [ a; b; c; d ] ->
+          (a land 0xFF) lor ((b land 0xFF) lsl 8) lor ((c land 0xFF) lsl 16)
+          lor ((d land 0xFF) lsl 24)
+        | _ -> assert false
+      in
+      pack (word :: acc) rest
+  in
+  pack [] bytes
+
+let mask32 v = v land 0xFFFFFFFF
+let to_signed32 v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let run_program t =
+  let prog = Eris.Asm.assemble_exn t.source in
+  let machine = Eris.Machine.create prog in
+  let _ = Eris.Machine.run_to_halt ~fuel:20_000_000 machine in
+  machine
+
+let check t =
+  match run_program t with
+  | machine ->
+    let got = Eris.Machine.read_word machine t.result_addr in
+    if got = t.expected then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: checksum mismatch: got 0x%08x, expected 0x%08x"
+           t.name got t.expected)
+  | exception Eris.Machine.Fault { pc; message } ->
+    Error (Printf.sprintf "%s: fault at pc %d: %s" t.name pc message)
+  | exception Eris.Asm.Error e ->
+    Error (Format.asprintf "%s: assembly error: %a" t.name Eris.Asm.pp_error e)
+
+let scenario ?codec t =
+  Core.Scenario.of_source ~name:t.name ?codec ~fuel:20_000_000 t.source

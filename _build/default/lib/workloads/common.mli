@@ -1,0 +1,43 @@
+(** Shared infrastructure for the benchmark kernels.
+
+    Every workload is a self-contained ERIS-32 assembly program whose
+    inputs are generated deterministically in OCaml, embedded in the
+    source as [.data] preloads, and whose result (a 32-bit checksum at
+    {!result_addr}) is independently computed by an OCaml reference
+    implementation — so the suite validates the whole stack:
+    assembler, machine, CFG and trace extraction. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : string;  (** ERIS assembly *)
+  result_addr : int;  (** data address of the 32-bit checksum *)
+  expected : int;  (** reference checksum, in [0, 2{^32}) *)
+}
+
+val result_addr : int
+(** The conventional checksum address used by all kernels (0x0FF0). *)
+
+val lcg : int ref -> int
+(** Deterministic 31-bit generator shared by data emission and the
+    reference implementations. *)
+
+val data_section : addr:int -> int list -> string
+(** [.data]/[.dw] lines preloading the given 32-bit words at [addr]. *)
+
+val bytes_to_words : int list -> int list
+(** Packs bytes into little-endian words (zero-padded), matching what
+    [lb] reads from [.dw]-preloaded memory. *)
+
+val mask32 : int -> int
+val to_signed32 : int -> int
+
+val run_program : t -> Eris.Machine.t
+(** Assembles and runs to halt.
+    @raise Eris.Asm.Error or {!Eris.Machine.Fault} on any problem. *)
+
+val check : t -> (unit, string) result
+(** Runs the kernel and compares the checksum with [expected]. *)
+
+val scenario : ?codec:Compress.Codec.t -> t -> Core.Scenario.t
+(** Trace-extracting scenario for the policy engine. *)

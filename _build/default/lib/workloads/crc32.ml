@@ -1,0 +1,63 @@
+let len = 96
+let data_addr = 0x1000
+let poly = 0xEDB88320
+
+let reference bytes =
+  let crc = ref 0xFFFFFFFF in
+  List.iter
+    (fun b ->
+      crc := !crc lxor (b land 0xFF);
+      for _ = 1 to 8 do
+        let lsb = !crc land 1 in
+        crc := !crc lsr 1;
+        if lsb = 1 then crc := !crc lxor poly
+      done)
+    bytes;
+  Common.mask32 (!crc lxor 0xFFFFFFFF)
+
+let make () =
+  let state = ref 99 in
+  let bytes = List.init len (fun _ -> Common.lcg state land 0xFF) in
+  let expected = reference bytes in
+  let source =
+    Printf.sprintf
+      {|
+; CRC-32, bit by bit
+        li   r1, 0xFFFFFFFF   ; crc
+        li   r2, 0            ; byte index
+bytes:
+        li   r3, %d           ; DATA
+        add  r3, r3, r2
+        lb   r3, 0(r3)
+        xor  r1, r1, r3
+        li   r4, 8            ; bit counter
+bits:
+        andi r5, r1, 1
+        srli r1, r1, 1
+        beq  r5, r0, noxor
+        li   r6, %d           ; POLY
+        xor  r1, r1, r6
+noxor:
+        addi r4, r4, -1
+        bne  r4, r0, bits
+        addi r2, r2, 1
+        li   r7, %d           ; LEN
+        blt  r2, r7, bytes
+        li   r6, 0xFFFFFFFF
+        xor  r1, r1, r6
+        li   r3, %d           ; RES
+        sw   r1, 0(r3)
+        halt
+%s|}
+      data_addr poly len Common.result_addr
+      (Common.data_section ~addr:data_addr (Common.bytes_to_words bytes))
+  in
+  {
+    Common.name = "crc32";
+    description = "bitwise CRC-32 over 96 bytes (data-dependent branches)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** Bitwise CRC-32 (polynomial 0xEDB88320) over a 96-byte buffer: a
+    tight loop with one data-dependent branch per bit — the classic
+    unpredictable-branch kernel. *)
+
+val workload : Common.t

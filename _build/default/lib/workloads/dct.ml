@@ -1,0 +1,119 @@
+let n = 8
+let x_addr = 0x1000
+let c_addr = 0x1100
+let ct_addr = 0x1200
+let t_addr = 0x1300
+let y_addr = 0x1400
+let shift = 7
+
+(* dst = (a * b) asr shift, all 8x8 row-major. *)
+let matmul_shift a b =
+  Array.init (n * n) (fun idx ->
+      let i = idx / n and j = idx mod n in
+      let acc = ref 0 in
+      for k = 0 to n - 1 do
+        acc := !acc + (a.((i * n) + k) * b.((k * n) + j))
+      done;
+      !acc asr shift)
+
+let reference x c =
+  let ct =
+    Array.init (n * n) (fun idx -> c.(((idx mod n) * n) + (idx / n)))
+  in
+  let t = matmul_shift c x in
+  let y = matmul_shift t ct in
+  let sum = ref 0 in
+  Array.iteri (fun i v -> sum := Common.mask32 (!sum + ((i + 1) * v))) y;
+  !sum
+
+let make () =
+  let state = ref 808 in
+  let x = Array.init (n * n) (fun _ -> Common.lcg state mod 256) in
+  let c = Array.init (n * n) (fun _ -> (Common.lcg state mod 127) - 63) in
+  let ct = Array.init (n * n) (fun idx -> c.(((idx mod n) * n) + (idx / n))) in
+  let expected = reference x c in
+  let source =
+    Printf.sprintf
+      {|
+; Y = ((C*X)>>7 * CT)>>7 via a shared matrix-multiply subroutine
+        li   r1, %d           ; dst = T
+        li   r2, %d           ; a = C
+        li   r3, %d           ; b = X
+        li   r4, %d           ; shift
+        call matmul_sub
+        li   r1, %d           ; dst = Y
+        li   r2, %d           ; a = T
+        li   r3, %d           ; b = CT
+        li   r4, %d           ; shift
+        call matmul_sub
+; checksum = sum (i+1) * Y[i]
+        li   r5, 0
+        li   r10, 0
+ck:
+        slli r6, r5, 2
+        li   r7, %d           ; Y
+        add  r7, r7, r6
+        lw   r7, 0(r7)
+        addi r8, r5, 1
+        mul  r7, r7, r8
+        add  r10, r10, r7
+        addi r5, r5, 1
+        li   r8, 64
+        blt  r5, r8, ck
+        li   r7, %d           ; RES
+        sw   r10, 0(r7)
+        halt
+
+; matmul_sub: dst(r1) = (a(r2) * b(r3)) >> r4, 8x8
+matmul_sub:
+        li   r5, 0            ; i
+ms_i:
+        li   r6, 0            ; j
+ms_j:
+        li   r7, 0            ; k
+        li   r9, 0            ; acc
+ms_k:
+        slli r8, r5, 3
+        add  r8, r8, r7
+        slli r8, r8, 2
+        add  r8, r2, r8
+        lw   r8, 0(r8)        ; a[i*8+k]
+        slli fp, r7, 3
+        add  fp, fp, r6
+        slli fp, fp, 2
+        add  fp, r3, fp
+        lw   fp, 0(fp)        ; b[k*8+j]
+        mul  r8, r8, fp
+        add  r9, r9, r8
+        addi r7, r7, 1
+        li   r8, 8
+        blt  r7, r8, ms_k
+        sra  r9, r9, r4
+        slli r8, r5, 3
+        add  r8, r8, r6
+        slli r8, r8, 2
+        add  r8, r1, r8
+        sw   r9, 0(r8)
+        addi r6, r6, 1
+        li   r8, 8
+        blt  r6, r8, ms_j
+        addi r5, r5, 1
+        li   r8, 8
+        blt  r5, r8, ms_i
+        ret
+%s%s%s|}
+      t_addr c_addr x_addr shift y_addr t_addr ct_addr shift y_addr
+      Common.result_addr
+      (Common.data_section ~addr:x_addr (Array.to_list x))
+      (Common.data_section ~addr:c_addr (Array.to_list c))
+      (Common.data_section ~addr:ct_addr (Array.to_list ct))
+  in
+  {
+    Common.name = "dct";
+    description = "8x8 two-pass fixed-point transform via a subroutine";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

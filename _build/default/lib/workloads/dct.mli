@@ -1,0 +1,7 @@
+(** Two-pass 8x8 block transform (DCT-shaped): [Y = (C·X)·Cᵀ] with
+    fixed-point right-shifts, implemented as a matrix-multiply
+    {e subroutine} invoked twice — the only kernel that exercises
+    call/return control flow ([jal]/[jalr] and the CFG's conservative
+    return edges). *)
+
+val workload : Common.t

@@ -1,0 +1,150 @@
+let v = 10
+let inf = 9999
+let adj_addr = 0x1000
+let dist_addr = 0x1600
+let vis_addr = 0x1700
+
+let reference adj =
+  let dist = Array.make v inf in
+  let vis = Array.make v false in
+  dist.(0) <- 0;
+  (try
+     for _ = 1 to v do
+       let u = ref (-1) and best = ref (inf + 1) in
+       for i = 0 to v - 1 do
+         if (not vis.(i)) && dist.(i) < !best then begin
+           best := dist.(i);
+           u := i
+         end
+       done;
+       if !u = -1 then raise Exit;
+       vis.(!u) <- true;
+       let du = dist.(!u) in
+       for i = 0 to v - 1 do
+         let w = adj.((!u * v) + i) in
+         if w <> 0 && (not vis.(i)) && du + w < dist.(i) then
+           dist.(i) <- du + w
+       done
+     done
+   with Exit -> ());
+  Array.fold_left (fun a d -> Common.mask32 (a + d)) 0 dist
+
+let make () =
+  let state = ref 77 in
+  let adj =
+    Array.init (v * v) (fun i ->
+        let r = Common.lcg state in
+        let src = i / v and dst = i mod v in
+        if src = dst then 0
+        else if r mod 10 < 4 then 0 (* no edge *)
+        else 1 + (r mod 9))
+  in
+  let expected = reference adj in
+  let source =
+    Printf.sprintf
+      {|
+; Dijkstra O(V^2), source node 0, checksum = sum of distances
+        li   r1, 0
+init:
+        slli r2, r1, 2
+        li   r3, %d           ; DIST
+        add  r3, r3, r2
+        li   r4, %d           ; INF
+        sw   r4, 0(r3)
+        li   r3, %d           ; VIS
+        add  r3, r3, r2
+        sw   r0, 0(r3)
+        addi r1, r1, 1
+        li   r5, %d           ; V
+        blt  r1, r5, init
+        li   r3, %d           ; DIST
+        sw   r0, 0(r3)        ; dist[0] = 0
+        li   r9, 0            ; iteration
+main:
+        li   r1, 0
+        li   r6, -1           ; u
+        li   r7, %d           ; best = INF+1
+scan:
+        slli r2, r1, 2
+        li   r3, %d           ; VIS
+        add  r3, r3, r2
+        lw   r4, 0(r3)
+        bne  r4, r0, scan_next
+        li   r3, %d           ; DIST
+        add  r3, r3, r2
+        lw   r4, 0(r3)
+        bge  r4, r7, scan_next
+        mov  r7, r4
+        mov  r6, r1
+scan_next:
+        addi r1, r1, 1
+        li   r5, %d           ; V
+        blt  r1, r5, scan
+        li   r5, -1
+        beq  r6, r5, done
+        slli r2, r6, 2
+        li   r3, %d           ; VIS
+        add  r3, r3, r2
+        li   r4, 1
+        sw   r4, 0(r3)
+        li   r3, %d           ; DIST
+        add  r3, r3, r2
+        lw   r8, 0(r3)        ; du
+        li   r1, 0
+relax:
+        li   r4, %d           ; V
+        mul  r5, r6, r4
+        add  r5, r5, r1
+        slli r5, r5, 2
+        li   r3, %d           ; ADJ
+        add  r3, r3, r5
+        lw   r4, 0(r3)        ; w
+        beq  r4, r0, relax_next
+        slli r2, r1, 2
+        li   r3, %d           ; VIS
+        add  r3, r3, r2
+        lw   r5, 0(r3)
+        bne  r5, r0, relax_next
+        add  r5, r8, r4       ; nd = du + w
+        li   r3, %d           ; DIST
+        add  r3, r3, r2
+        lw   r4, 0(r3)
+        bge  r5, r4, relax_next
+        sw   r5, 0(r3)
+relax_next:
+        addi r1, r1, 1
+        li   r5, %d           ; V
+        blt  r1, r5, relax
+        addi r9, r9, 1
+        li   r5, %d           ; V
+        blt  r9, r5, main
+done:
+        li   r1, 0
+        li   r10, 0
+sum:
+        slli r2, r1, 2
+        li   r3, %d           ; DIST
+        add  r3, r3, r2
+        lw   r4, 0(r3)
+        add  r10, r10, r4
+        addi r1, r1, 1
+        li   r5, %d           ; V
+        blt  r1, r5, sum
+        li   r3, %d           ; RES
+        sw   r10, 0(r3)
+        halt
+%s|}
+      dist_addr inf vis_addr v dist_addr (inf + 1) vis_addr dist_addr v
+      vis_addr dist_addr v adj_addr vis_addr dist_addr v v dist_addr v
+      Common.result_addr
+      (Common.data_section ~addr:adj_addr (Array.to_list adj))
+  in
+  {
+    Common.name = "dijkstra";
+    description = "Dijkstra SSSP over a 10-node adjacency matrix";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** Dijkstra single-source shortest paths, O(V²), V = 10: scan and
+    relax loops full of data-dependent branches over an adjacency
+    matrix — the irregular control flow of network/routing code. *)
+
+val workload : Common.t

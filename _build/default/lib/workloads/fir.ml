@@ -1,0 +1,73 @@
+let n_samples = 40
+let n_taps = 8
+let x_addr = 0x1000
+let h_addr = 0x1200
+let y_addr = 0x1400
+
+let make () =
+  let state = ref 1234 in
+  let samples = List.init n_samples (fun _ -> Common.lcg state mod 256) in
+  let taps = List.init n_taps (fun _ -> (Common.lcg state mod 15) - 7) in
+  let n_out = n_samples - n_taps + 1 in
+  (* Reference: y[i] = sum_j x[i+j] * h[j]; checksum = sum y[i] mod 2^32. *)
+  let expected =
+    let x = Array.of_list samples and h = Array.of_list taps in
+    let sum = ref 0 in
+    for i = 0 to n_out - 1 do
+      let acc = ref 0 in
+      for j = 0 to n_taps - 1 do
+        acc := Common.mask32 (!acc + (x.(i + j) * h.(j)))
+      done;
+      sum := Common.mask32 (!sum + !acc)
+    done;
+    !sum
+  in
+  let source =
+    Printf.sprintf
+      {|
+; FIR filter: y[i] = sum_j x[i+j] * h[j]
+        li   r1, 0            ; i
+        li   r10, 0           ; checksum
+outer:
+        li   r3, 0            ; j
+        li   r4, 0            ; acc
+inner:
+        add  r5, r1, r3
+        slli r5, r5, 2
+        li   r6, %d           ; X
+        add  r6, r6, r5
+        lw   r6, 0(r6)
+        slli r7, r3, 2
+        li   r8, %d           ; H
+        add  r8, r8, r7
+        lw   r8, 0(r8)
+        mul  r6, r6, r8
+        add  r4, r4, r6
+        addi r3, r3, 1
+        li   r9, %d           ; M
+        blt  r3, r9, inner
+        slli r5, r1, 2
+        li   r6, %d           ; Y
+        add  r6, r6, r5
+        sw   r4, 0(r6)
+        add  r10, r10, r4
+        addi r1, r1, 1
+        li   r9, %d           ; NOUT
+        blt  r1, r9, outer
+        li   r6, %d           ; RES
+        sw   r10, 0(r6)
+        halt
+%s%s|}
+      x_addr h_addr n_taps y_addr n_out Common.result_addr
+      (Common.data_section ~addr:x_addr samples)
+      (Common.data_section ~addr:h_addr taps)
+  in
+  {
+    Common.name = "fir";
+    description = "FIR filter, 40 samples x 8 taps (regular DSP loop nest)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** FIR filter kernel: 40 samples convolved with 8 taps — the tight
+    regular loop nest typical of DSP inner loops (high temporal reuse,
+    small hot region). *)
+
+val workload : Common.t

@@ -1,0 +1,120 @@
+let len = 120
+let data_addr = 0x1000
+let cnt_addr = 0x1800
+
+(* Character classes: 0 digit, 1 lower letter, 2 space, 3 operator,
+   4 other (error). *)
+let classify c =
+  if c >= Char.code '0' && c < Char.code '0' + 10 then 0
+  else if c >= Char.code 'a' && c < Char.code 'a' + 26 then 1
+  else if c = Char.code ' ' then 2
+  else if c = Char.code '+' || c = Char.code '-' || c = Char.code '*' then 3
+  else 4
+
+let reference bytes =
+  let cnt = Array.make 5 0 in
+  List.iter (fun c -> cnt.(classify c) <- cnt.(classify c) + 1) bytes;
+  let sum = ref 0 in
+  Array.iteri (fun i c -> sum := Common.mask32 (!sum + ((i + 1) * c))) cnt;
+  !sum
+
+let make () =
+  let state = ref 555 in
+  let char_of r =
+    (* ~2% error characters keep the error block genuinely cold. *)
+    match r mod 50 with
+    | 0 -> Char.code '!'
+    | x when x < 20 -> Char.code '0' + (r / 7 mod 10)
+    | x when x < 38 -> Char.code 'a' + (r / 11 mod 26)
+    | x when x < 45 -> Char.code ' '
+    | x when x < 48 -> Char.code '+'
+    | 48 -> Char.code '-'
+    | _ -> Char.code '*'
+  in
+  let bytes = List.init len (fun _ -> char_of (Common.lcg state)) in
+  let expected = reference bytes in
+  let source =
+    Printf.sprintf
+      {|
+; character-class tokenizer with a cold error path
+        li   r1, 0            ; i
+char_loop:
+        li   r2, %d           ; DATA
+        add  r2, r2, r1
+        lb   r3, 0(r2)        ; c
+        li   r4, 48
+        blt  r3, r4, not_digit
+        li   r4, 58
+        blt  r3, r4, is_digit
+not_digit:
+        li   r4, 97
+        blt  r3, r4, not_lower
+        li   r4, 123
+        blt  r3, r4, is_letter
+not_lower:
+        li   r4, 32
+        beq  r3, r4, is_space
+        li   r4, 43
+        beq  r3, r4, is_op
+        li   r4, 45
+        beq  r3, r4, is_op
+        li   r4, 42
+        beq  r3, r4, is_op
+        ; cold error handling: deliberately expensive
+        li   r5, 0
+        li   r6, 20
+err_spin:
+        addi r5, r5, 1
+        blt  r5, r6, err_spin
+        li   r4, 16
+        j    bump
+is_digit:
+        li   r4, 0
+        j    bump
+is_letter:
+        li   r4, 4
+        j    bump
+is_space:
+        li   r4, 8
+        j    bump
+is_op:
+        li   r4, 12
+bump:
+        li   r5, %d           ; CNT
+        add  r5, r5, r4
+        lw   r6, 0(r5)
+        addi r6, r6, 1
+        sw   r6, 0(r5)
+        addi r1, r1, 1
+        li   r4, %d           ; LEN
+        blt  r1, r4, char_loop
+        li   r1, 0
+        li   r10, 0
+ck:
+        slli r2, r1, 2
+        li   r3, %d           ; CNT
+        add  r3, r3, r2
+        lw   r4, 0(r3)
+        addi r5, r1, 1
+        mul  r4, r4, r5
+        add  r10, r10, r4
+        addi r1, r1, 1
+        li   r5, 5
+        blt  r1, r5, ck
+        li   r3, %d           ; RES
+        sw   r10, 0(r3)
+        halt
+%s|}
+      data_addr cnt_addr len cnt_addr Common.result_addr
+      (Common.data_section ~addr:data_addr (Common.bytes_to_words bytes))
+  in
+  {
+    Common.name = "fsm";
+    description =
+      "character tokenizer, 120 bytes, branch chain + cold error path";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,7 @@
+(** Character-class tokenizer over a 120-byte input: a chain of
+    compare-and-branch blocks per character with a deliberately
+    expensive, rarely-taken error path — the hot-chain-inside-cold-code
+    shape that motivates basic-block (rather than procedure)
+    granularity in the paper's §6 comparison. *)
+
+val workload : Common.t

@@ -1,0 +1,82 @@
+let len = 256
+let data_addr = 0x1000
+let bins_addr = 0x1600
+
+let reference bytes =
+  let bins = Array.make 16 0 in
+  List.iter (fun b -> bins.(b lsr 4) <- bins.(b lsr 4) + 1) bytes;
+  let max_count = ref (-1) and argmax = ref 0 and weighted = ref 0 in
+  Array.iteri
+    (fun i c ->
+      weighted := !weighted + (c * (i + 3));
+      if c > !max_count then begin
+        max_count := c;
+        argmax := i
+      end)
+    bins;
+  Common.mask32 ((!weighted * 31) + (!max_count * 17) + !argmax)
+
+let make () =
+  let state = ref 60601 in
+  let bytes = List.init len (fun _ -> Common.lcg state land 0xFF) in
+  let expected = reference bytes in
+  let source =
+    Printf.sprintf
+      {|
+; 16-bin byte histogram + argmax scan
+        li   r1, 0
+hloop:
+        li   r2, %d           ; DATA
+        add  r2, r2, r1
+        lb   r3, 0(r2)
+        srli r3, r3, 4
+        slli r3, r3, 2
+        li   r4, %d           ; BINS
+        add  r4, r4, r3
+        lw   r5, 0(r4)
+        addi r5, r5, 1
+        sw   r5, 0(r4)
+        addi r1, r1, 1
+        li   r6, %d           ; LEN
+        blt  r1, r6, hloop
+        li   r1, 0
+        li   r7, -1           ; max
+        li   r8, 0            ; argmax
+        li   r10, 0           ; weighted sum
+sloop:
+        slli r3, r1, 2
+        li   r4, %d           ; BINS
+        add  r4, r4, r3
+        lw   r5, 0(r4)
+        addi r6, r1, 3
+        mul  r6, r5, r6
+        add  r10, r10, r6
+        bge  r7, r5, snext
+        mov  r7, r5
+        mov  r8, r1
+snext:
+        addi r1, r1, 1
+        li   r6, 16
+        blt  r1, r6, sloop
+        li   r6, 31
+        mul  r10, r10, r6
+        li   r6, 17
+        mul  r6, r7, r6
+        add  r10, r10, r6
+        add  r10, r10, r8
+        li   r3, %d           ; RES
+        sw   r10, 0(r3)
+        halt
+%s|}
+      data_addr bins_addr len bins_addr Common.result_addr
+      (Common.data_section ~addr:data_addr (Common.bytes_to_words bytes))
+  in
+  {
+    Common.name = "histogram";
+    description = "16-bin byte histogram over 256 bytes + argmax scan";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

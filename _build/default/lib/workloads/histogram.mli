@@ -1,0 +1,5 @@
+(** Byte histogram into 16 bins plus an argmax scan: two simple loops
+    with one biased branch (new-maximum) — the streaming-analytics
+    kernel shape. *)
+
+val workload : Common.t

@@ -1,0 +1,95 @@
+let generations = 20
+let dim = 10
+
+let source_c =
+  Printf.sprintf
+    {|
+int a[100];
+int b[100];
+
+int idx(int r, int c) { return r * 10 + c; }
+
+int get(int r, int c) {
+  if (r < 0 || r > 9 || c < 0 || c > 9) { return 0; }
+  return a[idx(r, c)];
+}
+
+int main() {
+  /* glider */
+  a[idx(1, 2)] = 1;
+  a[idx(2, 3)] = 1;
+  a[idx(3, 1)] = 1;
+  a[idx(3, 2)] = 1;
+  a[idx(3, 3)] = 1;
+  for (int g = 0; g < %d; g = g + 1) {
+    for (int r = 0; r < 10; r = r + 1) {
+      for (int c = 0; c < 10; c = c + 1) {
+        int n = get(r-1, c-1) + get(r-1, c) + get(r-1, c+1)
+              + get(r, c-1)                 + get(r, c+1)
+              + get(r+1, c-1) + get(r+1, c) + get(r+1, c+1);
+        int alive = a[idx(r, c)];
+        if (alive == 1) {
+          if (n == 2 || n == 3) { b[idx(r, c)] = 1; } else { b[idx(r, c)] = 0; }
+        } else {
+          if (n == 3) { b[idx(r, c)] = 1; } else { b[idx(r, c)] = 0; }
+        }
+      }
+    }
+    for (int i = 0; i < 100; i = i + 1) { a[i] = b[i]; }
+  }
+  int s = 0;
+  for (int i = 0; i < 100; i = i + 1) { s = s + a[i] * (i + 3); }
+  return s;
+}
+|}
+    generations
+
+let reference () =
+  let a = Array.make (dim * dim) 0 in
+  let idx r c = (r * dim) + c in
+  List.iter
+    (fun (r, c) -> a.(idx r c) <- 1)
+    [ (1, 2); (2, 3); (3, 1); (3, 2); (3, 3) ];
+  let get g r c =
+    if r < 0 || r >= dim || c < 0 || c >= dim then 0 else g.(idx r c)
+  in
+  let cur = ref a in
+  for _ = 1 to generations do
+    let g = !cur in
+    let next = Array.make (dim * dim) 0 in
+    for r = 0 to dim - 1 do
+      for c = 0 to dim - 1 do
+        let n =
+          get g (r - 1) (c - 1) + get g (r - 1) c + get g (r - 1) (c + 1)
+          + get g r (c - 1) + get g r (c + 1)
+          + get g (r + 1) (c - 1) + get g (r + 1) c + get g (r + 1) (c + 1)
+        in
+        next.(idx r c) <-
+          (if g.(idx r c) = 1 then if n = 2 || n = 3 then 1 else 0
+           else if n = 3 then 1
+           else 0)
+      done
+    done;
+    cur := next
+  done;
+  let s = ref 0 in
+  Array.iteri (fun i v -> s := Common.mask32 (!s + (v * (i + 3)))) !cur;
+  !s
+
+let make () =
+  let source =
+    match Minic.Compile.to_assembly source_c with
+    | Ok asm -> asm
+    | Error e ->
+      failwith (Format.asprintf "life failed to compile: %a" Minic.Compile.pp_error e)
+  in
+  {
+    Common.name = "life";
+    description =
+      Printf.sprintf "Game of Life, 10x10, %d generations (MiniC)" generations;
+    source;
+    result_addr = Common.result_addr;
+    expected = reference ();
+  }
+
+let workload = make ()

@@ -1,0 +1,7 @@
+(** Conway's Game of Life, 10x10 bounded grid, 20 generations of a
+    glider — compiled from MiniC. The largest image in the suite
+    (neighbor counting through a helper function called eight times
+    per cell), which is exactly the regime where block-level
+    compression turns memory-positive. *)
+
+val workload : Common.t

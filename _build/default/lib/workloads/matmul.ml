@@ -1,0 +1,84 @@
+let n = 8
+let a_addr = 0x1000
+let b_addr = 0x1100
+let c_addr = 0x1200
+
+let make () =
+  let state = ref 4321 in
+  let a = Array.init (n * n) (fun _ -> Common.lcg state mod 32) in
+  let b = Array.init (n * n) (fun _ -> (Common.lcg state mod 32) - 16) in
+  let expected =
+    let sum = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        let acc = ref 0 in
+        for k = 0 to n - 1 do
+          acc := Common.mask32 (!acc + (a.((i * n) + k) * b.((k * n) + j)))
+        done;
+        sum := Common.mask32 (!sum + !acc)
+      done
+    done;
+    !sum
+  in
+  let source =
+    Printf.sprintf
+      {|
+; C = A * B (8x8), checksum = sum C[i][j]
+        li   r1, 0            ; i
+        li   r10, 0           ; checksum
+loop_i:
+        li   r2, 0            ; j
+loop_j:
+        li   r3, 0            ; k
+        li   r4, 0            ; acc
+loop_k:
+        ; A[i*8+k]
+        slli r5, r1, 3
+        add  r5, r5, r3
+        slli r5, r5, 2
+        li   r6, %d
+        add  r6, r6, r5
+        lw   r6, 0(r6)
+        ; B[k*8+j]
+        slli r7, r3, 3
+        add  r7, r7, r2
+        slli r7, r7, 2
+        li   r8, %d
+        add  r8, r8, r7
+        lw   r8, 0(r8)
+        mul  r6, r6, r8
+        add  r4, r4, r6
+        addi r3, r3, 1
+        li   r9, %d
+        blt  r3, r9, loop_k
+        ; store C[i*8+j]
+        slli r5, r1, 3
+        add  r5, r5, r2
+        slli r5, r5, 2
+        li   r6, %d
+        add  r6, r6, r5
+        sw   r4, 0(r6)
+        add  r10, r10, r4
+        addi r2, r2, 1
+        li   r9, %d
+        blt  r2, r9, loop_j
+        addi r1, r1, 1
+        li   r9, %d
+        blt  r1, r9, loop_i
+        li   r6, %d
+        sw   r10, 0(r6)
+        halt
+%s%s|}
+      a_addr b_addr n c_addr n n Common.result_addr
+      (Common.data_section ~addr:a_addr (Array.to_list a))
+      (Common.data_section ~addr:b_addr (Array.to_list b))
+  in
+  {
+    Common.name = "matmul";
+    description = "8x8 integer matrix multiply (triple loop nest)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,4 @@
+(** 8x8 integer matrix multiply: a triple loop nest — deep temporal
+    reuse with a larger working set than {!Fir}. *)
+
+val workload : Common.t

@@ -1,0 +1,68 @@
+let n = 6
+
+let source_c =
+  Printf.sprintf
+    {|
+int cols[8];
+int diag1[16];
+int diag2[16];
+int n = %d;
+
+int solve(int row) {
+  if (row == n) { return 1; }
+  int count = 0;
+  for (int c = 0; c < n; c = c + 1) {
+    if (!cols[c] && !diag1[row + c] && !diag2[row - c + 8]) {
+      cols[c] = 1; diag1[row + c] = 1; diag2[row - c + 8] = 1;
+      count = count + solve(row + 1);
+      cols[c] = 0; diag1[row + c] = 0; diag2[row - c + 8] = 0;
+    }
+  }
+  return count;
+}
+
+int main() { return solve(0); }
+|}
+    n
+
+(* Reference: the same backtracking in OCaml. *)
+let reference () =
+  let cols = Array.make 8 false in
+  let d1 = Array.make 16 false and d2 = Array.make 16 false in
+  let rec solve row =
+    if row = n then 1
+    else begin
+      let count = ref 0 in
+      for c = 0 to n - 1 do
+        if (not cols.(c)) && (not d1.(row + c)) && not d2.(row - c + 8) then begin
+          cols.(c) <- true;
+          d1.(row + c) <- true;
+          d2.(row - c + 8) <- true;
+          count := !count + solve (row + 1);
+          cols.(c) <- false;
+          d1.(row + c) <- false;
+          d2.(row - c + 8) <- false
+        end
+      done;
+      !count
+    end
+  in
+  solve 0
+
+let make () =
+  let source =
+    match Minic.Compile.to_assembly source_c with
+    | Ok asm -> asm
+    | Error e ->
+      failwith (Format.asprintf "nqueens failed to compile: %a" Minic.Compile.pp_error e)
+  in
+  {
+    Common.name = "nqueens";
+    description =
+      Printf.sprintf "%d-queens backtracking, compiled from MiniC" n;
+    source;
+    result_addr = Common.result_addr;
+    expected = reference ();
+  }
+
+let workload = make ()

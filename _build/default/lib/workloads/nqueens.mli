@@ -1,0 +1,6 @@
+(** N-queens (N = 6) counted by recursive backtracking — written in
+    MiniC and compiled with the in-tree compiler, so the binary's CFG
+    is genuine compiler output (branch diamonds, call frames, the
+    works) rather than hand-scheduled assembly. *)
+
+val workload : Common.t

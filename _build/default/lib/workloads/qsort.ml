@@ -1,0 +1,108 @@
+let n = 40
+let arr_addr = 0x1000
+let stack_addr = 0x1800
+
+let make () =
+  let state = ref 90210 in
+  let data = Array.init n (fun _ -> Common.lcg state mod 500) in
+  let expected =
+    let a = Array.copy data in
+    Array.sort compare a;
+    let sum = ref 0 in
+    Array.iteri (fun i v -> sum := Common.mask32 (!sum + ((i + 1) * v))) a;
+    !sum
+  in
+  let source =
+    Printf.sprintf
+      {|
+; iterative quicksort with an explicit lo/hi stack
+        li   r11, %d          ; ARR
+        li   r12, %d          ; STACK
+        sw   r0, 0(r12)       ; push lo=0
+        li   r7, %d           ; N-1
+        sw   r7, 4(r12)       ; push hi
+        li   r1, 2            ; stack size (words)
+qs_loop:
+        beq  r1, r0, qs_done
+        subi r1, r1, 1
+        slli r7, r1, 2
+        add  r7, r12, r7
+        lw   r3, 0(r7)        ; hi
+        subi r1, r1, 1
+        slli r7, r1, 2
+        add  r7, r12, r7
+        lw   r2, 0(r7)        ; lo
+        bge  r2, r3, qs_loop
+        slli r7, r3, 2
+        add  r7, r11, r7
+        lw   r6, 0(r7)        ; pivot = a[hi]
+        subi r4, r2, 1        ; i = lo - 1
+        mov  r5, r2           ; j = lo
+part_loop:
+        bge  r5, r3, part_done
+        slli r7, r5, 2
+        add  r7, r11, r7
+        lw   r8, 0(r7)        ; a[j]
+        bgt  r8, r6, part_next
+        addi r4, r4, 1
+        slli r9, r4, 2
+        add  r9, r11, r9
+        lw   fp, 0(r9)        ; a[i]
+        sw   r8, 0(r9)
+        sw   fp, 0(r7)
+part_next:
+        addi r5, r5, 1
+        j    part_loop
+part_done:
+        addi r4, r4, 1        ; p = i + 1
+        slli r9, r4, 2
+        add  r9, r11, r9
+        lw   fp, 0(r9)
+        slli r7, r3, 2
+        add  r7, r11, r7
+        lw   r8, 0(r7)
+        sw   r8, 0(r9)
+        sw   fp, 0(r7)
+        ; push (lo, p-1) and (p+1, hi)
+        slli r7, r1, 2
+        add  r7, r12, r7
+        sw   r2, 0(r7)
+        subi r8, r4, 1
+        sw   r8, 4(r7)
+        addi r1, r1, 2
+        slli r7, r1, 2
+        add  r7, r12, r7
+        addi r8, r4, 1
+        sw   r8, 0(r7)
+        sw   r3, 4(r7)
+        addi r1, r1, 2
+        j    qs_loop
+qs_done:
+        li   r2, 0
+        li   r10, 0
+qck:
+        slli r7, r2, 2
+        add  r7, r11, r7
+        lw   r8, 0(r7)
+        addi r9, r2, 1
+        mul  r8, r8, r9
+        add  r10, r10, r8
+        addi r2, r2, 1
+        li   r9, %d           ; N
+        blt  r2, r9, qck
+        li   r7, %d           ; RES
+        sw   r10, 0(r7)
+        halt
+%s|}
+      arr_addr stack_addr (n - 1) n Common.result_addr
+      (Common.data_section ~addr:arr_addr (Array.to_list data))
+  in
+  {
+    Common.name = "qsort";
+    description = "iterative quicksort of 40 words (worklist control flow)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

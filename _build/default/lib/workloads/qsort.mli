@@ -1,0 +1,6 @@
+(** Iterative quicksort (Lomuto partition, explicit stack) over 40
+    words: recursive-style control flow with data-dependent partition
+    branches and a worklist loop — the most irregular access pattern
+    in the suite. *)
+
+val workload : Common.t

@@ -1,0 +1,73 @@
+let rounds = 96
+let data_words = 32
+let data_addr = 0x1000
+
+let rotl7 v = ((v lsl 7) lor (v lsr 25)) land 0xFFFFFFFF
+
+let reference data =
+  let a = ref 0x12345 and b = ref 0x6789A and c = ref 0xBCDEF and d = ref 0x13579 in
+  for round = 0 to rounds - 1 do
+    a := Common.mask32 (!a + data.(round land 31));
+    b := !b lxor !a;
+    b := rotl7 !b;
+    c := Common.mask32 (!c + !b);
+    d := !d lxor !c;
+    if round land 1 = 1 then a := !a lxor !d else c := Common.mask32 (!c + 13)
+  done;
+  !a lxor !b lxor !c lxor !d
+
+let make () =
+  let state = ref 271828 in
+  let data = Array.init data_words (fun _ -> Common.lcg state) in
+  let expected = reference data in
+  let source =
+    Printf.sprintf
+      {|
+; ARX mixing rounds over four state words
+        li   r1, 0            ; round
+        li   r2, 0x12345      ; a
+        li   r3, 0x6789A      ; b
+        li   r4, 0xBCDEF      ; c
+        li   r5, 0x13579      ; d
+mix:
+        andi r6, r1, 31
+        slli r6, r6, 2
+        li   r7, %d           ; DATA
+        add  r6, r7, r6
+        lw   r6, 0(r6)
+        add  r2, r2, r6       ; a += data[round mod 32]
+        xor  r3, r3, r2       ; b ^= a
+        slli r7, r3, 7
+        srli r8, r3, 25
+        or   r3, r7, r8       ; b = rotl(b, 7)
+        add  r4, r4, r3       ; c += b
+        xor  r5, r5, r4       ; d ^= c
+        andi r7, r1, 1
+        beq  r7, r0, even_round
+        xor  r2, r2, r5       ; odd: a ^= d
+        j    mix_next
+even_round:
+        addi r4, r4, 13       ; even: c += 13
+mix_next:
+        addi r1, r1, 1
+        li   r7, %d           ; ROUNDS
+        blt  r1, r7, mix
+        xor  r2, r2, r3
+        xor  r2, r2, r4
+        xor  r2, r2, r5
+        li   r3, %d           ; RES
+        sw   r2, 0(r3)
+        halt
+%s|}
+      data_addr rounds Common.result_addr
+      (Common.data_section ~addr:data_addr (Array.to_list data))
+  in
+  {
+    Common.name = "rotmix";
+    description = "ARX mixing rounds (hash/cipher kernel shape)";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

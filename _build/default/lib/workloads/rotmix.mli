@@ -1,0 +1,6 @@
+(** ARX-style mixing rounds (add / rotate / xor over four state words,
+    alternating by round parity): the straight-line-heavy crypto/hash
+    kernel shape — long blocks, few branches, extreme temporal
+    reuse. *)
+
+val workload : Common.t

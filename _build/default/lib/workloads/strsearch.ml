@@ -1,0 +1,75 @@
+let text_len = 200
+let pat_len = 8
+let text_addr = 0x1000
+let pat_addr = 0x1300
+
+let reference text pattern =
+  let matches = ref 0 and possum = ref 0 in
+  for i = 0 to text_len - pat_len do
+    let rec cmp j = j >= pat_len || (text.(i + j) = pattern.(j) && cmp (j + 1)) in
+    if cmp 0 then begin
+      incr matches;
+      possum := !possum + i
+    end
+  done;
+  Common.mask32 ((!possum lsl 8) + !matches)
+
+let make () =
+  let state = ref 1867 in
+  let pattern = Array.init pat_len (fun _ -> 97 + (Common.lcg state mod 26)) in
+  let text = Array.init text_len (fun _ -> 97 + (Common.lcg state mod 26)) in
+  (* Plant a few occurrences so matches genuinely happen. *)
+  List.iter
+    (fun at -> Array.blit pattern 0 text at pat_len)
+    [ 17; 90; 175 ];
+  let expected = reference text pattern in
+  let source =
+    Printf.sprintf
+      {|
+; count occurrences of an 8-byte pattern (naive search)
+        li   r1, 0            ; i
+        li   r9, 0            ; sum of match positions
+        li   r10, 0           ; match count
+outer:
+        li   r2, 0            ; j
+inner:
+        add  r3, r1, r2
+        li   r4, %d           ; TEXT
+        add  r3, r4, r3
+        lb   r3, 0(r3)
+        li   r4, %d           ; PAT
+        add  r4, r4, r2
+        lb   r4, 0(r4)
+        bne  r3, r4, mismatch
+        addi r2, r2, 1
+        li   r5, %d           ; PN
+        blt  r2, r5, inner
+        addi r10, r10, 1
+        add  r9, r9, r1
+mismatch:
+        addi r1, r1, 1
+        li   r5, %d           ; TN - PN + 1
+        blt  r1, r5, outer
+        slli r9, r9, 8
+        add  r10, r10, r9
+        li   r3, %d           ; RES
+        sw   r10, 0(r3)
+        halt
+%s%s|}
+      text_addr pat_addr pat_len
+      (text_len - pat_len + 1)
+      Common.result_addr
+      (Common.data_section ~addr:text_addr
+         (Common.bytes_to_words (Array.to_list text)))
+      (Common.data_section ~addr:pat_addr
+         (Common.bytes_to_words (Array.to_list pattern)))
+  in
+  {
+    Common.name = "strsearch";
+    description = "naive substring search, 8-byte pattern in 200 bytes";
+    source;
+    result_addr = Common.result_addr;
+    expected;
+  }
+
+let workload = make ()

@@ -1,0 +1,5 @@
+(** Naive substring search: an 8-byte pattern over 200 bytes of text
+    with planted occurrences — the early-exit inner loop gives a
+    bimodal access pattern (most inner loops end after one compare). *)
+
+val workload : Common.t

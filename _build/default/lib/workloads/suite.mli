@@ -1,0 +1,16 @@
+(** The benchmark suite: every kernel plus lookup helpers. *)
+
+val all : Common.t list
+(** Hand-written ERIS assembly: fir, crc32, matmul, bsort, dijkstra,
+    fsm, adpcm, dct, qsort, strsearch, histogram, rotmix.
+    Compiled from MiniC: nqueens, collatz, life, vm. *)
+
+val names : string list
+
+val find : string -> Common.t option
+val find_exn : string -> Common.t
+
+val check_all : unit -> (string * (unit, string) result) list
+(** Runs every kernel against its OCaml reference. *)
+
+val scenarios : ?codec:Compress.Codec.t -> unit -> Core.Scenario.t list

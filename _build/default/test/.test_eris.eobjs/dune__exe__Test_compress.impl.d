@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Array Bytes Char Compress Core Float Format Gen List Printf QCheck QCheck_alcotest Random String

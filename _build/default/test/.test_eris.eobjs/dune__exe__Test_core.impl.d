@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Bytes Cfg Compress Core Hashtbl List QCheck QCheck_alcotest String Trace

@@ -1,0 +1,1 @@
+test/test_eris.ml: Alcotest Array Bytes Cfg Char Eris Gen List Option QCheck QCheck_alcotest Random Result String

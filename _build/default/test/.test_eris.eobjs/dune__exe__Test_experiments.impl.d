@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Baselines Bytes Cfg Compress Core Eris Experiments Float List Option Report String

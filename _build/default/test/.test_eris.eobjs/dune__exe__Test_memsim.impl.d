@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Format List Memsim Option QCheck QCheck_alcotest Result String

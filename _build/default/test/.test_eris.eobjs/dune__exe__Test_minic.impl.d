@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Cfg Core Eris List Minic Printf QCheck QCheck_alcotest Result Runtime

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Cfg Compress Core Eris List Printf Runtime String Workloads

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Cfg Filename Format List QCheck QCheck_alcotest Result String Sys Trace

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cfg Core List Workloads

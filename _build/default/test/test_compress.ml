@@ -1,0 +1,390 @@
+(* Tests for the compression substrate: bit IO, every codec's
+   roundtrip and corruption behavior, the Huffman model internals and
+   the corpus statistics. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let bytes_eq = Alcotest.testable
+    (fun ppf b -> Format.fprintf ppf "%S" (Bytes.to_string b))
+    Bytes.equal
+
+(* ------------------------------------------------------------------ *)
+(* Bit IO                                                              *)
+
+let test_bitio_roundtrip () =
+  let w = Compress.Bitio.Writer.create () in
+  Compress.Bitio.Writer.add_bits w ~value:0b101 ~bits:3;
+  Compress.Bitio.Writer.add_bits w ~value:0xFF ~bits:8;
+  Compress.Bitio.Writer.add_bit w false;
+  Compress.Bitio.Writer.add_bits w ~value:0 ~bits:0;
+  checki "bit length" 12 (Compress.Bitio.Writer.bit_length w);
+  let r = Compress.Bitio.Reader.create (Compress.Bitio.Writer.contents w) in
+  checki "read 3" 0b101 (Compress.Bitio.Reader.read_bits r 3);
+  checki "read 8" 0xFF (Compress.Bitio.Reader.read_bits r 8);
+  checkb "read bit" false (Compress.Bitio.Reader.read_bit r)
+
+let test_bitio_msb_first () =
+  let w = Compress.Bitio.Writer.create () in
+  Compress.Bitio.Writer.add_bits w ~value:0b10000000 ~bits:8;
+  checks "msb first byte" "\x80"
+    (Bytes.to_string (Compress.Bitio.Writer.contents w))
+
+let test_bitio_padding () =
+  let w = Compress.Bitio.Writer.create () in
+  Compress.Bitio.Writer.add_bit w true;
+  checks "padded with zeros" "\x80"
+    (Bytes.to_string (Compress.Bitio.Writer.contents w))
+
+let test_bitio_out_of_bits () =
+  let r = Compress.Bitio.Reader.create (Bytes.create 1) in
+  ignore (Compress.Bitio.Reader.read_bits r 8);
+  checkb "exhausted" true
+    (match Compress.Bitio.Reader.read_bit r with
+    | _ -> false
+    | exception Compress.Codec.Corrupt _ -> true)
+
+let test_bitio_rejects_wide_writes () =
+  let w = Compress.Bitio.Writer.create () in
+  Alcotest.check_raises "31 bits rejected"
+    (Invalid_argument "Bitio.Writer.add_bits") (fun () ->
+      Compress.Bitio.Writer.add_bits w ~value:0 ~bits:31)
+
+(* ------------------------------------------------------------------ *)
+(* Codec roundtrips                                                    *)
+
+let corpus_cases =
+  [
+    ("empty", Bytes.create 0);
+    ("single", Bytes.of_string "x");
+    ("two", Bytes.of_string "ab");
+    ("run", Bytes.of_string (String.make 300 'z'));
+    ("alternating", Bytes.init 256 (fun i -> if i mod 2 = 0 then 'a' else 'b'));
+    ("all-bytes", Bytes.init 256 Char.chr);
+    ("code-like", Core.Scenario.synthetic_block_bytes ~id:3 ~size:512);
+    ("periodic", Bytes.init 1024 (fun i -> Char.chr (i mod 7 + 65)));
+    ( "random",
+      let st = Random.State.make [| 17 |] in
+      Bytes.init 4096 (fun _ -> Char.chr (Random.State.int st 256)) );
+    ( "lzw-reset",
+      let st = Random.State.make [| 23 |] in
+      Bytes.init 60000 (fun _ -> Char.chr (Random.State.int st 16)) );
+  ]
+
+let roundtrip_tests codec =
+  List.map
+    (fun (case, payload) ->
+      Alcotest.test_case
+        (Printf.sprintf "%s roundtrip %s" codec.Compress.Codec.name case)
+        `Quick
+        (fun () ->
+          Alcotest.check bytes_eq "roundtrip" payload
+            (codec.Compress.Codec.decompress
+               (codec.Compress.Codec.compress payload))))
+    corpus_cases
+
+let all_roundtrips =
+  List.concat_map roundtrip_tests
+    (Compress.Registry.all ()
+    @ [
+        Compress.Registry.shared_huffman
+          ~corpus:(Core.Scenario.synthetic_block_bytes ~id:1 ~size:2048);
+        Compress.Registry.code_codec
+          ~corpus:(Core.Scenario.synthetic_block_bytes ~id:1 ~size:2048);
+      ])
+
+let prop_roundtrip codec =
+  QCheck.Test.make ~count:300
+    ~name:(Printf.sprintf "%s random roundtrip" codec.Compress.Codec.name)
+    QCheck.(map Bytes.of_string (string_of_size Gen.(int_range 0 2000)))
+    (fun payload -> Compress.Codec.roundtrip_ok codec payload)
+
+let prop_never_expanding =
+  QCheck.Test.make ~count:300 ~name:"never_expanding bound"
+    QCheck.(map Bytes.of_string (string_of_size Gen.(int_range 0 1000)))
+    (fun payload ->
+      List.for_all
+        (fun codec ->
+          Bytes.length (codec.Compress.Codec.compress payload)
+          <= Bytes.length payload + 1)
+        (Compress.Registry.all ()))
+
+(* ------------------------------------------------------------------ *)
+(* Known vectors and corruption                                        *)
+
+let test_rle_known () =
+  let c = Compress.Rle.codec in
+  (* 5 repeated bytes: control 0x80 + (5-2) then the byte. *)
+  checks "run encoding" "\x83a"
+    (Bytes.to_string (c.Compress.Codec.compress (Bytes.of_string "aaaaa")));
+  (* 3 literals: control 2 then the bytes. *)
+  checks "literal encoding" "\x02abc"
+    (Bytes.to_string (c.Compress.Codec.compress (Bytes.of_string "abc")))
+
+let expect_corrupt codec payload =
+  match codec.Compress.Codec.decompress payload with
+  | _ -> false
+  | exception Compress.Codec.Corrupt _ -> true
+
+let test_corrupt_inputs () =
+  checkb "rle truncated literal" true
+    (expect_corrupt Compress.Rle.codec (Bytes.of_string "\x05ab"));
+  checkb "rle truncated run" true
+    (expect_corrupt Compress.Rle.codec (Bytes.of_string "\x83"));
+  checkb "lzss bad back-reference" true
+    (expect_corrupt Compress.Lzss.codec (Bytes.of_string "\x00\xFF\xF0"));
+  checkb "lzw truncated header" true
+    (expect_corrupt Compress.Lzw.codec (Bytes.of_string "ab"));
+  checkb "huffman truncated header" true
+    (expect_corrupt Compress.Huffman.codec (Bytes.of_string "ab"));
+  checkb "huffman truncated table" true
+    (expect_corrupt Compress.Huffman.codec (Bytes.of_string "\x10\x00\x00\x00\x05"));
+  checkb "never_expanding empty" true
+    (expect_corrupt (Compress.Codec.never_expanding Compress.Null.codec)
+       (Bytes.create 0));
+  checkb "never_expanding bad tag" true
+    (expect_corrupt (Compress.Codec.never_expanding Compress.Null.codec)
+       (Bytes.of_string "\x07abc"))
+
+let test_lzw_bad_code () =
+  (* header says 4 bytes, payload starts with an out-of-range code *)
+  let b = Bytes.of_string "\x04\x00\x00\x00\xFF\xF0" in
+  checkb "lzw bad first code" true (expect_corrupt Compress.Lzw.codec b)
+
+(* ------------------------------------------------------------------ *)
+(* Huffman internals                                                   *)
+
+let test_huffman_code_lengths () =
+  let freqs = Array.make 256 0 in
+  freqs.(0) <- 100;
+  freqs.(1) <- 50;
+  freqs.(2) <- 10;
+  freqs.(3) <- 10;
+  let lengths = Compress.Huffman.code_lengths freqs in
+  checki "most frequent shortest" 1 lengths.(0);
+  checkb "lengths ordered by frequency" true (lengths.(1) <= lengths.(2));
+  checki "absent symbol" 0 lengths.(4);
+  (* Kraft equality: sum 2^-l = 1 for a complete Huffman code. *)
+  let kraft =
+    Array.fold_left
+      (fun acc l -> if l > 0 then acc +. (1.0 /. Float.of_int (1 lsl l)) else acc)
+      0.0 lengths
+  in
+  Alcotest.check (Alcotest.float 1e-9) "kraft equality" 1.0 kraft
+
+let test_huffman_single_symbol () =
+  let freqs = Array.make 256 0 in
+  freqs.(65) <- 42;
+  let lengths = Compress.Huffman.code_lengths freqs in
+  checki "single symbol gets length 1" 1 lengths.(65);
+  let payload = Bytes.of_string (String.make 20 'A') in
+  checkb "single-symbol roundtrip" true
+    (Compress.Codec.roundtrip_ok Compress.Huffman.codec payload)
+
+let test_huffman_canonical_codes () =
+  let lengths = Array.make 256 0 in
+  lengths.(10) <- 2;
+  lengths.(20) <- 2;
+  lengths.(30) <- 2;
+  lengths.(40) <- 3;
+  lengths.(50) <- 3;
+  let codes = Compress.Huffman.canonical_codes lengths in
+  checkb "codes increase within length" true (fst codes.(10) < fst codes.(20));
+  checkb "length-2 codes are 2 bits" true (snd codes.(10) = 2);
+  (* canonical: first length-3 code = (last length-2 code + 1) << 1 *)
+  checki "canonical step" ((fst codes.(30) + 1) lsl 1) (fst codes.(40))
+
+let prop_huffman_kraft =
+  QCheck.Test.make ~count:300 ~name:"huffman kraft equality on random freqs"
+    QCheck.(array_of_size (QCheck.Gen.return 256) (int_range 0 1000))
+    (fun freqs ->
+      let present = Array.exists (fun f -> f > 0) freqs in
+      QCheck.assume present;
+      let lengths = Compress.Huffman.code_lengths freqs in
+      let nsyms = Array.fold_left (fun a f -> if f > 0 then a + 1 else a) 0 freqs in
+      if nsyms = 1 then Array.fold_left max 0 lengths = 1
+      else
+        let kraft =
+          Array.fold_left
+            (fun acc l ->
+              if l > 0 then acc +. (1.0 /. Float.of_int (1 lsl l)) else acc)
+            0.0 lengths
+        in
+        Float.abs (kraft -. 1.0) < 1e-9)
+
+let test_shared_decodes_only_same_model () =
+  let c1 = Compress.Huffman.shared ~corpus:(Bytes.of_string "aaaabbbbcccc") in
+  let payload = Bytes.of_string "abcabc" in
+  let compressed = c1.Compress.Codec.compress payload in
+  checkb "same model ok" true
+    (Bytes.equal payload (c1.Compress.Codec.decompress compressed))
+
+let test_positional_beats_global_on_code () =
+  (* Word-structured data: positional models should win. *)
+  let corpus = Core.Scenario.synthetic_block_bytes ~id:9 ~size:4096 in
+  let global = Compress.Huffman.shared ~corpus in
+  let positional = Compress.Huffman.shared_positional ~corpus in
+  let payload = Core.Scenario.synthetic_block_bytes ~id:9 ~size:512 in
+  checkb "positional smaller" true
+    (Bytes.length (positional.Compress.Codec.compress payload)
+    <= Bytes.length (global.Compress.Codec.compress payload))
+
+let test_shared_rejects_large_blocks () =
+  let c = Compress.Huffman.shared ~corpus:(Bytes.of_string "abc") in
+  Alcotest.check_raises "64KiB limit"
+    (Invalid_argument "Huffman shared codecs handle blocks under 64 KiB")
+    (fun () -> ignore (c.Compress.Codec.compress (Bytes.create 70000)))
+
+(* ------------------------------------------------------------------ *)
+(* MTF                                                                 *)
+
+let test_mtf_transform () =
+  let payload = Bytes.of_string "aaabbbaaa" in
+  let t = Compress.Mtf.transform payload in
+  checkb "self-inverse" true
+    (Bytes.equal payload (Compress.Mtf.untransform t));
+  (* after the first 'a', repeats become rank 0 *)
+  checki "repeat rank" 0 (Char.code (Bytes.get t 1))
+
+(* ------------------------------------------------------------------ *)
+(* Registry & stats                                                    *)
+
+let test_registry () =
+  checki "six built-ins" 6 (List.length (Compress.Registry.all ()));
+  checkb "find lzss" true (Compress.Registry.find "lzss" <> None);
+  checkb "find unknown" true (Compress.Registry.find "gzip" = None);
+  checks "default is lzss" "lzss" Compress.Registry.default.Compress.Codec.name;
+  Alcotest.check_raises "find_exn unknown"
+    (Invalid_argument "Compress.Registry.find_exn: \"gzip\"") (fun () ->
+      ignore (Compress.Registry.find_exn "gzip"))
+
+let test_stats () =
+  let blocks =
+    [ Bytes.of_string (String.make 100 'a'); Bytes.of_string "xyz"; Bytes.create 0 ]
+  in
+  let s = Compress.Stats.measure (Compress.Registry.find_exn "rle") blocks in
+  checki "nonempty blocks counted" 2 s.Compress.Stats.blocks;
+  checki "original bytes" 103 s.Compress.Stats.original_bytes;
+  checkb "ratio sane" true (s.Compress.Stats.ratio > 0.0);
+  checkb "best <= worst" true
+    (s.Compress.Stats.best_block_ratio <= s.Compress.Stats.worst_block_ratio)
+
+let test_codec_helpers () =
+  let c = Compress.Registry.find_exn "rle" in
+  let payload = Bytes.of_string (String.make 64 'q') in
+  checkb "ratio below 1 on runs" true (Compress.Codec.ratio c payload < 1.0);
+  checki "compressed_size consistent"
+    (Bytes.length (c.Compress.Codec.compress payload))
+    (Compress.Codec.compressed_size c payload);
+  checkb "roundtrip_ok" true (Compress.Codec.roundtrip_ok c payload)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run ~and_exit:false "compress"
+    [
+      ( "bitio",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_bitio_roundtrip;
+          Alcotest.test_case "msb first" `Quick test_bitio_msb_first;
+          Alcotest.test_case "padding" `Quick test_bitio_padding;
+          Alcotest.test_case "out of bits" `Quick test_bitio_out_of_bits;
+          Alcotest.test_case "wide writes rejected" `Quick
+            test_bitio_rejects_wide_writes;
+        ] );
+      ("roundtrips", all_roundtrips);
+      ( "random-roundtrips",
+        List.map (fun c -> qcheck (prop_roundtrip c)) (Compress.Registry.all ())
+        @ [ qcheck prop_never_expanding ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "rle known vectors" `Quick test_rle_known;
+          Alcotest.test_case "corrupt inputs" `Quick test_corrupt_inputs;
+          Alcotest.test_case "lzw bad code" `Quick test_lzw_bad_code;
+        ] );
+      ( "huffman",
+        [
+          Alcotest.test_case "code lengths" `Quick test_huffman_code_lengths;
+          Alcotest.test_case "single symbol" `Quick test_huffman_single_symbol;
+          Alcotest.test_case "canonical codes" `Quick
+            test_huffman_canonical_codes;
+          Alcotest.test_case "shared model" `Quick
+            test_shared_decodes_only_same_model;
+          Alcotest.test_case "positional beats global on code" `Quick
+            test_positional_beats_global_on_code;
+          Alcotest.test_case "shared block size limit" `Quick
+            test_shared_rejects_large_blocks;
+          qcheck prop_huffman_kraft;
+        ] );
+      ("mtf", [ Alcotest.test_case "transform" `Quick test_mtf_transform ]);
+      ( "registry",
+        [
+          Alcotest.test_case "lookup" `Quick test_registry;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "codec helpers" `Quick test_codec_helpers;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Instruction dictionary (appended suite)                             *)
+
+let code_corpus = Core.Scenario.synthetic_block_bytes ~id:11 ~size:2048
+
+let test_dict_roundtrip () =
+  let c = Compress.Dict.shared ~corpus:code_corpus in
+  List.iter
+    (fun size ->
+      let payload = Core.Scenario.synthetic_block_bytes ~id:11 ~size in
+      checkb
+        (Printf.sprintf "dict roundtrip %dB" size)
+        true
+        (Compress.Codec.roundtrip_ok c payload))
+    [ 0; 4; 64; 512; 2048 ];
+  (* non-word-aligned tail *)
+  let odd = Bytes.of_string "abcdefg" in
+  checkb "dict odd length" true (Compress.Codec.roundtrip_ok c odd)
+
+let test_dict_compresses_repeats () =
+  let c = Compress.Dict.shared ~corpus:code_corpus in
+  let payload = Core.Scenario.synthetic_block_bytes ~id:11 ~size:512 in
+  checkb "dict compresses its corpus" true
+    (Compress.Codec.ratio c payload < 0.8)
+
+let test_dict_dictionary () =
+  let words = Compress.Dict.dictionary_words ~corpus:code_corpus in
+  checkb "dictionary nonempty" true (words <> []);
+  checkb "bounded" true (List.length words <= 254);
+  checkb "unique" true
+    (List.length (List.sort_uniq compare words) = List.length words)
+
+let test_dict_corrupt () =
+  let c = Compress.Dict.shared ~corpus:code_corpus in
+  checkb "truncated header" true
+    (expect_corrupt c (Bytes.of_string "a"));
+  checkb "truncated body" true
+    (expect_corrupt c (Bytes.of_string "\x08\x00\xFF"));
+  (* index beyond table: dictionary of this corpus has < 250 entries *)
+  let words = List.length (Compress.Dict.dictionary_words ~corpus:code_corpus) in
+  if words < 250 then
+    checkb "bad index" true (expect_corrupt c (Bytes.of_string "\x04\x00\xFA"))
+
+let test_registry_shared_all () =
+  checki "three shared codecs" 3
+    (List.length (Compress.Registry.shared_all ~corpus:code_corpus));
+  let d = Compress.Registry.dict_codec ~corpus:code_corpus in
+  checks "dict name" "dict" d.Compress.Codec.name
+
+let () =
+  Alcotest.run ~and_exit:false "compress-dict"
+    [
+      ( "dict",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_dict_roundtrip;
+          Alcotest.test_case "compresses repeats" `Quick
+            test_dict_compresses_repeats;
+          Alcotest.test_case "dictionary contents" `Quick test_dict_dictionary;
+          Alcotest.test_case "corruption" `Quick test_dict_corrupt;
+          Alcotest.test_case "registry" `Quick test_registry_shared_all;
+        ] );
+    ]

@@ -1,0 +1,668 @@
+(* Tests for the policy engine: k-edge bookkeeping, policies,
+   predictors, the discrete-event engine and the scenario glue. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let check_il = Alcotest.check Alcotest.(list int)
+
+(* ------------------------------------------------------------------ *)
+(* Kedge                                                               *)
+
+let test_kedge_basic () =
+  let k = Core.Kedge.create ~blocks:4 ~k:2 () in
+  Core.Kedge.track k ~block:0 ~step:0;
+  checkb "tracked" true (Core.Kedge.tracked k ~block:0);
+  checkb "counter at 1" true (Core.Kedge.counter k ~block:0 ~step:1 = Some 1);
+  check_il "not due before k" [] (Core.Kedge.due k ~step:1);
+  check_il "due at k" [ 0 ] (Core.Kedge.due k ~step:2);
+  checkb "untracked has no counter" true
+    (Core.Kedge.counter k ~block:1 ~step:5 = None)
+
+let test_kedge_reset_on_reexecution () =
+  let k = Core.Kedge.create ~blocks:4 ~k:2 () in
+  Core.Kedge.track k ~block:0 ~step:0;
+  (* re-executed at step 1: counter resets, old due entry is stale *)
+  Core.Kedge.track k ~block:0 ~step:1;
+  check_il "stale entry filtered" [] (Core.Kedge.due k ~step:2);
+  check_il "new due honored" [ 0 ] (Core.Kedge.due k ~step:3)
+
+let test_kedge_untrack () =
+  let k = Core.Kedge.create ~blocks:4 ~k:1 () in
+  Core.Kedge.track k ~block:2 ~step:5;
+  Core.Kedge.untrack k ~block:2;
+  check_il "untracked not due" [] (Core.Kedge.due k ~step:6)
+
+let test_kedge_k1_and_multiple () =
+  let k = Core.Kedge.create ~blocks:4 ~k:1 () in
+  Core.Kedge.track k ~block:0 ~step:0;
+  Core.Kedge.track k ~block:1 ~step:0;
+  check_il "both due, sorted" [ 0; 1 ] (Core.Kedge.due k ~step:1);
+  (* due consumes the entries *)
+  check_il "consumed" [] (Core.Kedge.due k ~step:1)
+
+let test_kedge_huge_k_no_overflow () =
+  let k = Core.Kedge.create ~blocks:2 ~k:max_int () in
+  Core.Kedge.track k ~block:0 ~step:100;
+  checkb "counter works" true (Core.Kedge.counter k ~block:0 ~step:200 = Some 100);
+  check_il "never due" [] (Core.Kedge.due k ~step:1000)
+
+let test_kedge_validation () =
+  Alcotest.check_raises "k=0 rejected"
+    (Invalid_argument "Core.Kedge.create: k must be >= 1") (fun () ->
+      ignore (Core.Kedge.create ~blocks:1 ~k:0 ()));
+  Alcotest.check_raises "blocks=0 rejected"
+    (Invalid_argument "Core.Kedge.create: blocks must be >= 1") (fun () ->
+      ignore (Core.Kedge.create ~blocks:0 ~k:1 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+
+let test_policy_validation () =
+  checkb "valid" true
+    (match Core.Policy.make ~compress_k:1 () with _ -> true);
+  Alcotest.check_raises "k=0"
+    (Invalid_argument "Core.Policy: compress_k must be >= 1") (fun () ->
+      ignore (Core.Policy.make ~compress_k:0 ()));
+  Alcotest.check_raises "lookahead=0"
+    (Invalid_argument "Core.Policy: lookahead must be >= 1") (fun () ->
+      ignore (Core.Policy.pre_all ~k:1 ~lookahead:0));
+  Alcotest.check_raises "budget=0"
+    (Invalid_argument "Core.Policy: budget must be positive") (fun () ->
+      ignore (Core.Policy.make ~compress_k:1 ~budget:0 ()))
+
+let test_policy_describe () =
+  let d = Core.Policy.describe (Core.Policy.on_demand ~k:4) in
+  checkb "mentions on-demand" true
+    (String.length d > 0
+    &&
+    let rec has i =
+      i + 9 <= String.length d && (String.sub d i 9 = "on-demand" || has (i + 1))
+    in
+    has 0);
+  let d2 = Core.Policy.describe Core.Policy.never_compress in
+  checkb "inf k" true
+    (let rec has i =
+       i + 3 <= String.length d2 && (String.sub d2 i 3 = "inf" || has (i + 1))
+     in
+     has 0)
+
+(* ------------------------------------------------------------------ *)
+(* Config                                                              *)
+
+let test_config_costs () =
+  let c = Core.Config.default in
+  checki "dec cost" (30 + (4 * 10)) (Core.Config.dec_cycles c ~compressed_bytes:10);
+  checki "comp cost" (30 + (8 * 10))
+    (Core.Config.comp_cycles c ~uncompressed_bytes:10);
+  let codec = Compress.Registry.find_exn "rle" in
+  let c2 = Core.Config.of_codec codec in
+  checki "codec dec rate" (30 + (2 * 10))
+    (Core.Config.dec_cycles c2 ~compressed_bytes:10)
+
+(* ------------------------------------------------------------------ *)
+(* Predictor                                                           *)
+
+let fig2_graph () =
+  Cfg.Graph.synthetic 10
+    [
+      (0, 1); (0, 2); (1, 3); (1, 4); (2, 4); (2, 5); (3, 6); (4, 6); (5, 6);
+      (6, 7); (6, 8); (7, 9); (8, 9);
+    ]
+
+let test_predictor_first_successor () =
+  let g = fig2_graph () in
+  let st = Core.Predictor.create_state ~blocks:10 in
+  (* path following first successors from 0: 1, 3, 6... *)
+  checkb "follows first successors" true
+    (Core.Predictor.choose Core.Predictor.First_successor st g ~from:0 ~k:3
+       ~candidates:[ 6; 5 ]
+    = Some 6);
+  checkb "fallback to nearest" true
+    (Core.Predictor.choose Core.Predictor.First_successor st g ~from:0 ~k:2
+       ~candidates:[ 5; 8 ]
+    = Some 5);
+  checkb "empty candidates" true
+    (Core.Predictor.choose Core.Predictor.First_successor st g ~from:0 ~k:2
+       ~candidates:[]
+    = None)
+
+let test_predictor_last_taken () =
+  let g = fig2_graph () in
+  let st = Core.Predictor.create_state ~blocks:10 in
+  Core.Predictor.note_edge st ~src:0 ~dst:2;
+  Core.Predictor.note_edge st ~src:2 ~dst:5;
+  checkb "follows remembered edges" true
+    (Core.Predictor.choose Core.Predictor.Last_taken st g ~from:0 ~k:2
+       ~candidates:[ 4; 5 ]
+    = Some 5);
+  (* stale remembered edge that is no longer a successor is ignored *)
+  let st2 = Core.Predictor.create_state ~blocks:10 in
+  Core.Predictor.note_edge st2 ~src:0 ~dst:9;
+  checkb "invalid remembered edge falls back" true
+    (Core.Predictor.choose Core.Predictor.Last_taken st2 g ~from:0 ~k:1
+       ~candidates:[ 1; 2 ]
+    = Some 1)
+
+let test_predictor_profile () =
+  let g = fig2_graph () in
+  let st = Core.Predictor.create_state ~blocks:10 in
+  (* trace that makes 0 -> 2 -> 5 dominant *)
+  let profile = Cfg.Profile.of_trace g [| 0; 2; 5; 6; 8; 9 |] in
+  checkb "profile picks likely path" true
+    (Core.Predictor.choose (Core.Predictor.By_profile profile) st g ~from:0
+       ~k:2 ~candidates:[ 3; 5 ]
+    = Some 5)
+
+let test_predictor_names () =
+  checkb "names distinct" true
+    (List.sort_uniq compare
+       [
+         Core.Predictor.name Core.Predictor.First_successor;
+         Core.Predictor.name Core.Predictor.Last_taken;
+         Core.Predictor.name
+           (Core.Predictor.By_profile (Cfg.Profile.uniform (fig2_graph ())));
+       ]
+    |> List.length = 3)
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+(* All blocks 64 bytes; synthetic contents. *)
+let scenario_of g trace = Core.Scenario.of_graph g ~trace
+
+let fig5_scenario () =
+  let g =
+    Cfg.Graph.synthetic 4 [ (0, 1); (1, 0); (1, 2); (1, 3); (2, 3) ]
+  in
+  scenario_of g [| 0; 1; 0; 1; 3 |]
+
+let run_events sc policy =
+  let events = ref [] in
+  let m = Core.Scenario.run ~log:(fun e -> events := e :: !events) sc policy in
+  (m, List.rev !events)
+
+let count_events f events =
+  List.length (List.filter f events)
+
+let test_engine_fig5_events () =
+  let sc = fig5_scenario () in
+  let m, events = run_events sc (Core.Policy.on_demand ~k:2) in
+  (* 4 exceptions: initial B0, first B1, revisit B0 (patch only), B3. *)
+  checki "exceptions" 4 m.Core.Metrics.exceptions;
+  checki "demand decompressions" 3 m.Core.Metrics.demand_decompressions;
+  checki "one k-edge discard" 1 m.Core.Metrics.discards;
+  (* 4 patches: B0->B1', B1->B0', patch-back on discard of B0', B1->B3'. *)
+  checki "patches" 4 m.Core.Metrics.patches;
+  checkb "discarded block is B0" true
+    (List.exists
+       (fun ev ->
+         match (ev : Core.Engine.event) with
+         | Discard { block = 0; patched_back = 1; _ } -> true
+         | _ -> false)
+       events);
+  (* Step (7): second arrival at resident patched B1 has no exception:
+     the number of Exception events equals metrics. *)
+  checki "exception events" 4
+    (count_events
+       (fun ev ->
+         match (ev : Core.Engine.event) with Exception _ -> true | _ -> false)
+       events)
+
+let test_engine_steady_state_free () =
+  (* A 2-block loop with k large: after warmup, no overhead at all. *)
+  let g = Cfg.Graph.synthetic 2 [ (0, 1); (1, 0) ] in
+  let trace = Array.init 100 (fun i -> i mod 2) in
+  let sc = scenario_of g trace in
+  let m = Core.Scenario.run sc (Core.Policy.on_demand ~k:50) in
+  checki "only 2 demand decompressions" 2 m.Core.Metrics.demand_decompressions;
+  (* Warmup: fault on B0, fault+patch on B1, one more fault+patch on
+     the first revisit of B0; after that, both branch sites are
+     patched and the loop runs exception-free. *)
+  checki "three warmup exceptions" 3 m.Core.Metrics.exceptions;
+  checki "two warmup patches" 2 m.Core.Metrics.patches;
+  checki "no discards" 0 m.Core.Metrics.discards;
+  (* total = baseline + warmup costs only *)
+  let warmup =
+    m.Core.Metrics.exception_cycles + m.Core.Metrics.patch_cycles
+    + m.Core.Metrics.demand_dec_cycles
+  in
+  checki "total accounted" (m.Core.Metrics.baseline_cycles + warmup)
+    m.Core.Metrics.total_cycles
+
+let test_engine_k1_thrash () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1); (1, 0) ] in
+  let trace = Array.init 20 (fun i -> i mod 2) in
+  let sc = scenario_of g trace in
+  let m = Core.Scenario.run sc (Core.Policy.on_demand ~k:1) in
+  (* k=1 discards each block as soon as the next edge is traversed,
+     so every visit is a demand miss. *)
+  checki "every visit misses" 20 m.Core.Metrics.demand_decompressions;
+  checki "discards all but last" 19 m.Core.Metrics.discards
+
+let test_engine_self_loop_spared () =
+  (* A self-loop with k=1: the target of the edge is spared deletion. *)
+  let g = Cfg.Graph.synthetic 2 [ (0, 0); (0, 1) ] in
+  let trace = [| 0; 0; 0; 0; 1 |] in
+  let sc = scenario_of g trace in
+  let m = Core.Scenario.run sc (Core.Policy.on_demand ~k:1) in
+  checki "self-loop keeps copy" 2 m.Core.Metrics.demand_decompressions
+
+let test_engine_prefetch_hides_latency () =
+  let g, trace = Trace.Synthetic.loop_nest ~levels:2 ~iters:[| 10; 10 |] in
+  let sc = scenario_of g trace in
+  let od = Core.Scenario.run sc (Core.Policy.on_demand ~k:8) in
+  let pre = Core.Scenario.run sc (Core.Policy.pre_all ~k:8 ~lookahead:2) in
+  checkb "prefetch reduces demand misses" true
+    (pre.Core.Metrics.demand_decompressions
+    < od.Core.Metrics.demand_decompressions);
+  checkb "prefetches issued" true (pre.Core.Metrics.prefetch_decompressions > 0);
+  checki "useful + wasted <= prefetches"
+    (min
+       (pre.Core.Metrics.useful_prefetches + pre.Core.Metrics.wasted_prefetches)
+       pre.Core.Metrics.prefetch_decompressions)
+    (pre.Core.Metrics.useful_prefetches + pre.Core.Metrics.wasted_prefetches)
+
+let test_engine_prefetch_timing () =
+  (* A straight chain: the prefetch of block 2 must be issued when
+     execution leaves block 0 (lookahead 2). *)
+  let g = Cfg.Graph.synthetic 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let sc = scenario_of g [| 0; 1; 2; 3 |] in
+  let _, events = run_events sc (Core.Policy.pre_all ~k:8 ~lookahead:2) in
+  let exec0_at = ref (-1) and prefetch2_at = ref (-1) and exec1_at = ref (-1) in
+  List.iter
+    (fun ev ->
+      match (ev : Core.Engine.event) with
+      | Exec { block = 0; at } -> exec0_at := at
+      | Exec { block = 1; at } -> if !exec1_at < 0 then exec1_at := at
+      | Prefetch_issue { block = 2; at; _ } -> prefetch2_at := at
+      | _ -> ())
+    events;
+  checkb "prefetch after exec of 0" true (!prefetch2_at >= !exec0_at);
+  checkb "prefetch before exec of 1" true (!prefetch2_at <= !exec1_at)
+
+let test_engine_budget_eviction () =
+  let g = Cfg.Graph.synthetic ~block_bytes:64 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+  let trace = Array.init 40 (fun i -> i mod 4) in
+  let sc = scenario_of g trace in
+  (* Budget for two blocks only. *)
+  let m =
+    Core.Scenario.run sc (Core.Policy.make ~compress_k:100 ~budget:128 ())
+  in
+  checkb "evictions happened" true (m.Core.Metrics.evictions > 0);
+  checkb "budget respected" true (m.Core.Metrics.peak_decompressed_bytes <= 128);
+  checki "no overflows" 0 m.Core.Metrics.budget_overflows
+
+let test_engine_budget_overflow () =
+  (* Budget smaller than a single block: the demand decompression must
+     overflow (no victim can make room). *)
+  let g = Cfg.Graph.synthetic ~block_bytes:64 2 [ (0, 1); (1, 0) ] in
+  let sc = scenario_of g [| 0; 1 |] in
+  let m = Core.Scenario.run sc (Core.Policy.make ~compress_k:4 ~budget:32 ()) in
+  checkb "overflows recorded" true (m.Core.Metrics.budget_overflows > 0)
+
+let test_engine_recompress_mode () =
+  let g = Cfg.Graph.synthetic 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let trace = Array.init 12 (fun i -> i mod 3) in
+  let sc = scenario_of g trace in
+  let discard =
+    Core.Scenario.run sc
+      (Core.Policy.make ~mode:Core.Policy.Discard ~compress_k:1 ())
+  in
+  let recompress =
+    Core.Scenario.run sc
+      (Core.Policy.make ~mode:Core.Policy.Recompress ~compress_k:1 ())
+  in
+  checkb "recompress uses the comp thread" true
+    (recompress.Core.Metrics.comp_thread_busy_cycles
+    > discard.Core.Metrics.comp_thread_busy_cycles);
+  checkb "recompress holds memory longer" true
+    (recompress.Core.Metrics.avg_decompressed_bytes
+    >= discard.Core.Metrics.avg_decompressed_bytes)
+
+let test_engine_empty_trace () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1) ] in
+  let sc = scenario_of g [||] in
+  let m = Core.Scenario.run sc (Core.Policy.on_demand ~k:2) in
+  checki "no cycles" 0 m.Core.Metrics.total_cycles;
+  checki "no events" 0 m.Core.Metrics.exceptions
+
+let test_engine_rejects_bad_input () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1) ] in
+  let sc = scenario_of g [| 0; 1 |] in
+  Alcotest.check_raises "bad trace block"
+    (Invalid_argument "Core.Engine.run: trace mentions unknown block")
+    (fun () ->
+      ignore
+        (Core.Engine.run ~graph:sc.Core.Scenario.graph
+           ~info:sc.Core.Scenario.info ~trace:[| 0; 7 |]
+           (Core.Policy.on_demand ~k:1)));
+  Alcotest.check_raises "bad info length"
+    (Invalid_argument "Core.Engine.run: info does not match graph") (fun () ->
+      ignore
+        (Core.Engine.run ~graph:sc.Core.Scenario.graph
+           ~info:(Array.sub sc.Core.Scenario.info 0 1)
+           ~trace:[| 0 |] (Core.Policy.on_demand ~k:1)));
+  Alcotest.check_raises "bad step_cycles"
+    (Invalid_argument "Core.Engine.run: step_cycles does not match trace")
+    (fun () ->
+      ignore
+        (Core.Engine.run ~step_cycles:[| 1 |] ~graph:sc.Core.Scenario.graph
+           ~info:sc.Core.Scenario.info ~trace:[| 0; 1 |]
+           (Core.Policy.on_demand ~k:1)))
+
+let test_engine_step_cycles_override () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1) ] in
+  let sc = scenario_of g [| 0; 1 |] in
+  let m =
+    Core.Engine.run ~step_cycles:[| 100; 200 |] ~graph:sc.Core.Scenario.graph
+      ~info:sc.Core.Scenario.info ~trace:[| 0; 1 |]
+      (Core.Policy.on_demand ~k:4)
+  in
+  checki "baseline from overrides" 300 m.Core.Metrics.baseline_cycles;
+  checki "exec from overrides" 300 m.Core.Metrics.exec_cycles
+
+(* Metric invariants on random loop-heavy scenarios. *)
+let prop_metric_invariants =
+  let gen =
+    QCheck.Gen.(
+      let* blocks = int_range 3 12 in
+      let* extra_edges =
+        list_size (int_range 0 10)
+          (pair (int_range 0 (blocks - 1)) (int_range 0 (blocks - 1)))
+      in
+      let* len = int_range 1 300 in
+      let* seed = int_range 0 1000 in
+      let* k = int_range 1 16 in
+      let* strategy = int_range 0 2 in
+      return (blocks, extra_edges, len, seed, k, strategy))
+  in
+  QCheck.Test.make ~count:120 ~name:"engine metric invariants"
+    (QCheck.make gen) (fun (blocks, extra_edges, len, seed, k, strategy) ->
+      (* ring edges keep every block live; extras add irregularity *)
+      let ring = List.init blocks (fun i -> (i, (i + 1) mod blocks)) in
+      let edges = List.sort_uniq compare (ring @ extra_edges) in
+      let g = Cfg.Graph.synthetic blocks edges in
+      let trace = Trace.Synthetic.markov ~seed g ~length:len in
+      let sc = Core.Scenario.of_graph g ~trace in
+      let policy =
+        match strategy with
+        | 0 -> Core.Policy.on_demand ~k
+        | 1 -> Core.Policy.pre_all ~k ~lookahead:2
+        | _ ->
+          Core.Policy.pre_single ~k ~lookahead:2
+            ~predictor:Core.Predictor.Last_taken
+      in
+      let m = Core.Scenario.run sc policy in
+      let open Core.Metrics in
+      m.total_cycles >= m.baseline_cycles
+      && m.exec_cycles = m.baseline_cycles
+      && m.stall_cycles >= 0
+      && m.useful_prefetches + m.wasted_prefetches
+         <= m.prefetch_decompressions
+      && m.peak_decompressed_bytes >= 0
+      && float_of_int m.peak_decompressed_bytes >= m.avg_decompressed_bytes
+      && m.peak_footprint_bytes
+         = m.compressed_area_bytes + m.peak_decompressed_bytes
+      && m.demand_decompressions + m.prefetch_decompressions
+         >= m.discards + m.evictions
+      && m.total_cycles
+         = m.exec_cycles + m.exception_cycles + m.patch_cycles
+           + m.demand_dec_cycles + m.stall_cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Scenario                                                            *)
+
+let test_scenario_of_source () =
+  let sc =
+    Core.Scenario.of_source ~name:"t" "li r1, 5\nloop: subi r1, r1, 1\nbne r1, r0, loop\nhalt"
+  in
+  checkb "has program" true (sc.Core.Scenario.program <> None);
+  checkb "trace valid" true
+    (Cfg.Graph.validate_trace sc.Core.Scenario.graph sc.Core.Scenario.trace
+    = Ok ());
+  checkb "compressed sizes positive" true
+    (Array.for_all
+       (fun (i : Core.Engine.block_info) -> i.compressed_bytes > 0)
+       sc.Core.Scenario.info)
+
+let test_scenario_synthetic_bytes_deterministic () =
+  let a = Core.Scenario.synthetic_block_bytes ~id:5 ~size:128 in
+  let b = Core.Scenario.synthetic_block_bytes ~id:5 ~size:128 in
+  let c = Core.Scenario.synthetic_block_bytes ~id:6 ~size:128 in
+  checkb "deterministic" true (Bytes.equal a b);
+  checkb "id-dependent" false (Bytes.equal a c);
+  checki "size respected" 128 (Bytes.length a)
+
+let test_scenario_profile () =
+  let g = Cfg.Graph.synthetic 3 [ (0, 1); (1, 2); (2, 0) ] in
+  let sc = Core.Scenario.of_graph g ~trace:[| 0; 1; 2; 0; 1; 2 |] in
+  let p = Core.Scenario.profile sc in
+  checki "profile counts" 2 (Cfg.Profile.block_count p 0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run ~and_exit:false "core"
+    [
+      ( "kedge",
+        [
+          Alcotest.test_case "basic counters" `Quick test_kedge_basic;
+          Alcotest.test_case "reset on re-execution" `Quick
+            test_kedge_reset_on_reexecution;
+          Alcotest.test_case "untrack" `Quick test_kedge_untrack;
+          Alcotest.test_case "k=1 and multiple" `Quick
+            test_kedge_k1_and_multiple;
+          Alcotest.test_case "huge k" `Quick test_kedge_huge_k_no_overflow;
+          Alcotest.test_case "validation" `Quick test_kedge_validation;
+        ] );
+      ( "policy",
+        [
+          Alcotest.test_case "validation" `Quick test_policy_validation;
+          Alcotest.test_case "describe" `Quick test_policy_describe;
+        ] );
+      ("config", [ Alcotest.test_case "costs" `Quick test_config_costs ]);
+      ( "predictor",
+        [
+          Alcotest.test_case "first successor" `Quick
+            test_predictor_first_successor;
+          Alcotest.test_case "last taken" `Quick test_predictor_last_taken;
+          Alcotest.test_case "profile" `Quick test_predictor_profile;
+          Alcotest.test_case "names" `Quick test_predictor_names;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "figure 5 event sequence" `Quick
+            test_engine_fig5_events;
+          Alcotest.test_case "steady state is free" `Quick
+            test_engine_steady_state_free;
+          Alcotest.test_case "k=1 thrashes" `Quick test_engine_k1_thrash;
+          Alcotest.test_case "self-loop target spared" `Quick
+            test_engine_self_loop_spared;
+          Alcotest.test_case "prefetch hides latency" `Quick
+            test_engine_prefetch_hides_latency;
+          Alcotest.test_case "prefetch timing" `Quick test_engine_prefetch_timing;
+          Alcotest.test_case "budget eviction" `Quick test_engine_budget_eviction;
+          Alcotest.test_case "budget overflow" `Quick test_engine_budget_overflow;
+          Alcotest.test_case "recompress mode" `Quick test_engine_recompress_mode;
+          Alcotest.test_case "empty trace" `Quick test_engine_empty_trace;
+          Alcotest.test_case "input validation" `Quick
+            test_engine_rejects_bad_input;
+          Alcotest.test_case "step cycles override" `Quick
+            test_engine_step_cycles_override;
+          qcheck prop_metric_invariants;
+        ] );
+      ( "scenario",
+        [
+          Alcotest.test_case "of source" `Quick test_scenario_of_source;
+          Alcotest.test_case "synthetic bytes" `Quick
+            test_scenario_synthetic_bytes_deterministic;
+          Alcotest.test_case "profile" `Quick test_scenario_profile;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive k and event-stream coherence (appended suite)              *)
+
+let test_kedge_per_block () =
+  let k_of b = if b = 0 then 1 else 5 in
+  let k = Core.Kedge.create ~k_of ~blocks:2 ~k:3 () in
+  checki "k_for 0" 1 (Core.Kedge.k_for k ~block:0);
+  checki "k_for 1" 5 (Core.Kedge.k_for k ~block:1);
+  Core.Kedge.track k ~block:0 ~step:0;
+  Core.Kedge.track k ~block:1 ~step:0;
+  check_il "only block 0 due at 1" [ 0 ] (Core.Kedge.due k ~step:1);
+  check_il "block 1 due at 5" [ 1 ] (Core.Kedge.due k ~step:5)
+
+let test_kedge_per_block_validation () =
+  let k = Core.Kedge.create ~k_of:(fun _ -> 0) ~blocks:2 ~k:3 () in
+  Alcotest.check_raises "k_of below 1 rejected on use"
+    (Invalid_argument "Core.Kedge: per-block k must be >= 1") (fun () ->
+      Core.Kedge.track k ~block:0 ~step:0)
+
+let test_adaptive_loop_aware () =
+  (* 0 -> 1 <-> 2, 2 -> 3: loop {1, 2}. *)
+  let g = Cfg.Graph.synthetic 4 [ (0, 1); (1, 2); (2, 1); (2, 3) ] in
+  let k_of = Core.Adaptive.loop_aware g in
+  checki "loop block gets loop size + slack" 4 (k_of 1);
+  checki "other loop block too" 4 (k_of 2);
+  checki "cold block gets 1" 1 (k_of 0);
+  checki "exit gets 1" 1 (k_of 3);
+  checki "out of range safe" 1 (k_of 99)
+
+let test_adaptive_reuse_aware () =
+  let g = Cfg.Graph.synthetic 3 [ (0, 1); (1, 0); (1, 2) ] in
+  let trace = [| 0; 1; 0; 1; 0; 1; 2 |] in
+  let k_of = Core.Adaptive.reuse_aware g trace in
+  checki "block 0 reuse distance" 2 (k_of 0);
+  checki "block 1 reuse distance" 2 (k_of 1);
+  checki "never revisited gets 1" 1 (k_of 2)
+
+let test_adaptive_policy_runs () =
+  let g, trace = Trace.Synthetic.loop_nest ~levels:2 ~iters:[| 8; 8 |] in
+  let sc = Core.Scenario.of_graph g ~trace in
+  let fixed = Core.Scenario.run sc (Core.Policy.on_demand ~k:4) in
+  let adaptive =
+    Core.Scenario.run sc
+      (Core.Policy.make ~compress_k:4
+         ~adaptive_k:(Core.Adaptive.reuse_aware g trace)
+         ())
+  in
+  (* Trained on its own trace, reuse-aware k must not fault more. *)
+  checkb "reuse-aware never worse on demand misses" true
+    (adaptive.Core.Metrics.demand_decompressions
+    <= fixed.Core.Metrics.demand_decompressions);
+  checkb "describe mentions adaptive" true
+    (let d =
+       Core.Policy.describe
+         (Core.Policy.make ~compress_k:4 ~adaptive_k:(fun _ -> 2) ())
+     in
+     let rec has i =
+       i + 8 <= String.length d && (String.sub d i 8 = "adaptive" || has (i + 1))
+     in
+     has 0)
+
+(* Event-stream coherence: replay the engine's event log as a state
+   machine over block residency; any out-of-order event is a bug. *)
+let coherent events =
+  let resident = Hashtbl.create 16 in
+  let in_flight = Hashtbl.create 16 in
+  List.for_all
+    (fun ev ->
+      match (ev : Core.Engine.event) with
+      | Core.Engine.Demand_decompress { block; _ } ->
+        if Hashtbl.mem resident block then false
+        else begin
+          Hashtbl.replace resident block ();
+          true
+        end
+      | Prefetch_issue { block; _ } ->
+        if Hashtbl.mem resident block || Hashtbl.mem in_flight block then false
+        else begin
+          Hashtbl.replace in_flight block ();
+          true
+        end
+      | Exec { block; _ } ->
+        (* a prefetched block becomes resident at its exec arrival *)
+        if Hashtbl.mem in_flight block then begin
+          Hashtbl.remove in_flight block;
+          Hashtbl.replace resident block ()
+        end;
+        Hashtbl.mem resident block
+      | Discard { block; _ } | Evict { block; _ } ->
+        (* wasted prefetches may be discarded before any exec *)
+        if Hashtbl.mem in_flight block then begin
+          Hashtbl.remove in_flight block;
+          true
+        end
+        else if Hashtbl.mem resident block then begin
+          Hashtbl.remove resident block;
+          true
+        end
+        else false
+      | Exception _ | Stall _ | Patch _ | Recompress_queued _ -> true)
+    events
+
+let prop_event_coherence =
+  let gen =
+    QCheck.Gen.(
+      let* blocks = int_range 3 10 in
+      let* len = int_range 1 200 in
+      let* seed = int_range 0 500 in
+      let* k = int_range 1 8 in
+      let* lookahead = int_range 1 4 in
+      return (blocks, len, seed, k, lookahead))
+  in
+  QCheck.Test.make ~count:100 ~name:"event stream coherence"
+    (QCheck.make gen) (fun (blocks, len, seed, k, lookahead) ->
+      let ring = List.init blocks (fun i -> (i, (i + 1) mod blocks)) in
+      let extra = List.init (blocks / 2) (fun i -> (i, (i + 2) mod blocks)) in
+      let g = Cfg.Graph.synthetic blocks (List.sort_uniq compare (ring @ extra)) in
+      let trace = Trace.Synthetic.markov ~seed g ~length:len in
+      let sc = Core.Scenario.of_graph g ~trace in
+      let events = ref [] in
+      let _ =
+        Core.Scenario.run
+          ~log:(fun e -> events := e :: !events)
+          sc
+          (Core.Policy.pre_all ~k ~lookahead)
+      in
+      coherent (List.rev !events))
+
+let test_workload_event_coherence () =
+  let sc =
+    Core.Scenario.of_source ~name:"loop"
+      "li r1, 30\nloop: subi r1, r1, 1\nbeq r1, r0, done\nblt r1, r0, done\nj loop\ndone: halt"
+  in
+  List.iter
+    (fun policy ->
+      let events = ref [] in
+      let _ =
+        Core.Scenario.run ~log:(fun e -> events := e :: !events) sc policy
+      in
+      checkb "coherent" true (coherent (List.rev !events)))
+    [
+      Core.Policy.on_demand ~k:2;
+      Core.Policy.pre_all ~k:2 ~lookahead:2;
+      Core.Policy.make ~mode:Core.Policy.Recompress ~compress_k:2 ();
+      Core.Policy.make ~compress_k:2 ~budget:96 ();
+    ]
+
+let () =
+  Alcotest.run "core-adaptive"
+    [
+      ( "adaptive",
+        [
+          Alcotest.test_case "per-block kedge" `Quick test_kedge_per_block;
+          Alcotest.test_case "per-block validation" `Quick
+            test_kedge_per_block_validation;
+          Alcotest.test_case "loop-aware" `Quick test_adaptive_loop_aware;
+          Alcotest.test_case "reuse-aware" `Quick test_adaptive_reuse_aware;
+          Alcotest.test_case "adaptive policy" `Quick test_adaptive_policy_runs;
+        ] );
+      ( "coherence",
+        [
+          qcheck prop_event_coherence;
+          Alcotest.test_case "workload policies" `Quick
+            test_workload_event_coherence;
+        ] );
+    ]

@@ -1,0 +1,666 @@
+(* Tests for the ERIS-32 substrate: types, encoding, assembler and
+   machine semantics. *)
+
+module T = Eris.Types
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+
+let test_reg_validation () =
+  checki "r0 index" 0 (T.reg_index (T.reg 0));
+  checki "r15 index" 15 (T.reg_index (T.reg 15));
+  Alcotest.check_raises "reg 16 rejected" (Invalid_argument "Eris.Types.reg: 16")
+    (fun () -> ignore (T.reg 16));
+  Alcotest.check_raises "reg -1 rejected" (Invalid_argument "Eris.Types.reg: -1")
+    (fun () -> ignore (T.reg (-1)))
+
+let test_reg_names () =
+  checks "r3" "r3" (T.reg_name (T.reg 3));
+  checks "sp alias" "sp" (T.reg_name T.sp);
+  checks "fp alias" "fp" (T.reg_name T.fp);
+  checks "ra alias" "ra" (T.reg_name T.ra);
+  checkb "parse r10" true (T.reg_of_name "r10" = Some (T.reg 10));
+  checkb "parse zero" true (T.reg_of_name "zero" = Some T.r0);
+  checkb "parse ra" true (T.reg_of_name "ra" = Some T.ra);
+  checkb "reject r16" true (T.reg_of_name "r16" = None);
+  checkb "reject bogus" true (T.reg_of_name "x1" = None);
+  checkb "reject empty" true (T.reg_of_name "" = None)
+
+let test_imm_ranges () =
+  checkb "imm14 max" true (T.imm14_fits 8191);
+  checkb "imm14 min" true (T.imm14_fits (-8192));
+  checkb "imm14 over" false (T.imm14_fits 8192);
+  checkb "imm14 under" false (T.imm14_fits (-8193));
+  checkb "uimm14 top" true (T.uimm14_fits 16383);
+  checkb "uimm14 over" false (T.uimm14_fits 16384);
+  checkb "uimm14 negative" false (T.uimm14_fits (-1));
+  checkb "imm18 max" true (T.imm18_fits 131071);
+  checkb "imm18 over" false (T.imm18_fits 131072);
+  checkb "imm22 max" true (T.imm22_fits 2097151);
+  checkb "uimm18 max" true (T.uimm18_fits 262143);
+  checkb "uimm18 over" false (T.uimm18_fits 262144)
+
+let test_alui_imm_rule () =
+  (* Logical immediates are unsigned, others signed. *)
+  checkb "ori 16383 ok" true (T.alui_imm_fits T.Or 16383);
+  checkb "ori -1 rejected" false (T.alui_imm_fits T.Or (-1));
+  checkb "addi -8192 ok" true (T.alui_imm_fits T.Add (-8192));
+  checkb "addi 16383 rejected" false (T.alui_imm_fits T.Add 16383)
+
+let test_validate () =
+  checkb "valid addi" true
+    (T.validate (T.Alui (T.Add, T.reg 1, T.reg 2, 100)) = Ok ());
+  checkb "invalid addi" true
+    (Result.is_error (T.validate (T.Alui (T.Add, T.reg 1, T.reg 2, 10000))));
+  checkb "invalid branch" true
+    (Result.is_error (T.validate (T.Branch (T.Eq, T.r0, T.r0, 1 lsl 18))));
+  checkb "invalid lui" true
+    (Result.is_error (T.validate (T.Lui (T.reg 1, -1))))
+
+let test_control_transfer () =
+  checkb "branch ends block" true
+    (T.is_control_transfer (T.Branch (T.Eq, T.r0, T.r0, 0)));
+  checkb "jal ends block" true (T.is_control_transfer (T.Jal (T.r0, 0)));
+  checkb "jalr ends block" true (T.is_control_transfer (T.Jalr (T.r0, T.ra, 0)));
+  checkb "halt ends block" true (T.is_control_transfer T.Halt);
+  checkb "add does not" false
+    (T.is_control_transfer (T.Alu (T.Add, T.r0, T.r0, T.r0)))
+
+let test_cycle_cost () =
+  checki "alu" 1 (T.cycle_cost (T.Alu (T.Add, T.r0, T.r0, T.r0)));
+  checki "mul" 3 (T.cycle_cost (T.Alu (T.Mul, T.r0, T.r0, T.r0)));
+  checki "muli" 3 (T.cycle_cost (T.Alui (T.Mul, T.r0, T.r0, 1)));
+  checki "load" 2 (T.cycle_cost (T.Load (T.W32, T.r0, T.r0, 0)));
+  checki "store" 2 (T.cycle_cost (T.Store (T.W8, T.r0, T.r0, 0)));
+  checki "branch" 2 (T.cycle_cost (T.Branch (T.Lt, T.r0, T.r0, 0)));
+  checki "jal" 1 (T.cycle_cost (T.Jal (T.ra, 0)))
+
+let test_pp () =
+  checks "add" "add r1, r2, r3"
+    (T.to_string (T.Alu (T.Add, T.reg 1, T.reg 2, T.reg 3)));
+  checks "addi" "addi r1, r2, -5"
+    (T.to_string (T.Alui (T.Add, T.reg 1, T.reg 2, -5)));
+  checks "lw" "lw r5, 8(sp)" (T.to_string (T.Load (T.W32, T.reg 5, T.sp, 8)));
+  checks "sb" "sb r5, -4(fp)" (T.to_string (T.Store (T.W8, T.reg 5, T.fp, -4)));
+  checks "beq" "beq r1, r0, 7"
+    (T.to_string (T.Branch (T.Eq, T.reg 1, T.r0, 7)));
+  checks "halt" "halt" (T.to_string T.Halt)
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let arbitrary_instruction =
+  let open QCheck in
+  let reg_gen = Gen.map T.reg (Gen.int_range 0 15) in
+  let alu_gen = Gen.oneofl T.all_alu_ops in
+  let cond_gen = Gen.oneofl T.all_conds in
+  let width_gen = Gen.oneofl [ T.W8; T.W32 ] in
+  let imm14 = Gen.int_range (-8192) 8191 in
+  let uimm14 = Gen.int_range 0 16383 in
+  let imm18 = Gen.int_range (-131072) 131071 in
+  let imm22 = Gen.int_range (-2097152) 2097151 in
+  let uimm18 = Gen.int_range 0 262143 in
+  let gen =
+    Gen.oneof
+      [
+        Gen.map3 (fun op rd (rs1, rs2) -> T.Alu (op, rd, rs1, rs2)) alu_gen
+          reg_gen (Gen.pair reg_gen reg_gen);
+        Gen.map3
+          (fun op rd (rs1, signed, unsigned) ->
+            let imm = if T.alu_imm_unsigned op then unsigned else signed in
+            T.Alui (op, rd, rs1, imm))
+          alu_gen reg_gen
+          (Gen.triple reg_gen imm14 uimm14);
+        Gen.map2 (fun rd imm -> T.Lui (rd, imm)) reg_gen uimm18;
+        Gen.map3 (fun w (rd, rs1) off -> T.Load (w, rd, rs1, off)) width_gen
+          (Gen.pair reg_gen reg_gen) imm14;
+        Gen.map3 (fun w (rs2, rs1) off -> T.Store (w, rs2, rs1, off)) width_gen
+          (Gen.pair reg_gen reg_gen) imm14;
+        Gen.map3 (fun c (rs1, rs2) off -> T.Branch (c, rs1, rs2, off)) cond_gen
+          (Gen.pair reg_gen reg_gen) imm18;
+        Gen.map2 (fun rd off -> T.Jal (rd, off)) reg_gen imm22;
+        Gen.map3 (fun rd rs1 off -> T.Jalr (rd, rs1, off)) reg_gen reg_gen imm14;
+        Gen.return T.Halt;
+      ]
+  in
+  make ~print:T.to_string gen
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~count:2000 ~name:"encode/decode roundtrip"
+    arbitrary_instruction (fun i ->
+      match Eris.Encoding.decode (Eris.Encoding.encode i) with
+      | Ok i' -> T.equal i i'
+      | Error _ -> false)
+
+let prop_encode_in_range =
+  QCheck.Test.make ~count:1000 ~name:"encoded word is 32-bit"
+    arbitrary_instruction (fun i ->
+      let w = Eris.Encoding.encode i in
+      w >= 0 && w <= 0xFFFFFFFF)
+
+let test_encode_known () =
+  (* halt = opcode 32 in the top 6 bits. *)
+  checki "halt" (32 lsl 26) (Eris.Encoding.encode T.Halt);
+  (* add r1, r2, r3 = opcode 1. *)
+  checki "add"
+    ((1 lsl 26) lor (1 lsl 22) lor (2 lsl 18) lor (3 lsl 14))
+    (Eris.Encoding.encode (T.Alu (T.Add, T.reg 1, T.reg 2, T.reg 3)))
+
+let test_decode_errors () =
+  checkb "opcode 0 invalid" true (Result.is_error (Eris.Encoding.decode 0));
+  checkb "opcode 63 invalid" true
+    (Result.is_error (Eris.Encoding.decode (63 lsl 26)));
+  checkb "negative word invalid" true
+    (Result.is_error (Eris.Encoding.decode (-1)));
+  checkb "oversized word invalid" true
+    (Result.is_error (Eris.Encoding.decode 0x1_0000_0000))
+
+let test_encode_rejects_bad_imm () =
+  Alcotest.check_raises "imm out of range"
+    (Invalid_argument "Eris.Encoding.encode: imm14 out of range: 10000")
+    (fun () -> ignore (Eris.Encoding.encode (T.Alui (T.Add, T.r0, T.r0, 10000))))
+
+let test_program_roundtrip () =
+  let instrs =
+    [|
+      T.Alui (T.Add, T.reg 1, T.r0, 5);
+      T.Alu (T.Mul, T.reg 2, T.reg 1, T.reg 1);
+      T.Branch (T.Ne, T.reg 2, T.r0, -2);
+      T.Halt;
+    |]
+  in
+  let image = Eris.Encoding.encode_program instrs in
+  checki "image size" 16 (Bytes.length image);
+  match Eris.Encoding.decode_program image with
+  | Ok instrs' ->
+    checkb "same instructions" true
+      (Array.for_all2 T.equal instrs instrs')
+  | Error msg -> Alcotest.failf "decode_program failed: %s" msg
+
+let test_decode_program_bad_length () =
+  checkb "length 3 rejected" true
+    (Result.is_error (Eris.Encoding.decode_program (Bytes.create 3)))
+
+let test_word_io () =
+  let b = Bytes.create 8 in
+  Eris.Encoding.write_word b 0 0xDEADBEEF;
+  Eris.Encoding.write_word b 4 1;
+  checki "read back" 0xDEADBEEF (Eris.Encoding.read_word b 0);
+  checki "read back 2" 1 (Eris.Encoding.read_word b 4);
+  (* little-endian layout *)
+  checki "byte 0" 0xEF (Char.code (Bytes.get b 0));
+  checki "byte 3" 0xDE (Char.code (Bytes.get b 3))
+
+(* ------------------------------------------------------------------ *)
+(* Assembler                                                           *)
+
+let assemble_one line =
+  match Eris.Asm.parse_line line with
+  | Ok (Some i) -> i
+  | Ok None -> Alcotest.failf "no instruction in %S" line
+  | Error msg -> Alcotest.failf "parse error in %S: %s" line msg
+
+let test_asm_instructions () =
+  checkb "add" true
+    (T.equal (assemble_one "add r1, r2, r3") (T.Alu (T.Add, T.reg 1, T.reg 2, T.reg 3)));
+  checkb "subi negative" true
+    (T.equal (assemble_one "subi r1, r1, 1") (T.Alui (T.Sub, T.reg 1, T.reg 1, 1)));
+  checkb "lw" true
+    (T.equal (assemble_one "lw r5, 8(sp)") (T.Load (T.W32, T.reg 5, T.sp, 8)));
+  checkb "lw no offset" true
+    (T.equal (assemble_one "lw r5, (r2)") (T.Load (T.W32, T.reg 5, T.reg 2, 0)));
+  checkb "sb" true
+    (T.equal (assemble_one "sb r4, -1(r6)") (T.Store (T.W8, T.reg 4, T.reg 6, -1)));
+  checkb "lui hex" true
+    (T.equal (assemble_one "lui r2, 0x3FF") (T.Lui (T.reg 2, 0x3FF)));
+  checkb "jalr" true
+    (T.equal (assemble_one "jalr r0, ra, 0") (T.Jalr (T.r0, T.ra, 0)));
+  checkb "numeric branch target" true
+    (T.equal (assemble_one "beq r1, r2, -4") (T.Branch (T.Eq, T.reg 1, T.reg 2, -4)))
+
+let test_asm_pseudo () =
+  checkb "nop" true
+    (T.equal (assemble_one "nop") (T.Alui (T.Add, T.r0, T.r0, 0)));
+  checkb "mov" true
+    (T.equal (assemble_one "mov r1, r2") (T.Alui (T.Add, T.reg 1, T.reg 2, 0)));
+  checkb "ret" true
+    (T.equal (assemble_one "ret") (T.Jalr (T.r0, T.ra, 0)));
+  checkb "li small" true
+    (T.equal (assemble_one "li r1, -7") (T.Alui (T.Add, T.reg 1, T.r0, -7)));
+  checkb "ble swaps" true
+    (T.equal (assemble_one "ble r1, r2, 3") (T.Branch (T.Ge, T.reg 2, T.reg 1, 3)));
+  checkb "bgt swaps" true
+    (T.equal (assemble_one "bgt r1, r2, 3") (T.Branch (T.Lt, T.reg 2, T.reg 1, 3)))
+
+let test_asm_comments_and_blank () =
+  checkb "comment only" true (Eris.Asm.parse_line "; hello" = Ok None);
+  checkb "hash comment" true (Eris.Asm.parse_line "# hello" = Ok None);
+  checkb "slash comment" true (Eris.Asm.parse_line "// hello" = Ok None);
+  checkb "blank" true (Eris.Asm.parse_line "   " = Ok None);
+  checkb "trailing comment" true
+    (T.equal (assemble_one "nop ; trailing") (T.Alui (T.Add, T.r0, T.r0, 0)))
+
+let test_asm_labels_and_branches () =
+  let prog =
+    Eris.Asm.assemble_exn
+      {|
+start:
+  addi r1, r0, 3
+loop:
+  subi r1, r1, 1
+  bne r1, r0, loop
+  j end
+  nop
+end:
+  halt
+|}
+  in
+  checki "instruction count" 6 (Eris.Program.length prog);
+  checkb "start symbol" true (Eris.Program.address_of_symbol prog "start" = Some 0);
+  checkb "loop symbol" true (Eris.Program.address_of_symbol prog "loop" = Some 4);
+  checkb "end symbol" true (Eris.Program.address_of_symbol prog "end" = Some 20);
+  (* bne at address 8 targets loop at 4: offset = (4 - 12) / 4 = -2. *)
+  checkb "backward branch offset" true
+    (T.equal (Eris.Program.instr_at prog 8) (T.Branch (T.Ne, T.reg 1, T.r0, -2)));
+  (* j end at address 12: offset = (20 - 16) / 4 = 1. *)
+  checkb "forward jump offset" true
+    (T.equal (Eris.Program.instr_at prog 12) (T.Jal (T.r0, 1)))
+
+let test_asm_li_expansion () =
+  let prog = Eris.Asm.assemble_exn "li r1, 0x12345678\nhalt" in
+  checki "li big is 2 words" 3 (Eris.Program.length prog);
+  let m = Eris.Machine.create prog in
+  let _ = Eris.Machine.run_to_halt m in
+  checki "li big value" 0x12345678 (Eris.Machine.get_reg m (T.reg 1));
+  let prog2 = Eris.Asm.assemble_exn "li r1, 0xFFFFFFFF\nhalt" in
+  let m2 = Eris.Machine.create prog2 in
+  let _ = Eris.Machine.run_to_halt m2 in
+  checki "li all-ones" 0xFFFFFFFF (Eris.Machine.get_reg m2 (T.reg 1))
+
+let test_asm_li_sizing_consistency () =
+  (* A label after a li must resolve consistently between passes, for
+     both the 1-word and 2-word forms. *)
+  let prog =
+    Eris.Asm.assemble_exn
+      {|
+  li r1, 100
+  li r2, 100000
+  j target
+target:
+  halt
+|}
+  in
+  checkb "target symbol" true
+    (Eris.Program.address_of_symbol prog "target" = Some 16);
+  checkb "jump is fallthrough" true
+    (T.equal (Eris.Program.instr_at prog 12) (T.Jal (T.r0, 0)))
+
+let test_asm_la () =
+  let prog = Eris.Asm.assemble_exn "la r1, target\nnop\ntarget: halt" in
+  let m = Eris.Machine.create prog in
+  let _ = Eris.Machine.run_to_halt m in
+  checki "la loads address" 12 (Eris.Machine.get_reg m (T.reg 1))
+
+let test_asm_data_directives () =
+  let prog = Eris.Asm.assemble_exn ".data 0x100\n.dw 42\n.dw -1\nhalt" in
+  checkb "data entries" true
+    (prog.Eris.Program.data = [ (0x100, 42); (0x104, 0xFFFFFFFF) ]);
+  let m = Eris.Machine.create prog in
+  checki "preloaded word" 42 (Eris.Machine.read_word m 0x100);
+  checki "preloaded negative" 0xFFFFFFFF (Eris.Machine.read_word m 0x104)
+
+let expect_asm_error src =
+  match Eris.Asm.assemble src with
+  | Ok _ -> Alcotest.failf "expected assembly error for %S" src
+  | Error _ -> ()
+
+let test_asm_errors () =
+  expect_asm_error "bogus r1, r2";
+  expect_asm_error "add r1, r2";
+  expect_asm_error "add r1, r2, r99";
+  expect_asm_error "beq r1, r2, nowhere";
+  expect_asm_error "dup: nop\ndup: nop";
+  expect_asm_error "addi r1, r0, 99999";
+  expect_asm_error ".data oops";
+  expect_asm_error ".unknown 3";
+  expect_asm_error "lw r1, 8[r2]"
+
+let test_asm_error_line_numbers () =
+  match Eris.Asm.assemble "nop\nnop\nbogus r1\nnop" with
+  | Error e -> checki "error line" 3 e.Eris.Asm.line
+  | Ok _ -> Alcotest.fail "expected error"
+
+(* ------------------------------------------------------------------ *)
+(* Machine                                                             *)
+
+(* Runs a snippet and returns the machine. *)
+let run_asm src =
+  let m = Eris.Machine.create (Eris.Asm.assemble_exn src) in
+  let _ = Eris.Machine.run_to_halt m in
+  m
+
+let reg_after src r =
+  Eris.Machine.get_reg (run_asm src) (T.reg r)
+
+let test_machine_alu () =
+  checki "add" 12 (reg_after "li r1, 5\nli r2, 7\nadd r3, r1, r2\nhalt" 3);
+  checki "sub wrap" 0xFFFFFFFE
+    (reg_after "li r1, 3\nli r2, 5\nsub r3, r1, r2\nhalt" 3);
+  checki "and" 4 (reg_after "li r1, 6\nli r2, 12\nand r3, r1, r2\nhalt" 3);
+  checki "or" 14 (reg_after "li r1, 6\nli r2, 12\nor r3, r1, r2\nhalt" 3);
+  checki "xor" 10 (reg_after "li r1, 6\nli r2, 12\nxor r3, r1, r2\nhalt" 3);
+  checki "sll" 24 (reg_after "li r1, 6\nli r2, 2\nsll r3, r1, r2\nhalt" 3);
+  checki "srl" 1 (reg_after "li r1, 6\nli r2, 2\nsrl r3, r1, r2\nhalt" 3);
+  checki "srl negative is logical" 0x3FFFFFFF
+    (reg_after "li r1, -1\nli r2, 2\nsrl r3, r1, r2\nhalt" 3);
+  checki "sra negative is arithmetic" 0xFFFFFFFF
+    (reg_after "li r1, -1\nli r2, 2\nsra r3, r1, r2\nhalt" 3);
+  checki "sra -8 by 1" 0xFFFFFFFC
+    (reg_after "li r1, -8\nli r2, 1\nsra r3, r1, r2\nhalt" 3);
+  checki "slt signed" 1 (reg_after "li r1, -1\nli r2, 1\nslt r3, r1, r2\nhalt" 3);
+  checki "slt false" 0 (reg_after "li r1, 1\nli r2, -1\nslt r3, r1, r2\nhalt" 3);
+  checki "mul" 35 (reg_after "li r1, 5\nli r2, 7\nmul r3, r1, r2\nhalt" 3);
+  checki "mul wraps to 32 bits" 0
+    (reg_after "li r1, 0x10000\nmul r3, r1, r1\nhalt" 3);
+  checki "shift amount masked to 31" (2 lsl 1)
+    (reg_after "li r1, 2\nli r2, 33\nsll r3, r1, r2\nhalt" 3)
+
+let test_machine_r0 () =
+  checki "r0 write discarded" 0 (reg_after "li r1, 9\nadd r0, r1, r1\nhalt" 0)
+
+let test_machine_memory () =
+  let m =
+    run_asm "li r1, 0x1000\nli r2, 0x01020304\nsw r2, 0(r1)\nlb r3, 1(r1)\nhalt"
+  in
+  checki "lb reads byte 1 (LE)" 3 (Eris.Machine.get_reg m (T.reg 3));
+  checki "word stored" 0x01020304 (Eris.Machine.read_word m 0x1000);
+  let m2 = run_asm "li r1, 0x1000\nli r2, 0xAB\nsb r2, 2(r1)\nlw r3, 0(r1)\nhalt" in
+  checki "sb places byte" (0xAB lsl 16) (Eris.Machine.get_reg m2 (T.reg 3))
+
+let expect_fault src =
+  match run_asm src with
+  | _ -> Alcotest.failf "expected fault for %S" src
+  | exception Eris.Machine.Fault _ -> ()
+
+let test_machine_faults () =
+  expect_fault "li r1, 0x100000\nlw r2, 0(r1)\nhalt";
+  expect_fault "li r1, 2\nlw r2, 0(r1)\nhalt";
+  expect_fault "li r1, -4\nsw r1, 0(r1)\nhalt";
+  (* jump out of the program *)
+  expect_fault "li r1, 0x4000\njalr r0, r1, 0\nhalt";
+  (* unaligned jump target *)
+  expect_fault "li r1, 2\njalr r0, r1, 0\nhalt"
+
+let test_machine_branches () =
+  checki "beq taken" 1
+    (reg_after "li r1, 5\nbeq r1, r1, yes\nli r2, 9\nhalt\nyes: li r2, 1\nhalt" 2);
+  checki "bne not taken" 9
+    (reg_after "li r1, 5\nbne r1, r1, yes\nli r2, 9\nhalt\nyes: li r2, 1\nhalt" 2);
+  checki "blt signed" 1
+    (reg_after "li r1, -5\nli r2, 3\nblt r1, r2, yes\nli r3, 9\nhalt\nyes: li r3, 1\nhalt" 3);
+  checki "bge equal" 1
+    (reg_after "li r1, 3\nbge r1, r1, yes\nli r3, 9\nhalt\nyes: li r3, 1\nhalt" 3)
+
+let test_machine_call_ret () =
+  let m =
+    run_asm
+      {|
+  li r1, 10
+  call double
+  mov r4, r2
+  halt
+double:
+  add r2, r1, r1
+  ret
+|}
+  in
+  checki "subroutine result" 20 (Eris.Machine.get_reg m (T.reg 4))
+
+let test_machine_counters_and_reset () =
+  let m = run_asm "nop\nnop\nmul r1, r0, r0\nhalt" in
+  checki "instr count" 4 (Eris.Machine.instr_count m);
+  (* 1 + 1 + 3 + 1 cycles *)
+  checki "cycle count" 6 (Eris.Machine.cycle_count m);
+  checkb "halted" true (Eris.Machine.halted m);
+  Eris.Machine.reset m;
+  checkb "reset clears halt" false (Eris.Machine.halted m);
+  checki "reset clears pc" 0 (Eris.Machine.pc m);
+  checki "reset clears counters" 0 (Eris.Machine.instr_count m)
+
+let test_machine_fuel () =
+  let m = Eris.Machine.create (Eris.Asm.assemble_exn "loop: j loop") in
+  let r = Eris.Machine.run ~fuel:100 m in
+  checkb "out of fuel" true (r.Eris.Machine.reason = Eris.Machine.Out_of_fuel);
+  checki "ran 100" 100 r.Eris.Machine.instrs
+
+let test_machine_on_block () =
+  let src = "li r1, 2\nloop: subi r1, r1, 1\nbne r1, r0, loop\nhalt" in
+  let prog = Eris.Asm.assemble_exn src in
+  let visits = ref [] in
+  let m = Eris.Machine.create prog in
+  let _ =
+    Eris.Machine.run ~leaders:[ 0; 4 ] ~on_block:(fun a -> visits := a :: !visits) m
+  in
+  checkb "block trace" true (List.rev !visits = [ 0; 4; 4 ])
+
+let test_machine_step_after_halt () =
+  let m = run_asm "halt" in
+  let before = Eris.Machine.instr_count m in
+  Eris.Machine.step m;
+  checki "step after halt is no-op" before (Eris.Machine.instr_count m)
+
+let test_disasm () =
+  let w = Eris.Encoding.encode (T.Alu (T.Add, T.reg 1, T.reg 2, T.reg 3)) in
+  checks "disasm add" "add r1, r2, r3" (Eris.Disasm.instruction w);
+  checkb "disasm bad word" true
+    (String.length (Eris.Disasm.instruction 0) > 0
+    && String.sub (Eris.Disasm.instruction 0) 0 5 = ".word");
+  let prog = Eris.Asm.assemble_exn "nop\nhalt" in
+  checki "image listing length" 2
+    (List.length (Eris.Disasm.image prog.Eris.Program.image))
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run ~and_exit:false "eris"
+    [
+      ( "types",
+        [
+          Alcotest.test_case "register validation" `Quick test_reg_validation;
+          Alcotest.test_case "register names" `Quick test_reg_names;
+          Alcotest.test_case "immediate ranges" `Quick test_imm_ranges;
+          Alcotest.test_case "alui immediate rule" `Quick test_alui_imm_rule;
+          Alcotest.test_case "validate" `Quick test_validate;
+          Alcotest.test_case "control transfer" `Quick test_control_transfer;
+          Alcotest.test_case "cycle cost" `Quick test_cycle_cost;
+          Alcotest.test_case "pretty printing" `Quick test_pp;
+        ] );
+      ( "encoding",
+        [
+          Alcotest.test_case "known encodings" `Quick test_encode_known;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "encode rejects bad imm" `Quick
+            test_encode_rejects_bad_imm;
+          Alcotest.test_case "program roundtrip" `Quick test_program_roundtrip;
+          Alcotest.test_case "bad program length" `Quick
+            test_decode_program_bad_length;
+          Alcotest.test_case "word io little-endian" `Quick test_word_io;
+          qcheck prop_encode_decode_roundtrip;
+          qcheck prop_encode_in_range;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "instructions" `Quick test_asm_instructions;
+          Alcotest.test_case "pseudo-instructions" `Quick test_asm_pseudo;
+          Alcotest.test_case "comments and blanks" `Quick
+            test_asm_comments_and_blank;
+          Alcotest.test_case "labels and branches" `Quick
+            test_asm_labels_and_branches;
+          Alcotest.test_case "li expansion" `Quick test_asm_li_expansion;
+          Alcotest.test_case "li sizing consistency" `Quick
+            test_asm_li_sizing_consistency;
+          Alcotest.test_case "la" `Quick test_asm_la;
+          Alcotest.test_case "data directives" `Quick test_asm_data_directives;
+          Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "error line numbers" `Quick
+            test_asm_error_line_numbers;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "alu semantics" `Quick test_machine_alu;
+          Alcotest.test_case "r0 hardwired" `Quick test_machine_r0;
+          Alcotest.test_case "memory access" `Quick test_machine_memory;
+          Alcotest.test_case "faults" `Quick test_machine_faults;
+          Alcotest.test_case "branches" `Quick test_machine_branches;
+          Alcotest.test_case "call/ret" `Quick test_machine_call_ret;
+          Alcotest.test_case "counters and reset" `Quick
+            test_machine_counters_and_reset;
+          Alcotest.test_case "fuel" `Quick test_machine_fuel;
+          Alcotest.test_case "block callbacks" `Quick test_machine_on_block;
+          Alcotest.test_case "step after halt" `Quick
+            test_machine_step_after_halt;
+          Alcotest.test_case "disassembler" `Quick test_disasm;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Builder (appended suite)                                            *)
+
+let test_builder_basic () =
+  let b = Eris.Builder.create () in
+  let loop = Eris.Builder.fresh_label b in
+  let exit_l = Eris.Builder.fresh_label b in
+  Eris.Builder.emit b (T.Alui (T.Add, T.reg 1, T.r0, 3));
+  Eris.Builder.place b loop;
+  Eris.Builder.emit b (T.Alui (T.Sub, T.reg 1, T.reg 1, 1));
+  Eris.Builder.branch_to b T.Eq (T.reg 1) T.r0 exit_l;
+  Eris.Builder.jump_to b loop;
+  Eris.Builder.place b exit_l;
+  Eris.Builder.halt b;
+  let prog = Eris.Builder.to_program b in
+  checki "length" 5 (Eris.Program.length prog);
+  checkb "loop label" true (Eris.Program.address_of_symbol prog loop = Some 4);
+  (* run it: r1 counts 3 -> 0 *)
+  let m = Eris.Machine.create prog in
+  let _ = Eris.Machine.run_to_halt m in
+  checki "r1 is zero" 0 (Eris.Machine.get_reg m (T.reg 1))
+
+let test_builder_call () =
+  let b = Eris.Builder.create () in
+  let fn = Eris.Builder.fresh_label b in
+  Eris.Builder.emit b (T.Alui (T.Add, T.reg 1, T.r0, 20));
+  Eris.Builder.call_to b fn;
+  Eris.Builder.halt b;
+  Eris.Builder.place b fn;
+  Eris.Builder.emit b (T.Alu (T.Add, T.reg 2, T.reg 1, T.reg 1));
+  Eris.Builder.emit b (T.Jalr (T.r0, T.ra, 0));
+  let m = Eris.Machine.create (Eris.Builder.to_program b) in
+  let _ = Eris.Machine.run_to_halt m in
+  checki "call result" 40 (Eris.Machine.get_reg m (T.reg 2))
+
+let test_builder_errors () =
+  let b = Eris.Builder.create () in
+  Eris.Builder.jump_to b "missing";
+  checkb "unplaced label" true
+    (match Eris.Builder.to_program b with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  let b2 = Eris.Builder.create () in
+  Eris.Builder.place b2 "x";
+  checkb "double placement" true
+    (match Eris.Builder.place b2 "x" with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* Differential property: generate a random structured program with
+   the builder, then check that Cfg.Build recovers exactly the block
+   structure we emitted. *)
+let prop_cfg_matches_builder =
+  let gen =
+    QCheck.Gen.(
+      let* nblocks = int_range 2 10 in
+      let* body_sizes = list_repeat nblocks (int_range 0 4) in
+      let* seed = int_range 0 10_000 in
+      return (nblocks, body_sizes, seed))
+  in
+  QCheck.Test.make ~count:200 ~name:"cfg matches builder structure"
+    (QCheck.make gen) (fun (nblocks, body_sizes, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let b = Eris.Builder.create () in
+      let labels = Array.init nblocks (fun _ -> Eris.Builder.fresh_label b) in
+      (* expected CFG edges, by block index *)
+      let expected_edges = ref [] in
+      List.iteri
+        (fun i body ->
+          Eris.Builder.place b labels.(i);
+          for _ = 1 to body do
+            Eris.Builder.emit b (T.Alui (T.Add, T.reg 1, T.reg 1, 1))
+          done;
+          (* terminator: branch to random target + fallthrough, or
+             jump, or halt for the last block *)
+          if i = nblocks - 1 then Eris.Builder.halt b
+          else begin
+            let target = Random.State.int rng nblocks in
+            if Random.State.bool rng then begin
+              Eris.Builder.branch_to b T.Eq T.r0 T.r0 labels.(target);
+              expected_edges := (i, target) :: (i, i + 1) :: !expected_edges
+            end
+            else begin
+              Eris.Builder.jump_to b labels.(target);
+              expected_edges := (i, target) :: !expected_edges
+            end
+          end)
+        body_sizes;
+      let prog = Eris.Builder.to_program b in
+      let g = Cfg.Build.of_program prog in
+      (* every emitted label must start a block, and the edge set
+         projected onto label-blocks must contain our expectations *)
+      let block_of_label i =
+        Cfg.Graph.block_of_leader g
+          (Option.get (Eris.Program.address_of_symbol prog labels.(i)))
+      in
+      let labels_ok = Array.for_all Option.is_some (Array.init nblocks block_of_label) in
+      labels_ok
+      && List.for_all
+           (fun (src, dst) ->
+             let src_block = Option.get (block_of_label src) in
+             let dst_block = Option.get (block_of_label dst) in
+             (* the edge may leave from a later block of the same
+                region if the branch target split it; walk the
+                fallthrough chain *)
+             let rec reachable_via_fallthrough b =
+               List.mem dst_block (Cfg.Graph.succ_ids g b)
+               ||
+               match Cfg.Graph.succs g b with
+               | [ (nxt, Cfg.Graph.Fallthrough) ] -> reachable_via_fallthrough nxt
+               | _ -> false
+             in
+             reachable_via_fallthrough src_block)
+           !expected_edges)
+
+(* Text roundtrip: printing an instruction and re-parsing it yields the
+   same instruction. *)
+let prop_asm_text_roundtrip =
+  QCheck.Test.make ~count:1000 ~name:"asm text roundtrip"
+    arbitrary_instruction (fun i ->
+      (* branches/jumps print numeric offsets which the parser accepts *)
+      match Eris.Asm.parse_line (T.to_string i) with
+      | Ok (Some i') -> T.equal i i'
+      | Ok None | Error _ -> false)
+
+let () =
+  Alcotest.run "eris-builder"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "basic loop" `Quick test_builder_basic;
+          Alcotest.test_case "call" `Quick test_builder_call;
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          qcheck prop_cfg_matches_builder;
+          qcheck prop_asm_text_roundtrip;
+        ] );
+    ]

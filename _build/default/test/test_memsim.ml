@@ -1,0 +1,289 @@
+(* Tests for the memory simulator: first-fit heap, remember sets,
+   time-weighted accounting, LRU and the §5 layout model. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* Heap                                                                *)
+
+let test_heap_basic () =
+  let h = Memsim.Heap.create ~capacity:100 in
+  checki "capacity" 100 (Memsim.Heap.capacity h);
+  let a = Option.get (Memsim.Heap.alloc h 30) in
+  let b = Option.get (Memsim.Heap.alloc h 30) in
+  checki "first fit at 0" 0 a;
+  checki "second after first" 30 b;
+  checki "used" 60 (Memsim.Heap.used_bytes h);
+  checki "free" 40 (Memsim.Heap.free_bytes h);
+  checkb "no room for 50" true (Memsim.Heap.alloc h 50 = None);
+  Memsim.Heap.free h a;
+  checkb "freed space reusable" true (Memsim.Heap.alloc h 30 = Some 0)
+
+let test_heap_coalescing () =
+  let h = Memsim.Heap.create ~capacity:90 in
+  let a = Option.get (Memsim.Heap.alloc h 30) in
+  let b = Option.get (Memsim.Heap.alloc h 30) in
+  let c = Option.get (Memsim.Heap.alloc h 30) in
+  Memsim.Heap.free h a;
+  Memsim.Heap.free h c;
+  checki "largest hole before coalesce" 30 (Memsim.Heap.largest_free h);
+  Memsim.Heap.free h b;
+  checki "holes coalesce" 90 (Memsim.Heap.largest_free h);
+  checkb "invariants" true (Memsim.Heap.check_invariants h = Ok ())
+
+let test_heap_fragmentation_metric () =
+  let h = Memsim.Heap.create ~capacity:100 in
+  let a = Option.get (Memsim.Heap.alloc h 25) in
+  let _b = Option.get (Memsim.Heap.alloc h 25) in
+  let c = Option.get (Memsim.Heap.alloc h 25) in
+  let _d = Option.get (Memsim.Heap.alloc h 25) in
+  checkf "no free no frag" 0.0 (Memsim.Heap.external_fragmentation h);
+  Memsim.Heap.free h a;
+  Memsim.Heap.free h c;
+  (* 50 free in two 25 holes: 1 - 25/50. *)
+  checkf "two holes" 0.5 (Memsim.Heap.external_fragmentation h)
+
+let test_heap_errors () =
+  let h = Memsim.Heap.create ~capacity:10 in
+  Alcotest.check_raises "free unallocated"
+    (Invalid_argument "Memsim.Heap.free: offset 3 not live") (fun () ->
+      Memsim.Heap.free h 3);
+  Alcotest.check_raises "alloc zero"
+    (Invalid_argument "Memsim.Heap.alloc: non-positive size") (fun () ->
+      ignore (Memsim.Heap.alloc h 0));
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Memsim.Heap.create") (fun () ->
+      ignore (Memsim.Heap.create ~capacity:0))
+
+let test_heap_size_of () =
+  let h = Memsim.Heap.create ~capacity:50 in
+  let a = Option.get (Memsim.Heap.alloc h 17) in
+  checkb "size recorded" true (Memsim.Heap.size_of h a = Some 17);
+  checkb "unknown offset" true (Memsim.Heap.size_of h 40 = None)
+
+(* Random alloc/free sequences preserve the heap invariants. *)
+let prop_heap_invariants =
+  QCheck.Test.make ~count:300 ~name:"heap invariants under random ops"
+    QCheck.(list (pair (int_range 1 40) bool))
+    (fun ops ->
+      let h = Memsim.Heap.create ~capacity:256 in
+      let live = ref [] in
+      List.iter
+        (fun (size, do_free) ->
+          if do_free && !live <> [] then begin
+            match !live with
+            | off :: rest ->
+              Memsim.Heap.free h off;
+              live := rest
+            | [] -> ()
+          end
+          else
+            match Memsim.Heap.alloc h size with
+            | Some off -> live := !live @ [ off ]
+            | None -> ())
+        ops;
+      Memsim.Heap.check_invariants h = Ok ()
+      && Memsim.Heap.used_bytes h + Memsim.Heap.free_bytes h
+         = Memsim.Heap.capacity h)
+
+(* ------------------------------------------------------------------ *)
+(* Remember sets                                                       *)
+
+let test_remember () =
+  let r = Memsim.Remember.create ~blocks:4 in
+  checkb "new site" true (Memsim.Remember.record r ~target:1 ~site:0);
+  checkb "duplicate site" false (Memsim.Remember.record r ~target:1 ~site:0);
+  checkb "another site" true (Memsim.Remember.record r ~target:1 ~site:2);
+  Alcotest.check Alcotest.(list int) "sites sorted" [ 0; 2 ]
+    (Memsim.Remember.sites r ~target:1);
+  checki "cardinal" 2 (Memsim.Remember.cardinal r ~target:1);
+  checki "total" 2 (Memsim.Remember.total_sites r);
+  checkb "remove present" true (Memsim.Remember.remove_site r ~target:1 ~site:0);
+  checkb "remove absent" false (Memsim.Remember.remove_site r ~target:1 ~site:0);
+  checki "flush returns count" 1 (Memsim.Remember.flush r ~target:1);
+  checki "flush empties" 0 (Memsim.Remember.cardinal r ~target:1);
+  checki "flush empty is 0" 0 (Memsim.Remember.flush r ~target:3)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+
+let test_accounting () =
+  let a = Memsim.Accounting.create () in
+  Memsim.Accounting.set_level a ~time:10 ~level:100;
+  Memsim.Accounting.set_level a ~time:20 ~level:50;
+  Memsim.Accounting.add a ~time:30 ~delta:(-50);
+  checki "level" 0 (Memsim.Accounting.level a);
+  checki "peak" 100 (Memsim.Accounting.peak a);
+  (* integral: 0*10 + 100*10 + 50*10 = 1500 *)
+  checki "integral" 1500 (Memsim.Accounting.integral a ~until:30);
+  checkf "average over 30" 50.0 (Memsim.Accounting.average a ~until:30)
+
+let test_accounting_same_time () =
+  let a = Memsim.Accounting.create () in
+  Memsim.Accounting.add a ~time:5 ~delta:10;
+  Memsim.Accounting.add a ~time:5 ~delta:10;
+  checki "same-time updates" 20 (Memsim.Accounting.level a);
+  checki "integral zero before 5" 0 (Memsim.Accounting.integral a ~until:5)
+
+let test_accounting_errors () =
+  let a = Memsim.Accounting.create () in
+  Memsim.Accounting.set_level a ~time:10 ~level:5;
+  Alcotest.check_raises "time backwards"
+    (Invalid_argument "Memsim.Accounting: time went backwards (5 < 10)")
+    (fun () -> Memsim.Accounting.set_level a ~time:5 ~level:1);
+  Alcotest.check_raises "negative level"
+    (Invalid_argument "Memsim.Accounting.set_level: negative level") (fun () ->
+      Memsim.Accounting.set_level a ~time:20 ~level:(-1))
+
+let test_accounting_empty () =
+  let a = Memsim.Accounting.create () in
+  checkf "average of nothing" 0.0 (Memsim.Accounting.average a ~until:0);
+  checki "peak of nothing" 0 (Memsim.Accounting.peak a)
+
+(* ------------------------------------------------------------------ *)
+(* LRU                                                                 *)
+
+let test_lru () =
+  let l = Memsim.Lru.create () in
+  Memsim.Lru.touch l 1 ~time:10;
+  Memsim.Lru.touch l 2 ~time:20;
+  Memsim.Lru.touch l 3 ~time:30;
+  checki "cardinal" 3 (Memsim.Lru.cardinal l);
+  checkb "victim is oldest" true (Memsim.Lru.victim l () = Some 1);
+  Memsim.Lru.touch l 1 ~time:40;
+  checkb "touch refreshes" true (Memsim.Lru.victim l () = Some 2);
+  checkb "exclusion works" true
+    (Memsim.Lru.victim l ~exclude:(fun b -> b = 2) () = Some 3);
+  Memsim.Lru.remove l 2;
+  checkb "removed not offered" true (Memsim.Lru.victim l () = Some 3);
+  checkb "membership" true (Memsim.Lru.mem l 3 && not (Memsim.Lru.mem l 2));
+  Alcotest.check
+    Alcotest.(list (pair int int))
+    "lru order" [ (3, 30); (1, 40) ] (Memsim.Lru.to_list l)
+
+let test_lru_tie_break () =
+  let l = Memsim.Lru.create () in
+  Memsim.Lru.touch l 5 ~time:10;
+  Memsim.Lru.touch l 3 ~time:10;
+  checkb "tie broken by id" true (Memsim.Lru.victim l () = Some 3)
+
+let test_lru_empty () =
+  let l = Memsim.Lru.create () in
+  checkb "no victim" true (Memsim.Lru.victim l () = None);
+  checkb "all excluded" true
+    (Memsim.Lru.touch l 1 ~time:1;
+     Memsim.Lru.victim l ~exclude:(fun _ -> true) () = None)
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+
+let layout () =
+  Memsim.Layout.create
+    ~compressed_sizes:[| 10; 20; 30 |]
+    ~uncompressed_sizes:[| 40; 50; 60 |]
+    ()
+
+let test_layout_basic () =
+  let l = layout () in
+  checki "blocks" 3 (Memsim.Layout.num_blocks l);
+  checki "compressed area constant" 60 (Memsim.Layout.compressed_area_bytes l);
+  checki "offsets back to back" 10 (Memsim.Layout.compressed_offset l 1);
+  checki "third offset" 30 (Memsim.Layout.compressed_offset l 2);
+  checki "initially empty" 0 (Memsim.Layout.decompressed_bytes l);
+  checki "initial footprint" 60 (Memsim.Layout.footprint l);
+  checkb "not resident" false (Memsim.Layout.resident l 0)
+
+let test_layout_decompress_discard () =
+  let l = layout () in
+  (match Memsim.Layout.decompress l 0 with
+  | Ok off -> checki "first at 0" 0 off
+  | Error `No_space -> Alcotest.fail "unexpected no-space");
+  checkb "resident now" true (Memsim.Layout.resident l 0);
+  checki "bytes" 40 (Memsim.Layout.decompressed_bytes l);
+  (* idempotent *)
+  checkb "re-decompress is ok" true (Memsim.Layout.decompress l 0 = Ok 0);
+  checki "no double alloc" 40 (Memsim.Layout.decompressed_bytes l);
+  checkb "record branch" true (Memsim.Layout.record_branch l ~target:0 ~site:1);
+  checki "discard patches back" 1 (Memsim.Layout.discard l 0);
+  checkb "gone" false (Memsim.Layout.resident l 0);
+  checki "compressed area untouched" 60 (Memsim.Layout.compressed_area_bytes l);
+  Alcotest.check_raises "discard non-resident"
+    (Invalid_argument "Memsim.Layout.discard: block 0 not resident") (fun () ->
+      ignore (Memsim.Layout.discard l 0))
+
+let test_layout_capacity () =
+  let l =
+    Memsim.Layout.create ~decompressed_capacity:50
+      ~compressed_sizes:[| 10; 10 |] ~uncompressed_sizes:[| 40; 40 |] ()
+  in
+  checkb "first fits" true (Result.is_ok (Memsim.Layout.decompress l 0));
+  checkb "second does not" true (Memsim.Layout.decompress l 1 = Error `No_space)
+
+let test_layout_validation () =
+  Alcotest.check_raises "mismatched arrays"
+    (Invalid_argument "Memsim.Layout.create: size arrays empty or mismatched")
+    (fun () ->
+      ignore
+        (Memsim.Layout.create ~compressed_sizes:[| 1 |]
+           ~uncompressed_sizes:[| 1; 2 |] ()));
+  Alcotest.check_raises "non-positive size"
+    (Invalid_argument "Memsim.Layout.create: non-positive block size")
+    (fun () ->
+      ignore
+        (Memsim.Layout.create ~compressed_sizes:[| 0 |]
+           ~uncompressed_sizes:[| 4 |] ()))
+
+let test_layout_snapshot () =
+  let l = layout () in
+  ignore (Memsim.Layout.decompress l 1);
+  let s = Format.asprintf "%a" Memsim.Layout.pp_snapshot l in
+  checkb "mentions compressed area" true
+    (String.length s > 0
+    &&
+    let rec has i =
+      i + 2 <= String.length s && (String.sub s i 2 = "B1" || has (i + 1))
+    in
+    has 0)
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "memsim"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "basic alloc/free" `Quick test_heap_basic;
+          Alcotest.test_case "coalescing" `Quick test_heap_coalescing;
+          Alcotest.test_case "fragmentation metric" `Quick
+            test_heap_fragmentation_metric;
+          Alcotest.test_case "errors" `Quick test_heap_errors;
+          Alcotest.test_case "size_of" `Quick test_heap_size_of;
+          qcheck prop_heap_invariants;
+        ] );
+      ("remember", [ Alcotest.test_case "sets" `Quick test_remember ]);
+      ( "accounting",
+        [
+          Alcotest.test_case "integrals" `Quick test_accounting;
+          Alcotest.test_case "same-time updates" `Quick
+            test_accounting_same_time;
+          Alcotest.test_case "errors" `Quick test_accounting_errors;
+          Alcotest.test_case "empty" `Quick test_accounting_empty;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "ordering" `Quick test_lru;
+          Alcotest.test_case "tie break" `Quick test_lru_tie_break;
+          Alcotest.test_case "empty" `Quick test_lru_empty;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "basic" `Quick test_layout_basic;
+          Alcotest.test_case "decompress/discard" `Quick
+            test_layout_decompress_discard;
+          Alcotest.test_case "capacity" `Quick test_layout_capacity;
+          Alcotest.test_case "validation" `Quick test_layout_validation;
+          Alcotest.test_case "snapshot" `Quick test_layout_snapshot;
+        ] );
+    ]

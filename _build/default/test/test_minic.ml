@@ -1,0 +1,462 @@
+(* Tests for the MiniC compiler: lexer, parser, semantic checks, and —
+   most importantly — execution semantics of compiled programs on the
+   ERIS-32 machine, including through the compression runtime. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let run_main ?optimize src =
+  match Minic.Compile.run_main ?optimize src with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "compile/run failed: %a" Minic.Compile.pp_error e
+
+let expect_error stage src =
+  match Minic.Compile.to_program src with
+  | Ok _ -> Alcotest.failf "expected a %s error" stage
+  | Error e ->
+    let got =
+      match e.Minic.Compile.stage with
+      | `Parse -> "parse"
+      | `Codegen -> "codegen"
+      | `Assemble -> "assemble"
+    in
+    Alcotest.check Alcotest.string "error stage" stage got
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let test_lexer_tokens () =
+  match Minic.Lexer.tokenize "int x = 0x1F; // comment\n/* multi\nline */ <= >> &&" with
+  | Error e -> Alcotest.failf "lex error: %a" Minic.Lexer.pp_error e
+  | Ok toks ->
+    let names = List.map (fun t -> Minic.Lexer.token_name t.Minic.Lexer.token) toks in
+    checkb "token stream" true
+      (names = [ "int"; "x"; "="; "31"; ";"; "<="; ">>"; "&&"; "<eof>" ])
+
+let test_lexer_line_numbers () =
+  match Minic.Lexer.tokenize "int\nx\n=\n$" with
+  | Ok _ -> Alcotest.fail "expected lex error"
+  | Error e -> checki "error on line 4" 4 e.Minic.Lexer.line
+
+let test_lexer_unterminated_comment () =
+  checkb "unterminated comment" true
+    (Result.is_error (Minic.Lexer.tokenize "/* never closed"))
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let test_parser_precedence () =
+  (* 1 + 2 * 3 == 7 && 1 must parse as ((1 + (2*3)) == 7) && 1 *)
+  checki "precedence" 1 (run_main "int main() { return 1 + 2 * 3 == 7 && 1; }")
+
+let test_parser_else_if () =
+  let src =
+    "int f(int x) { if (x == 0) { return 10; } else if (x == 1) { return 20; \
+     } else { return 30; } } int main() { return f(0) + f(1) + f(2); }"
+  in
+  checki "else-if chain" 60 (run_main src)
+
+let test_parser_errors () =
+  expect_error "parse" "int main() { return 1 + ; }";
+  expect_error "parse" "int main() { if 1 { return 0; } }";
+  expect_error "parse" "int main() { return 0 }";
+  expect_error "parse" "float main() { return 0; }";
+  expect_error "parse" "int main() { int a[3]; return 0; }"
+(* local arrays are not in the language *)
+
+(* ------------------------------------------------------------------ *)
+(* Semantic checks                                                     *)
+
+let test_sema_errors () =
+  expect_error "codegen" "int main() { return y; }";
+  expect_error "codegen" "int main() { return f(1); }";
+  expect_error "codegen" "int f(int a) { return a; } int main() { return f(); }";
+  expect_error "codegen" "int x; int x; int main() { return 0; }";
+  expect_error "codegen" "int f() { return 0; } int f() { return 1; } int main() { return 0; }";
+  expect_error "codegen" "int main() { int a = 1; int a = 2; return a; }";
+  (* shadowing in a nested scope is fine; redefinition in one scope is not *)
+  expect_error "codegen" "int f(int a, int a) { return a; } int main() { return f(1,2); }";
+  expect_error "codegen" "int a[4]; int main() { return a; }";
+  expect_error "codegen" "int x; int main() { return x[0]; }";
+  expect_error "codegen" "int f() { return 0; }";
+  expect_error "codegen" "int main(int argc) { return 0; }";
+  expect_error "codegen" "int a[0]; int main() { return 0; }";
+  expect_error "codegen" "int a[2] = {1,2,3}; int main() { return 0; }"
+
+(* ------------------------------------------------------------------ *)
+(* Execution semantics                                                 *)
+
+let test_arithmetic () =
+  checki "add/sub/mul" 17 (run_main "int main() { return 2 * 10 - 6 / 2; }");
+  checki "unary" 8 (run_main "int main() { return -(-7) + !(3) - ~0; }");
+  checki "bitwise" ((6 land 12) lor (6 lxor 5))
+    (run_main "int main() { return (6 & 12) | (6 ^ 5); }");
+  checki "hex literals" 255 (run_main "int main() { return 0xFF; }")
+
+let test_division_semantics () =
+  (* C11: truncation toward zero; (a/b)*b + a%b == a *)
+  List.iter
+    (fun (a, b) ->
+      let src =
+        Printf.sprintf "int main() { return (%d / %d) * 1000 + (%d %% %d); }" a
+          b a b
+      in
+      let q = if (a < 0) = (b < 0) then abs a / abs b else -(abs a / abs b) in
+      let r = a - (q * b) in
+      checki (Printf.sprintf "%d div %d" a b) ((q * 1000) + r) (run_main src))
+    [ (7, 2); (-7, 2); (7, -2); (-7, -2); (0, 5); (100, 7); (-100, 7) ]
+
+let test_loops () =
+  checki "while" 55
+    (run_main
+       "int main() { int s = 0; int i = 1; while (i <= 10) { s = s + i; i = \
+        i + 1; } return s; }");
+  checki "for" 2520
+    (run_main
+       "int main() { int p = 1; for (int i = 2; i <= 7; i = i + 1) { p = p * \
+        i; } return p / 2; }");
+  checki "for without cond runs via return" 5
+    (run_main
+       "int main() { for (int i = 0; ; i = i + 1) { if (i == 5) { return i; \
+        } } return 0; }");
+  checki "nested" 100
+    (run_main
+       "int main() { int s = 0; for (int i = 0; i < 10; i = i + 1) { for \
+        (int j = 0; j < 10; j = j + 1) { s = s + 1; } } return s; }")
+
+let test_recursion_and_calls () =
+  checki "ackermann(2,3)" 9
+    (run_main
+       "int ack(int m, int n) { if (m == 0) { return n + 1; } if (n == 0) { \
+        return ack(m - 1, 1); } return ack(m - 1, ack(m, n - 1)); } int \
+        main() { return ack(2, 3); }");
+  checki "call in expression" 30
+    (run_main
+       "int twice(int x) { return x + x; } int main() { return twice(5) + \
+        twice(twice(5)); }")
+
+let test_mutual_recursion () =
+  (* no forward declarations: define callee first *)
+  checki "even/odd" 10
+    (run_main
+       "int parity(int n, int bit) { if (n == 0) { return bit; } return \
+        parity(n - 1, 1 - bit); } int main() { if (parity(10, 0) == 0) { \
+        return 10; } return 20; }")
+
+let test_globals_and_arrays () =
+  checki "array write/read" 385
+    (run_main
+       "int sq[10]; int main() { int s = 0; for (int i = 1; i <= 10; i = i + \
+        1) { sq[i - 1] = i * i; } for (int i = 0; i < 10; i = i + 1) { s = s \
+        + sq[i]; } return s; }");
+  checki "initialized globals" 6
+    (run_main "int a[3] = {1, 2, 3}; int main() { return a[0] + a[1] + a[2]; }");
+  checki "default zero globals" 0
+    (run_main "int x; int a[4]; int main() { return x + a[3]; }");
+  checki "global mutation across calls" 3
+    (run_main
+       "int n; int bump() { n = n + 1; return n; } int main() { bump(); \
+        bump(); return bump(); }")
+
+let test_default_return () =
+  checki "falling off the end returns 0" 0
+    (run_main "int f() { int x = 9; } int main() { return f(); }")
+
+let test_comments_and_formatting () =
+  checki "comments ignored" 7
+    (run_main
+       "// leading\nint main() { /* inline */ return 7; // trailing\n}")
+
+(* ------------------------------------------------------------------ *)
+(* Integration with the compression stack                              *)
+
+let sieve_src =
+  "int sieve[200]; int main() { int count = 0; for (int i = 2; i < 200; i = \
+   i + 1) { if (sieve[i] == 0) { count = count + 1; for (int j = i + i; j < \
+   200; j = j + i) { sieve[j] = 1; } } } return count; }"
+
+let test_compiled_program_under_engine () =
+  match Minic.Compile.to_program sieve_src with
+  | Error e -> Alcotest.failf "compile failed: %a" Minic.Compile.pp_error e
+  | Ok prog ->
+    let sc = Core.Scenario.of_program ~name:"minic-sieve" prog in
+    checkb "trace valid" true
+      (Cfg.Graph.validate_trace sc.Core.Scenario.graph sc.Core.Scenario.trace
+      = Ok ());
+    let m = Core.Scenario.run sc (Core.Policy.on_demand ~k:8) in
+    checkb "engine runs compiled code" true (m.Core.Metrics.total_cycles > 0);
+    (* compiled code compresses like hand-written code *)
+    checkb "image compresses" true
+      (m.Core.Metrics.compressed_area_bytes < m.Core.Metrics.original_bytes)
+
+let test_compiled_program_under_runtime () =
+  match Minic.Compile.to_program sieve_src with
+  | Error e -> Alcotest.failf "compile failed: %a" Minic.Compile.pp_error e
+  | Ok prog -> (
+    match Runtime.run ~k:4 prog with
+    | Ok (machine, stats) ->
+      checki "46 primes below 200" 46
+        (Eris.Machine.read_word machine Minic.Codegen.result_addr);
+      checkb "compressed execution really happened" true
+        (stats.Runtime.decompressions > 0 && stats.Runtime.deletions > 0)
+    | Error _ -> Alcotest.fail "runtime failed on compiled code")
+
+let test_compiled_cfg_is_rich () =
+  match Minic.Compile.to_program sieve_src with
+  | Error e -> Alcotest.failf "compile failed: %a" Minic.Compile.pp_error e
+  | Ok prog ->
+    let g = Cfg.Build.of_program prog in
+    checkb "many blocks" true (Cfg.Graph.num_blocks g > 10);
+    checkb "has loops" true (Cfg.Loop.detect g <> [])
+
+let () =
+  Alcotest.run ~and_exit:false "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+          Alcotest.test_case "line numbers" `Quick test_lexer_line_numbers;
+          Alcotest.test_case "unterminated comment" `Quick
+            test_lexer_unterminated_comment;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parser_precedence;
+          Alcotest.test_case "else-if" `Quick test_parser_else_if;
+          Alcotest.test_case "errors" `Quick test_parser_errors;
+        ] );
+      ("sema", [ Alcotest.test_case "errors" `Quick test_sema_errors ]);
+      ( "semantics",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "division" `Quick test_division_semantics;
+          Alcotest.test_case "loops" `Quick test_loops;
+          Alcotest.test_case "recursion" `Quick test_recursion_and_calls;
+          Alcotest.test_case "mutual-style recursion" `Quick
+            test_mutual_recursion;
+          Alcotest.test_case "globals and arrays" `Quick
+            test_globals_and_arrays;
+          Alcotest.test_case "default return" `Quick test_default_return;
+          Alcotest.test_case "comments" `Quick test_comments_and_formatting;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "engine" `Quick test_compiled_program_under_engine;
+          Alcotest.test_case "runtime" `Quick
+            test_compiled_program_under_runtime;
+          Alcotest.test_case "rich cfg" `Quick test_compiled_cfg_is_rich;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimizer (appended suite)                                          *)
+
+let fold_to_int src =
+  match Minic.Parser.parse_expr src with
+  | Error e -> Alcotest.failf "parse_expr failed: %a" Minic.Parser.pp_error e
+  | Ok e -> Minic.Optim.eval_const e
+
+let test_constant_folding () =
+  checkb "arith" true (fold_to_int "1 + 2 * 3" = Some 7);
+  checkb "division truncates" true (fold_to_int "(-7) / 2" = Some (-3));
+  checkb "mod sign" true (fold_to_int "(-7) % 2" = Some (-1));
+  checkb "division by zero unfolds" true (fold_to_int "1 / 0" = None);
+  checkb "comparison" true (fold_to_int "3 < 5" = Some 1);
+  checkb "logic" true (fold_to_int "0 || 2" = Some 1);
+  checkb "bnot" true (fold_to_int "~0" = Some (-1));
+  checkb "wrap 32-bit" true
+    (fold_to_int "0x7FFFFFFF + 1" = Some (-2147483648))
+
+let test_identities () =
+  let folds src expected =
+    match Minic.Parser.parse_expr src with
+    | Error _ -> Alcotest.failf "parse failed for %s" src
+    | Ok e -> checkb src true (Minic.Optim.fold_expr e = expected)
+  in
+  folds "x + 0" (Minic.Ast.Var "x");
+  folds "0 + x" (Minic.Ast.Var "x");
+  folds "x * 1" (Minic.Ast.Var "x");
+  folds "x * 8" (Minic.Ast.Binary (Minic.Ast.Shl, Minic.Ast.Var "x", Minic.Ast.Int 3));
+  folds "x * 0" (Minic.Ast.Int 0);
+  folds "x | 0" (Minic.Ast.Var "x");
+  (* impure operands survive *)
+  checkb "call * 0 not dropped" true
+    (match Minic.Parser.parse_expr "f() * 0" with
+    | Ok e -> (
+      match Minic.Optim.fold_expr e with
+      | Minic.Ast.Binary (Minic.Ast.Mul, Minic.Ast.Call _, Minic.Ast.Int 0) ->
+        true
+      | _ -> false)
+    | Error _ -> false)
+
+let test_branch_pruning () =
+  (* if (0) keeps only the else side; while (0) disappears entirely *)
+  let src =
+    "int g; int f() { g = g + 1; return 0; } int main() { if (0) { f(); } \
+     else { g = 5; } while (0) { f(); } if (1) { g = g + 2; } return g; }"
+  in
+  checki "pruned program result" 7 (run_main ~optimize:true src);
+  (* pruning really shrank the code *)
+  let size opt =
+    match Minic.Compile.to_program ~optimize:opt src with
+    | Ok p -> Eris.Program.byte_size p
+    | Error _ -> Alcotest.fail "compile failed"
+  in
+  checkb "optimized smaller" true (size true < size false)
+
+let run_main_opt src = run_main ~optimize:true src
+
+let test_optimized_workloads_agree () =
+  List.iter
+    (fun src ->
+      checki "optimize preserves semantics" (run_main src) (run_main_opt src))
+    [
+      "int main() { int s = 0; for (int i = 0; i < 20; i = i + 1) { s = s + \
+       i * 4 + 1; } return s; }";
+      "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); \
+       } int main() { return fib(12); }";
+      "int main() { return (5 * 0) + (3 && 2) + (0 || 7 == 7); }";
+    ]
+
+(* Differential property: a random pure expression over fixed globals
+   evaluates to the same value in a reference OCaml evaluator, in the
+   unoptimized compiled program, and in the optimized one. *)
+let globals = [ ("g0", 13); ("g1", -7); ("g2", 100); ("g3", 0) ]
+
+let rec ocaml_eval (x : Minic.Ast.expr) =
+  let open Minic.Ast in
+  let w v =
+    let m = v land 0xFFFFFFFF in
+    if m land 0x80000000 <> 0 then m - 0x100000000 else m
+  in
+  match x with
+  | Int v -> w v
+  | Var name -> List.assoc name globals
+  | Index _ | Call _ -> failwith "not generated"
+  | Unary (Neg, a) -> w (-ocaml_eval a)
+  | Unary (Lnot, a) -> if ocaml_eval a = 0 then 1 else 0
+  | Unary (Bnot, a) -> w (lnot (ocaml_eval a))
+  | Binary (op, a, b) -> (
+    let va = ocaml_eval a in
+    match op with
+    | Land -> if va = 0 then 0 else if ocaml_eval b <> 0 then 1 else 0
+    | Lor -> if va <> 0 then 1 else if ocaml_eval b <> 0 then 1 else 0
+    | _ -> (
+      let vb = ocaml_eval b in
+      match op with
+      | Add -> w (va + vb)
+      | Sub -> w (va - vb)
+      | Mul -> w (va * vb)
+      | Div ->
+        if (va < 0) = (vb < 0) then w (abs va / abs vb)
+        else w (-(abs va / abs vb))
+      | Mod ->
+        let q =
+          if (va < 0) = (vb < 0) then abs va / abs vb else -(abs va / abs vb)
+        in
+        w (va - (q * vb))
+      | Eq -> if va = vb then 1 else 0
+      | Ne -> if va <> vb then 1 else 0
+      | Lt -> if va < vb then 1 else 0
+      | Le -> if va <= vb then 1 else 0
+      | Gt -> if va > vb then 1 else 0
+      | Ge -> if va >= vb then 1 else 0
+      | Band -> w ((va land 0xFFFFFFFF) land (vb land 0xFFFFFFFF))
+      | Bor -> w ((va land 0xFFFFFFFF) lor (vb land 0xFFFFFFFF))
+      | Bxor -> w ((va land 0xFFFFFFFF) lxor (vb land 0xFFFFFFFF))
+      | Shl -> w (va lsl (vb land 31))
+      | Shr -> w (w va asr (vb land 31))
+      | Land | Lor -> assert false))
+
+let rec expr_to_src (x : Minic.Ast.expr) =
+  let open Minic.Ast in
+  match x with
+  | Int v -> if v < 0 then Printf.sprintf "(%d)" v else string_of_int v
+  | Var n -> n
+  | Index _ | Call _ -> failwith "not generated"
+  | Unary (op, a) -> Printf.sprintf "(%s%s)" (unop_name op) (expr_to_src a)
+  | Binary (op, a, b) ->
+    Printf.sprintf "(%s %s %s)" (expr_to_src a) (binop_name op) (expr_to_src b)
+
+let gen_expr_ast =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> Minic.Ast.Int v) (int_range (-1000) 1000);
+        map
+          (fun i -> Minic.Ast.Var (fst (List.nth globals (i mod 4))))
+          (int_range 0 3);
+      ]
+  in
+  (* division/modulo only by nonzero constants, and operands kept small
+     via the magnitude-limited leaves; shifts by small constants *)
+  let safe_binops =
+    [
+      Minic.Ast.Add; Minic.Ast.Sub; Minic.Ast.Mul; Minic.Ast.Eq; Minic.Ast.Ne;
+      Minic.Ast.Lt; Minic.Ast.Le; Minic.Ast.Gt; Minic.Ast.Ge; Minic.Ast.Land;
+      Minic.Ast.Lor; Minic.Ast.Band; Minic.Ast.Bor; Minic.Ast.Bxor;
+    ]
+  in
+  let rec tree depth =
+    if depth = 0 then leaf
+    else
+      frequency
+        [
+          (2, leaf);
+          ( 5,
+            let* op = oneofl safe_binops in
+            let* a = tree (depth - 1) in
+            let* b = tree (depth - 1) in
+            return (Minic.Ast.Binary (op, a, b)) );
+          ( 1,
+            let* op = oneofl [ Minic.Ast.Div; Minic.Ast.Mod ] in
+            let* a = tree (depth - 1) in
+            let* d = int_range 1 50 in
+            return (Minic.Ast.Binary (op, a, Minic.Ast.Int d)) );
+          ( 1,
+            let* op = oneofl [ Minic.Ast.Shl; Minic.Ast.Shr ] in
+            let* a = tree (depth - 1) in
+            let* sh = int_range 0 8 in
+            return (Minic.Ast.Binary (op, a, Minic.Ast.Int sh)) );
+          ( 1,
+            let* op =
+              oneofl [ Minic.Ast.Neg; Minic.Ast.Lnot; Minic.Ast.Bnot ]
+            in
+            let* a = tree (depth - 1) in
+            return (Minic.Ast.Unary (op, a)) );
+        ]
+  in
+  tree 4
+
+let prop_compiler_differential =
+  QCheck.Test.make ~count:150 ~name:"compiled expressions match the evaluator"
+    (QCheck.make ~print:expr_to_src gen_expr_ast)
+    (fun ast ->
+      (* multiplications of large subterms can overflow 32 bits — that
+         is fine, both sides wrap identically *)
+      let expected = ocaml_eval ast in
+      let src =
+        Printf.sprintf "int g0 = 13; int g1 = -7; int g2 = 100; int g3 = 0; \
+                        int main() { return %s; }"
+          (expr_to_src ast)
+      in
+      match
+        (Minic.Compile.run_main src, Minic.Compile.run_main ~optimize:true src)
+      with
+      | Ok plain, Ok optimized -> plain = expected && optimized = expected
+      | _ -> false)
+
+let () =
+  Alcotest.run "minic-optim"
+    [
+      ( "optim",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "branch pruning" `Quick test_branch_pruning;
+          Alcotest.test_case "optimized semantics" `Quick
+            test_optimized_workloads_agree;
+          QCheck_alcotest.to_alcotest prop_compiler_differential;
+        ] );
+    ]

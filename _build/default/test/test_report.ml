@@ -1,0 +1,81 @@
+(* Tests for the table/CSV rendering. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let table () =
+  let t =
+    Report.Table.create ~title:"demo"
+      ~columns:[ ("name", Report.Table.Left); ("value", Report.Table.Right) ]
+  in
+  Report.Table.add_row t [ "alpha"; "1" ];
+  Report.Table.add_row t [ "b"; "22" ];
+  t
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_structure () =
+  let t = table () in
+  checks "title" "demo" (Report.Table.title t);
+  Alcotest.check
+    Alcotest.(list string)
+    "columns" [ "name"; "value" ] (Report.Table.columns t);
+  checki "rows" 2 (List.length (Report.Table.rows t));
+  checks "cell lookup" "22" (Report.Table.cell t ~row:1 ~col:"value");
+  checkb "missing column" true
+    (match Report.Table.cell t ~row:0 ~col:"nope" with
+    | _ -> false
+    | exception Not_found -> true);
+  checkb "missing row" true
+    (match Report.Table.cell t ~row:5 ~col:"name" with
+    | _ -> false
+    | exception Not_found -> true)
+
+let test_arity_check () =
+  let t = table () in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Report.Table.add_row: 1 cells for 2 columns") (fun () ->
+      Report.Table.add_row t [ "only-one" ])
+
+let test_render () =
+  let r = Report.Table.render (table ()) in
+  checkb "has title" true (contains "== demo ==" r);
+  checkb "has header" true (contains "name" r);
+  checkb "right alignment pads" true (contains "    1" r);
+  checkb "left alignment" true (contains "alpha" r)
+
+let test_csv () =
+  let t =
+    Report.Table.create ~title:"csv"
+      ~columns:[ ("a", Report.Table.Left); ("b", Report.Table.Left) ]
+  in
+  Report.Table.add_row t [ "with,comma"; "with\"quote" ];
+  let csv = Report.Table.to_csv t in
+  checkb "escapes comma" true (contains "\"with,comma\"" csv);
+  checkb "escapes quote" true (contains "\"with\"\"quote\"" csv);
+  checkb "header line" true (contains "a,b\n" csv)
+
+let test_formatters () =
+  checks "int" "42" (Report.Table.fmt_int 42);
+  checks "float" "3.14" (Report.Table.fmt_float 3.14159);
+  checks "float decimals" "3.1416" (Report.Table.fmt_float ~decimals:4 3.14159);
+  checks "pct" "12.3%" (Report.Table.fmt_pct 0.1234);
+  checks "negative pct" "-5.0%" (Report.Table.fmt_pct (-0.05));
+  checks "bytes" "100B" (Report.Table.fmt_bytes 100)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "structure" `Quick test_structure;
+          Alcotest.test_case "arity" `Quick test_arity_check;
+          Alcotest.test_case "render" `Quick test_render;
+          Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+    ]

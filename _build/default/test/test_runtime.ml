@@ -1,0 +1,157 @@
+(* End-to-end tests of the executable §5 runtime: real programs run
+   from an all-compressed image, with real decompression, relocation,
+   branch patching and k-edge deletion — and must still compute the
+   right answers. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let run_ok ?k ?codec w =
+  match Runtime.run ?k ?codec (Eris.Asm.assemble_exn w.Workloads.Common.source) with
+  | Ok (machine, stats) -> (machine, stats)
+  | Error (Runtime.Out_of_fuel _) ->
+    Alcotest.failf "%s: out of fuel" w.Workloads.Common.name
+  | Error (Runtime.Machine_fault { pc; message; _ }) ->
+    Alcotest.failf "%s: fault at %d: %s" w.Workloads.Common.name pc message
+
+(* Every workload must produce its reference checksum when executed
+   from compressed memory, for an aggressive and a relaxed k. *)
+let correctness_tests =
+  List.concat_map
+    (fun w ->
+      List.map
+        (fun k ->
+          Alcotest.test_case
+            (Printf.sprintf "%s computes correctly (k=%d)"
+               w.Workloads.Common.name k)
+            `Quick
+            (fun () ->
+              let machine, stats = run_ok ~k w in
+              checki "checksum"
+                w.Workloads.Common.expected
+                (Eris.Machine.read_word machine w.Workloads.Common.result_addr);
+              checkb "really decompressed" true (stats.Runtime.decompressions > 0);
+              checkb "really trapped" true (stats.Runtime.traps > 0)))
+        [ 1; 8 ])
+    Workloads.Suite.all
+
+let test_k_reduces_traps () =
+  let w = Workloads.Suite.find_exn "crc32" in
+  let _, aggressive = run_ok ~k:1 w in
+  let _, relaxed = run_ok ~k:32 w in
+  checkb "larger k traps less" true
+    (relaxed.Runtime.traps < aggressive.Runtime.traps);
+  checkb "larger k deletes less" true
+    (relaxed.Runtime.deletions < aggressive.Runtime.deletions);
+  checkb "larger k holds more memory" true
+    (relaxed.Runtime.peak_copy_bytes >= aggressive.Runtime.peak_copy_bytes)
+
+let test_patching_pays_off () =
+  (* A hot loop: after warmup the patched branches bypass the handler,
+     so traps must be far rarer than loop iterations. *)
+  let result =
+    Runtime.run_source ~k:64
+      "li r1, 500\nloop: subi r1, r1, 1\nbne r1, r0, loop\nli r2, 0x0FF0\nsw r1, 0(r2)\nhalt"
+  in
+  match result with
+  | Ok (machine, stats) ->
+    checki "result" 0 (Eris.Machine.read_word machine 0x0FF0);
+    checkb "500 iterations, a handful of traps" true (stats.Runtime.traps < 10);
+    checkb "patches recorded" true (stats.Runtime.patches > 0)
+  | Error _ -> Alcotest.fail "runtime failed"
+
+let test_dangling_return_reload () =
+  (* dct calls a subroutine that runs for many edges; with k=1 the
+     caller's copy is deleted while the callee runs, so the return
+     address dangles into a retired copy and must be re-routed through
+     a reload. Correctness (checked above for k=1) plus: reloads mean
+     strictly more decompressions than blocks. *)
+  let w = Workloads.Suite.find_exn "dct" in
+  let _, stats = run_ok ~k:1 w in
+  let blocks =
+    Cfg.Graph.num_blocks
+      (Cfg.Build.of_program (Eris.Asm.assemble_exn w.Workloads.Common.source))
+  in
+  checkb "blocks reloaded after deletion" true
+    (stats.Runtime.decompressions > blocks)
+
+let test_stats_sanity () =
+  let w = Workloads.Suite.find_exn "fir" in
+  let machine, stats = run_ok ~k:8 w in
+  checkb "instructions counted" true
+    (stats.Runtime.instructions = Eris.Machine.instr_count machine);
+  checkb "compressed image smaller" true
+    (stats.Runtime.compressed_image_bytes < stats.Runtime.original_image_bytes);
+  checkb "live <= peak" true
+    (stats.Runtime.live_copy_bytes <= stats.Runtime.peak_copy_bytes);
+  checkb "every trap at most one decompression" true
+    (stats.Runtime.decompressions <= stats.Runtime.traps);
+  checkb "deletions leave some copies" true
+    (stats.Runtime.live_copy_bytes > 0)
+
+let test_out_of_fuel () =
+  match Runtime.run_source ~fuel:50 "loop: j loop" with
+  | Error (Runtime.Out_of_fuel stats) ->
+    checkb "made progress" true (stats.Runtime.instructions > 0)
+  | Ok _ | Error (Runtime.Machine_fault _) ->
+    Alcotest.fail "expected out-of-fuel"
+
+let test_wild_jump_faults () =
+  match Runtime.run_source "li r1, 0x40000\njalr r0, r1, 0\nhalt" with
+  | Error (Runtime.Machine_fault { message; _ }) ->
+    checkb "wild pc reported" true (String.length message > 0)
+  | Ok _ | Error (Runtime.Out_of_fuel _) -> Alcotest.fail "expected fault"
+
+let test_codec_choice () =
+  (* The runtime works with any registered codec, including ones that
+     expand blocks (null) — correctness must not depend on ratios. *)
+  let w = Workloads.Suite.find_exn "fsm" in
+  List.iter
+    (fun codec_name ->
+      let codec = Compress.Registry.find_exn codec_name in
+      let machine, _ = run_ok ~k:4 ~codec w in
+      checki
+        (Printf.sprintf "checksum under %s" codec_name)
+        w.Workloads.Common.expected
+        (Eris.Machine.read_word machine w.Workloads.Common.result_addr))
+    [ "null"; "rle"; "lzss" ]
+
+(* The runtime and the model (Core.Engine) must agree on the shape:
+   runtime trap counts move with k the same way the engine's demand
+   decompressions do. *)
+let test_runtime_engine_agreement () =
+  let w = Workloads.Suite.find_exn "dijkstra" in
+  let sc = Workloads.Common.scenario w in
+  let engine_demand k =
+    (Core.Scenario.run sc (Core.Policy.on_demand ~k)).Core.Metrics
+      .demand_decompressions
+  in
+  let runtime_decs k = (snd (run_ok ~k w)).Runtime.decompressions in
+  let e1 = engine_demand 1 and e16 = engine_demand 16 in
+  let r1 = runtime_decs 1 and r16 = runtime_decs 16 in
+  checkb "both decrease with k" true (e16 < e1 && r16 < r1);
+  (* within a factor of two of each other at both ends: the runtime
+     counts per-block reloads slightly differently (synthetic jumps,
+     mid-block reloads) but the magnitudes must match *)
+  let close a b = a * 2 >= b && b * 2 >= a in
+  checkb "magnitudes agree at k=1" true (close e1 r1);
+  checkb "magnitudes agree at k=16" true (close e16 r16)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ("correctness", correctness_tests);
+      ( "behavior",
+        [
+          Alcotest.test_case "k reduces traps" `Quick test_k_reduces_traps;
+          Alcotest.test_case "patching pays off" `Quick test_patching_pays_off;
+          Alcotest.test_case "dangling return reload" `Quick
+            test_dangling_return_reload;
+          Alcotest.test_case "stats sanity" `Quick test_stats_sanity;
+          Alcotest.test_case "out of fuel" `Quick test_out_of_fuel;
+          Alcotest.test_case "wild jump faults" `Quick test_wild_jump_faults;
+          Alcotest.test_case "codec independence" `Quick test_codec_choice;
+          Alcotest.test_case "agrees with the model" `Quick
+            test_runtime_engine_agreement;
+        ] );
+    ]

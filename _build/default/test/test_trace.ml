@@ -1,0 +1,221 @@
+(* Tests for trace generation and serialization. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let strongly_connected () =
+  Cfg.Graph.synthetic 4 [ (0, 1); (1, 2); (2, 3); (3, 0); (1, 0); (2, 0) ]
+
+let test_markov_validity () =
+  let g = strongly_connected () in
+  let t = Trace.Synthetic.markov g ~length:500 in
+  checki "length" 500 (Array.length t);
+  checkb "valid trace" true (Cfg.Graph.validate_trace g t = Ok ())
+
+let test_markov_deterministic_seed () =
+  let g = strongly_connected () in
+  let a = Trace.Synthetic.markov ~seed:5 g ~length:100 in
+  let b = Trace.Synthetic.markov ~seed:5 g ~length:100 in
+  let c = Trace.Synthetic.markov ~seed:6 g ~length:100 in
+  checkb "same seed same walk" true (a = b);
+  checkb "different seed differs" true (a <> c)
+
+let test_markov_weights () =
+  (* A split where one arm gets weight 9 and the other 1: the heavy
+     arm must be taken far more often. *)
+  let g = Cfg.Graph.synthetic 4 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 0) ] in
+  let weight ~src ~dst =
+    if src = 0 && dst = 1 then 9.0
+    else if src = 0 && dst = 2 then 1.0
+    else 1.0
+  in
+  let t = Trace.Synthetic.markov ~seed:11 ~weight g ~length:4000 in
+  let count b = Array.fold_left (fun a x -> if x = b then a + 1 else a) 0 t in
+  checkb "heavy arm dominates" true (count 1 > 3 * count 2)
+
+let test_markov_zero_weights_fall_back () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1); (1, 0) ] in
+  let t =
+    Trace.Synthetic.markov ~weight:(fun ~src:_ ~dst:_ -> 0.0) g ~length:50
+  in
+  checki "still walks" 50 (Array.length t)
+
+let test_markov_restart_at_exit () =
+  let g = Cfg.Graph.synthetic 2 [ (0, 1) ] in
+  let t = Trace.Synthetic.markov g ~length:6 in
+  checkb "alternates through restart" true (t = [| 0; 1; 0; 1; 0; 1 |])
+
+let test_markov_errors () =
+  let g = strongly_connected () in
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Trace.Synthetic.markov: negative length") (fun () ->
+      ignore (Trace.Synthetic.markov g ~length:(-1)))
+
+let test_loop_nest () =
+  let g, t = Trace.Synthetic.loop_nest ~levels:2 ~iters:[| 3; 4 |] in
+  checki "blocks" 6 (Cfg.Graph.num_blocks g);
+  checkb "valid trace" true (Cfg.Graph.validate_trace g t = Ok ());
+  (* inner body executes 3*4 times *)
+  let inner_body = 4 in
+  let count b = Array.fold_left (fun a x -> if x = b then a + 1 else a) 0 t in
+  checki "inner body visits" 12 (count inner_body);
+  checki "outer body visits" 3 (count 1);
+  (* ends at the outermost exit *)
+  checki "ends at exit" 2 t.(Array.length t - 1)
+
+let test_loop_nest_errors () =
+  Alcotest.check_raises "iters mismatch"
+    (Invalid_argument "Trace.Synthetic.loop_nest: iters length mismatch")
+    (fun () -> ignore (Trace.Synthetic.loop_nest ~levels:2 ~iters:[| 3 |]))
+
+let test_hot_cold () =
+  let g, t =
+    Trace.Synthetic.hot_cold ~hot_blocks:4 ~cold_blocks:6 ~hot_iters:50
+      ~cold_visit_every:10 ()
+  in
+  checki "blocks" 10 (Cfg.Graph.num_blocks g);
+  checkb "valid trace" true (Cfg.Graph.validate_trace g t = Ok ());
+  let count b = Array.fold_left (fun a x -> if x = b then a + 1 else a) 0 t in
+  checki "cold chain entered 5 times" 5 (count 4);
+  checkb "hot dominates" true (count 0 > count 4)
+
+let test_diamond_chain () =
+  let g = Trace.Synthetic.diamond_chain ~diamonds:3 in
+  checki "blocks" 10 (Cfg.Graph.num_blocks g);
+  Alcotest.check
+    Alcotest.(list int)
+    "split successors" [ 1; 2 ] (Cfg.Graph.succ_ids g 0);
+  Alcotest.check Alcotest.(list int) "exit" [ 9 ] (Cfg.Graph.exits g)
+
+let test_io_roundtrip () =
+  let t = [| 0; 5; 3; 3; 1; 0 |] in
+  match Trace.Io.of_string (Trace.Io.to_string t) with
+  | Ok t' -> checkb "roundtrip" true (t = t')
+  | Error msg -> Alcotest.failf "roundtrip failed: %s" msg
+
+let test_io_empty () =
+  match Trace.Io.of_string (Trace.Io.to_string [||]) with
+  | Ok t -> checki "empty roundtrip" 0 (Array.length t)
+  | Error msg -> Alcotest.failf "empty roundtrip failed: %s" msg
+
+let test_io_errors () =
+  checkb "bad header" true (Result.is_error (Trace.Io.of_string "nope\n1\n"));
+  checkb "bad line" true
+    (Result.is_error (Trace.Io.of_string "ccomp-trace 1\nxyz\n"));
+  checkb "empty input" true (Result.is_error (Trace.Io.of_string ""))
+
+let test_io_file () =
+  let path = Filename.temp_file "ccomp" ".trace" in
+  let t = Array.init 100 (fun i -> i mod 7) in
+  Trace.Io.save path t;
+  (match Trace.Io.load path with
+  | Ok t' -> checkb "file roundtrip" true (t = t')
+  | Error msg -> Alcotest.failf "load failed: %s" msg);
+  Sys.remove path;
+  checkb "missing file" true (Result.is_error (Trace.Io.load path))
+
+let () =
+  Alcotest.run ~and_exit:false "trace"
+    [
+      ( "markov",
+        [
+          Alcotest.test_case "validity" `Quick test_markov_validity;
+          Alcotest.test_case "seeding" `Quick test_markov_deterministic_seed;
+          Alcotest.test_case "weights" `Quick test_markov_weights;
+          Alcotest.test_case "zero weights" `Quick
+            test_markov_zero_weights_fall_back;
+          Alcotest.test_case "restart at exit" `Quick test_markov_restart_at_exit;
+          Alcotest.test_case "errors" `Quick test_markov_errors;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "loop nest" `Quick test_loop_nest;
+          Alcotest.test_case "loop nest errors" `Quick test_loop_nest_errors;
+          Alcotest.test_case "hot/cold" `Quick test_hot_cold;
+          Alcotest.test_case "diamond chain" `Quick test_diamond_chain;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
+          Alcotest.test_case "empty" `Quick test_io_empty;
+          Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "files" `Quick test_io_file;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Analysis (appended suite)                                           *)
+
+let test_reuse_distances () =
+  let trace = [| 0; 1; 0; 1; 0; 2 |] in
+  let ds = Trace.Analysis.reuse_distances ~blocks:3 trace in
+  Alcotest.check Alcotest.(list int) "block 0" [ 2; 2 ] ds.(0);
+  Alcotest.check Alcotest.(list int) "block 1" [ 2 ] ds.(1);
+  Alcotest.check Alcotest.(list int) "block 2 never reused" [] ds.(2);
+  Alcotest.check Alcotest.(list int) "all sorted" [ 2; 2; 2 ]
+    (Trace.Analysis.all_reuse_distances ~blocks:3 trace)
+
+let test_percentile () =
+  checkb "median" true (Trace.Analysis.percentile 0.5 [ 1; 2; 3; 4 ] = Some 3);
+  checkb "p0" true (Trace.Analysis.percentile 0.0 [ 1; 2; 3 ] = Some 1);
+  checkb "p1 clamps" true (Trace.Analysis.percentile 1.0 [ 1; 2; 3 ] = Some 3);
+  checkb "empty" true (Trace.Analysis.percentile 0.5 [] = None);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Trace.Analysis.percentile") (fun () ->
+      ignore (Trace.Analysis.percentile 1.5 [ 1 ]))
+
+let test_survival_fraction () =
+  let trace = [| 0; 1; 0; 2; 2 |] in
+  (* distances: 0 reused at 2; 2 reused at 1 *)
+  Alcotest.check (Alcotest.float 1e-9) "k=1 catches half" 0.5
+    (Trace.Analysis.survival_fraction ~blocks:3 trace ~k:1);
+  Alcotest.check (Alcotest.float 1e-9) "k=2 catches all" 1.0
+    (Trace.Analysis.survival_fraction ~blocks:3 trace ~k:2);
+  Alcotest.check (Alcotest.float 1e-9) "no reuse" 1.0
+    (Trace.Analysis.survival_fraction ~blocks:3 [| 0; 1; 2 |] ~k:1)
+
+let test_working_set () =
+  let trace = [| 0; 0; 1; 1; 2; 3 |] in
+  Alcotest.check
+    Alcotest.(array int)
+    "windows of 2" [| 1; 1; 2 |]
+    (Trace.Analysis.working_set_sizes trace ~window:2);
+  checki "distinct" 4 (Trace.Analysis.distinct_blocks trace);
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Trace.Analysis.working_set_sizes") (fun () ->
+      ignore (Trace.Analysis.working_set_sizes trace ~window:0))
+
+let test_summary_renders () =
+  let g, trace = Trace.Synthetic.loop_nest ~levels:2 ~iters:[| 4; 4 |] in
+  let s =
+    Format.asprintf "%a"
+      (Trace.Analysis.pp_summary ~blocks:(Cfg.Graph.num_blocks g))
+      trace
+  in
+  checkb "mentions hit rate" true (String.length s > 40)
+
+(* The survival fraction at k predicts the engine's demand-miss rate
+   shape: higher k must never lower it. *)
+let prop_survival_monotone =
+  QCheck.Test.make ~count:200 ~name:"survival fraction monotone in k"
+    QCheck.(pair (int_range 0 500) (int_range 2 8))
+    (fun (seed, blocks) ->
+      let ring = List.init blocks (fun i -> (i, (i + 1) mod blocks)) in
+      let g = Cfg.Graph.synthetic blocks ((0, blocks / 2) :: ring) in
+      let trace = Trace.Synthetic.markov ~seed g ~length:200 in
+      let f k = Trace.Analysis.survival_fraction ~blocks trace ~k in
+      f 1 <= f 2 +. 1e-9 && f 2 <= f 4 +. 1e-9 && f 4 <= f 8 +. 1e-9)
+
+let () =
+  Alcotest.run "trace-analysis"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "reuse distances" `Quick test_reuse_distances;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "survival fraction" `Quick test_survival_fraction;
+          Alcotest.test_case "working set" `Quick test_working_set;
+          Alcotest.test_case "summary" `Quick test_summary_renders;
+          QCheck_alcotest.to_alcotest prop_survival_monotone;
+        ] );
+    ]

@@ -1,0 +1,114 @@
+(* Tests for the benchmark suite: every kernel must compute the same
+   result as its OCaml reference, and its extracted scenario must be a
+   valid input for the policy engine. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let correctness_tests =
+  List.map
+    (fun w ->
+      Alcotest.test_case (w.Workloads.Common.name ^ " matches reference")
+        `Quick
+        (fun () ->
+          match Workloads.Common.check w with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg))
+    Workloads.Suite.all
+
+let scenario_tests =
+  List.map
+    (fun w ->
+      Alcotest.test_case (w.Workloads.Common.name ^ " scenario is sound")
+        `Quick
+        (fun () ->
+          let sc = Workloads.Common.scenario w in
+          checkb "trace nonempty" true (Array.length sc.Core.Scenario.trace > 0);
+          checkb "trace valid" true
+            (Cfg.Graph.validate_trace sc.Core.Scenario.graph
+               sc.Core.Scenario.trace
+            = Ok ());
+          checkb "block sizes positive" true
+            (Array.for_all
+               (fun (i : Core.Engine.block_info) ->
+                 i.uncompressed_bytes > 0 && i.compressed_bytes > 0
+                 && i.exec_cycles > 0)
+               sc.Core.Scenario.info);
+          (* codecs trained on the program: image must compress *)
+          let original =
+            Array.fold_left
+              (fun a (i : Core.Engine.block_info) -> a + i.uncompressed_bytes)
+              0 sc.Core.Scenario.info
+          and compressed =
+            Array.fold_left
+              (fun a (i : Core.Engine.block_info) -> a + i.compressed_bytes)
+              0 sc.Core.Scenario.info
+          in
+          checkb "image compresses" true (compressed < original)))
+    Workloads.Suite.all
+
+let test_suite_lookup () =
+  checki "sixteen kernels" 16 (List.length Workloads.Suite.all);
+  checkb "names unique" true
+    (List.length (List.sort_uniq compare Workloads.Suite.names) = 16);
+  checkb "find works" true (Workloads.Suite.find "crc32" <> None);
+  checkb "find unknown" true (Workloads.Suite.find "quake" = None);
+  Alcotest.check_raises "find_exn unknown"
+    (Invalid_argument "Workloads.Suite.find_exn: \"quake\"") (fun () ->
+      ignore (Workloads.Suite.find_exn "quake"))
+
+let test_determinism () =
+  (* Workloads are built deterministically at module init; checking
+     twice must agree. *)
+  let w = Workloads.Suite.find_exn "fir" in
+  checkb "stable expected" true
+    (Workloads.Common.check w = Ok () && Workloads.Common.check w = Ok ())
+
+let test_helpers () =
+  Alcotest.check
+    Alcotest.(list int)
+    "bytes_to_words packs LE"
+    [ 0x04030201; 0x0605 ]
+    (Workloads.Common.bytes_to_words [ 1; 2; 3; 4; 5; 6 ]);
+  checki "mask32" 0 (Workloads.Common.mask32 0x100000000);
+  checki "to_signed32" (-1) (Workloads.Common.to_signed32 0xFFFFFFFF);
+  let st = ref 1 in
+  let a = Workloads.Common.lcg st in
+  let b = Workloads.Common.lcg st in
+  checkb "lcg advances" true (a <> b && a >= 0 && b >= 0)
+
+let test_cfg_shapes () =
+  (* dct is the call-structured kernel: it must have call edges. *)
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn "dct") in
+  let kinds =
+    List.map (fun (_, _, k) -> k) (Cfg.Graph.edges sc.Core.Scenario.graph)
+  in
+  checkb "dct has call edges" true (List.mem Cfg.Graph.Call kinds);
+  checkb "dct has return edges" true (List.mem Cfg.Graph.Return kinds);
+  (* fsm has a genuinely cold error block: some block is visited far
+     less than the hottest one. *)
+  let fsm = Workloads.Common.scenario (Workloads.Suite.find_exn "fsm") in
+  let p = Core.Scenario.profile fsm in
+  let counts =
+    List.init
+      (Cfg.Graph.num_blocks fsm.Core.Scenario.graph)
+      (Cfg.Profile.block_count p)
+    |> List.filter (fun c -> c > 0)
+  in
+  let hottest = List.fold_left max 0 counts in
+  let coldest = List.fold_left min max_int counts in
+  checkb "fsm has cold code" true (coldest * 10 < hottest)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ("correctness", correctness_tests);
+      ("scenarios", scenario_tests);
+      ( "suite",
+        [
+          Alcotest.test_case "lookup" `Quick test_suite_lookup;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "helpers" `Quick test_helpers;
+          Alcotest.test_case "cfg shapes" `Quick test_cfg_shapes;
+        ] );
+    ]
