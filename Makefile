@@ -1,0 +1,22 @@
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Everything a reviewer should run before merging: the full build
+# (library, CLI, examples, bench — compilation errors anywhere fail
+# here) and the whole test suite.
+check:
+	dune build @all
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -60,6 +60,57 @@ let recompress_arg =
           "Use the background-recompression mode instead of the paper's \
            discard implementation.")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Stream the simulation event log to $(docv) as JSON Lines, one \
+           event per line, in constant memory.")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Also print the metrics registry (engine totals, occupancy, \
+           per-event-kind counters and latency histograms).")
+
+(* Shared --trace-out/--metrics plumbing: build the optional sink and
+   registry, run, then close the file and render the registry. *)
+let with_observability ?(observe_events = true) trace_out metrics run =
+  let sink =
+    match trace_out with
+    | None -> None
+    | Some path -> (
+      try Some (Sim.Events.to_file path)
+      with Sys_error msg ->
+        Format.eprintf "error: cannot open trace output: %s@." msg;
+        Stdlib.exit 1)
+  in
+  let registry = if metrics then Some (Sim.Metrics.create ()) else None in
+  let sink =
+    match (registry, observe_events) with
+    | Some r, true ->
+      let observer = Sim.Events.observing r in
+      Some
+        (match sink with
+        | Some s -> Sim.Events.tee [ s; observer ]
+        | None -> observer)
+    | _ -> sink
+  in
+  let result = run ?sink ?registry () in
+  (match sink with Some s -> s.Sim.Events.close () | None -> ());
+  (match trace_out with
+  | Some path -> Format.printf "event trace written to %s@." path
+  | None -> ());
+  (match registry with
+  | Some r ->
+    print_string (Report.Table.render (Sim.Metrics.to_table ~title:"metrics" r))
+  | None -> ());
+  result
+
 let scenario_of ~codec name =
   let w = Workloads.Suite.find_exn name in
   match codec with
@@ -70,7 +121,8 @@ let scenario_of ~codec name =
 (* ------------------------------------------------------------------ *)
 (* ccomp sim                                                           *)
 
-let sim workload codec k strategy lookahead predictor budget recompress =
+let sim workload codec k strategy lookahead predictor budget recompress
+    trace_out metrics =
   match scenario_of ~codec workload with
   | sc ->
     let predictor =
@@ -91,8 +143,11 @@ let sim workload codec k strategy lookahead predictor budget recompress =
     let policy = Core.Policy.make ~mode ~strategy ?budget ~compress_k:k () in
     Format.printf "%a@.policy: %s@.@." Core.Scenario.pp_summary sc
       (Core.Policy.describe policy);
-    let metrics = Core.Scenario.run sc policy in
-    Format.printf "%a@." Core.Metrics.pp metrics;
+    let m =
+      with_observability trace_out metrics (fun ?sink ?registry () ->
+          Core.Scenario.run ?sink ?registry sc policy)
+    in
+    Format.printf "%a@." Core.Metrics.pp m;
     0
   | exception Invalid_argument msg ->
     Format.eprintf "error: %s@." msg;
@@ -104,7 +159,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc)
     Term.(
       const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
-      $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg)
+      $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg
+      $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp experiments                                                   *)
@@ -312,7 +368,7 @@ let cc_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp run                                                           *)
 
-let run_real workload codec k =
+let run_real workload codec k trace_out metrics =
   let w = Workloads.Suite.find_exn workload in
   let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
   let codec_v =
@@ -320,7 +376,10 @@ let run_real workload codec k =
     | "code" -> None
     | other -> Some (Compress.Registry.find_exn other)
   in
-  match Runtime.run ~k ?codec:codec_v prog with
+  match
+    with_observability trace_out metrics (fun ?sink ?registry () ->
+        Runtime.run ~k ?codec:codec_v ?sink ?registry prog)
+  with
   | Ok (machine, stats) ->
     let got = Eris.Machine.read_word machine w.Workloads.Common.result_addr in
     Format.printf
@@ -351,7 +410,9 @@ let run_cmd =
      executable implementation of the paper's section 5 scheme)."
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run_real $ workload_arg $ codec_arg $ k_arg)
+    Term.(
+      const run_real $ workload_arg $ codec_arg $ k_arg $ trace_out_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp analyze                                                       *)

@@ -12,9 +12,14 @@ let overhead_ratio r =
   if r.baseline_cycles = 0 then 0.0
   else (float_of_int r.total_cycles /. float_of_int r.baseline_cycles) -. 1.0
 
-let run ?config ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
+let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
   let config =
     match config with Some c -> c | None -> Core.Config.of_codec sc.codec
+  in
+  let emit =
+    match sink with
+    | Some (s : Sim.Events.sink) -> s.Sim.Events.emit
+    | None -> fun _ -> ()
   in
   let n = Cfg.Graph.num_blocks sc.graph in
   let profile = Core.Scenario.profile sc in
@@ -45,14 +50,19 @@ let run ?config ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
   Array.iter
     (fun b ->
       total := !total + sc.info.(b).Core.Engine.exec_cycles;
+      emit (Sim.Events.Exec { block = b; at = !total });
       if not hot.(b) then
         if !in_buffer <> b then begin
           incr decompressions;
-          total :=
-            !total
-            + config.Core.Config.costs.exception_cycles
-            + Core.Config.dec_cycles config
-                ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes;
+          emit (Sim.Events.Exception { block = b; at = !total });
+          let dec =
+            Core.Config.dec_cycles config
+              ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes
+          in
+          total := !total + config.Core.Config.costs.exception_cycles + dec;
+          emit
+            (Sim.Events.Demand_decompress
+               { block = b; at = !total; cycles = dec });
           in_buffer := b
         end)
     sc.trace;

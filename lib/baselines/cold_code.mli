@@ -23,8 +23,13 @@ val overhead_ratio : result -> float
 
 val run :
   ?config:Core.Config.t ->
+  ?sink:Sim.Events.sink ->
   ?hot_fraction:float ->
   Core.Scenario.t ->
   result
 (** [hot_fraction] (default 0.95) is the fraction of dynamic block
-    visits the hot set must cover, per the scenario's own profile. *)
+    visits the hot set must cover, per the scenario's own profile.
+    [sink] streams the replay as {!Sim.Events}: an [Exec] per trace
+    step and an [Exception] + [Demand_decompress] pair per buffer
+    miss, timestamped in accumulated cycles. The sink is not
+    closed. *)

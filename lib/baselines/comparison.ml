@@ -15,7 +15,7 @@ let row_of_metrics scheme notes (m : Core.Metrics.t) =
     notes;
   }
 
-let rows ?config ?(k = 8) (sc : Core.Scenario.t) =
+let rows ?config ?sink ?(k = 8) (sc : Core.Scenario.t) =
   let original =
     Array.fold_left
       (fun a (i : Core.Engine.block_info) -> a + i.uncompressed_bytes)
@@ -33,11 +33,11 @@ let rows ?config ?(k = 8) (sc : Core.Scenario.t) =
   let ours =
     row_of_metrics "block/k-edge"
       (Printf.sprintf "ours, k=%d, on-demand" k)
-      (Core.Scenario.run ?config sc (Core.Policy.on_demand ~k))
+      (Core.Scenario.run ?config ?sink sc (Core.Policy.on_demand ~k))
   in
   let once =
     row_of_metrics "block/decompress-once" "blocks never recompressed"
-      (Core.Scenario.run ?config sc Core.Policy.never_compress)
+      (Core.Scenario.run ?config ?sink sc Core.Policy.never_compress)
   in
   let procedure =
     match sc.program with
@@ -48,17 +48,17 @@ let rows ?config ?(k = 8) (sc : Core.Scenario.t) =
         row_of_metrics "procedure/k-edge"
           (Printf.sprintf "Debray-Evans/Kirovski granularity, %d procs"
              grouping.num_units)
-          (Granularity.run ?config sc grouping (Core.Policy.on_demand ~k));
+          (Granularity.run ?config ?sink sc grouping (Core.Policy.on_demand ~k));
       ]
   in
   let whole =
     let grouping = Granularity.whole_program sc.graph in
     row_of_metrics "whole-image"
       "single compressed unit"
-      (Granularity.run ?config sc grouping (Core.Policy.on_demand ~k))
+      (Granularity.run ?config ?sink sc grouping (Core.Policy.on_demand ~k))
   in
   let cold =
-    let r = Cold_code.run ?config sc in
+    let r = Cold_code.run ?config ?sink sc in
     {
       scheme = "cold-code-static";
       peak_footprint = r.Cold_code.static_bytes;

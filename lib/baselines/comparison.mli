@@ -12,10 +12,13 @@ type row = {
 
 val rows :
   ?config:Core.Config.t ->
+  ?sink:Sim.Events.sink ->
   ?k:int ->
   Core.Scenario.t ->
   row list
 (** Schemes, in order: [no-compression], [block/k-edge] (ours, with
     the given [k], default 8), [block/decompress-once],
     [procedure/k-edge] (when the scenario has a program),
-    [whole-image], [cold-code-static]. *)
+    [whole-image], [cold-code-static]. When [sink] is given, every
+    scheme's event stream flows into it in that order (the sink is
+    not closed). *)

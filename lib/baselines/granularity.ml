@@ -108,12 +108,12 @@ let regroup (sc : Core.Scenario.t) g =
   let step_cycles = Array.map snd stays in
   (unit_graph, unit_info, unit_trace, step_cycles)
 
-let run ?config sc g policy =
+let run ?config ?sink ?registry sc g policy =
   let unit_graph, unit_info, unit_trace, step_cycles = regroup sc g in
   let config =
     match config with
     | Some c -> c
     | None -> Core.Config.of_codec sc.Core.Scenario.codec
   in
-  Core.Engine.run ~config ~step_cycles ~graph:unit_graph ~info:unit_info
-    ~trace:unit_trace policy
+  Core.Engine.run ~config ?sink ?registry ~step_cycles ~graph:unit_graph
+    ~info:unit_info ~trace:unit_trace policy

@@ -31,8 +31,12 @@ val regroup :
 
 val run :
   ?config:Core.Config.t ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
   Core.Scenario.t ->
   grouping ->
   Core.Policy.t ->
   Core.Metrics.t
-(** {!regroup} followed by {!Core.Engine.run}. *)
+(** {!regroup} followed by {!Core.Engine.run}; [sink]/[registry]
+    stream unit-granularity events and publish final metrics through
+    the {!Sim} kernel. *)

@@ -1,4 +1,4 @@
-type cost_model = {
+type cost_model = Sim.Cost.t = {
   exception_cycles : int;
   patch_cycles : int;
   dec_setup_cycles : int;
@@ -7,22 +7,13 @@ type cost_model = {
   comp_cycles_per_byte : int;
 }
 
-let default_cost_model =
-  {
-    exception_cycles = 40;
-    patch_cycles = 4;
-    dec_setup_cycles = 30;
-    dec_cycles_per_byte = 4;
-    comp_setup_cycles = 30;
-    comp_cycles_per_byte = 8;
-  }
+let default_cost_model = Sim.Cost.default
 
 let cost_model_of_codec codec =
-  {
-    default_cost_model with
-    dec_cycles_per_byte = codec.Compress.Codec.dec_cycles_per_byte;
-    comp_cycles_per_byte = codec.Compress.Codec.comp_cycles_per_byte;
-  }
+  Sim.Cost.with_rates
+    ~dec_cycles_per_byte:codec.Compress.Codec.dec_cycles_per_byte
+    ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte
+    Sim.Cost.default
 
 type t = { costs : cost_model }
 
@@ -30,7 +21,7 @@ let default = { costs = default_cost_model }
 let of_codec codec = { costs = cost_model_of_codec codec }
 
 let dec_cycles t ~compressed_bytes =
-  t.costs.dec_setup_cycles + (t.costs.dec_cycles_per_byte * compressed_bytes)
+  Sim.Cost.dec_cycles t.costs ~compressed_bytes
 
 let comp_cycles t ~uncompressed_bytes =
-  t.costs.comp_setup_cycles + (t.costs.comp_cycles_per_byte * uncompressed_bytes)
+  Sim.Cost.comp_cycles t.costs ~uncompressed_bytes

@@ -2,9 +2,14 @@
 
     All costs are in cycles. Decompression cost scales with the
     {e compressed} size (that is what the decompressor reads);
-    compression cost scales with the {e uncompressed} size. *)
+    compression cost scales with the {e uncompressed} size.
 
-type cost_model = {
+    The model itself is {!Sim.Cost.t} — the one cost vocabulary every
+    simulation layer (engine, baselines, experiment harness) shares —
+    re-exported here with its fields so existing [config.costs.x]
+    accesses keep working. *)
+
+type cost_model = Sim.Cost.t = {
   exception_cycles : int;
       (** taking the memory-protection exception that §5 uses to
           trigger the handler *)
@@ -16,8 +21,8 @@ type cost_model = {
 }
 
 val default_cost_model : cost_model
-(** exception 40, patch 4, decompression 30 + 4/byte,
-    compression 30 + 8/byte. *)
+(** {!Sim.Cost.default}: exception 40, patch 4, decompression
+    30 + 4/byte, compression 30 + 8/byte. *)
 
 val cost_model_of_codec : Compress.Codec.t -> cost_model
 (** {!default_cost_model} with the per-byte rates advertised by the

@@ -28,16 +28,20 @@ let info_of_program ~codec prog g =
       })
     (Cfg.Graph.blocks g)
 
-type event =
+(* The engine speaks the shared simulation vocabulary; the re-export
+   keeps the historical [Core.Engine.Exec]-style paths valid. *)
+type event = Sim.Events.t =
   | Exec of { block : int; at : int }
   | Exception of { block : int; at : int }
   | Demand_decompress of { block : int; at : int; cycles : int }
   | Prefetch_issue of { block : int; at : int; ready_at : int }
   | Stall of { block : int; at : int; cycles : int }
   | Patch of { target : int; site : int; at : int }
+  | Unpatch of { target : int; site : int; at : int }
   | Discard of { block : int; at : int; patched_back : int; wasted : bool }
   | Evict of { block : int; at : int }
   | Recompress_queued of { block : int; at : int; done_at : int }
+  | Flush of { at : int; copies : int }
 
 (* Residency state of one block's decompressed copy. *)
 type status =
@@ -46,24 +50,38 @@ type status =
   | Resident of { mutable used : bool; prefetched : bool }
   | Recompressing of { done_at : int }
 
+(* Streaming occupancy accounting: deltas arrive in nondecreasing
+   timestamp order except for recompression frees dated in the future;
+   those wait in [future] (bounded by the in-flight recompressions,
+   not the trace). Same-timestamp deltas are buffered and applied
+   smallest-first, reproducing exactly the global (time, delta) sort
+   the engine used to perform over the whole O(trace) event list. *)
+type occupancy = {
+  acct : Memsim.Accounting.t;
+  mutable future : (int * int) list;  (* (time, delta), sorted *)
+  mutable buf_time : int;
+  mutable buf : int list;  (* deltas at [buf_time], unordered *)
+  mutable horizon : int;  (* latest timestamp ever posted *)
+}
+
 type state = {
   graph : Cfg.Graph.t;
   info : block_info array;
   policy : Policy.t;
   config : Config.t;
-  log : event -> unit;
+  emit : event -> unit;
   status : status array;
   kedge : Kedge.t;
   remember : Memsim.Remember.t;
   lru : Memsim.Lru.t;
   pred_state : Predictor.state;
-  mutable now : int;
-  mutable dec_free_at : int;
-  mutable comp_free_at : int;
+  clock : Sim.Clock.t;
+  dec : Sim.Clock.resource;  (* decompression thread *)
+  comp : Sim.Clock.resource;  (* compression thread *)
+  occ : occupancy;
   mutable live_bytes : int;  (* decompressed area, settled view *)
   mutable inflight : (int * int) list;  (* (ready_at, block), sorted *)
   mutable pending_frees : (int * int) list;  (* (time, bytes), sorted *)
-  mutable mem_events : (int * int) list;  (* (time, delta), unsorted *)
   (* counters *)
   mutable exec_cycles : int;
   mutable exception_cycles : int;
@@ -79,19 +97,59 @@ type state = {
   mutable discards : int;
   mutable evictions : int;
   mutable budget_overflows : int;
-  mutable dec_busy : int;
-  mutable comp_busy : int;
 }
 
 let insert_sorted l entry = List.sort compare (entry :: l)
+let now st = Sim.Clock.now st.clock
 
-let mem_event st ~time ~delta = st.mem_events <- (time, delta) :: st.mem_events
+(* --- occupancy stream --- *)
+
+let occ_flush_buf occ =
+  List.iter
+    (fun delta -> Memsim.Accounting.add occ.acct ~time:occ.buf_time ~delta)
+    (List.sort compare occ.buf);
+  occ.buf <- []
+
+let occ_feed occ ~time ~delta =
+  if time <> occ.buf_time then begin
+    occ_flush_buf occ;
+    occ.buf_time <- time
+  end;
+  occ.buf <- delta :: occ.buf
+
+let rec occ_drain occ ~upto =
+  match occ.future with
+  | (time, delta) :: rest when time <= upto ->
+    occ.future <- rest;
+    occ_feed occ ~time ~delta;
+    occ_drain occ ~upto
+  | _ :: _ | [] -> ()
+
+let mem_event st ~time ~delta =
+  let occ = st.occ in
+  if time > occ.horizon then occ.horizon <- time;
+  if time > now st then occ.future <- insert_sorted occ.future (time, delta)
+  else begin
+    occ_drain occ ~upto:time;
+    occ_feed occ ~time ~delta
+  end
+
+(* Final accounting: flush everything still queued and return the
+   time-weighted occupancy of the decompressed area. *)
+let memory_stats st =
+  let occ = st.occ in
+  occ_drain occ ~upto:max_int;
+  occ_flush_buf occ;
+  let end_time = max (now st) occ.horizon in
+  let peak = Memsim.Accounting.peak occ.acct in
+  let avg = Memsim.Accounting.average occ.acct ~until:(max end_time 1) in
+  (peak, avg)
 
 (* Promote finished prefetches and apply recompression frees whose
    time has passed. *)
 let settle st =
   let rec promote = function
-    | (ready_at, b) :: rest when ready_at <= st.now ->
+    | (ready_at, b) :: rest when ready_at <= now st ->
       (match st.status.(b) with
       | Decompressing { prefetched; _ } ->
         st.status.(b) <- Resident { used = false; prefetched };
@@ -102,7 +160,7 @@ let settle st =
   in
   st.inflight <- promote st.inflight;
   let rec apply = function
-    | (time, bytes) :: rest when time <= st.now ->
+    | (time, bytes) :: rest when time <= now st ->
       st.live_bytes <- st.live_bytes - bytes;
       apply rest
     | rest -> rest
@@ -129,11 +187,8 @@ let delete_copy st ~eviction b =
   if wasted then st.wasted_prefetches <- st.wasted_prefetches + 1;
   let patched_back = Memsim.Remember.flush st.remember ~target:b in
   st.patches <- st.patches + patched_back;
-  st.comp_free_at <-
-    max st.comp_free_at st.now
-    + (patched_back * st.config.Config.costs.patch_cycles);
-  st.comp_busy <-
-    st.comp_busy + (patched_back * st.config.Config.costs.patch_cycles);
+  Sim.Clock.push_back st.comp ~now:(now st)
+    ~cycles:(patched_back * st.config.Config.costs.patch_cycles);
   (* Branches inside [b] vanish with it: drop them from the remember
      sets of their targets. *)
   List.iter
@@ -144,24 +199,23 @@ let delete_copy st ~eviction b =
   (match st.policy.Policy.mode with
   | Policy.Discard ->
     st.live_bytes <- st.live_bytes - usize st b;
-    mem_event st ~time:st.now ~delta:(-usize st b);
+    mem_event st ~time:(now st) ~delta:(-usize st b);
     st.status.(b) <- Compressed
   | Policy.Recompress ->
-    let start = max st.now st.comp_free_at in
-    let done_at = start + comp_time st b in
-    st.comp_free_at <- done_at;
-    st.comp_busy <- st.comp_busy + comp_time st b;
+    let done_at =
+      Sim.Clock.schedule st.comp ~now:(now st) ~cycles:(comp_time st b)
+    in
     st.pending_frees <- insert_sorted st.pending_frees (done_at, usize st b);
     mem_event st ~time:done_at ~delta:(-usize st b);
     st.status.(b) <- Recompressing { done_at };
-    st.log (Recompress_queued { block = b; at = st.now; done_at }));
+    st.emit (Recompress_queued { block = b; at = now st; done_at }));
   if eviction then begin
     st.evictions <- st.evictions + 1;
-    st.log (Evict { block = b; at = st.now })
+    st.emit (Evict { block = b; at = now st })
   end
   else begin
     st.discards <- st.discards + 1;
-    st.log (Discard { block = b; at = st.now; patched_back; wasted })
+    st.emit (Discard { block = b; at = now st; patched_back; wasted })
   end
 
 (* Ensures [bytes] fit under the budget, evicting LRU residents.
@@ -194,19 +248,20 @@ let allocate st ~exclude b =
   let ok = make_room st ~exclude (usize st b) in
   if not ok then st.budget_overflows <- st.budget_overflows + 1;
   st.live_bytes <- st.live_bytes + usize st b;
-  mem_event st ~time:st.now ~delta:(usize st b)
+  mem_event st ~time:(now st) ~delta:(usize st b)
 
 let charge_exception st b =
   st.exceptions <- st.exceptions + 1;
-  st.exception_cycles <- st.exception_cycles + st.config.Config.costs.exception_cycles;
-  st.now <- st.now + st.config.Config.costs.exception_cycles;
-  st.log (Exception { block = b; at = st.now })
+  st.exception_cycles <-
+    st.exception_cycles + st.config.Config.costs.exception_cycles;
+  Sim.Clock.advance st.clock ~cycles:st.config.Config.costs.exception_cycles;
+  st.emit (Exception { block = b; at = now st })
 
 let charge_patch st ~target ~site =
   st.patches <- st.patches + 1;
   st.patch_cycles <- st.patch_cycles + st.config.Config.costs.patch_cycles;
-  st.now <- st.now + st.config.Config.costs.patch_cycles;
-  st.log (Patch { target; site; at = st.now })
+  Sim.Clock.advance st.clock ~cycles:st.config.Config.costs.patch_cycles;
+  st.emit (Patch { target; site; at = now st })
 
 (* Records the branch site and charges the patch if it is new. The
    caller has already paid the exception. *)
@@ -218,11 +273,10 @@ let patch_site st ~target ~site =
       charge_patch st ~target ~site
 
 let stall_until st b t =
-  if t > st.now then begin
-    let w = t - st.now in
+  let w = Sim.Clock.wait_until st.clock t in
+  if w > 0 then begin
     st.stall_cycles <- st.stall_cycles + w;
-    st.now <- t;
-    st.log (Stall { block = b; at = st.now; cycles = w })
+    st.emit (Stall { block = b; at = now st; cycles = w })
   end
 
 (* The execution thread arrives at block [b], coming from [prev]. *)
@@ -249,7 +303,7 @@ let rec arrive st ~prev b =
     stall_until st b ready_at;
     st.inflight <- List.filter (fun (_, blk) -> blk <> b) st.inflight;
     st.status.(b) <- Resident { used = false; prefetched };
-    Memsim.Lru.touch st.lru b ~time:st.now;
+    Memsim.Lru.touch st.lru b ~time:(now st);
     patch_site st ~target:b ~site:prev
   | Recompressing { done_at } ->
     (* Rare: reached while the compression thread still owns it. Wait
@@ -264,10 +318,10 @@ let rec arrive st ~prev b =
     let cycles = dec_time st b in
     st.demand_decompressions <- st.demand_decompressions + 1;
     st.demand_dec_cycles <- st.demand_dec_cycles + cycles;
-    st.now <- st.now + cycles;
+    Sim.Clock.advance st.clock ~cycles;
     st.status.(b) <- Resident { used = false; prefetched = false };
-    Memsim.Lru.touch st.lru b ~time:st.now;
-    st.log (Demand_decompress { block = b; at = st.now; cycles });
+    Memsim.Lru.touch st.lru b ~time:(now st);
+    st.emit (Demand_decompress { block = b; at = now st; cycles });
     patch_site st ~target:b ~site:prev
 
 let execute st ~step ~cycles b =
@@ -279,10 +333,10 @@ let execute st ~step ~cycles b =
   | Compressed | Decompressing _ | Recompressing _ ->
     invalid_arg "Core.Engine.execute: block not resident");
   Kedge.track st.kedge ~block:b ~step;
-  Memsim.Lru.touch st.lru b ~time:st.now;
-  st.log (Exec { block = b; at = st.now });
+  Memsim.Lru.touch st.lru b ~time:(now st);
+  st.emit (Exec { block = b; at = now st });
   st.exec_cycles <- st.exec_cycles + cycles;
-  st.now <- st.now + cycles
+  Sim.Clock.advance st.clock ~cycles
 
 (* Queue a pre-decompression of [c] on the decompression thread. *)
 let issue_prefetch st ~step ~exclude c =
@@ -290,16 +344,15 @@ let issue_prefetch st ~step ~exclude c =
   | Compressed ->
     if make_room st ~exclude (usize st c) then begin
       st.live_bytes <- st.live_bytes + usize st c;
-      mem_event st ~time:st.now ~delta:(usize st c);
-      let start = max st.now st.dec_free_at in
-      let ready_at = start + dec_time st c in
-      st.dec_free_at <- ready_at;
-      st.dec_busy <- st.dec_busy + dec_time st c;
+      mem_event st ~time:(now st) ~delta:(usize st c);
+      let ready_at =
+        Sim.Clock.schedule st.dec ~now:(now st) ~cycles:(dec_time st c)
+      in
       st.status.(c) <- Decompressing { ready_at; prefetched = true };
       st.inflight <- insert_sorted st.inflight (ready_at, c);
       Kedge.track st.kedge ~block:c ~step;
       st.prefetch_decompressions <- st.prefetch_decompressions + 1;
-      st.log (Prefetch_issue { block = c; at = st.now; ready_at })
+      st.emit (Prefetch_issue { block = c; at = now st; ready_at })
     end
   | Resident _ | Decompressing _ | Recompressing _ -> ()
 
@@ -342,21 +395,7 @@ let traverse_edge st ~b ~next ~step =
     | None -> ()));
   Predictor.note_edge st.pred_state ~src:b ~dst:next
 
-(* Final accounting pass over the memory event stream. *)
-let memory_stats st =
-  let events = List.sort compare (List.rev st.mem_events) in
-  let acc = Memsim.Accounting.create () in
-  List.iter
-    (fun (time, delta) -> Memsim.Accounting.add acc ~time ~delta)
-    events;
-  let end_time =
-    List.fold_left (fun m (t, _) -> max m t) st.now events
-  in
-  let peak = Memsim.Accounting.peak acc in
-  let avg = Memsim.Accounting.average acc ~until:(max end_time 1) in
-  (peak, avg)
-
-let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
+let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
     ~info ~trace policy =
   let n = Cfg.Graph.num_blocks graph in
   if Array.length info <> n then
@@ -370,13 +409,23 @@ let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
       if b < 0 || b >= n then
         invalid_arg "Core.Engine.run: trace mentions unknown block")
     trace;
+  let emit =
+    match (log, sink) with
+    | None, None -> fun _ -> ()
+    | Some f, None -> f
+    | None, Some (s : Sim.Events.sink) -> s.Sim.Events.emit
+    | Some f, Some s ->
+      fun ev ->
+        f ev;
+        s.Sim.Events.emit ev
+  in
   let st =
     {
       graph;
       info;
       policy;
       config;
-      log;
+      emit;
       status = Array.make n Compressed;
       kedge =
         Kedge.create ?k_of:policy.Policy.adaptive_k ~blocks:n
@@ -384,13 +433,20 @@ let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
       remember = Memsim.Remember.create ~blocks:n;
       lru = Memsim.Lru.create ();
       pred_state = Predictor.create_state ~blocks:n;
-      now = 0;
-      dec_free_at = 0;
-      comp_free_at = 0;
+      clock = Sim.Clock.create ();
+      dec = Sim.Clock.resource ();
+      comp = Sim.Clock.resource ();
+      occ =
+        {
+          acct = Memsim.Accounting.create ();
+          future = [];
+          buf_time = 0;
+          buf = [];
+          horizon = 0;
+        };
       live_bytes = 0;
       inflight = [];
       pending_frees = [];
-      mem_events = [];
       exec_cycles = 0;
       exception_cycles = 0;
       patch_cycles = 0;
@@ -405,8 +461,6 @@ let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
       discards = 0;
       evictions = 0;
       budget_overflows = 0;
-      dec_busy = 0;
-      comp_busy = 0;
     }
   in
   let cycles_at i b =
@@ -434,31 +488,37 @@ let run ?(config = Config.default) ?(log = fun _ -> ()) ?step_cycles ~graph
     Array.iteri (fun i b -> sum := !sum + cycles_at i b) trace;
     !sum
   in
-  {
-    Metrics.total_cycles = st.now;
-    exec_cycles = st.exec_cycles;
-    exception_cycles = st.exception_cycles;
-    patch_cycles = st.patch_cycles;
-    demand_dec_cycles = st.demand_dec_cycles;
-    stall_cycles = st.stall_cycles;
-    baseline_cycles;
-    exceptions = st.exceptions;
-    patches = st.patches;
-    demand_decompressions = st.demand_decompressions;
-    prefetch_decompressions = st.prefetch_decompressions;
-    useful_prefetches = st.useful_prefetches;
-    wasted_prefetches = st.wasted_prefetches;
-    discards = st.discards;
-    evictions = st.evictions;
-    budget_overflows = st.budget_overflows;
-    dec_thread_busy_cycles = st.dec_busy;
-    comp_thread_busy_cycles = st.comp_busy;
-    original_bytes;
-    compressed_area_bytes;
-    peak_decompressed_bytes = peak_dec;
-    avg_decompressed_bytes = avg_dec;
-    peak_footprint_bytes = compressed_area_bytes + peak_dec;
-    avg_footprint_bytes = float_of_int compressed_area_bytes +. avg_dec;
-    trace_length = len;
-    blocks = n;
-  }
+  let m =
+    {
+      Metrics.total_cycles = now st;
+      exec_cycles = st.exec_cycles;
+      exception_cycles = st.exception_cycles;
+      patch_cycles = st.patch_cycles;
+      demand_dec_cycles = st.demand_dec_cycles;
+      stall_cycles = st.stall_cycles;
+      baseline_cycles;
+      exceptions = st.exceptions;
+      patches = st.patches;
+      demand_decompressions = st.demand_decompressions;
+      prefetch_decompressions = st.prefetch_decompressions;
+      useful_prefetches = st.useful_prefetches;
+      wasted_prefetches = st.wasted_prefetches;
+      discards = st.discards;
+      evictions = st.evictions;
+      budget_overflows = st.budget_overflows;
+      dec_thread_busy_cycles = Sim.Clock.busy_cycles st.dec;
+      comp_thread_busy_cycles = Sim.Clock.busy_cycles st.comp;
+      original_bytes;
+      compressed_area_bytes;
+      peak_decompressed_bytes = peak_dec;
+      avg_decompressed_bytes = avg_dec;
+      peak_footprint_bytes = compressed_area_bytes + peak_dec;
+      avg_footprint_bytes = float_of_int compressed_area_bytes +. avg_dec;
+      trace_length = len;
+      blocks = n;
+    }
+  in
+  (match registry with
+  | Some registry -> Metrics.register registry m
+  | None -> ());
+  m

@@ -16,7 +16,14 @@
     ([dec_setup + dec_per_byte × compressed size], on the critical
     path for demand misses) and patches the branch site
     ([patch_cycles], recorded in the block's remember set). Steady
-    state — resident block, patched site — costs nothing. *)
+    state — resident block, patched site — costs nothing.
+
+    The engine runs on the {!Sim} kernel: time comes from
+    {!Sim.Clock}, costs from the {!Sim.Cost} model inside
+    {!Config.t}, and the run narrates itself through {!Sim.Events}
+    sinks in constant memory — occupancy accounting streams into
+    {!Memsim.Accounting} as the trace advances instead of
+    materializing an O(trace-length) event list. *)
 
 type block_info = {
   exec_cycles : int;
@@ -33,22 +40,28 @@ val info_of_program :
   codec:Compress.Codec.t -> Eris.Program.t -> Cfg.Graph.t -> block_info array
 (** Real info: each block's image bytes compressed with [codec]. *)
 
-(** Simulation events, in execution order, for logs and the Figure 4/5
-    reproductions. Times are cycles. *)
-type event =
+(** The shared {!Sim.Events.t} vocabulary, re-exported so existing
+    [Core.Engine.Exec]-style constructor paths keep working. The
+    engine itself never emits [Unpatch] or [Flush] (those are the
+    executable runtime's); times are cycles. *)
+type event = Sim.Events.t =
   | Exec of { block : int; at : int }
   | Exception of { block : int; at : int }
   | Demand_decompress of { block : int; at : int; cycles : int }
   | Prefetch_issue of { block : int; at : int; ready_at : int }
   | Stall of { block : int; at : int; cycles : int }
   | Patch of { target : int; site : int; at : int }
+  | Unpatch of { target : int; site : int; at : int }
   | Discard of { block : int; at : int; patched_back : int; wasted : bool }
   | Evict of { block : int; at : int }
   | Recompress_queued of { block : int; at : int; done_at : int }
+  | Flush of { at : int; copies : int }
 
 val run :
   ?config:Config.t ->
   ?log:(event -> unit) ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
   ?step_cycles:int array ->
   graph:Cfg.Graph.t ->
   info:block_info array ->
@@ -56,9 +69,15 @@ val run :
   Policy.t ->
   Metrics.t
 (** Simulates the trace. The memory image starts fully compressed
-    (§5). [step_cycles] overrides each trace step's execution cost
-    (used by coarser-granularity baselines whose per-visit cost
-    varies); by default step [i] costs [info.(trace.(i)).exec_cycles].
+    (§5). Every event is pushed into [sink] (and [log], kept for
+    callback convenience) as it happens; the engine never retains
+    events, so memory use is independent of trace length. The sink is
+    {e not} closed — the caller owns its lifecycle. When [registry]
+    is given, the final {!Metrics.t} is published into it via
+    {!Metrics.register}. [step_cycles] overrides each trace step's
+    execution cost (used by coarser-granularity baselines whose
+    per-visit cost varies); by default step [i] costs
+    [info.(trace.(i)).exec_cycles].
     @raise Invalid_argument if [info] does not match the graph, the
     trace mentions unknown blocks, or [step_cycles] has the wrong
     length. *)

@@ -64,6 +64,35 @@ let pp ppf t =
     t.avg_footprint_bytes
     (100.0 *. avg_memory_saving t)
 
+let register ?(labels = []) registry t =
+  let c name v = Sim.Metrics.set (Sim.Metrics.counter registry ~labels name) v in
+  c "total_cycles" t.total_cycles;
+  c "exec_cycles" t.exec_cycles;
+  c "exception_cycles" t.exception_cycles;
+  c "patch_cycles" t.patch_cycles;
+  c "demand_dec_cycles" t.demand_dec_cycles;
+  c "stall_cycles" t.stall_cycles;
+  c "baseline_cycles" t.baseline_cycles;
+  c "exceptions" t.exceptions;
+  c "patches" t.patches;
+  c "demand_decompressions" t.demand_decompressions;
+  c "prefetch_decompressions" t.prefetch_decompressions;
+  c "useful_prefetches" t.useful_prefetches;
+  c "wasted_prefetches" t.wasted_prefetches;
+  c "discards" t.discards;
+  c "evictions" t.evictions;
+  c "budget_overflows" t.budget_overflows;
+  c "dec_thread_busy_cycles" t.dec_thread_busy_cycles;
+  c "comp_thread_busy_cycles" t.comp_thread_busy_cycles;
+  c "original_bytes" t.original_bytes;
+  c "compressed_area_bytes" t.compressed_area_bytes;
+  c "peak_decompressed_bytes" t.peak_decompressed_bytes;
+  c "avg_decompressed_bytes" (int_of_float t.avg_decompressed_bytes);
+  c "peak_footprint_bytes" t.peak_footprint_bytes;
+  c "avg_footprint_bytes" (int_of_float t.avg_footprint_bytes);
+  c "trace_length" t.trace_length;
+  c "blocks" t.blocks
+
 let pp_brief ppf t =
   Format.fprintf ppf "overhead %.1f%%, peak saving %.1f%%, avg saving %.1f%%"
     (100.0 *. overhead_ratio t)

@@ -48,5 +48,11 @@ val peak_memory_saving : t -> float
 
 val avg_memory_saving : t -> float
 
+val register : ?labels:(string * string) list -> Sim.Metrics.t -> t -> unit
+(** Publishes every field as a counter in the registry (float
+    averages are truncated), so engine results, runtime stats and
+    event tallies can be rendered and exported through one
+    {!Sim.Metrics} surface. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_brief : Format.formatter -> t -> unit

@@ -71,11 +71,12 @@ let of_graph ?(name = "synthetic") ?(codec = Compress.Registry.default) graph
   in
   { name; graph; info; trace; codec; program = None }
 
-let run ?config ?log t policy =
+let run ?config ?log ?sink ?registry t policy =
   let config =
     match config with Some c -> c | None -> Config.of_codec t.codec
   in
-  Engine.run ~config ?log ~graph:t.graph ~info:t.info ~trace:t.trace policy
+  Engine.run ~config ?log ?sink ?registry ~graph:t.graph ~info:t.info
+    ~trace:t.trace policy
 
 let profile t = Cfg.Profile.of_trace t.graph t.trace
 

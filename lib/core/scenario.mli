@@ -49,9 +49,17 @@ val synthetic_block_bytes : id:int -> size:int -> bytes
     streams. *)
 
 val run :
-  ?config:Config.t -> ?log:(Engine.event -> unit) -> t -> Policy.t -> Metrics.t
+  ?config:Config.t ->
+  ?log:(Engine.event -> unit) ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
+  t ->
+  Policy.t ->
+  Metrics.t
 (** Runs the policy engine. The default cost model takes the per-byte
-    decompression/compression rates from the scenario's codec. *)
+    decompression/compression rates from the scenario's codec.
+    [sink]/[registry] stream events and publish final metrics through
+    the {!Sim} kernel, see {!Engine.run}. *)
 
 val profile : t -> Cfg.Profile.t
 (** Edge profile of the scenario's own trace (for profile-guided

@@ -29,7 +29,8 @@ let fragmentation sc policy =
       | Demand_decompress { block; _ } | Prefetch_issue { block; _ } ->
         alloc block
       | Discard { block; _ } | Evict { block; _ } -> free block
-      | Exec _ | Exception _ | Stall _ | Patch _ | Recompress_queued _ -> ());
+      | Exec _ | Exception _ | Stall _ | Patch _ | Unpatch _
+      | Recompress_queued _ | Flush _ -> ());
       let f = Memsim.Heap.external_fragmentation heap in
       if f > !max_frag then max_frag := f)
     (List.rev !events);

@@ -15,7 +15,8 @@ let holds () =
       | Discard { block = 1; _ } -> scan saw_b3_exec saw_b3_exec rest
       | Exec { block = 4; _ } -> discarded_b1
       | Exec _ | Exception _ | Demand_decompress _ | Prefetch_issue _
-      | Stall _ | Patch _ | Discard _ | Evict _ | Recompress_queued _ ->
+      | Stall _ | Patch _ | Unpatch _ | Discard _ | Evict _
+      | Recompress_queued _ | Flush _ ->
         scan saw_b3_exec discarded_b1 rest)
   in
   scan false false (events ())

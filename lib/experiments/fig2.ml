@@ -20,7 +20,8 @@ let holds () =
       | Prefetch_issue { block = 7; _ } -> after_b1
       | Exec { block = 3; _ } -> false
       | Exec _ | Exception _ | Demand_decompress _ | Prefetch_issue _
-      | Stall _ | Patch _ | Discard _ | Evict _ | Recompress_queued _ ->
+      | Stall _ | Patch _ | Unpatch _ | Discard _ | Evict _
+      | Recompress_queued _ | Flush _ ->
         scan after_b1 rest)
   in
   scan false (events ())

@@ -14,10 +14,11 @@ let events () =
 
 let thread_of (ev : Core.Engine.event) =
   match ev with
-  | Exec _ | Exception _ | Stall _ | Patch _ | Demand_decompress _ ->
+  | Exec _ | Exception _ | Stall _ | Patch _ | Unpatch _ | Demand_decompress _
+    ->
     "execution"
   | Prefetch_issue _ -> "decompression"
-  | Discard _ | Evict _ | Recompress_queued _ -> "compression"
+  | Discard _ | Evict _ | Recompress_queued _ | Flush _ -> "compression"
 
 let holds () =
   let evs = events () in
@@ -30,7 +31,8 @@ let holds () =
         Hashtbl.replace exec_times block
           (match prev with Some (first, _) -> (first, at) | None -> (at, at))
       | Exception _ | Demand_decompress _ | Prefetch_issue _ | Stall _
-      | Patch _ | Discard _ | Evict _ | Recompress_queued _ -> ())
+      | Patch _ | Unpatch _ | Discard _ | Evict _ | Recompress_queued _
+      | Flush _ -> ())
     evs;
   List.for_all
     (fun ev ->
@@ -44,7 +46,7 @@ let holds () =
         | Some (_, last_exec) -> at >= last_exec
         | None -> true (* wasted prefetch retired without executing *))
       | Exec _ | Exception _ | Demand_decompress _ | Stall _ | Patch _
-      | Discard _ | Evict _ -> true)
+      | Unpatch _ | Discard _ | Evict _ | Flush _ -> true)
     evs
 
 let run () =

@@ -19,35 +19,7 @@ let collect_events () =
   let events = ref [] in
   (events, fun ev -> events := ev :: !events)
 
-let event_time (ev : Core.Engine.event) =
-  match ev with
-  | Exec { at; _ }
-  | Exception { at; _ }
-  | Demand_decompress { at; _ }
-  | Prefetch_issue { at; _ }
-  | Stall { at; _ }
-  | Patch { at; _ }
-  | Discard { at; _ }
-  | Evict { at; _ }
-  | Recompress_queued { at; _ } -> at
-
-let event_to_string (ev : Core.Engine.event) =
-  match ev with
-  | Exec { block; _ } -> Printf.sprintf "execute B%d" block
-  | Exception { block; _ } -> Printf.sprintf "exception entering B%d" block
-  | Demand_decompress { block; cycles; _ } ->
-    Printf.sprintf "demand-decompress B%d (%d cycles)" block cycles
-  | Prefetch_issue { block; ready_at; _ } ->
-    Printf.sprintf "pre-decompress B%d (ready at %d)" block ready_at
-  | Stall { block; cycles; _ } ->
-    Printf.sprintf "stall %d cycles waiting for B%d" cycles block
-  | Patch { target; site; _ } ->
-    Printf.sprintf "patch branch in B%d -> B%d'" site target
-  | Discard { block; patched_back; wasted; _ } ->
-    Printf.sprintf "discard B%d' (%d sites patched back%s)" block patched_back
-      (if wasted then ", wasted prefetch" else "")
-  | Evict { block; _ } -> Printf.sprintf "evict B%d' (budget)" block
-  | Recompress_queued { block; done_at; _ } ->
-    Printf.sprintf "recompress B%d (done at %d)" block done_at
+let event_time = Sim.Events.time
+let event_to_string = Sim.Events.describe
 
 let run sc policy = Core.Scenario.run sc policy

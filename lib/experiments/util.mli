@@ -9,10 +9,14 @@ val scenario : string -> Core.Scenario.t
 
 val collect_events : unit -> Core.Engine.event list ref * (Core.Engine.event -> unit)
 (** An event sink for engine logs; the list accumulates newest-first
-    ([List.rev] it for chronological order). *)
+    ([List.rev] it for chronological order). Prefer
+    {!Sim.Events.collector} in new code. *)
 
 val event_to_string : Core.Engine.event -> string
+(** {!Sim.Events.describe} ([Core.Engine.event] is the same type). *)
+
 val event_time : Core.Engine.event -> int
+(** {!Sim.Events.time}. *)
 
 val run : Core.Scenario.t -> Core.Policy.t -> Core.Metrics.t
 (** {!Core.Scenario.run} with the scenario codec's cost model. *)

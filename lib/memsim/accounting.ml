@@ -32,3 +32,11 @@ let integral t ~until =
 let average t ~until =
   let i = integral t ~until in
   if until = 0 then 0.0 else float_of_int i /. float_of_int until
+
+let register ?(labels = []) ?(prefix = "occupancy") registry t ~until =
+  let set name v =
+    Sim.Metrics.set (Sim.Metrics.counter registry ~labels (prefix ^ name)) v
+  in
+  set "_level_bytes" t.level;
+  set "_peak_bytes" t.peak;
+  set "_avg_bytes" (int_of_float (average t ~until))

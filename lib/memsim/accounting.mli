@@ -26,3 +26,15 @@ val average : t -> until:int -> float
 
 val integral : t -> until:int -> int
 (** Byte-cycles. *)
+
+val register :
+  ?labels:(string * string) list ->
+  ?prefix:string ->
+  Sim.Metrics.t ->
+  t ->
+  until:int ->
+  unit
+(** Publishes [<prefix>_level_bytes], [<prefix>_peak_bytes] and
+    [<prefix>_avg_bytes] (average truncated, over [0, until]) into the
+    shared registry; [prefix] defaults to ["occupancy"]. Advances
+    internal time to [until] like {!average}. *)

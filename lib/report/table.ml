@@ -74,13 +74,44 @@ let render t =
   Buffer.contents buf
 
 let csv_escape s =
-  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s then
     "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
   else s
 
 let to_csv t =
+  (* Header cells go through [csv_escape] too: a column name holding a
+     comma must not silently widen the header row. *)
   let line cells = String.concat "," (List.map csv_escape cells) in
   String.concat "\n" (line (columns t) :: List.map line (rows t)) ^ "\n"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_jsonl t =
+  let cols = columns t in
+  let line row =
+    "{"
+    ^ String.concat ","
+        (List.map2
+           (fun col cell ->
+             Printf.sprintf {|"%s":"%s"|} (json_escape col) (json_escape cell))
+           cols row)
+    ^ "}"
+  in
+  String.concat "\n" (List.map line (rows t)) ^ "\n"
 
 let print t =
   print_string (render t);

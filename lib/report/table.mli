@@ -25,6 +25,16 @@ val render : t -> string
 (** ASCII rendering with a title line, a header and aligned columns. *)
 
 val to_csv : t -> string
+(** RFC-4180 style; header and data cells containing commas, double
+    quotes or newlines are quoted and escaped. *)
+
+val json_escape : string -> string
+(** Escapes a string for inclusion inside a JSON string literal. *)
+
+val to_jsonl : t -> string
+(** One JSON object per data row, keyed by column name — the format
+    consumed by log pipelines, and the one {!Sim.Metrics} and the
+    event sinks reuse. The table title is not included. *)
 
 val print : t -> unit
 (** [render] to stdout followed by a blank line. *)

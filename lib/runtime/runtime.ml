@@ -120,6 +120,10 @@ type state = {
   graph : Cfg.Graph.t;
   machine : Eris.Machine.t;
   codec : Compress.Codec.t;
+  cost : Sim.Cost.t;
+      (* prices the events (the runtime itself has no cycle clock;
+         [at] is the executed-instruction count) *)
+  emit : Sim.Events.t -> unit;
   compressed : bytes array;
   layouts : layout array;
   kedge : Core.Kedge.t;
@@ -146,6 +150,7 @@ type state = {
 
 let image_size st = Eris.Program.byte_size st.prog
 let copy_bytes c = 4 * Array.length c.instrs
+let at st = Eris.Machine.instr_count st.machine
 
 (* Greatest current-epoch copy with base <= pc. *)
 let copy_at st pc =
@@ -187,7 +192,10 @@ let patch_site st (c, idx) ~target_block ~target_addr =
       | Ok () ->
         c.instrs.(idx) <- patched;
         st.remember.(target_block) <- (c, idx) :: st.remember.(target_block);
-        st.patches <- st.patches + 1
+        st.patches <- st.patches + 1;
+        st.emit
+          (Sim.Events.Patch
+             { target = target_block; site = c.block; at = at st })
       | Error _ -> () (* out of reach: leave it faulting *))
     | Plain _ | Skip _ -> () (* jalr sites and the like: not patchable *)
   end
@@ -195,43 +203,54 @@ let patch_site st (c, idx) ~target_block ~target_addr =
 (* Patch every remembered site back to the home address (the §5
    patch-back step), dropping entries whose site copy is itself gone. *)
 let unpatch_sites st block =
+  let patched_back = ref 0 in
   List.iter
     (fun (c, idx) ->
       if c.live then begin
         c.instrs.(idx) <- materialize st.layouts.(c.block) ~base:c.base idx;
-        st.unpatches <- st.unpatches + 1
+        st.unpatches <- st.unpatches + 1;
+        incr patched_back;
+        st.emit
+          (Sim.Events.Unpatch { target = block; site = c.block; at = at st })
       end)
     st.remember.(block);
-  st.remember.(block) <- []
+  st.remember.(block) <- [];
+  !patched_back
 
 let delete_copy st c =
-  unpatch_sites st c.block;
+  let patched_back = unpatch_sites st c.block in
   c.live <- false;
   st.by_block.(c.block) <- None;
   st.live_bytes <- st.live_bytes - copy_bytes c;
   c.instrs <- [||];
-  st.deletions <- st.deletions + 1
+  st.deletions <- st.deletions + 1;
+  st.emit
+    (Sim.Events.Discard
+       { block = c.block; at = at st; patched_back; wasted = false })
 
 (* Retire everything and recycle the address space. Safe because
    nothing can reference a copy once its remember set is patched back
    and return addresses are home addresses. *)
 let flush st =
+  let retired = ref 0 in
   Array.iteri
     (fun b copy ->
       match copy with
       | Some c ->
-        unpatch_sites st b;
+        ignore (unpatch_sites st b);
         c.live <- false;
         c.instrs <- [||];
         st.by_block.(b) <- None;
-        st.deletions <- st.deletions + 1
+        st.deletions <- st.deletions + 1;
+        incr retired
       | None -> st.remember.(b) <- [])
     st.by_block;
   st.copies <- [||];
   st.ncopies <- 0;
   st.copy_ptr <- st.copy_base;
   st.live_bytes <- 0;
-  st.flushes <- st.flushes + 1
+  st.flushes <- st.flushes + 1;
+  st.emit (Sim.Events.Flush { at = at st; copies = !retired })
 
 (* ------------------------------------------------------------------ *)
 (* Copy creation (the real decompression path)                         *)
@@ -249,6 +268,15 @@ let make_copy st block_id =
       raise (Runtime_bug "decode after decompress: wrong instruction count")
   | Error msg -> raise (Runtime_bug ("decode after decompress: " ^ msg)));
   st.decompressions <- st.decompressions + 1;
+  st.emit
+    (Sim.Events.Demand_decompress
+       {
+         block = block_id;
+         at = at st;
+         cycles =
+           Sim.Cost.dec_cycles st.cost
+             ~compressed_bytes:(Bytes.length st.compressed.(block_id));
+       });
   let layout = st.layouts.(block_id) in
   let slots = Array.length layout.slots in
   (* guard word between copies keeps one-past-the-end unambiguous *)
@@ -292,7 +320,8 @@ let on_edge st ~target_block =
         | Some c -> delete_copy st c
         | None -> ())
     (Core.Kedge.due st.kedge ~step:st.edges);
-  Core.Kedge.track st.kedge ~block:target_block ~step:st.edges
+  Core.Kedge.track st.kedge ~block:target_block ~step:st.edges;
+  st.emit (Sim.Events.Exec { block = target_block; at = at st })
 
 (* ------------------------------------------------------------------ *)
 (* The trap handler (§5's memory-protection exception)                 *)
@@ -305,6 +334,7 @@ let handle_trap st pc =
   | Some home ->
     st.traps <- st.traps + 1;
     let block = block_of_home st home in
+    st.emit (Sim.Events.Exception { block; at = at st });
     let c =
       match st.by_block.(block) with
       | Some c -> c
@@ -353,12 +383,43 @@ let stats_of st =
     original_image_bytes = image_size st;
   }
 
-let run ?(fuel = 20_000_000) ?(k = 8) ?codec prog =
+let register_stats ?(labels = []) registry (s : stats) =
+  let c name v =
+    Sim.Metrics.set (Sim.Metrics.counter registry ~labels name) v
+  in
+  c "instructions" s.instructions;
+  c "traps" s.traps;
+  c "decompressions" s.decompressions;
+  c "patches" s.patches;
+  c "unpatches" s.unpatches;
+  c "deletions" s.deletions;
+  c "flushes" s.flushes;
+  c "edges" s.edges;
+  c "peak_copy_bytes" s.peak_copy_bytes;
+  c "live_copy_bytes" s.live_copy_bytes;
+  c "compressed_image_bytes" s.compressed_image_bytes;
+  c "original_image_bytes" s.original_image_bytes
+
+let run ?(fuel = 20_000_000) ?(k = 8) ?codec ?cost ?sink ?registry prog =
   let graph = Cfg.Build.of_program prog in
   let codec =
     match codec with
     | Some c -> c
     | None -> Compress.Registry.code_codec ~corpus:prog.Eris.Program.image
+  in
+  let cost =
+    match cost with
+    | Some c -> c
+    | None ->
+      Sim.Cost.with_rates
+        ~dec_cycles_per_byte:codec.Compress.Codec.dec_cycles_per_byte
+        ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte
+        Sim.Cost.default
+  in
+  let emit =
+    match sink with
+    | Some (s : Sim.Events.sink) -> s.Sim.Events.emit
+    | None -> fun _ -> ()
   in
   let compressed =
     Array.map
@@ -383,6 +444,8 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?codec prog =
       graph;
       machine = Eris.Machine.create prog;
       codec;
+      cost;
+      emit;
       compressed;
       layouts;
       kedge = Core.Kedge.create ~blocks:(Cfg.Graph.num_blocks graph) ~k ();
@@ -444,14 +507,29 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?codec prog =
     end
   in
   Core.Kedge.track st.kedge ~block:(Cfg.Graph.entry graph) ~step:0;
+  st.emit (Sim.Events.Exec { block = Cfg.Graph.entry graph; at = 0 });
+  let finish result =
+    (match registry with
+    | Some r ->
+      let s =
+        match result with
+        | Ok (_, s) -> s
+        | Error (Out_of_fuel s) -> s
+        | Error (Machine_fault { stats; _ }) -> stats
+      in
+      register_stats r s
+    | None -> ());
+    result
+  in
   match loop fuel with
-  | result -> result
+  | result -> finish result
   | exception Eris.Machine.Fault { pc; message } ->
-    Error (Machine_fault { pc; message; stats = stats_of st })
+    finish (Error (Machine_fault { pc; message; stats = stats_of st }))
   | exception Runtime_bug message ->
-    Error
-      (Machine_fault
-         { pc = Eris.Machine.pc st.machine; message; stats = stats_of st })
+    finish
+      (Error
+         (Machine_fault
+            { pc = Eris.Machine.pc st.machine; message; stats = stats_of st }))
 
-let run_source ?fuel ?k ?codec source =
-  run ?fuel ?k ?codec (Eris.Asm.assemble_exn source)
+let run_source ?fuel ?k ?codec ?cost ?sink ?registry source =
+  run ?fuel ?k ?codec ?cost ?sink ?registry (Eris.Asm.assemble_exn source)

@@ -52,18 +52,36 @@ val run :
   ?fuel:int ->
   ?k:int ->
   ?codec:Compress.Codec.t ->
+  ?cost:Sim.Cost.t ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
   Eris.Program.t ->
   (Eris.Machine.t * stats, error) result
 (** Executes the program from an all-compressed image until [Halt].
     [k] (default 8) is the k-edge deletion distance; [codec] defaults
     to the positional shared-Huffman model trained on this image.
-    The returned machine exposes final registers and data memory. *)
+    The returned machine exposes final registers and data memory.
+
+    [sink] streams the execution as {!Sim.Events} (the runtime has no
+    cycle clock, so [at] is the executed-instruction count; event
+    [cycles] fields are priced by [cost], defaulting to the codec's
+    per-byte rates over {!Sim.Cost.default}). The sink is {e not}
+    closed. [registry] receives the final {!stats} via
+    {!register_stats} on both success and failure. *)
 
 val run_source :
   ?fuel:int ->
   ?k:int ->
   ?codec:Compress.Codec.t ->
+  ?cost:Sim.Cost.t ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
   string ->
   (Eris.Machine.t * stats, error) result
 (** {!run} over assembled source. @raise Eris.Asm.Error on syntax
     problems. *)
+
+val register_stats :
+  ?labels:(string * string) list -> Sim.Metrics.t -> stats -> unit
+(** Publishes every [stats] field as a counter under its field name
+    into the shared registry. *)

@@ -1,0 +1,40 @@
+(** Simulated time for the three-thread model (paper, Figure 4).
+
+    A {!t} is the execution thread's wall clock; a {!resource} is a
+    helper thread (decompression or compression) that serves requests
+    one at a time, concurrently with execution. Helper work only costs
+    wall-clock time when the execution thread has to wait for it
+    ({!wait_until}). *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+
+val advance : t -> cycles:int -> unit
+(** Moves the clock forward. @raise Invalid_argument on negative
+    [cycles]. *)
+
+val wait_until : t -> int -> int
+(** [wait_until t time] advances to [time] if it is in the future and
+    returns the cycles waited (0 if [time] has already passed). *)
+
+(** A serially-reused helper thread: requests scheduled on it start at
+    [max now free_at] and complete after their duration. *)
+type resource
+
+val resource : unit -> resource
+
+val schedule : resource -> now:int -> cycles:int -> int
+(** Books [cycles] of work, starting when the resource next falls
+    idle, and returns the completion time. Accumulates busy time. *)
+
+val push_back : resource -> now:int -> cycles:int -> unit
+(** Books [cycles] without a completion time the caller cares about
+    (e.g. patch-backs folded into the compression thread's backlog). *)
+
+val free_at : resource -> int
+(** Time at which the currently-booked work completes. *)
+
+val busy_cycles : resource -> int
+(** Total cycles of work ever booked on this resource. *)

@@ -1,0 +1,27 @@
+type t = {
+  exception_cycles : int;
+  patch_cycles : int;
+  dec_setup_cycles : int;
+  dec_cycles_per_byte : int;
+  comp_setup_cycles : int;
+  comp_cycles_per_byte : int;
+}
+
+let default =
+  {
+    exception_cycles = 40;
+    patch_cycles = 4;
+    dec_setup_cycles = 30;
+    dec_cycles_per_byte = 4;
+    comp_setup_cycles = 30;
+    comp_cycles_per_byte = 8;
+  }
+
+let with_rates ~dec_cycles_per_byte ~comp_cycles_per_byte t =
+  { t with dec_cycles_per_byte; comp_cycles_per_byte }
+
+let dec_cycles t ~compressed_bytes =
+  t.dec_setup_cycles + (t.dec_cycles_per_byte * compressed_bytes)
+
+let comp_cycles t ~uncompressed_bytes =
+  t.comp_setup_cycles + (t.comp_cycles_per_byte * uncompressed_bytes)

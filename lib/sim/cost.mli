@@ -1,0 +1,33 @@
+(** The one cost model every simulation layer shares.
+
+    All costs are in cycles. Decompression cost scales with the
+    {e compressed} size (that is what the decompressor reads);
+    compression cost scales with the {e uncompressed} size.
+    {!Core.Config} wraps a value of this type, so the timing engine,
+    the baselines and the experiment harness all price the same
+    operation identically. *)
+
+type t = {
+  exception_cycles : int;
+      (** taking the memory-protection exception that §5 uses to
+          trigger the handler *)
+  patch_cycles : int;  (** updating one branch target *)
+  dec_setup_cycles : int;
+  dec_cycles_per_byte : int;
+  comp_setup_cycles : int;
+  comp_cycles_per_byte : int;
+}
+
+val default : t
+(** exception 40, patch 4, decompression 30 + 4/byte,
+    compression 30 + 8/byte. *)
+
+val with_rates : dec_cycles_per_byte:int -> comp_cycles_per_byte:int -> t -> t
+(** Same fixed costs, different per-byte rates (typically a codec's
+    advertised speeds). *)
+
+val dec_cycles : t -> compressed_bytes:int -> int
+(** [dec_setup_cycles + dec_cycles_per_byte * compressed_bytes]. *)
+
+val comp_cycles : t -> uncompressed_bytes:int -> int
+(** [comp_setup_cycles + comp_cycles_per_byte * uncompressed_bytes]. *)

@@ -1,0 +1,310 @@
+type t =
+  | Exec of { block : int; at : int }
+  | Exception of { block : int; at : int }
+  | Demand_decompress of { block : int; at : int; cycles : int }
+  | Prefetch_issue of { block : int; at : int; ready_at : int }
+  | Stall of { block : int; at : int; cycles : int }
+  | Patch of { target : int; site : int; at : int }
+  | Unpatch of { target : int; site : int; at : int }
+  | Discard of { block : int; at : int; patched_back : int; wasted : bool }
+  | Evict of { block : int; at : int }
+  | Recompress_queued of { block : int; at : int; done_at : int }
+  | Flush of { at : int; copies : int }
+
+let time = function
+  | Exec { at; _ }
+  | Exception { at; _ }
+  | Demand_decompress { at; _ }
+  | Prefetch_issue { at; _ }
+  | Stall { at; _ }
+  | Patch { at; _ }
+  | Unpatch { at; _ }
+  | Discard { at; _ }
+  | Evict { at; _ }
+  | Recompress_queued { at; _ }
+  | Flush { at; _ } -> at
+
+(* Dense tags double as the JSONL discriminator and the counter index;
+   keep [kind_index] and [kinds] in sync with the constructor order. *)
+let kind_index = function
+  | Exec _ -> 0
+  | Exception _ -> 1
+  | Demand_decompress _ -> 2
+  | Prefetch_issue _ -> 3
+  | Stall _ -> 4
+  | Patch _ -> 5
+  | Unpatch _ -> 6
+  | Discard _ -> 7
+  | Evict _ -> 8
+  | Recompress_queued _ -> 9
+  | Flush _ -> 10
+
+let kind_names =
+  [|
+    "exec";
+    "exception";
+    "demand_decompress";
+    "prefetch_issue";
+    "stall";
+    "patch";
+    "unpatch";
+    "discard";
+    "evict";
+    "recompress_queued";
+    "flush";
+  |]
+
+let num_kinds = Array.length kind_names
+let kind ev = kind_names.(kind_index ev)
+let kinds = Array.to_list kind_names
+
+let describe = function
+  | Exec { block; _ } -> Printf.sprintf "execute B%d" block
+  | Exception { block; _ } -> Printf.sprintf "exception entering B%d" block
+  | Demand_decompress { block; cycles; _ } ->
+    Printf.sprintf "demand-decompress B%d (%d cycles)" block cycles
+  | Prefetch_issue { block; ready_at; _ } ->
+    Printf.sprintf "pre-decompress B%d (ready at %d)" block ready_at
+  | Stall { block; cycles; _ } ->
+    Printf.sprintf "stall %d cycles waiting for B%d" cycles block
+  | Patch { target; site; _ } ->
+    Printf.sprintf "patch branch in B%d -> B%d'" site target
+  | Unpatch { target; site; _ } ->
+    Printf.sprintf "patch branch in B%d' back -> B%d" site target
+  | Discard { block; patched_back; wasted; _ } ->
+    Printf.sprintf "discard B%d' (%d sites patched back%s)" block patched_back
+      (if wasted then ", wasted prefetch" else "")
+  | Evict { block; _ } -> Printf.sprintf "evict B%d' (budget)" block
+  | Recompress_queued { block; done_at; _ } ->
+    Printf.sprintf "recompress B%d (done at %d)" block done_at
+  | Flush { copies; _ } ->
+    Printf.sprintf "flush copy area (%d copies retired)" copies
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+
+let to_json ev =
+  let f = Printf.sprintf in
+  match ev with
+  | Exec { block; at } -> f {|{"ev":"exec","block":%d,"at":%d}|} block at
+  | Exception { block; at } ->
+    f {|{"ev":"exception","block":%d,"at":%d}|} block at
+  | Demand_decompress { block; at; cycles } ->
+    f
+      {|{"ev":"demand_decompress","block":%d,"at":%d,"cycles":%d}|}
+      block at cycles
+  | Prefetch_issue { block; at; ready_at } ->
+    f
+      {|{"ev":"prefetch_issue","block":%d,"at":%d,"ready_at":%d}|}
+      block at ready_at
+  | Stall { block; at; cycles } ->
+    f {|{"ev":"stall","block":%d,"at":%d,"cycles":%d}|} block at cycles
+  | Patch { target; site; at } ->
+    f {|{"ev":"patch","target":%d,"site":%d,"at":%d}|} target site at
+  | Unpatch { target; site; at } ->
+    f {|{"ev":"unpatch","target":%d,"site":%d,"at":%d}|} target site at
+  | Discard { block; at; patched_back; wasted } ->
+    f
+      {|{"ev":"discard","block":%d,"at":%d,"patched_back":%d,"wasted":%b}|}
+      block at patched_back wasted
+  | Evict { block; at } -> f {|{"ev":"evict","block":%d,"at":%d}|} block at
+  | Recompress_queued { block; at; done_at } ->
+    f
+      {|{"ev":"recompress_queued","block":%d,"at":%d,"done_at":%d}|}
+      block at done_at
+  | Flush { at; copies } -> f {|{"ev":"flush","at":%d,"copies":%d}|} at copies
+
+exception Bad_json of string
+
+(* Flat-object parser covering exactly what [to_json] writes: string,
+   int and bool values, no nesting, no commas inside strings. *)
+let fields_of_json line =
+  let s = String.trim line in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '{' || s.[n - 1] <> '}' then
+    raise (Bad_json "not an object");
+  let body = String.trim (String.sub s 1 (n - 2)) in
+  if body = "" then []
+  else
+    String.split_on_char ',' body
+    |> List.map (fun field ->
+           match String.index_opt field ':' with
+           | None -> raise (Bad_json ("missing ':' in " ^ field))
+           | Some i ->
+             let key = String.trim (String.sub field 0 i) in
+             let value =
+               String.trim
+                 (String.sub field (i + 1) (String.length field - i - 1))
+             in
+             let unquote v =
+               let vn = String.length v in
+               if vn >= 2 && v.[0] = '"' && v.[vn - 1] = '"' then
+                 String.sub v 1 (vn - 2)
+               else raise (Bad_json ("unquoted key " ^ v))
+             in
+             (unquote key, value))
+
+let int_field fields name =
+  match List.assoc_opt name fields with
+  | None -> raise (Bad_json ("missing field " ^ name))
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> i
+    | None -> raise (Bad_json ("field " ^ name ^ " is not an int")))
+
+let bool_field fields name =
+  match List.assoc_opt name fields with
+  | Some "true" -> true
+  | Some "false" -> false
+  | Some _ -> raise (Bad_json ("field " ^ name ^ " is not a bool"))
+  | None -> raise (Bad_json ("missing field " ^ name))
+
+let str_field fields name =
+  match List.assoc_opt name fields with
+  | None -> raise (Bad_json ("missing field " ^ name))
+  | Some v ->
+    let n = String.length v in
+    if n >= 2 && v.[0] = '"' && v.[n - 1] = '"' then String.sub v 1 (n - 2)
+    else raise (Bad_json ("field " ^ name ^ " is not a string"))
+
+let of_json line =
+  match
+    let fields = fields_of_json line in
+    let i = int_field fields and b = bool_field fields in
+    match str_field fields "ev" with
+    | "exec" -> Exec { block = i "block"; at = i "at" }
+    | "exception" -> Exception { block = i "block"; at = i "at" }
+    | "demand_decompress" ->
+      Demand_decompress
+        { block = i "block"; at = i "at"; cycles = i "cycles" }
+    | "prefetch_issue" ->
+      Prefetch_issue { block = i "block"; at = i "at"; ready_at = i "ready_at" }
+    | "stall" -> Stall { block = i "block"; at = i "at"; cycles = i "cycles" }
+    | "patch" -> Patch { target = i "target"; site = i "site"; at = i "at" }
+    | "unpatch" -> Unpatch { target = i "target"; site = i "site"; at = i "at" }
+    | "discard" ->
+      Discard
+        {
+          block = i "block";
+          at = i "at";
+          patched_back = i "patched_back";
+          wasted = b "wasted";
+        }
+    | "evict" -> Evict { block = i "block"; at = i "at" }
+    | "recompress_queued" ->
+      Recompress_queued
+        { block = i "block"; at = i "at"; done_at = i "done_at" }
+    | "flush" -> Flush { at = i "at"; copies = i "copies" }
+    | other -> raise (Bad_json ("unknown event kind " ^ other))
+  with
+  | ev -> Ok ev
+  | exception Bad_json msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                               *)
+
+type sink = { emit : t -> unit; close : unit -> unit }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+let callback f = { emit = f; close = (fun () -> ()) }
+
+let tee sinks =
+  {
+    emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }
+
+type collector = { mutable rev_events : t list }
+
+let collector () = { rev_events = [] }
+
+let collecting c =
+  { emit = (fun ev -> c.rev_events <- ev :: c.rev_events);
+    close = (fun () -> ()) }
+
+let collected c = List.rev c.rev_events
+
+type counters = { per_kind : int array; mutable last_at : int }
+
+let counters () = { per_kind = Array.make num_kinds 0; last_at = 0 }
+
+let counting c =
+  {
+    emit =
+      (fun ev ->
+        let k = kind_index ev in
+        c.per_kind.(k) <- c.per_kind.(k) + 1;
+        let at = time ev in
+        if at > c.last_at then c.last_at <- at);
+    close = (fun () -> ());
+  }
+
+let counts c =
+  Array.to_list (Array.mapi (fun i n -> (kind_names.(i), n)) c.per_kind)
+
+let count c name =
+  let rec find i =
+    if i >= num_kinds then
+      invalid_arg (Printf.sprintf "Sim.Events.count: unknown kind %S" name)
+    else if kind_names.(i) = name then c.per_kind.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let total c = Array.fold_left ( + ) 0 c.per_kind
+let last_time c = c.last_at
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (to_json ev);
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let to_file path =
+  let oc = open_out path in
+  let inner = jsonl oc in
+  { emit = inner.emit; close = (fun () -> close_out oc) }
+
+let read_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let rec go lineno acc =
+      match input_line ic with
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+      | line when String.trim line = "" -> go (lineno + 1) acc
+      | line -> (
+        match of_json line with
+        | Ok ev -> go (lineno + 1) (ev :: acc)
+        | Error msg ->
+          close_in ic;
+          Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+    in
+    go 1 []
+
+let observing registry =
+  let by_kind =
+    Array.map
+      (fun k -> Metrics.counter registry ~labels:[ ("kind", k) ] "events_total")
+      kind_names
+  in
+  (* [event_] prefix keeps these clear of the same-named engine totals
+     (Core.Metrics publishes a [stall_cycles] counter, for one). *)
+  let stalls = Metrics.histogram registry "event_stall_cycles" in
+  let demand = Metrics.histogram registry "event_demand_dec_cycles" in
+  {
+    emit =
+      (fun ev ->
+        Metrics.incr by_kind.(kind_index ev);
+        match ev with
+        | Stall { cycles; _ } -> Metrics.observe stalls cycles
+        | Demand_decompress { cycles; _ } -> Metrics.observe demand cycles
+        | Exec _ | Exception _ | Prefetch_issue _ | Patch _ | Unpatch _
+        | Discard _ | Evict _ | Recompress_queued _ | Flush _ -> ());
+    close = (fun () -> ());
+  }

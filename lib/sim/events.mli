@@ -1,0 +1,123 @@
+(** The shared simulation event vocabulary and the streaming sink bus.
+
+    Every layer that simulates (or really performs) the paper's scheme
+    — {!Core.Engine}'s timing model, the executable {!Runtime}, and
+    the baseline schemes — narrates its run as a stream of these
+    events, pushed one at a time into a {!sink}. Sinks are
+    constant-memory unless they choose otherwise, so a 10⁶-step trace
+    costs the same memory as a 10-step one; two runs can be diffed
+    event-by-event by streaming both through {!to_json}.
+
+    [at] is simulated cycles for the timing engine and executed
+    instructions for the runtime; within one stream it is monotone
+    except where noted in the producer's documentation. *)
+
+type t =
+  | Exec of { block : int; at : int }  (** block body executes *)
+  | Exception of { block : int; at : int }
+      (** memory-protection exception on entering [block] *)
+  | Demand_decompress of { block : int; at : int; cycles : int }
+      (** decompression on the critical path *)
+  | Prefetch_issue of { block : int; at : int; ready_at : int }
+      (** pre-decompression queued on the decompression thread *)
+  | Stall of { block : int; at : int; cycles : int }
+      (** execution waited for an in-flight decompression *)
+  | Patch of { target : int; site : int; at : int }
+      (** branch in [site] rewritten to target the copy of [target] *)
+  | Unpatch of { target : int; site : int; at : int }
+      (** remember-set patch-back on deletion (runtime) *)
+  | Discard of { block : int; at : int; patched_back : int; wasted : bool }
+      (** k-edge deletion of a decompressed copy *)
+  | Evict of { block : int; at : int }  (** budget-forced LRU deletion *)
+  | Recompress_queued of { block : int; at : int; done_at : int }
+      (** copy queued on the compression thread (recompress mode) *)
+  | Flush of { at : int; copies : int }
+      (** runtime address-space recycle: all [copies] retired at once *)
+
+val time : t -> int
+(** The event's [at] field. *)
+
+val kind : t -> string
+(** Stable lower-snake-case tag, e.g. ["demand_decompress"]. *)
+
+val kinds : string list
+(** Every tag, in declaration order. *)
+
+val describe : t -> string
+(** Human one-liner (the experiment tables' event column). *)
+
+val to_json : t -> string
+(** One JSON object, no trailing newline — a JSONL row. *)
+
+val of_json : string -> (t, string) result
+(** Parses exactly the objects {!to_json} emits. *)
+
+(** {1 Sinks} *)
+
+type sink = {
+  emit : t -> unit;
+  close : unit -> unit;
+      (** Flushes and releases whatever the sink holds; further
+          [emit]s are a programming error with undefined behaviour. *)
+}
+
+val null : sink
+val callback : (t -> unit) -> sink
+
+val tee : sink list -> sink
+(** Broadcasts every event to all sinks; [close] closes each once. *)
+
+(** {2 In-memory collection (back-compat with event-list consumers)} *)
+
+type collector
+
+val collector : unit -> collector
+
+val collecting : collector -> sink
+(** O(events) memory, by design — for short illustrative traces. *)
+
+val collected : collector -> t list
+(** Events in emission order. *)
+
+(** {2 Constant-memory counting} *)
+
+type counters
+
+val counters : unit -> counters
+
+val counting : counters -> sink
+(** One integer cell per event kind: memory independent of trace
+    length. *)
+
+val counts : counters -> (string * int) list
+(** [(kind, count)] for every kind, declaration order. *)
+
+val count : counters -> string -> int
+(** @raise Invalid_argument on an unknown kind. *)
+
+val total : counters -> int
+
+val last_time : counters -> int
+(** Largest [at] observed; 0 if nothing was emitted. *)
+
+(** {2 JSONL streaming} *)
+
+val jsonl : out_channel -> sink
+(** Writes one {!to_json} row per event. [close] flushes but leaves
+    the channel open (the caller owns it). *)
+
+val to_file : string -> sink
+(** Opens [path] for writing; [close] closes the file. *)
+
+val read_file : string -> (t list, string) result
+(** Reads a JSONL stream back, skipping blank lines. Returns the
+    first parse error as [Error] with a line number. *)
+
+(** {2 Metrics bridge} *)
+
+val observing : Metrics.t -> sink
+(** Publishes the stream into a registry: an [events_total] counter
+    labelled by kind, plus [event_stall_cycles] /
+    [event_demand_dec_cycles] histograms over the per-event costs
+    (prefixed so they never collide with the engine's same-named
+    scalar totals). *)

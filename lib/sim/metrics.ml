@@ -1,0 +1,174 @@
+type counter = { mutable c_value : int }
+
+type histogram = {
+  bounds : int array;  (* inclusive upper bounds, ascending *)
+  cells : int array;  (* one per bound + 1 for +Inf *)
+  mutable h_n : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+}
+
+type cell =
+  | Counter of counter
+  | Histogram of histogram
+
+type entry = { name : string; labels : (string * string) list; cell : cell }
+
+type t = {
+  index : (string * (string * string) list, entry) Hashtbl.t;
+  mutable rev_order : entry list;
+}
+
+let create () = { index = Hashtbl.create 32; rev_order = [] }
+
+let key name labels =
+  (name, List.sort compare labels)
+
+let find_or_add t ~name ~labels make =
+  let k = key name labels in
+  match Hashtbl.find_opt t.index k with
+  | Some e -> e
+  | None ->
+    let e = { name; labels; cell = make () } in
+    Hashtbl.replace t.index k e;
+    t.rev_order <- e :: t.rev_order;
+    e
+
+let counter t ?(labels = []) name =
+  match
+    (find_or_add t ~name ~labels (fun () -> Counter { c_value = 0 })).cell
+  with
+  | Counter c -> c
+  | Histogram _ ->
+    invalid_arg
+      (Printf.sprintf "Sim.Metrics.counter: %S is already a histogram" name)
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let set c v = c.c_value <- v
+let value c = c.c_value
+
+let default_buckets = [ 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536 ]
+
+let histogram t ?(labels = []) ?(buckets = default_buckets) name =
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if not (sorted buckets) then
+    invalid_arg "Sim.Metrics.histogram: buckets must be strictly ascending";
+  let bounds = Array.of_list buckets in
+  let entry =
+    find_or_add t ~name ~labels (fun () ->
+        Histogram
+          {
+            bounds;
+            cells = Array.make (Array.length bounds + 1) 0;
+            h_n = 0;
+            h_sum = 0;
+            h_max = 0;
+          })
+  in
+  match entry.cell with
+  | Histogram h ->
+    if h.bounds <> bounds then
+      invalid_arg
+        (Printf.sprintf
+           "Sim.Metrics.histogram: %S re-registered with different buckets"
+           name);
+    h
+  | Counter _ ->
+    invalid_arg
+      (Printf.sprintf "Sim.Metrics.histogram: %S is already a counter" name)
+
+let observe h v =
+  let rec slot i =
+    if i >= Array.length h.bounds then i
+    else if v <= h.bounds.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.cells.(i) <- h.cells.(i) + 1;
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum + v;
+  if v > h.h_max then h.h_max <- v
+
+let observations h = h.h_n
+let sum h = h.h_sum
+let max_value h = h.h_max
+let mean h = if h.h_n = 0 then 0.0 else float_of_int h.h_sum /. float_of_int h.h_n
+
+let bucket_counts h =
+  let acc = ref 0 in
+  let cumulative =
+    Array.mapi
+      (fun i bound ->
+        acc := !acc + h.cells.(i);
+        (Some bound, !acc))
+      h.bounds
+  in
+  Array.to_list cumulative @ [ (None, h.h_n) ]
+
+type value_view =
+  | Counter_value of int
+  | Histogram_value of {
+      n : int;
+      total : int;
+      max_v : int;
+      cumulative : (int option * int) list;
+    }
+
+let snapshot t =
+  List.rev_map
+    (fun e ->
+      let view =
+        match e.cell with
+        | Counter c -> Counter_value c.c_value
+        | Histogram h ->
+          Histogram_value
+            {
+              n = h.h_n;
+              total = h.h_sum;
+              max_v = h.h_max;
+              cumulative = bucket_counts h;
+            }
+      in
+      (e.name, e.labels, view))
+    t.rev_order
+
+let render_name name labels =
+  match labels with
+  | [] -> name
+  | labels ->
+    Printf.sprintf "%s{%s}" name
+      (String.concat ","
+         (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) labels))
+
+let to_table ?(title = "metrics") t =
+  let table =
+    Report.Table.create ~title
+      ~columns:[ ("metric", Report.Table.Left); ("value", Report.Table.Right) ]
+  in
+  let row name labels v =
+    Report.Table.add_row table [ render_name name labels; string_of_int v ]
+  in
+  List.iter
+    (fun (name, labels, view) ->
+      match view with
+      | Counter_value v -> row name labels v
+      | Histogram_value { n; total; max_v; cumulative } ->
+        row (name ^ "_count") labels n;
+        row (name ^ "_sum") labels total;
+        row (name ^ "_max") labels max_v;
+        List.iter
+          (fun (bound, c) ->
+            let le =
+              match bound with
+              | Some b -> string_of_int b
+              | None -> "+Inf"
+            in
+            row (name ^ "_bucket") (labels @ [ ("le", le) ]) c)
+          cumulative)
+    (snapshot t);
+  table
+
+let to_jsonl ?title t = Report.Table.to_jsonl (to_table ?title t)

@@ -1,0 +1,8 @@
+#!/bin/sh
+# Tier-1 gate: full build (library + CLI + examples + bench) and the
+# complete test suite. `make check` runs the same thing.
+set -eu
+cd "$(dirname "$0")/.."
+dune build @all
+dune runtest
+echo "check: OK"

@@ -599,7 +599,8 @@ let coherent events =
           true
         end
         else false
-      | Exception _ | Stall _ | Patch _ | Recompress_queued _ -> true)
+      | Exception _ | Stall _ | Patch _ | Unpatch _ | Recompress_queued _
+      | Flush _ -> true)
     events
 
 let prop_event_coherence =

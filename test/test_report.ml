@@ -59,6 +59,34 @@ let test_csv () =
   checkb "escapes quote" true (contains "\"with\"\"quote\"" csv);
   checkb "header line" true (contains "a,b\n" csv)
 
+let test_csv_header_escaping () =
+  let t =
+    Report.Table.create ~title:"h"
+      ~columns:
+        [
+          ("plain", Report.Table.Left);
+          ("with,comma", Report.Table.Left);
+          ("q\"uote", Report.Table.Left);
+        ]
+  in
+  Report.Table.add_row t [ "1"; "2"; "3" ];
+  let csv = Report.Table.to_csv t in
+  let header = List.hd (String.split_on_char '\n' csv) in
+  checks "header row escaped" "plain,\"with,comma\",\"q\"\"uote\"" header
+
+let test_jsonl () =
+  let t =
+    Report.Table.create ~title:"j"
+      ~columns:[ ("name", Report.Table.Left); ("value", Report.Table.Right) ]
+  in
+  Report.Table.add_row t [ "a\"b"; "1" ];
+  Report.Table.add_row t [ "line\nbreak"; "2" ];
+  let lines = String.split_on_char '\n' (String.trim (Report.Table.to_jsonl t)) in
+  checki "one object per data row, no title" 2 (List.length lines);
+  checks "escapes quotes" {|{"name":"a\"b","value":"1"}|} (List.nth lines 0);
+  checks "escapes newlines" {|{"name":"line\nbreak","value":"2"}|}
+    (List.nth lines 1)
+
 let test_formatters () =
   checks "int" "42" (Report.Table.fmt_int 42);
   checks "float" "3.14" (Report.Table.fmt_float 3.14159);
@@ -76,6 +104,9 @@ let () =
           Alcotest.test_case "arity" `Quick test_arity_check;
           Alcotest.test_case "render" `Quick test_render;
           Alcotest.test_case "csv" `Quick test_csv;
+          Alcotest.test_case "csv header escaping" `Quick
+            test_csv_header_escaping;
+          Alcotest.test_case "jsonl" `Quick test_jsonl;
           Alcotest.test_case "formatters" `Quick test_formatters;
         ] );
     ]

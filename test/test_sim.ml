@@ -1,0 +1,275 @@
+(* Tests for the shared simulation kernel: cost model, three-thread
+   clock, the streaming event bus (including JSONL round-trips and the
+   constant-memory guarantee) and the metrics registry. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Cost and clock *)
+
+let test_cost () =
+  let c = Sim.Cost.default in
+  checki "dec" (30 + (4 * 10)) (Sim.Cost.dec_cycles c ~compressed_bytes:10);
+  checki "comp" (30 + (8 * 10)) (Sim.Cost.comp_cycles c ~uncompressed_bytes:10);
+  let c2 = Sim.Cost.with_rates ~dec_cycles_per_byte:1 ~comp_cycles_per_byte:2 c in
+  checki "rates swap" (30 + 10) (Sim.Cost.dec_cycles c2 ~compressed_bytes:10);
+  checki "fixed costs kept" c.Sim.Cost.exception_cycles
+    c2.Sim.Cost.exception_cycles
+
+let test_clock () =
+  let clk = Sim.Clock.create () in
+  checki "starts at 0" 0 (Sim.Clock.now clk);
+  Sim.Clock.advance clk ~cycles:10;
+  checki "advances" 10 (Sim.Clock.now clk);
+  checki "wait into future" 5 (Sim.Clock.wait_until clk 15);
+  checki "after wait" 15 (Sim.Clock.now clk);
+  checki "wait into past is free" 0 (Sim.Clock.wait_until clk 3);
+  checki "past wait does not rewind" 15 (Sim.Clock.now clk);
+  Alcotest.check_raises "negative advance"
+    (Invalid_argument "Sim.Clock.advance: negative cycles") (fun () ->
+      Sim.Clock.advance clk ~cycles:(-1))
+
+let test_resource () =
+  let r = Sim.Clock.resource () in
+  checki "idle resource starts now" 10 (Sim.Clock.schedule r ~now:0 ~cycles:10);
+  (* second request queues behind the first even though now < free_at *)
+  checki "fifo queueing" 15 (Sim.Clock.schedule r ~now:5 ~cycles:5);
+  (* a request after idle time starts at now *)
+  checki "idle gap" 110 (Sim.Clock.schedule r ~now:100 ~cycles:10);
+  checki "busy accumulates" 25 (Sim.Clock.busy_cycles r);
+  Sim.Clock.push_back r ~now:0 ~cycles:7;
+  checki "push_back extends backlog" 117 (Sim.Clock.free_at r);
+  checki "push_back is busy work" 32 (Sim.Clock.busy_cycles r)
+
+(* ------------------------------------------------------------------ *)
+(* Event JSON round-trips *)
+
+let sample_events =
+  Sim.Events.
+    [
+      Exec { block = 0; at = 0 };
+      Exec { block = 12; at = 999999999 };
+      Exception { block = 3; at = 41 };
+      Demand_decompress { block = 7; at = 100; cycles = 66 };
+      Prefetch_issue { block = 2; at = 5; ready_at = 93 };
+      Stall { block = 2; at = 50; cycles = 43 };
+      Patch { target = 4; site = 9; at = 77 };
+      Unpatch { target = 4; site = 9; at = 81 };
+      Discard { block = 1; at = 200; patched_back = 3; wasted = false };
+      Discard { block = 6; at = 201; patched_back = 0; wasted = true };
+      Evict { block = 8; at = 300 };
+      Recompress_queued { block = 5; at = 400; done_at = 460 };
+      Flush { at = 500; copies = 17 };
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Sim.Events.of_json (Sim.Events.to_json ev) with
+      | Ok ev' -> checkb (Sim.Events.to_json ev) true (ev = ev')
+      | Error msg -> Alcotest.failf "%s: %s" (Sim.Events.to_json ev) msg)
+    sample_events
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s -> checkb s true (Result.is_error (Sim.Events.of_json s)))
+    [
+      "";
+      "{}";
+      "not json";
+      {|{"ev":"exec","block":1}|} (* missing at *);
+      {|{"ev":"warp","block":1,"at":2}|} (* unknown kind *);
+      {|{"ev":"exec","block":"x","at":2}|} (* non-numeric field *);
+    ]
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "test_sim" ".jsonl" in
+  let sink = Sim.Events.to_file path in
+  List.iter sink.Sim.Events.emit sample_events;
+  sink.Sim.Events.close ();
+  (match Sim.Events.read_file path with
+  | Ok evs -> checkb "file round-trip" true (evs = sample_events)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let test_counting_sink () =
+  let c = Sim.Events.counters () in
+  let sink = Sim.Events.counting c in
+  List.iter sink.Sim.Events.emit sample_events;
+  checki "total" (List.length sample_events) (Sim.Events.total c);
+  checki "execs" 2 (Sim.Events.count c "exec");
+  checki "discards" 2 (Sim.Events.count c "discard");
+  checki "flushes" 1 (Sim.Events.count c "flush");
+  checki "last time" 999999999 (Sim.Events.last_time c);
+  checkb "unknown kind rejected" true
+    (match Sim.Events.count c "nope" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_tee_and_collector () =
+  let a = Sim.Events.collector () in
+  let b = Sim.Events.counters () in
+  let sink =
+    Sim.Events.tee [ Sim.Events.collecting a; Sim.Events.counting b ]
+  in
+  List.iter sink.Sim.Events.emit sample_events;
+  checkb "collector ordered" true (Sim.Events.collected a = sample_events);
+  checki "tee reaches both" (List.length sample_events) (Sim.Events.total b)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_counters () =
+  let r = Sim.Metrics.create () in
+  let c = Sim.Metrics.counter r "hits" in
+  Sim.Metrics.incr c;
+  Sim.Metrics.incr ~by:4 c;
+  checki "incr" 5 (Sim.Metrics.value c);
+  (* registration is idempotent: same name+labels = same cell *)
+  Sim.Metrics.incr (Sim.Metrics.counter r "hits");
+  checki "idempotent" 6 (Sim.Metrics.value c);
+  (* labels distinguish, order-insensitively *)
+  let l1 = Sim.Metrics.counter r ~labels:[ ("a", "1"); ("b", "2") ] "hits" in
+  let l2 = Sim.Metrics.counter r ~labels:[ ("b", "2"); ("a", "1") ] "hits" in
+  Sim.Metrics.incr l1;
+  checki "label order irrelevant" 1 (Sim.Metrics.value l2);
+  checki "unlabelled unaffected" 6 (Sim.Metrics.value c)
+
+let test_metrics_histogram () =
+  let r = Sim.Metrics.create () in
+  let h = Sim.Metrics.histogram r ~buckets:[ 10; 100 ] "lat" in
+  List.iter (Sim.Metrics.observe h) [ 1; 10; 11; 1000 ];
+  checki "n" 4 (Sim.Metrics.observations h);
+  checki "sum" 1022 (Sim.Metrics.sum h);
+  checki "max" 1000 (Sim.Metrics.max_value h);
+  Alcotest.(check (list (pair (option int) int)))
+    "cumulative buckets"
+    [ (Some 10, 2); (Some 100, 3); (None, 4) ]
+    (Sim.Metrics.bucket_counts h);
+  checkb "unsorted buckets rejected" true
+    (match Sim.Metrics.histogram r ~buckets:[ 5; 5 ] "bad" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_metrics_render () =
+  checks "plain" "x" (Sim.Metrics.render_name "x" []);
+  checks "labelled" {|x{k="v"}|} (Sim.Metrics.render_name "x" [ ("k", "v") ]);
+  let r = Sim.Metrics.create () in
+  Sim.Metrics.set (Sim.Metrics.counter r "total") 7;
+  let t = Sim.Metrics.to_table r in
+  checks "table row" "7" (Report.Table.cell t ~row:0 ~col:"value");
+  checks "jsonl" "{\"metric\":\"total\",\"value\":\"7\"}\n"
+    (Sim.Metrics.to_jsonl r)
+
+let test_observing_sink () =
+  let r = Sim.Metrics.create () in
+  let sink = Sim.Events.observing r in
+  List.iter sink.Sim.Events.emit sample_events;
+  checki "kind counter" 2
+    (Sim.Metrics.value
+       (Sim.Metrics.counter r ~labels:[ ("kind", "exec") ] "events_total"));
+  checki "stall histogram" 1
+    (Sim.Metrics.observations (Sim.Metrics.histogram r "event_stall_cycles"))
+
+(* ------------------------------------------------------------------ *)
+(* Engine equivalence: the streaming sink sees byte-for-byte the same
+   event sequence as the back-compat ~log callback, and the metrics do
+   not depend on whether anyone is listening. *)
+
+let jsonl_of events =
+  String.concat "\n" (List.map Sim.Events.to_json events)
+
+let policies =
+  [
+    ("on-demand k=4", Core.Policy.on_demand ~k:4);
+    ("pre-all", Core.Policy.pre_all ~k:8 ~lookahead:2);
+    ( "recompress budget",
+      Core.Policy.make ~mode:Core.Policy.Recompress ~compress_k:4 ~budget:96 ()
+    );
+  ]
+
+let test_engine_equivalence () =
+  List.iter
+    (fun sc ->
+      List.iter
+        (fun (pname, policy) ->
+          let ctx = sc.Core.Scenario.name ^ " / " ^ pname in
+          let via_log = ref [] in
+          let m_log =
+            Core.Scenario.run ~log:(fun ev -> via_log := ev :: !via_log) sc
+              policy
+          in
+          let c = Sim.Events.collector () in
+          let m_sink =
+            Core.Scenario.run ~sink:(Sim.Events.collecting c) sc policy
+          in
+          checks ctx
+            (jsonl_of (List.rev !via_log))
+            (jsonl_of (Sim.Events.collected c));
+          checkb (ctx ^ ": metrics agree") true (m_log = m_sink))
+        policies)
+    (Workloads.Suite.scenarios ())
+
+(* ------------------------------------------------------------------ *)
+(* Constant memory: a million-step Markov walk streamed through the
+   counting sink must not grow the heap with the trace. An event list
+   at this scale would be tens of millions of words. *)
+
+let test_constant_memory () =
+  let graph, _ =
+    Trace.Synthetic.hot_cold ~hot_blocks:5 ~cold_blocks:20 ~hot_iters:3
+      ~cold_visit_every:11 ()
+  in
+  let trace = Trace.Synthetic.markov ~seed:7 graph ~length:1_000_000 in
+  let sc = Core.Scenario.of_graph ~name:"markov-1M" graph ~trace in
+  let policy = Core.Policy.on_demand ~k:2 in
+  ignore (Core.Scenario.run sc policy) (* warm-up *);
+  let counters = Sim.Events.counters () in
+  Gc.compact ();
+  let before = (Gc.stat ()).Gc.top_heap_words in
+  ignore (Core.Scenario.run ~sink:(Sim.Events.counting counters) sc policy);
+  let growth = (Gc.stat ()).Gc.top_heap_words - before in
+  checkb "at least a million events" true (Sim.Events.total counters >= 1_000_000);
+  checkb
+    (Printf.sprintf "constant-memory streaming (top-heap grew %d words)" growth)
+    true
+    (growth < 500_000)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "kernel",
+        [
+          Alcotest.test_case "cost model" `Quick test_cost;
+          Alcotest.test_case "clock" `Quick test_clock;
+          Alcotest.test_case "resource threads" `Quick test_resource;
+        ] );
+      ( "events",
+        [
+          Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "json rejects garbage" `Quick
+            test_json_rejects_garbage;
+          Alcotest.test_case "jsonl file round-trip" `Quick test_file_roundtrip;
+          Alcotest.test_case "counting sink" `Quick test_counting_sink;
+          Alcotest.test_case "tee + collector" `Quick test_tee_and_collector;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histograms" `Quick test_metrics_histogram;
+          Alcotest.test_case "rendering" `Quick test_metrics_render;
+          Alcotest.test_case "observing sink" `Quick test_observing_sink;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "sink == log on the workload suite" `Slow
+            test_engine_equivalence;
+          Alcotest.test_case "constant memory at 1M steps" `Slow
+            test_constant_memory;
+        ] );
+    ]
