@@ -233,16 +233,24 @@ let print_results results =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  print_endline
-    "ccomp benchmark harness: micro-benchmarks per experiment, then the \
-     regenerated tables for every figure/table of the paper.\n";
-  let tests = experiment_tests () @ codec_tests () @ toolchain_tests () in
-  print_results (benchmark tests);
-  print_newline ();
-  streaming_bench ();
-  print_newline ();
-  List.iter
-    (fun ((e : Experiments.Registry.entry), table) ->
-      Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
-        (Report.Table.render table))
-    (Experiments.Registry.run_all ())
+  (* --smoke: just the streaming-bus check (it has a built-in failure
+     condition), fast enough for scripts/check.sh to gate on. *)
+  if Array.exists (( = ) "--smoke") Sys.argv then begin
+    print_endline "ccomp benchmark harness (smoke): streaming event bus.\n";
+    streaming_bench ()
+  end
+  else begin
+    print_endline
+      "ccomp benchmark harness: micro-benchmarks per experiment, then the \
+       regenerated tables for every figure/table of the paper.\n";
+    let tests = experiment_tests () @ codec_tests () @ toolchain_tests () in
+    print_results (benchmark tests);
+    print_newline ();
+    streaming_bench ();
+    print_newline ();
+    List.iter
+      (fun ((e : Experiments.Registry.entry), table) ->
+        Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
+          (Report.Table.render table))
+      (Experiments.Registry.run_all ())
+  end

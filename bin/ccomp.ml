@@ -22,14 +22,30 @@ let codec_arg =
   in
   Arg.(value & opt string "code" & info [ "codec" ] ~docv:"CODEC" ~doc)
 
+(* Bounds-checked integer options: a bad --k/--lookahead/--budget is a
+   usage error cmdliner reports cleanly, not an Invalid_argument
+   escaping from deep inside the engine. *)
+let positive_int what =
+  let parse s =
+    match int_of_string_opt s with
+    | None ->
+      Error (`Msg (Printf.sprintf "expected an integer %s, got %S" what s))
+    | Some v when v < 1 ->
+      Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" what v))
+    | Some v -> Ok v
+  in
+  Arg.conv ~docv:"INT" (parse, Format.pp_print_int)
+
 let k_arg =
   Arg.(
-    value & opt int 8
+    value
+    & opt (positive_int "k") 8
     & info [ "k" ] ~docv:"K" ~doc:"k of the k-edge compression algorithm.")
 
 let lookahead_arg =
   Arg.(
-    value & opt int 2
+    value
+    & opt (positive_int "lookahead") 2
     & info [ "lookahead" ] ~docv:"K" ~doc:"Pre-decompression distance.")
 
 let strategy_arg =
@@ -48,9 +64,39 @@ let predictor_arg =
 
 let budget_arg =
   Arg.(
-    value & opt (some int) None
+    value
+    & opt (some (positive_int "budget")) None
     & info [ "budget" ] ~docv:"BYTES"
         ~doc:"Maximum decompressed-area bytes (LRU eviction).")
+
+let retention_arg =
+  let doc =
+    "Retention policy for decompressed copies: kedge (the paper's \
+     k-edge/LRU scheme), loop-aware (k scaled by loop nesting depth), \
+     clock (second-chance, O(1) state) or pin-hot (profile-hot blocks \
+     are never discarded)."
+  in
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("kedge", "kedge");
+             ("loop-aware", "loop-aware");
+             ("clock", "clock");
+             ("pin-hot", "pin-hot");
+           ])
+        "kedge"
+    & info [ "retention" ] ~docv:"POLICY" ~doc)
+
+(* The pin-hot pinned set comes from a profile; [profile] is a thunk so
+   the other policies never pay for the profiling run. *)
+let retention_spec name ~profile =
+  match name with
+  | "pin-hot" ->
+    Residency.Policy.Pin_hot
+      { pinned = Cfg.Profile.hot_blocks (profile ()) ~fraction:0.5 }
+  | name -> Experiments.Retention_compare.retention_of_name name
 
 let recompress_arg =
   Arg.(
@@ -122,9 +168,9 @@ let scenario_of ~codec name =
 (* ccomp sim                                                           *)
 
 let sim workload codec k strategy lookahead predictor budget recompress
-    trace_out metrics =
+    retention trace_out metrics =
   match scenario_of ~codec workload with
-  | sc ->
+  | sc -> (
     let predictor =
       match predictor with
       | `First -> Core.Predictor.First_successor
@@ -140,15 +186,25 @@ let sim workload codec k strategy lookahead predictor budget recompress
     let mode =
       if recompress then Core.Policy.Recompress else Core.Policy.Discard
     in
-    let policy = Core.Policy.make ~mode ~strategy ?budget ~compress_k:k () in
+    let retention =
+      retention_spec retention ~profile:(fun () -> Core.Scenario.profile sc)
+    in
+    let policy =
+      Core.Policy.make ~mode ~strategy ?budget ~retention ~compress_k:k ()
+    in
     Format.printf "%a@.policy: %s@.@." Core.Scenario.pp_summary sc
       (Core.Policy.describe policy);
-    let m =
-      with_observability trace_out metrics (fun ?sink ?registry () ->
-          Core.Scenario.run ?sink ?registry sc policy)
-    in
-    Format.printf "%a@." Core.Metrics.pp m;
-    0
+    try
+      let m =
+        with_observability trace_out metrics (fun ?sink ?registry () ->
+            Core.Scenario.run ?sink ?registry sc policy)
+      in
+      Format.printf "%a@." Core.Metrics.pp m;
+      0
+    with Invalid_argument msg ->
+      (* e.g. a pin-hot pinned set that alone exceeds --budget *)
+      Format.eprintf "error: %s@." msg;
+      1)
   | exception Invalid_argument msg ->
     Format.eprintf "error: %s@." msg;
     1
@@ -160,7 +216,7 @@ let sim_cmd =
     Term.(
       const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
       $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg
-      $ trace_out_arg $ metrics_arg)
+      $ retention_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp experiments                                                   *)
@@ -198,14 +254,14 @@ let experiments_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:"Experiment ids (E1..E16) or slugs; all when omitted.")
+          ~doc:"Experiment ids (E1..E17) or slugs; all when omitted.")
   in
   let csv =
     Arg.(
       value & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV here.")
   in
-  let doc = "Regenerate the paper's figures/tables (E1..E16)." in
+  let doc = "Regenerate the paper's figures/tables (E1..E17)." in
   Cmd.v (Cmd.info "experiments" ~doc) Term.(const experiments $ ids $ csv)
 
 (* ------------------------------------------------------------------ *)
@@ -368,7 +424,7 @@ let cc_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp run                                                           *)
 
-let run_real workload codec k trace_out metrics =
+let run_real workload codec k retention trace_out metrics =
   let w = Workloads.Suite.find_exn workload in
   let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
   let codec_v =
@@ -376,9 +432,14 @@ let run_real workload codec k trace_out metrics =
     | "code" -> None
     | other -> Some (Compress.Registry.find_exn other)
   in
+  let retention =
+    retention_spec retention ~profile:(fun () ->
+        (* profile the workload in the plain interpreter first *)
+        Core.Scenario.profile (Workloads.Common.scenario w))
+  in
   match
     with_observability trace_out metrics (fun ?sink ?registry () ->
-        Runtime.run ~k ?codec:codec_v ?sink ?registry prog)
+        Runtime.run ~k ~retention ?codec:codec_v ?sink ?registry prog)
   with
   | Ok (machine, stats) ->
     let got = Eris.Machine.read_word machine w.Workloads.Common.result_addr in
@@ -411,8 +472,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_real $ workload_arg $ codec_arg $ k_arg $ trace_out_arg
-      $ metrics_arg)
+      const run_real $ workload_arg $ codec_arg $ k_arg $ retention_arg
+      $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp analyze                                                       *)

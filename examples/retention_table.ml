@@ -1,0 +1,5 @@
+(* Regenerates the README's retention-policy table: E17 rendered as
+   GitHub-flavored Markdown via Report.Table.to_markdown. *)
+
+let () =
+  print_string (Report.Table.to_markdown (Experiments.Retention_compare.run ()))

@@ -46,25 +46,51 @@ let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
     Array.fold_left (fun a b -> a + sc.info.(b).Core.Engine.exec_cycles) 0 sc.trace
   in
   let total = ref 0 and decompressions = ref 0 in
-  let in_buffer = ref (-1) in
-  Array.iter
-    (fun b ->
+  (* The reserved buffer is a one-slot residency area with an inline
+     retention policy: the occupant is always the eviction victim, and
+     nothing ever ages out on its own. *)
+  let occupant = ref (-1) in
+  let buffer_policy =
+    {
+      Residency.Policy.name = "cold-buffer";
+      on_materialize = (fun ~block ~step:_ -> occupant := block);
+      on_ready = (fun ~block:_ ~time:_ -> ());
+      on_execute = (fun ~block:_ ~step:_ ~time:_ -> ());
+      rearm = (fun ~block:_ ~step:_ -> ());
+      due = (fun ~step:_ -> []);
+      victim =
+        (fun ~exclude ->
+          if !occupant >= 0 && not (exclude !occupant) then Some !occupant
+          else None);
+      on_release = (fun ~block -> if !occupant = block then occupant := -1);
+      describe = (fun () -> "one-block cold buffer, replaced on entry");
+    }
+  in
+  let area =
+    Residency.Area.create ~policy:buffer_policy ~blocks:n ~emit
+      ~now:(fun () -> !total)
+      ~site_key:Fun.id ()
+  in
+  Array.iteri
+    (fun step b ->
       total := !total + sc.info.(b).Core.Engine.exec_cycles;
       emit (Sim.Events.Exec { block = b; at = !total });
-      if not hot.(b) then
-        if !in_buffer <> b then begin
-          incr decompressions;
-          emit (Sim.Events.Exception { block = b; at = !total });
-          let dec =
-            Core.Config.dec_cycles config
-              ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes
-          in
-          total := !total + config.Core.Config.costs.exception_cycles + dec;
-          emit
-            (Sim.Events.Demand_decompress
-               { block = b; at = !total; cycles = dec });
-          in_buffer := b
-        end)
+      if (not hot.(b)) && !occupant <> b then begin
+        (match Residency.Area.victim area ~exclude:(fun _ -> false) with
+        | Some v ->
+          ignore (Residency.Area.discard area ~block:v ~patch_back:(fun _ -> true))
+        | None -> ());
+        incr decompressions;
+        emit (Sim.Events.Exception { block = b; at = !total });
+        let dec =
+          Core.Config.dec_cycles config
+            ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes
+        in
+        total := !total + config.Core.Config.costs.exception_cycles + dec;
+        Residency.Area.on_materialize area ~block:b ~step;
+        emit
+          (Sim.Events.Demand_decompress { block = b; at = !total; cycles = dec })
+      end)
     sc.trace;
   {
     hot_blocks = !hot_count;

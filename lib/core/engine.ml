@@ -71,9 +71,9 @@ type state = {
   config : Config.t;
   emit : event -> unit;
   status : status array;
-  kedge : Kedge.t;
-  remember : Memsim.Remember.t;
-  lru : Memsim.Lru.t;
+  area : int Residency.Area.t;
+      (* copy lifecycle: retention policy + remember sets; sites are
+         the branching block's id *)
   pred_state : Predictor.state;
   clock : Sim.Clock.t;
   dec : Sim.Clock.resource;  (* decompression thread *)
@@ -153,7 +153,7 @@ let settle st =
       (match st.status.(b) with
       | Decompressing { prefetched; _ } ->
         st.status.(b) <- Resident { used = false; prefetched };
-        Memsim.Lru.touch st.lru b ~time:ready_at
+        Residency.Area.on_ready st.area ~block:b ~time:ready_at
       | Compressed | Resident _ | Recompressing _ -> ());
       promote rest
     | rest -> rest
@@ -185,17 +185,24 @@ let delete_copy st ~eviction b =
       invalid_arg "Core.Engine.delete_copy: block not resident"
   in
   if wasted then st.wasted_prefetches <- st.wasted_prefetches + 1;
-  let patched_back = Memsim.Remember.flush st.remember ~target:b in
+  (* [release] flushes the remember set and retires the retention
+     state; the engine only models patch-back timing, so every site
+     "patches back" successfully. Events are emitted below, engine-side,
+     to keep Recompress_queued ahead of Discard/Evict in the stream. *)
+  let patched_back =
+    Residency.Area.release st.area ~block:b ~patch_back:(fun _ -> true)
+  in
   st.patches <- st.patches + patched_back;
   Sim.Clock.push_back st.comp ~now:(now st)
     ~cycles:(patched_back * st.config.Config.costs.patch_cycles);
   (* Branches inside [b] vanish with it: drop them from the remember
      sets of their targets. *)
   List.iter
-    (fun s -> ignore (Memsim.Remember.remove_site st.remember ~target:s ~site:b))
+    (fun s ->
+      ignore
+        (Residency.Area.forget_sites st.area ~target:s ~where:(fun site ->
+             site = b)))
     (Cfg.Graph.succ_ids st.graph b);
-  Memsim.Lru.remove st.lru b;
-  Kedge.untrack st.kedge ~block:b;
   (match st.policy.Policy.mode with
   | Policy.Discard ->
     st.live_bytes <- st.live_bytes - usize st b;
@@ -235,7 +242,7 @@ let make_room st ~exclude bytes =
     let rec evict () =
       if st.live_bytes + bytes <= cap then true
       else
-        match Memsim.Lru.victim st.lru ~exclude:excluded () with
+        match Residency.Area.victim st.area ~exclude:excluded with
         | Some v ->
           delete_copy st ~eviction:true v;
           evict ()
@@ -269,7 +276,7 @@ let patch_site st ~target ~site =
   match site with
   | None -> ()
   | Some site ->
-    if Memsim.Remember.record st.remember ~target ~site then
+    if Residency.Area.record_site st.area ~target ~site then
       charge_patch st ~target ~site
 
 let stall_until st b t =
@@ -279,8 +286,9 @@ let stall_until st b t =
     st.emit (Stall { block = b; at = now st; cycles = w })
   end
 
-(* The execution thread arrives at block [b], coming from [prev]. *)
-let rec arrive st ~prev b =
+(* The execution thread arrives at block [b], coming from [prev], at
+   trace position [step]. *)
+let rec arrive st ~step ~prev b =
   settle st;
   match st.status.(b) with
   | Resident _ -> (
@@ -290,7 +298,7 @@ let rec arrive st ~prev b =
        site to patch. *)
     match prev with
     | Some site ->
-      if not (Memsim.Remember.record st.remember ~target:b ~site) then ()
+      if not (Residency.Area.record_site st.area ~target:b ~site) then ()
       else begin
         charge_exception st b;
         charge_patch st ~target:b ~site
@@ -303,7 +311,7 @@ let rec arrive st ~prev b =
     stall_until st b ready_at;
     st.inflight <- List.filter (fun (_, blk) -> blk <> b) st.inflight;
     st.status.(b) <- Resident { used = false; prefetched };
-    Memsim.Lru.touch st.lru b ~time:(now st);
+    Residency.Area.on_ready st.area ~block:b ~time:(now st);
     patch_site st ~target:b ~site:prev
   | Recompressing { done_at } ->
     (* Rare: reached while the compression thread still owns it. Wait
@@ -311,7 +319,7 @@ let rec arrive st ~prev b =
     stall_until st b done_at;
     settle st;
     st.status.(b) <- Compressed;
-    arrive st ~prev b
+    arrive st ~step ~prev b
   | Compressed ->
     charge_exception st b;
     allocate st ~exclude:[ b ] b;
@@ -320,7 +328,8 @@ let rec arrive st ~prev b =
     st.demand_dec_cycles <- st.demand_dec_cycles + cycles;
     Sim.Clock.advance st.clock ~cycles;
     st.status.(b) <- Resident { used = false; prefetched = false };
-    Memsim.Lru.touch st.lru b ~time:(now st);
+    Residency.Area.on_materialize st.area ~block:b ~step;
+    Residency.Area.on_ready st.area ~block:b ~time:(now st);
     st.emit (Demand_decompress { block = b; at = now st; cycles });
     patch_site st ~target:b ~site:prev
 
@@ -332,8 +341,7 @@ let execute st ~step ~cycles b =
     r.used <- true
   | Compressed | Decompressing _ | Recompressing _ ->
     invalid_arg "Core.Engine.execute: block not resident");
-  Kedge.track st.kedge ~block:b ~step;
-  Memsim.Lru.touch st.lru b ~time:(now st);
+  Residency.Area.on_execute st.area ~block:b ~step ~time:(now st);
   st.emit (Exec { block = b; at = now st });
   st.exec_cycles <- st.exec_cycles + cycles;
   Sim.Clock.advance st.clock ~cycles
@@ -350,7 +358,7 @@ let issue_prefetch st ~step ~exclude c =
       in
       st.status.(c) <- Decompressing { ready_at; prefetched = true };
       st.inflight <- insert_sorted st.inflight (ready_at, c);
-      Kedge.track st.kedge ~block:c ~step;
+      Residency.Area.on_materialize st.area ~block:c ~step;
       st.prefetch_decompressions <- st.prefetch_decompressions + 1;
       st.emit (Prefetch_issue { block = c; at = now st; ready_at })
     end
@@ -369,9 +377,9 @@ let traverse_edge st ~b ~next ~step =
         | Resident _ -> delete_copy st ~eviction:false d
         | Decompressing _ ->
           (* Still in flight: give it another k edges. *)
-          Kedge.track st.kedge ~block:d ~step
+          Residency.Area.rearm st.area ~block:d ~step
         | Compressed | Recompressing _ -> ())
-    (Kedge.due st.kedge ~step);
+    (Residency.Area.due st.area ~step);
   (* Pre-decompression of blocks up to [lookahead] edges ahead. *)
   (match st.policy.Policy.strategy with
   | Policy.On_demand -> ()
@@ -419,6 +427,17 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
         f ev;
         s.Sim.Events.emit ev
   in
+  let retention =
+    Residency.Policy.instantiate policy.Policy.retention
+      {
+        Residency.Policy.blocks = n;
+        k = policy.Policy.compress_k;
+        k_of = policy.Policy.adaptive_k;
+        graph = Some graph;
+        budget = policy.Policy.budget;
+        size_of = Some (fun b -> info.(b).uncompressed_bytes);
+      }
+  in
   let st =
     {
       graph;
@@ -427,11 +446,8 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
       config;
       emit;
       status = Array.make n Compressed;
-      kedge =
-        Kedge.create ?k_of:policy.Policy.adaptive_k ~blocks:n
-          ~k:policy.Policy.compress_k ();
-      remember = Memsim.Remember.create ~blocks:n;
-      lru = Memsim.Lru.create ();
+      area =
+        Residency.Area.create ~policy:retention ~blocks:n ~site_key:Fun.id ();
       pred_state = Predictor.create_state ~blocks:n;
       clock = Sim.Clock.create ();
       dec = Sim.Clock.resource ();
@@ -472,7 +488,7 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
   for i = 0 to len - 1 do
     let b = trace.(i) in
     let prev = if i = 0 then None else Some trace.(i - 1) in
-    arrive st ~prev b;
+    arrive st ~step:i ~prev b;
     execute st ~step:i ~cycles:(cycles_at i b) b;
     if i + 1 < len then traverse_edge st ~b ~next:trace.(i + 1) ~step:(i + 1)
   done;

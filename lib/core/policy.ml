@@ -11,6 +11,7 @@ type t = {
   mode : compression_mode;
   strategy : decompression_strategy;
   budget : int option;
+  retention : Residency.Policy.spec;
 }
 
 let validate t =
@@ -19,13 +20,21 @@ let validate t =
   | On_demand -> ()
   | Pre_all { lookahead } | Pre_single { lookahead; _ } ->
     if lookahead < 1 then invalid_arg "Core.Policy: lookahead must be >= 1");
+  (match t.retention with
+  | Residency.Policy.Loop_aware { weight } ->
+    if weight < 1 then
+      invalid_arg "Core.Policy: loop-aware retention weight must be >= 1"
+  | Residency.Policy.Pin_hot { pinned } ->
+    if List.exists (fun b -> b < 0) pinned then
+      invalid_arg "Core.Policy: pinned blocks must be >= 0"
+  | Residency.Policy.Kedge | Residency.Policy.Clock -> ());
   match t.budget with
   | Some b when b <= 0 -> invalid_arg "Core.Policy: budget must be positive"
   | Some _ | None -> ()
 
 let make ?(mode = Discard) ?(strategy = On_demand) ?budget ?adaptive_k
-    ~compress_k () =
-  let t = { compress_k; adaptive_k; mode; strategy; budget } in
+    ?(retention = Residency.Policy.Kedge) ~compress_k () =
+  let t = { compress_k; adaptive_k; mode; strategy; budget; retention } in
   validate t;
   t
 
@@ -54,3 +63,7 @@ let describe t =
     (match t.budget with
     | None -> ""
     | Some b -> Printf.sprintf ", budget %dB" b)
+  ^
+  match t.retention with
+  | Residency.Policy.Kedge -> ""
+  | r -> Printf.sprintf ", retention %s" (Residency.Policy.spec_name r)

@@ -34,8 +34,12 @@ type t = {
   mode : compression_mode;
   strategy : decompression_strategy;
   budget : int option;
-      (** optional cap on decompressed-area bytes; LRU eviction keeps
-          the area under it *)
+      (** optional cap on decompressed-area bytes; the retention
+          policy's victim selection keeps the area under it *)
+  retention : Residency.Policy.spec;
+      (** which copies survive: the paper's k-edge/LRU scheme
+          ({!Residency.Policy.Kedge}, the default) or one of the
+          alternative retention policies *)
 }
 
 val make :
@@ -43,12 +47,15 @@ val make :
   ?strategy:decompression_strategy ->
   ?budget:int ->
   ?adaptive_k:(int -> int) ->
+  ?retention:Residency.Policy.spec ->
   compress_k:int ->
   unit ->
   t
-(** Defaults: [Discard], [On_demand], no budget, uniform k.
+(** Defaults: [Discard], [On_demand], no budget, uniform k, [Kedge]
+    retention.
     @raise Invalid_argument if [compress_k < 1], a lookahead is
-    [< 1], or the budget is [<= 0]. *)
+    [< 1], the budget is [<= 0], or the retention spec is malformed
+    (loop-aware weight [< 1], negative pinned ids). *)
 
 val on_demand : k:int -> t
 val pre_all : k:int -> lookahead:int -> t

@@ -23,7 +23,7 @@ let replay () =
   let layout =
     Memsim.Layout.create ~compressed_sizes:csizes ~uncompressed_sizes:usizes ()
   in
-  let kedge = Core.Kedge.create ~blocks:4 ~k:2 () in
+  let kedge = Memsim.Kedge.create ~blocks:4 ~k:2 () in
   let steps = ref [] in
   let patched_back = ref 0 in
   let snap label action =
@@ -44,12 +44,12 @@ let replay () =
             if d <> b && Memsim.Layout.resident layout d then begin
               let patches = Memsim.Layout.discard layout d in
               patched_back := !patched_back + patches;
-              Core.Kedge.untrack kedge ~block:d;
+              Memsim.Kedge.untrack kedge ~block:d;
               note
                 (Printf.sprintf "delete B%d' (%d branch sites patched back)" d
                    patches)
             end)
-          (Core.Kedge.due kedge ~step:i);
+          (Memsim.Kedge.due kedge ~step:i);
       (* Arrival. *)
       (if Memsim.Layout.resident layout b then begin
          match i with
@@ -73,7 +73,7 @@ let replay () =
              note (Printf.sprintf "patch branch in B%d' to B%d'" site b)
          end
        end);
-      Core.Kedge.track kedge ~block:b ~step:i;
+      Memsim.Kedge.track kedge ~block:b ~step:i;
       incr stepno;
       snap
         (Printf.sprintf "(%d)" !stepno)

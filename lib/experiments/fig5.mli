@@ -1,6 +1,6 @@
 (** E5 — Figure 5: the §5 memory organization traced step by step for
     the access pattern B0, B1, B0, B1, B3 with k = 2. Drives
-    {!Memsim.Layout} and {!Core.Kedge} directly (independent of the
+    {!Memsim.Layout} and {!Memsim.Kedge} directly (independent of the
     engine) and reproduces the nine numbered snapshots: initial
     all-compressed image, decompressions into the separate area,
     branch patching via remember sets, the exception-free direct

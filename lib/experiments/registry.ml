@@ -78,6 +78,12 @@ let all =
       paper_anchor = "model vs. executable runtime";
       runner = Validation.run;
     };
+    {
+      id = "E17";
+      slug = "retention-compare";
+      paper_anchor = "extension: residency policies beyond section 3";
+      runner = Retention_compare.run;
+    };
   ]
 
 let find key =

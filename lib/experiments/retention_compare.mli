@@ -1,0 +1,34 @@
+(** E17: the pluggable retention policies (k-edge, loop-aware, clock,
+    pin-hot) head to head over the whole workload suite at one k —
+    aggregate stalls, patch-backs, discards, peak decompressed bytes
+    and mean overhead per policy. Exercises the {!Residency} layer the
+    way a policy author would. *)
+
+type agg = {
+  mutable total_cycles : int;
+  mutable stall_cycles : int;
+  mutable exceptions : int;
+  mutable patches : int;
+  mutable discards : int;
+  mutable peak_bytes : int;  (** max over the suite *)
+  mutable overhead_sum : float;
+  mutable runs : int;
+}
+
+val policies : string list
+(** CLI-facing names, in table order. *)
+
+val retention_of_name : string -> Residency.Policy.spec
+(** The profile-free policies ([kedge], [loop-aware], [clock]).
+    @raise Invalid_argument for unknown names (including [pin-hot],
+    which needs a profile — use {!retention_for}). *)
+
+val retention_for : Core.Scenario.t -> string -> Residency.Policy.spec
+(** The spec a named policy uses for one scenario (pin-hot derives its
+    pinned set from the scenario's own profile).
+    @raise Invalid_argument for unknown names. *)
+
+val rows : unit -> (string * agg) list
+(** Aggregates per policy across the suite. *)
+
+val run : unit -> Report.Table.t

@@ -6,15 +6,15 @@ type t = {
 }
 
 let create ?k_of ~blocks ~k () =
-  if k < 1 then invalid_arg "Core.Kedge.create: k must be >= 1";
-  if blocks < 1 then invalid_arg "Core.Kedge.create: blocks must be >= 1";
+  if k < 1 then invalid_arg "Memsim.Kedge.create: k must be >= 1";
+  if blocks < 1 then invalid_arg "Memsim.Kedge.create: blocks must be >= 1";
   let k_of =
     match k_of with
     | None -> fun _ -> k
     | Some f ->
       fun b ->
         let kb = f b in
-        if kb < 1 then invalid_arg "Core.Kedge: per-block k must be >= 1"
+        if kb < 1 then invalid_arg "Memsim.Kedge: per-block k must be >= 1"
         else kb
   in
   { k; k_of; base = Array.make blocks (-1); due_at = Hashtbl.create 64 }

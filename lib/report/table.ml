@@ -113,6 +113,57 @@ let to_jsonl t =
   in
   String.concat "\n" (List.map line (rows t)) ^ "\n"
 
+let markdown_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '|' -> Buffer.add_string buf "\\|"
+      | '\n' | '\r' -> Buffer.add_string buf "<br>"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_markdown t =
+  let headers = List.map (fun (h, _) -> markdown_escape h) t.columns in
+  let body = List.map (List.map markdown_escape) (rows t) in
+  let widths =
+    List.mapi
+      (fun i _ ->
+        List.fold_left
+          (fun w row -> max w (String.length (List.nth row i)))
+          3 (* a divider cell is at least --- *)
+          (headers :: body))
+      t.columns
+  in
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line cells =
+    "| "
+    ^ String.concat " | "
+        (List.map2
+           (fun (cell, (_, align)) width -> pad align width cell)
+           (List.combine cells t.columns)
+           widths)
+    ^ " |"
+  in
+  let divider =
+    "|"
+    ^ String.concat "|"
+        (List.map2
+           (fun (_, align) width ->
+             (* Markdown alignment markers: ---- for left, ---: for
+                right. *)
+             match align with
+             | Left -> " " ^ String.make width '-' ^ " "
+             | Right -> " " ^ String.make (width - 1) '-' ^ ": ")
+           t.columns widths)
+    ^ "|"
+  in
+  String.concat "\n" (line headers :: divider :: List.map line body) ^ "\n"
+
 let print t =
   print_string (render t);
   print_newline ()

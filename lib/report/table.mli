@@ -36,6 +36,12 @@ val to_jsonl : t -> string
     consumed by log pipelines, and the one {!Sim.Metrics} and the
     event sinks reuse. The table title is not included. *)
 
+val to_markdown : t -> string
+(** GitHub-flavored Markdown: pipe-aligned columns (padded so the raw
+    text is readable too), alignment markers from the column spec
+    ([---:] for right-aligned), cells with [|] escaped and newlines
+    turned into [<br>]. The table title is not included. *)
+
 val print : t -> unit
 (** [render] to stdout followed by a blank line. *)
 

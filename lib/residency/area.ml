@@ -1,0 +1,75 @@
+type 'site t = {
+  policy : Policy.t;
+  blocks : int;
+  site_key : 'site -> int;
+  emit : Sim.Events.t -> unit;
+  now : unit -> int;
+  keys : Memsim.Remember.t;  (* site keys, for O(log n) dedup *)
+  sites : 'site list array;  (* payloads, most recent first *)
+}
+
+let create ~policy ~blocks ?(emit = fun (_ : Sim.Events.t) -> ())
+    ?(now = fun () -> 0) ~site_key () =
+  if blocks < 1 then invalid_arg "Residency.Area.create: blocks must be >= 1";
+  {
+    policy;
+    blocks;
+    site_key;
+    emit;
+    now;
+    keys = Memsim.Remember.create ~blocks;
+    sites = Array.make blocks [];
+  }
+
+let policy t = t.policy
+let on_materialize t ~block ~step = t.policy.Policy.on_materialize ~block ~step
+let on_ready t ~block ~time = t.policy.Policy.on_ready ~block ~time
+
+let on_execute t ~block ~step ~time =
+  t.policy.Policy.on_execute ~block ~step ~time
+
+let rearm t ~block ~step = t.policy.Policy.rearm ~block ~step
+let due t ~step = t.policy.Policy.due ~step
+let victim t ~exclude = t.policy.Policy.victim ~exclude
+
+let record_site t ~target ~site =
+  if Memsim.Remember.record t.keys ~target ~site:(t.site_key site) then begin
+    t.sites.(target) <- site :: t.sites.(target);
+    true
+  end
+  else false
+
+let site_count t ~target = Memsim.Remember.cardinal t.keys ~target
+let total_sites t = Memsim.Remember.total_sites t.keys
+
+let forget_sites t ~target ~where =
+  let removed = ref 0 in
+  t.sites.(target) <-
+    List.filter
+      (fun s ->
+        if where s then begin
+          ignore
+            (Memsim.Remember.remove_site t.keys ~target ~site:(t.site_key s));
+          incr removed;
+          false
+        end
+        else true)
+      t.sites.(target);
+  !removed
+
+let release t ~block ~patch_back =
+  let sites = List.rev t.sites.(block) in
+  t.sites.(block) <- [];
+  ignore (Memsim.Remember.flush t.keys ~target:block);
+  t.policy.Policy.on_release ~block;
+  List.fold_left (fun n s -> if patch_back s then n + 1 else n) 0 sites
+
+let discard ?(wasted = false) t ~block ~patch_back =
+  let patched_back = release t ~block ~patch_back in
+  t.emit (Sim.Events.Discard { block; at = t.now (); patched_back; wasted });
+  patched_back
+
+let evict t ~block ~patch_back =
+  let patched_back = release t ~block ~patch_back in
+  t.emit (Sim.Events.Evict { block; at = t.now () });
+  patched_back

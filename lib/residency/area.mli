@@ -1,0 +1,70 @@
+(** The decompressed-copy area manager: one copy-lifecycle engine
+    shared by the timing model, the executable runtime and the
+    baselines.
+
+    An area couples a retention {!Policy.t} (when copies die) with the
+    remember-set bookkeeping every host needs (which branch sites were
+    patched to point at each copy, paper §5) and with {!Sim.Events}
+    emission for the discard/evict vocabulary.
+
+    The area is generic in the {e site} representation: the timing
+    model records the branching block's id ([int]), the executable
+    runtime records concrete patched slots ([copy * slot]). [site_key]
+    must injectively map a site to an [int] — the area uses it to
+    deduplicate repeated patches of the same site. *)
+
+type 'site t
+
+val create :
+  policy:Policy.t ->
+  blocks:int ->
+  ?emit:(Sim.Events.t -> unit) ->
+  ?now:(unit -> int) ->
+  site_key:('site -> int) ->
+  unit ->
+  'site t
+(** [emit]/[now] are used only by {!discard} and {!evict} (hosts that
+    emit their own events use {!release} instead). *)
+
+val policy : 'site t -> Policy.t
+
+(** {1 Retention hooks} — thin delegates to the policy; see
+    {!Policy.t} for semantics. *)
+
+val on_materialize : 'site t -> block:int -> step:int -> unit
+val on_ready : 'site t -> block:int -> time:int -> unit
+val on_execute : 'site t -> block:int -> step:int -> time:int -> unit
+val rearm : 'site t -> block:int -> step:int -> unit
+val due : 'site t -> step:int -> int list
+val victim : 'site t -> exclude:(int -> bool) -> int option
+
+(** {1 Remember sets} *)
+
+val record_site : 'site t -> target:int -> site:'site -> bool
+(** Records that [site] was patched to point at [target]'s copy.
+    Returns [true] if the site was new ([false] = already recorded, no
+    patch was needed). *)
+
+val site_count : 'site t -> target:int -> int
+val total_sites : 'site t -> int
+
+val forget_sites : 'site t -> target:int -> where:('site -> bool) -> int
+(** Drops recorded sites matching [where] without patching them back —
+    used when the {e site's own} copy disappears and its patched branch
+    goes with it. Returns how many were dropped. *)
+
+(** {1 Copy death} *)
+
+val release : 'site t -> block:int -> patch_back:('site -> bool) -> int
+(** Ends [block]'s copy: flushes its remember set through [patch_back]
+    (in recording order; the return value counts [true] results, i.e.
+    patches actually performed) and tells the policy to drop its
+    state. Emits nothing — for hosts that emit their own
+    discard/evict events. *)
+
+val discard :
+  ?wasted:bool -> 'site t -> block:int -> patch_back:('site -> bool) -> int
+(** {!release}, then emits [Discard] stamped with [now ()]. *)
+
+val evict : 'site t -> block:int -> patch_back:('site -> bool) -> int
+(** {!release}, then emits [Evict] stamped with [now ()]. *)

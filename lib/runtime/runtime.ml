@@ -126,11 +126,11 @@ type state = {
   emit : Sim.Events.t -> unit;
   compressed : bytes array;
   layouts : layout array;
-  kedge : Core.Kedge.t;
+  area : (copy * int) Residency.Area.t;
+      (* copy lifecycle: the retention policy plus the paper's remember
+         sets, for real — per target block, the patched jump sites
+         (copy, slot) currently pointing at its copy *)
   by_block : copy option array;
-  remember : (copy * int) list array;
-      (* per target block: the patched jump sites currently pointing at
-         its copy — the paper's remember sets, for real *)
   mutable copies : copy array;  (* current epoch, base-ordered *)
   mutable ncopies : int;
   copy_base : int;
@@ -190,43 +190,38 @@ let patch_site st (c, idx) ~target_block ~target_addr =
       let patched = Eris.Types.Jal (Eris.Types.r0, (target_addr - (site_pc + 4)) / 4) in
       (match Eris.Types.validate patched with
       | Ok () ->
-        c.instrs.(idx) <- patched;
-        st.remember.(target_block) <- (c, idx) :: st.remember.(target_block);
-        st.patches <- st.patches + 1;
-        st.emit
-          (Sim.Events.Patch
-             { target = target_block; site = c.block; at = at st })
+        if Residency.Area.record_site st.area ~target:target_block ~site:(c, idx)
+        then begin
+          c.instrs.(idx) <- patched;
+          st.patches <- st.patches + 1;
+          st.emit
+            (Sim.Events.Patch
+               { target = target_block; site = c.block; at = at st })
+        end
       | Error _ -> () (* out of reach: leave it faulting *))
     | Plain _ | Skip _ -> () (* jalr sites and the like: not patchable *)
   end
 
-(* Patch every remembered site back to the home address (the §5
-   patch-back step), dropping entries whose site copy is itself gone. *)
-let unpatch_sites st block =
-  let patched_back = ref 0 in
-  List.iter
-    (fun (c, idx) ->
-      if c.live then begin
-        c.instrs.(idx) <- materialize st.layouts.(c.block) ~base:c.base idx;
-        st.unpatches <- st.unpatches + 1;
-        incr patched_back;
-        st.emit
-          (Sim.Events.Unpatch { target = block; site = c.block; at = at st })
-      end)
-    st.remember.(block);
-  st.remember.(block) <- [];
-  !patched_back
+(* Patch one remembered site back to the home address (the §5
+   patch-back step); sites whose copy is itself gone need nothing. *)
+let unpatch_site st ~target (c, idx) =
+  if c.live then begin
+    c.instrs.(idx) <- materialize st.layouts.(c.block) ~base:c.base idx;
+    st.unpatches <- st.unpatches + 1;
+    st.emit (Sim.Events.Unpatch { target; site = c.block; at = at st });
+    true
+  end
+  else false
 
 let delete_copy st c =
-  let patched_back = unpatch_sites st c.block in
+  ignore
+    (Residency.Area.discard st.area ~block:c.block
+       ~patch_back:(unpatch_site st ~target:c.block));
   c.live <- false;
   st.by_block.(c.block) <- None;
   st.live_bytes <- st.live_bytes - copy_bytes c;
   c.instrs <- [||];
-  st.deletions <- st.deletions + 1;
-  st.emit
-    (Sim.Events.Discard
-       { block = c.block; at = at st; patched_back; wasted = false })
+  st.deletions <- st.deletions + 1
 
 (* Retire everything and recycle the address space. Safe because
    nothing can reference a copy once its remember set is patched back
@@ -235,15 +230,17 @@ let flush st =
   let retired = ref 0 in
   Array.iteri
     (fun b copy ->
+      ignore
+        (Residency.Area.release st.area ~block:b
+           ~patch_back:(unpatch_site st ~target:b));
       match copy with
       | Some c ->
-        ignore (unpatch_sites st b);
         c.live <- false;
         c.instrs <- [||];
         st.by_block.(b) <- None;
         st.deletions <- st.deletions + 1;
         incr retired
-      | None -> st.remember.(b) <- [])
+      | None -> ())
     st.by_block;
   st.copies <- [||];
   st.ncopies <- 0;
@@ -301,6 +298,8 @@ let make_copy st block_id =
   st.by_block.(block_id) <- Some c;
   st.live_bytes <- st.live_bytes + (4 * slots);
   if st.live_bytes > st.peak_bytes then st.peak_bytes <- st.live_bytes;
+  Residency.Area.on_materialize st.area ~block:block_id ~step:st.edges;
+  Residency.Area.on_ready st.area ~block:block_id ~time:(at st);
   c
 
 (* ------------------------------------------------------------------ *)
@@ -319,8 +318,9 @@ let on_edge st ~target_block =
         match st.by_block.(d) with
         | Some c -> delete_copy st c
         | None -> ())
-    (Core.Kedge.due st.kedge ~step:st.edges);
-  Core.Kedge.track st.kedge ~block:target_block ~step:st.edges;
+    (Residency.Area.due st.area ~step:st.edges);
+  Residency.Area.on_execute st.area ~block:target_block ~step:st.edges
+    ~time:(at st);
   st.emit (Sim.Events.Exec { block = target_block; at = at st })
 
 (* ------------------------------------------------------------------ *)
@@ -400,7 +400,8 @@ let register_stats ?(labels = []) registry (s : stats) =
   c "compressed_image_bytes" s.compressed_image_bytes;
   c "original_image_bytes" s.original_image_bytes
 
-let run ?(fuel = 20_000_000) ?(k = 8) ?codec ?cost ?sink ?registry prog =
+let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
+    ?codec ?cost ?sink ?registry prog =
   let graph = Cfg.Build.of_program prog in
   let codec =
     match codec with
@@ -438,19 +439,38 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?codec ?cost ?sink ?registry prog =
       (Cfg.Graph.blocks graph)
   in
   let copy_base = ((Eris.Program.byte_size prog / 4096) + 1) * 4096 in
+  let machine = Eris.Machine.create prog in
+  let n = Cfg.Graph.num_blocks graph in
+  let area =
+    Residency.Area.create
+      ~policy:
+        (Residency.Policy.instantiate retention
+           {
+             Residency.Policy.blocks = n;
+             k;
+             k_of = None;
+             graph = Some graph;
+             budget = None;
+             size_of =
+               Some (fun b -> (Cfg.Graph.block graph b).Cfg.Graph.byte_size);
+           })
+      ~blocks:n ~emit
+      ~now:(fun () -> Eris.Machine.instr_count machine)
+      ~site_key:(fun ((c : copy), idx) -> c.base + (4 * idx))
+      ()
+  in
   let st =
     {
       prog;
       graph;
-      machine = Eris.Machine.create prog;
+      machine;
       codec;
       cost;
       emit;
       compressed;
       layouts;
-      kedge = Core.Kedge.create ~blocks:(Cfg.Graph.num_blocks graph) ~k ();
-      by_block = Array.make (Cfg.Graph.num_blocks graph) None;
-      remember = Array.make (Cfg.Graph.num_blocks graph) [];
+      area;
+      by_block = Array.make n None;
       copies = [||];
       ncopies = 0;
       copy_base;
@@ -506,7 +526,8 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?codec ?cost ?sink ?registry prog =
         loop budget
     end
   in
-  Core.Kedge.track st.kedge ~block:(Cfg.Graph.entry graph) ~step:0;
+  Residency.Area.on_execute st.area ~block:(Cfg.Graph.entry graph) ~step:0
+    ~time:0;
   st.emit (Sim.Events.Exec { block = Cfg.Graph.entry graph; at = 0 });
   let finish result =
     (match registry with
@@ -531,5 +552,6 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?codec ?cost ?sink ?registry prog =
          (Machine_fault
             { pc = Eris.Machine.pc st.machine; message; stats = stats_of st }))
 
-let run_source ?fuel ?k ?codec ?cost ?sink ?registry source =
-  run ?fuel ?k ?codec ?cost ?sink ?registry (Eris.Asm.assemble_exn source)
+let run_source ?fuel ?k ?retention ?codec ?cost ?sink ?registry source =
+  run ?fuel ?k ?retention ?codec ?cost ?sink ?registry
+    (Eris.Asm.assemble_exn source)

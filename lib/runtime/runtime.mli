@@ -51,6 +51,7 @@ type error =
 val run :
   ?fuel:int ->
   ?k:int ->
+  ?retention:Residency.Policy.spec ->
   ?codec:Compress.Codec.t ->
   ?cost:Sim.Cost.t ->
   ?sink:Sim.Events.sink ->
@@ -58,9 +59,13 @@ val run :
   Eris.Program.t ->
   (Eris.Machine.t * stats, error) result
 (** Executes the program from an all-compressed image until [Halt].
-    [k] (default 8) is the k-edge deletion distance; [codec] defaults
-    to the positional shared-Huffman model trained on this image.
-    The returned machine exposes final registers and data memory.
+    [k] (default 8) is the k-edge deletion distance; [retention]
+    (default {!Residency.Policy.Kedge}) selects which copies survive —
+    the runtime and {!Core.Engine} drive the same {!Residency.Area},
+    so any retention policy behaves identically in both; [codec]
+    defaults to the positional shared-Huffman model trained on this
+    image. The returned machine exposes final registers and data
+    memory.
 
     [sink] streams the execution as {!Sim.Events} (the runtime has no
     cycle clock, so [at] is the executed-instruction count; event
@@ -72,6 +77,7 @@ val run :
 val run_source :
   ?fuel:int ->
   ?k:int ->
+  ?retention:Residency.Policy.spec ->
   ?codec:Compress.Codec.t ->
   ?cost:Sim.Cost.t ->
   ?sink:Sim.Events.sink ->

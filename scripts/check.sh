@@ -1,8 +1,12 @@
 #!/bin/sh
-# Tier-1 gate: full build (library + CLI + examples + bench) and the
-# complete test suite. `make check` runs the same thing.
+# Tier-1 gate: dune-file formatting, full build (library + CLI +
+# examples + bench), the complete test suite, and a bench smoke run
+# (the streaming event-bus check, which has a built-in failure
+# condition). `make check` runs the same build + tests.
 set -eu
 cd "$(dirname "$0")/.."
+dune build @fmt
 dune build @all
 dune runtest
+dune exec bench/main.exe -- --smoke
 echo "check: OK"

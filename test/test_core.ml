@@ -9,50 +9,50 @@ let check_il = Alcotest.check Alcotest.(list int)
 (* Kedge                                                               *)
 
 let test_kedge_basic () =
-  let k = Core.Kedge.create ~blocks:4 ~k:2 () in
-  Core.Kedge.track k ~block:0 ~step:0;
-  checkb "tracked" true (Core.Kedge.tracked k ~block:0);
-  checkb "counter at 1" true (Core.Kedge.counter k ~block:0 ~step:1 = Some 1);
-  check_il "not due before k" [] (Core.Kedge.due k ~step:1);
-  check_il "due at k" [ 0 ] (Core.Kedge.due k ~step:2);
+  let k = Memsim.Kedge.create ~blocks:4 ~k:2 () in
+  Memsim.Kedge.track k ~block:0 ~step:0;
+  checkb "tracked" true (Memsim.Kedge.tracked k ~block:0);
+  checkb "counter at 1" true (Memsim.Kedge.counter k ~block:0 ~step:1 = Some 1);
+  check_il "not due before k" [] (Memsim.Kedge.due k ~step:1);
+  check_il "due at k" [ 0 ] (Memsim.Kedge.due k ~step:2);
   checkb "untracked has no counter" true
-    (Core.Kedge.counter k ~block:1 ~step:5 = None)
+    (Memsim.Kedge.counter k ~block:1 ~step:5 = None)
 
 let test_kedge_reset_on_reexecution () =
-  let k = Core.Kedge.create ~blocks:4 ~k:2 () in
-  Core.Kedge.track k ~block:0 ~step:0;
+  let k = Memsim.Kedge.create ~blocks:4 ~k:2 () in
+  Memsim.Kedge.track k ~block:0 ~step:0;
   (* re-executed at step 1: counter resets, old due entry is stale *)
-  Core.Kedge.track k ~block:0 ~step:1;
-  check_il "stale entry filtered" [] (Core.Kedge.due k ~step:2);
-  check_il "new due honored" [ 0 ] (Core.Kedge.due k ~step:3)
+  Memsim.Kedge.track k ~block:0 ~step:1;
+  check_il "stale entry filtered" [] (Memsim.Kedge.due k ~step:2);
+  check_il "new due honored" [ 0 ] (Memsim.Kedge.due k ~step:3)
 
 let test_kedge_untrack () =
-  let k = Core.Kedge.create ~blocks:4 ~k:1 () in
-  Core.Kedge.track k ~block:2 ~step:5;
-  Core.Kedge.untrack k ~block:2;
-  check_il "untracked not due" [] (Core.Kedge.due k ~step:6)
+  let k = Memsim.Kedge.create ~blocks:4 ~k:1 () in
+  Memsim.Kedge.track k ~block:2 ~step:5;
+  Memsim.Kedge.untrack k ~block:2;
+  check_il "untracked not due" [] (Memsim.Kedge.due k ~step:6)
 
 let test_kedge_k1_and_multiple () =
-  let k = Core.Kedge.create ~blocks:4 ~k:1 () in
-  Core.Kedge.track k ~block:0 ~step:0;
-  Core.Kedge.track k ~block:1 ~step:0;
-  check_il "both due, sorted" [ 0; 1 ] (Core.Kedge.due k ~step:1);
+  let k = Memsim.Kedge.create ~blocks:4 ~k:1 () in
+  Memsim.Kedge.track k ~block:0 ~step:0;
+  Memsim.Kedge.track k ~block:1 ~step:0;
+  check_il "both due, sorted" [ 0; 1 ] (Memsim.Kedge.due k ~step:1);
   (* due consumes the entries *)
-  check_il "consumed" [] (Core.Kedge.due k ~step:1)
+  check_il "consumed" [] (Memsim.Kedge.due k ~step:1)
 
 let test_kedge_huge_k_no_overflow () =
-  let k = Core.Kedge.create ~blocks:2 ~k:max_int () in
-  Core.Kedge.track k ~block:0 ~step:100;
-  checkb "counter works" true (Core.Kedge.counter k ~block:0 ~step:200 = Some 100);
-  check_il "never due" [] (Core.Kedge.due k ~step:1000)
+  let k = Memsim.Kedge.create ~blocks:2 ~k:max_int () in
+  Memsim.Kedge.track k ~block:0 ~step:100;
+  checkb "counter works" true (Memsim.Kedge.counter k ~block:0 ~step:200 = Some 100);
+  check_il "never due" [] (Memsim.Kedge.due k ~step:1000)
 
 let test_kedge_validation () =
   Alcotest.check_raises "k=0 rejected"
-    (Invalid_argument "Core.Kedge.create: k must be >= 1") (fun () ->
-      ignore (Core.Kedge.create ~blocks:1 ~k:0 ()));
+    (Invalid_argument "Memsim.Kedge.create: k must be >= 1") (fun () ->
+      ignore (Memsim.Kedge.create ~blocks:1 ~k:0 ()));
   Alcotest.check_raises "blocks=0 rejected"
-    (Invalid_argument "Core.Kedge.create: blocks must be >= 1") (fun () ->
-      ignore (Core.Kedge.create ~blocks:0 ~k:1 ()))
+    (Invalid_argument "Memsim.Kedge.create: blocks must be >= 1") (fun () ->
+      ignore (Memsim.Kedge.create ~blocks:0 ~k:1 ()))
 
 (* ------------------------------------------------------------------ *)
 (* Policy                                                              *)
@@ -505,19 +505,19 @@ let () =
 
 let test_kedge_per_block () =
   let k_of b = if b = 0 then 1 else 5 in
-  let k = Core.Kedge.create ~k_of ~blocks:2 ~k:3 () in
-  checki "k_for 0" 1 (Core.Kedge.k_for k ~block:0);
-  checki "k_for 1" 5 (Core.Kedge.k_for k ~block:1);
-  Core.Kedge.track k ~block:0 ~step:0;
-  Core.Kedge.track k ~block:1 ~step:0;
-  check_il "only block 0 due at 1" [ 0 ] (Core.Kedge.due k ~step:1);
-  check_il "block 1 due at 5" [ 1 ] (Core.Kedge.due k ~step:5)
+  let k = Memsim.Kedge.create ~k_of ~blocks:2 ~k:3 () in
+  checki "k_for 0" 1 (Memsim.Kedge.k_for k ~block:0);
+  checki "k_for 1" 5 (Memsim.Kedge.k_for k ~block:1);
+  Memsim.Kedge.track k ~block:0 ~step:0;
+  Memsim.Kedge.track k ~block:1 ~step:0;
+  check_il "only block 0 due at 1" [ 0 ] (Memsim.Kedge.due k ~step:1);
+  check_il "block 1 due at 5" [ 1 ] (Memsim.Kedge.due k ~step:5)
 
 let test_kedge_per_block_validation () =
-  let k = Core.Kedge.create ~k_of:(fun _ -> 0) ~blocks:2 ~k:3 () in
+  let k = Memsim.Kedge.create ~k_of:(fun _ -> 0) ~blocks:2 ~k:3 () in
   Alcotest.check_raises "k_of below 1 rejected on use"
-    (Invalid_argument "Core.Kedge: per-block k must be >= 1") (fun () ->
-      Core.Kedge.track k ~block:0 ~step:0)
+    (Invalid_argument "Memsim.Kedge: per-block k must be >= 1") (fun () ->
+      Memsim.Kedge.track k ~block:0 ~step:0)
 
 let test_adaptive_loop_aware () =
   (* 0 -> 1 <-> 2, 2 -> 3: loop {1, 2}. *)

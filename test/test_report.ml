@@ -87,6 +87,34 @@ let test_jsonl () =
   checks "escapes newlines" {|{"name":"line\nbreak","value":"2"}|}
     (List.nth lines 1)
 
+let test_markdown () =
+  let t = table () in
+  let lines =
+    String.split_on_char '\n' (String.trim (Report.Table.to_markdown t))
+  in
+  checki "header + divider + 2 rows" 4 (List.length lines);
+  checks "header padded" "| name  | value |" (List.nth lines 0);
+  checks "divider carries alignment" "| ----- | ----: |" (List.nth lines 1);
+  checks "left cell padded right" "| alpha |     1 |" (List.nth lines 2);
+  checks "right cell padded left" "| b     |    22 |" (List.nth lines 3);
+  (* every line has the same pipe skeleton *)
+  List.iter
+    (fun l -> checki "pipe count" 3 (String.fold_left
+         (fun n c -> if c = '|' then n + 1 else n) 0 l))
+    lines
+
+let test_markdown_escaping () =
+  let t =
+    Report.Table.create ~title:"m"
+      ~columns:[ ("c", Report.Table.Left) ]
+  in
+  Report.Table.add_row t [ "a|b" ];
+  Report.Table.add_row t [ "line\nbreak" ];
+  let md = Report.Table.to_markdown t in
+  checkb "pipes escaped" true (contains {|a\|b|} md);
+  checkb "newline becomes <br>" true (contains "line<br>break" md);
+  checkb "no raw newline inside a cell" false (contains "line\nbreak" md)
+
 let test_formatters () =
   checks "int" "42" (Report.Table.fmt_int 42);
   checks "float" "3.14" (Report.Table.fmt_float 3.14159);
@@ -107,6 +135,9 @@ let () =
           Alcotest.test_case "csv header escaping" `Quick
             test_csv_header_escaping;
           Alcotest.test_case "jsonl" `Quick test_jsonl;
+          Alcotest.test_case "markdown" `Quick test_markdown;
+          Alcotest.test_case "markdown escaping" `Quick
+            test_markdown_escaping;
           Alcotest.test_case "formatters" `Quick test_formatters;
         ] );
     ]
