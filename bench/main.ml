@@ -140,6 +140,8 @@ let codec_tests () =
    (near) zero no matter the trace length. Reported alongside the
    throughput so a regression to O(trace) buffering is immediately
    visible as a top-heap delta in the same order as the event count. *)
+(* Returns the wall time so the machine-readable BENCH.json can track
+   it across PRs alongside the per-kernel estimates. *)
 let streaming_bench () =
   let graph, _ =
     Trace.Synthetic.hot_cold ~hot_blocks:6 ~cold_blocks:24 ~hot_iters:4
@@ -176,7 +178,8 @@ let streaming_bench () =
   row "total cycles" (string_of_int m.Core.Metrics.total_cycles);
   Report.Table.print t;
   if events < length then
-    failwith "streaming bench: fewer events than trace steps?"
+    failwith "streaming bench: fewer events than trace steps?";
+  dt
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
@@ -196,6 +199,7 @@ let benchmark tests =
   in
   Analyze.all ols Instance.monotonic_clock raw
 
+(* Renders the table and returns (name, ns/run) rows for BENCH.json. *)
 let print_results results =
   let rows =
     Hashtbl.fold
@@ -228,7 +232,29 @@ let print_results results =
           Report.Table.fmt_float ~decimals:3 r2;
         ])
     rows;
-  Report.Table.print t
+  Report.Table.print t;
+  List.map (fun (name, estimate, _) -> (name, estimate)) rows
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json: the machine-readable twin of the human-readable output,
+   so the perf trajectory is diffable across PRs. One flat object,
+   kernel name -> wall-clock estimate (ns/run for bechamel rows,
+   seconds for whole-phase timings). *)
+
+let write_bench_json entries =
+  let oc = open_out "BENCH.json" in
+  output_string oc "{\n";
+  let n = List.length entries in
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "  \"%s\": %s%s\n"
+        (Report.Table.json_escape name)
+        (if Float.is_nan v then "null" else Printf.sprintf "%.6g" v)
+        (if i = n - 1 then "" else ","))
+    entries;
+  output_string oc "}\n";
+  close_out oc;
+  print_endline "(benchmark estimates written to BENCH.json)"
 
 (* ------------------------------------------------------------------ *)
 
@@ -237,20 +263,34 @@ let () =
      condition), fast enough for scripts/check.sh to gate on. *)
   if Array.exists (( = ) "--smoke") Sys.argv then begin
     print_endline "ccomp benchmark harness (smoke): streaming event bus.\n";
-    streaming_bench ()
+    let dt = streaming_bench () in
+    write_bench_json [ ("streaming-1M/wall-s", dt) ]
   end
   else begin
     print_endline
       "ccomp benchmark harness: micro-benchmarks per experiment, then the \
        regenerated tables for every figure/table of the paper.\n";
     let tests = experiment_tests () @ codec_tests () @ toolchain_tests () in
-    print_results (benchmark tests);
+    let estimates = print_results (benchmark tests) in
     print_newline ();
-    streaming_bench ();
+    let streaming_dt = streaming_bench () in
     print_newline ();
+    (* Full-table regeneration runs through the fleet pool (cache off:
+       a benchmark should measure engine work, not disk reads). *)
+    Experiments.Util.configure_fleet
+      ~jobs:(max 2 (Domain.recommended_domain_count ()))
+      ();
+    let t0 = Unix.gettimeofday () in
     List.iter
       (fun ((e : Experiments.Registry.entry), table) ->
         Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
           (Report.Table.render table))
-      (Experiments.Registry.run_all ())
+      (Experiments.Registry.run_all ());
+    let tables_dt = Unix.gettimeofday () -. t0 in
+    write_bench_json
+      (estimates
+      @ [
+          ("streaming-1M/wall-s", streaming_dt);
+          ("experiment-tables/wall-s", tables_dt);
+        ])
   end

@@ -219,35 +219,133 @@ let sim_cmd =
       $ retention_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Fleet options (shared by sweep and experiments)                     *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (positive_int "jobs") 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker-domain pool size; 1 runs inline with no domains.")
+
+let cache_dir_arg ~default =
+  let doc =
+    if default then
+      Printf.sprintf
+        "Content-addressed result cache directory (default %s)."
+        Fleet.Cache.default_dir
+    else
+      "Content-addressed result cache directory (caching is off unless \
+       this is given)."
+  in
+  Arg.(
+    value
+    & opt (some string)
+        (if default then Some Fleet.Cache.default_dir else None)
+    & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Disable the result cache entirely.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "Emit one JSONL line per completed job on stderr (same \
+           line-per-record format as --trace-out).")
+
+let fleet_cache ~no_cache ~cache_dir =
+  match cache_dir with
+  | Some dir when not no_cache -> Some (Fleet.Cache.open_dir dir)
+  | _ -> None
+
+let fleet_progress progress =
+  if progress then
+    Some
+      (fun line ->
+        output_string stderr (line ^ "\n");
+        flush stderr)
+  else None
+
+let print_fleet_summary registry =
+  let value name =
+    Sim.Metrics.value (Sim.Metrics.counter registry name)
+  in
+  Printf.printf
+    "fleet: submitted=%d completed=%d cache_hits=%d cache_misses=%d \
+     engine_runs=%d errors=%d\n"
+    (value "fleet_jobs_submitted")
+    (value "fleet_jobs_completed")
+    (value "fleet_cache_hits")
+    (value "fleet_cache_misses")
+    (value "fleet_engine_runs")
+    (value "fleet_jobs_errored")
+
+(* ------------------------------------------------------------------ *)
 (* ccomp experiments                                                   *)
 
-let experiments ids csv_dir =
-  let entries =
-    match ids with
-    | [] -> Experiments.Registry.all
-    | ids ->
-      List.map
-        (fun id ->
-          match Experiments.Registry.find id with
-          | Some e -> e
-          | None -> failwith (Printf.sprintf "unknown experiment %S" id))
-        ids
-  in
-  List.iter
-    (fun (e : Experiments.Registry.entry) ->
-      let table = e.runner () in
-      Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
-        (Report.Table.render table);
-      match csv_dir with
-      | None -> ()
-      | Some dir ->
-        let path = Filename.concat dir (e.slug ^ ".csv") in
-        let oc = open_out path in
-        output_string oc (Report.Table.to_csv table);
-        close_out oc;
-        Printf.printf "(csv written to %s)\n\n" path)
-    entries;
-  0
+let experiments ids csv_dir list_only jobs cache_dir no_cache progress metrics
+    =
+  if list_only then begin
+    let t =
+      Report.Table.create ~title:"registered experiments"
+        ~columns:
+          [
+            ("id", Report.Table.Left);
+            ("slug", Report.Table.Left);
+            ("paper anchor", Report.Table.Left);
+          ]
+    in
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        Report.Table.add_row t [ e.id; e.slug; e.paper_anchor ])
+      Experiments.Registry.all;
+    print_string (Report.Table.render t);
+    0
+  end
+  else begin
+    let entries =
+      match ids with
+      | [] -> Experiments.Registry.all
+      | ids ->
+        List.map
+          (fun id ->
+            match Experiments.Registry.find id with
+            | Some e -> e
+            | None -> failwith (Printf.sprintf "unknown experiment %S" id))
+          ids
+    in
+    let registry = Sim.Metrics.create () in
+    Experiments.Util.configure_fleet ~jobs
+      ?cache:(fleet_cache ~no_cache ~cache_dir)
+      ~registry
+      ?progress:(fleet_progress progress) ();
+    List.iter
+      (fun (e : Experiments.Registry.entry) ->
+        let table = e.runner () in
+        Printf.printf "[%s / %s] (%s)\n%s\n" e.id e.slug e.paper_anchor
+          (Report.Table.render table);
+        match csv_dir with
+        | None -> ()
+        | Some dir ->
+          let path = Filename.concat dir (e.slug ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Report.Table.to_csv table);
+          close_out oc;
+          Printf.printf "(csv written to %s)\n\n" path)
+      entries;
+    if metrics then
+      print_string
+        (Report.Table.render (Sim.Metrics.to_table ~title:"metrics" registry));
+    (* Keep the default output identical to the pre-fleet harness: the
+       summary only appears when a fleet knob was actually turned. *)
+    if jobs > 1 || cache_dir <> None || metrics || progress then
+      print_fleet_summary registry;
+    0
+  end
 
 let experiments_cmd =
   let ids =
@@ -261,8 +359,157 @@ let experiments_cmd =
       value & opt (some dir) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV here.")
   in
+  let list_only =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "Print each registered experiment's id, slug and paper anchor \
+             without running anything.")
+  in
   let doc = "Regenerate the paper's figures/tables (E1..E17)." in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const experiments $ ids $ csv)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(
+      const experiments $ ids $ csv $ list_only $ jobs_arg
+      $ cache_dir_arg ~default:false $ no_cache_arg $ progress_arg
+      $ metrics_arg)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp sweep                                                         *)
+
+let sweep workloads ks codec strategy lookahead predictor budget recompress
+    retention jobs cache_dir no_cache progress fuel timeout_ms metrics =
+  match
+    let names =
+      match workloads with [] -> Workloads.Suite.names | ws -> ws
+    in
+    List.iter (fun n -> ignore (Workloads.Suite.find_exn n)) names;
+    if codec <> "code" then ignore (Compress.Registry.find_exn codec);
+    let predictor =
+      match predictor with
+      | `First -> "first"
+      | `Last -> "last-taken"
+      | `Profile -> "profile"
+    in
+    let strategy =
+      match strategy with
+      | `On_demand -> Fleet.Job.On_demand
+      | `Pre_all -> Fleet.Job.Pre_all { lookahead }
+      | `Pre_single -> Fleet.Job.Pre_single { lookahead; predictor }
+    in
+    let mode =
+      if recompress then Fleet.Job.Recompress else Fleet.Job.Discard
+    in
+    let retention =
+      Experiments.Retention_compare.job_retention_of_name retention
+    in
+    (names, strategy, mode, retention)
+  with
+  | exception Invalid_argument msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | names, strategy, mode, retention ->
+    let specs =
+      Fleet.Sweep.matrix ~codecs:[ codec ] ~strategies:[ strategy ]
+        ~modes:[ mode ] ~budgets:[ budget ] ~retentions:[ retention ]
+        ~scenarios:names ~ks ()
+    in
+    let registry = Sim.Metrics.create () in
+    let outcomes =
+      Fleet.Sweep.run ~jobs
+        ?cache:(fleet_cache ~no_cache ~cache_dir)
+        ~registry
+        ?progress:(fleet_progress progress)
+        ?fuel ?timeout_ms
+        ~resolve:(fun ~scenario ~codec -> scenario_of ~codec scenario)
+        specs
+    in
+    let t =
+      Report.Table.create
+        ~title:
+          (Printf.sprintf
+             "sweep: %d jobs over %d workloads (codec %s, %d worker%s)"
+             (List.length specs) (List.length names) codec jobs
+             (if jobs = 1 then "" else "s"))
+        ~columns:
+          [
+            ("workload", Report.Table.Left);
+            ("k", Report.Table.Right);
+            ("overhead", Report.Table.Right);
+            ("peak mem saving", Report.Table.Right);
+            ("avg mem saving", Report.Table.Right);
+            ("demand decs", Report.Table.Right);
+            ("discards", Report.Table.Right);
+          ]
+    in
+    let errors = ref [] in
+    List.iter
+      (fun (o : Fleet.Sweep.outcome) ->
+        match o.result with
+        | Ok m ->
+          Report.Table.add_row t
+            [
+              o.job.Fleet.Job.scenario;
+              string_of_int o.job.Fleet.Job.k;
+              Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+              Report.Table.fmt_pct (Core.Metrics.peak_memory_saving m);
+              Report.Table.fmt_pct (Core.Metrics.avg_memory_saving m);
+              string_of_int m.Core.Metrics.demand_decompressions;
+              string_of_int m.Core.Metrics.discards;
+            ]
+        | Error msg ->
+          errors := (Fleet.Job.describe o.job, msg) :: !errors)
+      outcomes;
+    print_string (Report.Table.render t);
+    print_newline ();
+    if metrics then
+      print_string
+        (Report.Table.render (Sim.Metrics.to_table ~title:"metrics" registry));
+    print_fleet_summary registry;
+    List.iter
+      (fun (job, msg) -> Format.eprintf "error: %s: %s@." job msg)
+      (List.rev !errors);
+    if !errors = [] then 0 else 1
+
+let sweep_cmd =
+  let workloads =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"WORKLOAD"
+          ~doc:"Workloads to sweep (all when omitted).")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (list (positive_int "k")) [ 1; 2; 4; 8; 16; 32 ]
+      & info [ "ks" ] ~docv:"K,K,..."
+          ~doc:"Comma-separated k values of the sweep grid.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some (positive_int "fuel")) None
+      & info [ "fuel" ] ~docv:"TICKS"
+          ~doc:
+            "Per-job fuel: abort a job after this many simulation events.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some (positive_int "timeout")) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-job wall-clock timeout.")
+  in
+  let doc =
+    "Run a workload/policy sweep matrix through the fleet: a fixed-size \
+     domain worker pool with a content-addressed on-disk result cache."
+  in
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(
+      const sweep $ workloads $ ks $ codec_arg $ strategy_arg $ lookahead_arg
+      $ predictor_arg $ budget_arg $ recompress_arg $ retention_arg
+      $ jobs_arg
+      $ cache_dir_arg ~default:true
+      $ no_cache_arg $ progress_arg $ fuel $ timeout_ms $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp workloads                                                     *)
@@ -533,6 +780,7 @@ let main_cmd =
       sim_cmd;
       cc_cmd;
       run_cmd;
+      sweep_cmd;
       experiments_cmd;
       workloads_cmd;
       asm_cmd;

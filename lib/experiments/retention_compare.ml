@@ -45,28 +45,53 @@ let retention_for sc = function
 
 let policies = [ "kedge"; "loop-aware"; "clock"; "pin-hot" ]
 
+(* The serializable twin of [retention_for]: pin-hot's pinned set is
+   recomputed inside the fleet job from the scenario's own profile at
+   the same fraction, so the job spec stays closure-free. *)
+let job_retention_of_name = function
+  | "kedge" -> Fleet.Job.Kedge
+  | "loop-aware" -> Fleet.Job.Loop_aware { weight = 1 }
+  | "clock" -> Fleet.Job.Clock
+  | "pin-hot" -> Fleet.Job.Pin_hot { fraction = pin_fraction }
+  | name -> invalid_arg ("Retention_compare: unknown policy " ^ name)
+
 let rows () =
-  List.map
-    (fun name ->
-      let a = zero () in
-      List.iter
-        (fun sc ->
-          let retention = retention_for sc name in
-          let m =
-            Util.run sc (Core.Policy.make ~compress_k ~retention ())
-          in
-          a.total_cycles <- a.total_cycles + m.Core.Metrics.total_cycles;
-          a.stall_cycles <- a.stall_cycles + m.Core.Metrics.stall_cycles;
-          a.exceptions <- a.exceptions + m.Core.Metrics.exceptions;
-          a.patches <- a.patches + m.Core.Metrics.patches;
-          a.discards <- a.discards + m.Core.Metrics.discards;
-          a.peak_bytes <-
-            max a.peak_bytes m.Core.Metrics.peak_decompressed_bytes;
-          a.overhead_sum <- a.overhead_sum +. Core.Metrics.overhead_ratio m;
-          a.runs <- a.runs + 1)
-        (Util.scenarios ());
-      (name, a))
-    policies
+  let names =
+    List.map (fun sc -> sc.Core.Scenario.name) (Util.scenarios ())
+  in
+  let jobs =
+    List.concat_map
+      (fun policy ->
+        List.map
+          (fun scenario ->
+            Fleet.Job.make
+              ~retention:(job_retention_of_name policy)
+              ~scenario ~k:compress_k ())
+          names)
+      policies
+  in
+  let by_policy = Hashtbl.create 8 in
+  List.iter (fun p -> Hashtbl.replace by_policy p (zero ())) policies;
+  List.iter
+    (fun ((job : Fleet.Job.t), m) ->
+      let a =
+        Hashtbl.find by_policy
+          (match job.retention with
+          | Fleet.Job.Kedge -> "kedge"
+          | Fleet.Job.Loop_aware _ -> "loop-aware"
+          | Fleet.Job.Clock -> "clock"
+          | Fleet.Job.Pin_hot _ -> "pin-hot")
+      in
+      a.total_cycles <- a.total_cycles + m.Core.Metrics.total_cycles;
+      a.stall_cycles <- a.stall_cycles + m.Core.Metrics.stall_cycles;
+      a.exceptions <- a.exceptions + m.Core.Metrics.exceptions;
+      a.patches <- a.patches + m.Core.Metrics.patches;
+      a.discards <- a.discards + m.Core.Metrics.discards;
+      a.peak_bytes <- max a.peak_bytes m.Core.Metrics.peak_decompressed_bytes;
+      a.overhead_sum <- a.overhead_sum +. Core.Metrics.overhead_ratio m;
+      a.runs <- a.runs + 1)
+    (Util.fleet_sweep jobs);
+  List.map (fun name -> (name, Hashtbl.find by_policy name)) policies
 
 let run () =
   let t =

@@ -28,6 +28,11 @@ val retention_for : Core.Scenario.t -> string -> Residency.Policy.spec
     pinned set from the scenario's own profile).
     @raise Invalid_argument for unknown names. *)
 
+val job_retention_of_name : string -> Fleet.Job.retention
+(** The serializable {!Fleet.Job} twin of {!retention_for}: same four
+    names, pin-hot expressed as a fraction the job re-derives from the
+    scenario profile. @raise Invalid_argument for unknown names. *)
+
 val rows : unit -> (string * agg) list
 (** Aggregates per policy across the suite. *)
 

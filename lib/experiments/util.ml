@@ -23,3 +23,44 @@ let event_time = Sim.Events.time
 let event_to_string = Sim.Events.describe
 
 let run sc policy = Core.Scenario.run sc policy
+
+(* ------------------------------------------------------------------ *)
+(* Fleet plumbing: every sweeping experiment funnels its runs through
+   here, so one configuration call (from ccomp/bench/tests) turns the
+   whole table-regeneration pass parallel and/or cached. Default is
+   sequential and uncached — byte-identical to the pre-fleet code. *)
+
+type fleet_config = {
+  mutable jobs : int;
+  mutable cache : Fleet.Cache.t option;
+  mutable registry : Sim.Metrics.t option;
+  mutable progress : (string -> unit) option;
+}
+
+let fleet = { jobs = 1; cache = None; registry = None; progress = None }
+
+let configure_fleet ?(jobs = 1) ?cache ?registry ?progress () =
+  if jobs < 1 then invalid_arg "Experiments.Util.configure_fleet: jobs < 1";
+  fleet.jobs <- jobs;
+  fleet.cache <- cache;
+  fleet.registry <- registry;
+  fleet.progress <- progress
+
+let resolve ~scenario:name ~codec =
+  match codec with
+  | "code" -> scenario name
+  | other ->
+    Workloads.Common.scenario
+      ~codec:(Compress.Registry.find_exn other)
+      (Workloads.Suite.find_exn name)
+
+let fleet_sweep specs =
+  Fleet.Sweep.run ~jobs:fleet.jobs ?cache:fleet.cache ?registry:fleet.registry
+    ?progress:fleet.progress ~resolve specs
+  |> List.map (fun (o : Fleet.Sweep.outcome) ->
+         match o.result with
+         | Ok m -> (o.job, m)
+         | Error msg ->
+           failwith
+             (Printf.sprintf "fleet job failed (%s): %s"
+                (Fleet.Job.describe o.job) msg))

@@ -20,3 +20,22 @@ val event_time : Core.Engine.event -> int
 
 val run : Core.Scenario.t -> Core.Policy.t -> Core.Metrics.t
 (** {!Core.Scenario.run} with the scenario codec's cost model. *)
+
+val configure_fleet :
+  ?jobs:int ->
+  ?cache:Fleet.Cache.t ->
+  ?registry:Sim.Metrics.t ->
+  ?progress:(string -> unit) ->
+  unit ->
+  unit
+(** Sets how {!fleet_sweep} — and therefore every sweeping experiment
+    (E6, E10, E16, E17) — executes its engine runs. Defaults restore
+    the sequential uncached behaviour ([jobs = 1], no cache), which
+    the fleet guarantees produces identical tables.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val fleet_sweep : Fleet.Job.t list -> (Fleet.Job.t * Core.Metrics.t) list
+(** {!Fleet.Sweep.run} under the current {!configure_fleet} settings,
+    resolving scenario names through the memoized suite (or a named
+    registry codec for non-["code"] jobs). Results come back in
+    submission order. @raise Failure if any job errored. *)

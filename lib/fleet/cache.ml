@@ -1,0 +1,197 @@
+let entry_version = 1
+let default_dir = ".ccomp-cache"
+let header = Printf.sprintf "ccomp-fleet-entry %d" entry_version
+
+type t = { dir : string }
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then begin
+    if path <> "" && Sys.file_exists path && not (Sys.is_directory path) then
+      raise (Sys_error (path ^ ": exists and is not a directory"))
+  end
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755
+    with Sys_error _ when Sys.is_directory path -> ()
+    (* lost a race to a concurrent creator: fine *)
+  end
+
+let open_dir dir =
+  mkdir_p dir;
+  { dir }
+
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Entry serialization                                                 *)
+
+(* Field order is fixed and the parser is strict (every field exactly
+   once, nothing else), so any drift between this list and
+   Core.Metrics.t shows up as a parse failure in tests, not a silently
+   wrong cache hit. Floats use %h: hexadecimal round-trips the exact
+   bits, which the determinism guarantee needs. *)
+
+let metrics_to_string (m : Core.Metrics.t) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b header;
+  Buffer.add_char b '\n';
+  let int k v = Buffer.add_string b (Printf.sprintf "%s=%d\n" k v) in
+  let flt k v = Buffer.add_string b (Printf.sprintf "%s=%h\n" k v) in
+  int "total_cycles" m.total_cycles;
+  int "exec_cycles" m.exec_cycles;
+  int "exception_cycles" m.exception_cycles;
+  int "patch_cycles" m.patch_cycles;
+  int "demand_dec_cycles" m.demand_dec_cycles;
+  int "stall_cycles" m.stall_cycles;
+  int "baseline_cycles" m.baseline_cycles;
+  int "exceptions" m.exceptions;
+  int "patches" m.patches;
+  int "demand_decompressions" m.demand_decompressions;
+  int "prefetch_decompressions" m.prefetch_decompressions;
+  int "useful_prefetches" m.useful_prefetches;
+  int "wasted_prefetches" m.wasted_prefetches;
+  int "discards" m.discards;
+  int "evictions" m.evictions;
+  int "budget_overflows" m.budget_overflows;
+  int "dec_thread_busy_cycles" m.dec_thread_busy_cycles;
+  int "comp_thread_busy_cycles" m.comp_thread_busy_cycles;
+  int "original_bytes" m.original_bytes;
+  int "compressed_area_bytes" m.compressed_area_bytes;
+  int "peak_decompressed_bytes" m.peak_decompressed_bytes;
+  flt "avg_decompressed_bytes" m.avg_decompressed_bytes;
+  int "peak_footprint_bytes" m.peak_footprint_bytes;
+  flt "avg_footprint_bytes" m.avg_footprint_bytes;
+  int "trace_length" m.trace_length;
+  int "blocks" m.blocks;
+  Buffer.contents b
+
+let metrics_of_string s =
+  let ( let* ) = Result.bind in
+  match String.split_on_char '\n' s with
+  | [] -> Error "empty entry"
+  | h :: _ when h <> header ->
+    Error (Printf.sprintf "version/header mismatch %S" h)
+  | _ :: rest ->
+    let fields = Hashtbl.create 32 in
+    let* () =
+      List.fold_left
+        (fun acc line ->
+          let* () = acc in
+          if String.trim line = "" then Ok ()
+          else
+            match String.index_opt line '=' with
+            | None -> Error (Printf.sprintf "bad entry line %S" line)
+            | Some i ->
+              let k = String.sub line 0 i in
+              let v = String.sub line (i + 1) (String.length line - i - 1) in
+              if Hashtbl.mem fields k then
+                Error (Printf.sprintf "duplicate field %S" k)
+              else begin
+                Hashtbl.replace fields k v;
+                Ok ()
+              end)
+        (Ok ()) rest
+    in
+    let taken = ref 0 in
+    let raw k =
+      match Hashtbl.find_opt fields k with
+      | Some v ->
+        incr taken;
+        Ok v
+      | None -> Error (Printf.sprintf "missing field %S" k)
+    in
+    let int k =
+      let* v = raw k in
+      match int_of_string_opt v with
+      | Some i -> Ok i
+      | None -> Error (Printf.sprintf "bad integer %S for %S" v k)
+    in
+    let flt k =
+      let* v = raw k in
+      match float_of_string_opt v with
+      | Some f -> Ok f
+      | None -> Error (Printf.sprintf "bad float %S for %S" v k)
+    in
+    let* total_cycles = int "total_cycles" in
+    let* exec_cycles = int "exec_cycles" in
+    let* exception_cycles = int "exception_cycles" in
+    let* patch_cycles = int "patch_cycles" in
+    let* demand_dec_cycles = int "demand_dec_cycles" in
+    let* stall_cycles = int "stall_cycles" in
+    let* baseline_cycles = int "baseline_cycles" in
+    let* exceptions = int "exceptions" in
+    let* patches = int "patches" in
+    let* demand_decompressions = int "demand_decompressions" in
+    let* prefetch_decompressions = int "prefetch_decompressions" in
+    let* useful_prefetches = int "useful_prefetches" in
+    let* wasted_prefetches = int "wasted_prefetches" in
+    let* discards = int "discards" in
+    let* evictions = int "evictions" in
+    let* budget_overflows = int "budget_overflows" in
+    let* dec_thread_busy_cycles = int "dec_thread_busy_cycles" in
+    let* comp_thread_busy_cycles = int "comp_thread_busy_cycles" in
+    let* original_bytes = int "original_bytes" in
+    let* compressed_area_bytes = int "compressed_area_bytes" in
+    let* peak_decompressed_bytes = int "peak_decompressed_bytes" in
+    let* avg_decompressed_bytes = flt "avg_decompressed_bytes" in
+    let* peak_footprint_bytes = int "peak_footprint_bytes" in
+    let* avg_footprint_bytes = flt "avg_footprint_bytes" in
+    let* trace_length = int "trace_length" in
+    let* blocks = int "blocks" in
+    if !taken <> Hashtbl.length fields then
+      Error "unknown extra fields in entry"
+    else
+      Ok
+        {
+          Core.Metrics.total_cycles;
+          exec_cycles;
+          exception_cycles;
+          patch_cycles;
+          demand_dec_cycles;
+          stall_cycles;
+          baseline_cycles;
+          exceptions;
+          patches;
+          demand_decompressions;
+          prefetch_decompressions;
+          useful_prefetches;
+          wasted_prefetches;
+          discards;
+          evictions;
+          budget_overflows;
+          dec_thread_busy_cycles;
+          comp_thread_busy_cycles;
+          original_bytes;
+          compressed_area_bytes;
+          peak_decompressed_bytes;
+          avg_decompressed_bytes;
+          peak_footprint_bytes;
+          avg_footprint_bytes;
+          trace_length;
+          blocks;
+        }
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+
+let path_of t key = Filename.concat t.dir (key ^ ".metrics")
+
+let find t key =
+  let path = path_of t key in
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error _ -> None
+  | contents -> (
+    match metrics_of_string contents with
+    | Ok m -> Some m
+    | Error _ -> None)
+
+let store t key m =
+  let tmp = Filename.temp_file ~temp_dir:t.dir ".entry" ".tmp" in
+  match
+    Out_channel.with_open_text tmp (fun oc ->
+        Out_channel.output_string oc (metrics_to_string m))
+  with
+  | () -> Sys.rename tmp (path_of t key)
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e

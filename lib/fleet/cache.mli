@@ -1,0 +1,47 @@
+(** On-disk content-addressed result cache.
+
+    Maps a {!Job.key} to a serialized {!Core.Metrics.t}: one file per
+    entry under the cache directory, named by the key. Writes go
+    through a temp file in the same directory followed by an atomic
+    rename, so a crashed or concurrent writer can never leave a
+    half-entry behind — at worst the rename loser overwrites the
+    winner with identical content. Reads are paranoid: an entry that
+    is unreadable, truncated, corrupt, or written by a different
+    format version is a {e miss}, never an exception — the job simply
+    re-runs and the entry is rewritten. *)
+
+type t
+
+val entry_version : int
+(** Bumped whenever the serialized entry format (or the meaning of
+    any metrics field) changes; entries from other versions are
+    ignored. *)
+
+val default_dir : string
+(** [".ccomp-cache"] — the conventional location, listed in
+    [.gitignore]. *)
+
+val open_dir : string -> t
+(** Creates the directory (and missing parents) if needed.
+    @raise Sys_error if the path exists but is not a directory, or
+    cannot be created. *)
+
+val dir : t -> string
+
+val find : t -> string -> Core.Metrics.t option
+(** [None] on missing, corrupt or version-mismatched entries. *)
+
+val store : t -> string -> Core.Metrics.t -> unit
+(** Atomic tmp+rename write. Best-effort: an I/O failure (disk full,
+    permissions) raises [Sys_error]; the entry is either fully
+    written or absent. *)
+
+(** {1 Entry serialization} (exposed for tests) *)
+
+val metrics_to_string : Core.Metrics.t -> string
+(** Versioned [field=value] text; floats rendered in hexadecimal so
+    they round-trip bit-exactly. *)
+
+val metrics_of_string : string -> (Core.Metrics.t, string) result
+(** Strict inverse: every field required exactly once, no unknown
+    fields, version must match {!entry_version}. *)

@@ -1,0 +1,74 @@
+(** Self-describing sweep jobs.
+
+    A job names one policy-engine run — workload scenario, codec,
+    policy knobs — using only serializable data (strings and numbers,
+    no closures), so the same spec can be expanded from a CLI matrix,
+    shipped to a worker domain, and hashed into a stable content key
+    for the {!Cache}. Everything a run needs that is not in the spec
+    (the predictor's profile, the pin-hot pinned set) is derived
+    deterministically from the scenario inside {!execute}, so equal
+    keys really do mean equal results. *)
+
+type strategy =
+  | On_demand
+  | Pre_all of { lookahead : int }
+  | Pre_single of { lookahead : int; predictor : string }
+      (** predictor is ["first"], ["last-taken"] or ["profile"] *)
+
+type mode =
+  | Discard
+  | Recompress
+
+type retention =
+  | Kedge
+  | Loop_aware of { weight : int }
+  | Clock
+  | Pin_hot of { fraction : float }
+      (** pinned set = the profile-hot blocks covering [fraction] of
+          visits, recomputed from the scenario's own trace *)
+
+type t = {
+  scenario : string;  (** workload name, resolved by the caller *)
+  codec : string;  (** registry codec name, or ["code"] *)
+  k : int;
+  strategy : strategy;
+  mode : mode;
+  budget : int option;
+  retention : retention;
+}
+
+val make :
+  ?codec:string ->
+  ?strategy:strategy ->
+  ?mode:mode ->
+  ?budget:int ->
+  ?retention:retention ->
+  scenario:string ->
+  k:int ->
+  unit ->
+  t
+(** Defaults: codec ["code"], [On_demand], [Discard], no budget,
+    [Kedge]. *)
+
+val canonical : t -> string
+(** Canonical one-line serialization: every field rendered in a fixed
+    order (floats in hexadecimal so the text round-trips exactly).
+    Two specs are the same job iff their canonical strings are
+    equal. *)
+
+val key : t -> string
+(** Hex digest of {!canonical}, prefixed with the spec format
+    version — the content address used by {!Cache}. Filesystem-safe
+    ([a-z0-9-] only). *)
+
+val describe : t -> string
+(** Human-readable one-liner for progress output. *)
+
+val execute : ?sink:Sim.Events.sink -> Core.Scenario.t -> t -> Core.Metrics.t
+(** Runs the job against [scenario] (which the caller resolved from
+    [t.scenario]/[t.codec]). Deterministic: no clocks, no global
+    state, safe to call from any domain as long as the scenario is
+    not mutated concurrently.
+    @raise Invalid_argument on malformed specs (bad k, lookahead,
+    predictor or retention parameters) — the pool turns this into a
+    per-job [Error]. *)

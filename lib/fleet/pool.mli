@@ -1,0 +1,64 @@
+(** A fixed-size domain worker pool.
+
+    Workers are OCaml 5 domains pulling tasks from a mutex/condition
+    work queue. One pool can serve many {!map} calls; each call blocks
+    the submitting thread until every one of its tasks finished, and
+    returns results in submission order regardless of completion
+    order.
+
+    Per-job guards: every task gets a {!budget} tracking its fuel
+    (cooperative tick count) and wall-clock deadline. The task
+    function calls {!tick} at natural checkpoints — the fleet's sweep
+    wires it into the engine's event sink, so a simulation burns one
+    fuel unit per emitted event — and a blown budget raises, which the
+    pool catches like any other task exception: the job becomes an
+    [Error], the worker survives. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawns [jobs] worker domains (at least 1).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val size : t -> int
+
+exception Fuel_exhausted
+exception Timed_out
+
+type budget
+
+val tick : budget -> unit
+(** Burns one fuel unit; checks the deadline every 1024 ticks.
+    @raise Fuel_exhausted / @raise Timed_out when the budget is
+    blown (caught by the pool's per-job isolation). *)
+
+val map :
+  ?fuel:int ->
+  ?timeout_ms:int ->
+  t ->
+  (budget -> 'a -> 'b) ->
+  'a list ->
+  ('b, string) result list
+(** Runs [f budget x] for every [x], spread over the pool's workers.
+    The result list is in submission order; a task that raises any
+    exception (including a blown budget) yields [Error message]
+    instead of killing its worker or the pool. Tasks must not
+    themselves call {!map} on the same pool (the call would deadlock
+    waiting for its own worker). *)
+
+val run_sequential :
+  ?fuel:int ->
+  ?timeout_ms:int ->
+  (budget -> 'a -> 'b) ->
+  'a list ->
+  ('b, string) result list
+(** {!map} semantics — same guards, same crash isolation, same result
+    order — executed inline on the calling domain, with no pool. The
+    reference implementation parallel runs must match. *)
+
+val shutdown : t -> unit
+(** Signals every worker to exit and joins them. Idempotent; using
+    the pool after shutdown raises [Invalid_argument]. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)

@@ -11,8 +11,14 @@ let to_string trace =
     trace;
   Buffer.contents buf
 
+(* Tolerate Windows-style line endings: splitting on '\n' leaves a
+   trailing '\r' on every line of a CRLF file, including the header. *)
+let strip_cr l =
+  let n = String.length l in
+  if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+
 let of_string s =
-  match String.split_on_char '\n' s with
+  match List.map strip_cr (String.split_on_char '\n' s) with
   | h :: rest when h = header ->
     let ids = List.filter (fun l -> String.trim l <> "") rest in
     let rec parse acc = function

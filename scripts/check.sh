@@ -1,12 +1,32 @@
 #!/bin/sh
 # Tier-1 gate: dune-file formatting, full build (library + CLI +
-# examples + bench), the complete test suite, and a bench smoke run
+# examples + bench), the complete test suite, a bench smoke run
 # (the streaming event-bus check, which has a built-in failure
-# condition). `make check` runs the same build + tests.
+# condition), and a fleet sweep smoke (parallel run against a cold
+# cache, then the same sweep warm — the second run must be served
+# entirely from cache and print identical tables).
+# `make check` runs the same build + tests.
 set -eu
 cd "$(dirname "$0")/.."
 dune build @fmt
 dune build @all
 dune runtest
 dune exec bench/main.exe -- --smoke
+
+cache_dir=$(mktemp -d)
+trap 'rm -rf "$cache_dir"' EXIT
+sweep="dune exec bin/ccomp.exe -- sweep fir crc32 --ks 2,8 --jobs 2 --cache-dir $cache_dir"
+$sweep > "$cache_dir/cold.out"
+$sweep > "$cache_dir/warm.out"
+grep '^fleet:' "$cache_dir/warm.out" | grep -q 'engine_runs=0' || {
+  echo "check: FAIL — warm sweep re-ran the engine" >&2
+  grep '^fleet:' "$cache_dir/warm.out" >&2
+  exit 1
+}
+grep -v '^fleet:' "$cache_dir/cold.out" > "$cache_dir/cold.tbl"
+grep -v '^fleet:' "$cache_dir/warm.out" > "$cache_dir/warm.tbl"
+if ! diff "$cache_dir/cold.tbl" "$cache_dir/warm.tbl" > /dev/null; then
+  echo "check: FAIL — warm sweep tables differ from cold run" >&2
+  exit 1
+fi
 echo "check: OK"

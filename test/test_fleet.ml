@@ -1,0 +1,394 @@
+(* Tests for the fleet: job keys, the domain pool's ordering and crash
+   isolation, the content-addressed cache, and the load-bearing
+   guarantee — a parallel cached sweep is byte-identical to a
+   sequential uncached one. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Sys.mkdir d 0o755;
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Job keys                                                            *)
+
+let job ?codec ?strategy ?mode ?budget ?retention ?(scenario = "fir") ?(k = 8)
+    () =
+  Fleet.Job.make ?codec ?strategy ?mode ?budget ?retention ~scenario ~k ()
+
+let test_key_stable () =
+  checks "equal specs equal keys" (Fleet.Job.key (job ()))
+    (Fleet.Job.key (job ()));
+  let base = Fleet.Job.key (job ()) in
+  let variants =
+    [
+      job ~scenario:"crc32" ();
+      job ~k:4 ();
+      job ~codec:"lzss" ();
+      job ~strategy:(Fleet.Job.Pre_all { lookahead = 2 }) ();
+      job ~strategy:(Fleet.Job.Pre_single { lookahead = 2; predictor = "profile" }) ();
+      job ~mode:Fleet.Job.Recompress ();
+      job ~budget:512 ();
+      job ~retention:Fleet.Job.Clock ();
+      job ~retention:(Fleet.Job.Loop_aware { weight = 2 }) ();
+      job ~retention:(Fleet.Job.Pin_hot { fraction = 0.5 }) ();
+    ]
+  in
+  List.iter
+    (fun j -> checkb "every field feeds the key" true (Fleet.Job.key j <> base))
+    variants;
+  let keys = List.map Fleet.Job.key variants in
+  checki "variant keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_key_filesystem_safe () =
+  String.iter
+    (fun c ->
+      checkb "key charset" true
+        ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = 'v'))
+    (Fleet.Job.key (job ()))
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+
+let test_pool_order () =
+  (* Results come back in submission order whatever the completion
+     order; identity mapping makes any misplacement visible. *)
+  let xs = List.init 40 Fun.id in
+  Fleet.Pool.with_pool ~jobs:4 (fun p ->
+      let rs = Fleet.Pool.map p (fun _b x -> x * x) xs in
+      checki "arity" 40 (List.length rs);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> checki "slot matches submission" (i * i) v
+          | Error e -> Alcotest.failf "job %d failed: %s" i e)
+        rs)
+
+let test_pool_crash_isolation () =
+  Fleet.Pool.with_pool ~jobs:3 (fun p ->
+      let rs =
+        Fleet.Pool.map p
+          (fun _b x -> if x mod 2 = 0 then failwith "boom" else x)
+          [ 0; 1; 2; 3; 4; 5 ]
+      in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> checki "odd survives" i v
+          | Error msg ->
+            checkb "even crashes, pool survives" true
+              (i mod 2 = 0 && String.length msg > 0))
+        rs)
+
+let test_pool_fuel () =
+  let rs =
+    Fleet.Pool.run_sequential ~fuel:100
+      (fun b () ->
+        for _ = 1 to 1_000_000 do
+          Fleet.Pool.tick b
+        done)
+      [ () ]
+  in
+  match rs with
+  | [ Error msg ] ->
+    checkb "fuel message" true
+      (String.length msg > 0
+      && String.sub msg 0 4 = "fuel")
+  | _ -> Alcotest.fail "runaway job was not stopped by fuel"
+
+let test_pool_sequential_matches_parallel () =
+  let xs = List.init 25 (fun i -> i - 12) in
+  let f _b x = if x < 0 then invalid_arg "neg" else x * 3 in
+  let seq = Fleet.Pool.run_sequential f xs in
+  let par = Fleet.Pool.with_pool ~jobs:5 (fun p -> Fleet.Pool.map p f xs) in
+  checkb "identical outcomes" true (seq = par)
+
+let test_pool_rejects_bad_sizes () =
+  Alcotest.check_raises "jobs=0"
+    (Invalid_argument "Fleet.Pool.create: jobs must be >= 1 (got 0)")
+    (fun () -> ignore (Fleet.Pool.create ~jobs:0))
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+
+(* Every field gets a unique value, so a serializer that drops,
+   duplicates or swaps any field cannot round-trip. *)
+let exhaustive_metrics : Core.Metrics.t =
+  {
+    total_cycles = 101;
+    exec_cycles = 102;
+    exception_cycles = 103;
+    patch_cycles = 104;
+    demand_dec_cycles = 105;
+    stall_cycles = 106;
+    baseline_cycles = 107;
+    exceptions = 108;
+    patches = 109;
+    demand_decompressions = 110;
+    prefetch_decompressions = 111;
+    useful_prefetches = 112;
+    wasted_prefetches = 113;
+    discards = 114;
+    evictions = 115;
+    budget_overflows = 116;
+    dec_thread_busy_cycles = 117;
+    comp_thread_busy_cycles = 118;
+    original_bytes = 119;
+    compressed_area_bytes = 120;
+    peak_decompressed_bytes = 121;
+    avg_decompressed_bytes = 122.0625;
+    peak_footprint_bytes = 123;
+    avg_footprint_bytes = 124.33333333333333;
+    trace_length = 125;
+    blocks = 126;
+  }
+
+let test_cache_roundtrip_every_field () =
+  match Fleet.Cache.metrics_of_string
+          (Fleet.Cache.metrics_to_string exhaustive_metrics)
+  with
+  | Ok m ->
+    checkb "all 26 fields round-trip (floats bit-exact)" true
+      (m = exhaustive_metrics)
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+
+let entry_file dir =
+  match
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".metrics")
+  with
+  | [ f ] -> Filename.concat dir f
+  | fs -> Alcotest.failf "expected exactly one entry, got %d" (List.length fs)
+
+let test_cache_store_find () =
+  let dir = temp_dir "ccomp-cache" in
+  let c = Fleet.Cache.open_dir dir in
+  let key = Fleet.Job.key (job ()) in
+  checkb "empty cache misses" true (Fleet.Cache.find c key = None);
+  Fleet.Cache.store c key exhaustive_metrics;
+  checkb "stored entry hits" true
+    (Fleet.Cache.find c key = Some exhaustive_metrics);
+  checkb "other key still misses" true
+    (Fleet.Cache.find c (Fleet.Job.key (job ~k:2 ())) = None);
+  checkb "no tmp litter" true
+    (Array.for_all
+       (fun f -> not (Filename.check_suffix f ".tmp"))
+       (Sys.readdir dir))
+
+let test_cache_corrupt_entry_is_miss () =
+  let dir = temp_dir "ccomp-cache" in
+  let c = Fleet.Cache.open_dir dir in
+  let key = Fleet.Job.key (job ()) in
+  Fleet.Cache.store c key exhaustive_metrics;
+  let path = entry_file dir in
+  List.iter
+    (fun garbage ->
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc garbage);
+      checkb "corrupt entry is a miss, not an exception" true
+        (Fleet.Cache.find c key = None))
+    [
+      "";  (* truncated to nothing *)
+      "total_cycles=1\n";  (* no header *)
+      "ccomp-fleet-entry 1\ntotal_cycles=banana\n";  (* bad value *)
+      "ccomp-fleet-entry 1\ntotal_cycles=1\n";  (* missing fields *)
+      Fleet.Cache.metrics_to_string exhaustive_metrics ^ "intruder=9\n";
+      (* unknown extra field *)
+      String.concat "\n"
+        [ "ccomp-fleet-entry 1"; "total_cycles=1"; "total_cycles=2" ];
+      (* duplicate field *)
+    ];
+  (* and a miss re-stores cleanly *)
+  Fleet.Cache.store c key exhaustive_metrics;
+  checkb "rewrite after corruption" true
+    (Fleet.Cache.find c key = Some exhaustive_metrics)
+
+let test_cache_version_mismatch_is_miss () =
+  let dir = temp_dir "ccomp-cache" in
+  let c = Fleet.Cache.open_dir dir in
+  let key = Fleet.Job.key (job ()) in
+  Fleet.Cache.store c key exhaustive_metrics;
+  let path = entry_file dir in
+  let bumped =
+    Printf.sprintf "ccomp-fleet-entry %d" (Fleet.Cache.entry_version + 1)
+  in
+  let body = In_channel.with_open_text path In_channel.input_all in
+  let rewritten =
+    match String.index_opt body '\n' with
+    | Some i ->
+      bumped ^ String.sub body i (String.length body - i)
+    | None -> Alcotest.fail "entry has no header line"
+  in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc rewritten);
+  checkb "version-bumped entry is ignored" true (Fleet.Cache.find c key = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sweep                                                               *)
+
+let resolve ~scenario ~codec =
+  ignore codec;
+  Experiments.Util.scenario scenario
+
+let test_sweep_matrix_order () =
+  let jobs =
+    Fleet.Sweep.matrix ~scenarios:[ "a"; "b" ] ~ks:[ 1; 2 ] ()
+  in
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "scenarios outer, ks inner"
+    [ ("a", 1); ("a", 2); ("b", 1); ("b", 2) ]
+    (List.map (fun (j : Fleet.Job.t) -> (j.scenario, j.k)) jobs)
+
+let test_sweep_shard () =
+  let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let shards =
+    List.map (fun i -> Fleet.Sweep.shard ~shards:3 ~index:i xs) [ 0; 1; 2 ]
+  in
+  checkb "shards partition the list" true
+    (List.sort compare (List.concat shards) = xs);
+  checkb "round robin" true (List.nth shards 0 = [ 1; 4; 7 ]);
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Fleet.Sweep.shard: index 3 not in [0, 3)") (fun () ->
+      ignore (Fleet.Sweep.shard ~shards:3 ~index:3 xs))
+
+let test_sweep_dedup_and_counters () =
+  let registry = Sim.Metrics.create () in
+  let spec = job ~scenario:"fir" ~k:2 () in
+  let outcomes =
+    Fleet.Sweep.run ~jobs:2 ~registry ~resolve [ spec; spec; spec ]
+  in
+  let value name = Sim.Metrics.value (Sim.Metrics.counter registry name) in
+  checki "three submitted" 3 (value "fleet_jobs_submitted");
+  checki "one engine run serves all three" 1 (value "fleet_engine_runs");
+  checki "all completed" 3 (value "fleet_jobs_completed");
+  checki "no errors" 0 (value "fleet_jobs_errored");
+  match List.map (fun (o : Fleet.Sweep.outcome) -> o.result) outcomes with
+  | [ Ok a; Ok b; Ok c ] ->
+    checkb "fanned-out results identical" true (a = b && b = c)
+  | _ -> Alcotest.fail "expected three Ok results"
+
+let test_sweep_bad_scenario_is_error () =
+  let outcomes =
+    Fleet.Sweep.run ~resolve [ job ~scenario:"no-such-workload" () ]
+  in
+  match outcomes with
+  | [ { result = Error msg; cached = false; _ } ] ->
+    checkb "resolve failure captured" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected one Error outcome"
+
+let test_sweep_progress_jsonl () =
+  let lines = ref [] in
+  let _ =
+    Fleet.Sweep.run ~jobs:2
+      ~progress:(fun l -> lines := l :: !lines)
+      ~resolve
+      [ job ~scenario:"fir" ~k:2 (); job ~scenario:"crc32" ~k:2 () ]
+  in
+  checki "one line per job" 2 (List.length !lines);
+  List.iter
+    (fun l ->
+      checkb "looks like a JSONL object" true
+        (String.length l > 2 && l.[0] = '{' && l.[String.length l - 1] = '}');
+      let contains needle =
+        let nl = String.length needle and ll = String.length l in
+        let rec go i =
+          i + nl <= ll && (String.sub l i nl = needle || go (i + 1))
+        in
+        go 0
+      in
+      checkb "tagged" true (contains "fleet_job"))
+    !lines
+
+(* ------------------------------------------------------------------ *)
+(* The determinism guarantee (acceptance criterion)                    *)
+
+let render_experiment id =
+  match Experiments.Registry.find id with
+  | Some e -> Report.Table.render (e.runner ())
+  | None -> Alcotest.failf "unknown experiment %s" id
+
+let test_determinism id () =
+  (* Reference: sequential, uncached. *)
+  Experiments.Util.configure_fleet ();
+  let reference = render_experiment id in
+  let dir = temp_dir "ccomp-fleet-det" in
+  let cache = Fleet.Cache.open_dir dir in
+  Fun.protect
+    ~finally:(fun () -> Experiments.Util.configure_fleet ())
+    (fun () ->
+      (* Parallel, cold cache. *)
+      let cold_registry = Sim.Metrics.create () in
+      Experiments.Util.configure_fleet ~jobs:3 ~cache ~registry:cold_registry
+        ();
+      checks (id ^ " parallel cold-cache output is byte-identical") reference
+        (render_experiment id);
+      (* Parallel, warm cache: same bytes, zero engine runs. *)
+      let warm_registry = Sim.Metrics.create () in
+      Experiments.Util.configure_fleet ~jobs:3 ~cache ~registry:warm_registry
+        ();
+      checks (id ^ " warm-cache output is byte-identical") reference
+        (render_experiment id);
+      let value name =
+        Sim.Metrics.value (Sim.Metrics.counter warm_registry name)
+      in
+      checki (id ^ " warm run does zero engine runs") 0
+        (value "fleet_engine_runs");
+      checkb (id ^ " warm run is all cache hits") true
+        (value "fleet_cache_hits" > 0 && value "fleet_cache_misses" = 0))
+
+let () =
+  Alcotest.run "fleet"
+    [
+      ( "job",
+        [
+          Alcotest.test_case "key stability" `Quick test_key_stable;
+          Alcotest.test_case "key charset" `Quick test_key_filesystem_safe;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "submission order" `Quick test_pool_order;
+          Alcotest.test_case "crash isolation" `Quick
+            test_pool_crash_isolation;
+          Alcotest.test_case "fuel" `Quick test_pool_fuel;
+          Alcotest.test_case "sequential = parallel" `Quick
+            test_pool_sequential_matches_parallel;
+          Alcotest.test_case "bad sizes" `Quick test_pool_rejects_bad_sizes;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "round-trip every field" `Quick
+            test_cache_roundtrip_every_field;
+          Alcotest.test_case "store/find" `Quick test_cache_store_find;
+          Alcotest.test_case "corrupt entry = miss" `Quick
+            test_cache_corrupt_entry_is_miss;
+          Alcotest.test_case "version mismatch = miss" `Quick
+            test_cache_version_mismatch_is_miss;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "matrix order" `Quick test_sweep_matrix_order;
+          Alcotest.test_case "shard" `Quick test_sweep_shard;
+          Alcotest.test_case "dedup + counters" `Quick
+            test_sweep_dedup_and_counters;
+          Alcotest.test_case "bad scenario" `Quick
+            test_sweep_bad_scenario_is_error;
+          Alcotest.test_case "progress jsonl" `Quick test_sweep_progress_jsonl;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "E6 parallel+cache = sequential" `Slow
+            (test_determinism "E6");
+          Alcotest.test_case "E16 parallel+cache = sequential" `Slow
+            (test_determinism "E16");
+          Alcotest.test_case "E17 parallel+cache = sequential" `Slow
+            (test_determinism "E17");
+        ] );
+    ]

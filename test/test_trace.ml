@@ -104,6 +104,18 @@ let test_io_errors () =
     (Result.is_error (Trace.Io.of_string "ccomp-trace 1\nxyz\n"));
   checkb "empty input" true (Result.is_error (Trace.Io.of_string ""))
 
+let test_io_crlf () =
+  (* Windows line endings and trailing blank lines both parse. *)
+  (match Trace.Io.of_string "ccomp-trace 1\r\n0\r\n5\r\n3\r\n\r\n\r\n" with
+  | Ok t -> checkb "crlf" true (t = [| 0; 5; 3 |])
+  | Error msg -> Alcotest.failf "crlf parse failed: %s" msg);
+  (match Trace.Io.of_string "ccomp-trace 1\n1\n2\n\n\n" with
+  | Ok t -> checkb "trailing blanks" true (t = [| 1; 2 |])
+  | Error msg -> Alcotest.failf "trailing-blank parse failed: %s" msg);
+  match Trace.Io.of_string "ccomp-trace 1\r\n" with
+  | Ok t -> checki "crlf header only" 0 (Array.length t)
+  | Error msg -> Alcotest.failf "crlf header-only parse failed: %s" msg
+
 let test_io_file () =
   let path = Filename.temp_file "ccomp" ".trace" in
   let t = Array.init 100 (fun i -> i mod 7) in
@@ -139,6 +151,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_io_roundtrip;
           Alcotest.test_case "empty" `Quick test_io_empty;
           Alcotest.test_case "errors" `Quick test_io_errors;
+          Alcotest.test_case "crlf tolerance" `Quick test_io_crlf;
           Alcotest.test_case "files" `Quick test_io_file;
         ] );
     ]
