@@ -182,6 +182,66 @@ let streaming_bench () =
   dt
 
 (* ------------------------------------------------------------------ *)
+(* Service round-trip probe                                             *)
+
+(* An in-process daemon on a temp Unix socket answering health pings:
+   the wire + socket + dispatch overhead a resident client pays per
+   request, with no engine work in the way. Returns the median
+   round-trip in milliseconds. *)
+let service_probe () =
+  let path = Filename.temp_file "ccomp-bench" ".sock" in
+  Sys.remove path;
+  let server =
+    Service.Server.create
+      {
+        Service.Server.default_config with
+        socket_path = Some path;
+        jobs = 1;
+      }
+  in
+  let runner = Thread.create Service.Server.run server in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let ping () =
+    output_string oc "{\"op\":\"health\"}\n";
+    flush oc;
+    ignore (input_line ic)
+  in
+  for _ = 1 to 20 do
+    ping () (* warm-up *)
+  done;
+  let n = 200 in
+  let samples =
+    Array.init n (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ping ();
+        (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  Unix.close fd;
+  Service.Server.stop server;
+  Thread.join runner;
+  if Sys.file_exists path then Sys.remove path;
+  Array.sort compare samples;
+  let p50 = samples.(n / 2) in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf "service round trip: %d health pings, one connection"
+           n)
+      ~columns:[ ("measure", Report.Table.Left); ("value", Report.Table.Right) ]
+  in
+  Report.Table.add_row t
+    [ "p50 (ms)"; Report.Table.fmt_float ~decimals:3 p50 ];
+  Report.Table.add_row t
+    [ "p90 (ms)"; Report.Table.fmt_float ~decimals:3 samples.(n * 9 / 10) ];
+  Report.Table.add_row t
+    [ "max (ms)"; Report.Table.fmt_float ~decimals:3 samples.(n - 1) ];
+  Report.Table.print t;
+  p50
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let benchmark tests =
@@ -262,9 +322,14 @@ let () =
   (* --smoke: just the streaming-bus check (it has a built-in failure
      condition), fast enough for scripts/check.sh to gate on. *)
   if Array.exists (( = ) "--smoke") Sys.argv then begin
-    print_endline "ccomp benchmark harness (smoke): streaming event bus.\n";
+    print_endline
+      "ccomp benchmark harness (smoke): streaming event bus + service \
+       round trip.\n";
     let dt = streaming_bench () in
-    write_bench_json [ ("streaming-1M/wall-s", dt) ]
+    print_newline ();
+    let p50 = service_probe () in
+    write_bench_json
+      [ ("streaming-1M/wall-s", dt); ("service-roundtrip/p50-ms", p50) ]
   end
   else begin
     print_endline
@@ -275,11 +340,16 @@ let () =
     print_newline ();
     let streaming_dt = streaming_bench () in
     print_newline ();
+    let p50 = service_probe () in
+    print_newline ();
     (* Full-table regeneration runs through the fleet pool (cache off:
-       a benchmark should measure engine work, not disk reads). *)
+       a benchmark should measure engine work, not disk reads). The
+       registry counts the jobs, so the phase reports fleet
+       throughput, not just wall time. *)
+    let fleet_registry = Sim.Metrics.create () in
     Experiments.Util.configure_fleet
       ~jobs:(max 2 (Domain.recommended_domain_count ()))
-      ();
+      ~registry:fleet_registry ();
     let t0 = Unix.gettimeofday () in
     List.iter
       (fun ((e : Experiments.Registry.entry), table) ->
@@ -287,10 +357,20 @@ let () =
           (Report.Table.render table))
       (Experiments.Registry.run_all ());
     let tables_dt = Unix.gettimeofday () -. t0 in
+    let fleet_jobs =
+      Sim.Metrics.value
+        (Sim.Metrics.counter fleet_registry "fleet_jobs_completed")
+    in
+    let jobs_per_sec = float_of_int fleet_jobs /. tables_dt in
+    Printf.printf
+      "fleet table phase: %d jobs in %.2fs (%.1f jobs/sec across the pool)\n"
+      fleet_jobs tables_dt jobs_per_sec;
     write_bench_json
       (estimates
       @ [
           ("streaming-1M/wall-s", streaming_dt);
+          ("service-roundtrip/p50-ms", p50);
           ("experiment-tables/wall-s", tables_dt);
+          ("experiment-tables/jobs-per-sec", jobs_per_sec);
         ])
   end

@@ -22,19 +22,22 @@ let codec_arg =
   in
   Arg.(value & opt string "code" & info [ "codec" ] ~docv:"CODEC" ~doc)
 
-(* Bounds-checked integer options: a bad --k/--lookahead/--budget is a
-   usage error cmdliner reports cleanly, not an Invalid_argument
-   escaping from deep inside the engine. *)
-let positive_int what =
+(* Bounds-checked integer options: a bad --k/--jobs/--queue/--budget
+   is a usage error cmdliner reports cleanly, not an Invalid_argument
+   escaping from deep inside the engine — every integer option goes
+   through this one parser so the rejection message is uniform. *)
+let bounded_int ~min what =
   let parse s =
     match int_of_string_opt s with
     | None ->
       Error (`Msg (Printf.sprintf "expected an integer %s, got %S" what s))
-    | Some v when v < 1 ->
-      Error (`Msg (Printf.sprintf "%s must be >= 1 (got %d)" what v))
+    | Some v when v < min ->
+      Error (`Msg (Printf.sprintf "%s must be >= %d (got %d)" what min v))
     | Some v -> Ok v
   in
   Arg.conv ~docv:"INT" (parse, Format.pp_print_int)
+
+let positive_int what = bounded_int ~min:1 what
 
 let k_arg =
   Arg.(
@@ -409,6 +412,13 @@ let sweep workloads ks codec strategy lookahead predictor budget recompress
     Format.eprintf "error: %s@." msg;
     1
   | names, strategy, mode, retention ->
+    let ks =
+      let normalized = Fleet.Sweep.normalize_ks ks in
+      if normalized <> ks then
+        Format.eprintf "warning: --ks deduplicated and sorted to %s@."
+          (String.concat "," (List.map string_of_int normalized));
+      normalized
+    in
     let specs =
       Fleet.Sweep.matrix ~codecs:[ codec ] ~strategies:[ strategy ]
         ~modes:[ mode ] ~budgets:[ budget ] ~retentions:[ retention ]
@@ -768,6 +778,376 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const analyze $ workload_arg $ codec_arg)
 
 (* ------------------------------------------------------------------ *)
+(* ccomp serve                                                         *)
+
+let serve socket tcp jobs queue max_conns cache_dir no_cache fuel timeout_ms
+    idle_timeout =
+  if socket = None && tcp = None then begin
+    Format.eprintf "error: need --socket PATH and/or --tcp PORT@.";
+    1
+  end
+  else
+    match
+      let lifecycle = Service.Lifecycle.create () in
+      Service.Lifecycle.install_signal_handlers lifecycle;
+      let config =
+        {
+          Service.Server.default_config with
+          socket_path = socket;
+          tcp_port = tcp;
+          jobs;
+          queue;
+          max_conns;
+          cache = fleet_cache ~no_cache ~cache_dir;
+          fuel;
+          timeout_ms;
+          idle_timeout_s = Option.map float_of_int idle_timeout;
+        }
+      in
+      Service.Server.create ~lifecycle config
+    with
+    | server ->
+      List.iter
+        (fun e -> Format.printf "ccomp serve: listening on %s@." e)
+        (Service.Server.endpoints server);
+      Format.printf
+        "ccomp serve: %d worker%s, queue %d, max %d connection%s, cache %s@."
+        jobs
+        (if jobs = 1 then "" else "s")
+        queue max_conns
+        (if max_conns = 1 then "" else "s")
+        (match cache_dir with
+        | Some d when not no_cache -> d
+        | _ -> "off");
+      Service.Server.run server;
+      Format.printf "ccomp serve: drained@.";
+      0
+    | exception Invalid_argument msg | exception Sys_error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Format.eprintf "error: %s: %s%s@." fn (Unix.error_message e)
+        (if arg = "" then "" else " (" ^ arg ^ ")");
+      1
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket to listen on.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some (positive_int "port")) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Loopback TCP port to listen on.")
+
+let serve_cmd =
+  let queue =
+    Arg.(
+      value
+      & opt (bounded_int ~min:0 "queue") 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue depth on top of the executing requests; a \
+             request arriving when jobs + queue are busy is rejected with \
+             an 'overloaded' error and a retry hint.")
+  in
+  let max_conns =
+    Arg.(
+      value
+      & opt (positive_int "max-conns") 64
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:"Maximum simultaneous client connections.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some (positive_int "fuel")) None
+      & info [ "fuel" ] ~docv:"TICKS"
+          ~doc:
+            "Default per-request fuel cap (requests may only tighten it).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some (positive_int "timeout")) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Default per-request deadline (requests may only tighten it).")
+  in
+  let idle_timeout =
+    Arg.(
+      value
+      & opt (some (positive_int "idle-timeout")) None
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Drain and exit after this long with no connections and no \
+             requests.")
+  in
+  let doc =
+    "Run the resident simulation daemon: a JSONL request/response \
+     service over a Unix-domain socket (and/or loopback TCP) whose \
+     requests share one worker pool, scenario memo and result cache. \
+     SIGTERM/SIGINT drain gracefully; a second signal cancels in-flight \
+     work."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue $ max_conns
+      $ cache_dir_arg ~default:false
+      $ no_cache_arg $ fuel $ timeout_ms $ idle_timeout)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp call                                                          *)
+
+let call_connect ~socket ~tcp =
+  match (socket, tcp) with
+  | Some path, _ ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  | None, Some port ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    fd
+  | None, None -> failwith "need --socket PATH or --tcp PORT"
+
+(* Build the request object the same way the server parses it: only the
+   fields this op consumes, so the line documents itself. *)
+let call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead ~predictor
+    ~budget ~recompress ~retention ~fuel ~timeout_ms ~id =
+  let open Service.Json in
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  let guards =
+    opt "timeout_ms" (fun v -> Int v) timeout_ms
+    @ opt "fuel" (fun v -> Int v) fuel
+  in
+  let policy =
+    [
+      ("codec", Str codec);
+      ( "strategy",
+        Str
+          (match strategy with
+          | `On_demand -> "on-demand"
+          | `Pre_all -> "pre-all"
+          | `Pre_single -> "pre-single") );
+      ("lookahead", Int lookahead);
+      ( "predictor",
+        Str
+          (match predictor with
+          | `First -> "first"
+          | `Last -> "last-taken"
+          | `Profile -> "profile") );
+      ("mode", Str (if recompress then "recompress" else "discard"));
+      ("retention", Str retention);
+    ]
+    @ opt "budget" (fun v -> Int v) budget
+  in
+  let base =
+    [
+      ("v", Int Service.Wire.protocol_version);
+      ("id", Int id);
+      ("op", Str op);
+    ]
+  in
+  let one_workload () =
+    match workloads with
+    | [ w ] -> ("workload", Str w)
+    | [] -> failwith (op ^ " needs a WORKLOAD argument")
+    | _ -> failwith (op ^ " takes exactly one WORKLOAD")
+  in
+  match op with
+  | "health" | "stats" ->
+    if workloads <> [] then failwith (op ^ " takes no WORKLOAD arguments");
+    Obj base
+  | "sim" -> Obj (base @ [ one_workload (); ("k", Int k) ] @ policy @ guards)
+  | "sweep" ->
+    let ws =
+      match workloads with
+      | [] -> []
+      | ws -> [ ("workloads", List (List.map (fun w -> Str w) ws)) ]
+    in
+    let ks =
+      opt "ks" (fun vs -> List (List.map (fun v -> Int v) vs)) ks
+    in
+    Obj (base @ ws @ ks @ policy @ guards)
+  | "compress" ->
+    let codec = if codec = "code" then [] else [ ("codec", Str codec) ] in
+    Obj (base @ [ one_workload () ] @ codec @ guards)
+  | other ->
+    failwith
+      (Printf.sprintf
+         "unknown op %S (expected health, stats, sim, sweep or compress; \
+          use --raw for anything else)"
+         other)
+
+let call socket tcp raw op_args codec k ks strategy lookahead predictor
+    budget recompress retention fuel timeout_ms id compact =
+  match
+    let line =
+      match (raw, op_args) with
+      | Some line, [] -> line
+      | Some _, _ :: _ -> failwith "--raw and OP are mutually exclusive"
+      | None, [] ->
+        failwith "missing OP (health, stats, sim, sweep or compress)"
+      | None, op :: workloads ->
+        Service.Json.to_string
+          (call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead
+             ~predictor ~budget ~recompress ~retention ~fuel ~timeout_ms ~id)
+    in
+    let fd = call_connect ~socket ~tcp in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        output_string oc (line ^ "\n");
+        flush oc;
+        input_line ic)
+  with
+  | exception Failure msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | exception End_of_file ->
+    Format.eprintf "error: server closed the connection without replying@.";
+    1
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Format.eprintf "error: %s: %s%s@." fn (Unix.error_message e)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
+    1
+  | reply -> (
+    match Service.Wire.parse_response reply with
+    | Error msg ->
+      Format.eprintf "error: unparseable response (%s): %s@." msg reply;
+      1
+    | Ok (_id, Ok payload) ->
+      print_endline
+        (if compact then Service.Json.to_string payload
+         else Service.Json.pretty payload);
+      0
+    | Ok (_id, Error e) ->
+      Format.eprintf "error: %s: %s%s@." e.Service.Wire.code
+        e.Service.Wire.msg
+        (match e.Service.Wire.retry_after_ms with
+        | Some ms -> Printf.sprintf " (retry after %dms)" ms
+        | None -> "");
+      1)
+
+let call_cmd =
+  let op_args =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"OP [WORKLOAD..]"
+          ~doc:
+            "Operation (health, stats, sim, sweep or compress) followed by \
+             its workload arguments.")
+  in
+  let raw =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "raw" ] ~docv:"JSON"
+          ~doc:"Send this exact request line instead of building one.")
+  in
+  let ks =
+    Arg.(
+      value
+      & opt (some (list (positive_int "k"))) None
+      & info [ "ks" ] ~docv:"K,K,..."
+          ~doc:"Sweep k values (server default when omitted).")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some (positive_int "fuel")) None
+      & info [ "fuel" ] ~docv:"TICKS" ~doc:"Per-request fuel cap.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some (positive_int "timeout")) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline.")
+  in
+  let id =
+    Arg.(
+      value
+      & opt (positive_int "id") 1
+      & info [ "id" ] ~docv:"ID" ~doc:"Request id echoed by the server.")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "compact" ]
+          ~doc:"Print the reply as one line instead of pretty-printing.")
+  in
+  let doc =
+    "Send one request to a running $(b,ccomp serve) daemon and \
+     pretty-print the reply. Exits 0 on an ok reply, 1 on a structured \
+     error."
+  in
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(
+      const call $ socket_arg $ tcp_arg $ raw $ op_args $ codec_arg $ k_arg
+      $ ks $ strategy_arg $ lookahead_arg $ predictor_arg $ budget_arg
+      $ recompress_arg $ retention_arg $ fuel $ timeout_ms $ id $ compact)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp cache                                                         *)
+
+let cache_admin dir prune_to =
+  match Fleet.Cache.open_dir dir with
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | cache ->
+    (match prune_to with
+    | None -> ()
+    | Some max_bytes ->
+      let removed = Fleet.Cache.gc cache ~max_bytes in
+      Printf.printf "evicted %d entr%s (%d bytes)\n"
+        removed.Fleet.Cache.entries
+        (if removed.Fleet.Cache.entries = 1 then "y" else "ies")
+        removed.Fleet.Cache.bytes);
+    let s = Fleet.Cache.stats cache in
+    Printf.printf "cache %s: %d entr%s, %d bytes\n" dir s.Fleet.Cache.entries
+      (if s.Fleet.Cache.entries = 1 then "y" else "ies")
+      s.Fleet.Cache.bytes;
+    0
+
+let cache_cmd =
+  let dir =
+    Arg.(
+      value
+      & opt string Fleet.Cache.default_dir
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:"Cache directory (same default as the sweep commands).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print entry count and total bytes (the default action).")
+  in
+  let prune_to =
+    Arg.(
+      value
+      & opt (some (bounded_int ~min:0 "prune-to")) None
+      & info [ "prune-to" ] ~docv:"BYTES"
+          ~doc:
+            "Evict oldest entries first until at most $(docv) remain on \
+             disk; 0 empties the cache.")
+  in
+  let doc =
+    "Inspect or prune the content-addressed result cache shared by \
+     sweep, experiments and serve."
+  in
+  Cmd.v (Cmd.info "cache" ~doc)
+    Term.(
+      const (fun dir _stats prune_to -> cache_admin dir prune_to)
+      $ dir $ stats $ prune_to)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -786,6 +1166,9 @@ let main_cmd =
       asm_cmd;
       trace_cmd;
       analyze_cmd;
+      serve_cmd;
+      call_cmd;
+      cache_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

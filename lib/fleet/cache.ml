@@ -185,6 +185,62 @@ let find t key =
     | Ok m -> Some m
     | Error _ -> None)
 
+(* ------------------------------------------------------------------ *)
+(* Stats and eviction                                                  *)
+
+type stats = { entries : int; bytes : int }
+
+(* Every [(name, size, mtime)] for the entries currently on disk.
+   Races with concurrent writers/removers are benign: a file that
+   vanishes between readdir and stat is simply skipped. *)
+let scan t =
+  let names = try Sys.readdir t.dir with Sys_error _ -> [||] in
+  Array.fold_left
+    (fun acc name ->
+      if Filename.check_suffix name ".metrics" then
+        match Unix.stat (Filename.concat t.dir name) with
+        | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+          (name, st_size, st_mtime) :: acc
+        | _ | (exception Unix.Unix_error _) -> acc
+      else acc)
+    [] names
+
+let stats t =
+  List.fold_left
+    (fun acc (_, size, _) -> { entries = acc.entries + 1; bytes = acc.bytes + size })
+    { entries = 0; bytes = 0 }
+    (scan t)
+
+let gc t ~max_bytes =
+  if max_bytes < 0 then
+    invalid_arg
+      (Printf.sprintf "Fleet.Cache.gc: max_bytes must be >= 0 (got %d)"
+         max_bytes);
+  (* Oldest mtime first; name as tie-break so the victim order is
+     deterministic when a burst of stores lands in the same second. *)
+  let entries =
+    List.sort
+      (fun (n1, _, t1) (n2, _, t2) -> compare (t1, n1) (t2, n2))
+      (scan t)
+  in
+  let total = List.fold_left (fun acc (_, size, _) -> acc + size) 0 entries in
+  let removed = ref { entries = 0; bytes = 0 } in
+  let live = ref total in
+  List.iter
+    (fun (name, size, _) ->
+      if !live > max_bytes then begin
+        (* Sys.remove of one file is atomic; a reader that already
+           opened it keeps its contents, a later reader just misses. *)
+        match Sys.remove (Filename.concat t.dir name) with
+        | () ->
+          live := !live - size;
+          removed :=
+            { entries = !removed.entries + 1; bytes = !removed.bytes + size }
+        | exception Sys_error _ -> ()
+      end)
+    entries;
+  !removed
+
 let store t key m =
   let tmp = Filename.temp_file ~temp_dir:t.dir ".entry" ".tmp" in
   match

@@ -36,6 +36,27 @@ val store : t -> string -> Core.Metrics.t -> unit
     permissions) raises [Sys_error]; the entry is either fully
     written or absent. *)
 
+(** {1 Housekeeping}
+
+    A long-lived server writes one entry per distinct job forever, so
+    the directory needs an eviction story. *)
+
+type stats = { entries : int; bytes : int }
+
+val stats : t -> stats
+(** Entry count and total bytes currently on disk (only [.metrics]
+    files are counted). Concurrent writers are tolerated; the answer
+    is a point-in-time snapshot. *)
+
+val gc : t -> max_bytes:int -> stats
+(** Evicts oldest-mtime-first until the surviving entries total at
+    most [max_bytes]; returns what was removed. Each removal is a
+    single atomic unlink, so concurrent readers see either a hit or a
+    clean miss, never a torn entry; entries stored concurrently with
+    the scan may survive over nominally older ones (they are simply
+    not in the snapshot). [max_bytes = 0] empties the cache.
+    @raise Invalid_argument if [max_bytes < 0]. *)
+
 (** {1 Entry serialization} (exposed for tests) *)
 
 val metrics_to_string : Core.Metrics.t -> string

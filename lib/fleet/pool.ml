@@ -1,9 +1,11 @@
 exception Fuel_exhausted
 exception Timed_out
+exception Cancelled
 
 type budget = {
   fuel : int option;
   deadline : float option;  (* absolute, Unix.gettimeofday *)
+  cancel : (unit -> bool) option;
   mutable used : int;
 }
 
@@ -12,29 +14,38 @@ let tick b =
   (match b.fuel with
   | Some f when b.used > f -> raise Fuel_exhausted
   | _ -> ());
+  (match b.cancel with
+  | Some cancelled when b.used land 255 = 0 && cancelled () -> raise Cancelled
+  | _ -> ());
   match b.deadline with
   | Some d when b.used land 1023 = 0 && Unix.gettimeofday () > d ->
     raise Timed_out
   | _ -> ()
 
-let run_guarded ?fuel ?timeout_ms f x =
+let run_guarded ?fuel ?timeout_ms ?cancel f x =
   let deadline =
     Option.map
       (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
       timeout_ms
   in
-  let b = { fuel; deadline; used = 0 } in
-  match f b x with
+  let b = { fuel; deadline; cancel; used = 0 } in
+  match
+    (* A task already cancelled when its slot comes up never starts. *)
+    match cancel with
+    | Some cancelled when cancelled () -> raise Cancelled
+    | _ -> f b x
+  with
   | v -> Ok v
   | exception Fuel_exhausted ->
     Error
       (Printf.sprintf "fuel exhausted after %d ticks" (Option.get fuel))
   | exception Timed_out ->
     Error (Printf.sprintf "timed out after %dms" (Option.get timeout_ms))
+  | exception Cancelled -> Error "cancelled"
   | exception e -> Error (Printexc.to_string e)
 
-let run_sequential ?fuel ?timeout_ms f xs =
-  List.map (run_guarded ?fuel ?timeout_ms f) xs
+let run_sequential ?fuel ?timeout_ms ?cancel f xs =
+  List.map (run_guarded ?fuel ?timeout_ms ?cancel f) xs
 
 type t = {
   mutex : Mutex.t;
@@ -83,7 +94,7 @@ let size t = List.length t.workers
 let check_alive t fn =
   if not t.alive then invalid_arg ("Fleet.Pool." ^ fn ^ ": pool is shut down")
 
-let map ?fuel ?timeout_ms t f xs =
+let map ?fuel ?timeout_ms ?cancel t f xs =
   check_alive t "map";
   let items = Array.of_list xs in
   let n = Array.length items in
@@ -93,7 +104,7 @@ let map ?fuel ?timeout_ms t f xs =
     let remaining = ref n in
     let all_done = Condition.create () in
     let task i () =
-      results.(i) <- run_guarded ?fuel ?timeout_ms f items.(i);
+      results.(i) <- run_guarded ?fuel ?timeout_ms ?cancel f items.(i);
       Mutex.lock t.mutex;
       decr remaining;
       if !remaining = 0 then Condition.broadcast all_done;

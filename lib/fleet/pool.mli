@@ -25,16 +25,23 @@ val size : t -> int
 exception Fuel_exhausted
 exception Timed_out
 
+exception Cancelled
+(** Raised out of {!tick} when the caller's [cancel] hook fires — the
+    cooperative cancellation path a draining server uses to abandon
+    work it no longer has a client for. *)
+
 type budget
 
 val tick : budget -> unit
-(** Burns one fuel unit; checks the deadline every 1024 ticks.
-    @raise Fuel_exhausted / @raise Timed_out when the budget is
-    blown (caught by the pool's per-job isolation). *)
+(** Burns one fuel unit; checks the cancel hook every 256 ticks and
+    the deadline every 1024.
+    @raise Fuel_exhausted / @raise Timed_out / @raise Cancelled when
+    the budget is blown (caught by the pool's per-job isolation). *)
 
 val map :
   ?fuel:int ->
   ?timeout_ms:int ->
+  ?cancel:(unit -> bool) ->
   t ->
   (budget -> 'a -> 'b) ->
   'a list ->
@@ -44,11 +51,18 @@ val map :
     exception (including a blown budget) yields [Error message]
     instead of killing its worker or the pool. Tasks must not
     themselves call {!map} on the same pool (the call would deadlock
-    waiting for its own worker). *)
+    waiting for its own worker).
+
+    [cancel] is polled from worker domains — before each task starts
+    and every 256 {!tick}s — so it must be cheap and thread-safe (an
+    [Atomic.get] is the intended shape). Once it returns [true],
+    running tasks abort at their next poll and queued tasks never
+    start; each yields [Error "cancelled"]. *)
 
 val run_sequential :
   ?fuel:int ->
   ?timeout_ms:int ->
+  ?cancel:(unit -> bool) ->
   (budget -> 'a -> 'b) ->
   'a list ->
   ('b, string) result list

@@ -14,8 +14,8 @@ let counter_names =
     "fleet_jobs_errored";
   ]
 
-let run ?(jobs = 1) ?cache ?registry ?progress ?fuel ?timeout_ms ~resolve specs
-    =
+let run ?(jobs = 1) ?pool ?cache ?registry ?progress ?fuel ?timeout_ms ?cancel
+    ~resolve specs =
   let specs = Array.of_list specs in
   let n = Array.length specs in
   (* Content-address dedup: equal keys are one engine run (or one
@@ -128,9 +128,14 @@ let run ?(jobs = 1) ?cache ?registry ?progress ?fuel ?timeout_ms ~resolve specs
       raise e
   in
   let miss_results =
-    if jobs <= 1 then Pool.run_sequential ?fuel ?timeout_ms exec resolvable
-    else
-      Pool.with_pool ~jobs (fun p -> Pool.map ?fuel ?timeout_ms p exec resolvable)
+    match pool with
+    | Some p -> Pool.map ?fuel ?timeout_ms ?cancel p exec resolvable
+    | None ->
+      if jobs <= 1 then
+        Pool.run_sequential ?fuel ?timeout_ms ?cancel exec resolvable
+      else
+        Pool.with_pool ~jobs (fun p ->
+            Pool.map ?fuel ?timeout_ms ?cancel p exec resolvable)
   in
   (* Write-back and result fan-out on the calling domain. *)
   List.iter2
@@ -195,6 +200,8 @@ let matrix ?(codecs = [ "code" ]) ?(strategies = [ Job.On_demand ])
             codecs)
         ks)
     scenarios
+
+let normalize_ks ks = List.sort_uniq compare ks
 
 let shard ~shards ~index xs =
   if shards < 1 || index < 0 || index >= shards then

@@ -19,18 +19,27 @@ type outcome = {
 
 val run :
   ?jobs:int ->
+  ?pool:Pool.t ->
   ?cache:Cache.t ->
   ?registry:Sim.Metrics.t ->
   ?progress:(string -> unit) ->
   ?fuel:int ->
   ?timeout_ms:int ->
+  ?cancel:(unit -> bool) ->
   resolve:(scenario:string -> codec:string -> Core.Scenario.t) ->
   Job.t list ->
   outcome list
 (** Executes the jobs and returns outcomes in submission order.
 
     [jobs] (default 1) is the worker-pool size; 1 runs inline with no
-    domains. Duplicate jobs (equal {!Job.key}) are executed once and
+    domains. [pool] overrides [jobs] with a caller-owned pool shared
+    across calls — the resident service dispatches every request's
+    engine runs onto one such pool, so concurrent {!run} calls from
+    different threads queue fairly instead of spawning domains per
+    request (the pool supports exactly this; the caller must not
+    invoke {!run} from inside one of that pool's own tasks). [cancel]
+    is the cooperative abort hook threaded into every engine run's
+    {!Pool.budget}. Duplicate jobs (equal {!Job.key}) are executed once and
     fanned back out to every submission slot. With [cache], hits skip
     the engine entirely and fresh results are written back (atomic,
     see {!Cache}). [resolve] is called on the {e calling} domain,
@@ -68,6 +77,13 @@ val matrix :
     retentions innermost. Defaults are singleton lists (["code"],
     [On_demand], [Discard], [None], [Kedge]), so
     [matrix ~scenarios ~ks ()] is the classic E6 grid. *)
+
+val normalize_ks : int list -> int list
+(** Sorted deduplication of a sweep's k axis. Duplicate or unsorted
+    [--ks] values would expand to duplicate jobs that the cache then
+    masks (the dedup above makes them one engine run, but every table
+    row repeats); callers compare the result against their input to
+    warn the user. *)
 
 val shard : shards:int -> index:int -> 'a list -> 'a list
 (** Round-robin slice [index] of [shards] (for splitting one matrix

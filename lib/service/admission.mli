@@ -1,0 +1,49 @@
+(** Admission control: explicit backpressure instead of unbounded
+    queueing.
+
+    Two independent caps, both enforced before any work is queued:
+
+    - a {e request} cap — at most [capacity] heavy requests admitted
+      at once (executing on the pool plus waiting for a worker);
+      request number [capacity + 1] is rejected immediately with an
+      [overloaded] error carrying a [retry_after_ms] hint, so a
+      saturated server answers in microseconds instead of building a
+      latency bomb;
+    - a {e connection} cap — at most [max_conns] concurrent client
+      connections; further accepts are answered with one
+      [too_many_connections] error line and closed.
+
+    The retry hint is the admission layer's own latency estimate: an
+    exponentially-weighted mean of recent request service times,
+    scaled by the current depth — i.e. "roughly one drain period from
+    now" — clamped to [25..5000] ms.
+
+    All operations are thread-safe; connection handler threads call
+    them concurrently. *)
+
+type t
+
+val create : ?capacity:int -> ?max_conns:int -> unit -> t
+(** Defaults: [capacity = 64], [max_conns = 64].
+    @raise Invalid_argument unless both are >= 1. *)
+
+val capacity : t -> int
+val max_conns : t -> int
+
+type rejection = { retry_after_ms : int }
+
+val try_acquire : t -> (unit, rejection) result
+(** Admits one request, or rejects with the backoff hint. Every
+    successful acquire must be paired with exactly one {!release}. *)
+
+val release : t -> elapsed_ms:float -> unit
+(** Returns a slot and feeds the service-time estimate. *)
+
+val in_flight : t -> int
+
+val try_connect : t -> bool
+(** Admits one connection ([false] = at the cap). Pair with
+    {!disconnect}. *)
+
+val disconnect : t -> unit
+val connections : t -> int

@@ -1,0 +1,347 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let max_depth = 64
+
+exception Bad of string
+
+(* ------------------------------------------------------------------ *)
+(* Parser: recursive descent over a string with one lookahead index.  *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error c fmt =
+  Printf.ksprintf (fun msg -> raise (Bad (Printf.sprintf "at byte %d: %s" c.pos msg))) fmt
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  while
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    advance c
+  done
+
+let expect c ch =
+  match peek c with
+  | Some d when d = ch -> advance c
+  | Some d -> error c "expected %C, got %C" ch d
+  | None -> error c "expected %C, got end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c "bad literal (expected %s)" word
+
+(* Encodes one Unicode scalar value as UTF-8 into [buf]. *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+  end
+
+let hex4 c =
+  let digit ch =
+    match ch with
+    | '0' .. '9' -> Char.code ch - Char.code '0'
+    | 'a' .. 'f' -> Char.code ch - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code ch - Char.code 'A' + 10
+    | _ -> error c "bad \\u escape digit %C" ch
+  in
+  let take () =
+    match peek c with
+    | Some ch ->
+      advance c;
+      digit ch
+    | None -> error c "truncated \\u escape"
+  in
+  let a = take () in
+  let b = take () in
+  let d = take () in
+  let e = take () in
+  (a lsl 12) lor (b lsl 8) lor (d lsl 4) lor e
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+      | None -> error c "unterminated escape"
+      | Some ch ->
+        advance c;
+        (match ch with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let u = hex4 c in
+          if u >= 0xd800 && u <= 0xdbff then begin
+            (* high surrogate: a low surrogate escape must follow *)
+            expect c '\\';
+            expect c 'u';
+            let lo = hex4 c in
+            if lo < 0xdc00 || lo > 0xdfff then
+              error c "unpaired surrogate \\u%04x" u;
+            add_utf8 buf
+              (0x10000 + (((u - 0xd800) lsl 10) lor (lo - 0xdc00)))
+          end
+          else if u >= 0xdc00 && u <= 0xdfff then
+            error c "unpaired surrogate \\u%04x" u
+          else add_utf8 buf u
+        | ch -> error c "bad escape \\%C" ch));
+      go ()
+    | Some ch when Char.code ch < 0x20 ->
+      error c "unescaped control character in string"
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let consume_while pred =
+    while (match peek c with Some ch -> pred ch | None -> false) do
+      advance c
+    done
+  in
+  if peek c = Some '-' then advance c;
+  consume_while (function '0' .. '9' -> true | _ -> false);
+  let is_float = ref false in
+  if peek c = Some '.' then begin
+    is_float := true;
+    advance c;
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  end;
+  (match peek c with
+  | Some ('e' | 'E') ->
+    is_float := true;
+    advance c;
+    (match peek c with Some ('+' | '-') -> advance c | _ -> ());
+    consume_while (function '0' .. '9' -> true | _ -> false)
+  | _ -> ());
+  let text = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> error c "bad number %S" text
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* out of int range: fall back to float like every JSON reader *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error c "bad number %S" text)
+
+let rec parse_value c ~depth =
+  if depth > max_depth then error c "nesting deeper than %d levels" max_depth;
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec members acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c ~depth:(depth + 1) in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> error c "expected ',' or '}' in object"
+      in
+      Obj (members [])
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let rec elements acc =
+        let v = parse_value c ~depth:(depth + 1) in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error c "expected ',' or ']' in array"
+      in
+      List (elements [])
+    end
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c "unexpected character %C" ch
+
+let parse src =
+  let c = { src; pos = 0 } in
+  match
+    let v = parse_value c ~depth:0 in
+    skip_ws c;
+    (match peek c with
+    | Some ch -> error c "trailing garbage starting with %C" ch
+    | None -> ());
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Printers                                                            *)
+
+(* JSON has no NaN/Inf; emit them as null rather than produce a line
+   no reader can parse back. *)
+let number_to_string f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (number_to_string f)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (Report.Table.json_escape s);
+    Buffer.add_char buf '"'
+  | List vs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf v)
+      vs;
+    Buffer.add_char buf ']'
+  | Obj kvs ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (Report.Table.json_escape k);
+        Buffer.add_string buf "\":";
+        emit buf v)
+      kvs;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  emit buf v;
+  Buffer.contents buf
+
+let pretty v =
+  let buf = Buffer.create 512 in
+  let pad n = Buffer.add_string buf (String.make (2 * n) ' ') in
+  let rec go indent = function
+    | (Null | Bool _ | Int _ | Float _ | Str _) as scalar -> emit buf scalar
+    | List [] -> Buffer.add_string buf "[]"
+    | Obj [] -> Buffer.add_string buf "{}"
+    | List vs ->
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          go (indent + 1) v)
+        vs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf ']'
+    | Obj kvs ->
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          pad (indent + 1);
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (Report.Table.json_escape k);
+          Buffer.add_string buf "\": ";
+          go (indent + 1) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      pad indent;
+      Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f && Float.abs f <= 1e15 ->
+    Some (int_of_float f)
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
+let to_list = function List vs -> Some vs | _ -> None

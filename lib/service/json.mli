@@ -1,0 +1,46 @@
+(** Minimal JSON values for the wire protocol.
+
+    The repo deliberately stays inside the preinstalled package set,
+    so the service carries its own small JSON layer instead of
+    depending on yojson: a value type, a strict recursive-descent
+    parser (UTF-8 pass-through, [\uXXXX] escapes including surrogate
+    pairs, bounded nesting depth), and compact/pretty printers whose
+    output re-parses to the same value. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list  (** first binding wins on duplicate keys *)
+
+val parse : string -> (t, string) result
+(** Parses exactly one JSON value (leading/trailing whitespace
+    allowed; trailing garbage is an error). Integers that fit [int]
+    parse as [Int], everything else numeric as [Float]. Nesting
+    deeper than 64 levels is rejected, so a hostile request cannot
+    blow the stack. *)
+
+val to_string : t -> string
+(** Compact, single-line. Strings are emitted with the same escaping
+    rules {!Report.Table.json_escape} uses. *)
+
+val pretty : t -> string
+(** Two-space-indented multi-line rendering for human eyes ([ccomp
+    call]'s output). *)
+
+(** {1 Accessors} — total functions returning options, so request
+    validation reads as a pipeline of [let*]s. *)
+
+val member : string -> t -> t option
+(** [None] when the value is not an object or lacks the key. *)
+
+val to_int : t -> int option
+(** Accepts [Int] and integral [Float]s (JSON has one number type). *)
+
+val to_float : t -> float option
+val to_str : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,33 @@
+type t = {
+  drain : bool Atomic.t;
+  cancel : bool Atomic.t;
+  last_activity : float Atomic.t;  (* Unix.gettimeofday *)
+}
+
+let create () =
+  {
+    drain = Atomic.make false;
+    cancel = Atomic.make false;
+    last_activity = Atomic.make (Unix.gettimeofday ());
+  }
+
+let request_drain t = Atomic.set t.drain true
+let draining t = Atomic.get t.drain
+
+let force_cancel t =
+  Atomic.set t.drain true;
+  Atomic.set t.cancel true
+
+let cancel_requested t = Atomic.get t.cancel
+
+let install_signal_handlers t =
+  (* EPIPE over SIGPIPE: socket writes to a gone client must be an
+     exception on that connection's thread, not process death. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let handle _ = if draining t then force_cancel t else request_drain t in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle)
+
+let touch t = Atomic.set t.last_activity (Unix.gettimeofday ())
+let idle_for t = Float.max 0.0 (Unix.gettimeofday () -. Atomic.get t.last_activity)

@@ -1,0 +1,43 @@
+(** Graceful shutdown and idle self-termination.
+
+    The drain contract ([ccomp serve]'s exit path): on SIGINT /
+    SIGTERM (or an explicit {!request_drain}) the server stops
+    accepting, finishes every in-flight request, answers anything
+    newly read on open connections with a [shutting_down] error,
+    flushes the cache (stores are synchronous, so "finish in-flight"
+    implies it) and exits 0. A second signal during the drain
+    escalates to the cooperative {!Fleet.Pool} cancel hook, so a
+    wedged job cannot hold the process hostage.
+
+    The drain flag is an [Atomic] because signal handlers must not
+    take locks; the accept loop polls it between [select] ticks. *)
+
+type t
+
+val create : unit -> t
+
+val install_signal_handlers : t -> unit
+(** Routes SIGTERM and SIGINT to {!request_drain} (first delivery)
+    and {!force_cancel} (subsequent deliveries). Also ignores SIGPIPE
+    process-wide — a client hanging up mid-response must surface as
+    [EPIPE] on the handler thread, not kill the daemon. *)
+
+val request_drain : t -> unit
+(** Idempotent; safe from signal handlers and any thread. *)
+
+val draining : t -> bool
+
+val force_cancel : t -> unit
+(** Flips the flag behind {!cancel_requested} — wired as the
+    [?cancel] hook of every pool dispatch, so running engine work
+    aborts at its next budget tick. Implies {!request_drain}. *)
+
+val cancel_requested : t -> bool
+
+(** {1 Idle tracking} *)
+
+val touch : t -> unit
+(** Records activity (a connection, a request). *)
+
+val idle_for : t -> float
+(** Seconds since the last {!touch} (or {!create}). *)

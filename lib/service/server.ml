@@ -1,0 +1,564 @@
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  jobs : int;
+  queue : int;
+  max_conns : int;
+  cache : Fleet.Cache.t option;
+  fuel : int option;
+  timeout_ms : int option;
+  idle_timeout_s : float option;
+  drain_grace_s : float;
+  max_request_bytes : int;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp_port = None;
+    jobs = 1;
+    queue = 64;
+    max_conns = 64;
+    cache = None;
+    fuel = None;
+    timeout_ms = None;
+    idle_timeout_s = None;
+    drain_grace_s = 10.0;
+    max_request_bytes = Wire.default_max_request_bytes;
+  }
+
+type listener = { lfd : Unix.file_descr; descr : string }
+
+type t = {
+  config : config;
+  listeners : listener list;
+  pool : Fleet.Pool.t;
+  admission : Admission.t;
+  tele : Telemetry.t;
+  life : Lifecycle.t;
+  started_at : float;
+  (* (fd, thread) per live connection; handlers remove their own
+     entry (under the mutex) before closing the fd, so the drain's
+     shutdown sweep can never touch a recycled descriptor. *)
+  conn_mutex : Mutex.t;
+  conn_table : (int, Unix.file_descr * Thread.t) Hashtbl.t;
+  mutable conn_serial : int;
+  (* scenario memo: the warm state a resident server exists for *)
+  scen_mutex : Mutex.t;
+  scenarios : (string * string, Core.Scenario.t) Hashtbl.t;
+}
+
+let telemetry t = t.tele
+let lifecycle t = t.life
+let endpoints t = List.map (fun l -> l.descr) t.listeners
+
+(* ------------------------------------------------------------------ *)
+(* Binding                                                             *)
+
+let bind_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    Unix.unlink path (* stale socket from a crashed predecessor *)
+  | _ -> raise (Sys_error (path ^ ": exists and is not a socket"))
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  { lfd = fd; descr = "unix:" ^ path }
+
+let bind_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+     Unix.listen fd 64
+   with e ->
+     Unix.close fd;
+     raise e);
+  { lfd = fd; descr = Printf.sprintf "tcp:127.0.0.1:%d" port }
+
+let create ?telemetry:tele ?lifecycle:life config =
+  if config.socket_path = None && config.tcp_port = None then
+    invalid_arg "Service.Server.create: no endpoint (need a socket or a port)";
+  if config.jobs < 1 then
+    invalid_arg "Service.Server.create: jobs must be >= 1";
+  if config.queue < 0 then
+    invalid_arg "Service.Server.create: queue must be >= 0";
+  if config.max_request_bytes < 1024 then
+    invalid_arg "Service.Server.create: max_request_bytes must be >= 1024";
+  let life = match life with Some l -> l | None -> Lifecycle.create () in
+  let tele = match tele with Some t -> t | None -> Telemetry.create () in
+  (* Even without Lifecycle.install_signal_handlers (tests, bench):
+     never let a disappearing client kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listeners =
+    (match config.socket_path with Some p -> [ bind_unix p ] | None -> [])
+    @ (match config.tcp_port with Some p -> [ bind_tcp p ] | None -> [])
+  in
+  {
+    config;
+    listeners;
+    pool = Fleet.Pool.create ~jobs:config.jobs;
+    admission =
+      Admission.create
+        ~capacity:(config.jobs + config.queue)
+        ~max_conns:config.max_conns ();
+    tele;
+    life;
+    started_at = Unix.gettimeofday ();
+    conn_mutex = Mutex.create ();
+    conn_table = Hashtbl.create 64;
+    conn_serial = 0;
+    scen_mutex = Mutex.create ();
+    scenarios = Hashtbl.create 16;
+  }
+
+let stop t = Lifecycle.request_drain t.life
+
+(* ------------------------------------------------------------------ *)
+(* Socket line I/O                                                     *)
+
+type read_result =
+  | Line of string
+  | Oversized_line
+  | Eof
+
+type line_reader = {
+  rfd : Unix.file_descr;
+  chunk : Bytes.t;
+  mutable rstart : int;
+  mutable rlen : int;  (* unconsumed region of [chunk]: [rstart, rlen) *)
+}
+
+let line_reader fd =
+  { rfd = fd; chunk = Bytes.create 4096; rstart = 0; rlen = 0 }
+
+(* Reads one '\n'-terminated line of at most [max_bytes] bytes. An
+   overlong line is consumed to its newline and reported as
+   [Oversized_line] — the protocol position stays in sync, so the
+   connection remains usable. A final unterminated line (client shut
+   its write side without a trailing newline) is delivered as a
+   normal [Line]; the next call reports [Eof]. *)
+let read_line r ~max_bytes =
+  let line = Buffer.create 256 in
+  let dropping = ref false in
+  let rec go () =
+    if r.rstart >= r.rlen then begin
+      match Unix.read r.rfd r.chunk 0 (Bytes.length r.chunk) with
+      | 0 ->
+        if !dropping then Oversized_line
+        else if Buffer.length line > 0 then Line (Buffer.contents line)
+        else Eof
+      | n ->
+        r.rstart <- 0;
+        r.rlen <- n;
+        go ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    end
+    else begin
+      let nl = ref (-1) in
+      (try
+         for i = r.rstart to r.rlen - 1 do
+           if Bytes.get r.chunk i = '\n' then begin
+             nl := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      let upto = if !nl >= 0 then !nl else r.rlen in
+      if not !dropping then begin
+        Buffer.add_subbytes line r.chunk r.rstart (upto - r.rstart);
+        if Buffer.length line > max_bytes then begin
+          dropping := true;
+          Buffer.clear line
+        end
+      end;
+      r.rstart <- upto + 1;
+      (* past the newline, or = rlen + 1 *)
+      if !nl >= 0 then
+        if !dropping then Oversized_line
+        else
+          Line
+            (let s = Buffer.contents line in
+             (* tolerate CRLF clients, same as Trace.Io *)
+             if String.length s > 0 && s.[String.length s - 1] = '\r' then
+               String.sub s 0 (String.length s - 1)
+             else s)
+      else go ()
+    end
+  in
+  go ()
+
+let send_line fd s =
+  let payload = Bytes.of_string (s ^ "\n") in
+  let len = Bytes.length payload in
+  let rec push off =
+    if off < len then begin
+      match Unix.write fd payload off (len - off) with
+      | n -> push (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> push off
+    end
+  in
+  push 0
+
+(* ------------------------------------------------------------------ *)
+(* Request execution                                                   *)
+
+let resolve_scenario t ~scenario ~codec =
+  Mutex.lock t.scen_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.scen_mutex)
+    (fun () ->
+      let key = (scenario, codec) in
+      match Hashtbl.find_opt t.scenarios key with
+      | Some sc -> sc
+      | None ->
+        let w = Workloads.Suite.find_exn scenario in
+        let sc =
+          match codec with
+          | "code" -> Workloads.Common.scenario w
+          | other ->
+            Workloads.Common.scenario
+              ~codec:(Compress.Registry.find_exn other)
+              w
+        in
+        Hashtbl.replace t.scenarios key sc;
+        sc)
+
+(* Request guards: the request may only tighten the server defaults,
+   never escape them. *)
+let effective req_v cfg_v =
+  match (req_v, cfg_v) with
+  | Some r, Some c -> Some (min r c)
+  | Some r, None -> Some r
+  | None, c -> c
+
+let run_jobs t (env : Wire.envelope) jobs =
+  let registry = Sim.Metrics.create () in
+  let outcomes =
+    Fleet.Sweep.run ~pool:t.pool ?cache:t.config.cache ~registry
+      ?fuel:(effective env.fuel t.config.fuel)
+      ?timeout_ms:(effective env.timeout_ms t.config.timeout_ms)
+      ~cancel:(fun () -> Lifecycle.cancel_requested t.life)
+      ~resolve:(fun ~scenario ~codec -> resolve_scenario t ~scenario ~codec)
+      jobs
+  in
+  Telemetry.absorb_fleet t.tele registry;
+  outcomes
+
+let block_bytes (sc : Core.Scenario.t) =
+  Array.to_list
+    (Array.map
+       (fun (b : Cfg.Graph.block) ->
+         match sc.program with
+         | Some prog ->
+           Eris.Program.slice_bytes prog ~lo:b.addr ~hi:(b.addr + b.byte_size)
+         | None ->
+           Core.Scenario.synthetic_block_bytes ~id:b.id ~size:b.byte_size)
+       (Cfg.Graph.blocks sc.graph))
+
+let compress_payload t ~workload ~codec =
+  let sc = resolve_scenario t ~scenario:workload ~codec:"code" in
+  let blocks = block_bytes sc in
+  let codecs =
+    match codec with
+    | Some c -> [ Compress.Registry.find_exn c ]
+    | None -> Compress.Registry.all ()
+  in
+  Json.Obj
+    [
+      ("workload", Json.Str workload);
+      ( "codecs",
+        Json.List
+          (List.map
+             (fun codec ->
+               let s = Compress.Stats.measure codec blocks in
+               Json.Obj
+                 [
+                   ("codec", Json.Str s.Compress.Stats.codec_name);
+                   ("blocks", Json.Int s.Compress.Stats.blocks);
+                   ("original_bytes", Json.Int s.Compress.Stats.original_bytes);
+                   ( "compressed_bytes",
+                     Json.Int s.Compress.Stats.compressed_bytes );
+                   ("ratio", Json.Float s.Compress.Stats.ratio);
+                   ( "best_block_ratio",
+                     Json.Float s.Compress.Stats.best_block_ratio );
+                   ( "worst_block_ratio",
+                     Json.Float s.Compress.Stats.worst_block_ratio );
+                 ])
+             codecs) );
+    ]
+
+let health_payload t =
+  Json.Obj
+    [
+      ("status", Json.Str (if Lifecycle.draining t.life then "draining" else "ok"));
+      ("protocol", Json.Int Wire.protocol_version);
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("pool_jobs", Json.Int (Fleet.Pool.size t.pool));
+      ("queue_capacity", Json.Int (Admission.capacity t.admission));
+      ("in_flight", Json.Int (Admission.in_flight t.admission));
+      ("connections", Json.Int (Admission.connections t.admission));
+      ( "cache_dir",
+        match t.config.cache with
+        | Some c -> Json.Str (Fleet.Cache.dir c)
+        | None -> Json.Null );
+    ]
+
+let stats_payload t =
+  match Telemetry.stats_json t.tele with
+  | Json.Obj fields ->
+    Json.Obj
+      (("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at))
+      :: fields)
+  | other -> other
+
+(* The op tag for telemetry, including for requests that failed
+   parsing (labelled by their error code instead). *)
+let op_name : Wire.request -> string = function
+  | Wire.Health -> "health"
+  | Wire.Stats -> "stats"
+  | Wire.Sim _ -> "sim"
+  | Wire.Sweep _ -> "sweep"
+  | Wire.Compress _ -> "compress"
+
+(* Executes one admitted heavy request on the shared pool. Returns
+   the response line. *)
+let dispatch_heavy t (env : Wire.envelope) =
+  match env.request with
+  | Wire.Sim job -> (
+    match run_jobs t env [ job ] with
+    | [ outcome ] -> (
+      match outcome.Fleet.Sweep.result with
+      | Ok _ -> Wire.ok_line ~id:env.id (Wire.outcome_to_json outcome)
+      | Error msg ->
+        Wire.error_line ~id:env.id (Wire.err (Wire.classify_run_error msg) msg))
+    | _ -> Wire.error_line ~id:env.id (Wire.err Wire.internal "lost the job"))
+  | Wire.Sweep jobs ->
+    let outcomes = run_jobs t env jobs in
+    let failed =
+      List.length
+        (List.filter
+           (fun (o : Fleet.Sweep.outcome) -> Result.is_error o.result)
+           outcomes)
+    in
+    Wire.ok_line ~id:env.id
+      (Json.Obj
+         [
+           ("count", Json.Int (List.length outcomes));
+           ("failed", Json.Int failed);
+           ("jobs", Json.List (List.map Wire.outcome_to_json outcomes));
+         ])
+  | Wire.Compress { workload; codec } -> (
+    let task _budget () = compress_payload t ~workload ~codec in
+    match
+      Fleet.Pool.map
+        ?fuel:(effective env.fuel t.config.fuel)
+        ?timeout_ms:(effective env.timeout_ms t.config.timeout_ms)
+        ~cancel:(fun () -> Lifecycle.cancel_requested t.life)
+        t.pool task [ () ]
+    with
+    | [ Ok payload ] -> Wire.ok_line ~id:env.id payload
+    | [ Error msg ] ->
+      Wire.error_line ~id:env.id (Wire.err (Wire.classify_run_error msg) msg)
+    | _ -> Wire.error_line ~id:env.id (Wire.err Wire.internal "lost the job"))
+  | Wire.Health | Wire.Stats -> assert false (* not heavy; see dispatch *)
+
+let dispatch t (env : Wire.envelope) =
+  match env.request with
+  | Wire.Health -> Wire.ok_line ~id:env.id (health_payload t)
+  | Wire.Stats -> Wire.ok_line ~id:env.id (stats_payload t)
+  | Wire.Sim _ | Wire.Sweep _ | Wire.Compress _ -> (
+    match Admission.try_acquire t.admission with
+    | Error { Admission.retry_after_ms } ->
+      Telemetry.reject t.tele ~code:Wire.overloaded;
+      Wire.error_line ~id:env.id
+        (Wire.err ~retry_after_ms Wire.overloaded
+           "server at capacity; back off and retry")
+    | Ok () ->
+      Telemetry.queue_depth t.tele (Admission.in_flight t.admission);
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () ->
+          Admission.release t.admission
+            ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0);
+          Telemetry.queue_depth t.tele (Admission.in_flight t.admission))
+        (fun () -> dispatch_heavy t env))
+
+(* ------------------------------------------------------------------ *)
+(* Connection handling                                                 *)
+
+let handle_request t line =
+  let t0 = Unix.gettimeofday () in
+  let finish ~op ~ok response =
+    Telemetry.record t.tele ~op ~ok
+      ~elapsed_ms:((Unix.gettimeofday () -. t0) *. 1000.0);
+    response
+  in
+  match Wire.parse_request line with
+  | Error (id, e) ->
+    Telemetry.reject t.tele ~code:e.Wire.code;
+    finish ~op:"invalid" ~ok:false (Wire.error_line ~id e)
+  | Ok env ->
+    let op = op_name env.request in
+    if Lifecycle.draining t.life && op <> "health" && op <> "stats" then begin
+      Telemetry.reject t.tele ~code:Wire.shutting_down;
+      finish ~op ~ok:false
+        (Wire.error_line ~id:env.id
+           (Wire.err Wire.shutting_down "server is draining"))
+    end
+    else begin
+      match dispatch t env with
+      | response ->
+        finish ~op ~ok:(Wire.parse_response response
+                        |> function Ok (_, Ok _) -> true | _ -> false)
+          response
+      | exception e ->
+        (* Absolute backstop: an unexpected exception answers as a
+           structured error and the connection lives on. *)
+        finish ~op ~ok:false
+          (Wire.error_line ~id:env.id
+             (Wire.err Wire.internal (Printexc.to_string e)))
+    end
+
+let handle_conn t serial fd =
+  let reader = line_reader fd in
+  let rec serve () =
+    match read_line reader ~max_bytes:t.config.max_request_bytes with
+    | Eof -> ()
+    | Oversized_line ->
+      Telemetry.reject t.tele ~code:Wire.oversized;
+      send_line fd
+        (Wire.error_line ~id:Json.Null
+           (Wire.err Wire.oversized
+              (Printf.sprintf "request line exceeds %d bytes"
+                 t.config.max_request_bytes)));
+      serve ()
+    | Line line when String.trim line = "" -> serve () (* keep-alive blank *)
+    | Line line ->
+      Lifecycle.touch t.life;
+      send_line fd (handle_request t line);
+      serve ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (* de-register before closing: see [conn_table]'s invariant *)
+      Mutex.lock t.conn_mutex;
+      Hashtbl.remove t.conn_table serial;
+      Mutex.unlock t.conn_mutex;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Admission.disconnect t.admission;
+      Telemetry.connection t.tele `Closed;
+      Lifecycle.touch t.life)
+    (fun () ->
+      try serve ()
+      with
+      | Unix.Unix_error _ | Sys_error _ ->
+        (* client went away mid-read or mid-write: normal *)
+        ())
+
+let accept_one t listener =
+  match Unix.accept listener.lfd with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    -> ()
+  | fd, _ ->
+    Lifecycle.touch t.life;
+    if Admission.try_connect t.admission then begin
+      Telemetry.connection t.tele `Opened;
+      (* the mutex is held across spawn + registration, so the
+         handler's own de-registration (which needs the mutex) cannot
+         run before the entry exists *)
+      Mutex.lock t.conn_mutex;
+      t.conn_serial <- t.conn_serial + 1;
+      let serial = t.conn_serial in
+      let th = Thread.create (fun () -> handle_conn t serial fd) () in
+      Hashtbl.replace t.conn_table serial (fd, th);
+      Mutex.unlock t.conn_mutex
+    end
+    else begin
+      Telemetry.connection t.tele `Refused;
+      (try
+         send_line fd
+           (Wire.error_line ~id:Json.Null
+              (Wire.err Wire.too_many_connections
+                 (Printf.sprintf "connection limit (%d) reached"
+                    (Admission.max_conns t.admission))))
+       with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Main loop and drain                                                 *)
+
+let fully_idle t =
+  Admission.in_flight t.admission = 0 && Admission.connections t.admission = 0
+
+let run t =
+  let listen_fds = List.map (fun l -> l.lfd) t.listeners in
+  (* Accept phase. *)
+  let rec accept_loop () =
+    if not (Lifecycle.draining t.life) then begin
+      (match t.config.idle_timeout_s with
+      | Some limit when fully_idle t && Lifecycle.idle_for t.life > limit ->
+        Lifecycle.request_drain t.life
+      | _ -> ());
+      if not (Lifecycle.draining t.life) then begin
+        (match Unix.select listen_fds [] [] 0.2 with
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+              match List.find_opt (fun l -> l.lfd = fd) t.listeners with
+              | Some l -> accept_one t l
+              | None -> ())
+            ready
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        accept_loop ()
+      end
+    end
+  in
+  accept_loop ();
+  (* Drain phase: no new connections... *)
+  List.iter
+    (fun l -> try Unix.close l.lfd with Unix.Unix_error _ -> ())
+    t.listeners;
+  (match t.config.socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  (* ...finish in-flight work within the grace window... *)
+  let deadline = Unix.gettimeofday () +. t.config.drain_grace_s in
+  while
+    Admission.in_flight t.admission > 0 && Unix.gettimeofday () < deadline
+  do
+    Thread.delay 0.01
+  done;
+  if Admission.in_flight t.admission > 0 then begin
+    (* ...escalating to cooperative cancellation if it will not... *)
+    Lifecycle.force_cancel t.life;
+    let hard = Unix.gettimeofday () +. 2.0 in
+    while Admission.in_flight t.admission > 0 && Unix.gettimeofday () < hard do
+      Thread.delay 0.01
+    done
+  end;
+  (* ...give the response writes a beat to land, then hang up on the
+     remaining (idle) connections and join every handler. *)
+  Thread.delay 0.05;
+  let threads =
+    Mutex.lock t.conn_mutex;
+    let ts =
+      Hashtbl.fold
+        (fun _ (fd, th) acc ->
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+          th :: acc)
+        t.conn_table []
+    in
+    Mutex.unlock t.conn_mutex;
+    ts
+  in
+  List.iter Thread.join threads;
+  Fleet.Pool.shutdown t.pool

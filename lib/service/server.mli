@@ -1,0 +1,73 @@
+(** The resident simulation daemon.
+
+    One accept loop over a Unix-domain socket (and optionally a
+    loopback TCP port), one reader/writer thread per connection, and
+    every heavy request dispatched onto a single shared
+    {!Fleet.Pool} through {!Fleet.Sweep.run} — so concurrent clients
+    share the worker domains, the scenario memo and the
+    content-addressed result cache instead of each paying cold-start
+    cost, which is the whole point of serving from warm state.
+
+    Per-request guards reuse the fleet's budget machinery
+    ([timeout_ms]/[fuel] from the request, capped by the server
+    defaults); admission control is {!Admission}; shutdown is
+    {!Lifecycle}'s drain contract. *)
+
+type config = {
+  socket_path : string option;  (** Unix-domain endpoint *)
+  tcp_port : int option;  (** loopback TCP endpoint *)
+  jobs : int;  (** shared pool size *)
+  queue : int;
+      (** admission capacity on top of the executing requests: at
+          most [jobs + queue] heavy requests in flight *)
+  max_conns : int;
+  cache : Fleet.Cache.t option;
+  fuel : int option;  (** default per-request fuel *)
+  timeout_ms : int option;  (** default per-request deadline *)
+  idle_timeout_s : float option;
+      (** self-drain after this much full idleness (no connections,
+          no requests) *)
+  drain_grace_s : float;
+      (** how long a drain waits for in-flight work before escalating
+          to the pool's cancel hook *)
+  max_request_bytes : int;
+}
+
+val default_config : config
+(** No endpoints (callers must set at least one), [jobs = 1],
+    [queue = 64], [max_conns = 64], no cache, no default guards, no
+    idle timeout, 10s drain grace,
+    {!Wire.default_max_request_bytes}. *)
+
+type t
+
+val create :
+  ?telemetry:Telemetry.t -> ?lifecycle:Lifecycle.t -> config -> t
+(** Binds and listens on every configured endpoint and spawns the
+    worker pool. A stale Unix socket file (left by a crashed server)
+    is unlinked and rebound; a path that exists but is not a socket
+    is an error.
+    @raise Invalid_argument if no endpoint is configured or a knob is
+    out of range.
+    @raise Unix.Unix_error when binding fails (path not writable,
+    port taken). *)
+
+val endpoints : t -> string list
+(** Human-readable bound endpoints, e.g. ["unix:/tmp/ccomp.sock"]. *)
+
+val telemetry : t -> Telemetry.t
+val lifecycle : t -> Lifecycle.t
+
+val run : t -> unit
+(** Serves until drained: accepts connections, then — once
+    {!Lifecycle.request_drain} fires (signal, {!stop}, or the idle
+    timeout) — stops accepting, waits up to [drain_grace_s] for
+    in-flight requests, escalates to cooperative cancellation if the
+    grace expires, disconnects every remaining client, joins all
+    threads, shuts the pool down and unlinks the Unix socket.
+    Returns normally; the caller owns the exit code. *)
+
+val stop : t -> unit
+(** {!Lifecycle.request_drain} on the server's lifecycle — the
+    programmatic equivalent of SIGTERM. Callable from any thread;
+    {!run} notices within one accept-poll tick. *)

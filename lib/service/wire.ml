@@ -1,0 +1,396 @@
+let protocol_version = 1
+let default_max_request_bytes = 65536
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+
+type error = { code : string; msg : string; retry_after_ms : int option }
+
+let bad_json = "bad_json"
+let bad_request = "bad_request"
+let unknown_op = "unknown_op"
+let oversized = "oversized"
+let overloaded = "overloaded"
+let too_many_connections = "too_many_connections"
+let deadline_exceeded = "deadline_exceeded"
+let fuel_exhausted = "fuel_exhausted"
+let cancelled = "cancelled"
+let shutting_down = "shutting_down"
+let internal = "internal"
+
+let err ?retry_after_ms code msg = { code; msg; retry_after_ms }
+
+(* The pool reports blown budgets as strings (its public contract);
+   map them back to wire codes by their stable prefixes. *)
+let classify_run_error msg =
+  let has_prefix p = String.length msg >= String.length p
+                     && String.sub msg 0 (String.length p) = p in
+  if has_prefix "timed out" then deadline_exceeded
+  else if has_prefix "fuel exhausted" then fuel_exhausted
+  else if msg = "cancelled" then cancelled
+  else internal
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+
+type request =
+  | Health
+  | Stats
+  | Sim of Fleet.Job.t
+  | Sweep of Fleet.Job.t list
+  | Compress of { workload : string; codec : string option }
+
+type envelope = {
+  id : Json.t;
+  timeout_ms : int option;
+  fuel : int option;
+  request : request;
+}
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun msg -> Error (err bad_request msg)) fmt
+
+(* Field accessors over the request object; every branch reports the
+   field name so the client can fix its request without guessing. *)
+
+let opt_field obj name decode what =
+  match Json.member name obj with
+  | None -> Ok None
+  | Some v -> (
+    match decode v with
+    | Some x -> Ok (Some x)
+    | None -> fail "field %S: expected %s" name what)
+
+let str_field obj name = opt_field obj name Json.to_str "a string"
+let int_field obj name = opt_field obj name Json.to_int "an integer"
+let float_field obj name = opt_field obj name Json.to_float "a number"
+
+let positive obj name =
+  let* v = int_field obj name in
+  match v with
+  | Some v when v < 1 -> fail "field %S: must be >= 1 (got %d)" name v
+  | v -> Ok v
+
+let default d = function Some v -> v | None -> d
+
+let enum_field obj name choices ~fallback =
+  let* v = str_field obj name in
+  let v = default fallback v in
+  if List.mem v choices then Ok v
+  else
+    fail "field %S: expected one of %s (got %S)" name
+      (String.concat ", " choices)
+      v
+
+let workload_ok name = List.mem name Workloads.Suite.names
+
+let check_workload name =
+  if workload_ok name then Ok name
+  else
+    fail "unknown workload %S (known: %s)" name
+      (String.concat ", " Workloads.Suite.names)
+
+let check_codec name =
+  if name = "code" || List.mem name (Compress.Registry.names ()) then Ok name
+  else
+    fail "unknown codec %S (known: code, %s)" name
+      (String.concat ", " (Compress.Registry.names ()))
+
+(* The policy surface shared by sim and sweep: everything in a
+   Fleet.Job.t except scenario and k, which the op supplies. *)
+let job_builder obj =
+  let* codec = str_field obj "codec" in
+  let codec = default "code" codec in
+  let* codec = check_codec codec in
+  let* lookahead = positive obj "lookahead" in
+  let lookahead = default 2 lookahead in
+  let* predictor =
+    enum_field obj "predictor"
+      [ "first"; "last-taken"; "profile" ]
+      ~fallback:"profile"
+  in
+  let* strategy =
+    let* s =
+      enum_field obj "strategy"
+        [ "on-demand"; "pre-all"; "pre-single" ]
+        ~fallback:"on-demand"
+    in
+    Ok
+      (match s with
+      | "pre-all" -> Fleet.Job.Pre_all { lookahead }
+      | "pre-single" -> Fleet.Job.Pre_single { lookahead; predictor }
+      | _ -> Fleet.Job.On_demand)
+  in
+  let* mode =
+    let* m =
+      enum_field obj "mode" [ "discard"; "recompress" ] ~fallback:"discard"
+    in
+    Ok (if m = "recompress" then Fleet.Job.Recompress else Fleet.Job.Discard)
+  in
+  let* budget = positive obj "budget" in
+  let* weight = positive obj "weight" in
+  let weight = default 2 weight in
+  let* fraction = float_field obj "fraction" in
+  let fraction = default 0.5 fraction in
+  let* () =
+    if fraction > 0.0 && fraction <= 1.0 then Ok ()
+    else fail "field \"fraction\": must be in (0, 1] (got %g)" fraction
+  in
+  let* retention =
+    let* r =
+      enum_field obj "retention"
+        [ "kedge"; "loop-aware"; "clock"; "pin-hot" ]
+        ~fallback:"kedge"
+    in
+    Ok
+      (match r with
+      | "loop-aware" -> Fleet.Job.Loop_aware { weight }
+      | "clock" -> Fleet.Job.Clock
+      | "pin-hot" -> Fleet.Job.Pin_hot { fraction }
+      | _ -> Fleet.Job.Kedge)
+  in
+  Ok
+    (fun ~scenario ~k ->
+      Fleet.Job.make ~codec ~strategy ~mode ?budget ~retention ~scenario ~k ())
+
+let parse_sim obj =
+  let* workload = str_field obj "workload" in
+  let* workload =
+    match workload with
+    | Some w -> check_workload w
+    | None -> fail "op \"sim\" requires field \"workload\""
+  in
+  let* k = positive obj "k" in
+  let k = default 8 k in
+  let* build = job_builder obj in
+  Ok (Sim (build ~scenario:workload ~k))
+
+let parse_sweep obj =
+  let* workloads =
+    opt_field obj "workloads"
+      (fun v ->
+        Option.bind (Json.to_list v) (fun vs ->
+            let names = List.filter_map Json.to_str vs in
+            if List.length names = List.length vs then Some names else None))
+      "a list of workload names"
+  in
+  let workloads = default Workloads.Suite.names workloads in
+  let* () =
+    List.fold_left
+      (fun acc w ->
+        let* () = acc in
+        let* _ = check_workload w in
+        Ok ())
+      (Ok ()) workloads
+  in
+  let* () = if workloads = [] then fail "field \"workloads\": empty" else Ok () in
+  let* ks =
+    opt_field obj "ks"
+      (fun v ->
+        Option.bind (Json.to_list v) (fun vs ->
+            let ks = List.filter_map Json.to_int vs in
+            if List.length ks = List.length vs then Some ks else None))
+      "a list of integers"
+  in
+  let ks = default [ 1; 2; 4; 8; 16; 32 ] ks in
+  let* () = if ks = [] then fail "field \"ks\": empty" else Ok () in
+  let* () =
+    if List.for_all (fun k -> k >= 1) ks then Ok ()
+    else fail "field \"ks\": every k must be >= 1"
+  in
+  let ks = Fleet.Sweep.normalize_ks ks in
+  let* build = job_builder obj in
+  Ok
+    (Sweep
+       (List.concat_map
+          (fun scenario -> List.map (fun k -> build ~scenario ~k) ks)
+          workloads))
+
+let parse_compress obj =
+  let* workload = str_field obj "workload" in
+  let* workload =
+    match workload with
+    | Some w -> check_workload w
+    | None -> fail "op \"compress\" requires field \"workload\""
+  in
+  let* codec = str_field obj "codec" in
+  let* codec =
+    match codec with
+    | None -> Ok None
+    | Some c when List.mem c (Compress.Registry.names ()) -> Ok (Some c)
+    | Some c ->
+      (* "code" (the positional model) has no standalone compressor to
+         measure, so compress only takes real registry codecs *)
+      fail "unknown codec %S for op \"compress\" (expected %s)" c
+        (String.concat ", " (Compress.Registry.names ()))
+  in
+  Ok (Compress { workload; codec })
+
+let parse_request line =
+  match Json.parse line with
+  | Error msg -> Error (Json.Null, err bad_json msg)
+  | Ok json -> (
+    let id = default Json.Null (Json.member "id" json) in
+    let tag e = Error (id, e) in
+    match
+      let* () =
+        match json with
+        | Json.Obj _ -> Ok ()
+        | _ -> fail "request must be a JSON object"
+      in
+      let* v = int_field json "v" in
+      let* () =
+        match v with
+        | Some v when v <> protocol_version ->
+          fail "protocol version %d not supported (this server speaks %d)" v
+            protocol_version
+        | _ -> Ok ()
+      in
+      let* timeout_ms = positive json "timeout_ms" in
+      let* fuel = positive json "fuel" in
+      let* op = str_field json "op" in
+      let* request =
+        match op with
+        | None -> fail "missing field \"op\""
+        | Some "health" -> Ok Health
+        | Some "stats" -> Ok Stats
+        | Some "sim" -> parse_sim json
+        | Some "sweep" -> parse_sweep json
+        | Some "compress" -> parse_compress json
+        | Some other ->
+          Error
+            (err unknown_op
+               (Printf.sprintf
+                  "unknown op %S (known: health, stats, sim, sweep, compress)"
+                  other))
+      in
+      Ok { id; timeout_ms; fuel; request }
+    with
+    | Ok envelope -> Ok envelope
+    | Error e -> tag e)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+
+let ok_line ~id payload = Json.to_string (Json.Obj [ ("id", id); ("ok", payload) ])
+
+let error_line ~id { code; msg; retry_after_ms } =
+  let fields =
+    [ ("code", Json.Str code); ("msg", Json.Str msg) ]
+    @
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+    | None -> []
+  in
+  Json.to_string (Json.Obj [ ("id", id); ("error", Json.Obj fields) ])
+
+let parse_response line =
+  match Json.parse line with
+  | Error msg -> Error (Printf.sprintf "unparseable response: %s" msg)
+  | Ok json -> (
+    let id = default Json.Null (Json.member "id" json) in
+    match (Json.member "ok" json, Json.member "error" json) with
+    | Some payload, None -> Ok (id, Ok payload)
+    | None, Some e ->
+      let str name = Option.bind (Json.member name e) Json.to_str in
+      let code = default "internal" (str "code") in
+      let msg = default "" (str "msg") in
+      let retry_after_ms =
+        Option.bind (Json.member "retry_after_ms" e) Json.to_int
+      in
+      Ok (id, Error { code; msg; retry_after_ms })
+    | _ -> Error "response has neither \"ok\" nor \"error\"")
+
+let metrics_to_json (m : Core.Metrics.t) =
+  Json.Obj
+    [
+      ("total_cycles", Json.Int m.total_cycles);
+      ("exec_cycles", Json.Int m.exec_cycles);
+      ("exception_cycles", Json.Int m.exception_cycles);
+      ("patch_cycles", Json.Int m.patch_cycles);
+      ("demand_dec_cycles", Json.Int m.demand_dec_cycles);
+      ("stall_cycles", Json.Int m.stall_cycles);
+      ("baseline_cycles", Json.Int m.baseline_cycles);
+      ("exceptions", Json.Int m.exceptions);
+      ("patches", Json.Int m.patches);
+      ("demand_decompressions", Json.Int m.demand_decompressions);
+      ("prefetch_decompressions", Json.Int m.prefetch_decompressions);
+      ("useful_prefetches", Json.Int m.useful_prefetches);
+      ("wasted_prefetches", Json.Int m.wasted_prefetches);
+      ("discards", Json.Int m.discards);
+      ("evictions", Json.Int m.evictions);
+      ("budget_overflows", Json.Int m.budget_overflows);
+      ("dec_thread_busy_cycles", Json.Int m.dec_thread_busy_cycles);
+      ("comp_thread_busy_cycles", Json.Int m.comp_thread_busy_cycles);
+      ("original_bytes", Json.Int m.original_bytes);
+      ("compressed_area_bytes", Json.Int m.compressed_area_bytes);
+      ("peak_decompressed_bytes", Json.Int m.peak_decompressed_bytes);
+      ("avg_decompressed_bytes", Json.Float m.avg_decompressed_bytes);
+      ("peak_footprint_bytes", Json.Int m.peak_footprint_bytes);
+      ("avg_footprint_bytes", Json.Float m.avg_footprint_bytes);
+      ("trace_length", Json.Int m.trace_length);
+      ("blocks", Json.Int m.blocks);
+      ("overhead_ratio", Json.Float (Core.Metrics.overhead_ratio m));
+      ("peak_memory_saving", Json.Float (Core.Metrics.peak_memory_saving m));
+      ("avg_memory_saving", Json.Float (Core.Metrics.avg_memory_saving m));
+    ]
+
+let job_to_json (j : Fleet.Job.t) =
+  let strategy, lookahead, predictor =
+    match j.strategy with
+    | Fleet.Job.On_demand -> ("on-demand", None, None)
+    | Fleet.Job.Pre_all { lookahead } -> ("pre-all", Some lookahead, None)
+    | Fleet.Job.Pre_single { lookahead; predictor } ->
+      ("pre-single", Some lookahead, Some predictor)
+  in
+  let retention, weight, fraction =
+    match j.retention with
+    | Fleet.Job.Kedge -> ("kedge", None, None)
+    | Fleet.Job.Loop_aware { weight } -> ("loop-aware", Some weight, None)
+    | Fleet.Job.Clock -> ("clock", None, None)
+    | Fleet.Job.Pin_hot { fraction } -> ("pin-hot", None, Some fraction)
+  in
+  let optional name f v =
+    match v with Some v -> [ (name, f v) ] | None -> []
+  in
+  Json.Obj
+    ([
+       ("workload", Json.Str j.scenario);
+       ("codec", Json.Str j.codec);
+       ("k", Json.Int j.k);
+       ("strategy", Json.Str strategy);
+     ]
+    @ optional "lookahead" (fun v -> Json.Int v) lookahead
+    @ optional "predictor" (fun v -> Json.Str v) predictor
+    @ [
+        ( "mode",
+          Json.Str
+            (match j.mode with
+            | Fleet.Job.Discard -> "discard"
+            | Fleet.Job.Recompress -> "recompress") );
+      ]
+    @ optional "budget" (fun v -> Json.Int v) j.budget
+    @ [ ("retention", Json.Str retention) ]
+    @ optional "weight" (fun v -> Json.Int v) weight
+    @ optional "fraction" (fun v -> Json.Float v) fraction)
+
+let outcome_to_json (o : Fleet.Sweep.outcome) =
+  Json.Obj
+    ([
+       ("job", job_to_json o.job);
+       ("key", Json.Str (Fleet.Job.key o.job));
+       ("cached", Json.Bool o.cached);
+     ]
+    @
+    match o.result with
+    | Ok m -> [ ("metrics", metrics_to_json m) ]
+    | Error msg ->
+      [
+        ( "error",
+          Json.Obj
+            [
+              ("code", Json.Str (classify_run_error msg));
+              ("msg", Json.Str msg);
+            ] );
+      ])

@@ -1,0 +1,110 @@
+(** The versioned JSONL request/response protocol.
+
+    One request per line, one response line per request, in order.
+    A request is a flat JSON object:
+
+    {v
+    {"v": 1, "id": 7, "op": "sim", "workload": "fir", "k": 8}
+    v}
+
+    - ["v"] (optional) must equal {!protocol_version} when present.
+    - ["id"] (optional, any scalar) is echoed verbatim in the
+      response so clients can pipeline.
+    - ["op"] selects the operation: [health], [stats], [sim],
+      [sweep] or [compress].
+    - [sim]/[sweep] accept the CLI's whole policy surface
+      ([workload]/[workloads], [k]/[ks], [codec], [strategy],
+      [lookahead], [predictor], [mode], [budget], [retention],
+      [weight], [fraction]) plus per-request guards [timeout_ms] and
+      [fuel].
+    - [compress] takes [workload] and optionally [codec] (all codecs
+      when omitted).
+
+    Responses are [{"id": .., "ok": {..}}] or
+    [{"id": .., "error": {"code": .., "msg": ..}}] — malformed input
+    is answered with a structured error, never a dropped connection
+    or a crash. *)
+
+val protocol_version : int
+
+val default_max_request_bytes : int
+(** 65536 — longer request lines are answered with an [oversized]
+    error and skipped; the connection stays usable. *)
+
+(** {1 Errors} *)
+
+type error = {
+  code : string;
+  msg : string;
+  retry_after_ms : int option;
+      (** only on [overloaded]: the admission layer's backoff hint *)
+}
+
+(** Stable error codes (the failure-mode table in DESIGN.md §8). *)
+
+val bad_json : string (* unparseable line *)
+val bad_request : string (* parsed, but missing/invalid fields *)
+val unknown_op : string
+val oversized : string
+val overloaded : string
+val too_many_connections : string
+val deadline_exceeded : string
+val fuel_exhausted : string
+val cancelled : string
+val shutting_down : string
+val internal : string
+
+val err : ?retry_after_ms:int -> string -> string -> error
+(** [err code msg]. *)
+
+val classify_run_error : string -> string
+(** Maps a {!Fleet.Pool} per-job error message to the matching
+    wire code ([deadline_exceeded], [fuel_exhausted], [cancelled]),
+    defaulting to [internal]. *)
+
+(** {1 Requests} *)
+
+type request =
+  | Health
+  | Stats
+  | Sim of Fleet.Job.t
+  | Sweep of Fleet.Job.t list
+  | Compress of { workload : string; codec : string option }
+
+type envelope = {
+  id : Json.t;  (** [Null] when the client sent none *)
+  timeout_ms : int option;
+  fuel : int option;
+  request : request;
+}
+
+val parse_request : string -> (envelope, Json.t * error) result
+(** Parses and validates one request line. On error, the returned id
+    is whatever could be salvaged from the line ([Null] if even that
+    failed), so the error response still correlates. Workload, codec
+    and enum values are validated here against the registries — a
+    request that parses is executable. *)
+
+(** {1 Responses} *)
+
+val ok_line : id:Json.t -> Json.t -> string
+(** One complete response line (no trailing newline). *)
+
+val error_line : id:Json.t -> error -> string
+
+val parse_response :
+  string -> (Json.t * (Json.t, error) result, string) result
+(** Client side: splits a response line into (id, ok payload |
+    structured error). [Error] only when the line itself is not a
+    valid response object. *)
+
+val metrics_to_json : Core.Metrics.t -> Json.t
+(** Every scalar field plus the derived ratios ([overhead_ratio],
+    [peak_memory_saving], [avg_memory_saving]). *)
+
+val job_to_json : Fleet.Job.t -> Json.t
+(** The spec as it would be written in a request: op-independent
+    fields only, suitable for replaying. *)
+
+val outcome_to_json : Fleet.Sweep.outcome -> Json.t
+(** Job spec + key + [cached] + either ["metrics"] or ["error"]. *)

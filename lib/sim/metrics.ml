@@ -108,6 +108,31 @@ let bucket_counts h =
   in
   Array.to_list cumulative @ [ (None, h.h_n) ]
 
+(* Prometheus-style bucket interpolation: find the first bucket whose
+   cumulative count reaches the requested rank, then interpolate
+   linearly inside it. The +Inf bucket has no width, so ranks landing
+   there report the exact maximum instead. *)
+let quantile h q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg (Printf.sprintf "Sim.Metrics.quantile: q=%g not in [0,1]" q);
+  if h.h_n = 0 then 0.0
+  else begin
+    let rank = q *. float_of_int h.h_n in
+    let rec seek i below =
+      if i >= Array.length h.bounds then float_of_int h.h_max
+      else
+        let here = below + h.cells.(i) in
+        if float_of_int here >= rank && h.cells.(i) > 0 then begin
+          let lo = if i = 0 then 0.0 else float_of_int h.bounds.(i - 1) in
+          let hi = float_of_int h.bounds.(i) in
+          let into = (rank -. float_of_int below) /. float_of_int h.cells.(i) in
+          Float.min (lo +. ((hi -. lo) *. into)) (float_of_int h.h_max)
+        end
+        else seek (i + 1) here
+    in
+    seek 0 0
+  end
+
 type value_view =
   | Counter_value of int
   | Histogram_value of {

@@ -44,6 +44,14 @@ val max_value : histogram -> int
 val mean : histogram -> float
 (** 0.0 when empty. *)
 
+val quantile : histogram -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0.0 <= q <= 1.0]) by
+    linear interpolation inside the first bucket whose cumulative
+    count reaches the rank — the Prometheus [histogram_quantile]
+    estimate. Ranks landing in the +Inf bucket report the exact
+    observed maximum; the estimate is clamped to that maximum. 0.0
+    when empty. @raise Invalid_argument when [q] is out of range. *)
+
 val bucket_counts : histogram -> (int option * int) list
 (** Cumulative counts per upper bound, [None] = +Inf, Prometheus
     style. *)

@@ -2,9 +2,11 @@
 # Tier-1 gate: dune-file formatting, full build (library + CLI +
 # examples + bench), the complete test suite, a bench smoke run
 # (the streaming event-bus check, which has a built-in failure
-# condition), and a fleet sweep smoke (parallel run against a cold
+# condition), a fleet sweep smoke (parallel run against a cold
 # cache, then the same sweep warm — the second run must be served
-# entirely from cache and print identical tables).
+# entirely from cache and print identical tables), and a service
+# smoke (real daemon on a Unix socket: serve, call, counters move,
+# SIGTERM drains to exit 0).
 # `make check` runs the same build + tests.
 set -eu
 cd "$(dirname "$0")/.."
@@ -29,4 +31,68 @@ if ! diff "$cache_dir/cold.tbl" "$cache_dir/warm.tbl" > /dev/null; then
   echo "check: FAIL — warm sweep tables differ from cold run" >&2
   exit 1
 fi
+
+# Service smoke: a real daemon end to end over a Unix socket.
+ccomp=_build/default/bin/ccomp.exe
+sock="$cache_dir/serve.sock"
+"$ccomp" serve --socket "$sock" --jobs 2 --cache-dir "$cache_dir/serve-cache" \
+  > "$cache_dir/serve.out" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "check: FAIL — serve never bound its socket" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+  fi
+  sleep 0.1
+done
+"$ccomp" call --socket "$sock" health > "$cache_dir/health.out"
+grep -q '"status": "ok"' "$cache_dir/health.out" || {
+  echo "check: FAIL — health did not answer ok" >&2
+  exit 1
+}
+"$ccomp" call --socket "$sock" sim fir -k 4 > "$cache_dir/sim.out"
+grep -q '"total_cycles"' "$cache_dir/sim.out" || {
+  echo "check: FAIL — sim returned no metrics" >&2
+  exit 1
+}
+"$ccomp" call --socket "$sock" stats > "$cache_dir/stats.out"
+grep -q '"count": 1' "$cache_dir/stats.out" || {
+  echo "check: FAIL — stats counters did not move" >&2
+  exit 1
+}
+# malformed input answers a structured error and exit 1, not a crash
+if "$ccomp" call --socket "$sock" --raw 'not json' > /dev/null 2>&1; then
+  echo "check: FAIL — malformed request did not error" >&2
+  exit 1
+fi
+# the connection-killing request above must not have killed the daemon
+"$ccomp" call --socket "$sock" health > /dev/null
+# prune the cache the daemon just populated
+"$ccomp" cache --dir "$cache_dir/serve-cache" --stats \
+  | grep -q '1 entry' || {
+  echo "check: FAIL — serve did not populate its cache" >&2
+  exit 1
+}
+"$ccomp" cache --dir "$cache_dir/serve-cache" --prune-to 0 \
+  | grep -q ': 0 entries, 0 bytes' || {
+  echo "check: FAIL — cache --prune-to 0 left entries behind" >&2
+  exit 1
+}
+# SIGTERM: drain and exit 0 within the grace window
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+if [ "$serve_rc" -ne 0 ]; then
+  echo "check: FAIL — serve exited $serve_rc after SIGTERM" >&2
+  cat "$cache_dir/serve.out" >&2
+  exit 1
+fi
+grep -q 'drained' "$cache_dir/serve.out" || {
+  echo "check: FAIL — serve did not report a drain" >&2
+  exit 1
+}
+
 echo "check: OK"

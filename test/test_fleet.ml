@@ -229,12 +229,89 @@ let test_cache_version_mismatch_is_miss () =
       Out_channel.output_string oc rewritten);
   checkb "version-bumped entry is ignored" true (Fleet.Cache.find c key = None)
 
+let test_cache_stats_and_gc () =
+  let dir = temp_dir "ccomp-cache" in
+  let c = Fleet.Cache.open_dir dir in
+  let empty = Fleet.Cache.stats c in
+  checki "empty entries" 0 empty.Fleet.Cache.entries;
+  checki "empty bytes" 0 empty.Fleet.Cache.bytes;
+  let keys = List.map (fun k -> Fleet.Job.key (job ~k ())) [ 1; 2; 4 ] in
+  List.iter (fun key -> Fleet.Cache.store c key exhaustive_metrics) keys;
+  (* pin distinct mtimes so "oldest first" is deterministic *)
+  let now = Unix.gettimeofday () in
+  List.iteri
+    (fun i key ->
+      let path = Filename.concat dir (key ^ ".metrics") in
+      let t = now -. float_of_int (100 - (10 * i)) in
+      Unix.utimes path t t)
+    keys;
+  let full = Fleet.Cache.stats c in
+  checki "three entries" 3 full.Fleet.Cache.entries;
+  checkb "bytes counted" true (full.Fleet.Cache.bytes > 0);
+  let per_entry = full.Fleet.Cache.bytes / 3 in
+  (* keep room for exactly one entry: the two oldest must go *)
+  let removed = Fleet.Cache.gc c ~max_bytes:per_entry in
+  checki "evicted oldest two" 2 removed.Fleet.Cache.entries;
+  checki "evicted bytes" (2 * per_entry) removed.Fleet.Cache.bytes;
+  (match keys with
+  | [ oldest; middle; newest ] ->
+    checkb "oldest gone" true (Fleet.Cache.find c oldest = None);
+    checkb "middle gone" true (Fleet.Cache.find c middle = None);
+    checkb "newest survives" true
+      (Fleet.Cache.find c newest = Some exhaustive_metrics)
+  | _ -> assert false);
+  checki "stats agree after gc" 1 (Fleet.Cache.stats c).Fleet.Cache.entries;
+  (* gc to zero empties the cache; negative is a programming error *)
+  let removed = Fleet.Cache.gc c ~max_bytes:0 in
+  checki "emptied" 1 removed.Fleet.Cache.entries;
+  checki "nothing left" 0 (Fleet.Cache.stats c).Fleet.Cache.entries;
+  Alcotest.check_raises "negative budget"
+    (Invalid_argument "Fleet.Cache.gc: max_bytes must be >= 0 (got -1)")
+    (fun () -> ignore (Fleet.Cache.gc c ~max_bytes:(-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Pool cancellation                                                   *)
+
+let test_pool_cancel_before_start () =
+  let rs =
+    Fleet.Pool.run_sequential
+      ~cancel:(fun () -> true)
+      (fun _b x -> x)
+      [ 1; 2; 3 ]
+  in
+  List.iter
+    (fun r -> checkb "cancelled before start" true (r = Error "cancelled"))
+    rs
+
+let test_pool_cancel_mid_run () =
+  let ticks = Atomic.make 0 in
+  let rs =
+    Fleet.Pool.run_sequential
+      ~cancel:(fun () -> Atomic.get ticks > 5_000)
+      (fun b () ->
+        for _ = 1 to 10_000_000 do
+          Atomic.incr ticks;
+          Fleet.Pool.tick b
+        done)
+      [ () ]
+  in
+  checkb "aborted by the cancel hook" true (rs = [ Error "cancelled" ]);
+  checkb "stopped promptly, not at the end" true
+    (Atomic.get ticks < 10_000_000)
+
 (* ------------------------------------------------------------------ *)
 (* Sweep                                                               *)
 
 let resolve ~scenario ~codec =
   ignore codec;
   Experiments.Util.scenario scenario
+
+let test_sweep_normalize_ks () =
+  checkb "sorted and deduped" true
+    (Fleet.Sweep.normalize_ks [ 8; 2; 2; 32; 8; 1 ] = [ 1; 2; 8; 32 ]);
+  checkb "already-normal input unchanged" true
+    (Fleet.Sweep.normalize_ks [ 1; 2; 4 ] = [ 1; 2; 4 ]);
+  checkb "empty stays empty" true (Fleet.Sweep.normalize_ks [] = [])
 
 let test_sweep_matrix_order () =
   let jobs =
@@ -361,6 +438,9 @@ let () =
           Alcotest.test_case "sequential = parallel" `Quick
             test_pool_sequential_matches_parallel;
           Alcotest.test_case "bad sizes" `Quick test_pool_rejects_bad_sizes;
+          Alcotest.test_case "cancel before start" `Quick
+            test_pool_cancel_before_start;
+          Alcotest.test_case "cancel mid-run" `Quick test_pool_cancel_mid_run;
         ] );
       ( "cache",
         [
@@ -371,9 +451,11 @@ let () =
             test_cache_corrupt_entry_is_miss;
           Alcotest.test_case "version mismatch = miss" `Quick
             test_cache_version_mismatch_is_miss;
+          Alcotest.test_case "stats + gc" `Quick test_cache_stats_and_gc;
         ] );
       ( "sweep",
         [
+          Alcotest.test_case "normalize ks" `Quick test_sweep_normalize_ks;
           Alcotest.test_case "matrix order" `Quick test_sweep_matrix_order;
           Alcotest.test_case "shard" `Quick test_sweep_shard;
           Alcotest.test_case "dedup + counters" `Quick

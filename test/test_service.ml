@@ -1,0 +1,578 @@
+(* Tests for the service layer: the JSON codec, the wire protocol, the
+   admission gate, and the daemon end to end over a real Unix-domain
+   socket — round trips for every op, malformed input answered with
+   structured errors on a connection that stays usable, backpressure
+   at capacity, per-request guards, and the graceful drain. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+module Json = Service.Json
+module Wire = Service.Wire
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let reparse what s v =
+  match Json.parse s with
+  | Ok v' -> checkb what true (v = v')
+  | Error e -> Alcotest.failf "%s: reparse failed: %s" what e
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("list", Json.List [ Json.Int 1; Json.Float 1.5; Json.Null ]);
+        ("str", Json.Str "quote\" back\\ newline\n euro\xe2\x82\xac");
+        ("bool", Json.Bool true);
+        ("neg", Json.Int (-7));
+        ("empty_obj", Json.Obj []);
+        ("empty_list", Json.List []);
+      ]
+  in
+  reparse "compact round trip" (Json.to_string v) v;
+  reparse "pretty round trip" (Json.pretty v) v
+
+let test_json_escapes () =
+  (match Json.parse {|"é 😀 \n\t\\"|} with
+  | Ok (Json.Str s) ->
+    checks "escape decoding" "\xc3\xa9 \xf0\x9f\x98\x80 \n\t\\" s
+  | Ok _ -> Alcotest.fail "not a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* non-finite floats must not produce unparseable output *)
+  reparse "nan emitted as null"
+    (Json.to_string (Json.List [ Json.Float Float.nan; Json.Float infinity ]))
+    (Json.List [ Json.Null; Json.Null ])
+
+let test_json_rejects () =
+  let bad s =
+    checkb (Printf.sprintf "rejects %S" s) true
+      (Result.is_error (Json.parse s))
+  in
+  bad "";
+  bad "nul";
+  bad "1 2";
+  bad "{\"a\":1,}";
+  bad "[1,]";
+  bad "\"unterminated";
+  bad "{\"a\" 1}";
+  (* hostile nesting must not blow the stack *)
+  bad (String.make 1000 '[');
+  (* 64 levels is the documented cap; 63 still parses *)
+  let nested n = String.make n '[' ^ "1" ^ String.make n ']' in
+  checkb "63 levels ok" true (Result.is_ok (Json.parse (nested 63)));
+  bad (nested 65)
+
+let test_json_accessors () =
+  let v = Result.get_ok (Json.parse {|{"i":3,"f":3.0,"h":3.5,"s":"x"}|}) in
+  let get k = Option.get (Json.member k v) in
+  checkb "int" true (Json.to_int (get "i") = Some 3);
+  checkb "integral float is an int" true (Json.to_int (get "f") = Some 3);
+  checkb "fractional float is not" true (Json.to_int (get "h") = None);
+  checkb "float accepts int" true (Json.to_float (get "i") = Some 3.0);
+  checkb "missing member" true (Json.member "zzz" v = None);
+  checkb "member of non-object" true (Json.member "i" (Json.Int 1) = None)
+
+(* ------------------------------------------------------------------ *)
+(* Wire                                                                *)
+
+let test_wire_sim_defaults () =
+  match Wire.parse_request {|{"op":"sim","workload":"fir"}|} with
+  | Ok { request = Wire.Sim job; id; timeout_ms; fuel } ->
+    checks "scenario" "fir" job.Fleet.Job.scenario;
+    checks "codec default" "code" job.Fleet.Job.codec;
+    checki "k default" 8 job.Fleet.Job.k;
+    checkb "strategy default" true (job.Fleet.Job.strategy = Fleet.Job.On_demand);
+    checkb "mode default" true (job.Fleet.Job.mode = Fleet.Job.Discard);
+    checkb "retention default" true (job.Fleet.Job.retention = Fleet.Job.Kedge);
+    checkb "no id" true (id = Json.Null);
+    checkb "no guards" true (timeout_ms = None && fuel = None)
+  | Ok _ -> Alcotest.fail "parsed as a different op"
+  | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg
+
+let test_wire_sweep_normalizes_ks () =
+  match
+    Wire.parse_request {|{"op":"sweep","workloads":["fir"],"ks":[8,2,2,8]}|}
+  with
+  | Ok { request = Wire.Sweep jobs; _ } ->
+    checkb "deduped and sorted" true
+      (List.map (fun (j : Fleet.Job.t) -> j.k) jobs = [ 2; 8 ])
+  | Ok _ -> Alcotest.fail "parsed as a different op"
+  | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg
+
+let test_wire_rejects () =
+  let expect code line =
+    match Wire.parse_request line with
+    | Ok _ -> Alcotest.failf "accepted %s" line
+    | Error (_, e) -> checks ("code for " ^ line) code e.Wire.code
+  in
+  expect Wire.bad_json "not json at all";
+  expect Wire.bad_request "[1,2]";
+  (* a request must be an object *)
+  expect Wire.bad_request {|{"workload":"fir"}|};
+  (* missing op *)
+  expect Wire.unknown_op {|{"op":"zap"}|};
+  expect Wire.bad_request {|{"v":9,"op":"health"}|};
+  expect Wire.bad_request {|{"op":"sim"}|};
+  (* missing workload *)
+  expect Wire.bad_request {|{"op":"sim","workload":"nope"}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","k":0}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","codec":"nope"}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","strategy":"warp"}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","timeout_ms":-1}|};
+  expect Wire.bad_request {|{"op":"sweep","ks":[]}|};
+  expect Wire.bad_request {|{"op":"compress","workload":"fir","codec":"code"}|}
+
+(* The error id is salvaged from the malformed line whenever the line
+   at least parses, so responses still correlate. *)
+let test_wire_salvages_id () =
+  match Wire.parse_request {|{"id":41,"op":"zap"}|} with
+  | Error (id, e) ->
+    checkb "id salvaged" true (id = Json.Int 41);
+    checks "code" Wire.unknown_op e.Wire.code
+  | Ok _ -> Alcotest.fail "accepted unknown op"
+
+let test_wire_response_roundtrip () =
+  (match Wire.parse_response (Wire.ok_line ~id:(Json.Int 7) (Json.Str "x")) with
+  | Ok (Json.Int 7, Ok (Json.Str "x")) -> ()
+  | _ -> Alcotest.fail "ok line did not round-trip");
+  match
+    Wire.parse_response
+      (Wire.error_line ~id:(Json.Str "a")
+         (Wire.err ~retry_after_ms:40 Wire.overloaded "busy"))
+  with
+  | Ok (Json.Str "a", Error e) ->
+    checks "code" Wire.overloaded e.Wire.code;
+    checks "msg" "busy" e.Wire.msg;
+    checkb "retry hint" true (e.Wire.retry_after_ms = Some 40)
+  | _ -> Alcotest.fail "error line did not round-trip"
+
+let test_wire_classify () =
+  checks "timeout" Wire.deadline_exceeded
+    (Wire.classify_run_error "timed out after 5ms");
+  checks "fuel" Wire.fuel_exhausted
+    (Wire.classify_run_error "fuel exhausted after 100 ticks");
+  checks "cancel" Wire.cancelled (Wire.classify_run_error "cancelled");
+  checks "other" Wire.internal (Wire.classify_run_error "Stack_overflow")
+
+(* ------------------------------------------------------------------ *)
+(* Admission                                                           *)
+
+let test_admission_capacity () =
+  let a = Service.Admission.create ~capacity:2 ~max_conns:4 () in
+  checkb "slot 1" true (Result.is_ok (Service.Admission.try_acquire a));
+  checkb "slot 2" true (Result.is_ok (Service.Admission.try_acquire a));
+  (match Service.Admission.try_acquire a with
+  | Ok () -> Alcotest.fail "admitted over capacity"
+  | Error { Service.Admission.retry_after_ms } ->
+    checkb "retry hint clamped" true
+      (retry_after_ms >= 25 && retry_after_ms <= 5000));
+  checki "in flight" 2 (Service.Admission.in_flight a);
+  Service.Admission.release a ~elapsed_ms:10.0;
+  checkb "slot freed" true (Result.is_ok (Service.Admission.try_acquire a))
+
+let test_admission_connections () =
+  let a = Service.Admission.create ~capacity:1 ~max_conns:2 () in
+  checkb "conn 1" true (Service.Admission.try_connect a);
+  checkb "conn 2" true (Service.Admission.try_connect a);
+  checkb "conn 3 refused" false (Service.Admission.try_connect a);
+  Service.Admission.disconnect a;
+  checkb "slot freed" true (Service.Admission.try_connect a);
+  checki "count" 2 (Service.Admission.connections a)
+
+(* ------------------------------------------------------------------ *)
+(* Server harness                                                      *)
+
+let temp_sock () =
+  let path = Filename.temp_file "ccomp-service" ".sock" in
+  Sys.remove path;
+  path
+
+let make_server ?(jobs = 2) ?(queue = 8) ?(max_conns = 8) ?cache ?fuel
+    ?timeout_ms ?max_request_bytes ?(drain_grace_s = 10.0) () =
+  let path = temp_sock () in
+  let config =
+    {
+      Service.Server.default_config with
+      socket_path = Some path;
+      jobs;
+      queue;
+      max_conns;
+      cache;
+      fuel;
+      timeout_ms;
+      drain_grace_s;
+    }
+  in
+  let config =
+    match max_request_bytes with
+    | Some n -> { config with max_request_bytes = n }
+    | None -> config
+  in
+  let server = Service.Server.create config in
+  (path, server, Thread.create Service.Server.run server)
+
+let with_server ?jobs ?queue ?max_conns ?cache ?fuel ?timeout_ms
+    ?max_request_bytes ?drain_grace_s f =
+  let path, server, runner =
+    make_server ?jobs ?queue ?max_conns ?cache ?fuel ?timeout_ms
+      ?max_request_bytes ?drain_grace_s ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Service.Server.stop server;
+      Thread.join runner;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path server)
+
+type client = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c line =
+  output_string c.oc (line ^ "\n");
+  flush c.oc
+
+let recv c = input_line c.ic
+
+let rpc c line =
+  send c line;
+  recv c
+
+let ok_payload reply =
+  match Wire.parse_response reply with
+  | Ok (_, Ok payload) -> payload
+  | Ok (_, Error e) ->
+    Alcotest.failf "unexpected error reply %s: %s" e.Wire.code e.Wire.msg
+  | Error m -> Alcotest.failf "unparseable reply (%s): %s" m reply
+
+let err_of reply =
+  match Wire.parse_response reply with
+  | Ok (_, Error e) -> e
+  | Ok (_, Ok _) -> Alcotest.failf "expected an error reply, got ok: %s" reply
+  | Error m -> Alcotest.failf "unparseable reply (%s): %s" m reply
+
+let int_member name payload =
+  match Json.member name payload with
+  | Some v -> (
+    match Json.to_int v with
+    | Some n -> n
+    | None -> Alcotest.failf "member %s is not an int" name)
+  | None -> Alcotest.failf "member %s missing" name
+
+(* A request heavy enough (a few hundred ms on one worker, uncached)
+   to still be running when a follow-up request lands. *)
+let heavy_sweep =
+  {|{"id":"heavy","op":"sweep","workloads":["collatz"],"ks":[1,2,3,4]}|}
+
+let wait_in_flight path ~at_least =
+  let probe = connect path in
+  Fun.protect
+    ~finally:(fun () -> close probe)
+    (fun () ->
+      let rec go tries =
+        if tries = 0 then Alcotest.fail "server never became busy";
+        let h = ok_payload (rpc probe {|{"op":"health"}|}) in
+        if int_member "in_flight" h < at_least then begin
+          Thread.delay 0.01;
+          go (tries - 1)
+        end
+      in
+      go 500)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end round trips                                              *)
+
+let test_server_round_trip () =
+  with_server ~jobs:2 (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          (* health *)
+          let h = ok_payload (rpc c {|{"v":1,"id":1,"op":"health"}|}) in
+          checkb "health status" true
+            (Json.member "status" h = Some (Json.Str "ok"));
+          checki "health protocol" Wire.protocol_version
+            (int_member "protocol" h);
+          (* blank lines are keep-alives, not errors *)
+          send c "";
+          (* sim, with a string id echoed verbatim *)
+          let reply = rpc c {|{"id":"my-sim","op":"sim","workload":"fir","k":4}|} in
+          (match Wire.parse_response reply with
+          | Ok (Json.Str "my-sim", Ok payload) ->
+            let job = Option.get (Json.member "job" payload) in
+            checki "sim echoes k" 4 (int_member "k" job);
+            checkb "sim has metrics" true (Json.member "metrics" payload <> None);
+            let m = Option.get (Json.member "metrics" payload) in
+            checkb "metrics non-trivial" true (int_member "total_cycles" m > 0)
+          | _ -> Alcotest.failf "bad sim reply: %s" reply);
+          (* sweep: ks deduped server-side, every job reported *)
+          let s =
+            ok_payload
+              (rpc c {|{"op":"sweep","workloads":["fir","crc32"],"ks":[4,2,2]}|})
+          in
+          checki "sweep count" 4 (int_member "count" s);
+          checki "sweep failures" 0 (int_member "failed" s);
+          (* compress *)
+          let cp = ok_payload (rpc c {|{"op":"compress","workload":"crc32"}|}) in
+          (match Json.member "codecs" cp with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> Alcotest.fail "compress returned no codecs");
+          (* stats reflects everything served above *)
+          let st = ok_payload (rpc c {|{"op":"stats"}|}) in
+          let ops = Option.get (Json.member "ops" st) in
+          let count op =
+            int_member "count" (Option.get (Json.member op ops))
+          in
+          checki "stats saw the sim" 1 (count "sim");
+          checki "stats saw the sweep" 1 (count "sweep");
+          checki "stats saw the compress" 1 (count "compress");
+          let fleet = Option.get (Json.member "fleet" st) in
+          checkb "fleet counters absorbed" true
+            (int_member "fleet_jobs_completed" fleet >= 5)))
+
+let test_server_errors_keep_connection () =
+  with_server ~max_request_bytes:1024 (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          checks "garbage" Wire.bad_json (err_of (rpc c "certainly not json")).Wire.code;
+          checks "unknown op" Wire.unknown_op (err_of (rpc c {|{"op":"zap"}|})).Wire.code;
+          checks "bad field" Wire.bad_request
+            (err_of (rpc c {|{"op":"sim","workload":"fir","k":0}|})).Wire.code;
+          checks "oversized" Wire.oversized
+            (err_of (rpc c ("{\"op\":\"sim\",\"pad\":\"" ^ String.make 2000 'x' ^ "\"}")))
+              .Wire.code;
+          (* after all of that, the same connection still serves *)
+          let h = ok_payload (rpc c {|{"op":"health"}|}) in
+          checkb "connection survived" true
+            (Json.member "status" h = Some (Json.Str "ok"))))
+
+let test_server_truncated_request () =
+  with_server (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          (* half a request, then the write side closes: the final
+             unterminated line is still answered before EOF *)
+          output_string c.oc {|{"id":9,"op":"heal|};
+          flush c.oc;
+          Unix.shutdown c.fd Unix.SHUTDOWN_SEND;
+          let e = err_of (recv c) in
+          checks "truncated line is bad json" Wire.bad_json e.Wire.code))
+
+let test_server_concurrent_clients () =
+  with_server ~jobs:2 (fun path _server ->
+      let worker base k () =
+        let c = connect path in
+        Fun.protect
+          ~finally:(fun () -> close c)
+          (fun () ->
+            for i = 0 to 9 do
+              let reply =
+                rpc c
+                  (Printf.sprintf
+                     {|{"id":%d,"op":"sim","workload":"fir","k":%d}|}
+                     (base + i) k)
+              in
+              match Wire.parse_response reply with
+              | Ok (Json.Int id, Ok payload) ->
+                (* each connection sees its own ids, in order, with
+                   its own k — no cross-talk between clients *)
+                checki "id echo" (base + i) id;
+                checki "own k"
+                  k
+                  (int_member "k" (Option.get (Json.member "job" payload)))
+              | _ -> Alcotest.failf "bad reply: %s" reply
+            done)
+      in
+      let a = Thread.create (worker 100 2) () in
+      let b = Thread.create (worker 200 4) () in
+      Thread.join a;
+      Thread.join b)
+
+let test_server_too_many_connections () =
+  with_server ~max_conns:1 (fun path _server ->
+      let c1 = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c1)
+        (fun () ->
+          (* make sure c1 is fully admitted before racing c2 in *)
+          ignore (ok_payload (rpc c1 {|{"op":"health"}|}));
+          let c2 = connect path in
+          Fun.protect
+            ~finally:(fun () -> close c2)
+            (fun () ->
+              let e = err_of (recv c2) in
+              checks "refused" Wire.too_many_connections e.Wire.code;
+              checkb "then closed" true
+                (match recv c2 with
+                | exception End_of_file -> true
+                | _ -> false));
+          (* c1 is unaffected *)
+          ignore (ok_payload (rpc c1 {|{"op":"health"}|}))))
+
+(* ------------------------------------------------------------------ *)
+(* Backpressure, guards, drain                                         *)
+
+let test_server_backpressure () =
+  (* capacity = jobs + queue = 1: while the heavy sweep runs, the next
+     heavy request must bounce with a structured overloaded error. *)
+  with_server ~jobs:1 ~queue:0 (fun path _server ->
+      let a = connect path in
+      let b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close a;
+          close b)
+        (fun () ->
+          send a heavy_sweep;
+          wait_in_flight path ~at_least:1;
+          let e = err_of (rpc b {|{"id":2,"op":"sim","workload":"fir"}|}) in
+          checks "overloaded" Wire.overloaded e.Wire.code;
+          checkb "retry hint present" true (e.Wire.retry_after_ms <> None);
+          (* light ops bypass admission and still answer *)
+          ignore (ok_payload (rpc b {|{"op":"health"}|}));
+          (* the heavy request itself completes fine *)
+          let s = ok_payload (recv a) in
+          checki "sweep failures" 0 (int_member "failed" s)))
+
+let test_server_guards () =
+  with_server ~jobs:1 (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          (* fuel = 1 cannot finish any sim: structured failure, coded *)
+          let e =
+            err_of (rpc c {|{"op":"sim","workload":"fir","fuel":1}|})
+          in
+          checks "fuel exhausted" Wire.fuel_exhausted e.Wire.code;
+          (* a sweep with an impossible deadline reports per-job
+             failures without failing the envelope *)
+          let s =
+            ok_payload
+              (rpc c {|{"op":"sweep","workloads":["fir"],"ks":[8],"fuel":1}|})
+          in
+          checki "all jobs failed" (int_member "count" s)
+            (int_member "failed" s);
+          (* and the connection still serves real work afterwards *)
+          ignore (ok_payload (rpc c {|{"op":"sim","workload":"fir"}|}))))
+
+let test_server_deadline () =
+  with_server ~jobs:1 (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          (* a sim that runs for hundreds of ms under a 1ms deadline:
+             the wall-clock guard fires at a budget tick and comes
+             back as a structured, classified error *)
+          let e =
+            err_of
+              (rpc c
+                 {|{"op":"sim","workload":"life","k":1,"timeout_ms":1}|})
+          in
+          checks "deadline exceeded" Wire.deadline_exceeded e.Wire.code;
+          (* the connection and the worker both survive the abort *)
+          ignore (ok_payload (rpc c {|{"op":"sim","workload":"fir"}|}))))
+
+let test_server_drain () =
+  (* in-flight work finishes after the drain request; new heavy work
+     is refused; the listener goes away; run() returns. *)
+  let path, server, runner = make_server ~jobs:1 ~queue:4 () in
+  let cleanup_ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !cleanup_ok then begin
+        Service.Server.stop server;
+        Thread.join runner
+      end;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let a = connect path in
+      let b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close a;
+          close b)
+        (fun () ->
+          send a heavy_sweep;
+          wait_in_flight path ~at_least:1;
+          Service.Server.stop server;
+          (* health still answers during the drain, and reports it *)
+          let h = ok_payload (rpc b {|{"op":"health"}|}) in
+          checkb "draining status" true
+            (Json.member "status" h = Some (Json.Str "draining"));
+          (* new heavy work is turned away *)
+          let e = err_of (rpc b {|{"op":"sim","workload":"fir"}|}) in
+          checks "shutting down" Wire.shutting_down e.Wire.code;
+          (* the in-flight sweep still completes and answers *)
+          let s = ok_payload (recv a) in
+          checki "in-flight completed" 0 (int_member "failed" s);
+          (* the server exits on its own: join must return promptly *)
+          Thread.join runner;
+          cleanup_ok := true;
+          checkb "socket unlinked" true (not (Sys.file_exists path));
+          match connect path with
+          | probe ->
+            close probe;
+            Alcotest.fail "listener still accepting after drain"
+          | exception Unix.Unix_error _ -> ()))
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "sim defaults" `Quick test_wire_sim_defaults;
+          Alcotest.test_case "sweep normalizes ks" `Quick
+            test_wire_sweep_normalizes_ks;
+          Alcotest.test_case "rejects invalid requests" `Quick
+            test_wire_rejects;
+          Alcotest.test_case "salvages the id" `Quick test_wire_salvages_id;
+          Alcotest.test_case "response round trip" `Quick
+            test_wire_response_roundtrip;
+          Alcotest.test_case "error classification" `Quick test_wire_classify;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "request capacity" `Quick test_admission_capacity;
+          Alcotest.test_case "connection cap" `Quick
+            test_admission_connections;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "round trip every op" `Quick
+            test_server_round_trip;
+          Alcotest.test_case "errors keep the connection" `Quick
+            test_server_errors_keep_connection;
+          Alcotest.test_case "truncated request" `Quick
+            test_server_truncated_request;
+          Alcotest.test_case "concurrent clients are isolated" `Quick
+            test_server_concurrent_clients;
+          Alcotest.test_case "connection cap" `Quick
+            test_server_too_many_connections;
+          Alcotest.test_case "backpressure at capacity" `Quick
+            test_server_backpressure;
+          Alcotest.test_case "per-request guards" `Quick test_server_guards;
+          Alcotest.test_case "deadline exceeded" `Quick test_server_deadline;
+          Alcotest.test_case "graceful drain" `Quick test_server_drain;
+        ] );
+    ]

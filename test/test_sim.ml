@@ -156,6 +156,29 @@ let test_metrics_histogram () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_metrics_quantile () =
+  let checkf = Alcotest.check (Alcotest.float 1e-9) in
+  let r = Sim.Metrics.create () in
+  let h = Sim.Metrics.histogram r ~buckets:[ 10; 100; 1000 ] "lat" in
+  checkf "empty histogram" 0.0 (Sim.Metrics.quantile h 0.5);
+  (* 8 observations in [0,10], 2 in (100,1000] *)
+  List.iter (Sim.Metrics.observe h) [ 1; 2; 3; 4; 5; 6; 7; 8; 500; 600 ];
+  (* rank 5 of 8 in the first bucket: linear interpolation inside it *)
+  checkf "p50" 6.25 (Sim.Metrics.quantile h 0.5);
+  (* rank 9 of 10 falls in the (100,1000] bucket *)
+  checkf "p90" 550.0 (Sim.Metrics.quantile h 0.9);
+  (* the estimate never exceeds the observed max *)
+  checkb "p100 clamps to max" true (Sim.Metrics.quantile h 1.0 <= 600.0);
+  (* everything past the last bound lands in the +Inf bucket, which
+     reports the observed max rather than infinity *)
+  let o = Sim.Metrics.histogram r ~buckets:[ 10 ] "overflow" in
+  List.iter (Sim.Metrics.observe o) [ 50; 60; 70 ];
+  checkf "overflow bucket reports max" 70.0 (Sim.Metrics.quantile o 0.5);
+  checkb "out-of-range q rejected" true
+    (match Sim.Metrics.quantile h 1.5 with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 let test_metrics_render () =
   checks "plain" "x" (Sim.Metrics.render_name "x" []);
   checks "labelled" {|x{k="v"}|} (Sim.Metrics.render_name "x" [ ("k", "v") ]);
@@ -262,6 +285,7 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histograms" `Quick test_metrics_histogram;
+          Alcotest.test_case "quantiles" `Quick test_metrics_quantile;
           Alcotest.test_case "rendering" `Quick test_metrics_render;
           Alcotest.test_case "observing sink" `Quick test_observing_sink;
         ] );
