@@ -133,6 +133,64 @@ let codec_tests () =
     (Compress.Registry.all ())
 
 (* ------------------------------------------------------------------ *)
+(* Codec throughput phase                                              *)
+
+(* Wall-clock compress/decompress throughput for every registry codec
+   over the workload suite's assembled program images — KB-scale
+   blocks, the thing the residency layer actually stores. The bechamel
+   rows above give ns/call on one synthetic block; these are the MiB/s
+   figures comparable to the paper's decompression-overhead numbers.
+   BENCH.json carries them as codec/<name>/{comp,dec}-MBps, in both
+   full and --smoke modes. *)
+
+let workload_images () =
+  List.map
+    (fun name ->
+      let w = Workloads.Suite.find_exn name in
+      (Eris.Asm.assemble_exn w.Workloads.Common.source).Eris.Program.image)
+    Workloads.Suite.names
+
+let codec_throughput_phase ?min_time_s () =
+  let blocks = workload_images () in
+  let total = List.fold_left (fun a b -> a + Bytes.length b) 0 blocks in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "codec throughput: %d workload images, %d bytes total (MiB/s of \
+            uncompressed bytes)"
+           (List.length blocks) total)
+      ~columns:
+        [
+          ("codec", Report.Table.Left);
+          ("comp MiB/s", Report.Table.Right);
+          ("dec MiB/s", Report.Table.Right);
+          ("ratio", Report.Table.Right);
+        ]
+  in
+  let entries =
+    List.concat_map
+      (fun codec ->
+        let tp = Compress.Stats.throughput ?min_time_s codec blocks in
+        Report.Table.add_row t
+          [
+            tp.Compress.Stats.tp_codec_name;
+            Report.Table.fmt_float ~decimals:1 tp.Compress.Stats.comp_mbps;
+            Report.Table.fmt_float ~decimals:1 tp.Compress.Stats.dec_mbps;
+            Report.Table.fmt_float ~decimals:3 tp.Compress.Stats.tp_ratio;
+          ];
+        [
+          ( Printf.sprintf "codec/%s/comp-MBps" tp.Compress.Stats.tp_codec_name,
+            tp.Compress.Stats.comp_mbps );
+          ( Printf.sprintf "codec/%s/dec-MBps" tp.Compress.Stats.tp_codec_name,
+            tp.Compress.Stats.dec_mbps );
+        ])
+      (Compress.Registry.all ())
+  in
+  Report.Table.print t;
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* Streaming event-bus benchmark                                       *)
 
 (* A million-step Markov walk streamed through a counting sink: the
@@ -328,8 +386,12 @@ let () =
     let dt = streaming_bench () in
     print_newline ();
     let p50 = service_probe () in
+    print_newline ();
+    let codec_entries = codec_throughput_phase ~min_time_s:0.01 () in
     write_bench_json
-      [ ("streaming-1M/wall-s", dt); ("service-roundtrip/p50-ms", p50) ]
+      (("streaming-1M/wall-s", dt)
+      :: ("service-roundtrip/p50-ms", p50)
+      :: codec_entries)
   end
   else begin
     print_endline
@@ -341,6 +403,8 @@ let () =
     let streaming_dt = streaming_bench () in
     print_newline ();
     let p50 = service_probe () in
+    print_newline ();
+    let codec_entries = codec_throughput_phase () in
     print_newline ();
     (* Full-table regeneration runs through the fleet pool (cache off:
        a benchmark should measure engine work, not disk reads). The
@@ -367,6 +431,7 @@ let () =
       fleet_jobs tables_dt jobs_per_sec;
     write_bench_json
       (estimates
+      @ codec_entries
       @ [
           ("streaming-1M/wall-s", streaming_dt);
           ("service-roundtrip/p50-ms", p50);

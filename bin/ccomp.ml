@@ -1148,6 +1148,98 @@ let cache_cmd =
       $ dir $ stats $ prune_to)
 
 (* ------------------------------------------------------------------ *)
+(* ccomp compress                                                      *)
+
+(* Per-codec wall-clock throughput and ratio over assembled workload
+   images, through the same Compress.Stats.throughput measurement the
+   bench harness uses — the CLI answer to "how fast is decompression
+   on this machine", next to the simulator's cycle-cost model. *)
+let compress_report workloads min_time_ms =
+  let names =
+    match workloads with [] -> Workloads.Suite.names | ws -> ws
+  in
+  match
+    List.find_opt
+      (fun n -> not (List.mem n Workloads.Suite.names))
+      names
+  with
+  | Some bad ->
+    Format.eprintf "error: unknown workload %S (try: ccomp workloads)@." bad;
+    1
+  | None ->
+    let images =
+      List.map
+        (fun name ->
+          let w = Workloads.Suite.find_exn name in
+          (Eris.Asm.assemble_exn w.Workloads.Common.source).Eris.Program.image)
+        names
+    in
+    let corpus = Bytes.concat Bytes.empty images in
+    let codecs =
+      Compress.Registry.all () @ Compress.Registry.shared_all ~corpus
+    in
+    let total = List.fold_left (fun a b -> a + Bytes.length b) 0 images in
+    let t =
+      Report.Table.create
+        ~title:
+          (Printf.sprintf
+             "codec throughput: %d workload image%s, %d bytes total (MiB/s \
+              of uncompressed bytes; shared models trained on the same \
+              images)"
+             (List.length images)
+             (if List.length images = 1 then "" else "s")
+             total)
+        ~columns:
+          [
+            ("codec", Report.Table.Left);
+            ("comp MiB/s", Report.Table.Right);
+            ("dec MiB/s", Report.Table.Right);
+            ("ratio", Report.Table.Right);
+          ]
+    in
+    List.iter
+      (fun codec ->
+        let tp =
+          Compress.Stats.throughput
+            ~min_time_s:(float_of_int min_time_ms /. 1000.0)
+            codec images
+        in
+        Report.Table.add_row t
+          [
+            tp.Compress.Stats.tp_codec_name;
+            Report.Table.fmt_float ~decimals:1 tp.Compress.Stats.comp_mbps;
+            Report.Table.fmt_float ~decimals:1 tp.Compress.Stats.dec_mbps;
+            Report.Table.fmt_float ~decimals:3 tp.Compress.Stats.tp_ratio;
+          ])
+      codecs;
+    Report.Table.print t;
+    0
+
+let compress_cmd =
+  let workloads =
+    let doc =
+      Printf.sprintf
+        "Workloads whose images to measure (default: the whole suite; one \
+         of: %s)."
+        (String.concat ", " Workloads.Suite.names)
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let min_time =
+    Arg.(
+      value
+      & opt (positive_int "min-time") 50
+      & info [ "min-time" ] ~docv:"MS"
+          ~doc:"Minimum wall-clock time per codec per direction.")
+  in
+  let doc =
+    "Measure per-codec compress/decompress throughput and ratio on \
+     workload images (same measurement code as the bench harness)."
+  in
+  Cmd.v (Cmd.info "compress" ~doc)
+    Term.(const compress_report $ workloads $ min_time)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1159,6 +1251,7 @@ let main_cmd =
     [
       sim_cmd;
       cc_cmd;
+      compress_cmd;
       run_cmd;
       sweep_cmd;
       experiments_cmd;

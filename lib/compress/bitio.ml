@@ -1,53 +1,94 @@
+(* Word-at-a-time bit I/O. Both sides keep pending bits in an OCaml
+   int used as a 62-bit accumulator, so a read or write of w bits is a
+   couple of shifts and masks instead of w div/mod round trips. The
+   byte-level wire format (MSB-first within each byte) is unchanged. *)
+
 module Writer = struct
+  (* [acc] holds the low [nbits] bits still unflushed; the earliest
+     written bit is the most significant of those. Invariant outside
+     of [add_bits]: 0 <= nbits <= 7, acc < 2^nbits. *)
   type t = { mutable buf : Buffer.t; mutable acc : int; mutable nbits : int }
 
   let create () = { buf = Buffer.create 64; acc = 0; nbits = 0 }
 
-  let flush_byte t =
-    Buffer.add_char t.buf (Char.chr ((t.acc lsr (t.nbits - 8)) land 0xFF));
-    t.nbits <- t.nbits - 8;
+  let flush_bytes t =
+    while t.nbits >= 8 do
+      t.nbits <- t.nbits - 8;
+      Buffer.add_char t.buf (Char.unsafe_chr ((t.acc lsr t.nbits) land 0xFF))
+    done;
     t.acc <- t.acc land ((1 lsl t.nbits) - 1)
-
-  let add_bit t b =
-    t.acc <- (t.acc lsl 1) lor if b then 1 else 0;
-    t.nbits <- t.nbits + 1;
-    if t.nbits = 8 then flush_byte t
 
   let add_bits t ~value ~bits =
     if bits < 0 || bits > 30 then invalid_arg "Bitio.Writer.add_bits";
-    for i = bits - 1 downto 0 do
-      add_bit t ((value lsr i) land 1 = 1)
-    done
+    t.acc <- (t.acc lsl bits) lor (value land ((1 lsl bits) - 1));
+    t.nbits <- t.nbits + bits;
+    if t.nbits >= 8 then flush_bytes t
+
+  let add_bit t b = add_bits t ~value:(if b then 1 else 0) ~bits:1
 
   let bit_length t = (Buffer.length t.buf * 8) + t.nbits
 
   let contents t =
     let tail =
       if t.nbits = 0 then ""
-      else
-        String.make 1 (Char.chr ((t.acc lsl (8 - t.nbits)) land 0xFF))
+      else String.make 1 (Char.chr ((t.acc lsl (8 - t.nbits)) land 0xFF))
     in
     Bytes.of_string (Buffer.contents t.buf ^ tail)
 end
 
 module Reader = struct
-  type t = { data : bytes; mutable pos : int (* in bits *) }
+  (* [acc] buffers the next [nbits] unread bits (the next bit in the
+     stream is the most significant of the low [nbits]); [byte_pos]
+     indexes the first byte not yet pulled into the accumulator.
+     Invariant: acc < 2^nbits, nbits <= 62. *)
+  type t = {
+    data : bytes;
+    mutable byte_pos : int;
+    mutable acc : int;
+    mutable nbits : int;
+  }
 
-  let create data = { data; pos = 0 }
+  let create ?(pos = 0) data =
+    if pos < 0 || pos > Bytes.length data then
+      invalid_arg "Bitio.Reader.create";
+    { data; byte_pos = pos; acc = 0; nbits = 0 }
 
-  let bits_left t = (Bytes.length t.data * 8) - t.pos
+  let bits_left t = ((Bytes.length t.data - t.byte_pos) * 8) + t.nbits
+
+  let refill t =
+    let n = Bytes.length t.data in
+    while t.nbits <= 54 && t.byte_pos < n do
+      t.acc <-
+        (t.acc lsl 8) lor Char.code (Bytes.unsafe_get t.data t.byte_pos);
+      t.byte_pos <- t.byte_pos + 1;
+      t.nbits <- t.nbits + 8
+    done
+
+  (* Past the end of input [peek] pads with zero bits; only [consume]
+     checks against the real stream length, exactly like table-driven
+     zlib decoders expect. *)
+  let peek t bits =
+    if t.nbits < bits then refill t;
+    if t.nbits >= bits then t.acc lsr (t.nbits - bits)
+    else t.acc lsl (bits - t.nbits)
+
+  let consume t bits =
+    if bits > t.nbits then begin
+      refill t;
+      if bits > t.nbits then raise (Codec.Corrupt "Bitio: out of bits")
+    end;
+    t.nbits <- t.nbits - bits;
+    t.acc <- t.acc land ((1 lsl t.nbits) - 1)
+
+  let read_bits t bits =
+    if bits < 0 || bits > 30 then invalid_arg "Bitio.Reader.read_bits";
+    let v = peek t bits in
+    consume t bits;
+    v
 
   let read_bit t =
     if bits_left t <= 0 then raise (Codec.Corrupt "Bitio: out of bits");
-    let byte = Char.code (Bytes.get t.data (t.pos / 8)) in
-    let bit = (byte lsr (7 - (t.pos mod 8))) land 1 in
-    t.pos <- t.pos + 1;
-    bit = 1
-
-  let read_bits t bits =
-    let v = ref 0 in
-    for _ = 1 to bits do
-      v := (!v lsl 1) lor if read_bit t then 1 else 0
-    done;
-    !v
+    let v = peek t 1 in
+    consume t 1;
+    v = 1
 end

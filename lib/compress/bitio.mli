@@ -1,5 +1,10 @@
 (** Bit-level readers and writers (MSB-first within each byte), used by
-    the Huffman and LZW codecs. *)
+    the Huffman and LZW codecs.
+
+    Both directions buffer whole words in a 62-bit accumulator, so a
+    [w]-bit access costs O(1) shifts and masks rather than [w]
+    per-bit div/mod steps. The byte-level format is unchanged from
+    the historical per-bit implementation. *)
 
 module Writer : sig
   type t
@@ -21,12 +26,30 @@ end
 module Reader : sig
   type t
 
-  val create : bytes -> t
+  val create : ?pos:int -> bytes -> t
+  (** [create ?pos data] reads from [data] starting at byte offset
+      [pos] (default 0) — decoders with a byte-aligned header can skip
+      it without copying the payload.
+      @raise Invalid_argument if [pos] is outside [0, length data]. *)
 
   val bits_left : t -> int
+
+  val peek : t -> int -> int
+  (** [peek t bits] returns the next [bits] bits (MSB-first) without
+      consuming them, zero-padded past the end of input. [bits] must
+      be at most 30; this is the fast path for table-driven decoders
+      and performs no width validation of its own. *)
+
+  val consume : t -> int -> unit
+  (** Advances by [bits] bits.
+      @raise Compress.Codec.Corrupt if fewer real bits remain. *)
 
   val read_bit : t -> bool
   (** @raise Compress.Codec.Corrupt past the end of input. *)
 
   val read_bits : t -> int -> int
+  (** [read_bits t bits] = [peek] then [consume].
+      @raise Invalid_argument if [bits] is outside [0, 30] (mirrors
+      {!Writer.add_bits}).
+      @raise Compress.Codec.Corrupt past the end of input. *)
 end

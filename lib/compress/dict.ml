@@ -2,10 +2,10 @@ let escape = 0xFF
 let max_entries = 254
 
 let read_word b off =
-  Char.code (Bytes.get b off)
-  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
-  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
-  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+  Char.code (Bytes.unsafe_get b off)
+  lor (Char.code (Bytes.unsafe_get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get b (off + 3)) lsl 24)
 
 let dictionary_words ~corpus =
   let freq = Hashtbl.create 256 in
@@ -21,67 +21,111 @@ let dictionary_words ~corpus =
   |> List.filteri (fun i _ -> i < max_entries)
   |> List.map fst
 
-let write_u16 buf v =
-  Buffer.add_char buf (Char.chr (v land 0xFF));
-  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF))
+let write_u16 b pos v =
+  Bytes.unsafe_set b pos (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set b (pos + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
 
 let read_u16 b off =
   if Bytes.length b < off + 2 then raise (Codec.Corrupt "dict: truncated header");
   Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
 
+(* The word -> index map is a flat open-addressing table (linear
+   probing, power-of-two capacity well above the 254 possible
+   entries), built once per shared codec: the per-word lookup in the
+   compressor is a couple of array reads with no allocation. *)
+let probe_bits = 10
+let probe_size = 1 lsl probe_bits
+let probe_hash w = (w * 0x9E3779B1) lsr 11 land (probe_size - 1)
+
+let build_probe table =
+  let keys = Array.make probe_size 0 in
+  let idx = Array.make probe_size (-1) in
+  Array.iteri
+    (fun i w ->
+      let h = ref (probe_hash w) in
+      while idx.(!h) >= 0 && keys.(!h) <> w do
+        h := (!h + 1) land (probe_size - 1)
+      done;
+      if idx.(!h) < 0 then begin
+        keys.(!h) <- w;
+        idx.(!h) <- i
+      end)
+    table;
+  (keys, idx)
+
+let probe_find keys idx w =
+  let h = ref (probe_hash w) in
+  while
+    Array.unsafe_get idx !h >= 0 && Array.unsafe_get keys !h <> w
+  do
+    h := (!h + 1) land (probe_size - 1)
+  done;
+  if Array.unsafe_get idx !h >= 0 && Array.unsafe_get keys !h = w then
+    Array.unsafe_get idx !h
+  else -1
+
 let shared ~corpus =
   let words = dictionary_words ~corpus in
   let table = Array.of_list words in
-  let index = Hashtbl.create 256 in
-  Array.iteri (fun i w -> Hashtbl.replace index w i) table;
+  let keys, idx = build_probe table in
   let compress b =
     let n = Bytes.length b in
     if n >= 0x10000 then
       invalid_arg "Dict.shared handles blocks under 64 KiB";
-    let out = Buffer.create (n / 2) in
-    write_u16 out n;
+    (* Worst case: 2-byte header plus 5 bytes per escaped word. *)
     let words = n / 4 in
+    let out = Bytes.create (2 + (words * 5) + (n - (words * 4))) in
+    write_u16 out 0 n;
+    let pos = ref 2 in
     for w = 0 to words - 1 do
       let word = read_word b (4 * w) in
-      match Hashtbl.find_opt index word with
-      | Some i -> Buffer.add_char out (Char.chr i)
-      | None ->
-        Buffer.add_char out (Char.chr escape);
-        Buffer.add_subbytes out b (4 * w) 4
+      match probe_find keys idx word with
+      | -1 ->
+        Bytes.unsafe_set out !pos (Char.unsafe_chr escape);
+        Bytes.blit b (4 * w) out (!pos + 1) 4;
+        pos := !pos + 5
+      | i ->
+        Bytes.unsafe_set out !pos (Char.unsafe_chr i);
+        incr pos
     done;
-    Buffer.add_subbytes out b (words * 4) (n - (words * 4));
-    Bytes.of_string (Buffer.contents out)
+    Bytes.blit b (words * 4) out !pos (n - (words * 4));
+    pos := !pos + n - (words * 4);
+    Bytes.sub out 0 !pos
   in
   let decompress b =
     let orig_len = read_u16 b 0 in
-    let out = Buffer.create orig_len in
+    let out = Bytes.create orig_len in
     let pos = ref 2 in
     let byte () =
       if !pos >= Bytes.length b then raise (Codec.Corrupt "dict: truncated");
-      let c = Char.code (Bytes.get b !pos) in
+      let c = Char.code (Bytes.unsafe_get b !pos) in
       incr pos;
       c
     in
+    let opos = ref 0 in
     let words = orig_len / 4 in
     for _ = 1 to words do
-      match byte () with
+      (match byte () with
       | c when c = escape ->
-        for _ = 1 to 4 do
-          Buffer.add_char out (Char.chr (byte ()))
+        for k = 0 to 3 do
+          Bytes.unsafe_set out (!opos + k) (Char.unsafe_chr (byte ()))
         done
       | i ->
         if i >= Array.length table then
           raise (Codec.Corrupt "dict: index beyond dictionary");
-        let word = table.(i) in
-        Buffer.add_char out (Char.chr (word land 0xFF));
-        Buffer.add_char out (Char.chr ((word lsr 8) land 0xFF));
-        Buffer.add_char out (Char.chr ((word lsr 16) land 0xFF));
-        Buffer.add_char out (Char.chr ((word lsr 24) land 0xFF))
+        let word = Array.unsafe_get table i in
+        Bytes.unsafe_set out !opos (Char.unsafe_chr (word land 0xFF));
+        Bytes.unsafe_set out (!opos + 1) (Char.unsafe_chr ((word lsr 8) land 0xFF));
+        Bytes.unsafe_set out (!opos + 2) (Char.unsafe_chr ((word lsr 16) land 0xFF));
+        Bytes.unsafe_set out (!opos + 3)
+          (Char.unsafe_chr ((word lsr 24) land 0xFF)));
+      opos := !opos + 4
     done;
     for _ = 1 to orig_len - (words * 4) do
-      Buffer.add_char out (Char.chr (byte ()))
+      Bytes.unsafe_set out !opos (Char.unsafe_chr (byte ()));
+      incr opos
     done;
-    Bytes.of_string (Buffer.contents out)
+    out
   in
   Codec.make ~name:"dict" ~dec_cycles_per_byte:1 ~comp_cycles_per_byte:2
     ~compress ~decompress ()

@@ -85,9 +85,21 @@ let canonical_codes lengths =
   done;
   codes
 
-(* Decoding tables for canonical codes. *)
+(* Decoding tables for canonical codes: a zlib-style root lookup
+   table resolves codes of up to [root_bits] bits with one peek — a
+   single array index yields symbol and length together — while the
+   rare longer codes fall back to a canonical first-code scan over
+   one [max_len]-bit peek. No per-bit reads anywhere. *)
+
+let root_bits_limit = 9
+
 type decoder = {
   max_len : int;
+  root_bits : int;
+  table : int array;
+      (* indexed by the next [root_bits] bits: [(sym lsl 5) lor len].
+         len = 0 marks a prefix no code owns (corrupt stream); len =
+         31 marks a code longer than [root_bits] (slow path). *)
   count : int array;  (* codes per length *)
   first_code : int array;
   first_rank : int array;  (* rank of first code of each length *)
@@ -95,7 +107,9 @@ type decoder = {
 }
 
 let decoder_of_lengths lengths =
-  let max_len = Array.fold_left max 0 lengths in
+  let max_len = ref 0 in
+  Array.iter (fun l -> if l > !max_len then max_len := l) lengths;
+  let max_len = !max_len in
   if max_len = 0 then raise (Codec.Corrupt "huffman: empty code");
   if max_len > max_code_len then raise (Codec.Corrupt "huffman: length too large");
   let count = Array.make (max_len + 1) 0 in
@@ -115,33 +129,62 @@ let decoder_of_lengths lengths =
     code := (!code + count.(l)) lsl 1;
     rank := !rank + count.(l)
   done;
-  let syms =
-    Array.to_list (Array.mapi (fun s l -> (s, l)) lengths)
-    |> List.filter (fun (_, l) -> l > 0)
-    |> List.sort (fun (s1, l1) (s2, l2) ->
-           if l1 <> l2 then compare l1 l2 else compare s1 s2)
-    |> List.map fst
+  (* Counting sort into canonical (length, symbol) rank order: the
+     ascending symbol scan appends each symbol to its length bucket,
+     and the buckets start at [first_rank]. *)
+  let sym_by_rank = Array.make (max !rank 1) 0 in
+  let next_rank = Array.copy first_rank in
+  for s = 0 to num_symbols - 1 do
+    let l = lengths.(s) in
+    if l > 0 then begin
+      sym_by_rank.(next_rank.(l)) <- s;
+      next_rank.(l) <- next_rank.(l) + 1
+    end
+  done;
+  let root_bits = min max_len root_bits_limit in
+  let table = Array.make (1 lsl root_bits) 0 in
+  for l = 1 to max_len do
+    for r = 0 to count.(l) - 1 do
+      let code = first_code.(l) + r in
+      if l <= root_bits then begin
+        let entry = (sym_by_rank.(first_rank.(l) + r) lsl 5) lor l in
+        let base = code lsl (root_bits - l) in
+        for p = base to base + (1 lsl (root_bits - l)) - 1 do
+          table.(p) <- entry
+        done
+      end
+      else table.(code lsr (l - root_bits)) <- 31
+    done
+  done;
+  { max_len; root_bits; table; count; first_code; first_rank; sym_by_rank }
+
+(* Code longer than the root table (or an unowned prefix): one
+   [max_len]-bit peek, then the canonical scan over the remaining
+   lengths. Out of the per-symbol hot loop so that loop stays small. *)
+let decode_long d reader l =
+  if l = 0 then raise (Codec.Corrupt "huffman: bad bitstream");
+  let bits = Bitio.Reader.peek reader d.max_len in
+  let rec scan l =
+    if l > d.max_len then raise (Codec.Corrupt "huffman: bad bitstream")
+    else
+      let code = bits lsr (d.max_len - l) in
+      let idx = code - d.first_code.(l) in
+      if idx >= 0 && idx < d.count.(l) then begin
+        Bitio.Reader.consume reader l;
+        d.sym_by_rank.(d.first_rank.(l) + idx)
+      end
+      else scan (l + 1)
   in
-  {
-    max_len;
-    count;
-    first_code;
-    first_rank;
-    sym_by_rank = Array.of_list syms;
-  }
+  scan (d.root_bits + 1)
 
 let decode_symbol d reader =
-  let rec step code len =
-    let code = (code lsl 1) lor if Bitio.Reader.read_bit reader then 1 else 0 in
-    let len = len + 1 in
-    if len > d.max_len then raise (Codec.Corrupt "huffman: bad bitstream")
-    else
-      let idx = code - d.first_code.(len) in
-      if idx >= 0 && idx < d.count.(len) then
-        d.sym_by_rank.(d.first_rank.(len) + idx)
-      else step code len
-  in
-  step 0 0
+  let e = Array.unsafe_get d.table (Bitio.Reader.peek reader d.root_bits) in
+  let l = e land 31 in
+  if l <> 0 && l <= d.root_bits then begin
+    Bitio.Reader.consume reader l;
+    e lsr 5
+  end
+  else decode_long d reader l
 
 (* ------------------------------------------------------------------ *)
 (* Wire format helpers                                                 *)
@@ -175,13 +218,62 @@ let encode_payload codes b =
     b;
   Bitio.Writer.contents w
 
-let decode_payload d payload orig_len =
-  let reader = Bitio.Reader.create payload in
-  let out = Buffer.create orig_len in
-  for _ = 1 to orig_len do
-    Buffer.add_char out (Char.chr (decode_symbol d reader))
+let decode_payload d b ~pos orig_len =
+  (* Every symbol takes at least one bit, so a length prefix claiming
+     more symbols than the payload has bits is corrupt — reject it
+     before allocating the output. *)
+  if orig_len > 8 * (Bytes.length b - pos) then
+    raise (Codec.Corrupt "huffman: truncated payload");
+  let out = Bytes.create orig_len in
+  let table = d.table and root_bits = d.root_bits in
+  let n = Bytes.length b in
+  (* The bit accumulator is kept in locals rather than behind
+     [Bitio.Reader] calls: without flambda the per-symbol peek/consume
+     call overhead alone costs ~30% of the decode loop. Invariants
+     match the Reader exactly — low [nbits] bits of [acc] are the next
+     unread bits, MSB first — and refilling up front means any
+     under-run left after it is a genuine end of stream. *)
+  let acc = ref 0 and nbits = ref 0 and bp = ref pos in
+  for i = 0 to orig_len - 1 do
+    while !nbits <= 54 && !bp < n do
+      acc := (!acc lsl 8) lor Char.code (Bytes.unsafe_get b !bp);
+      incr bp;
+      nbits := !nbits + 8
+    done;
+    let p =
+      if !nbits >= root_bits then !acc lsr (!nbits - root_bits)
+      else !acc lsl (root_bits - !nbits)
+    in
+    let e = Array.unsafe_get table p in
+    let l = e land 31 in
+    let sym, l =
+      if l <> 0 && l <= root_bits then (e lsr 5, l)
+      else if l = 0 then raise (Codec.Corrupt "huffman: bad bitstream")
+      else begin
+        (* Code longer than the root table: one [max_len]-bit peek,
+           then the canonical scan over the remaining lengths. *)
+        let bits =
+          if !nbits >= d.max_len then !acc lsr (!nbits - d.max_len)
+          else !acc lsl (d.max_len - !nbits)
+        in
+        let rec scan l =
+          if l > d.max_len then raise (Codec.Corrupt "huffman: bad bitstream")
+          else
+            let code = bits lsr (d.max_len - l) in
+            let idx = code - d.first_code.(l) in
+            if idx >= 0 && idx < d.count.(l) then
+              (d.sym_by_rank.(d.first_rank.(l) + idx), l)
+            else scan (l + 1)
+        in
+        scan (d.root_bits + 1)
+      end
+    in
+    if l > !nbits then raise (Codec.Corrupt "Bitio: out of bits");
+    nbits := !nbits - l;
+    acc := !acc land ((1 lsl !nbits) - 1);
+    Bytes.unsafe_set out i (Char.unsafe_chr sym)
   done;
-  Bytes.of_string (Buffer.contents out)
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Per-block codec                                                     *)
@@ -226,7 +318,7 @@ let decompress b =
       lengths.(s) <- l
     done;
     let d = decoder_of_lengths lengths in
-    decode_payload d (Bytes.sub b table_end (Bytes.length b - table_end)) orig_len
+    decode_payload d b ~pos:table_end orig_len
   end
 
 let codec =
@@ -266,7 +358,7 @@ let shared ~corpus =
   in
   let decompress b =
     let orig_len = read_u16 b 0 in
-    decode_payload d (Bytes.sub b 2 (Bytes.length b - 2)) orig_len
+    decode_payload d b ~pos:2 orig_len
   in
   Codec.make ~name:"huffman-shared" ~dec_cycles_per_byte:6
     ~comp_cycles_per_byte:7 ~compress ~decompress ()
@@ -307,13 +399,15 @@ let shared_positional ~corpus =
   in
   let decompress b =
     let orig_len = read_u16 b 0 in
-    let reader = Bitio.Reader.create (Bytes.sub b 2 (Bytes.length b - 2)) in
-    let out = Buffer.create orig_len in
+    if orig_len > 8 * (Bytes.length b - 2) then
+      raise (Codec.Corrupt "huffman: truncated payload");
+    let reader = Bitio.Reader.create ~pos:2 b in
+    let out = Bytes.create orig_len in
     for i = 0 to orig_len - 1 do
       let _, d = models.(i mod num_positions) in
-      Buffer.add_char out (Char.chr (decode_symbol d reader))
+      Bytes.unsafe_set out i (Char.unsafe_chr (decode_symbol d reader))
     done;
-    Bytes.of_string (Buffer.contents out)
+    out
   in
   Codec.make ~name:"huffman-positional" ~dec_cycles_per_byte:6
     ~comp_cycles_per_byte:7 ~compress ~decompress ()

@@ -4,48 +4,80 @@ let max_match = 18
 
 (* Hash chains over 3-byte prefixes keep the search near-linear. *)
 let hash b i =
-  (Char.code (Bytes.get b i) lsl 10)
-  lxor (Char.code (Bytes.get b (i + 1)) lsl 5)
-  lxor Char.code (Bytes.get b (i + 2))
+  (Char.code (Bytes.unsafe_get b i) lsl 10)
+  lxor (Char.code (Bytes.unsafe_get b (i + 1)) lsl 5)
+  lxor Char.code (Bytes.unsafe_get b (i + 2))
   land 0xFFF
 
 let max_chain = 64
 
-let find_match b i chains =
-  let n = Bytes.length b in
+(* Chains are two int arrays: [head.(h)] is the most recent position
+   with hash [h], [prev.(i)] the next older position sharing i's
+   hash. Walking head/prev visits candidates most-recent-first —
+   the same order (and therefore the same matches, byte for byte)
+   as the Hashtbl.find_all list this replaces, without building a
+   list per lookup. *)
+let find_match b i n head prev =
   if i + min_match > n then None
   else begin
     let best_len = ref 0 and best_pos = ref (-1) in
     let tries = ref 0 in
-    let rec walk = function
-      | [] -> ()
-      | j :: rest ->
-        if j >= i - window && !tries < max_chain then begin
-          incr tries;
+    let limit = i - window in
+    let j = ref (Array.unsafe_get head (hash b i)) in
+    let continue = ref true in
+    while !continue do
+      let jj = !j in
+      if jj < 0 || jj < limit || !tries >= max_chain then continue := false
+      else begin
+        incr tries;
+        (* A candidate can only beat [best_len] if it also matches at
+           offset [best_len]; checking that byte first skips most
+           losers without the full extension loop. *)
+        if
+          i + !best_len >= n
+          && !best_len > 0 (* no room to improve on any match *)
+        then continue := false
+        else if
+          !best_len > 0
+          && Bytes.unsafe_get b (jj + !best_len)
+             <> Bytes.unsafe_get b (i + !best_len)
+        then j := Array.unsafe_get prev jj
+        else begin
           let len =
-            let rec ext k =
-              if k < max_match && i + k < n && Bytes.get b (j + k) = Bytes.get b (i + k)
-              then ext (k + 1)
-              else k
-            in
-            ext 0
+            let k = ref 0 in
+            while
+              !k < max_match
+              && i + !k < n
+              && Bytes.unsafe_get b (jj + !k) = Bytes.unsafe_get b (i + !k)
+            do
+              incr k
+            done;
+            !k
           in
           if len > !best_len then begin
             best_len := len;
-            best_pos := j
+            best_pos := jj
           end;
-          if !best_len < max_match then walk rest
+          if !best_len >= max_match then continue := false
+          else j := Array.unsafe_get prev jj
         end
-    in
-    walk (Hashtbl.find_all chains (hash b i));
+      end
+    done;
     if !best_len >= min_match then Some (!best_pos, !best_len) else None
   end
 
 let compress b =
   let n = Bytes.length b in
   let out = Buffer.create (n + (n / 8) + 1) in
-  let chains = Hashtbl.create 4096 in
-  let add_pos i = if i + min_match <= n then Hashtbl.add chains (hash b i) i in
+  let head = Array.make 4096 (-1) in
+  let prev = Array.make (max n 1) (-1) in
+  let add_pos i =
+    if i + min_match <= n then begin
+      let h = hash b i in
+      Array.unsafe_set prev i (Array.unsafe_get head h);
+      Array.unsafe_set head h i
+    end
+  in
   (* Pending group: up to 8 items buffered until the flag byte is known. *)
   let flags = ref 0 and nitems = ref 0 in
   let group = Buffer.create 17 in
@@ -65,7 +97,7 @@ let compress b =
   in
   let rec loop i =
     if i < n then
-      match find_match b i chains with
+      match find_match b i n head prev with
       | Some (pos, len) ->
         let dist = i - pos in
         Buffer.add_char group (Char.chr (((dist - 1) lsr 4) land 0xFF));
@@ -88,11 +120,26 @@ let compress b =
 
 let decompress b =
   let n = Bytes.length b in
-  let out = Buffer.create (n * 2) in
+  (* Output length is not in the format; decompress into a growing
+     byte buffer we own, so match copies are Bytes.blit (or a tight
+     overlap loop) instead of per-byte Buffer.nth reads. *)
+  let cap = ref (max 64 (n * 2)) in
+  let out = ref (Bytes.create !cap) in
+  let len = ref 0 in
+  let ensure extra =
+    if !len + extra > !cap then begin
+      while !len + extra > !cap do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit !out 0 grown 0 !len;
+      out := grown
+    end
+  in
   let i = ref 0 in
   let byte () =
     if !i >= n then raise (Codec.Corrupt "lzss: truncated input");
-    let c = Char.code (Bytes.get b !i) in
+    let c = Char.code (Bytes.unsafe_get b !i) in
     incr i;
     c
   in
@@ -101,23 +148,35 @@ let decompress b =
     let item = ref 0 in
     while !item < 8 && !i < n do
       let is_literal = (flags lsr (7 - !item)) land 1 = 1 in
-      if is_literal then Buffer.add_char out (Char.chr (byte ()))
+      if is_literal then begin
+        let c = byte () in
+        ensure 1;
+        Bytes.unsafe_set !out !len (Char.unsafe_chr c);
+        incr len
+      end
       else begin
         let hi = byte () in
         let lo = byte () in
         let dist = ((hi lsl 4) lor (lo lsr 4)) + 1 in
-        let len = (lo land 0xF) + min_match in
-        let start = Buffer.length out - dist in
+        let mlen = (lo land 0xF) + min_match in
+        let start = !len - dist in
         if start < 0 then raise (Codec.Corrupt "lzss: bad back-reference");
-        for k = 0 to len - 1 do
-          (* Overlapping copies read bytes produced in this loop. *)
-          Buffer.add_char out (Buffer.nth out (start + k))
-        done
+        ensure mlen;
+        if dist >= mlen then Bytes.blit !out start !out !len mlen
+        else begin
+          (* Overlapping copy: bytes produced in this very match feed
+             later positions, so copy forward one byte at a time. *)
+          let o = !out in
+          for k = 0 to mlen - 1 do
+            Bytes.unsafe_set o (!len + k) (Bytes.unsafe_get o (start + k))
+          done
+        end;
+        len := !len + mlen
       end;
       incr item
     done
   done;
-  Bytes.of_string (Buffer.contents out)
+  Bytes.sub !out 0 !len
 
 let codec =
   Codec.make ~name:"lzss" ~dec_cycles_per_byte:3 ~comp_cycles_per_byte:12

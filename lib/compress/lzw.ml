@@ -14,34 +14,45 @@ let read_u32 b off =
   lor (Char.code (Bytes.get b (off + 2)) lsl 16)
   lor (Char.code (Bytes.get b (off + 3)) lsl 24)
 
+(* The dictionary is a trie over codes, stored in three flat arrays:
+   [first_child.(c)] is the newest entry extending phrase [c],
+   [sibling.(e)] the next entry sharing e's parent, [ext.(e)] the
+   byte entry [e] appends. Lookup of (cur, byte) walks the child
+   chain; no per-symbol tuple or string is ever allocated. *)
 let compress b =
   let n = Bytes.length b in
   let header = Buffer.create (4 + n) in
   write_u32 header n;
   let w = Bitio.Writer.create () in
   if n > 0 then begin
-    let dict = Hashtbl.create 4096 in
+    let first_child = Array.make dict_limit (-1) in
+    let sibling = Array.make dict_limit (-1) in
+    let ext = Bytes.make dict_limit '\000' in
     let next_code = ref 256 in
     let reset () =
-      Hashtbl.reset dict;
+      Array.fill first_child 0 dict_limit (-1);
       next_code := 256
     in
-    reset ();
-    (* Current phrase is tracked as a dictionary code plus its first
-       position/length so we never materialize strings. *)
     let cur = ref (Char.code (Bytes.get b 0)) in
     for i = 1 to n - 1 do
-      let c = Char.code (Bytes.get b i) in
-      match Hashtbl.find_opt dict (!cur, c) with
-      | Some code -> cur := code
-      | None ->
+      let c = Bytes.unsafe_get b i in
+      let child = ref (Array.unsafe_get first_child !cur) in
+      while !child >= 0 && Bytes.unsafe_get ext !child <> c do
+        child := Array.unsafe_get sibling !child
+      done;
+      if !child >= 0 then cur := !child
+      else begin
         Bitio.Writer.add_bits w ~value:!cur ~bits:code_bits;
         if !next_code < dict_limit then begin
-          Hashtbl.add dict (!cur, c) !next_code;
+          let id = !next_code in
+          Array.unsafe_set sibling id (Array.unsafe_get first_child !cur);
+          Array.unsafe_set first_child !cur id;
+          Bytes.unsafe_set ext id c;
           incr next_code
         end
         else reset ();
-        cur := c
+        cur := Char.code c
+      end
     done;
     Bitio.Writer.add_bits w ~value:!cur ~bits:code_bits
   end;
@@ -50,66 +61,100 @@ let compress b =
 
 let decompress b =
   let orig_len = read_u32 b 0 in
-  let out = Buffer.create orig_len in
-  if orig_len > 0 then begin
-    let r = Bitio.Reader.create (Bytes.sub b 4 (Bytes.length b - 4)) in
-    (* Dictionary entries as (prefix code, appended byte); -1 prefix
-       marks the 256 roots. *)
+  if orig_len = 0 then Bytes.create 0
+  else begin
+    let payload_bytes = Bytes.length b - 4 in
+    (* Each 12-bit code expands to at most [dict_limit] bytes, so a
+       header claiming more than [codes * dict_limit] output is
+       corrupt — reject before allocating. *)
+    if orig_len > payload_bytes * 8 / code_bits * dict_limit then
+      raise (Codec.Corrupt "lzw: truncated payload");
+    let r = Bitio.Reader.create (Bytes.sub b 4 payload_bytes) in
+    let out = Bytes.create orig_len in
+    let pos = ref 0 in
+    (* Dictionary entries as flat arrays: [prefix] is the parent code
+       (-1 for the 256 roots), [suffix] the appended byte, [elen] the
+       expansion length and [first] its first byte, so an entry is
+       emitted by walking the parent chain backwards straight into
+       the output — no list or string per entry. *)
     let prefix = Array.make dict_limit (-1) in
-    let suffix = Array.make dict_limit '\000' in
+    let suffix = Bytes.make dict_limit '\000' in
+    let first = Bytes.make dict_limit '\000' in
+    let elen = Array.make dict_limit 1 in
+    for c = 0 to 255 do
+      Bytes.unsafe_set suffix c (Char.unsafe_chr c);
+      Bytes.unsafe_set first c (Char.unsafe_chr c)
+    done;
     let next_code = ref 256 in
     let reset () = next_code := 256 in
-    let expand code =
-      let rec collect acc code =
-        if code < 0 || code >= !next_code then
-          raise (Codec.Corrupt "lzw: bad code")
-        else if code < 256 then Char.chr code :: acc
-        else collect (suffix.(code) :: acc) prefix.(code)
-      in
-      collect [] code
+    (* Writes code's expansion at [pos]; raises on out-of-range codes
+       and on expansions overrunning the declared length. *)
+    let emit code =
+      if code < 0 || code >= !next_code then
+        raise (Codec.Corrupt "lzw: bad code");
+      let l = Array.unsafe_get elen code in
+      if !pos + l > orig_len then
+        raise (Codec.Corrupt "lzw: length mismatch");
+      let k = ref (!pos + l - 1) and c = ref code in
+      while !c >= 256 do
+        Bytes.unsafe_set out !k (Bytes.unsafe_get suffix !c);
+        decr k;
+        c := Array.unsafe_get prefix !c
+      done;
+      Bytes.unsafe_set out !k (Char.unsafe_chr !c);
+      pos := !pos + l
     in
-    let first_char entry = match entry with [] -> assert false | c :: _ -> c in
-    let add_entry l = List.iter (Buffer.add_char out) l in
     let read_code () = Bitio.Reader.read_bits r code_bits in
     let prev = ref (read_code ()) in
     if !prev >= 256 then raise (Codec.Corrupt "lzw: bad first code");
-    add_entry (expand !prev);
-    while Buffer.length out < orig_len do
+    emit !prev;
+    while !pos < orig_len do
       let code = read_code () in
-      let entry =
-        if code < !next_code then expand code
+      (* The new entry (if the dictionary still has room) is always
+         prev's expansion plus one byte; what that byte is depends on
+         whether [code] is known (its first byte) or the KwKwK case
+         (prev's own first byte). *)
+      let efirst =
+        if code < !next_code then begin
+          emit code;
+          Bytes.unsafe_get first code
+        end
         else if code = !next_code then begin
           (* KwKwK case: entry = prev ^ first(prev) *)
-          let p = expand !prev in
-          p @ [ first_char p ]
+          let lp = Array.unsafe_get elen !prev in
+          if !pos + lp + 1 > orig_len then
+            raise (Codec.Corrupt "lzw: length mismatch");
+          let p = !pos in
+          emit !prev;
+          Bytes.unsafe_set out !pos (Bytes.unsafe_get out p);
+          incr pos;
+          Bytes.unsafe_get first !prev
         end
         else raise (Codec.Corrupt "lzw: code out of range")
       in
       if !next_code < dict_limit then begin
-        prefix.(!next_code) <- !prev;
-        suffix.(!next_code) <- first_char entry;
+        let id = !next_code in
+        Array.unsafe_set prefix id !prev;
+        Bytes.unsafe_set suffix id efirst;
+        Bytes.unsafe_set first id (Bytes.unsafe_get first !prev);
+        Array.unsafe_set elen id (Array.unsafe_get elen !prev + 1);
         incr next_code;
-        add_entry entry;
         prev := code;
         if !next_code = dict_limit then begin
           (* Mirror the encoder's reset. *)
           reset ();
-          if Buffer.length out < orig_len then begin
+          if !pos < orig_len then begin
             let c = read_code () in
             if c >= 256 then raise (Codec.Corrupt "lzw: bad code after reset");
-            add_entry (expand c);
+            emit c;
             prev := c
           end
         end
       end
-      else begin
-        add_entry entry;
-        prev := code
-      end
+      else prev := code
     done;
-    if Buffer.length out <> orig_len then raise (Codec.Corrupt "lzw: length mismatch")
-  end;
-  Bytes.of_string (Buffer.contents out)
+    out
+  end
 
 let codec =
   Codec.make ~name:"lzw" ~dec_cycles_per_byte:5 ~comp_cycles_per_byte:10

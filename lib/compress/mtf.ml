@@ -1,5 +1,7 @@
 (* The alphabet is kept in a 256-entry array; moving a symbol to the
-   front is an explicit shift, O(rank) per byte. *)
+   front is an explicit shift, O(rank) per byte. The forward
+   transform also maintains the inverse permutation (symbol -> rank),
+   so finding a byte's rank is one array read instead of a scan. *)
 
 let init_alphabet () = Array.init 256 (fun i -> i)
 
@@ -11,14 +13,22 @@ let move_to_front alphabet rank =
 
 let transform b =
   let alphabet = init_alphabet () in
+  let rank_of = init_alphabet () in
   let out = Bytes.create (Bytes.length b) in
   Bytes.iteri
     (fun i c ->
       let sym = Char.code c in
-      let rec find r = if alphabet.(r) = sym then r else find (r + 1) in
-      let rank = find 0 in
-      ignore (move_to_front alphabet rank);
-      Bytes.set out i (Char.chr rank))
+      let rank = Array.unsafe_get rank_of sym in
+      (* Shift alphabet.(0..rank-1) up one slot, bumping each shifted
+         symbol's rank, then install [sym] at the front. *)
+      for r = rank downto 1 do
+        let s = Array.unsafe_get alphabet (r - 1) in
+        Array.unsafe_set alphabet r s;
+        Array.unsafe_set rank_of s r
+      done;
+      Array.unsafe_set alphabet 0 sym;
+      Array.unsafe_set rank_of sym 0;
+      Bytes.unsafe_set out i (Char.unsafe_chr rank))
     b;
   out
 

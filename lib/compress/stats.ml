@@ -42,3 +42,55 @@ let pp ppf t =
     "%s: %d blocks, %d -> %d bytes (ratio %.3f, best %.3f, worst %.3f)"
     t.codec_name t.blocks t.original_bytes t.compressed_bytes t.ratio
     t.best_block_ratio t.worst_block_ratio
+
+(* ------------------------------------------------------------------ *)
+(* Throughput                                                          *)
+
+type throughput = {
+  tp_codec_name : string;
+  comp_mbps : float;
+  dec_mbps : float;
+  tp_ratio : float;
+}
+
+let mib = 1024.0 *. 1024.0
+
+(* Repeats [f] over whole passes until [min_time_s] of wall clock has
+   elapsed, then converts to MiB/s of [bytes_per_pass]. *)
+let time_mbps ~min_time_s ~bytes_per_pass f =
+  if bytes_per_pass = 0 then 0.0
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let passes = ref 0 in
+    let elapsed = ref 0.0 in
+    while !elapsed < min_time_s do
+      f ();
+      incr passes;
+      elapsed := Unix.gettimeofday () -. t0
+    done;
+    float_of_int !passes *. float_of_int bytes_per_pass /. !elapsed /. mib
+  end
+
+let throughput ?(min_time_s = 0.05) codec blocks =
+  let blocks = List.filter (fun b -> Bytes.length b > 0) blocks in
+  let original = List.fold_left (fun a b -> a + Bytes.length b) 0 blocks in
+  let compressed = List.map codec.Codec.compress blocks in
+  let compressed_bytes =
+    List.fold_left (fun a b -> a + Bytes.length b) 0 compressed
+  in
+  let comp_mbps =
+    time_mbps ~min_time_s ~bytes_per_pass:original (fun () ->
+        List.iter (fun b -> ignore (codec.Codec.compress b)) blocks)
+  in
+  let dec_mbps =
+    time_mbps ~min_time_s ~bytes_per_pass:original (fun () ->
+        List.iter (fun z -> ignore (codec.Codec.decompress z)) compressed)
+  in
+  {
+    tp_codec_name = codec.Codec.name;
+    comp_mbps;
+    dec_mbps;
+    tp_ratio =
+      (if original = 0 then 1.0
+       else float_of_int compressed_bytes /. float_of_int original);
+  }

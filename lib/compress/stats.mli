@@ -15,3 +15,19 @@ val measure : Codec.t -> bytes list -> t
 (** Compresses every block independently and aggregates. *)
 
 val pp : Format.formatter -> t -> unit
+
+type throughput = {
+  tp_codec_name : string;
+  comp_mbps : float;  (** compression, MiB of input consumed per second *)
+  dec_mbps : float;  (** decompression, MiB of output produced per second *)
+  tp_ratio : float;  (** compressed / original over the block set *)
+}
+
+val throughput : ?min_time_s:float -> Codec.t -> bytes list -> throughput
+(** [throughput codec blocks] measures wall-clock compress and
+    decompress throughput by repeating whole passes over [blocks]
+    (empty blocks are skipped) until at least [min_time_s] seconds
+    (default 0.05) have elapsed per direction. Both rates are in MiB/s
+    of {e uncompressed} bytes — the unit that matters for a
+    decompress-on-fetch execution path. Used by the bench codec phase
+    and [ccomp compress]. *)

@@ -15,6 +15,18 @@ dune build @all
 dune runtest
 dune exec bench/main.exe -- --smoke
 
+# Codec-throughput smoke: the bench smoke must have written a
+# comp-MBps and dec-MBps entry for every registry codec, so a codec
+# silently dropping out of the measured set fails here.
+for codec in null rle huffman lzss lzw mtf-rle; do
+  for dir in comp dec; do
+    grep -q "\"codec/$codec/$dir-MBps\"" BENCH.json || {
+      echo "check: FAIL — BENCH.json is missing codec/$codec/$dir-MBps" >&2
+      exit 1
+    }
+  done
+done
+
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"' EXIT
 sweep="dune exec bin/ccomp.exe -- sweep fir crc32 --ks 2,8 --jobs 2 --cache-dir $cache_dir"

@@ -388,3 +388,265 @@ let () =
           Alcotest.test_case "registry" `Quick test_registry_shared_all;
         ] );
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Golden vectors (appended suite)                                     *)
+
+(* Exact compressed bytes for every codec over a fixed input set,
+   pinned when the kernels were rewritten for speed: any wire-format
+   drift — a different match emitted by LZSS, a reordered canonical
+   code — fails here even though the roundtrip tests still pass.
+   Outputs up to 64 bytes are pinned as hex; larger ones by length and
+   MD5. Regenerate only for a deliberate, versioned format change. *)
+
+let golden_inputs =
+  [
+    ("abc", Bytes.of_string "abc");
+    ("run", Bytes.of_string (String.make 300 'z'));
+    ("alternating", Bytes.init 256 (fun i -> if i mod 2 = 0 then 'a' else 'b'));
+    ("all-bytes", Bytes.init 256 Char.chr);
+    ("code-512", Core.Scenario.synthetic_block_bytes ~id:3 ~size:512);
+    ("code-4096", Core.Scenario.synthetic_block_bytes ~id:7 ~size:4096);
+  ]
+
+let golden_corpus = Core.Scenario.synthetic_block_bytes ~id:11 ~size:2048
+
+let golden_codecs =
+  [
+    Compress.Null.codec;
+    Compress.Rle.codec;
+    Compress.Huffman.codec;
+    Compress.Lzss.codec;
+    Compress.Lzw.codec;
+    Compress.Mtf.codec;
+    Compress.Huffman.shared ~corpus:golden_corpus;
+    Compress.Huffman.shared_positional ~corpus:golden_corpus;
+    Compress.Dict.shared ~corpus:golden_corpus;
+  ]
+
+(* codec|input|length|md5|hex (hex is "-" above 64 bytes) *)
+let golden_table =
+  {golden|
+null|abc|3|900150983cd24fb0d6963f7d28e17f72|616263
+null|run|300|62a457719101124d52a9c4fe5211f52a|-
+null|alternating|256|c4de8dae8de92d7257bb29eb1f1b10ec|-
+null|all-bytes|256|e2c865db4162bed963bfaa9ef6ac18f0|-
+null|code-512|512|ff7e50ace566fff51d862aeffaa6e943|-
+null|code-4096|4096|5d9896dcec5557148124753e287f3f87|-
+rle|abc|4|9887647ac98ea75eddd5f7e5ddf3f316|02616263
+rle|run|6|37057e8d99075df58b4d15fdeb6b5645|ff7aff7aa87a
+rle|alternating|258|867f5c89e9f129b00adf73a625461eeb|-
+rle|all-bytes|258|7be0620184cc49040955e0965d9478e5|-
+rle|code-512|516|18d3584429071fc3a898bb53d65b77cf|-
+rle|code-4096|4128|1e3252efed17f9cf39542fc5e28b4fa7|-
+huffman|abc|12|6f1330bdc2e632c47f56cb0b48dec659|0300000002610262026301b0
+huffman|run|45|fff7020f49ce06dd9db6d6f99200c5ae|2c010000007a010000000000000000000000000000000000000000000000000000000000000000000000000000
+huffman|alternating|41|f3300491c68f93eff649872361869195|0001000001610162015555555555555555555555555555555555555555555555555555555555555555
+huffman|all-bytes|773|8343f0fefc22c2f42aac66407dfe90c9|-
+huffman|code-512|339|1fc6eb439e4f361372318ef27078fd1a|-
+huffman|code-4096|2294|38a0aca53f4b5cc61723f46c6e2eae6b|-
+lzss|abc|4|3a618a48bf04b0de5aa9692dba23c7c2|e0616263
+lzss|run|38|d1ac0f0a42325d66cffd362736e03070|807a000f000f000f000f000f000f000f00000f000f000f000f000f000f000f000f00000f0008
+lzss|alternating|35|93709c6dfc73ac3aed345d3cf2bff5ef|c06162001f001f001f001f001f001f00001f001f001f001f001f001f001f001fc06162
+lzss|all-bytes|288|18575ab282babf3ade33df9eb5bffec1|-
+lzss|code-512|223|59570d38a320137dedaae8243e0b3fd1|-
+lzss|code-4096|1274|6baf663bb3be520a814844deff2aa298|-
+lzw|abc|9|5a1dc13a635659b523e9b46e428e6dfd|030000000610620630
+lzw|run|40|83599d0060e6768b7b2fea1790f273ae|2c01000007a10010110210310410510610710810910a10b10c10d10e10f110111112113114115116
+lzw|alternating|51|3338cd813c21753503b12aa3650e1014|0001000006106210010210110410310610510810710a10910c10b10e10d11010f11211111411311611511811711a11911c11b0
+lzw|all-bytes|388|30fe2f0b44121b446a0f0eeda98cef58|-
+lzw|code-512|292|931d1630783df0d6883b2d94e5a010d0|-
+lzw|code-4096|1512|369f836518e063505e34a3ab06977be8|-
+mtf-rle|abc|4|9887647ac98ea75eddd5f7e5ddf3f316|02616263
+mtf-rle|run|8|8aae5bf71b9e5402e0445849b28b4a52|007aff00ff00a700
+mtf-rle|alternating|7|cd960e6e0b03ce0c80286b0e4c332f00|016162ff01fb01
+mtf-rle|all-bytes|258|7be0620184cc49040955e0965d9478e5|-
+mtf-rle|code-512|449|ae75936b3fbb8b50b07ffa038ae23323|-
+mtf-rle|code-4096|3690|23ab91e2553b29c0eb6c736dbd5ab702|-
+huffman-shared|abc|10|a877d7f7ad9a6a0c31b79d4f9e0ffa8e|0300fff83fff0bffe180
+huffman-shared|run|715|362468f5e01ed58170a027c64b0ea221|-
+huffman-shared|alternating|610|e5f3753d56444c06013e2e75e9b08b45|-
+huffman-shared|all-bytes|516|4856d1f23eb8b0d91c36fb3fd3c7e853|-
+huffman-shared|code-512|820|cd2ebf715017c015e5141edf2ac865db|-
+huffman-shared|code-4096|6641|40300ad253ac7784ba773dcf6c14c580|-
+huffman-positional|abc|8|73058395d7d3624105ec76dd609306e0|0300f69f6bffed00
+huffman-positional|run|481|bf7c44632a75639082bb5c12927f3af2|-
+huffman-positional|alternating|410|8e18dcdb9a7f42d25d8a82313f91dd26|-
+huffman-positional|all-bytes|402|10d75d26c3bb8b7994e6c33b8f73950a|-
+huffman-positional|code-512|643|291ae6623c57bf86a8d19a7a7496ad24|-
+huffman-positional|code-4096|5138|3f71fa6dd6229432ea88536692f3f1e8|-
+dict|abc|5|cf5c380e975feeadfe315a050cd8234e|0300616263
+dict|run|377|4e3a2512c789c447366bfff49877e34e|-
+dict|alternating|322|b42f7dbd6e73d0cded89525ef36e6d87|-
+dict|all-bytes|322|32e15b9b303104ecbc06bb82bff0b59a|-
+dict|code-512|642|d698ca7928217387806507dd0dedde80|-
+dict|code-4096|5122|7794497bb842df63e7c4088414e2a9e8|-
+|golden}
+
+let hex_of_bytes b =
+  let buf = Buffer.create (Bytes.length b * 2) in
+  Bytes.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    b;
+  Buffer.contents buf
+
+let test_golden_vectors () =
+  let rows =
+    String.split_on_char '\n' golden_table
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match String.split_on_char '|' (String.trim l) with
+           | [ codec; input; len; md5; hex ] ->
+             (codec, input, int_of_string len, md5, hex)
+           | _ -> Alcotest.failf "bad golden row %S" l)
+  in
+  checki "full cross product"
+    (List.length golden_codecs * List.length golden_inputs)
+    (List.length rows);
+  List.iter
+    (fun (codec_name, input_name, len, md5, hex) ->
+      let codec =
+        List.find
+          (fun c -> c.Compress.Codec.name = codec_name)
+          golden_codecs
+      in
+      let payload = List.assoc input_name golden_inputs in
+      let z = codec.Compress.Codec.compress payload in
+      let what field =
+        Printf.sprintf "%s on %s: %s" codec_name input_name field
+      in
+      checki (what "length") len (Bytes.length z);
+      checks (what "md5") md5 (Digest.to_hex (Digest.bytes z));
+      if hex <> "-" then checks (what "bytes") hex (hex_of_bytes z))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial decompression                                           *)
+
+(* Decompressors must classify every input as valid or Corrupt; any
+   other exception (Invalid_argument from a Bytes bound, Not_found,
+   Failure) means attacker-controlled lengths or indices reached an
+   unchecked operation. Fuzz each codec with bit flips and truncations
+   of genuine compressed outputs — mutations that keep most of the
+   framing plausible — plus unstructured random bytes. *)
+
+let fuzz_payloads =
+  [
+    Core.Scenario.synthetic_block_bytes ~id:3 ~size:512;
+    Bytes.of_string (String.make 300 'z');
+    (let st = Random.State.make [| 91 |] in
+     Bytes.init 1024 (fun _ -> Char.chr (Random.State.int st 256)));
+  ]
+
+let decompress_total codec b =
+  match codec.Compress.Codec.decompress b with
+  | (_ : bytes) -> ()
+  | exception Compress.Codec.Corrupt _ -> ()
+  | exception e ->
+    Alcotest.failf "%s leaked %s on %d-byte input %s..."
+      codec.Compress.Codec.name (Printexc.to_string e) (Bytes.length b)
+      (String.sub (hex_of_bytes b) 0 (min 48 (2 * Bytes.length b)))
+
+let fuzz_codec codec =
+  let st = Random.State.make [| 0x5EED; Hashtbl.hash codec.Compress.Codec.name |] in
+  List.iter
+    (fun payload ->
+      let z = codec.Compress.Codec.compress payload in
+      let n = Bytes.length z in
+      (* bit flips: 1..4 flipped bits per trial *)
+      for _ = 1 to 300 do
+        let m = Bytes.copy z in
+        for _ = 0 to Random.State.int st 4 do
+          let i = Random.State.int st n in
+          let bit = 1 lsl Random.State.int st 8 in
+          Bytes.set m i (Char.chr (Char.code (Bytes.get m i) lxor bit))
+        done;
+        decompress_total codec m
+      done;
+      (* truncations, including the empty prefix *)
+      for _ = 1 to 100 do
+        decompress_total codec (Bytes.sub z 0 (Random.State.int st n))
+      done;
+      (* truncate and flip *)
+      for _ = 1 to 100 do
+        let k = 1 + Random.State.int st n in
+        let m = Bytes.sub z 0 k in
+        let i = Random.State.int st k in
+        Bytes.set m i (Char.chr (Char.code (Bytes.get m i) lxor 0xFF));
+        decompress_total codec m
+      done)
+    fuzz_payloads;
+  (* unstructured random input *)
+  for _ = 1 to 300 do
+    let b =
+      Bytes.init (Random.State.int st 200) (fun _ ->
+          Char.chr (Random.State.int st 256))
+    in
+    decompress_total codec b
+  done
+
+let fuzz_tests =
+  List.map
+    (fun codec ->
+      Alcotest.test_case
+        (Printf.sprintf "fuzz %s" codec.Compress.Codec.name)
+        `Quick
+        (fun () -> fuzz_codec codec))
+    (Compress.Registry.all ()
+    @ Compress.Registry.shared_all ~corpus:golden_corpus)
+
+(* ------------------------------------------------------------------ *)
+(* Bitio reader API (appended suite)                                   *)
+
+let test_bitio_rejects_wide_reads () =
+  let r = Compress.Bitio.Reader.create (Bytes.create 8) in
+  Alcotest.check_raises "31 bits rejected"
+    (Invalid_argument "Bitio.Reader.read_bits") (fun () ->
+      ignore (Compress.Bitio.Reader.read_bits r 31));
+  Alcotest.check_raises "negative width rejected"
+    (Invalid_argument "Bitio.Reader.read_bits") (fun () ->
+      ignore (Compress.Bitio.Reader.read_bits r (-1)))
+
+let test_bitio_peek_consume () =
+  let open Compress.Bitio in
+  let w = Writer.create () in
+  Writer.add_bits w ~value:0xA5 ~bits:8;
+  Writer.add_bits w ~value:0x3 ~bits:2;
+  let r = Reader.create (Writer.contents w) in
+  checki "peek does not consume" 0xA5 (Reader.peek r 8);
+  checki "peek again" 0xA5 (Reader.peek r 8);
+  Reader.consume r 4;
+  checki "peek after consume" 0x5 (Reader.peek r 4);
+  checki "read_bits" 0x5 (Reader.read_bits r 4);
+  (* 8 of 16 real bits consumed; the tail byte is 11000000 *)
+  checki "peek tail" 0xC0 (Reader.peek r 8);
+  Reader.consume r 8;
+  checki "exhausted peek zero-pads" 0 (Reader.peek r 4);
+  checkb "consume past end" true
+    (match Reader.consume r 1 with
+    | () -> false
+    | exception Compress.Codec.Corrupt _ -> true)
+
+let test_bitio_reader_offset () =
+  let open Compress.Bitio in
+  let r = Reader.create ~pos:1 (Bytes.of_string "\xFF\x80") in
+  checki "starts at offset" 0x80 (Reader.read_bits r 8);
+  checki "only the suffix" 0 (Reader.bits_left r);
+  Alcotest.check_raises "pos beyond end rejected"
+    (Invalid_argument "Bitio.Reader.create") (fun () ->
+      ignore (Reader.create ~pos:3 (Bytes.of_string "ab")))
+
+let () =
+  Alcotest.run ~and_exit:false "compress-kernels"
+    [
+      ( "golden",
+        [ Alcotest.test_case "pinned vectors" `Quick test_golden_vectors ] );
+      ("adversarial", fuzz_tests);
+      ( "bitio-reader",
+        [
+          Alcotest.test_case "wide reads rejected" `Quick
+            test_bitio_rejects_wide_reads;
+          Alcotest.test_case "peek/consume" `Quick test_bitio_peek_consume;
+          Alcotest.test_case "reader offset" `Quick test_bitio_reader_offset;
+        ] );
+    ]
