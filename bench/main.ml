@@ -191,6 +191,66 @@ let codec_throughput_phase ?min_time_s () =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Energy accounting phase                                             *)
+
+(* One deterministic engine run per device profile: the per-dimension
+   totals BENCH.json carries as energy/<profile>/* keys, so a change
+   to any profile's coefficients (or to a charging site) shows up in
+   the perf diff, and scripts/check.sh can gate on the keys existing.
+   Cycle totals are profile-invariant by construction; that invariant
+   is pinned here too. *)
+let energy_phase () =
+  let sc = Experiments.Util.scenario "fir" in
+  let policy = Core.Policy.on_demand ~k:8 in
+  let t =
+    Report.Table.create
+      ~title:"energy accounting: fir k=8 on-demand, per device profile"
+      ~columns:
+        [
+          ("profile", Report.Table.Left);
+          ("cycles", Report.Table.Right);
+          ("total nJ", Report.Table.Right);
+          ("dec nJ", Report.Table.Right);
+          ("ram-static nJ", Report.Table.Right);
+        ]
+  in
+  let runs =
+    List.map
+      (fun profile -> (profile, Core.Scenario.run ~profile sc policy))
+      Sim.Cost.profile_names
+  in
+  (match runs with
+  | (_, first) :: rest ->
+    if
+      List.exists
+        (fun (_, (m : Core.Metrics.t)) ->
+          m.total_cycles <> first.Core.Metrics.total_cycles)
+        rest
+    then failwith "energy phase: cycle totals vary across device profiles"
+  | [] -> ());
+  let entries =
+    List.concat_map
+      (fun (profile, (m : Core.Metrics.t)) ->
+        Report.Table.add_row t
+          [
+            profile;
+            string_of_int m.total_cycles;
+            string_of_int m.energy_nj;
+            string_of_int m.dec_energy_nj;
+            string_of_int m.ram_static_energy_nj;
+          ];
+        [
+          ( Printf.sprintf "energy/%s/fir-total-nj" profile,
+            float_of_int m.energy_nj );
+          ( Printf.sprintf "energy/%s/fir-ram-static-nj" profile,
+            float_of_int m.ram_static_energy_nj );
+        ])
+      runs
+  in
+  Report.Table.print t;
+  entries
+
+(* ------------------------------------------------------------------ *)
 (* Streaming event-bus benchmark                                       *)
 
 (* A million-step Markov walk streamed through a counting sink: the
@@ -388,10 +448,12 @@ let () =
     let p50 = service_probe () in
     print_newline ();
     let codec_entries = codec_throughput_phase ~min_time_s:0.01 () in
+    print_newline ();
+    let energy_entries = energy_phase () in
     write_bench_json
       (("streaming-1M/wall-s", dt)
       :: ("service-roundtrip/p50-ms", p50)
-      :: codec_entries)
+      :: (codec_entries @ energy_entries))
   end
   else begin
     print_endline
@@ -405,6 +467,8 @@ let () =
     let p50 = service_probe () in
     print_newline ();
     let codec_entries = codec_throughput_phase () in
+    print_newline ();
+    let energy_entries = energy_phase () in
     print_newline ();
     (* Full-table regeneration runs through the fleet pool (cache off:
        a benchmark should measure engine work, not disk reads). The
@@ -432,6 +496,7 @@ let () =
     write_bench_json
       (estimates
       @ codec_entries
+      @ energy_entries
       @ [
           ("streaming-1M/wall-s", streaming_dt);
           ("service-roundtrip/p50-ms", p50);

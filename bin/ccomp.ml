@@ -39,6 +39,30 @@ let bounded_int ~min what =
 
 let positive_int what = bounded_int ~min:1 what
 
+(* Validated at parse time with the same known-set message the service
+   returns, so a typo'd profile is a usage error, not an
+   Invalid_argument escaping from the cost layer. *)
+let device_profile_arg =
+  let parse s =
+    if List.mem s Sim.Cost.profile_names then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown device profile %S (known: %s)" s
+              (String.concat ", " Sim.Cost.profile_names)))
+  in
+  let profile_conv = Arg.conv ~docv:"PROFILE" (parse, Format.pp_print_string) in
+  let doc =
+    Printf.sprintf
+      "Device profile naming the cost coefficients (cycle and energy) \
+       every charge is priced with: %s."
+      (String.concat ", " Sim.Cost.profile_names)
+  in
+  Arg.(
+    value
+    & opt profile_conv Fleet.Job.default_profile
+    & info [ "device-profile" ] ~docv:"PROFILE" ~doc)
+
 let k_arg =
   Arg.(
     value
@@ -171,7 +195,7 @@ let scenario_of ~codec name =
 (* ccomp sim                                                           *)
 
 let sim workload codec k strategy lookahead predictor budget recompress
-    retention trace_out metrics =
+    retention device_profile trace_out metrics =
   match scenario_of ~codec workload with
   | sc -> (
     let predictor =
@@ -200,7 +224,8 @@ let sim workload codec k strategy lookahead predictor budget recompress
     try
       let m =
         with_observability trace_out metrics (fun ?sink ?registry () ->
-            Core.Scenario.run ?sink ?registry sc policy)
+            Core.Scenario.run ~profile:device_profile ?sink ?registry sc
+              policy)
       in
       Format.printf "%a@." Core.Metrics.pp m;
       0
@@ -219,7 +244,7 @@ let sim_cmd =
     Term.(
       const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
       $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg
-      $ retention_arg $ trace_out_arg $ metrics_arg)
+      $ retention_arg $ device_profile_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Fleet options (shared by sweep and experiments)                     *)
@@ -355,7 +380,7 @@ let experiments_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:"Experiment ids (E1..E17) or slugs; all when omitted.")
+          ~doc:"Experiment ids (E1..E18) or slugs; all when omitted.")
   in
   let csv =
     Arg.(
@@ -370,7 +395,7 @@ let experiments_cmd =
             "Print each registered experiment's id, slug and paper anchor \
              without running anything.")
   in
-  let doc = "Regenerate the paper's figures/tables (E1..E17)." in
+  let doc = "Regenerate the paper's figures/tables (E1..E18)." in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const experiments $ ids $ csv $ list_only $ jobs_arg
@@ -381,7 +406,8 @@ let experiments_cmd =
 (* ccomp sweep                                                         *)
 
 let sweep workloads ks codec strategy lookahead predictor budget recompress
-    retention jobs cache_dir no_cache progress fuel timeout_ms metrics =
+    retention device_profile jobs cache_dir no_cache progress fuel timeout_ms
+    metrics =
   match
     let names =
       match workloads with [] -> Workloads.Suite.names | ws -> ws
@@ -422,7 +448,7 @@ let sweep workloads ks codec strategy lookahead predictor budget recompress
     let specs =
       Fleet.Sweep.matrix ~codecs:[ codec ] ~strategies:[ strategy ]
         ~modes:[ mode ] ~budgets:[ budget ] ~retentions:[ retention ]
-        ~scenarios:names ~ks ()
+        ~profiles:[ device_profile ] ~scenarios:names ~ks ()
     in
     let registry = Sim.Metrics.create () in
     let outcomes =
@@ -517,7 +543,7 @@ let sweep_cmd =
     Term.(
       const sweep $ workloads $ ks $ codec_arg $ strategy_arg $ lookahead_arg
       $ predictor_arg $ budget_arg $ recompress_arg $ retention_arg
-      $ jobs_arg
+      $ device_profile_arg $ jobs_arg
       $ cache_dir_arg ~default:true
       $ no_cache_arg $ progress_arg $ fuel $ timeout_ms $ metrics_arg)
 
@@ -681,7 +707,7 @@ let cc_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp run                                                           *)
 
-let run_real workload codec k retention trace_out metrics =
+let run_real workload codec k retention device_profile trace_out metrics =
   let w = Workloads.Suite.find_exn workload in
   let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
   let codec_v =
@@ -696,7 +722,8 @@ let run_real workload codec k retention trace_out metrics =
   in
   match
     with_observability trace_out metrics (fun ?sink ?registry () ->
-        Runtime.run ~k ~retention ?codec:codec_v ?sink ?registry prog)
+        Runtime.run ~k ~retention ~profile:device_profile ?codec:codec_v
+          ?sink ?registry prog)
   with
   | Ok (machine, stats) ->
     let got = Eris.Machine.read_word machine w.Workloads.Common.result_addr in
@@ -730,7 +757,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_real $ workload_arg $ codec_arg $ k_arg $ retention_arg
-      $ trace_out_arg $ metrics_arg)
+      $ device_profile_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp analyze                                                       *)
@@ -916,7 +943,7 @@ let call_connect ~socket ~tcp =
 (* Build the request object the same way the server parses it: only the
    fields this op consumes, so the line documents itself. *)
 let call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead ~predictor
-    ~budget ~recompress ~retention ~fuel ~timeout_ms ~id =
+    ~budget ~recompress ~retention ~profile ~fuel ~timeout_ms ~id =
   let open Service.Json in
   let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
   let guards =
@@ -941,6 +968,7 @@ let call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead ~predictor
           | `Profile -> "profile") );
       ("mode", Str (if recompress then "recompress" else "discard"));
       ("retention", Str retention);
+      ("profile", Str profile);
     ]
     @ opt "budget" (fun v -> Int v) budget
   in
@@ -983,7 +1011,7 @@ let call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead ~predictor
          other)
 
 let call socket tcp raw op_args codec k ks strategy lookahead predictor
-    budget recompress retention fuel timeout_ms id compact =
+    budget recompress retention profile fuel timeout_ms id compact =
   match
     let line =
       match (raw, op_args) with
@@ -994,7 +1022,8 @@ let call socket tcp raw op_args codec k ks strategy lookahead predictor
       | None, op :: workloads ->
         Service.Json.to_string
           (call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead
-             ~predictor ~budget ~recompress ~retention ~fuel ~timeout_ms ~id)
+             ~predictor ~budget ~recompress ~retention ~profile ~fuel
+             ~timeout_ms ~id)
     in
     let fd = call_connect ~socket ~tcp in
     Fun.protect
@@ -1090,7 +1119,8 @@ let call_cmd =
     Term.(
       const call $ socket_arg $ tcp_arg $ raw $ op_args $ codec_arg $ k_arg
       $ ks $ strategy_arg $ lookahead_arg $ predictor_arg $ budget_arg
-      $ recompress_arg $ retention_arg $ fuel $ timeout_ms $ id $ compact)
+      $ recompress_arg $ retention_arg $ device_profile_arg $ fuel
+      $ timeout_ms $ id $ compact)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp cache                                                         *)

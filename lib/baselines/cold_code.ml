@@ -6,6 +6,7 @@ type result = {
   total_cycles : int;
   baseline_cycles : int;
   decompressions : int;
+  energy_nj : int;
 }
 
 let overhead_ratio r =
@@ -46,6 +47,12 @@ let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
     Array.fold_left (fun a b -> a + sc.info.(b).Core.Engine.exec_cycles) 0 sc.trace
   in
   let total = ref 0 and decompressions = ref 0 in
+  let acc = Sim.Cost.Acc.create () in
+  let costs = config.Core.Config.costs in
+  let charge src v =
+    Sim.Cost.Acc.charge acc src v;
+    total := !total + v.Sim.Cost.cycles
+  in
   (* The reserved buffer is a one-slot residency area with an inline
      retention policy: the occupant is always the eviction victim, and
      nothing ever ages out on its own. *)
@@ -73,7 +80,9 @@ let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
   in
   Array.iteri
     (fun step b ->
-      total := !total + sc.info.(b).Core.Engine.exec_cycles;
+      charge Sim.Cost.Exec
+        (Sim.Cost.exec_charge costs
+           ~cycles:sc.info.(b).Core.Engine.exec_cycles);
       emit (Sim.Events.Exec { block = b; at = !total });
       if (not hot.(b)) && !occupant <> b then begin
         (match Residency.Area.victim area ~exclude:(fun _ -> false) with
@@ -82,14 +91,17 @@ let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
         | None -> ());
         incr decompressions;
         emit (Sim.Events.Exception { block = b; at = !total });
-        let dec =
-          Core.Config.dec_cycles config
+        charge Sim.Cost.Exception (Sim.Cost.exception_charge costs);
+        let dec_charge =
+          Sim.Cost.demand_dec_charge costs
             ~compressed_bytes:sc.info.(b).Core.Engine.compressed_bytes
+            ~uncompressed_bytes:sc.info.(b).Core.Engine.uncompressed_bytes
         in
-        total := !total + config.Core.Config.costs.exception_cycles + dec;
+        charge Sim.Cost.Demand_dec dec_charge;
         Residency.Area.on_materialize area ~block:b ~step;
         emit
-          (Sim.Events.Demand_decompress { block = b; at = !total; cycles = dec })
+          (Sim.Events.Demand_decompress
+             { block = b; at = !total; cycles = dec_charge.Sim.Cost.cycles })
       end)
     sc.trace;
   {
@@ -100,4 +112,5 @@ let run ?config ?sink ?(hot_fraction = 0.95) (sc : Core.Scenario.t) =
     total_cycles = !total;
     baseline_cycles;
     decompressions = !decompressions;
+    energy_nj = (Sim.Cost.Acc.total acc).Sim.Cost.energy_nj;
   }

@@ -17,6 +17,9 @@ type result = {
   total_cycles : int;
   baseline_cycles : int;
   decompressions : int;
+  energy_nj : int;
+      (** execution + exception + decompression energy under the
+          config's cost model; 0 under the [paper-2005] profile *)
 }
 
 val overhead_ratio : result -> float

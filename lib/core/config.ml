@@ -5,20 +5,26 @@ type cost_model = Sim.Cost.t = {
   dec_cycles_per_byte : int;
   comp_setup_cycles : int;
   comp_cycles_per_byte : int;
+  energy : Sim.Cost.energy_model;
+  profile : string;
 }
 
 let default_cost_model = Sim.Cost.default
+let profiles = Sim.Cost.profile_names
+let cost_model_of_profile name = Sim.Cost.profile name
 
-let cost_model_of_codec codec =
+let cost_model_of_codec ?(profile = "paper-2005") codec =
   Sim.Cost.with_rates
     ~dec_cycles_per_byte:codec.Compress.Codec.dec_cycles_per_byte
     ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte
-    Sim.Cost.default
+    (Sim.Cost.profile profile)
 
 type t = { costs : cost_model }
 
+let make costs = { costs = Sim.Cost.validate costs }
 let default = { costs = default_cost_model }
-let of_codec codec = { costs = cost_model_of_codec codec }
+let of_profile name = { costs = cost_model_of_profile name }
+let of_codec ?profile codec = { costs = cost_model_of_codec ?profile codec }
 
 let dec_cycles t ~compressed_bytes =
   Sim.Cost.dec_cycles t.costs ~compressed_bytes

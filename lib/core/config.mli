@@ -1,8 +1,10 @@
 (** Cost model of the simulated embedded platform.
 
-    All costs are in cycles. Decompression cost scales with the
-    {e compressed} size (that is what the decompressor reads);
-    compression cost scales with the {e uncompressed} size.
+    Costs are vectors over the shared dimension vocabulary: cycles
+    plus energy, with the coefficients chosen by a named device
+    profile. Decompression cost scales with the {e compressed} size
+    (that is what the decompressor reads); compression cost scales
+    with the {e uncompressed} size.
 
     The model itself is {!Sim.Cost.t} — the one cost vocabulary every
     simulation layer (engine, baselines, experiment harness) shares —
@@ -18,20 +20,36 @@ type cost_model = Sim.Cost.t = {
   dec_cycles_per_byte : int;
   comp_setup_cycles : int;
   comp_cycles_per_byte : int;
+  energy : Sim.Cost.energy_model;
+  profile : string;
 }
 
 val default_cost_model : cost_model
-(** {!Sim.Cost.default}: exception 40, patch 4, decompression
-    30 + 4/byte, compression 30 + 8/byte. *)
+(** {!Sim.Cost.default}: the [paper-2005] profile — exception 40,
+    patch 4, decompression 30 + 4/byte, compression 30 + 8/byte,
+    zero energy. *)
 
-val cost_model_of_codec : Compress.Codec.t -> cost_model
-(** {!default_cost_model} with the per-byte rates advertised by the
-    codec. *)
+val profiles : string list
+(** The known device profile names; head is the default. *)
+
+val cost_model_of_profile : string -> cost_model
+(** @raise Invalid_argument on an unknown profile name. *)
+
+val cost_model_of_codec : ?profile:string -> Compress.Codec.t -> cost_model
+(** The named profile (default [paper-2005]) with the per-byte rates
+    advertised by the codec.
+    @raise Invalid_argument on an unknown profile or a rate < 1. *)
 
 type t = { costs : cost_model }
 
+val make : cost_model -> t
+(** Validated construction ({!Sim.Cost.validate}): fixed and energy
+    coefficients >= 0, per-byte cycle rates >= 1.
+    @raise Invalid_argument naming the offending coefficient. *)
+
 val default : t
-val of_codec : Compress.Codec.t -> t
+val of_profile : string -> t
+val of_codec : ?profile:string -> Compress.Codec.t -> t
 
 val dec_cycles : t -> compressed_bytes:int -> int
 val comp_cycles : t -> uncompressed_bytes:int -> int

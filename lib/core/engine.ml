@@ -82,12 +82,10 @@ type state = {
   mutable live_bytes : int;  (* decompressed area, settled view *)
   mutable inflight : (int * int) list;  (* (ready_at, block), sorted *)
   mutable pending_frees : (int * int) list;  (* (time, bytes), sorted *)
+  (* every priced event lands here as one charge vector; the metrics'
+     per-source cycle and energy totals are read back out at the end *)
+  acc : Sim.Cost.Acc.acc;
   (* counters *)
-  mutable exec_cycles : int;
-  mutable exception_cycles : int;
-  mutable patch_cycles : int;
-  mutable demand_dec_cycles : int;
-  mutable stall_cycles : int;
   mutable exceptions : int;
   mutable patches : int;
   mutable demand_decompressions : int;
@@ -135,15 +133,18 @@ let mem_event st ~time ~delta =
   end
 
 (* Final accounting: flush everything still queued and return the
-   time-weighted occupancy of the decompressed area. *)
+   time-weighted occupancy of the decompressed area — peak, average,
+   and the raw byte-cycles integral (the RAM leakage base). *)
 let memory_stats st =
   let occ = st.occ in
   occ_drain occ ~upto:max_int;
   occ_flush_buf occ;
   let end_time = max (now st) occ.horizon in
+  let until = max end_time 1 in
   let peak = Memsim.Accounting.peak occ.acct in
-  let avg = Memsim.Accounting.average occ.acct ~until:(max end_time 1) in
-  (peak, avg)
+  let byte_cycles = Memsim.Accounting.integral occ.acct ~until in
+  let avg = float_of_int byte_cycles /. float_of_int until in
+  (peak, avg, byte_cycles)
 
 (* Promote finished prefetches and apply recompression frees whose
    time has passed. *)
@@ -193,6 +194,8 @@ let delete_copy st ~eviction b =
     Residency.Area.release st.area ~block:b ~patch_back:(fun _ -> true)
   in
   st.patches <- st.patches + patched_back;
+  Sim.Cost.Acc.charge st.acc Sim.Cost.Patch_back
+    (Sim.Cost.patch_back_charge st.config.Config.costs ~sites:patched_back);
   Sim.Clock.push_back st.comp ~now:(now st)
     ~cycles:(patched_back * st.config.Config.costs.patch_cycles);
   (* Branches inside [b] vanish with it: drop them from the remember
@@ -209,6 +212,9 @@ let delete_copy st ~eviction b =
     mem_event st ~time:(now st) ~delta:(-usize st b);
     st.status.(b) <- Compressed
   | Policy.Recompress ->
+    Sim.Cost.Acc.charge st.acc Sim.Cost.Recompress
+      (Sim.Cost.recompress_charge st.config.Config.costs
+         ~uncompressed_bytes:(usize st b));
     let done_at =
       Sim.Clock.schedule st.comp ~now:(now st) ~cycles:(comp_time st b)
     in
@@ -259,15 +265,16 @@ let allocate st ~exclude b =
 
 let charge_exception st b =
   st.exceptions <- st.exceptions + 1;
-  st.exception_cycles <-
-    st.exception_cycles + st.config.Config.costs.exception_cycles;
-  Sim.Clock.advance st.clock ~cycles:st.config.Config.costs.exception_cycles;
+  let v = Sim.Cost.exception_charge st.config.Config.costs in
+  Sim.Cost.Acc.charge st.acc Sim.Cost.Exception v;
+  Sim.Clock.advance st.clock ~cycles:v.Sim.Cost.cycles;
   st.emit (Exception { block = b; at = now st })
 
 let charge_patch st ~target ~site =
   st.patches <- st.patches + 1;
-  st.patch_cycles <- st.patch_cycles + st.config.Config.costs.patch_cycles;
-  Sim.Clock.advance st.clock ~cycles:st.config.Config.costs.patch_cycles;
+  let v = Sim.Cost.patch_charge st.config.Config.costs in
+  Sim.Cost.Acc.charge st.acc Sim.Cost.Patch v;
+  Sim.Clock.advance st.clock ~cycles:v.Sim.Cost.cycles;
   st.emit (Patch { target; site; at = now st })
 
 (* Records the branch site and charges the patch if it is new. The
@@ -282,7 +289,8 @@ let patch_site st ~target ~site =
 let stall_until st b t =
   let w = Sim.Clock.wait_until st.clock t in
   if w > 0 then begin
-    st.stall_cycles <- st.stall_cycles + w;
+    Sim.Cost.Acc.charge st.acc Sim.Cost.Stall
+      (Sim.Cost.stall_charge st.config.Config.costs ~cycles:w);
     st.emit (Stall { block = b; at = now st; cycles = w })
   end
 
@@ -323,9 +331,13 @@ let rec arrive st ~step ~prev b =
   | Compressed ->
     charge_exception st b;
     allocate st ~exclude:[ b ] b;
-    let cycles = dec_time st b in
+    let v =
+      Sim.Cost.demand_dec_charge st.config.Config.costs
+        ~compressed_bytes:(csize st b) ~uncompressed_bytes:(usize st b)
+    in
+    let cycles = v.Sim.Cost.cycles in
     st.demand_decompressions <- st.demand_decompressions + 1;
-    st.demand_dec_cycles <- st.demand_dec_cycles + cycles;
+    Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec v;
     Sim.Clock.advance st.clock ~cycles;
     st.status.(b) <- Resident { used = false; prefetched = false };
     Residency.Area.on_materialize st.area ~block:b ~step;
@@ -343,7 +355,8 @@ let execute st ~step ~cycles b =
     invalid_arg "Core.Engine.execute: block not resident");
   Residency.Area.on_execute st.area ~block:b ~step ~time:(now st);
   st.emit (Exec { block = b; at = now st });
-  st.exec_cycles <- st.exec_cycles + cycles;
+  Sim.Cost.Acc.charge st.acc Sim.Cost.Exec
+    (Sim.Cost.exec_charge st.config.Config.costs ~cycles);
   Sim.Clock.advance st.clock ~cycles
 
 (* Queue a pre-decompression of [c] on the decompression thread. *)
@@ -359,6 +372,9 @@ let issue_prefetch st ~step ~exclude c =
       st.status.(c) <- Decompressing { ready_at; prefetched = true };
       st.inflight <- insert_sorted st.inflight (ready_at, c);
       Residency.Area.on_materialize st.area ~block:c ~step;
+      Sim.Cost.Acc.charge st.acc Sim.Cost.Prefetch_dec
+        (Sim.Cost.prefetch_dec_charge st.config.Config.costs
+           ~compressed_bytes:(csize st c) ~uncompressed_bytes:(usize st c));
       st.prefetch_decompressions <- st.prefetch_decompressions + 1;
       st.emit (Prefetch_issue { block = c; at = now st; ready_at })
     end
@@ -403,8 +419,8 @@ let traverse_edge st ~b ~next ~step =
     | None -> ()));
   Predictor.note_edge st.pred_state ~src:b ~dst:next
 
-let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
-    ~info ~trace policy =
+let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
+    ?step_cycles ~graph ~info ~trace policy =
   let n = Cfg.Graph.num_blocks graph in
   if Array.length info <> n then
     invalid_arg "Core.Engine.run: info does not match graph";
@@ -427,6 +443,7 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
         f ev;
         s.Sim.Events.emit ev
   in
+  let acc = Sim.Cost.Acc.create ?journal:charge_log () in
   let retention =
     Residency.Policy.instantiate policy.Policy.retention
       {
@@ -436,6 +453,7 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
         graph = Some graph;
         budget = policy.Policy.budget;
         size_of = Some (fun b -> info.(b).uncompressed_bytes);
+        totals = Some (fun () -> Sim.Cost.Acc.dimension_totals acc);
       }
   in
   let st =
@@ -463,11 +481,7 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
       live_bytes = 0;
       inflight = [];
       pending_frees = [];
-      exec_cycles = 0;
-      exception_cycles = 0;
-      patch_cycles = 0;
-      demand_dec_cycles = 0;
-      stall_cycles = 0;
+      acc;
       exceptions = 0;
       patches = 0;
       demand_decompressions = 0;
@@ -492,7 +506,12 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
     execute st ~step:i ~cycles:(cycles_at i b) b;
     if i + 1 < len then traverse_edge st ~b ~next:trace.(i + 1) ~step:(i + 1)
   done;
-  let peak_dec, avg_dec = memory_stats st in
+  let peak_dec, avg_dec, dec_byte_cycles = memory_stats st in
+  (* The decompressed copy area leaked for the whole run: one final
+     charge, priced on the exact occupancy integral. *)
+  Sim.Cost.Acc.charge acc Sim.Cost.Ram_static
+    (Sim.Cost.ram_static_charge config.Config.costs
+       ~byte_cycles:dec_byte_cycles);
   let original_bytes =
     Array.fold_left (fun acc b -> acc + b.uncompressed_bytes) 0 info
   in
@@ -504,14 +523,16 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
     Array.iteri (fun i b -> sum := !sum + cycles_at i b) trace;
     !sum
   in
+  let cycles_of src = (Sim.Cost.Acc.total_of acc src).Sim.Cost.cycles in
+  let energy_of src = (Sim.Cost.Acc.total_of acc src).Sim.Cost.energy_nj in
   let m =
     {
       Metrics.total_cycles = now st;
-      exec_cycles = st.exec_cycles;
-      exception_cycles = st.exception_cycles;
-      patch_cycles = st.patch_cycles;
-      demand_dec_cycles = st.demand_dec_cycles;
-      stall_cycles = st.stall_cycles;
+      exec_cycles = cycles_of Sim.Cost.Exec;
+      exception_cycles = cycles_of Sim.Cost.Exception;
+      patch_cycles = cycles_of Sim.Cost.Patch;
+      demand_dec_cycles = cycles_of Sim.Cost.Demand_dec;
+      stall_cycles = cycles_of Sim.Cost.Stall;
       baseline_cycles;
       exceptions = st.exceptions;
       patches = st.patches;
@@ -524,6 +545,18 @@ let run ?(config = Config.default) ?log ?sink ?registry ?step_cycles ~graph
       budget_overflows = st.budget_overflows;
       dec_thread_busy_cycles = Sim.Clock.busy_cycles st.dec;
       comp_thread_busy_cycles = Sim.Clock.busy_cycles st.comp;
+      energy_nj = (Sim.Cost.Acc.total acc).Sim.Cost.energy_nj;
+      exec_energy_nj = energy_of Sim.Cost.Exec;
+      exception_energy_nj = energy_of Sim.Cost.Exception;
+      patch_energy_nj =
+        energy_of Sim.Cost.Patch + energy_of Sim.Cost.Patch_back;
+      dec_energy_nj =
+        energy_of Sim.Cost.Demand_dec + energy_of Sim.Cost.Prefetch_dec;
+      comp_energy_nj = energy_of Sim.Cost.Recompress;
+      ram_static_energy_nj = energy_of Sim.Cost.Ram_static;
+      baseline_energy_nj =
+        config.Config.costs.Sim.Cost.energy.Sim.Cost.exec_nj_per_cycle
+        * baseline_cycles;
       original_bytes;
       compressed_area_bytes;
       peak_decompressed_bytes = peak_dec;

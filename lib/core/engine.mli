@@ -62,6 +62,7 @@ val run :
   ?log:(event -> unit) ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
+  ?charge_log:(Sim.Cost.source -> Sim.Cost.vector -> unit) ->
   ?step_cycles:int array ->
   graph:Cfg.Graph.t ->
   info:block_info array ->
@@ -74,9 +75,12 @@ val run :
     events, so memory use is independent of trace length. The sink is
     {e not} closed — the caller owns its lifecycle. When [registry]
     is given, the final {!Metrics.t} is published into it via
-    {!Metrics.register}. [step_cycles] overrides each trace step's
-    execution cost (used by coarser-granularity baselines whose
-    per-visit cost varies); by default step [i] costs
+    {!Metrics.register}. [charge_log] observes every cost vector as
+    it is charged (source + vector), including the final RAM-leakage
+    charge — summing what it sees reproduces the per-dimension totals
+    in the returned metrics exactly. [step_cycles] overrides each
+    trace step's execution cost (used by coarser-granularity
+    baselines whose per-visit cost varies); by default step [i] costs
     [info.(trace.(i)).exec_cycles].
     @raise Invalid_argument if [info] does not match the graph, the
     trace mentions unknown blocks, or [step_cycles] has the wrong

@@ -17,6 +17,14 @@ type t = {
   budget_overflows : int;
   dec_thread_busy_cycles : int;
   comp_thread_busy_cycles : int;
+  energy_nj : int;
+  exec_energy_nj : int;
+  exception_energy_nj : int;
+  patch_energy_nj : int;
+  dec_energy_nj : int;
+  comp_energy_nj : int;
+  ram_static_energy_nj : int;
+  baseline_energy_nj : int;
   original_bytes : int;
   compressed_area_bytes : int;
   peak_decompressed_bytes : int;
@@ -31,6 +39,11 @@ let overhead_ratio t =
   if t.baseline_cycles = 0 then 0.0
   else
     (float_of_int t.total_cycles /. float_of_int t.baseline_cycles) -. 1.0
+
+let energy_overhead_ratio t =
+  if t.baseline_energy_nj = 0 then 0.0
+  else
+    (float_of_int t.energy_nj /. float_of_int t.baseline_energy_nj) -. 1.0
 
 let peak_memory_saving t =
   if t.original_bytes = 0 then 0.0
@@ -49,6 +62,9 @@ let pp ppf t =
      decompressions (%d useful, %d wasted), %d discards, %d evictions, %d \
      overflows@,\
      threads: dec busy %d, comp busy %d@,\
+     energy: %dnJ (baseline %dnJ, overhead %.1f%%)@,\
+     \  exec %d, exceptions %d, patches %d, dec %d, comp %d, ram-static \
+     %dnJ@,\
      memory: original %dB, compressed area %dB, decompressed peak %dB (avg \
      %.1fB)@,\
      \  footprint peak %dB (saving %.1f%%), avg %.1fB (saving %.1f%%)@]"
@@ -58,7 +74,11 @@ let pp ppf t =
     t.stall_cycles t.exceptions t.patches t.demand_decompressions
     t.prefetch_decompressions t.useful_prefetches t.wasted_prefetches
     t.discards t.evictions t.budget_overflows t.dec_thread_busy_cycles
-    t.comp_thread_busy_cycles t.original_bytes t.compressed_area_bytes
+    t.comp_thread_busy_cycles t.energy_nj t.baseline_energy_nj
+    (100.0 *. energy_overhead_ratio t)
+    t.exec_energy_nj t.exception_energy_nj t.patch_energy_nj t.dec_energy_nj
+    t.comp_energy_nj t.ram_static_energy_nj t.original_bytes
+    t.compressed_area_bytes
     t.peak_decompressed_bytes t.avg_decompressed_bytes t.peak_footprint_bytes
     (100.0 *. peak_memory_saving t)
     t.avg_footprint_bytes
@@ -84,6 +104,14 @@ let register ?(labels = []) registry t =
   c "budget_overflows" t.budget_overflows;
   c "dec_thread_busy_cycles" t.dec_thread_busy_cycles;
   c "comp_thread_busy_cycles" t.comp_thread_busy_cycles;
+  c "energy_nj" t.energy_nj;
+  c "exec_energy_nj" t.exec_energy_nj;
+  c "exception_energy_nj" t.exception_energy_nj;
+  c "patch_energy_nj" t.patch_energy_nj;
+  c "dec_energy_nj" t.dec_energy_nj;
+  c "comp_energy_nj" t.comp_energy_nj;
+  c "ram_static_energy_nj" t.ram_static_energy_nj;
+  c "baseline_energy_nj" t.baseline_energy_nj;
   c "original_bytes" t.original_bytes;
   c "compressed_area_bytes" t.compressed_area_bytes;
   c "peak_decompressed_bytes" t.peak_decompressed_bytes;

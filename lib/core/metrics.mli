@@ -27,6 +27,17 @@ type t = {
   (* helper threads *)
   dec_thread_busy_cycles : int;
   comp_thread_busy_cycles : int;
+  (* energy (all zero under the paper-2005 profile) *)
+  energy_nj : int;  (** total across every charge source *)
+  exec_energy_nj : int;
+  exception_energy_nj : int;
+  patch_energy_nj : int;  (** patches on the critical path + patch-backs *)
+  dec_energy_nj : int;  (** demand + prefetch decompressions *)
+  comp_energy_nj : int;  (** recompressions *)
+  ram_static_energy_nj : int;
+      (** leakage of the decompressed copy area over the run *)
+  baseline_energy_nj : int;
+      (** exec energy of the baseline trace (everything resident) *)
   (* memory *)
   original_bytes : int;  (** full uncompressed image *)
   compressed_area_bytes : int;  (** always-resident compressed image *)
@@ -41,6 +52,10 @@ type t = {
 
 val overhead_ratio : t -> float
 (** [total_cycles / baseline_cycles - 1]; 0 = no slowdown. *)
+
+val energy_overhead_ratio : t -> float
+(** [energy_nj / baseline_energy_nj - 1]; 0 when the baseline energy
+    is 0 (any all-zero energy profile). *)
 
 val peak_memory_saving : t -> float
 (** [1 - peak_footprint / original]: fraction of the original image

@@ -50,16 +50,22 @@ val synthetic_block_bytes : id:int -> size:int -> bytes
 
 val run :
   ?config:Config.t ->
+  ?profile:string ->
   ?log:(Engine.event -> unit) ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
+  ?charge_log:(Sim.Cost.source -> Sim.Cost.vector -> unit) ->
   t ->
   Policy.t ->
   Metrics.t
 (** Runs the policy engine. The default cost model takes the per-byte
-    decompression/compression rates from the scenario's codec.
+    decompression/compression rates from the scenario's codec, with
+    coefficients from the named device [profile] (default
+    [paper-2005]); an explicit [config] wins over [profile].
     [sink]/[registry] stream events and publish final metrics through
-    the {!Sim} kernel, see {!Engine.run}. *)
+    the {!Sim} kernel; [charge_log] observes every cost vector — see
+    {!Engine.run}.
+    @raise Invalid_argument on an unknown [profile]. *)
 
 val profile : t -> Cfg.Profile.t
 (** Edge profile of the scenario's own trace (for profile-guided

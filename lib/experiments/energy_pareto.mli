@@ -1,0 +1,40 @@
+(** E18: the energy/cycles Pareto sweep.
+
+    Under the paper's cycle-only cost model the energy-optimal k and
+    the cycles-optimal k coincide by construction (energy is zero
+    everywhere). Under a device profile with real coefficients they
+    can diverge: larger k keeps more decompressed copies resident,
+    which costs RAM leakage energy by the byte-cycle even while it
+    saves decompression cycles. This experiment sweeps every workload
+    over the k grid under the {!profile} device profile and reports,
+    per workload, the cycles-optimal and energy-optimal k and the
+    memory x cycles x energy Pareto front. *)
+
+val profile : string
+(** ["sram-heavy"] — the leakage-dominated profile where the two
+    optima separate. *)
+
+val default_ks : int list
+(** [[1; 2; 4; 8; 16; 32]] — the same grid as E6. *)
+
+type optimum = {
+  workload : string;
+  cycles_opt_k : int;  (** k minimizing total cycles (smallest on ties) *)
+  energy_opt_k : int;  (** k minimizing total energy (smallest on ties) *)
+}
+
+val optima : ?ks:int list -> unit -> optimum list
+(** One entry per suite workload, in suite order. *)
+
+val divergent : optimum list -> optimum list
+(** The workloads whose energy-optimal k differs from their
+    cycles-optimal k. *)
+
+val run : unit -> Report.Table.t
+(** The registry runner: full grid, one row per workload x k with
+    cycles, energy, peak bytes, a Pareto-front marker and the
+    per-workload optima. *)
+
+val run_with : ks:int list -> unit -> Report.Table.t
+(** Same table over a caller-chosen k grid (smoke runs use a short
+    one). *)

@@ -84,6 +84,12 @@ let all =
       paper_anchor = "extension: residency policies beyond section 3";
       runner = Retention_compare.run;
     };
+    {
+      id = "E18";
+      slug = "energy-pareto";
+      paper_anchor = "extension: energy dimension of the section 3 tradeoff";
+      runner = Energy_pareto.run;
+    };
   ]
 
 let find key =

@@ -1,4 +1,6 @@
-let entry_version = 1
+(* v2: per-dimension energy totals joined Core.Metrics.t; v1 entries
+   lack them and must read as misses, never as stale hits. *)
+let entry_version = 2
 let default_dir = ".ccomp-cache"
 let header = Printf.sprintf "ccomp-fleet-entry %d" entry_version
 
@@ -55,6 +57,14 @@ let metrics_to_string (m : Core.Metrics.t) =
   int "budget_overflows" m.budget_overflows;
   int "dec_thread_busy_cycles" m.dec_thread_busy_cycles;
   int "comp_thread_busy_cycles" m.comp_thread_busy_cycles;
+  int "energy_nj" m.energy_nj;
+  int "exec_energy_nj" m.exec_energy_nj;
+  int "exception_energy_nj" m.exception_energy_nj;
+  int "patch_energy_nj" m.patch_energy_nj;
+  int "dec_energy_nj" m.dec_energy_nj;
+  int "comp_energy_nj" m.comp_energy_nj;
+  int "ram_static_energy_nj" m.ram_static_energy_nj;
+  int "baseline_energy_nj" m.baseline_energy_nj;
   int "original_bytes" m.original_bytes;
   int "compressed_area_bytes" m.compressed_area_bytes;
   int "peak_decompressed_bytes" m.peak_decompressed_bytes;
@@ -130,6 +140,14 @@ let metrics_of_string s =
     let* budget_overflows = int "budget_overflows" in
     let* dec_thread_busy_cycles = int "dec_thread_busy_cycles" in
     let* comp_thread_busy_cycles = int "comp_thread_busy_cycles" in
+    let* energy_nj = int "energy_nj" in
+    let* exec_energy_nj = int "exec_energy_nj" in
+    let* exception_energy_nj = int "exception_energy_nj" in
+    let* patch_energy_nj = int "patch_energy_nj" in
+    let* dec_energy_nj = int "dec_energy_nj" in
+    let* comp_energy_nj = int "comp_energy_nj" in
+    let* ram_static_energy_nj = int "ram_static_energy_nj" in
+    let* baseline_energy_nj = int "baseline_energy_nj" in
     let* original_bytes = int "original_bytes" in
     let* compressed_area_bytes = int "compressed_area_bytes" in
     let* peak_decompressed_bytes = int "peak_decompressed_bytes" in
@@ -161,6 +179,14 @@ let metrics_of_string s =
           budget_overflows;
           dec_thread_busy_cycles;
           comp_thread_busy_cycles;
+          energy_nj;
+          exec_energy_nj;
+          exception_energy_nj;
+          patch_energy_nj;
+          dec_energy_nj;
+          comp_energy_nj;
+          ram_static_energy_nj;
+          baseline_energy_nj;
           original_bytes;
           compressed_area_bytes;
           peak_decompressed_bytes;

@@ -21,15 +21,19 @@ type t = {
   mode : mode;
   budget : int option;
   retention : retention;
+  profile : string;
 }
 
+let default_profile = "paper-2005"
+
 let make ?(codec = "code") ?(strategy = On_demand) ?(mode = Discard) ?budget
-    ?(retention = Kedge) ~scenario ~k () =
-  { scenario; codec; k; strategy; mode; budget; retention }
+    ?(retention = Kedge) ?(profile = default_profile) ~scenario ~k () =
+  { scenario; codec; k; strategy; mode; budget; retention; profile }
 
 (* Bump when the canonical rendering below (or the meaning of any
-   field) changes: old cache entries must stop matching. *)
-let spec_version = 1
+   field) changes: old cache entries must stop matching.
+   v2: device profile joined the spec. *)
+let spec_version = 2
 
 let strategy_to_string = function
   | On_demand -> "on-demand"
@@ -51,18 +55,20 @@ let retention_to_string = function
 
 let canonical t =
   Printf.sprintf
-    "ccomp-job %d|scenario=%s|codec=%s|k=%d|strategy=%s|mode=%s|budget=%s|retention=%s"
+    "ccomp-job \
+     %d|scenario=%s|codec=%s|k=%d|strategy=%s|mode=%s|budget=%s|retention=%s|profile=%s"
     spec_version t.scenario t.codec t.k
     (strategy_to_string t.strategy)
     (mode_to_string t.mode)
     (match t.budget with None -> "none" | Some b -> string_of_int b)
     (retention_to_string t.retention)
+    t.profile
 
 let key t =
   Printf.sprintf "v%d-%s" spec_version (Digest.to_hex (Digest.string (canonical t)))
 
 let describe t =
-  Printf.sprintf "%s codec=%s k=%d %s %s%s retention=%s" t.scenario t.codec
+  Printf.sprintf "%s codec=%s k=%d %s %s%s retention=%s%s" t.scenario t.codec
     t.k
     (strategy_to_string t.strategy)
     (mode_to_string t.mode)
@@ -70,6 +76,8 @@ let describe t =
     | None -> ""
     | Some b -> Printf.sprintf " budget=%dB" b)
     (retention_to_string t.retention)
+    (if t.profile = default_profile then ""
+     else Printf.sprintf " profile=%s" t.profile)
 
 let predictor_of sc = function
   | "first" -> Core.Predictor.First_successor
@@ -105,4 +113,4 @@ let execute ?sink sc t =
     Core.Policy.make ~mode ~strategy ?budget:t.budget ~retention
       ~compress_k:t.k ()
   in
-  Core.Scenario.run ?sink sc policy
+  Core.Scenario.run ~profile:t.profile ?sink sc policy

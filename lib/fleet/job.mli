@@ -35,7 +35,11 @@ type t = {
   mode : mode;
   budget : int option;
   retention : retention;
+  profile : string;  (** device profile naming the cost coefficients *)
 }
+
+val default_profile : string
+(** ["paper-2005"]. *)
 
 val make :
   ?codec:string ->
@@ -43,12 +47,15 @@ val make :
   ?mode:mode ->
   ?budget:int ->
   ?retention:retention ->
+  ?profile:string ->
   scenario:string ->
   k:int ->
   unit ->
   t
 (** Defaults: codec ["code"], [On_demand], [Discard], no budget,
-    [Kedge]. *)
+    [Kedge], profile {!default_profile}. The profile is part of the
+    content key — the same sweep under two device profiles never
+    shares cache entries. *)
 
 val canonical : t -> string
 (** Canonical one-line serialization: every field rendered in a fixed

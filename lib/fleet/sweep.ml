@@ -176,7 +176,8 @@ let run ?(jobs = 1) ?pool ?cache ?registry ?progress ?fuel ?timeout_ms ?cancel
 
 let matrix ?(codecs = [ "code" ]) ?(strategies = [ Job.On_demand ])
     ?(modes = [ Job.Discard ]) ?(budgets = [ None ])
-    ?(retentions = [ Job.Kedge ]) ~scenarios ~ks () =
+    ?(retentions = [ Job.Kedge ]) ?(profiles = [ Job.default_profile ])
+    ~scenarios ~ks () =
   List.concat_map
     (fun scenario ->
       List.concat_map
@@ -189,10 +190,13 @@ let matrix ?(codecs = [ "code" ]) ?(strategies = [ Job.On_demand ])
                     (fun mode ->
                       List.concat_map
                         (fun budget ->
-                          List.map
+                          List.concat_map
                             (fun retention ->
-                              Job.make ~codec ~strategy ~mode ?budget
-                                ~retention ~scenario ~k ())
+                              List.map
+                                (fun profile ->
+                                  Job.make ~codec ~strategy ~mode ?budget
+                                    ~retention ~profile ~scenario ~k ())
+                                profiles)
                             retentions)
                         budgets)
                     modes)

@@ -1,0 +1,55 @@
+type point = { label : string; values : (string * float) list }
+
+let dims p = List.map fst p.values
+
+let value p d =
+  match List.assoc_opt d p.values with
+  | Some v -> v
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Report.Pareto: point %S has no dimension %S" p.label d)
+
+let check_same_dims a b =
+  if dims a <> dims b then
+    invalid_arg
+      (Printf.sprintf
+         "Report.Pareto: points %S and %S carry different dimensions" a.label
+         b.label)
+
+let dominates a b =
+  check_same_dims a b;
+  let no_worse =
+    List.for_all (fun (d, va) -> va <= value b d) a.values
+  in
+  let better = List.exists (fun (d, va) -> va < value b d) a.values in
+  no_worse && better
+
+let front points =
+  List.filter
+    (fun p -> not (List.exists (fun q -> dominates q p) points))
+    points
+
+let table ~title ?(fmt = fun _ v -> Table.fmt_float ~decimals:1 v) points =
+  match points with
+  | [] -> invalid_arg "Report.Pareto.table: no points"
+  | first :: rest ->
+    List.iter (check_same_dims first) rest;
+    let dim_names = dims first in
+    let t =
+      Table.create ~title
+        ~columns:
+          (("point", Table.Left)
+          :: List.map (fun d -> (d, Table.Right)) dim_names
+          @ [ ("pareto", Table.Left) ])
+    in
+    let on_front =
+      let f = front points in
+      fun p -> List.memq p f
+    in
+    List.iter
+      (fun p ->
+        Table.add_row t
+          ((p.label :: List.map (fun (d, v) -> fmt d v) p.values)
+          @ [ (if on_front p then "*" else "") ]))
+      points;
+    t

@@ -1,0 +1,40 @@
+(** Pareto fronts over named objective dimensions.
+
+    Every objective is minimized; callers flip signs (or report
+    savings as deficits) for maximized quantities. Points carry their
+    coordinates as [(dimension, value)] lists so the report layer
+    stays decoupled from whichever cost vocabulary produced them —
+    cycles, nanojoules, peak bytes, or anything a future profile
+    invents. *)
+
+type point = {
+  label : string;  (** row label, e.g. ["fir k=8"] *)
+  values : (string * float) list;
+      (** objective name -> value; every point in one comparison must
+          carry the same dimension set *)
+}
+
+val value : point -> string -> float
+(** Coordinate lookup.
+    @raise Invalid_argument if the point lacks the dimension. *)
+
+val dominates : point -> point -> bool
+(** [dominates a b] iff [a] is no worse than [b] in every dimension
+    and strictly better in at least one.
+    @raise Invalid_argument if the two points carry different
+    dimension sets. *)
+
+val front : point list -> point list
+(** The non-dominated subset, in input order. Duplicate coordinates
+    never dominate each other, so equal points all survive. *)
+
+val table :
+  title:string -> ?fmt:(string -> float -> string) -> point list -> Table.t
+(** One row per point in input order: the label, one column per
+    dimension (in the first point's dimension order), and a [pareto]
+    column marking front members with [*]. [fmt] renders a value given
+    its dimension name (default: {!Table.fmt_float} with 1 decimal).
+    Markdown and CSV renderings come free via {!Table.to_markdown} and
+    {!Table.to_csv}.
+    @raise Invalid_argument on an empty point list or inconsistent
+    dimension sets. *)

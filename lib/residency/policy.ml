@@ -17,6 +17,7 @@ type ctx = {
   graph : Cfg.Graph.t option;
   budget : int option;
   size_of : (int -> int) option;
+  totals : (unit -> (string * int) list) option;
 }
 
 type t = {

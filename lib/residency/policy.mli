@@ -39,6 +39,12 @@ type ctx = {
   budget : int option;  (** Decompressed-area byte budget, if any. *)
   size_of : (int -> int) option;
       (** Uncompressed block size, for budget validation. *)
+  totals : (unit -> (string * int) list) option;
+      (** Live per-dimension cost totals of the host run, as
+          [(dimension name, amount)] pairs (see {!Sim.Cost.Acc}
+          [dimension_totals]) — lets a policy observe how much each
+          cost dimension has accumulated so far without this library
+          depending on the cost vocabulary. *)
 }
 (** Everything a [spec] may need to build its runtime state. *)
 

@@ -11,6 +11,7 @@ type stats = {
   live_copy_bytes : int;
   compressed_image_bytes : int;
   original_image_bytes : int;
+  energy_nj : int;
 }
 
 type error =
@@ -123,6 +124,7 @@ type state = {
   cost : Sim.Cost.t;
       (* prices the events (the runtime itself has no cycle clock;
          [at] is the executed-instruction count) *)
+  acc : Sim.Cost.Acc.acc;
   emit : Sim.Events.t -> unit;
   compressed : bytes array;
   layouts : layout array;
@@ -194,6 +196,8 @@ let patch_site st (c, idx) ~target_block ~target_addr =
         then begin
           c.instrs.(idx) <- patched;
           st.patches <- st.patches + 1;
+          Sim.Cost.Acc.charge st.acc Sim.Cost.Patch
+            (Sim.Cost.patch_charge st.cost);
           st.emit
             (Sim.Events.Patch
                { target = target_block; site = c.block; at = at st })
@@ -208,6 +212,8 @@ let unpatch_site st ~target (c, idx) =
   if c.live then begin
     c.instrs.(idx) <- materialize st.layouts.(c.block) ~base:c.base idx;
     st.unpatches <- st.unpatches + 1;
+    Sim.Cost.Acc.charge st.acc Sim.Cost.Patch_back
+      (Sim.Cost.patch_back_charge st.cost ~sites:1);
     st.emit (Sim.Events.Unpatch { target; site = c.block; at = at st });
     true
   end
@@ -265,15 +271,15 @@ let make_copy st block_id =
       raise (Runtime_bug "decode after decompress: wrong instruction count")
   | Error msg -> raise (Runtime_bug ("decode after decompress: " ^ msg)));
   st.decompressions <- st.decompressions + 1;
+  let charge =
+    Sim.Cost.demand_dec_charge st.cost
+      ~compressed_bytes:(Bytes.length st.compressed.(block_id))
+      ~uncompressed_bytes:b.byte_size
+  in
+  Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec charge;
   st.emit
     (Sim.Events.Demand_decompress
-       {
-         block = block_id;
-         at = at st;
-         cycles =
-           Sim.Cost.dec_cycles st.cost
-             ~compressed_bytes:(Bytes.length st.compressed.(block_id));
-       });
+       { block = block_id; at = at st; cycles = charge.Sim.Cost.cycles });
   let layout = st.layouts.(block_id) in
   let slots = Array.length layout.slots in
   (* guard word between copies keeps one-past-the-end unambiguous *)
@@ -333,6 +339,8 @@ let handle_trap st pc =
       (Eris.Machine.Fault { pc; message = "wild pc outside image and copies" })
   | Some home ->
     st.traps <- st.traps + 1;
+    Sim.Cost.Acc.charge st.acc Sim.Cost.Exception
+      (Sim.Cost.exception_charge st.cost);
     let block = block_of_home st home in
     st.emit (Sim.Events.Exception { block; at = at st });
     let c =
@@ -381,6 +389,7 @@ let stats_of st =
     compressed_image_bytes =
       Array.fold_left (fun a b -> a + Bytes.length b) 0 st.compressed;
     original_image_bytes = image_size st;
+    energy_nj = (Sim.Cost.Acc.total st.acc).Sim.Cost.energy_nj;
   }
 
 let register_stats ?(labels = []) registry (s : stats) =
@@ -398,10 +407,11 @@ let register_stats ?(labels = []) registry (s : stats) =
   c "peak_copy_bytes" s.peak_copy_bytes;
   c "live_copy_bytes" s.live_copy_bytes;
   c "compressed_image_bytes" s.compressed_image_bytes;
-  c "original_image_bytes" s.original_image_bytes
+  c "original_image_bytes" s.original_image_bytes;
+  c "energy_nj" s.energy_nj
 
 let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
-    ?codec ?cost ?sink ?registry prog =
+    ?codec ?cost ?profile ?sink ?registry prog =
   let graph = Cfg.Build.of_program prog in
   let codec =
     match codec with
@@ -412,11 +422,16 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
     match cost with
     | Some c -> c
     | None ->
+      let base =
+        match profile with
+        | Some p -> Sim.Cost.profile p
+        | None -> Sim.Cost.default
+      in
       Sim.Cost.with_rates
         ~dec_cycles_per_byte:codec.Compress.Codec.dec_cycles_per_byte
-        ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte
-        Sim.Cost.default
+        ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte base
   in
+  let acc = Sim.Cost.Acc.create () in
   let emit =
     match sink with
     | Some (s : Sim.Events.sink) -> s.Sim.Events.emit
@@ -453,6 +468,7 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
              budget = None;
              size_of =
                Some (fun b -> (Cfg.Graph.block graph b).Cfg.Graph.byte_size);
+             totals = Some (fun () -> Sim.Cost.Acc.dimension_totals acc);
            })
       ~blocks:n ~emit
       ~now:(fun () -> Eris.Machine.instr_count machine)
@@ -466,6 +482,7 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
       machine;
       codec;
       cost;
+      acc;
       emit;
       compressed;
       layouts;
@@ -552,6 +569,7 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
          (Machine_fault
             { pc = Eris.Machine.pc st.machine; message; stats = stats_of st }))
 
-let run_source ?fuel ?k ?retention ?codec ?cost ?sink ?registry source =
-  run ?fuel ?k ?retention ?codec ?cost ?sink ?registry
+let run_source ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry source
+    =
+  run ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry
     (Eris.Asm.assemble_exn source)

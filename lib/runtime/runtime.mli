@@ -42,6 +42,10 @@ type stats = {
   live_copy_bytes : int;  (** at halt *)
   compressed_image_bytes : int;
   original_image_bytes : int;
+  energy_nj : int;
+      (** total energy charged for traps, patches, patch-backs and
+          decompressions under the run's cost model; 0 under the
+          default [paper-2005] profile *)
 }
 
 type error =
@@ -54,6 +58,7 @@ val run :
   ?retention:Residency.Policy.spec ->
   ?codec:Compress.Codec.t ->
   ?cost:Sim.Cost.t ->
+  ?profile:string ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
   Eris.Program.t ->
@@ -70,9 +75,11 @@ val run :
     [sink] streams the execution as {!Sim.Events} (the runtime has no
     cycle clock, so [at] is the executed-instruction count; event
     [cycles] fields are priced by [cost], defaulting to the codec's
-    per-byte rates over {!Sim.Cost.default}). The sink is {e not}
-    closed. [registry] receives the final {!stats} via
-    {!register_stats} on both success and failure. *)
+    per-byte rates over the named device [profile] — [paper-2005]
+    when neither is given; an explicit [cost] wins). The sink is
+    {e not} closed. [registry] receives the final {!stats} via
+    {!register_stats} on both success and failure.
+    @raise Invalid_argument on an unknown [profile]. *)
 
 val run_source :
   ?fuel:int ->
@@ -80,6 +87,7 @@ val run_source :
   ?retention:Residency.Policy.spec ->
   ?codec:Compress.Codec.t ->
   ?cost:Sim.Cost.t ->
+  ?profile:string ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
   string ->

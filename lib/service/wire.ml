@@ -97,6 +97,12 @@ let check_codec name =
     fail "unknown codec %S (known: code, %s)" name
       (String.concat ", " (Compress.Registry.names ()))
 
+let check_profile name =
+  if List.mem name Sim.Cost.profile_names then Ok name
+  else
+    fail "unknown device profile %S (known: %s)" name
+      (String.concat ", " Sim.Cost.profile_names)
+
 (* The policy surface shared by sim and sweep: everything in a
    Fleet.Job.t except scenario and k, which the op supplies. *)
 let job_builder obj =
@@ -129,6 +135,9 @@ let job_builder obj =
     Ok (if m = "recompress" then Fleet.Job.Recompress else Fleet.Job.Discard)
   in
   let* budget = positive obj "budget" in
+  let* profile = str_field obj "profile" in
+  let profile = default Fleet.Job.default_profile profile in
+  let* profile = check_profile profile in
   let* weight = positive obj "weight" in
   let weight = default 2 weight in
   let* fraction = float_field obj "fraction" in
@@ -152,7 +161,8 @@ let job_builder obj =
   in
   Ok
     (fun ~scenario ~k ->
-      Fleet.Job.make ~codec ~strategy ~mode ?budget ~retention ~scenario ~k ())
+      Fleet.Job.make ~codec ~strategy ~mode ?budget ~retention ~profile
+        ~scenario ~k ())
 
 let parse_sim obj =
   let* workload = str_field obj "workload" in
@@ -323,6 +333,14 @@ let metrics_to_json (m : Core.Metrics.t) =
       ("budget_overflows", Json.Int m.budget_overflows);
       ("dec_thread_busy_cycles", Json.Int m.dec_thread_busy_cycles);
       ("comp_thread_busy_cycles", Json.Int m.comp_thread_busy_cycles);
+      ("energy_nj", Json.Int m.energy_nj);
+      ("exec_energy_nj", Json.Int m.exec_energy_nj);
+      ("exception_energy_nj", Json.Int m.exception_energy_nj);
+      ("patch_energy_nj", Json.Int m.patch_energy_nj);
+      ("dec_energy_nj", Json.Int m.dec_energy_nj);
+      ("comp_energy_nj", Json.Int m.comp_energy_nj);
+      ("ram_static_energy_nj", Json.Int m.ram_static_energy_nj);
+      ("baseline_energy_nj", Json.Int m.baseline_energy_nj);
       ("original_bytes", Json.Int m.original_bytes);
       ("compressed_area_bytes", Json.Int m.compressed_area_bytes);
       ("peak_decompressed_bytes", Json.Int m.peak_decompressed_bytes);
@@ -334,6 +352,8 @@ let metrics_to_json (m : Core.Metrics.t) =
       ("overhead_ratio", Json.Float (Core.Metrics.overhead_ratio m));
       ("peak_memory_saving", Json.Float (Core.Metrics.peak_memory_saving m));
       ("avg_memory_saving", Json.Float (Core.Metrics.avg_memory_saving m));
+      ( "energy_overhead_ratio",
+        Json.Float (Core.Metrics.energy_overhead_ratio m) );
     ]
 
 let job_to_json (j : Fleet.Job.t) =
@@ -373,7 +393,8 @@ let job_to_json (j : Fleet.Job.t) =
     @ optional "budget" (fun v -> Json.Int v) j.budget
     @ [ ("retention", Json.Str retention) ]
     @ optional "weight" (fun v -> Json.Int v) weight
-    @ optional "fraction" (fun v -> Json.Float v) fraction)
+    @ optional "fraction" (fun v -> Json.Float v) fraction
+    @ [ ("profile", Json.Str j.profile) ])
 
 let outcome_to_json (o : Fleet.Sweep.outcome) =
   Json.Obj

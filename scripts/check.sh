@@ -27,6 +27,26 @@ for codec in null rle huffman lzss lzw mtf-rle; do
   done
 done
 
+# Energy-accounting smoke: the bench smoke must have priced the probe
+# run under every device profile, so a profile silently dropping out
+# of the cost vocabulary fails here.
+for profile in paper-2005 cortex-m-flash sram-heavy; do
+  grep -q "\"energy/$profile/" BENCH.json || {
+    echo "check: FAIL — BENCH.json is missing energy/$profile/* keys" >&2
+    exit 1
+  }
+done
+
+# Pareto smoke: the energy/cycles sweep (E18, ~2s) must run and
+# report at least one workload whose energy-optimal k differs from
+# its cycles-optimal k — the reason the energy dimension exists.
+pareto_out=$(dune exec bin/ccomp.exe -- experiments E18 --jobs 2)
+echo "$pareto_out" | grep -q 'yes' || {
+  echo "check: FAIL — E18 reports no energy/cycles divergence" >&2
+  echo "$pareto_out" >&2
+  exit 1
+}
+
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"' EXIT
 sweep="dune exec bin/ccomp.exe -- sweep fir crc32 --ks 2,8 --jobs 2 --cache-dir $cache_dir"

@@ -99,6 +99,60 @@ let test_config_costs () =
   checki "codec dec rate" (30 + (2 * 10))
     (Core.Config.dec_cycles c2 ~compressed_bytes:10)
 
+let test_config_profiles () =
+  checkb "paper profile is the default" true
+    (List.hd Core.Config.profiles = "paper-2005");
+  let c = Core.Config.of_profile "cortex-m-flash" in
+  checkb "profile name recorded" true
+    (c.Core.Config.costs.Sim.Cost.profile = "cortex-m-flash");
+  (* profiles change energy pricing only; cycle accounting is shared *)
+  checki "dec cycles unchanged across profiles"
+    (Core.Config.dec_cycles Core.Config.default ~compressed_bytes:17)
+    (Core.Config.dec_cycles c ~compressed_bytes:17);
+  checkb "energized profile" true
+    (c.Core.Config.costs.Sim.Cost.energy.Sim.Cost.exec_nj_per_cycle > 0);
+  (* codec-advertised rates survive profile selection, and vice versa *)
+  let codec = Compress.Registry.find_exn "rle" in
+  let c2 = Core.Config.of_codec ~profile:"sram-heavy" codec in
+  checki "codec dec rate under profile" (30 + (2 * 10))
+    (Core.Config.dec_cycles c2 ~compressed_bytes:10);
+  checkb "codec config keeps profile" true
+    (c2.Core.Config.costs.Sim.Cost.profile = "sram-heavy");
+  Alcotest.check_raises "unknown profile"
+    (Invalid_argument
+       "unknown device profile \"avr\" (known: paper-2005, cortex-m-flash, \
+        sram-heavy)") (fun () -> ignore (Core.Config.of_profile "avr"))
+
+let test_config_validation () =
+  let bad field model =
+    Alcotest.check_raises field
+      (Invalid_argument (Printf.sprintf "%s must be >= %d (got %d)" field 0 (-1)))
+      (fun () -> ignore (Core.Config.make model))
+  in
+  let base = Core.Config.default_cost_model in
+  bad "exception_cycles" { base with Sim.Cost.exception_cycles = -1 };
+  bad "patch_cycles" { base with Sim.Cost.patch_cycles = -1 };
+  Alcotest.check_raises "dec rate below 1"
+    (Invalid_argument "dec_cycles_per_byte must be >= 1 (got 0)") (fun () ->
+      ignore (Core.Config.make { base with Sim.Cost.dec_cycles_per_byte = 0 }));
+  Alcotest.check_raises "negative energy coefficient"
+    (Invalid_argument "dec_compute_nj_per_byte must be >= 0 (got -3)")
+    (fun () ->
+      ignore
+        (Core.Config.make
+           {
+             base with
+             Sim.Cost.energy =
+               {
+                 base.Sim.Cost.energy with
+                 Sim.Cost.dec_compute_nj_per_byte = -3;
+               };
+           }));
+  (* a valid model passes through unchanged *)
+  let c = Core.Config.make (Core.Config.cost_model_of_profile "sram-heavy") in
+  checkb "valid model accepted" true
+    (c.Core.Config.costs.Sim.Cost.profile = "sram-heavy")
+
 (* ------------------------------------------------------------------ *)
 (* Predictor                                                           *)
 
@@ -409,6 +463,65 @@ let prop_metric_invariants =
          = m.exec_cycles + m.exception_cycles + m.patch_cycles
            + m.demand_dec_cycles + m.stall_cycles)
 
+(* Accounting coherence under the cost vocabulary: on random
+   workload x policy x device-profile combinations, every
+   per-dimension metric total must equal the sum of the per-event
+   charge vectors seen by [charge_log], and the cycle side of the
+   books must be byte-identical to the default paper-2005 run —
+   profiles may only change energy pricing, never timing. *)
+let prop_charge_totals_match_metrics =
+  let gen =
+    QCheck.Gen.(
+      let* blocks = int_range 3 10 in
+      let* extra_edges =
+        list_size (int_range 0 8)
+          (pair (int_range 0 (blocks - 1)) (int_range 0 (blocks - 1)))
+      in
+      let* len = int_range 1 200 in
+      let* seed = int_range 0 1000 in
+      let* k = int_range 1 8 in
+      let* strategy = int_range 0 3 in
+      let* profile_idx = int_range 0 2 in
+      return (blocks, extra_edges, len, seed, k, strategy, profile_idx))
+  in
+  QCheck.Test.make ~count:80 ~name:"charge journal matches metric totals"
+    (QCheck.make gen)
+    (fun (blocks, extra_edges, len, seed, k, strategy, profile_idx) ->
+      let ring = List.init blocks (fun i -> (i, (i + 1) mod blocks)) in
+      let edges = List.sort_uniq compare (ring @ extra_edges) in
+      let g = Cfg.Graph.synthetic blocks edges in
+      let trace = Trace.Synthetic.markov ~seed g ~length:len in
+      let sc = Core.Scenario.of_graph g ~trace in
+      let policy =
+        match strategy with
+        | 0 -> Core.Policy.on_demand ~k
+        | 1 -> Core.Policy.pre_all ~k ~lookahead:2
+        | 2 ->
+          Core.Policy.pre_single ~k ~lookahead:2
+            ~predictor:Core.Predictor.Last_taken
+        | _ -> Core.Policy.make ~mode:Core.Policy.Recompress ~compress_k:k ()
+      in
+      let profile = List.nth Core.Config.profiles profile_idx in
+      let cycles = ref 0 and energy = ref 0 in
+      let charge_log _src (v : Sim.Cost.vector) =
+        cycles := !cycles + v.Sim.Cost.cycles;
+        energy := !energy + v.Sim.Cost.energy_nj
+      in
+      let m = Core.Scenario.run ~profile ~charge_log sc policy in
+      let base = Core.Scenario.run sc policy in
+      let open Core.Metrics in
+      !cycles = m.total_cycles
+      && !energy = m.energy_nj
+      && m.energy_nj
+         = m.exec_energy_nj + m.exception_energy_nj + m.patch_energy_nj
+           + m.dec_energy_nj + m.comp_energy_nj + m.ram_static_energy_nj
+      && (profile <> "paper-2005" || m.energy_nj = 0)
+      && m.total_cycles = base.total_cycles
+      && m.exec_cycles = base.exec_cycles
+      && m.demand_dec_cycles = base.demand_dec_cycles
+      && m.stall_cycles = base.stall_cycles
+      && m.peak_footprint_bytes = base.peak_footprint_bytes)
+
 (* ------------------------------------------------------------------ *)
 (* Scenario                                                            *)
 
@@ -460,7 +573,12 @@ let () =
           Alcotest.test_case "validation" `Quick test_policy_validation;
           Alcotest.test_case "describe" `Quick test_policy_describe;
         ] );
-      ("config", [ Alcotest.test_case "costs" `Quick test_config_costs ]);
+      ( "config",
+        [
+          Alcotest.test_case "costs" `Quick test_config_costs;
+          Alcotest.test_case "profiles" `Quick test_config_profiles;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
       ( "predictor",
         [
           Alcotest.test_case "first successor" `Quick
@@ -490,6 +608,7 @@ let () =
           Alcotest.test_case "step cycles override" `Quick
             test_engine_step_cycles_override;
           qcheck prop_metric_invariants;
+          qcheck prop_charge_totals_match_metrics;
         ] );
       ( "scenario",
         [

@@ -51,14 +51,16 @@ let test_fig1_has_two_cycles () =
 (* Registry                                                            *)
 
 let test_registry () =
-  checki "seventeen experiments" 17 (List.length Experiments.Registry.all);
+  checki "eighteen experiments" 18 (List.length Experiments.Registry.all);
   checkb "find by id" true (Experiments.Registry.find "E6" <> None);
   checkb "find by id case-insensitive" true
     (Experiments.Registry.find "e6" <> None);
   checkb "find by slug" true (Experiments.Registry.find "kedge-sweep" <> None);
+  checkb "find energy pareto" true
+    (Experiments.Registry.find "energy-pareto" <> None);
   checkb "unknown" true (Experiments.Registry.find "E99" = None);
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 17)
+  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 18)
 
 let table_tests =
   (* Every experiment table renders with rows. The heavyweight sweeps
@@ -236,6 +238,45 @@ let test_predictor_accuracy_ordering () =
   checkb "profile at least as accurate as first-successor" true
     (acc "profile" >= acc "first-successor" -. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* Golden outputs (paper-2005 profile) and the energy dimension        *)
+
+(* The default-profile tables are a compatibility surface: the energy
+   vocabulary must leave every cycles-era number byte-identical under
+   paper-2005. Pin the rendered E6/E16/E17 tables by digest — if one
+   of these moves, the default-profile accounting changed and the
+   change must be deliberate. *)
+let golden_digests =
+  [
+    ("E6", "0a31d4f06906f8cb31969c33865c52a0");
+    ("E16", "747dc36ec31b578dc704dc4cce19c5d1");
+    ("E17", "1f12da03cb83c84426c7832329d51d42");
+  ]
+
+let golden_tests =
+  List.map
+    (fun (id, expected) ->
+      Alcotest.test_case (id ^ " pinned") `Slow (fun () ->
+          let e = Option.get (Experiments.Registry.find id) in
+          let rendered = Report.Table.render (e.Experiments.Registry.runner ()) in
+          Alcotest.check Alcotest.string (id ^ " byte-identical") expected
+            (Digest.to_hex (Digest.string rendered))))
+    golden_digests
+
+let test_energy_pareto_divergence () =
+  (* The reason E18 exists: under the sram-heavy profile at least one
+     workload must pick a different k when optimizing energy than when
+     optimizing cycles. *)
+  let optima = Experiments.Energy_pareto.optima () in
+  checkb "some workload diverges" true
+    (Experiments.Energy_pareto.divergent optima <> []);
+  List.iter
+    (fun (o : Experiments.Energy_pareto.optimum) ->
+      checkb (o.workload ^ " ks in sweep") true
+        (List.mem o.cycles_opt_k Experiments.Energy_pareto.default_ks
+        && List.mem o.energy_opt_k Experiments.Energy_pareto.default_ks))
+    optima
+
 let () =
   Alcotest.run "experiments"
     [
@@ -274,5 +315,8 @@ let () =
           Alcotest.test_case "co-residence (E15)" `Quick test_coresidence_rows;
           Alcotest.test_case "model validation (E16)" `Quick
             test_validation_rows;
+          Alcotest.test_case "energy pareto divergence (E18)" `Slow
+            test_energy_pareto_divergence;
         ] );
+      ("golden", golden_tests);
     ]

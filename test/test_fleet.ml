@@ -16,9 +16,10 @@ let temp_dir prefix =
 (* ------------------------------------------------------------------ *)
 (* Job keys                                                            *)
 
-let job ?codec ?strategy ?mode ?budget ?retention ?(scenario = "fir") ?(k = 8)
-    () =
-  Fleet.Job.make ?codec ?strategy ?mode ?budget ?retention ~scenario ~k ()
+let job ?codec ?strategy ?mode ?budget ?retention ?profile
+    ?(scenario = "fir") ?(k = 8) () =
+  Fleet.Job.make ?codec ?strategy ?mode ?budget ?retention ?profile ~scenario
+    ~k ()
 
 let test_key_stable () =
   checks "equal specs equal keys" (Fleet.Job.key (job ()))
@@ -36,6 +37,8 @@ let test_key_stable () =
       job ~retention:Fleet.Job.Clock ();
       job ~retention:(Fleet.Job.Loop_aware { weight = 2 }) ();
       job ~retention:(Fleet.Job.Pin_hot { fraction = 0.5 }) ();
+      job ~profile:"cortex-m-flash" ();
+      job ~profile:"sram-heavy" ();
     ]
   in
   List.iter
@@ -139,6 +142,14 @@ let exhaustive_metrics : Core.Metrics.t =
     budget_overflows = 116;
     dec_thread_busy_cycles = 117;
     comp_thread_busy_cycles = 118;
+    energy_nj = 127;
+    exec_energy_nj = 128;
+    exception_energy_nj = 129;
+    patch_energy_nj = 130;
+    dec_energy_nj = 131;
+    comp_energy_nj = 132;
+    ram_static_energy_nj = 133;
+    baseline_energy_nj = 134;
     original_bytes = 119;
     compressed_area_bytes = 120;
     peak_decompressed_bytes = 121;
@@ -154,7 +165,7 @@ let test_cache_roundtrip_every_field () =
           (Fleet.Cache.metrics_to_string exhaustive_metrics)
   with
   | Ok m ->
-    checkb "all 26 fields round-trip (floats bit-exact)" true
+    checkb "all 34 fields round-trip (floats bit-exact)" true
       (m = exhaustive_metrics)
   | Error msg -> Alcotest.failf "round-trip failed: %s" msg
 
@@ -196,12 +207,12 @@ let test_cache_corrupt_entry_is_miss () =
     [
       "";  (* truncated to nothing *)
       "total_cycles=1\n";  (* no header *)
-      "ccomp-fleet-entry 1\ntotal_cycles=banana\n";  (* bad value *)
-      "ccomp-fleet-entry 1\ntotal_cycles=1\n";  (* missing fields *)
+      "ccomp-fleet-entry 2\ntotal_cycles=banana\n";  (* bad value *)
+      "ccomp-fleet-entry 2\ntotal_cycles=1\n";  (* missing fields *)
       Fleet.Cache.metrics_to_string exhaustive_metrics ^ "intruder=9\n";
       (* unknown extra field *)
       String.concat "\n"
-        [ "ccomp-fleet-entry 1"; "total_cycles=1"; "total_cycles=2" ];
+        [ "ccomp-fleet-entry 2"; "total_cycles=1"; "total_cycles=2" ];
       (* duplicate field *)
     ];
   (* and a miss re-stores cleanly *)
@@ -228,6 +239,56 @@ let test_cache_version_mismatch_is_miss () =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc rewritten);
   checkb "version-bumped entry is ignored" true (Fleet.Cache.find c key = None)
+
+(* A complete, well-formed entry from the previous on-disk format
+   (version 1: no energy fields) must read as a miss — never a crash,
+   never a stale hit with zeroed dimensions. *)
+let test_cache_previous_version_entry_is_miss () =
+  let dir = temp_dir "ccomp-cache" in
+  let c = Fleet.Cache.open_dir dir in
+  let key = Fleet.Job.key (job ()) in
+  let v1_entry =
+    String.concat "\n"
+      [
+        "ccomp-fleet-entry 1";
+        "total_cycles=101";
+        "exec_cycles=102";
+        "exception_cycles=103";
+        "patch_cycles=104";
+        "demand_dec_cycles=105";
+        "stall_cycles=106";
+        "baseline_cycles=107";
+        "exceptions=108";
+        "patches=109";
+        "demand_decompressions=110";
+        "prefetch_decompressions=111";
+        "useful_prefetches=112";
+        "wasted_prefetches=113";
+        "discards=114";
+        "evictions=115";
+        "budget_overflows=116";
+        "dec_thread_busy_cycles=117";
+        "comp_thread_busy_cycles=118";
+        "original_bytes=119";
+        "compressed_area_bytes=120";
+        "peak_decompressed_bytes=121";
+        "avg_decompressed_bytes=0x1.e84p+6";
+        "peak_footprint_bytes=123";
+        "avg_footprint_bytes=0x1.f155555555555p+6";
+        "trace_length=125";
+        "blocks=126";
+        "";
+      ]
+  in
+  Out_channel.with_open_text
+    (Filename.concat dir (key ^ ".metrics"))
+    (fun oc -> Out_channel.output_string oc v1_entry);
+  checkb "old-format entry is a miss" true (Fleet.Cache.find c key = None);
+  (* and the miss re-stores in the current format *)
+  Fleet.Cache.store c key exhaustive_metrics;
+  checkb "upgraded in place" true
+    (Fleet.Cache.find c key = Some exhaustive_metrics)
+
 
 let test_cache_stats_and_gc () =
   let dir = temp_dir "ccomp-cache" in
@@ -305,6 +366,37 @@ let test_pool_cancel_mid_run () =
 let resolve ~scenario ~codec =
   ignore codec;
   Experiments.Util.scenario scenario
+
+(* Same sweep, different device profiles: the profile is part of the
+   content key, so warm runs under another profile must never be
+   served from the first profile's entries. *)
+let test_cache_profiles_never_share_entries () =
+  let dir = temp_dir "ccomp-cache" in
+  let cache = Fleet.Cache.open_dir dir in
+  let sweep profile registry =
+    Fleet.Sweep.run ~cache ~registry ~resolve
+      [ job ~profile ~scenario:"fir" ~k:2 () ]
+  in
+  let paper_reg = Sim.Metrics.create () in
+  let _ = sweep "paper-2005" paper_reg in
+  let value reg name = Sim.Metrics.value (Sim.Metrics.counter reg name) in
+  checki "cold paper-2005 run misses" 1 (value paper_reg "fleet_cache_misses");
+  (* Warm under a *different* profile: must miss and run the engine. *)
+  let flash_reg = Sim.Metrics.create () in
+  let outcomes = sweep "cortex-m-flash" flash_reg in
+  checki "other profile is a miss" 1 (value flash_reg "fleet_cache_misses");
+  checki "other profile runs the engine" 1
+    (value flash_reg "fleet_engine_runs");
+  (match outcomes with
+  | [ { Fleet.Sweep.result = Ok m; cached = false; _ } ] ->
+    checkb "energized profile actually charges energy" true
+      (m.Core.Metrics.energy_nj > 0)
+  | _ -> Alcotest.fail "expected one uncached Ok outcome");
+  (* Warm under the same profile: pure hit. *)
+  let warm_reg = Sim.Metrics.create () in
+  let _ = sweep "cortex-m-flash" warm_reg in
+  checki "same profile hits" 1 (value warm_reg "fleet_cache_hits");
+  checki "same profile runs nothing" 0 (value warm_reg "fleet_engine_runs")
 
 let test_sweep_normalize_ks () =
   checkb "sorted and deduped" true
@@ -451,6 +543,10 @@ let () =
             test_cache_corrupt_entry_is_miss;
           Alcotest.test_case "version mismatch = miss" `Quick
             test_cache_version_mismatch_is_miss;
+          Alcotest.test_case "previous-version entry = miss" `Quick
+            test_cache_previous_version_entry_is_miss;
+          Alcotest.test_case "profiles never share entries" `Quick
+            test_cache_profiles_never_share_entries;
           Alcotest.test_case "stats + gc" `Quick test_cache_stats_and_gc;
         ] );
       ( "sweep",

@@ -8,8 +8,8 @@ let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 let check_blocks = Alcotest.check Alcotest.(list int)
 
-let ctx ?k_of ?graph ?budget ?size_of ~blocks ~k () =
-  { Residency.Policy.blocks; k; k_of; graph; budget; size_of }
+let ctx ?k_of ?graph ?budget ?size_of ?totals ~blocks ~k () =
+  { Residency.Policy.blocks; k; k_of; graph; budget; size_of; totals }
 
 (* ------------------------------------------------------------------ *)
 (* Clock: second-chance semantics. *)

@@ -18,6 +18,122 @@ let test_cost () =
   checki "fixed costs kept" c.Sim.Cost.exception_cycles
     c2.Sim.Cost.exception_cycles
 
+(* ---- the pluggable cost vocabulary ---- *)
+
+let test_cost_profiles () =
+  checkb "paper-2005 is the default profile" true
+    (Sim.Cost.profile "paper-2005" = Sim.Cost.default);
+  checks "head of profile_names is the default" "paper-2005"
+    (List.hd Sim.Cost.profile_names);
+  (* the paper profile prices no energy: cycle numbers cannot move *)
+  let e = Sim.Cost.default.Sim.Cost.energy in
+  checki "no flash energy" 0 e.Sim.Cost.flash_read_nj_per_byte;
+  checki "no exec energy" 0 e.Sim.Cost.exec_nj_per_cycle;
+  checki "no leakage" 0 e.Sim.Cost.ram_static_nj_per_kb_cycle;
+  List.iter
+    (fun name ->
+      let c = Sim.Cost.profile name in
+      checks "profile field matches its name" name c.Sim.Cost.profile;
+      checkb "every registered profile validates" true
+        (Sim.Cost.validate c == c))
+    Sim.Cost.profile_names;
+  Alcotest.check_raises "unknown profile lists the known ones"
+    (Invalid_argument
+       "unknown device profile \"lunar-lander\" (known: paper-2005, \
+        cortex-m-flash, sram-heavy)") (fun () ->
+      ignore (Sim.Cost.profile "lunar-lander"))
+
+let test_cost_validation () =
+  let c = Sim.Cost.default in
+  (* with_rates guards both rates *)
+  Alcotest.check_raises "zero dec rate"
+    (Invalid_argument "dec_cycles_per_byte must be >= 1 (got 0)") (fun () ->
+      ignore (Sim.Cost.with_rates ~dec_cycles_per_byte:0 ~comp_cycles_per_byte:1 c));
+  Alcotest.check_raises "negative comp rate"
+    (Invalid_argument "comp_cycles_per_byte must be >= 1 (got -3)") (fun () ->
+      ignore
+        (Sim.Cost.with_rates ~dec_cycles_per_byte:1 ~comp_cycles_per_byte:(-3) c));
+  (* validate guards every coefficient with the field's own name *)
+  Alcotest.check_raises "negative fixed cost"
+    (Invalid_argument "exception_cycles must be >= 0 (got -1)") (fun () ->
+      ignore (Sim.Cost.validate { c with Sim.Cost.exception_cycles = -1 }));
+  Alcotest.check_raises "negative energy coefficient"
+    (Invalid_argument "flash_read_nj_per_byte must be >= 0 (got -5)")
+    (fun () ->
+      ignore
+        (Sim.Cost.validate
+           {
+             c with
+             Sim.Cost.energy =
+               { c.Sim.Cost.energy with Sim.Cost.flash_read_nj_per_byte = -5 };
+           }));
+  Alcotest.check_raises "zero per-byte cycle rate"
+    (Invalid_argument "dec_cycles_per_byte must be >= 1 (got 0)") (fun () ->
+      ignore (Sim.Cost.validate { c with Sim.Cost.dec_cycles_per_byte = 0 }))
+
+let test_cost_charges () =
+  let c = Sim.Cost.profile "cortex-m-flash" in
+  let e = c.Sim.Cost.energy in
+  let v = Sim.Cost.exec_charge c ~cycles:100 in
+  checki "exec cycles" 100 v.Sim.Cost.cycles;
+  checki "exec energy" (100 * e.Sim.Cost.exec_nj_per_cycle) v.Sim.Cost.energy_nj;
+  let v = Sim.Cost.demand_dec_charge c ~compressed_bytes:10 ~uncompressed_bytes:40 in
+  checki "demand dec advances the clock"
+    (Sim.Cost.dec_cycles c ~compressed_bytes:10)
+    v.Sim.Cost.cycles;
+  checki "demand dec energy: flash in, compute + ram write out"
+    ((10 * e.Sim.Cost.flash_read_nj_per_byte)
+    + (40 * e.Sim.Cost.dec_compute_nj_per_byte)
+    + (40 * e.Sim.Cost.ram_write_nj_per_byte))
+    v.Sim.Cost.energy_nj;
+  let p = Sim.Cost.prefetch_dec_charge c ~compressed_bytes:10 ~uncompressed_bytes:40 in
+  checki "prefetch costs no wall clock" 0 p.Sim.Cost.cycles;
+  checki "prefetch energy equals demand energy" v.Sim.Cost.energy_nj
+    p.Sim.Cost.energy_nj;
+  let r = Sim.Cost.recompress_charge c ~uncompressed_bytes:40 in
+  checki "recompress on the helper thread" 0 r.Sim.Cost.cycles;
+  checki "recompress energy: ram read + compute"
+    (40 * (e.Sim.Cost.ram_read_nj_per_byte + e.Sim.Cost.comp_compute_nj_per_byte))
+    r.Sim.Cost.energy_nj;
+  let s = Sim.Cost.ram_static_charge c ~byte_cycles:(3 * 1024) in
+  checki "leakage per kB-cycle" (3 * e.Sim.Cost.ram_static_nj_per_kb_cycle)
+    s.Sim.Cost.energy_nj;
+  Alcotest.check_raises "negative occupancy integral"
+    (Invalid_argument "byte_cycles must be >= 0 (got -1)") (fun () ->
+      ignore (Sim.Cost.ram_static_charge c ~byte_cycles:(-1)));
+  checki "stalls burn no energy" 0
+    (Sim.Cost.stall_charge c ~cycles:50).Sim.Cost.energy_nj
+
+let test_cost_acc () =
+  let journal = ref [] in
+  let acc =
+    Sim.Cost.Acc.create ~journal:(fun src v -> journal := (src, v) :: !journal) ()
+  in
+  let c = Sim.Cost.profile "sram-heavy" in
+  Sim.Cost.Acc.charge acc Sim.Cost.Exec (Sim.Cost.exec_charge c ~cycles:10);
+  Sim.Cost.Acc.charge acc Sim.Cost.Exec (Sim.Cost.exec_charge c ~cycles:5);
+  Sim.Cost.Acc.charge acc Sim.Cost.Exception (Sim.Cost.exception_charge c);
+  let total = Sim.Cost.Acc.total acc in
+  let sum f =
+    List.fold_left (fun a (_, v) -> a + f v) 0 !journal
+  in
+  checki "journal saw every charge" 3 (List.length !journal);
+  checki "total cycles = sum of charges" (sum (fun v -> v.Sim.Cost.cycles))
+    total.Sim.Cost.cycles;
+  checki "total energy = sum of charges" (sum (fun v -> v.Sim.Cost.energy_nj))
+    total.Sim.Cost.energy_nj;
+  let exec = Sim.Cost.Acc.total_of acc Sim.Cost.Exec in
+  checki "per-source cycles" 15 exec.Sim.Cost.cycles;
+  checki "untouched source is zero" 0
+    (Sim.Cost.Acc.total_of acc Sim.Cost.Recompress).Sim.Cost.cycles;
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "dimension_totals mirrors the vector"
+    [
+      ("cycles", total.Sim.Cost.cycles); ("energy_nj", total.Sim.Cost.energy_nj);
+    ]
+    (Sim.Cost.Acc.dimension_totals acc)
+
 let test_clock () =
   let clk = Sim.Clock.create () in
   checki "starts at 0" 0 (Sim.Clock.now clk);
@@ -269,6 +385,11 @@ let () =
       ( "kernel",
         [
           Alcotest.test_case "cost model" `Quick test_cost;
+          Alcotest.test_case "device profiles" `Quick test_cost_profiles;
+          Alcotest.test_case "coefficient validation" `Quick
+            test_cost_validation;
+          Alcotest.test_case "charge constructors" `Quick test_cost_charges;
+          Alcotest.test_case "accumulator" `Quick test_cost_acc;
           Alcotest.test_case "clock" `Quick test_clock;
           Alcotest.test_case "resource threads" `Quick test_resource;
         ] );
