@@ -191,6 +191,74 @@ let codec_throughput_phase ?min_time_s () =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Binary trace codec phase                                            *)
+
+(* Encode/decode throughput of the binary trace format over the
+   streaming workload's 10⁶-step trace, in MB/s of in-memory trace
+   data (8 bytes per id). BENCH.json carries the plain-binary figures
+   as trace/{encode,decode}-MBps (guarded by check.sh) plus the
+   LZSS-framed variants; the round trip is asserted byte-exact. *)
+let trace_codec_phase () =
+  let graph, _ =
+    Trace.Synthetic.hot_cold ~hot_blocks:6 ~cold_blocks:24 ~hot_iters:4
+      ~cold_visit_every:16 ()
+  in
+  let ids = Trace.Synthetic.markov ~seed:42 graph ~length:1_000_000 in
+  let mb = float_of_int (8 * Array.length ids) /. 1e6 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let measure ~lzss =
+    let enc, enc_dt = time (fun () -> Trace.Binary.encode ~lzss ids) in
+    let dec, dec_dt = time (fun () -> Trace.Binary.decode enc) in
+    (match dec with
+    | Ok ids' when ids' = ids -> ()
+    | Ok _ -> failwith "trace codec phase: lossy round trip"
+    | Error e -> failwith ("trace codec phase: " ^ e));
+    (String.length enc, mb /. enc_dt, mb /. dec_dt)
+  in
+  let plain_bytes, plain_enc, plain_dec = measure ~lzss:false in
+  let lzss_bytes, lzss_enc, lzss_dec = measure ~lzss:true in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "binary trace codec: %d ids (%.0f MB in memory, %d bytes as text)"
+           (Array.length ids) mb
+           (String.length (Trace.Io.to_string ids)))
+      ~columns:
+        [
+          ("framing", Report.Table.Left);
+          ("bytes", Report.Table.Right);
+          ("bytes/id", Report.Table.Right);
+          ("enc MB/s", Report.Table.Right);
+          ("dec MB/s", Report.Table.Right);
+        ]
+  in
+  let row name bytes enc dec =
+    Report.Table.add_row t
+      [
+        name;
+        string_of_int bytes;
+        Report.Table.fmt_float ~decimals:2
+          (float_of_int bytes /. float_of_int (Array.length ids));
+        Report.Table.fmt_float ~decimals:1 enc;
+        Report.Table.fmt_float ~decimals:1 dec;
+      ]
+  in
+  row "varint-delta" plain_bytes plain_enc plain_dec;
+  row "varint-delta+lzss" lzss_bytes lzss_enc lzss_dec;
+  Report.Table.print t;
+  [
+    ("trace/encode-MBps", plain_enc);
+    ("trace/decode-MBps", plain_dec);
+    ("trace/lzss-encode-MBps", lzss_enc);
+    ("trace/lzss-decode-MBps", lzss_dec);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Energy accounting phase                                             *)
 
 (* One deterministic engine run per device profile: the per-dimension
@@ -298,6 +366,32 @@ let streaming_bench () =
   if events < length then
     failwith "streaming bench: fewer events than trace steps?";
   dt
+
+(* The new scale the binary format and fused hot path buy: the same
+   walk as streaming-1M but 21× longer — north of 10⁸ events through
+   the constant-memory counting sink. Reported as events/second under
+   its own key so the 1M figure keeps measuring the seed workload. *)
+let streaming_100m_bench () =
+  let graph, _ =
+    Trace.Synthetic.hot_cold ~hot_blocks:6 ~cold_blocks:24 ~hot_iters:4
+      ~cold_visit_every:16 ()
+  in
+  let length = 21_000_000 in
+  let trace = Trace.Synthetic.markov ~seed:42 graph ~length in
+  let sc = Core.Scenario.of_graph ~name:"streaming-100M" graph ~trace in
+  let policy = Core.Policy.on_demand ~k:2 in
+  let counters = Sim.Events.counters () in
+  let sink = Sim.Events.counting counters in
+  let t0 = Unix.gettimeofday () in
+  ignore (Core.Scenario.run ~sink sc policy);
+  let dt = Unix.gettimeofday () -. t0 in
+  let events = Sim.Events.total counters in
+  Printf.printf "streaming-100M: %d events in %.2f s (%.1fM events/s)\n" events
+    dt
+    (float_of_int events /. dt /. 1e6);
+  if events < 100_000_000 then
+    failwith "streaming-100M: expected at least 10^8 events";
+  float_of_int events /. dt
 
 (* ------------------------------------------------------------------ *)
 (* Service round-trip probe                                             *)
@@ -445,15 +539,20 @@ let () =
        round trip.\n";
     let dt = streaming_bench () in
     print_newline ();
+    let eps_100m = streaming_100m_bench () in
+    print_newline ();
     let p50 = service_probe () in
     print_newline ();
     let codec_entries = codec_throughput_phase ~min_time_s:0.01 () in
     print_newline ();
+    let trace_entries = trace_codec_phase () in
+    print_newline ();
     let energy_entries = energy_phase () in
     write_bench_json
       (("streaming-1M/wall-s", dt)
+      :: ("streaming-100M/events-per-s", eps_100m)
       :: ("service-roundtrip/p50-ms", p50)
-      :: (codec_entries @ energy_entries))
+      :: (codec_entries @ trace_entries @ energy_entries))
   end
   else begin
     print_endline
@@ -464,9 +563,13 @@ let () =
     print_newline ();
     let streaming_dt = streaming_bench () in
     print_newline ();
+    let eps_100m = streaming_100m_bench () in
+    print_newline ();
     let p50 = service_probe () in
     print_newline ();
     let codec_entries = codec_throughput_phase () in
+    print_newline ();
+    let trace_entries = trace_codec_phase () in
     print_newline ();
     let energy_entries = energy_phase () in
     print_newline ();
@@ -496,9 +599,11 @@ let () =
     write_bench_json
       (estimates
       @ codec_entries
+      @ trace_entries
       @ energy_entries
       @ [
           ("streaming-1M/wall-s", streaming_dt);
+          ("streaming-100M/events-per-s", eps_100m);
           ("service-roundtrip/p50-ms", p50);
           ("experiment-tables/wall-s", tables_dt);
           ("experiment-tables/jobs-per-sec", jobs_per_sec);

@@ -137,10 +137,47 @@ let trace_out_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace-out" ] ~docv:"FILE.jsonl"
+    & info [ "trace-out" ] ~docv:"FILE"
         ~doc:
-          "Stream the simulation event log to $(docv) as JSON Lines, one \
-           event per line, in constant memory.")
+          "Stream the simulation event log to $(docv) in constant memory: \
+           JSON Lines by default, or the compact LZSS-framed binary event \
+           log when $(docv) ends in .bin/.ctb.")
+
+(* The .bin event-log sink: five ints per event (kind, at, a, b, c —
+   the packed field maps) through Trace.Event_log. *)
+let binary_event_sink path =
+  let oc = open_out_bin path in
+  let w = Trace.Event_log.Writer.create oc in
+  let push e =
+    let p = Trace.Event_log.Writer.push w in
+    match (e : Sim.Events.t) with
+    | Exec { block; at } -> p ~kind:0 ~at ~a:block ~b:0 ~c:0
+    | Exception { block; at } -> p ~kind:1 ~at ~a:block ~b:0 ~c:0
+    | Demand_decompress { block; at; cycles } ->
+      p ~kind:2 ~at ~a:block ~b:cycles ~c:0
+    | Prefetch_issue { block; at; ready_at } ->
+      p ~kind:3 ~at ~a:block ~b:ready_at ~c:0
+    | Stall { block; at; cycles } -> p ~kind:4 ~at ~a:block ~b:cycles ~c:0
+    | Patch { target; site; at } -> p ~kind:5 ~at ~a:target ~b:site ~c:0
+    | Unpatch { target; site; at } -> p ~kind:6 ~at ~a:target ~b:site ~c:0
+    | Discard { block; at; patched_back; wasted } ->
+      p ~kind:7 ~at ~a:block ~b:patched_back ~c:(if wasted then 1 else 0)
+    | Evict { block; at } -> p ~kind:8 ~at ~a:block ~b:0 ~c:0
+    | Recompress_queued { block; at; done_at } ->
+      p ~kind:9 ~at ~a:block ~b:done_at ~c:0
+    | Flush { at; copies } -> p ~kind:10 ~at ~a:copies ~b:0 ~c:0
+  in
+  {
+    Sim.Events.emit = push;
+    emit_chunk = (fun ch -> Sim.Events.Packed.iter push ch);
+    close =
+      (fun () ->
+        Trace.Event_log.Writer.close w;
+        close_out oc);
+  }
+
+let binary_trace_path path =
+  Filename.check_suffix path ".bin" || Filename.check_suffix path ".ctb"
 
 let metrics_arg =
   Arg.(
@@ -157,7 +194,10 @@ let with_observability ?(observe_events = true) trace_out metrics run =
     match trace_out with
     | None -> None
     | Some path -> (
-      try Some (Sim.Events.to_file path)
+      try
+        Some
+          (if binary_trace_path path then binary_event_sink path
+           else Sim.Events.to_file path)
       with Sys_error msg ->
         Format.eprintf "error: cannot open trace output: %s@." msg;
         Stdlib.exit 1)
@@ -633,15 +673,143 @@ let trace_cmd_impl workload codec out =
     Format.eprintf "error: %s@." msg;
     1
 
+let trace_convert_impl input output to_format lzss frame =
+  match Trace.Io.load input with
+  | Error e ->
+    Format.eprintf "error: %s: %s@." input e;
+    1
+  | Ok ids ->
+    let binary =
+      match to_format with
+      | `Binary -> true
+      | `Text -> false
+      | `Auto -> Filename.check_suffix output ".bin"
+                 || Filename.check_suffix output ".ctb"
+    in
+    (try
+       if binary then Trace.Binary.write_file ~lzss ~frame output ids
+       else Trace.Io.save ~format:`Text output ids
+     with Invalid_argument msg ->
+       Format.eprintf "error: %s@." msg;
+       Stdlib.exit 1);
+    let size path = (Unix.stat path).Unix.st_size in
+    Format.printf "%s: %d ids, %d bytes -> %s: %d bytes (%s)@." input
+      (Array.length ids) (size input) output (size output)
+      (if binary then if lzss then "binary+lzss" else "binary" else "text");
+    0
+
+let trace_info_impl file =
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | data ->
+    if Trace.Binary.is_binary data then (
+      match Trace.Binary.info data with
+      | Error e ->
+        Format.eprintf "error: %s: %s@." file e;
+        1
+      | Ok i ->
+        Format.printf "format:       binary v%d%s@." i.Trace.Binary.version
+          (if i.lzss then " (lzss frames)" else "");
+        (match i.header_count with
+        | Some c -> Format.printf "header count: %d@." c
+        | None -> Format.printf "header count: unknown (unseekable writer)@.");
+        Format.printf "ids:          %d@." i.ids;
+        Format.printf "frames:       %d@." i.frames;
+        Format.printf "payload:      %d bytes stored, %d raw@." i.stored_bytes
+          i.raw_bytes;
+        Format.printf "file:         %d bytes (%.2f bytes/id)@."
+          (String.length data)
+          (if i.ids = 0 then 0.0
+           else float_of_int (String.length data) /. float_of_int i.ids);
+        0)
+    else (
+      match Trace.Io.of_string data with
+      | Error e ->
+        Format.eprintf "error: %s: %s@." file e;
+        1
+      | Ok ids ->
+        Format.printf "format:       text@.";
+        Format.printf "ids:          %d@." (Array.length ids);
+        Format.printf "file:         %d bytes (%.2f bytes/id)@."
+          (String.length data)
+          (if Array.length ids = 0 then 0.0
+           else float_of_int (String.length data)
+                /. float_of_int (Array.length ids));
+        0)
+
 let trace_cmd =
   let out =
     Arg.(
       value & opt (some string) None
-      & info [ "out" ] ~docv:"FILE" ~doc:"Save the block trace to a file.")
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Save the block trace to a file (binary when $(docv) ends in \
+             .bin/.ctb, text otherwise).")
   in
   let doc = "Show a workload's dynamic basic-block access pattern." in
-  Cmd.v (Cmd.info "trace" ~doc)
-    Term.(const trace_cmd_impl $ workload_arg $ codec_arg $ out)
+  let gen_term = Term.(const trace_cmd_impl $ workload_arg $ codec_arg $ out) in
+  let gen_cmd =
+    Cmd.v
+      (Cmd.info "gen"
+         ~doc:
+           "Generate a workload's trace (the default when WORKLOAD is given \
+            directly).")
+      gen_term
+  in
+  let convert_cmd =
+    let input =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"INPUT" ~doc:"Trace file to read (either format).")
+    in
+    let output =
+      Arg.(
+        required
+        & pos 1 (some string) None
+        & info [] ~docv:"OUTPUT" ~doc:"Trace file to write.")
+    in
+    let to_format =
+      Arg.(
+        value
+        & opt (enum [ ("auto", `Auto); ("text", `Text); ("binary", `Binary) ])
+            `Auto
+        & info [ "to" ] ~docv:"FORMAT"
+            ~doc:
+              "Output format: $(b,text), $(b,binary), or $(b,auto) (by \
+               OUTPUT's extension).")
+    in
+    let lzss =
+      Arg.(
+        value & flag
+        & info [ "lzss" ]
+            ~doc:"LZSS-compress each binary frame (dogfoods lib/compress).")
+    in
+    let frame =
+      Arg.(
+        value & opt int 65536
+        & info [ "frame" ] ~docv:"N" ~doc:"Ids per binary frame.")
+    in
+    Cmd.v
+      (Cmd.info "convert" ~doc:"Convert a trace between text and binary.")
+      Term.(const trace_convert_impl $ input $ output $ to_format $ lzss $ frame)
+  in
+  let info_cmd =
+    let file =
+      Arg.(
+        required
+        & pos 0 (some file) None
+        & info [] ~docv:"FILE" ~doc:"Trace file to inspect.")
+    in
+    Cmd.v
+      (Cmd.info "info"
+         ~doc:"Show a trace file's format, header and size statistics.")
+      Term.(const trace_info_impl $ file)
+  in
+  Cmd.group ~default:gen_term (Cmd.info "trace" ~doc)
+    [ gen_cmd; convert_cmd; info_cmd ]
 
 (* ------------------------------------------------------------------ *)
 (* ccomp cc                                                            *)
@@ -1294,4 +1462,25 @@ let main_cmd =
       cache_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Back-compat shim: `ccomp trace WORKLOAD ...` predates the
+   convert/info subcommands; route any non-subcommand first token
+   through the explicit `gen` subcommand. *)
+let () =
+  let argv = Sys.argv in
+  let argv =
+    if
+      Array.length argv > 2
+      && argv.(1) = "trace"
+      &&
+      match argv.(2) with
+      | "gen" | "convert" | "info" -> false
+      | s -> String.length s > 0 && s.[0] <> '-'
+    then
+      Array.concat
+        [
+          [| argv.(0); "trace"; "gen" |];
+          Array.sub argv 2 (Array.length argv - 2);
+        ]
+    else argv
+  in
+  exit (Cmd.eval' ~argv main_cmd)

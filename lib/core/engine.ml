@@ -43,12 +43,19 @@ type event = Sim.Events.t =
   | Recompress_queued of { block : int; at : int; done_at : int }
   | Flush of { at : int; copies : int }
 
-(* Residency state of one block's decompressed copy. *)
-type status =
-  | Compressed
-  | Decompressing of { ready_at : int; prefetched : bool }
-  | Resident of { mutable used : bool; prefetched : bool }
-  | Recompressing of { done_at : int }
+module Packed = Sim.Events.Packed
+
+(* Residency state of one block's decompressed copy, int-coded so the
+   per-step transitions are plain stores (the old variant allocated a
+   [Resident] record on every demand decompression). Tag in the low
+   two bits, flags above; [Decompressing]/[Recompressing] park their
+   timestamp in the [aux] array. *)
+let tag_compressed = 0
+let tag_decompressing = 1
+let tag_resident = 2
+let tag_recompressing = 3
+let bit_used = 4
+let bit_prefetched = 8
 
 (* Streaming occupancy accounting: deltas arrive in nondecreasing
    timestamp order except for recompression frees dated in the future;
@@ -60,7 +67,8 @@ type occupancy = {
   acct : Memsim.Accounting.t;
   mutable future : (int * int) list;  (* (time, delta), sorted *)
   mutable buf_time : int;
-  mutable buf : int list;  (* deltas at [buf_time], unordered *)
+  mutable buf : int array;  (* deltas at [buf_time], unordered *)
+  mutable buf_len : int;
   mutable horizon : int;  (* latest timestamp ever posted *)
 }
 
@@ -69,8 +77,12 @@ type state = {
   info : block_info array;
   policy : Policy.t;
   config : Config.t;
-  emit : event -> unit;
-  status : status array;
+  (* packed event stream: the hot paths push into [ev] and hand full
+     chunks to [deliver]; nothing per-event is heap-allocated *)
+  ev : Packed.chunk;
+  deliver : Packed.chunk -> unit;
+  stat : int array;  (* int-coded status, see the tag_/bit_ constants *)
+  aux : int array;  (* ready_at / done_at for the in-flight tags *)
   area : int Residency.Area.t;
       (* copy lifecycle: retention policy + remember sets; sites are
          the branching block's id *)
@@ -85,6 +97,22 @@ type state = {
   (* every priced event lands here as one charge vector; the metrics'
      per-source cycle and energy totals are read back out at the end *)
   acc : Sim.Cost.Acc.acc;
+  (* per-block cost tables, precomputed so the inner loop only adds
+     ints (the constructors in Sim.Cost stay the single source of the
+     pricing formulas — these are their values, cached) *)
+  u_size : int array;
+  def_cycles : int array;  (* default per-visit execution cycles *)
+  dec_cyc : int array;  (* demand/prefetch decompression latency *)
+  comp_cyc : int array;  (* recompression latency *)
+  demand_nj : int array;
+  prefetch_nj : int array;
+  recompress_nj : int array;
+  succ_arr : int array array;  (* successor ids, precomputed *)
+  exc_cyc : int;
+  exc_nj : int;
+  patch_cyc : int;
+  patch_nj : int;
+  exec_nj_rate : int;
   (* counters *)
   mutable exceptions : int;
   mutable patches : int;
@@ -97,23 +125,71 @@ type state = {
   mutable budget_overflows : int;
 }
 
-let insert_sorted l entry = List.sort compare (entry :: l)
+(* Ordered insertion, equivalent to the old [List.sort compare (entry
+   :: l)] on an already-sorted [l] (the new entry lands before any
+   equal element, as stable sort did) without resorting the list. *)
+let rec insert_sorted l (entry : int * int) =
+  match l with
+  | [] -> [ entry ]
+  | h :: tl ->
+    if compare entry h <= 0 then entry :: l else h :: insert_sorted tl entry
+
 let now st = Sim.Clock.now st.clock
+
+let[@inline] charge_fast st src ~cycles ~energy_nj =
+  Sim.Cost.Acc.charge_raw st.acc src ~cycles ~energy_nj
+
+let emit_flush st =
+  if Packed.length st.ev > 0 then begin
+    st.deliver st.ev;
+    Packed.clear st.ev
+  end
+
+(* Every push site grabs the chunk through this: full chunks drain to
+   the sink first, so a slot is always free. *)
+let[@inline] chunk st =
+  if Packed.is_full st.ev then emit_flush st;
+  st.ev
 
 (* --- occupancy stream --- *)
 
+let rec occ_insert_back (a : int array) j x =
+  if j >= 0 && a.(j) > x then begin
+    a.(j + 1) <- a.(j);
+    occ_insert_back a (j - 1) x
+  end
+  else a.(j + 1) <- x
+
 let occ_flush_buf occ =
-  List.iter
-    (fun delta -> Memsim.Accounting.add occ.acct ~time:occ.buf_time ~delta)
-    (List.sort compare occ.buf);
-  occ.buf <- []
+  let n = occ.buf_len in
+  if n > 0 then begin
+    let a = occ.buf in
+    (* Insertion sort: same-timestamp deltas apply smallest first
+       (frees before allocations), matching the old global sort. The
+       buffer only ever holds the deltas of one timestamp. *)
+    for i = 1 to n - 1 do
+      let x = a.(i) in
+      occ_insert_back a (i - 1) x
+    done;
+    for i = 0 to n - 1 do
+      Memsim.Accounting.add occ.acct ~time:occ.buf_time ~delta:a.(i)
+    done;
+    occ.buf_len <- 0
+  end
 
 let occ_feed occ ~time ~delta =
   if time <> occ.buf_time then begin
     occ_flush_buf occ;
     occ.buf_time <- time
   end;
-  occ.buf <- delta :: occ.buf
+  let n = occ.buf_len in
+  if n = Array.length occ.buf then begin
+    let grown = Array.make (2 * n) 0 in
+    Array.blit occ.buf 0 grown 0 n;
+    occ.buf <- grown
+  end;
+  occ.buf.(n) <- delta;
+  occ.buf_len <- n + 1
 
 let rec occ_drain occ ~upto =
   match occ.future with
@@ -149,86 +225,80 @@ let memory_stats st =
 (* Promote finished prefetches and apply recompression frees whose
    time has passed. *)
 let settle st =
-  let rec promote = function
-    | (ready_at, b) :: rest when ready_at <= now st ->
-      (match st.status.(b) with
-      | Decompressing { prefetched; _ } ->
-        st.status.(b) <- Resident { used = false; prefetched };
-        Residency.Area.on_ready st.area ~block:b ~time:ready_at
-      | Compressed | Resident _ | Recompressing _ -> ());
-      promote rest
-    | rest -> rest
-  in
-  st.inflight <- promote st.inflight;
-  let rec apply = function
-    | (time, bytes) :: rest when time <= now st ->
-      st.live_bytes <- st.live_bytes - bytes;
-      apply rest
-    | rest -> rest
-  in
-  st.pending_frees <- apply st.pending_frees
+  (match st.inflight with
+  | [] -> ()
+  | inflight ->
+    let rec promote = function
+      | (ready_at, b) :: rest when ready_at <= now st ->
+        (if st.stat.(b) land 3 = tag_decompressing then begin
+           st.stat.(b) <- st.stat.(b) land bit_prefetched lor tag_resident;
+           Residency.Area.on_ready st.area ~block:b ~time:ready_at
+         end);
+        promote rest
+      | rest -> rest
+    in
+    st.inflight <- promote inflight);
+  match st.pending_frees with
+  | [] -> ()
+  | frees ->
+    let rec apply = function
+      | (time, bytes) :: rest when time <= now st ->
+        st.live_bytes <- st.live_bytes - bytes;
+        apply rest
+      | rest -> rest
+    in
+    st.pending_frees <- apply frees
 
-let usize st b = st.info.(b).uncompressed_bytes
-let csize st b = st.info.(b).compressed_bytes
-
-let dec_time st b = Config.dec_cycles st.config ~compressed_bytes:(csize st b)
-
-let comp_time st b =
-  Config.comp_cycles st.config ~uncompressed_bytes:(usize st b)
+let dec_time st b = st.dec_cyc.(b)
 
 (* Deletes the decompressed copy of [b] (k-edge retirement or LRU
    eviction). Patch-backs run on the compression thread. *)
 let delete_copy st ~eviction b =
-  let wasted =
-    match st.status.(b) with
-    | Resident { used; prefetched } -> prefetched && not used
-    | Compressed | Decompressing _ | Recompressing _ ->
-      invalid_arg "Core.Engine.delete_copy: block not resident"
-  in
+  let s = st.stat.(b) in
+  if s land 3 <> tag_resident then
+    invalid_arg "Core.Engine.delete_copy: block not resident";
+  let wasted = s land bit_prefetched <> 0 && s land bit_used = 0 in
   if wasted then st.wasted_prefetches <- st.wasted_prefetches + 1;
   (* [release] flushes the remember set and retires the retention
      state; the engine only models patch-back timing, so every site
      "patches back" successfully. Events are emitted below, engine-side,
      to keep Recompress_queued ahead of Discard/Evict in the stream. *)
-  let patched_back =
-    Residency.Area.release st.area ~block:b ~patch_back:(fun _ -> true)
-  in
+  let patched_back = Residency.Area.release_count st.area ~block:b in
   st.patches <- st.patches + patched_back;
-  Sim.Cost.Acc.charge st.acc Sim.Cost.Patch_back
-    (Sim.Cost.patch_back_charge st.config.Config.costs ~sites:patched_back);
+  charge_fast st Sim.Cost.Patch_back ~cycles:0
+    ~energy_nj:(patched_back * st.patch_nj);
   Sim.Clock.push_back st.comp ~now:(now st)
-    ~cycles:(patched_back * st.config.Config.costs.patch_cycles);
+    ~cycles:(patched_back * st.patch_cyc);
   (* Branches inside [b] vanish with it: drop them from the remember
      sets of their targets. *)
-  List.iter
-    (fun s ->
-      ignore
-        (Residency.Area.forget_sites st.area ~target:s ~where:(fun site ->
-             site = b)))
-    (Cfg.Graph.succ_ids st.graph b);
+  let succs = st.succ_arr.(b) in
+  for i = 0 to Array.length succs - 1 do
+    ignore (Residency.Area.forget_key st.area ~target:succs.(i) ~key:b)
+  done;
   (match st.policy.Policy.mode with
   | Policy.Discard ->
-    st.live_bytes <- st.live_bytes - usize st b;
-    mem_event st ~time:(now st) ~delta:(-usize st b);
-    st.status.(b) <- Compressed
+    let u = st.u_size.(b) in
+    st.live_bytes <- st.live_bytes - u;
+    mem_event st ~time:(now st) ~delta:(-u);
+    st.stat.(b) <- tag_compressed
   | Policy.Recompress ->
-    Sim.Cost.Acc.charge st.acc Sim.Cost.Recompress
-      (Sim.Cost.recompress_charge st.config.Config.costs
-         ~uncompressed_bytes:(usize st b));
+    charge_fast st Sim.Cost.Recompress ~cycles:0
+      ~energy_nj:st.recompress_nj.(b);
     let done_at =
-      Sim.Clock.schedule st.comp ~now:(now st) ~cycles:(comp_time st b)
+      Sim.Clock.schedule st.comp ~now:(now st) ~cycles:st.comp_cyc.(b)
     in
-    st.pending_frees <- insert_sorted st.pending_frees (done_at, usize st b);
-    mem_event st ~time:done_at ~delta:(-usize st b);
-    st.status.(b) <- Recompressing { done_at };
-    st.emit (Recompress_queued { block = b; at = now st; done_at }));
+    st.pending_frees <- insert_sorted st.pending_frees (done_at, st.u_size.(b));
+    mem_event st ~time:done_at ~delta:(-st.u_size.(b));
+    st.stat.(b) <- tag_recompressing;
+    st.aux.(b) <- done_at;
+    Packed.push_recompress_queued (chunk st) ~at:(now st) ~block:b ~done_at);
   if eviction then begin
     st.evictions <- st.evictions + 1;
-    st.emit (Evict { block = b; at = now st })
+    Packed.push_evict (chunk st) ~at:(now st) ~block:b
   end
   else begin
     st.discards <- st.discards + 1;
-    st.emit (Discard { block = b; at = now st; patched_back; wasted })
+    Packed.push_discard (chunk st) ~at:(now st) ~block:b ~patched_back ~wasted
   end
 
 (* Ensures [bytes] fit under the budget, evicting LRU residents.
@@ -239,11 +309,7 @@ let make_room st ~exclude bytes =
   | Some cap ->
     settle st;
     let excluded v =
-      List.mem v exclude
-      ||
-      match st.status.(v) with
-      | Resident _ -> false
-      | Compressed | Decompressing _ | Recompressing _ -> true
+      List.mem v exclude || st.stat.(v) land 3 <> tag_resident
     in
     let rec evict () =
       if st.live_bytes + bytes <= cap then true
@@ -256,129 +322,128 @@ let make_room st ~exclude bytes =
     in
     evict ()
 
-(* Allocates space for a decompressed copy of [b]. *)
-let allocate st ~exclude b =
-  let ok = make_room st ~exclude (usize st b) in
-  if not ok then st.budget_overflows <- st.budget_overflows + 1;
-  st.live_bytes <- st.live_bytes + usize st b;
-  mem_event st ~time:(now st) ~delta:(usize st b)
+(* Allocates space for a decompressed copy of [b]. The exclude list
+   only exists on the budgeted path — the common unbudgeted run
+   allocates nothing here. *)
+let allocate st b =
+  let u = st.u_size.(b) in
+  (match st.policy.Policy.budget with
+  | None -> ()
+  | Some _ ->
+    let ok = make_room st ~exclude:[ b ] u in
+    if not ok then st.budget_overflows <- st.budget_overflows + 1);
+  st.live_bytes <- st.live_bytes + u;
+  mem_event st ~time:(now st) ~delta:u
 
 let charge_exception st b =
   st.exceptions <- st.exceptions + 1;
-  let v = Sim.Cost.exception_charge st.config.Config.costs in
-  Sim.Cost.Acc.charge st.acc Sim.Cost.Exception v;
-  Sim.Clock.advance st.clock ~cycles:v.Sim.Cost.cycles;
-  st.emit (Exception { block = b; at = now st })
+  charge_fast st Sim.Cost.Exception ~cycles:st.exc_cyc
+    ~energy_nj:st.exc_nj;
+  Sim.Clock.advance st.clock ~cycles:st.exc_cyc;
+  Packed.push_exception (chunk st) ~at:(now st) ~block:b
 
 let charge_patch st ~target ~site =
   st.patches <- st.patches + 1;
-  let v = Sim.Cost.patch_charge st.config.Config.costs in
-  Sim.Cost.Acc.charge st.acc Sim.Cost.Patch v;
-  Sim.Clock.advance st.clock ~cycles:v.Sim.Cost.cycles;
-  st.emit (Patch { target; site; at = now st })
+  charge_fast st Sim.Cost.Patch ~cycles:st.patch_cyc
+    ~energy_nj:st.patch_nj;
+  Sim.Clock.advance st.clock ~cycles:st.patch_cyc;
+  Packed.push_patch (chunk st) ~at:(now st) ~target ~site
 
 (* Records the branch site and charges the patch if it is new. The
-   caller has already paid the exception. *)
+   caller has already paid the exception. [site] is -1 on the initial
+   entry (nothing to patch). *)
 let patch_site st ~target ~site =
-  match site with
-  | None -> ()
-  | Some site ->
+  if site >= 0 then
     if Residency.Area.record_site st.area ~target ~site then
       charge_patch st ~target ~site
 
 let stall_until st b t =
   let w = Sim.Clock.wait_until st.clock t in
   if w > 0 then begin
-    Sim.Cost.Acc.charge st.acc Sim.Cost.Stall
-      (Sim.Cost.stall_charge st.config.Config.costs ~cycles:w);
-    st.emit (Stall { block = b; at = now st; cycles = w })
+    charge_fast st Sim.Cost.Stall ~cycles:w ~energy_nj:0;
+    Packed.push_stall (chunk st) ~at:(now st) ~block:b ~cycles:w
   end
 
-(* The execution thread arrives at block [b], coming from [prev], at
-   trace position [step]. *)
+(* The execution thread arrives at block [b], coming from [prev]
+   (-1 = initial entry), at trace position [step]. *)
 let rec arrive st ~step ~prev b =
   settle st;
-  match st.status.(b) with
-  | Resident _ -> (
+  let s = st.stat.(b) in
+  match s land 3 with
+  | 2 (* Resident *) ->
     (* No cost when the branch already targets the decompressed copy;
        otherwise the exception fires and the handler patches (Fig. 5,
        steps 5-6). The initial entry (no prev) faults too but has no
        site to patch. *)
-    match prev with
-    | Some site ->
-      if not (Residency.Area.record_site st.area ~target:b ~site) then ()
-      else begin
+    if prev >= 0 then begin
+      if Residency.Area.record_site st.area ~target:b ~site:prev then begin
         charge_exception st b;
-        charge_patch st ~target:b ~site
+        charge_patch st ~target:b ~site:prev
       end
-    | None -> charge_exception st b)
-  | Decompressing { ready_at; prefetched } ->
+    end
+    else charge_exception st b
+  | 1 (* Decompressing *) ->
     (* The branch still points into the compressed area: exception,
        then wait for the in-flight pre-decompression. *)
+    let ready_at = st.aux.(b) in
     charge_exception st b;
     stall_until st b ready_at;
     st.inflight <- List.filter (fun (_, blk) -> blk <> b) st.inflight;
-    st.status.(b) <- Resident { used = false; prefetched };
+    st.stat.(b) <- s land bit_prefetched lor tag_resident;
     Residency.Area.on_ready st.area ~block:b ~time:(now st);
     patch_site st ~target:b ~site:prev
-  | Recompressing { done_at } ->
+  | 3 (* Recompressing *) ->
     (* Rare: reached while the compression thread still owns it. Wait
        out the compression, then take the demand path. *)
-    stall_until st b done_at;
+    stall_until st b st.aux.(b);
     settle st;
-    st.status.(b) <- Compressed;
+    st.stat.(b) <- tag_compressed;
     arrive st ~step ~prev b
-  | Compressed ->
+  | _ (* Compressed *) ->
     charge_exception st b;
-    allocate st ~exclude:[ b ] b;
-    let v =
-      Sim.Cost.demand_dec_charge st.config.Config.costs
-        ~compressed_bytes:(csize st b) ~uncompressed_bytes:(usize st b)
-    in
-    let cycles = v.Sim.Cost.cycles in
+    allocate st b;
+    let cycles = st.dec_cyc.(b) in
     st.demand_decompressions <- st.demand_decompressions + 1;
-    Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec v;
+    charge_fast st Sim.Cost.Demand_dec ~cycles
+      ~energy_nj:st.demand_nj.(b);
     Sim.Clock.advance st.clock ~cycles;
-    st.status.(b) <- Resident { used = false; prefetched = false };
+    st.stat.(b) <- tag_resident;
     Residency.Area.on_materialize st.area ~block:b ~step;
     Residency.Area.on_ready st.area ~block:b ~time:(now st);
-    st.emit (Demand_decompress { block = b; at = now st; cycles });
+    Packed.push_demand (chunk st) ~at:(now st) ~block:b ~cycles;
     patch_site st ~target:b ~site:prev
 
 let execute st ~step ~cycles b =
-  (match st.status.(b) with
-  | Resident r ->
-    if r.prefetched && not r.used then
-      st.useful_prefetches <- st.useful_prefetches + 1;
-    r.used <- true
-  | Compressed | Decompressing _ | Recompressing _ ->
-    invalid_arg "Core.Engine.execute: block not resident");
+  let s = st.stat.(b) in
+  if s land 3 <> tag_resident then
+    invalid_arg "Core.Engine.execute: block not resident";
+  if s land bit_prefetched <> 0 && s land bit_used = 0 then
+    st.useful_prefetches <- st.useful_prefetches + 1;
+  st.stat.(b) <- s lor bit_used;
   Residency.Area.on_execute st.area ~block:b ~step ~time:(now st);
-  st.emit (Exec { block = b; at = now st });
-  Sim.Cost.Acc.charge st.acc Sim.Cost.Exec
-    (Sim.Cost.exec_charge st.config.Config.costs ~cycles);
+  Packed.push_exec (chunk st) ~at:(now st) ~block:b;
+  charge_fast st Sim.Cost.Exec ~cycles
+    ~energy_nj:(st.exec_nj_rate * cycles);
   Sim.Clock.advance st.clock ~cycles
 
 (* Queue a pre-decompression of [c] on the decompression thread. *)
 let issue_prefetch st ~step ~exclude c =
-  match st.status.(c) with
-  | Compressed ->
-    if make_room st ~exclude (usize st c) then begin
-      st.live_bytes <- st.live_bytes + usize st c;
-      mem_event st ~time:(now st) ~delta:(usize st c);
+  if st.stat.(c) land 3 = tag_compressed then
+    if make_room st ~exclude (st.u_size.(c)) then begin
+      st.live_bytes <- st.live_bytes + st.u_size.(c);
+      mem_event st ~time:(now st) ~delta:(st.u_size.(c));
       let ready_at =
         Sim.Clock.schedule st.dec ~now:(now st) ~cycles:(dec_time st c)
       in
-      st.status.(c) <- Decompressing { ready_at; prefetched = true };
+      st.stat.(c) <- tag_decompressing lor bit_prefetched;
+      st.aux.(c) <- ready_at;
       st.inflight <- insert_sorted st.inflight (ready_at, c);
       Residency.Area.on_materialize st.area ~block:c ~step;
-      Sim.Cost.Acc.charge st.acc Sim.Cost.Prefetch_dec
-        (Sim.Cost.prefetch_dec_charge st.config.Config.costs
-           ~compressed_bytes:(csize st c) ~uncompressed_bytes:(usize st c));
+      charge_fast st Sim.Cost.Prefetch_dec ~cycles:0
+        ~energy_nj:st.prefetch_nj.(c);
       st.prefetch_decompressions <- st.prefetch_decompressions + 1;
-      st.emit (Prefetch_issue { block = c; at = now st; ready_at })
+      Packed.push_prefetch (chunk st) ~at:(now st) ~block:c ~ready_at
     end
-  | Resident _ | Decompressing _ | Recompressing _ -> ()
 
 (* Edge traversal from trace position [i] (block [b]) to [i+1]
    (block [next]): k-edge retirement, then pre-decompression. *)
@@ -386,16 +451,19 @@ let traverse_edge st ~b ~next ~step =
   settle st;
   (* k-edge: delete the copies whose counter reaches k, sparing the
      branch target (its counter resets on execution instead, §5). *)
-  List.iter
-    (fun d ->
-      if d <> next then
-        match st.status.(d) with
-        | Resident _ -> delete_copy st ~eviction:false d
-        | Decompressing _ ->
-          (* Still in flight: give it another k edges. *)
-          Residency.Area.rearm st.area ~block:d ~step
-        | Compressed | Recompressing _ -> ())
-    (Residency.Area.due st.area ~step);
+  (match Residency.Area.due st.area ~step with
+  | [] -> ()
+  | due ->
+    List.iter
+      (fun d ->
+        if d <> next then
+          match st.stat.(d) land 3 with
+          | 2 (* Resident *) -> delete_copy st ~eviction:false d
+          | 1 (* Decompressing *) ->
+            (* Still in flight: give it another k edges. *)
+            Residency.Area.rearm st.area ~block:d ~step
+          | _ -> ())
+      due);
   (* Pre-decompression of blocks up to [lookahead] edges ahead. *)
   (match st.policy.Policy.strategy with
   | Policy.On_demand -> ()
@@ -407,9 +475,7 @@ let traverse_edge st ~b ~next ~step =
     let candidates =
       Cfg.Dist.within st.graph ~from:b ~k:lookahead
       |> List.filter_map (fun (c, _) ->
-             match st.status.(c) with
-             | Compressed -> Some c
-             | Resident _ | Decompressing _ | Recompressing _ -> None)
+             if st.stat.(c) land 3 = tag_compressed then Some c else None)
     in
     match
       Predictor.choose predictor st.pred_state st.graph ~from:b ~k:lookahead
@@ -418,6 +484,229 @@ let traverse_edge st ~b ~next ~step =
     | Some c -> issue_prefetch st ~step ~exclude:[ b; next; c ] c
     | None -> ()));
   Predictor.note_edge st.pred_state ~src:b ~dst:next
+
+(* --- fused fast path --- *)
+
+(* Fused inner loop for the configuration that dominates sweeps and
+   the streaming benchmarks: on-demand decompression, discard mode, no
+   budget, plain constant-k k-edge retention, default per-visit cycles
+   and no charge journal. Observation-for-observation equivalent to
+   [arrive]/[execute]/[traverse_edge] — same packed events in the same
+   order, same charge totals, same occupancy stream — with the
+   per-step closures, queues and module hops fused away:
+
+   - k-edge retirement needs no queue here: the only (re)tracks at
+     step [i] are for the executed block [trace.(i)], so the one
+     candidate due at step [s] is [trace.(s - k)], live iff its last
+     track is still [s - k] (not re-executed, not released since).
+   - charges accumulate in scalar counters and post to the cost
+     accumulator once at the end; all integer arithmetic, so the
+     batching is exact.
+   - remember sets live in a flat blocks² byte matrix — membership is
+     one load, releasing a block is one row fill (the LRU shadow is
+     skipped: without a budget no victim is ever asked for).
+   - the occupancy integral is maintained in scalar locals (same
+     buffered smallest-first application of same-time deltas as
+     [occ_feed]); the function returns the (peak, avg, byte-cycles)
+     triple [memory_stats] would have produced.
+
+   The equivalence is locked down by the property suite, which runs
+   both paths over random graphs/traces and compares events, metrics
+   and charge totals. *)
+let run_fast st ~trace ~k len =
+  let exc_cyc = st.exc_cyc and patch_cyc = st.patch_cyc in
+  let stat = st.stat in
+  let blocks = Array.length stat in
+  let base = Array.make blocks (-1) in
+  (* sbits.(b * blocks + s) <> '\000' iff site [s] patched into [b] *)
+  let sbits = Bytes.make (blocks * blocks) '\000' in
+  let scount = Array.make blocks 0 in
+  let ev = st.ev in
+  let u_size = st.u_size
+  and dec_cyc_t = st.dec_cyc
+  and demand_nj_t = st.demand_nj
+  and def_cycles = st.def_cycles
+  and succ_arr = st.succ_arr in
+  let clk = ref 0 in
+  let n_exc = ref 0
+  and n_patch = ref 0
+  and n_dem = ref 0
+  and pb_total = ref 0
+  and n_disc = ref 0 in
+  let dem_cyc = ref 0 and dem_nj = ref 0 and exec_cyc = ref 0 in
+  (* scalar occupancy accounting (see the header comment) *)
+  let o_now = ref 0
+  and o_level = ref 0
+  and o_peak = ref 0
+  and o_integral = ref 0 in
+  let o_buf = ref (Array.make 8 0) in
+  let o_len = ref 0 in
+  let o_time = ref 0 in
+  let o_flush () =
+    let n = !o_len in
+    if n > 0 then begin
+      let a = !o_buf in
+      for i = 1 to n - 1 do
+        let x = Array.unsafe_get a i in
+        occ_insert_back a (i - 1) x
+      done;
+      o_integral := !o_integral + (!o_level * (!o_time - !o_now));
+      o_now := !o_time;
+      for i = 0 to n - 1 do
+        o_level := !o_level + Array.unsafe_get a i;
+        if !o_level > !o_peak then o_peak := !o_level
+      done;
+      o_len := 0
+    end
+  in
+  (* The post itself is inlined at both sites below; only the n = 1
+     flush (the overwhelmingly common case — distinct timestamps) is
+     special-cased there, everything else falls back to [o_flush]. *)
+  let o_post_rare delta =
+    let n = !o_len in
+    if n = Array.length !o_buf then begin
+      let grown = Array.make (2 * n) 0 in
+      Array.blit !o_buf 0 grown 0 n;
+      o_buf := grown
+    end;
+    Array.unsafe_set !o_buf n delta;
+    o_len := n + 1
+  in
+  for i = 0 to len - 1 do
+    let b = Array.unsafe_get trace i in
+    let prev = if i = 0 then -1 else Array.unsafe_get trace (i - 1) in
+    (* a step emits at most 5 events: reserve them all up front *)
+    if Packed.room ev < 5 then emit_flush st;
+    (* arrive *)
+    (if Array.unsafe_get stat b = tag_resident then begin
+       if prev >= 0 then begin
+         let idx = (b * blocks) + prev in
+         if Bytes.unsafe_get sbits idx = '\000' then begin
+           Bytes.unsafe_set sbits idx '\001';
+           Array.unsafe_set scount b (Array.unsafe_get scount b + 1);
+           incr n_exc;
+           clk := !clk + exc_cyc;
+           Packed.unsafe_push_ka ev ~kind:1 ~at:!clk ~a:b;
+           incr n_patch;
+           clk := !clk + patch_cyc;
+           Packed.unsafe_push_kab ev ~kind:5 ~at:!clk ~a:b ~b:prev
+         end
+       end
+     end
+     else begin
+       (* compressed: exception, allocate, demand-decompress, patch *)
+       incr n_exc;
+       clk := !clk + exc_cyc;
+       Packed.unsafe_push_ka ev ~kind:1 ~at:!clk ~a:b;
+       (* occupancy post, inlined: [+u_size.(b)] at [!clk] *)
+       (let delta = Array.unsafe_get u_size b in
+        if !clk <> !o_time then begin
+          (if !o_len = 1 then begin
+             o_integral := !o_integral + (!o_level * (!o_time - !o_now));
+             o_now := !o_time;
+             o_level := !o_level + Array.unsafe_get !o_buf 0;
+             if !o_level > !o_peak then o_peak := !o_level
+           end
+           else if !o_len > 1 then o_flush ());
+          o_time := !clk;
+          Array.unsafe_set !o_buf 0 delta;
+          o_len := 1
+        end
+        else o_post_rare delta);
+       let dc = Array.unsafe_get dec_cyc_t b in
+       incr n_dem;
+       dem_cyc := !dem_cyc + dc;
+       dem_nj := !dem_nj + Array.unsafe_get demand_nj_t b;
+       clk := !clk + dc;
+       Array.unsafe_set stat b tag_resident;
+       Array.unsafe_set base b i;
+       Packed.unsafe_push_kab ev ~kind:2 ~at:!clk ~a:b ~b:dc;
+       if prev >= 0 then begin
+         let idx = (b * blocks) + prev in
+         if Bytes.unsafe_get sbits idx = '\000' then begin
+           Bytes.unsafe_set sbits idx '\001';
+           Array.unsafe_set scount b (Array.unsafe_get scount b + 1);
+           incr n_patch;
+           clk := !clk + patch_cyc;
+           Packed.unsafe_push_kab ev ~kind:5 ~at:!clk ~a:b ~b:prev
+         end
+       end
+     end);
+    (* execute *)
+    Array.unsafe_set base b i;
+    Packed.unsafe_push_ka ev ~kind:0 ~at:!clk ~a:b;
+    let cyc = Array.unsafe_get def_cycles b in
+    exec_cyc := !exec_cyc + cyc;
+    clk := !clk + cyc;
+    (* traverse: the single possible k-edge retirement at step i+1 *)
+    let s = i + 1 in
+    if s < len && s >= k then begin
+      let d = Array.unsafe_get trace (s - k) in
+      if
+        Array.unsafe_get base d = s - k
+        && d <> Array.unsafe_get trace s
+        && Array.unsafe_get stat d = tag_resident
+      then begin
+        let nsites = Array.unsafe_get scount d in
+        Bytes.unsafe_fill sbits (d * blocks) blocks '\000';
+        Array.unsafe_set scount d 0;
+        Array.unsafe_set base d (-1);
+        pb_total := !pb_total + nsites;
+        Sim.Clock.push_back st.comp ~now:!clk ~cycles:(nsites * patch_cyc);
+        (* branches inside [d] vanish with it *)
+        let succs = Array.unsafe_get succ_arr d in
+        for j = 0 to Array.length succs - 1 do
+          let t = Array.unsafe_get succs j in
+          let idx = (t * blocks) + d in
+          if Bytes.unsafe_get sbits idx <> '\000' then begin
+            Bytes.unsafe_set sbits idx '\000';
+            Array.unsafe_set scount t (Array.unsafe_get scount t - 1)
+          end
+        done;
+        (* occupancy post, inlined: [-u_size.(d)] at [!clk] *)
+        (let delta = -Array.unsafe_get u_size d in
+         if !clk <> !o_time then begin
+           (if !o_len = 1 then begin
+              o_integral := !o_integral + (!o_level * (!o_time - !o_now));
+              o_now := !o_time;
+              o_level := !o_level + Array.unsafe_get !o_buf 0;
+              if !o_level > !o_peak then o_peak := !o_level
+            end
+            else if !o_len > 1 then o_flush ());
+           o_time := !clk;
+           Array.unsafe_set !o_buf 0 delta;
+           o_len := 1
+         end
+         else o_post_rare delta);
+        Array.unsafe_set stat d tag_compressed;
+        incr n_disc;
+        Packed.unsafe_push_kabc ev ~kind:7 ~at:!clk ~a:d ~b:nsites ~c:0
+      end
+    end
+  done;
+  (* post the batched charges and counters *)
+  Sim.Clock.advance st.clock ~cycles:!clk;
+  charge_fast st Sim.Cost.Exception ~cycles:(!n_exc * exc_cyc)
+    ~energy_nj:(!n_exc * st.exc_nj);
+  charge_fast st Sim.Cost.Patch ~cycles:(!n_patch * patch_cyc)
+    ~energy_nj:(!n_patch * st.patch_nj);
+  charge_fast st Sim.Cost.Patch_back ~cycles:0
+    ~energy_nj:(!pb_total * st.patch_nj);
+  charge_fast st Sim.Cost.Demand_dec ~cycles:!dem_cyc ~energy_nj:!dem_nj;
+  charge_fast st Sim.Cost.Exec ~cycles:!exec_cyc
+    ~energy_nj:(st.exec_nj_rate * !exec_cyc);
+  st.exceptions <- !n_exc;
+  st.patches <- !n_patch + !pb_total;
+  st.demand_decompressions <- !n_dem;
+  st.discards <- !n_disc;
+  (* close the occupancy integral exactly as [memory_stats] would:
+     every post is at or before the final clock, so the horizon is the
+     final clock itself *)
+  o_flush ();
+  let until = max !clk 1 in
+  let byte_cycles = !o_integral + (!o_level * (until - !o_now)) in
+  let avg = float_of_int byte_cycles /. float_of_int until in
+  (!o_peak, avg, byte_cycles)
 
 let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
     ?step_cycles ~graph ~info ~trace policy =
@@ -428,20 +717,20 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
   | Some sc when Array.length sc <> Array.length trace ->
     invalid_arg "Core.Engine.run: step_cycles does not match trace"
   | Some _ | None -> ());
-  Array.iter
-    (fun b ->
-      if b < 0 || b >= n then
-        invalid_arg "Core.Engine.run: trace mentions unknown block")
-    trace;
-  let emit =
+  for i = 0 to Array.length trace - 1 do
+    let b = Array.unsafe_get trace i in
+    if b < 0 || b >= n then
+      invalid_arg "Core.Engine.run: trace mentions unknown block"
+  done;
+  let deliver =
     match (log, sink) with
     | None, None -> fun _ -> ()
-    | Some f, None -> f
-    | None, Some (s : Sim.Events.sink) -> s.Sim.Events.emit
+    | Some f, None -> fun ch -> Packed.iter f ch
+    | None, Some (s : Sim.Events.sink) -> s.Sim.Events.emit_chunk
     | Some f, Some s ->
-      fun ev ->
-        f ev;
-        s.Sim.Events.emit ev
+      fun ch ->
+        Packed.iter f ch;
+        s.Sim.Events.emit_chunk ch
   in
   let acc = Sim.Cost.Acc.create ?journal:charge_log () in
   let retention =
@@ -456,14 +745,17 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
         totals = Some (fun () -> Sim.Cost.Acc.dimension_totals acc);
       }
   in
+  let costs = config.Config.costs in
   let st =
     {
       graph;
       info;
       policy;
       config;
-      emit;
-      status = Array.make n Compressed;
+      ev = Packed.create ();
+      deliver;
+      stat = Array.make n tag_compressed;
+      aux = Array.make n 0;
       area =
         Residency.Area.create ~policy:retention ~blocks:n ~site_key:Fun.id ();
       pred_state = Predictor.create_state ~blocks:n;
@@ -475,13 +767,55 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
           acct = Memsim.Accounting.create ();
           future = [];
           buf_time = 0;
-          buf = [];
+          buf = Array.make 64 0;
+          buf_len = 0;
           horizon = 0;
         };
       live_bytes = 0;
       inflight = [];
       pending_frees = [];
       acc;
+      u_size = Array.map (fun i -> i.uncompressed_bytes) info;
+      def_cycles = Array.map (fun i -> i.exec_cycles) info;
+      dec_cyc =
+        Array.map
+          (fun i -> Config.dec_cycles config ~compressed_bytes:i.compressed_bytes)
+          info;
+      comp_cyc =
+        Array.map
+          (fun i ->
+            Config.comp_cycles config ~uncompressed_bytes:i.uncompressed_bytes)
+          info;
+      demand_nj =
+        Array.map
+          (fun i ->
+            (Sim.Cost.demand_dec_charge costs
+               ~compressed_bytes:i.compressed_bytes
+               ~uncompressed_bytes:i.uncompressed_bytes)
+              .Sim.Cost.energy_nj)
+          info;
+      prefetch_nj =
+        Array.map
+          (fun i ->
+            (Sim.Cost.prefetch_dec_charge costs
+               ~compressed_bytes:i.compressed_bytes
+               ~uncompressed_bytes:i.uncompressed_bytes)
+              .Sim.Cost.energy_nj)
+          info;
+      recompress_nj =
+        Array.map
+          (fun i ->
+            (Sim.Cost.recompress_charge costs
+               ~uncompressed_bytes:i.uncompressed_bytes)
+              .Sim.Cost.energy_nj)
+          info;
+      succ_arr =
+        Array.init n (fun i -> Array.of_list (Cfg.Graph.succ_ids graph i));
+      exc_cyc = (Sim.Cost.exception_charge costs).Sim.Cost.cycles;
+      exc_nj = (Sim.Cost.exception_charge costs).Sim.Cost.energy_nj;
+      patch_cyc = (Sim.Cost.patch_charge costs).Sim.Cost.cycles;
+      patch_nj = (Sim.Cost.patch_charge costs).Sim.Cost.energy_nj;
+      exec_nj_rate = costs.Sim.Cost.energy.Sim.Cost.exec_nj_per_cycle;
       exceptions = 0;
       patches = 0;
       demand_decompressions = 0;
@@ -493,20 +827,46 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
       budget_overflows = 0;
     }
   in
-  let cycles_at i b =
-    match step_cycles with
-    | Some sc -> sc.(i)
-    | None -> info.(b).exec_cycles
-  in
   let len = Array.length trace in
-  for i = 0 to len - 1 do
-    let b = trace.(i) in
-    let prev = if i = 0 then None else Some trace.(i - 1) in
-    arrive st ~step:i ~prev b;
-    execute st ~step:i ~cycles:(cycles_at i b) b;
-    if i + 1 < len then traverse_edge st ~b ~next:trace.(i + 1) ~step:(i + 1)
-  done;
-  let peak_dec, avg_dec, dec_byte_cycles = memory_stats st in
+  let sc = match step_cycles with Some a -> a | None -> [||] in
+  let use_sc = step_cycles <> None in
+  let fast_ok =
+    (not use_sc)
+    && (match charge_log with None -> true | Some _ -> false)
+    && (match policy.Policy.strategy with
+       | Policy.On_demand -> true
+       | Policy.Pre_all _ | Policy.Pre_single _ -> false)
+    && policy.Policy.mode = Policy.Discard
+    && (match policy.Policy.budget with None -> true | Some _ -> false)
+    && (match policy.Policy.adaptive_k with None -> true | Some _ -> false)
+    && (match policy.Policy.retention with
+       | Residency.Policy.Kedge -> true
+       | _ -> false)
+    (* the fast path keeps remember sets in a blocks² byte matrix *)
+    && Array.length st.stat <= 1024
+  in
+  let fast_stats =
+    if fast_ok then Some (run_fast st ~trace ~k:policy.Policy.compress_k len)
+    else begin
+      for i = 0 to len - 1 do
+        let b = Array.unsafe_get trace i in
+        let prev = if i = 0 then -1 else Array.unsafe_get trace (i - 1) in
+        arrive st ~step:i ~prev b;
+        let cycles =
+          if use_sc then Array.unsafe_get sc i else st.def_cycles.(b)
+        in
+        execute st ~step:i ~cycles b;
+        if i + 1 < len then
+          traverse_edge st ~b ~next:(Array.unsafe_get trace (i + 1))
+            ~step:(i + 1)
+      done;
+      None
+    end
+  in
+  emit_flush st;
+  let peak_dec, avg_dec, dec_byte_cycles =
+    match fast_stats with Some s -> s | None -> memory_stats st
+  in
   (* The decompressed copy area leaked for the whole run: one final
      charge, priced on the exact occupancy integral. *)
   Sim.Cost.Acc.charge acc Sim.Cost.Ram_static
@@ -520,7 +880,14 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
   in
   let baseline_cycles =
     let sum = ref 0 in
-    Array.iteri (fun i b -> sum := !sum + cycles_at i b) trace;
+    if use_sc then
+      for i = 0 to len - 1 do
+        sum := !sum + Array.unsafe_get sc i
+      done
+    else
+      for i = 0 to len - 1 do
+        sum := !sum + st.def_cycles.(Array.unsafe_get trace i)
+      done;
     !sum
   in
   let cycles_of src = (Sim.Cost.Acc.total_of acc src).Sim.Cost.cycles in

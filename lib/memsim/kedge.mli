@@ -6,8 +6,12 @@
 
     Steps are global edge-traversal counts (position in the trace).
     The implementation keeps, per block, the step of its last reset and
-    a step-indexed due list — O(1) per event instead of touching every
-    resident counter on every branch. *)
+    a min-heap of pending due steps — a few int stores per event
+    instead of touching every resident counter on every branch.
+
+    Steps passed to {!due} must be nondecreasing across calls on one
+    instance (every driver walks its trace forward); entries that fall
+    behind the query step are discarded as stale. *)
 
 type t
 

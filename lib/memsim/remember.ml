@@ -1,34 +1,52 @@
-module IntSet = Set.Make (Int)
+(* Remember sets are tiny (a handful of branch sites per target), so
+   each one is an unsorted int list plus a cached cardinal: membership
+   is a short scan over immediates, recording a site is one cons. The
+   previous IntSet representation allocated a balanced-tree node per
+   insert on the engine's per-step patch path. *)
 
-type t = { sets : IntSet.t array }
+type t = {
+  sites : int list array;  (* no duplicates, unsorted *)
+  counts : int array;
+}
 
 let create ~blocks =
   if blocks <= 0 then invalid_arg "Memsim.Remember.create";
-  { sets = Array.make blocks IntSet.empty }
+  { sites = Array.make blocks []; counts = Array.make blocks 0 }
+
+let rec mem_int (x : int) = function
+  | [] -> false
+  | y :: tl -> y = x || mem_int x tl
 
 let record t ~target ~site =
-  let s = t.sets.(target) in
-  if IntSet.mem site s then false
+  let l = t.sites.(target) in
+  if mem_int site l then false
   else begin
-    t.sets.(target) <- IntSet.add site s;
+    t.sites.(target) <- site :: l;
+    t.counts.(target) <- t.counts.(target) + 1;
     true
   end
 
-let sites t ~target = IntSet.elements t.sets.(target)
-let cardinal t ~target = IntSet.cardinal t.sets.(target)
+let sites t ~target = List.sort compare t.sites.(target)
+let cardinal t ~target = t.counts.(target)
 
 let flush t ~target =
-  let n = IntSet.cardinal t.sets.(target) in
-  t.sets.(target) <- IntSet.empty;
+  let n = t.counts.(target) in
+  t.sites.(target) <- [];
+  t.counts.(target) <- 0;
   n
 
+(* No duplicates, so dropping the first match is dropping them all. *)
+let rec remove_int (x : int) = function
+  | [] -> []
+  | y :: tl -> if y = x then tl else y :: remove_int x tl
+
 let remove_site t ~target ~site =
-  let s = t.sets.(target) in
-  if IntSet.mem site s then begin
-    t.sets.(target) <- IntSet.remove site s;
+  let l = t.sites.(target) in
+  if mem_int site l then begin
+    t.sites.(target) <- remove_int site l;
+    t.counts.(target) <- t.counts.(target) - 1;
     true
   end
   else false
 
-let total_sites t =
-  Array.fold_left (fun acc s -> acc + IntSet.cardinal s) 0 t.sets
+let total_sites t = Array.fold_left ( + ) 0 t.counts

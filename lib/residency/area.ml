@@ -42,27 +42,59 @@ let record_site t ~target ~site =
 let site_count t ~target = Memsim.Remember.cardinal t.keys ~target
 let total_sites t = Memsim.Remember.total_sites t.keys
 
+(* Closure-free variants of [forget_sites]/[release] for the engine's
+   hot loop, where the payload IS the key ([site_key] is the identity
+   on block ids) and every site patches back. Remember sets hold no
+   duplicates, so at most one payload matches. *)
+let rec remove_payload t key = function
+  | [] -> []
+  | s :: tl -> if t.site_key s = key then tl else s :: remove_payload t key tl
+
+let forget_key t ~target ~key =
+  if Memsim.Remember.remove_site t.keys ~target ~site:key then begin
+    t.sites.(target) <- remove_payload t key t.sites.(target);
+    1
+  end
+  else 0
+
+let release_count t ~block =
+  t.sites.(block) <- [];
+  let n = Memsim.Remember.flush t.keys ~target:block in
+  t.policy.Policy.on_release ~block;
+  n
+
 let forget_sites t ~target ~where =
-  let removed = ref 0 in
-  t.sites.(target) <-
-    List.filter
-      (fun s ->
-        if where s then begin
-          ignore
-            (Memsim.Remember.remove_site t.keys ~target ~site:(t.site_key s));
-          incr removed;
-          false
-        end
-        else true)
-      t.sites.(target);
-  !removed
+  (* Fast path: most targets have no recorded sites at any moment, and
+     the engine probes every successor of a dying block. *)
+  match t.sites.(target) with
+  | [] -> 0
+  | sites ->
+    let removed = ref 0 in
+    t.sites.(target) <-
+      List.filter
+        (fun s ->
+          if where s then begin
+            ignore
+              (Memsim.Remember.remove_site t.keys ~target ~site:(t.site_key s));
+            incr removed;
+            false
+          end
+          else true)
+        sites;
+    !removed
 
 let release t ~block ~patch_back =
-  let sites = List.rev t.sites.(block) in
-  t.sites.(block) <- [];
-  ignore (Memsim.Remember.flush t.keys ~target:block);
-  t.policy.Policy.on_release ~block;
-  List.fold_left (fun n s -> if patch_back s then n + 1 else n) 0 sites
+  match t.sites.(block) with
+  | [] ->
+    ignore (Memsim.Remember.flush t.keys ~target:block);
+    t.policy.Policy.on_release ~block;
+    0
+  | l ->
+    let sites = List.rev l in
+    t.sites.(block) <- [];
+    ignore (Memsim.Remember.flush t.keys ~target:block);
+    t.policy.Policy.on_release ~block;
+    List.fold_left (fun n s -> if patch_back s then n + 1 else n) 0 sites
 
 let discard ?(wasted = false) t ~block ~patch_back =
   let patched_back = release t ~block ~patch_back in

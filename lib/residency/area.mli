@@ -53,6 +53,11 @@ val forget_sites : 'site t -> target:int -> where:('site -> bool) -> int
     used when the {e site's own} copy disappears and its patched branch
     goes with it. Returns how many were dropped. *)
 
+val forget_key : 'site t -> target:int -> key:int -> int
+(** [forget_sites] specialised to "the site whose [site_key] is [key]":
+    returns 1 if such a site was recorded (and is now dropped), else 0.
+    Closure-free, for per-step callers. *)
+
 (** {1 Copy death} *)
 
 val release : 'site t -> block:int -> patch_back:('site -> bool) -> int
@@ -61,6 +66,12 @@ val release : 'site t -> block:int -> patch_back:('site -> bool) -> int
     patches actually performed) and tells the policy to drop its
     state. Emits nothing — for hosts that emit their own
     discard/evict events. *)
+
+val release_count : 'site t -> block:int -> int
+(** {!release} when every site trivially patches back ([patch_back]
+    would be [fun _ -> true] and pure): returns the number of recorded
+    sites without traversing them. Closure-free, for per-step
+    callers. *)
 
 val discard :
   ?wasted:bool -> 'site t -> block:int -> patch_back:('site -> bool) -> int

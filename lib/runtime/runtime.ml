@@ -125,7 +125,10 @@ type state = {
       (* prices the events (the runtime itself has no cycle clock;
          [at] is the executed-instruction count) *)
   acc : Sim.Cost.Acc.acc;
-  emit : Sim.Events.t -> unit;
+  snk : Sim.Events.sink;
+  ev : Sim.Events.Packed.chunk;
+      (* every event — the runtime's own and the area's — funnels
+         through this one chunk, so stream order survives batching *)
   compressed : bytes array;
   layouts : layout array;
   area : (copy * int) Residency.Area.t;
@@ -153,6 +156,19 @@ type state = {
 let image_size st = Eris.Program.byte_size st.prog
 let copy_bytes c = 4 * Array.length c.instrs
 let at st = Eris.Machine.instr_count st.machine
+
+(* Make room for one more packed event (flush the chunk if full). *)
+let emit_room st =
+  if Sim.Events.Packed.is_full st.ev then begin
+    st.snk.Sim.Events.emit_chunk st.ev;
+    Sim.Events.Packed.clear st.ev
+  end
+
+let emit_drain st =
+  if Sim.Events.Packed.length st.ev > 0 then begin
+    st.snk.Sim.Events.emit_chunk st.ev;
+    Sim.Events.Packed.clear st.ev
+  end
 
 (* Greatest current-epoch copy with base <= pc. *)
 let copy_at st pc =
@@ -198,9 +214,9 @@ let patch_site st (c, idx) ~target_block ~target_addr =
           st.patches <- st.patches + 1;
           Sim.Cost.Acc.charge st.acc Sim.Cost.Patch
             (Sim.Cost.patch_charge st.cost);
-          st.emit
-            (Sim.Events.Patch
-               { target = target_block; site = c.block; at = at st })
+          emit_room st;
+          Sim.Events.Packed.push_patch st.ev ~at:(at st) ~target:target_block
+            ~site:c.block
         end
       | Error _ -> () (* out of reach: leave it faulting *))
     | Plain _ | Skip _ -> () (* jalr sites and the like: not patchable *)
@@ -214,7 +230,8 @@ let unpatch_site st ~target (c, idx) =
     st.unpatches <- st.unpatches + 1;
     Sim.Cost.Acc.charge st.acc Sim.Cost.Patch_back
       (Sim.Cost.patch_back_charge st.cost ~sites:1);
-    st.emit (Sim.Events.Unpatch { target; site = c.block; at = at st });
+    emit_room st;
+    Sim.Events.Packed.push_unpatch st.ev ~at:(at st) ~target ~site:c.block;
     true
   end
   else false
@@ -253,7 +270,8 @@ let flush st =
   st.copy_ptr <- st.copy_base;
   st.live_bytes <- 0;
   st.flushes <- st.flushes + 1;
-  st.emit (Sim.Events.Flush { at = at st; copies = !retired })
+  emit_room st;
+  Sim.Events.Packed.push_flush st.ev ~at:(at st) ~copies:!retired
 
 (* ------------------------------------------------------------------ *)
 (* Copy creation (the real decompression path)                         *)
@@ -277,9 +295,9 @@ let make_copy st block_id =
       ~uncompressed_bytes:b.byte_size
   in
   Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec charge;
-  st.emit
-    (Sim.Events.Demand_decompress
-       { block = block_id; at = at st; cycles = charge.Sim.Cost.cycles });
+  emit_room st;
+  Sim.Events.Packed.push_demand st.ev ~at:(at st) ~block:block_id
+    ~cycles:charge.Sim.Cost.cycles;
   let layout = st.layouts.(block_id) in
   let slots = Array.length layout.slots in
   (* guard word between copies keeps one-past-the-end unambiguous *)
@@ -316,18 +334,22 @@ let block_of_home st home =
   | Some b -> b
   | None -> raise (Runtime_bug (Printf.sprintf "no block at home %d" home))
 
+let rec delete_due st keep = function
+  | [] -> ()
+  | d :: tl ->
+    (if d <> keep then
+       match st.by_block.(d) with
+       | Some c -> delete_copy st c
+       | None -> ());
+    delete_due st keep tl
+
 let on_edge st ~target_block =
   st.edges <- st.edges + 1;
-  List.iter
-    (fun d ->
-      if d <> target_block then
-        match st.by_block.(d) with
-        | Some c -> delete_copy st c
-        | None -> ())
-    (Residency.Area.due st.area ~step:st.edges);
+  delete_due st target_block (Residency.Area.due st.area ~step:st.edges);
   Residency.Area.on_execute st.area ~block:target_block ~step:st.edges
     ~time:(at st);
-  st.emit (Sim.Events.Exec { block = target_block; at = at st })
+  emit_room st;
+  Sim.Events.Packed.push_exec st.ev ~at:(at st) ~block:target_block
 
 (* ------------------------------------------------------------------ *)
 (* The trap handler (§5's memory-protection exception)                 *)
@@ -342,7 +364,8 @@ let handle_trap st pc =
     Sim.Cost.Acc.charge st.acc Sim.Cost.Exception
       (Sim.Cost.exception_charge st.cost);
     let block = block_of_home st home in
-    st.emit (Sim.Events.Exception { block; at = at st });
+    emit_room st;
+    Sim.Events.Packed.push_exception st.ev ~at:(at st) ~block;
     let c =
       match st.by_block.(block) with
       | Some c -> c
@@ -432,10 +455,15 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
         ~comp_cycles_per_byte:codec.Compress.Codec.comp_cycles_per_byte base
   in
   let acc = Sim.Cost.Acc.create () in
-  let emit =
-    match sink with
-    | Some (s : Sim.Events.sink) -> s.Sim.Events.emit
-    | None -> fun _ -> ()
+  let snk = match sink with Some s -> s | None -> Sim.Events.null in
+  let ev = Sim.Events.Packed.create () in
+  (* boxed-event entry point for the area: same chunk, same order *)
+  let emit e =
+    if Sim.Events.Packed.is_full ev then begin
+      snk.Sim.Events.emit_chunk ev;
+      Sim.Events.Packed.clear ev
+    end;
+    Sim.Events.Packed.push_event ev e
   in
   let compressed =
     Array.map
@@ -483,7 +511,8 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
       codec;
       cost;
       acc;
-      emit;
+      snk;
+      ev;
       compressed;
       layouts;
       area;
@@ -545,8 +574,10 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
   in
   Residency.Area.on_execute st.area ~block:(Cfg.Graph.entry graph) ~step:0
     ~time:0;
-  st.emit (Sim.Events.Exec { block = Cfg.Graph.entry graph; at = 0 });
+  emit_room st;
+  Sim.Events.Packed.push_exec st.ev ~at:0 ~block:(Cfg.Graph.entry graph);
   let finish result =
+    emit_drain st;
     (match registry with
     | Some r ->
       let s =

@@ -263,26 +263,48 @@ let num_sources = Array.length source_names
 let source_name s = source_names.(source_index s)
 
 module Acc = struct
+  (* Flat int arrays, one cell per (dimension, source): charging is a
+     handful of integer adds with no vector records built. The engine
+     charges several times per simulated step, so this sits on the
+     hot path; vectors are only materialized on read (and for the
+     journal, which is absent in production runs). *)
   type acc = {
-    by_source : vector array;
-    mutable total : vector;
+    cycles_by : int array;
+    energy_by : int array;
+    mutable total_cycles : int;
+    mutable total_energy : int;
     journal : (source -> vector -> unit) option;
   }
 
   let create ?journal () =
-    { by_source = Array.make num_sources zero; total = zero; journal }
+    {
+      cycles_by = Array.make num_sources 0;
+      energy_by = Array.make num_sources 0;
+      total_cycles = 0;
+      total_energy = 0;
+      journal;
+    }
 
-  let charge acc src v =
+  let charge_raw acc src ~cycles ~energy_nj =
     let i = source_index src in
-    acc.by_source.(i) <- add acc.by_source.(i) v;
-    acc.total <- add acc.total v;
+    acc.cycles_by.(i) <- acc.cycles_by.(i) + cycles;
+    acc.energy_by.(i) <- acc.energy_by.(i) + energy_nj;
+    acc.total_cycles <- acc.total_cycles + cycles;
+    acc.total_energy <- acc.total_energy + energy_nj;
     match acc.journal with
-    | Some f -> f src v
+    | Some f -> f src { cycles; energy_nj }
     | None -> ()
 
-  let total acc = acc.total
-  let total_of acc src = acc.by_source.(source_index src)
+  let charge acc src v =
+    charge_raw acc src ~cycles:v.cycles ~energy_nj:v.energy_nj
+
+  let total acc = { cycles = acc.total_cycles; energy_nj = acc.total_energy }
+
+  let total_of acc src =
+    let i = source_index src in
+    { cycles = acc.cycles_by.(i); energy_nj = acc.energy_by.(i) }
 
   let dimension_totals acc =
-    List.map (fun d -> (dimension_name d, get acc.total d)) dimensions
+    let t = total acc in
+    List.map (fun d -> (dimension_name d, get t d)) dimensions
 end

@@ -143,6 +143,11 @@ module Acc : sig
   (** [journal] observes every charge as it lands. *)
 
   val charge : acc -> source -> vector -> unit
+
+  val charge_raw : acc -> source -> cycles:int -> energy_nj:int -> unit
+  (** [charge] without building the vector — the hot loops' form. The
+      journal (if any) still observes the charge as a vector. *)
+
   val total : acc -> vector
   val total_of : acc -> source -> vector
 

@@ -201,16 +201,175 @@ let of_json line =
   | exception Bad_json msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
+(* Packed representation                                               *)
+
+module Packed = struct
+  (* Struct-of-arrays chunk: the hot loops push events as a kind tag
+     plus up to three int fields into preallocated arrays, so emitting
+     an event costs a few stores and no heap allocation. The field
+     mapping below is the only place that knows which record field
+     lands in which slot; [get] is its exact inverse. *)
+  type chunk = {
+    cap : int;
+    mutable len : int;
+    kind : Bytes.t;  (** tag per event, same numbering as [kind_index] *)
+    at : int array;
+    a : int array;
+    b : int array;
+    c : int array;
+  }
+
+  let default_capacity = 4096
+
+  let create ?(capacity = default_capacity) () =
+    if capacity <= 0 then
+      invalid_arg "Sim.Events.Packed.create: capacity must be positive";
+    {
+      cap = capacity;
+      len = 0;
+      kind = Bytes.create capacity;
+      at = Array.make capacity 0;
+      a = Array.make capacity 0;
+      b = Array.make capacity 0;
+      c = Array.make capacity 0;
+    }
+
+  let capacity ch = ch.cap
+  let length ch = ch.len
+  let is_full ch = ch.len >= ch.cap
+  let clear ch = ch.len <- 0
+
+  let push ch k at a b c =
+    let i = ch.len in
+    if i >= ch.cap then invalid_arg "Sim.Events.Packed.push: chunk full";
+    Bytes.unsafe_set ch.kind i (Char.unsafe_chr k);
+    Array.unsafe_set ch.at i at;
+    Array.unsafe_set ch.a i a;
+    Array.unsafe_set ch.b i b;
+    Array.unsafe_set ch.c i c;
+    ch.len <- i + 1
+
+  (* Field mapping, one pusher per constructor. *)
+  let push_exec ch ~at ~block = push ch 0 at block 0 0
+  let push_exception ch ~at ~block = push ch 1 at block 0 0
+  let push_demand ch ~at ~block ~cycles = push ch 2 at block cycles 0
+  let push_prefetch ch ~at ~block ~ready_at = push ch 3 at block ready_at 0
+  let push_stall ch ~at ~block ~cycles = push ch 4 at block cycles 0
+  let push_patch ch ~at ~target ~site = push ch 5 at target site 0
+  let push_unpatch ch ~at ~target ~site = push ch 6 at target site 0
+
+  let push_discard ch ~at ~block ~patched_back ~wasted =
+    push ch 7 at block patched_back (if wasted then 1 else 0)
+
+  let push_evict ch ~at ~block = push ch 8 at block 0 0
+  let push_recompress_queued ch ~at ~block ~done_at = push ch 9 at block done_at 0
+  let push_flush ch ~at ~copies = push ch 10 at copies 0 0
+
+  (* Low-level writer plane: a reserve-then-write protocol for fused
+     producers. [unsafe_push_*] skip the capacity check (the caller
+     has checked [room]) and only store the fields their kind defines
+     — [get] never reads the others for that kind, so the stale slots
+     are unobservable. *)
+  let room ch = ch.cap - ch.len
+
+  let unsafe_push_ka ch ~kind ~at ~a =
+    let i = ch.len in
+    Bytes.unsafe_set ch.kind i (Char.unsafe_chr kind);
+    Array.unsafe_set ch.at i at;
+    Array.unsafe_set ch.a i a;
+    ch.len <- i + 1
+
+  let unsafe_push_kab ch ~kind ~at ~a ~b =
+    let i = ch.len in
+    Bytes.unsafe_set ch.kind i (Char.unsafe_chr kind);
+    Array.unsafe_set ch.at i at;
+    Array.unsafe_set ch.a i a;
+    Array.unsafe_set ch.b i b;
+    ch.len <- i + 1
+
+  let unsafe_push_kabc ch ~kind ~at ~a ~b ~c =
+    let i = ch.len in
+    Bytes.unsafe_set ch.kind i (Char.unsafe_chr kind);
+    Array.unsafe_set ch.at i at;
+    Array.unsafe_set ch.a i a;
+    Array.unsafe_set ch.b i b;
+    Array.unsafe_set ch.c i c;
+    ch.len <- i + 1
+
+  let push_event ch ev =
+    match ev with
+    | Exec { block; at } -> push_exec ch ~at ~block
+    | Exception { block; at } -> push_exception ch ~at ~block
+    | Demand_decompress { block; at; cycles } ->
+      push_demand ch ~at ~block ~cycles
+    | Prefetch_issue { block; at; ready_at } ->
+      push_prefetch ch ~at ~block ~ready_at
+    | Stall { block; at; cycles } -> push_stall ch ~at ~block ~cycles
+    | Patch { target; site; at } -> push_patch ch ~at ~target ~site
+    | Unpatch { target; site; at } -> push_unpatch ch ~at ~target ~site
+    | Discard { block; at; patched_back; wasted } ->
+      push_discard ch ~at ~block ~patched_back ~wasted
+    | Evict { block; at } -> push_evict ch ~at ~block
+    | Recompress_queued { block; at; done_at } ->
+      push_recompress_queued ch ~at ~block ~done_at
+    | Flush { at; copies } -> push_flush ch ~at ~copies
+
+  let kind_tag ch i =
+    if i < 0 || i >= ch.len then invalid_arg "Sim.Events.Packed.kind_tag";
+    Char.code (Bytes.unsafe_get ch.kind i)
+
+  let time_at ch i =
+    if i < 0 || i >= ch.len then invalid_arg "Sim.Events.Packed.time_at";
+    Array.unsafe_get ch.at i
+
+  let get ch i =
+    if i < 0 || i >= ch.len then invalid_arg "Sim.Events.Packed.get";
+    let at = ch.at.(i) and a = ch.a.(i) and b = ch.b.(i) and c = ch.c.(i) in
+    match Char.code (Bytes.unsafe_get ch.kind i) with
+    | 0 -> Exec { block = a; at }
+    | 1 -> Exception { block = a; at }
+    | 2 -> Demand_decompress { block = a; at; cycles = b }
+    | 3 -> Prefetch_issue { block = a; at; ready_at = b }
+    | 4 -> Stall { block = a; at; cycles = b }
+    | 5 -> Patch { target = a; site = b; at }
+    | 6 -> Unpatch { target = a; site = b; at }
+    | 7 -> Discard { block = a; at; patched_back = b; wasted = c <> 0 }
+    | 8 -> Evict { block = a; at }
+    | 9 -> Recompress_queued { block = a; at; done_at = b }
+    | 10 -> Flush { at; copies = a }
+    | k ->
+      invalid_arg
+        (Printf.sprintf "Sim.Events.Packed.get: bad kind tag %d" k)
+
+  let iter f ch =
+    for i = 0 to ch.len - 1 do
+      f (get ch i)
+    done
+end
+
+(* ------------------------------------------------------------------ *)
 (* Sinks                                                               *)
 
-type sink = { emit : t -> unit; close : unit -> unit }
+type sink = {
+  emit : t -> unit;
+  emit_chunk : Packed.chunk -> unit;
+  close : unit -> unit;
+}
 
-let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
-let callback f = { emit = f; close = (fun () -> ()) }
+(* Default chunk delivery for sinks that only understand boxed events:
+   decode each packed slot and feed the per-event path. *)
+let chunk_via f ch = Packed.iter f ch
+
+let null =
+  { emit = (fun _ -> ()); emit_chunk = (fun _ -> ()); close = (fun () -> ()) }
+
+let callback f =
+  { emit = f; emit_chunk = chunk_via f; close = (fun () -> ()) }
 
 let tee sinks =
   {
     emit = (fun ev -> List.iter (fun s -> s.emit ev) sinks);
+    emit_chunk = (fun ch -> List.iter (fun s -> s.emit_chunk ch) sinks);
     close = (fun () -> List.iter (fun s -> s.close ()) sinks);
   }
 
@@ -219,8 +378,8 @@ type collector = { mutable rev_events : t list }
 let collector () = { rev_events = [] }
 
 let collecting c =
-  { emit = (fun ev -> c.rev_events <- ev :: c.rev_events);
-    close = (fun () -> ()) }
+  let emit ev = c.rev_events <- ev :: c.rev_events in
+  { emit; emit_chunk = chunk_via emit; close = (fun () -> ()) }
 
 let collected c = List.rev c.rev_events
 
@@ -236,6 +395,24 @@ let counting c =
         c.per_kind.(k) <- c.per_kind.(k) + 1;
         let at = time ev in
         if at > c.last_at then c.last_at <- at);
+    emit_chunk =
+      (* Batched path: tally kinds straight off the tag bytes, no
+         boxed events materialized; the running max stays in a
+         register across the chunk. *)
+      (fun ch ->
+        let n = Packed.length ch in
+        let per_kind = c.per_kind in
+        let kind = ch.Packed.kind and at = ch.Packed.at in
+        let rec tally i last =
+          if i >= n then last
+          else begin
+            let k = Char.code (Bytes.unsafe_get kind i) in
+            Array.unsafe_set per_kind k (Array.unsafe_get per_kind k + 1);
+            let a = Array.unsafe_get at i in
+            tally (i + 1) (if a > last then a else last)
+          end
+        in
+        c.last_at <- tally 0 c.last_at);
     close = (fun () -> ());
   }
 
@@ -255,18 +432,27 @@ let total c = Array.fold_left ( + ) 0 c.per_kind
 let last_time c = c.last_at
 
 let jsonl oc =
-  {
-    emit =
-      (fun ev ->
-        output_string oc (to_json ev);
-        output_char oc '\n');
-    close = (fun () -> flush oc);
-  }
+  let emit ev =
+    output_string oc (to_json ev);
+    output_char oc '\n'
+  in
+  { emit; emit_chunk = chunk_via emit; close = (fun () -> flush oc) }
 
 let to_file path =
   let oc = open_out path in
   let inner = jsonl oc in
-  { emit = inner.emit; close = (fun () -> close_out oc) }
+  {
+    emit = inner.emit;
+    emit_chunk = inner.emit_chunk;
+    close = (fun () -> close_out oc);
+  }
+
+(* Shown in parse errors: enough of the line to recognize it, not
+   enough to flood a terminal when the "line" is a megabyte of junk. *)
+let truncate_line line =
+  let limit = 80 in
+  if String.length line <= limit then line
+  else String.sub line 0 limit ^ "..."
 
 let read_file path =
   match open_in path with
@@ -283,7 +469,9 @@ let read_file path =
         | Ok ev -> go (lineno + 1) (ev :: acc)
         | Error msg ->
           close_in ic;
-          Error (Printf.sprintf "%s:%d: %s" path lineno msg))
+          Error
+            (Printf.sprintf "%s:%d: %s in %S" path lineno msg
+               (truncate_line line)))
     in
     go 1 []
 
@@ -297,6 +485,7 @@ let observing registry =
      (Core.Metrics publishes a [stall_cycles] counter, for one). *)
   let stalls = Metrics.histogram registry "event_stall_cycles" in
   let demand = Metrics.histogram registry "event_demand_dec_cycles" in
+  let scratch = Array.make num_kinds 0 in
   {
     emit =
       (fun ev ->
@@ -306,5 +495,21 @@ let observing registry =
         | Demand_decompress { cycles; _ } -> Metrics.observe demand cycles
         | Exec _ | Exception _ | Prefetch_issue _ | Patch _ | Unpatch _
         | Discard _ | Evict _ | Recompress_queued _ | Flush _ -> ());
+    emit_chunk =
+      (* Batched path: one registry update per kind per chunk instead
+         of one per event; only the (rare) cost-bearing kinds touch
+         their histograms per event. *)
+      (fun ch ->
+        Array.fill scratch 0 num_kinds 0;
+        let n = Packed.length ch in
+        for i = 0 to n - 1 do
+          let k = Char.code (Bytes.unsafe_get ch.Packed.kind i) in
+          Array.unsafe_set scratch k (Array.unsafe_get scratch k + 1);
+          if k = 4 then Metrics.observe stalls ch.Packed.b.(i)
+          else if k = 2 then Metrics.observe demand ch.Packed.b.(i)
+        done;
+        for k = 0 to num_kinds - 1 do
+          if scratch.(k) > 0 then Metrics.incr ~by:scratch.(k) by_kind.(k)
+        done);
     close = (fun () -> ());
   }

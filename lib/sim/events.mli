@@ -52,10 +52,98 @@ val to_json : t -> string
 val of_json : string -> (t, string) result
 (** Parses exactly the objects {!to_json} emits. *)
 
+(** {1 Packed events}
+
+    The hot loops (the timing engine steps a million-entry trace, the
+    runtime executes real instructions) do not build one boxed {!t}
+    per event. They push events into a preallocated {!Packed.chunk} —
+    a kind tag plus up to three int fields, struct-of-arrays — and
+    hand whole chunks to the sink. Boxed events are reconstructed only
+    at sink boundaries that need them (collection, JSONL); counting
+    sinks tally straight off the tag bytes. *)
+
+module Packed : sig
+  type chunk
+  (** A bounded batch of packed events. Not thread-safe; producers
+      reuse one chunk, flushing it into a sink whenever it fills. *)
+
+  val default_capacity : int
+
+  val create : ?capacity:int -> unit -> chunk
+  (** @raise Invalid_argument when [capacity <= 0]. *)
+
+  val capacity : chunk -> int
+  val length : chunk -> int
+  val is_full : chunk -> bool
+
+  val clear : chunk -> unit
+  (** Resets [length] to 0; the producer's reuse point after a flush. *)
+
+  (** Pushers, one per constructor of {!type:t}. All raise
+      [Invalid_argument] on a full chunk — flush first. *)
+
+  val push_exec : chunk -> at:int -> block:int -> unit
+  val push_exception : chunk -> at:int -> block:int -> unit
+  val push_demand : chunk -> at:int -> block:int -> cycles:int -> unit
+  val push_prefetch : chunk -> at:int -> block:int -> ready_at:int -> unit
+  val push_stall : chunk -> at:int -> block:int -> cycles:int -> unit
+  val push_patch : chunk -> at:int -> target:int -> site:int -> unit
+  val push_unpatch : chunk -> at:int -> target:int -> site:int -> unit
+
+  val push_discard :
+    chunk -> at:int -> block:int -> patched_back:int -> wasted:bool -> unit
+
+  val push_evict : chunk -> at:int -> block:int -> unit
+  val push_recompress_queued : chunk -> at:int -> block:int -> done_at:int -> unit
+  val push_flush : chunk -> at:int -> copies:int -> unit
+
+  val push_event : chunk -> t -> unit
+  (** Packs a boxed event (the boundary-to-hot-path direction). *)
+
+  (** {2 Reserve-then-write plane}
+
+      For fused producers that emit several events per step: check
+      {!room} once, then push without per-event capacity checks. The
+      [unsafe_push_*] variants only store the fields their kind
+      defines ({!get} never reads the rest for that kind); the caller
+      is responsible for using the arity matching the constructor's
+      field map (see the pushers above). Pushing beyond capacity is
+      undefined behaviour. *)
+
+  val room : chunk -> int
+  (** Free slots left ([capacity - length]). *)
+
+  val unsafe_push_ka : chunk -> kind:int -> at:int -> a:int -> unit
+  val unsafe_push_kab : chunk -> kind:int -> at:int -> a:int -> b:int -> unit
+
+  val unsafe_push_kabc :
+    chunk -> kind:int -> at:int -> a:int -> b:int -> c:int -> unit
+
+  val kind_tag : chunk -> int -> int
+  (** Tag of the [i]th event, numbered like {!kinds} (declaration
+      order). @raise Invalid_argument out of bounds. *)
+
+  val time_at : chunk -> int -> int
+  (** [at] field of the [i]th event. @raise Invalid_argument out of
+      bounds. *)
+
+  val get : chunk -> int -> t
+  (** Reconstructs the [i]th event; exact inverse of the pushers.
+      @raise Invalid_argument out of bounds. *)
+
+  val iter : (t -> unit) -> chunk -> unit
+  (** [get] over every slot in push order. *)
+end
+
 (** {1 Sinks} *)
 
 type sink = {
   emit : t -> unit;
+  emit_chunk : Packed.chunk -> unit;
+      (** Consumes a whole packed batch. Equivalent to [Packed.iter
+          emit], but batching sinks override it to skip boxing. The
+          producer still owns the chunk and may [clear] and refill it
+          after the call returns — sinks must not retain it. *)
   close : unit -> unit;
       (** Flushes and releases whatever the sink holds; further
           [emit]s are a programming error with undefined behaviour. *)
@@ -110,8 +198,10 @@ val to_file : string -> sink
 (** Opens [path] for writing; [close] closes the file. *)
 
 val read_file : string -> (t list, string) result
-(** Reads a JSONL stream back, skipping blank lines. Returns the
-    first parse error as [Error] with a line number. *)
+(** Reads a JSONL stream back line by line (the file is never loaded
+    whole), skipping blank lines. Returns the first parse error as
+    [Error] carrying the line number and the offending line's content
+    (truncated to 80 characters). *)
 
 (** {2 Metrics bridge} *)
 

@@ -1,0 +1,101 @@
+(** Versioned binary serialization of basic-block traces — the compact
+    sibling of {!Io}'s text format, built for traces that are too big
+    to keep in text (10⁸–10⁹ events).
+
+    Grammar (all integers little-endian):
+
+    {v
+    file   := "ccbt" version:u8 flags:u8 count:i64 frame* end
+    frame  := n:varint(>0) raw:varint stored:varint
+              payload[stored] check:varint
+    end    := varint 0
+    v}
+
+    - [version] is 1. [flags] bit 0 set means every frame's payload is
+      LZSS-compressed (see {!Compress.Lzss}).
+    - [count] is the total number of ids, or -1 when the writer could
+      not backpatch it (unseekable output).
+    - A frame's payload is [n] block ids, each encoded as the
+      LEB128-style varint of the zigzag of its delta from the previous
+      id (the first id ever is a delta from 0); [raw] is the payload
+      size before frame compression, [stored] after ([raw = stored]
+      without LZSS). [check] is a 32-bit mix of the frame's ids, so
+      corruption that still parses is caught deterministically.
+
+    Every reader entry point returns [Error] on malformed input —
+    truncation, bit flips, absurd length claims — and never raises,
+    loops or allocates unboundedly: each length field is capped and
+    cross-checked before the corresponding buffer exists. *)
+
+val magic : string
+(** ["ccbt"], the 4-byte file prefix. *)
+
+val is_binary : string -> bool
+(** Does this buffer (or its first 4 bytes) start with {!magic}? *)
+
+val encode : ?lzss:bool -> ?frame:int -> int array -> string
+(** Whole-array encode. [frame] is the ids-per-frame granularity
+    (default 65536). @raise Invalid_argument if [frame <= 0]. *)
+
+val decode : string -> (int array, string) result
+(** Whole-buffer decode; exact inverse of {!encode}. *)
+
+(** {1 Streaming} *)
+
+module Writer : sig
+  type t
+
+  val create : ?lzss:bool -> ?frame:int -> out_channel -> t
+  (** Writes the header immediately. The caller keeps ownership of the
+      channel. @raise Invalid_argument if [frame <= 0]. *)
+
+  val push : t -> int -> unit
+  (** Appends one id, flushing a frame whenever one fills. *)
+
+  val close : t -> unit
+  (** Flushes the pending frame, writes the end marker and backpatches
+      [count] (left as -1 if the channel cannot seek). Does not close
+      the channel. Idempotent. *)
+end
+
+module Reader : sig
+  type t
+
+  val create : in_channel -> (t, string) result
+  (** Reads and validates the header. The caller keeps ownership of
+      the channel. *)
+
+  val lzss : t -> bool
+
+  val count : t -> int option
+  (** Header id count; [None] when the writer left it unknown. *)
+
+  val next : t -> (int array option, string) result
+  (** The next frame's ids ([Ok None] at the end marker, after which
+      the header count — when known — has been cross-checked). One
+      frame is the most that is ever in memory at once. *)
+end
+
+val write_file : ?lzss:bool -> ?frame:int -> string -> int array -> unit
+val read_file : string -> (int array, string) result
+
+val fold_file :
+  string -> init:'a -> f:('a -> int array -> 'a) -> ('a, string) result
+(** Streams a file chunk-by-chunk through [f] without ever holding
+    more than one frame of ids. *)
+
+(** {1 Inspection} *)
+
+type info = {
+  version : int;
+  lzss : bool;
+  header_count : int option;  (** [count] field; [None] if unknown *)
+  ids : int;  (** ids actually present across frames *)
+  frames : int;
+  stored_bytes : int;  (** payload bytes as stored *)
+  raw_bytes : int;  (** payload bytes before frame compression *)
+}
+
+val info : string -> (info, string) result
+(** Structural scan (validates framing and payloads like {!decode},
+    without materializing the ids). *)

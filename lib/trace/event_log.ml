@@ -1,0 +1,55 @@
+(* See the .mli: five ints per event through one Binary id stream. *)
+
+module Writer = struct
+  type t = Binary.Writer.t
+
+  let create ?(lzss = true) ?frame oc = Binary.Writer.create ~lzss ?frame oc
+
+  let push w ~kind ~at ~a ~b ~c =
+    Binary.Writer.push w kind;
+    Binary.Writer.push w at;
+    Binary.Writer.push w a;
+    Binary.Writer.push w b;
+    Binary.Writer.push w c
+
+  let close = Binary.Writer.close
+end
+
+(* Events can straddle frame boundaries (frames hold id counts chosen
+   by the writer, not multiples of five), so carry a <5-int remainder
+   from chunk to chunk. *)
+let fold_file path ~init ~f =
+  let rem = Array.make 5 0 in
+  let nrem = ref 0 in
+  let step acc ids =
+    let acc = ref acc in
+    let n = Array.length ids in
+    let i = ref 0 in
+    while !i < n do
+      if !nrem > 0 || n - !i < 5 then begin
+        (* fill the remainder buffer one int at a time *)
+        rem.(!nrem) <- ids.(!i);
+        incr nrem;
+        incr i;
+        if !nrem = 5 then begin
+          acc :=
+            f !acc ~kind:rem.(0) ~at:rem.(1) ~a:rem.(2) ~b:rem.(3) ~c:rem.(4);
+          nrem := 0
+        end
+      end
+      else begin
+        acc :=
+          f !acc ~kind:ids.(!i) ~at:ids.(!i + 1) ~a:ids.(!i + 2)
+            ~b:ids.(!i + 3) ~c:ids.(!i + 4);
+        i := !i + 5
+      end
+    done;
+    !acc
+  in
+  match Binary.fold_file path ~init ~f:step with
+  | Error e -> Error e
+  | Ok acc ->
+    if !nrem <> 0 then
+      Error
+        (Printf.sprintf "event log ends mid-event (%d trailing ints)" !nrem)
+    else Ok acc

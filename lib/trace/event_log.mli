@@ -1,0 +1,32 @@
+(** Binary event logs: the {!Binary} trace container reused as a
+    compact sink format for simulation event streams (the [.bin]
+    alternative to JSONL on [--trace-out]).
+
+    An event is five ints — [kind, at, a, b, c], using the packed
+    event field maps of [Sim.Events.Packed] — appended in order to one
+    {!Binary} id stream, so a log of [n] events is a binary trace of
+    [5n] ids and inherits the framing, varint/delta coding, optional
+    LZSS and corruption detection for free. This module only enforces
+    the five-int stride; interpreting the fields is the caller's
+    business (keeping this layer free of the event vocabulary). *)
+
+module Writer : sig
+  type t
+
+  val create : ?lzss:bool -> ?frame:int -> out_channel -> t
+  (** LZSS framing defaults to on: event streams are extremely
+      repetitive. [frame] (in ids, not events) is passed through to
+      {!Binary.Writer.create}. The caller keeps ownership of the
+      channel. *)
+
+  val push : t -> kind:int -> at:int -> a:int -> b:int -> c:int -> unit
+  val close : t -> unit
+end
+
+val fold_file :
+  string ->
+  init:'a ->
+  f:('a -> kind:int -> at:int -> a:int -> b:int -> c:int -> 'a) ->
+  ('a, string) result
+(** Streams a log back one event at a time; [Error] if the file is not
+    a well-formed binary stream of whole five-int events. *)

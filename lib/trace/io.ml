@@ -17,31 +17,71 @@ let strip_cr l =
   let n = String.length l in
   if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
 
+let is_blank l = String.trim l = ""
+
+(* Strictly a decimal integer: optional sign, then digits only. The
+   stdlib's [int_of_string] also accepts 0x/0o/0b radix prefixes and
+   embedded underscores — none of which belong in a trace file, and
+   all of which used to slip through (or worse, parse to surprising
+   values) when garbage followed a valid prefix. *)
+let parse_id l =
+  let l = String.trim l in
+  let n = String.length l in
+  let start = if n > 0 && (l.[0] = '-' || l.[0] = '+') then 1 else 0 in
+  if n = start then None
+  else begin
+    let ok = ref true in
+    for i = start to n - 1 do
+      match l.[i] with '0' .. '9' -> () | _ -> ok := false
+    done;
+    if !ok then int_of_string_opt l else None
+  end
+
 let of_string s =
   match List.map strip_cr (String.split_on_char '\n' s) with
   | h :: rest when h = header ->
-    let ids = List.filter (fun l -> String.trim l <> "") rest in
-    let rec parse acc = function
+    let rec parse acc lineno = function
       | [] -> Ok (Array.of_list (List.rev acc))
+      | l :: tl when is_blank l -> parse acc (lineno + 1) tl
       | l :: tl -> (
-        match int_of_string_opt (String.trim l) with
-        | Some v -> parse (v :: acc) tl
-        | None -> Error (Printf.sprintf "bad trace line %S" l))
+        match parse_id l with
+        | Some v -> parse (v :: acc) (lineno + 1) tl
+        | None ->
+          Error (Printf.sprintf "trace line %d: %S is not a block id" lineno l))
     in
-    parse [] ids
+    parse [] 2 rest
   | h :: _ -> Error (Printf.sprintf "bad trace header %S" h)
   | [] -> Error "empty trace file"
 
-let save path trace =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string trace))
+(* [save]/[load] speak both formats. Saving picks by explicit
+   [format], falling back to the file extension (.bin/.ctb = binary);
+   loading sniffs the magic bytes, so either format round-trips
+   through the same call. *)
+
+let binary_suffix path =
+  Filename.check_suffix path ".bin" || Filename.check_suffix path ".ctb"
+
+let save ?(format = `Auto) path trace =
+  let binary =
+    match format with
+    | `Binary -> true
+    | `Text -> false
+    | `Auto -> binary_suffix path
+  in
+  if binary then Binary.write_file path trace
+  else begin
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (to_string trace))
+  end
 
 let load path =
-  match open_in path with
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> of_string (In_channel.input_all ic))
-  | exception Sys_error msg -> Error msg
+      (fun () ->
+        let data = In_channel.input_all ic in
+        if Binary.is_binary data then Binary.decode data else of_string data)

@@ -1,11 +1,22 @@
-(** Plain-text serialization of basic-block traces, so profiling runs
-    can be captured once and replayed across experiments. *)
+(** Serialization of basic-block traces, so profiling runs can be
+    captured once and replayed across experiments. Two formats share
+    the entry points: the line-oriented text one below, and
+    {!Binary}'s compact framed one. *)
 
 val to_string : int array -> string
-(** Format: a ["ccomp-trace 1"] header line, one decimal block id per
-    line. *)
+(** Text format: a ["ccomp-trace 1"] header line, one decimal block id
+    per line. *)
 
 val of_string : string -> (int array, string) result
+(** Parses the text format strictly: blank lines (and CRLF endings)
+    are tolerated, but every other line must be exactly one decimal
+    integer — errors carry the line number and the offending
+    content. *)
 
-val save : string -> int array -> unit
+val save : ?format:[ `Auto | `Text | `Binary ] -> string -> int array -> unit
+(** [`Auto] (the default) picks binary for [.bin]/[.ctb] paths, text
+    otherwise. *)
+
 val load : string -> (int array, string) result
+(** Sniffs the format from the file's magic bytes; both formats load
+    through this one call. *)

@@ -37,6 +37,37 @@ for profile in paper-2005 cortex-m-flash sram-heavy; do
   }
 done
 
+# Trace-codec smoke: the bench smoke must have measured the binary
+# trace format's encode/decode throughput, so the format silently
+# dropping out of the measured set fails here.
+for key in trace/encode-MBps trace/decode-MBps trace/lzss-encode-MBps \
+  trace/lzss-decode-MBps streaming-100M/events-per-s; do
+  grep -q "\"$key\"" BENCH.json || {
+    echo "check: FAIL — BENCH.json is missing $key" >&2
+    exit 1
+  }
+done
+
+# Binary-trace smoke: generate a text trace, convert it to binary and
+# back; both hops must load to byte-identical id streams, and `trace
+# info` must parse the binary header.
+trace_dir=$(mktemp -d)
+ccomp=_build/default/bin/ccomp.exe
+"$ccomp" trace gen dijkstra --out "$trace_dir/t.txt" > /dev/null
+"$ccomp" trace convert "$trace_dir/t.txt" "$trace_dir/t.bin" --lzss > /dev/null
+"$ccomp" trace convert "$trace_dir/t.bin" "$trace_dir/t2.txt" --to text \
+  > /dev/null
+if ! cmp -s "$trace_dir/t.txt" "$trace_dir/t2.txt"; then
+  echo "check: FAIL — trace text->binary->text round trip is not identical" >&2
+  exit 1
+fi
+ids=$(($(wc -l < "$trace_dir/t.txt") - 1))
+"$ccomp" trace info "$trace_dir/t.bin" | grep -q "ids: *$ids\$" || {
+  echo "check: FAIL — trace info did not report $ids ids" >&2
+  exit 1
+}
+rm -rf "$trace_dir"
+
 # Pareto smoke: the energy/cycles sweep (E18, ~2s) must run and
 # report at least one workload whose energy-optimal k differs from
 # its cycles-optimal k — the reason the energy dimension exists.

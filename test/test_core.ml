@@ -768,7 +768,7 @@ let test_workload_event_coherence () =
     ]
 
 let () =
-  Alcotest.run "core-adaptive"
+  Alcotest.run ~and_exit:false "core-adaptive"
     [
       ( "adaptive",
         [
@@ -784,5 +784,80 @@ let () =
           qcheck prop_event_coherence;
           Alcotest.test_case "workload policies" `Quick
             test_workload_event_coherence;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Fast path (appended suite): the engine silently routes plain
+   on-demand/discard/k-edge runs through a fused allocation-free loop.
+   Passing any [charge_log] forces the general path, so the two can be
+   run on the same scenario and compared — metrics and the full event
+   stream must be indistinguishable. *)
+
+let prop_fast_path_equivalence =
+  let gen =
+    QCheck.Gen.(
+      let* blocks = int_range 2 14 in
+      let* extra_edges =
+        list_size (int_range 0 12)
+          (pair (int_range 0 (blocks - 1)) (int_range 0 (blocks - 1)))
+      in
+      let* len = int_range 1 400 in
+      let* seed = int_range 0 2000 in
+      let* k = int_range 1 12 in
+      return (blocks, extra_edges, len, seed, k))
+  in
+  QCheck.Test.make ~count:150 ~name:"fast path == general path"
+    (QCheck.make gen) (fun (blocks, extra_edges, len, seed, k) ->
+      let ring = List.init blocks (fun i -> (i, (i + 1) mod blocks)) in
+      let edges = List.sort_uniq compare (ring @ extra_edges) in
+      let g = Cfg.Graph.synthetic blocks edges in
+      let trace = Trace.Synthetic.markov ~seed g ~length:len in
+      let sc = Core.Scenario.of_graph g ~trace in
+      let policy = Core.Policy.on_demand ~k in
+      let fast_col = Sim.Events.collector () in
+      let fast =
+        Core.Scenario.run ~sink:(Sim.Events.collecting fast_col) sc policy
+      in
+      let gen_col = Sim.Events.collector () in
+      let general =
+        Core.Scenario.run
+          ~sink:(Sim.Events.collecting gen_col)
+          ~charge_log:(fun _ _ -> ())
+          sc policy
+      in
+      fast = general
+      && Sim.Events.collected fast_col = Sim.Events.collected gen_col)
+
+(* Same comparison on the counting sink (the tag-byte tally path). *)
+let test_fast_path_counts () =
+  let g, trace =
+    Trace.Synthetic.hot_cold ~hot_blocks:5 ~cold_blocks:9 ~hot_iters:7
+      ~cold_visit_every:4 ()
+  in
+  let sc = Core.Scenario.of_graph g ~trace in
+  let policy = Core.Policy.on_demand ~k:3 in
+  let fast = Sim.Events.counters () in
+  let m1 = Core.Scenario.run ~sink:(Sim.Events.counting fast) sc policy in
+  let general = Sim.Events.counters () in
+  let m2 =
+    Core.Scenario.run
+      ~sink:(Sim.Events.counting general)
+      ~charge_log:(fun _ _ -> ())
+      sc policy
+  in
+  checkb "metrics agree" true (m1 = m2);
+  checkb "counts agree" true
+    (Sim.Events.counts fast = Sim.Events.counts general);
+  checki "same last time" (Sim.Events.last_time general)
+    (Sim.Events.last_time fast)
+
+let () =
+  Alcotest.run "core-fastpath"
+    [
+      ( "fastpath",
+        [
+          qcheck prop_fast_path_equivalence;
+          Alcotest.test_case "counting sink" `Quick test_fast_path_counts;
         ] );
     ]

@@ -380,7 +380,7 @@ let test_constant_memory () =
     (growth < 500_000)
 
 let () =
-  Alcotest.run "sim"
+  Alcotest.run ~and_exit:false "sim"
     [
       ( "kernel",
         [
@@ -416,5 +416,159 @@ let () =
             test_engine_equivalence;
           Alcotest.test_case "constant memory at 1M steps" `Slow
             test_constant_memory;
+        ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Packed events (appended suite): the struct-of-arrays chunk must be
+   a lossless re-encoding of the boxed vocabulary — [get] is the exact
+   inverse of the pushers, over every constructor. *)
+
+let event_gen =
+  let open QCheck.Gen in
+  let id = int_range 0 50_000 in
+  let cyc = int_range 0 1_000_000 in
+  oneof
+    [
+      map2 (fun block at -> Sim.Events.Exec { block; at }) id cyc;
+      map2 (fun block at -> Sim.Events.Exception { block; at }) id cyc;
+      map3
+        (fun block at cycles ->
+          Sim.Events.Demand_decompress { block; at; cycles })
+        id cyc cyc;
+      map3
+        (fun block at ready_at ->
+          Sim.Events.Prefetch_issue { block; at; ready_at })
+        id cyc cyc;
+      map3 (fun block at cycles -> Sim.Events.Stall { block; at; cycles })
+        id cyc cyc;
+      map3 (fun target site at -> Sim.Events.Patch { target; site; at })
+        id id cyc;
+      map3 (fun target site at -> Sim.Events.Unpatch { target; site; at })
+        id id cyc;
+      map3
+        (fun block at (patched_back, wasted) ->
+          Sim.Events.Discard { block; at; patched_back; wasted })
+        id cyc
+        (pair (int_range 0 100) bool);
+      map2 (fun block at -> Sim.Events.Evict { block; at }) id cyc;
+      map3
+        (fun block at done_at ->
+          Sim.Events.Recompress_queued { block; at; done_at })
+        id cyc cyc;
+      map2 (fun at copies -> Sim.Events.Flush { at; copies }) cyc id;
+    ]
+
+let events_arb =
+  QCheck.make
+    ~print:(fun evs ->
+      String.concat "\n" (List.map Sim.Events.to_json evs))
+    QCheck.Gen.(list_size (int_range 0 200) event_gen)
+
+let prop_packed_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"packed get inverts push_event"
+    events_arb
+    (fun evs ->
+      let ch = Sim.Events.Packed.create () in
+      List.iter (Sim.Events.Packed.push_event ch) evs;
+      let back = ref [] in
+      Sim.Events.Packed.iter (fun e -> back := e :: !back) ch;
+      List.rev !back = evs
+      && Sim.Events.Packed.length ch = List.length evs
+      && List.for_all2
+           (fun ev i ->
+             Sim.Events.Packed.get ch i = ev
+             && Sim.Events.Packed.time_at ch i = Sim.Events.time ev
+             && List.nth Sim.Events.kinds (Sim.Events.Packed.kind_tag ch i)
+                = Sim.Events.kind ev)
+           evs
+           (List.init (List.length evs) Fun.id))
+
+(* The reserve-then-write plane stores only the fields each kind
+   defines; pushing through it with the documented field maps must be
+   indistinguishable from [push_event]. *)
+let unsafe_push_mapped ch ev =
+  let open Sim.Events in
+  match ev with
+  | Exec { block; at } -> Packed.unsafe_push_ka ch ~kind:0 ~at ~a:block
+  | Exception { block; at } -> Packed.unsafe_push_ka ch ~kind:1 ~at ~a:block
+  | Demand_decompress { block; at; cycles } ->
+    Packed.unsafe_push_kab ch ~kind:2 ~at ~a:block ~b:cycles
+  | Prefetch_issue { block; at; ready_at } ->
+    Packed.unsafe_push_kab ch ~kind:3 ~at ~a:block ~b:ready_at
+  | Stall { block; at; cycles } ->
+    Packed.unsafe_push_kab ch ~kind:4 ~at ~a:block ~b:cycles
+  | Patch { target; site; at } ->
+    Packed.unsafe_push_kab ch ~kind:5 ~at ~a:target ~b:site
+  | Unpatch { target; site; at } ->
+    Packed.unsafe_push_kab ch ~kind:6 ~at ~a:target ~b:site
+  | Discard { block; at; patched_back; wasted } ->
+    Packed.unsafe_push_kabc ch ~kind:7 ~at ~a:block ~b:patched_back
+      ~c:(if wasted then 1 else 0)
+  | Evict { block; at } -> Packed.unsafe_push_ka ch ~kind:8 ~at ~a:block
+  | Recompress_queued { block; at; done_at } ->
+    Packed.unsafe_push_kab ch ~kind:9 ~at ~a:block ~b:done_at
+  | Flush { at; copies } -> Packed.unsafe_push_ka ch ~kind:10 ~at ~a:copies
+
+let prop_packed_unsafe_plane =
+  QCheck.Test.make ~count:300 ~name:"unsafe pushers match the field maps"
+    events_arb
+    (fun evs ->
+      let ch = Sim.Events.Packed.create () in
+      List.iter
+        (fun ev ->
+          QCheck.assume (Sim.Events.Packed.room ch > 0);
+          unsafe_push_mapped ch ev)
+        evs;
+      let back = ref [] in
+      Sim.Events.Packed.iter (fun e -> back := e :: !back) ch;
+      List.rev !back = evs)
+
+let prop_packed_sink_equivalence =
+  QCheck.Test.make ~count:200
+    ~name:"emit_chunk == iter emit on counting and collecting sinks"
+    events_arb
+    (fun evs ->
+      let ch = Sim.Events.Packed.create () in
+      List.iter (Sim.Events.Packed.push_event ch) evs;
+      (* counting: tally off tag bytes vs one boxed emit at a time *)
+      let by_chunk = Sim.Events.counters () in
+      (Sim.Events.counting by_chunk).Sim.Events.emit_chunk ch;
+      let one_by_one = Sim.Events.counters () in
+      List.iter (Sim.Events.counting one_by_one).Sim.Events.emit evs;
+      (* collecting: boxing at the boundary preserves order *)
+      let col = Sim.Events.collector () in
+      (Sim.Events.collecting col).Sim.Events.emit_chunk ch;
+      Sim.Events.counts by_chunk = Sim.Events.counts one_by_one
+      && Sim.Events.last_time by_chunk = Sim.Events.last_time one_by_one
+      && Sim.Events.collected col = evs)
+
+let test_packed_chunk_basics () =
+  let ch = Sim.Events.Packed.create ~capacity:2 () in
+  checki "capacity" 2 (Sim.Events.Packed.capacity ch);
+  checki "room" 2 (Sim.Events.Packed.room ch);
+  checkb "not full" true (not (Sim.Events.Packed.is_full ch));
+  Sim.Events.Packed.push_exec ch ~at:1 ~block:0;
+  Sim.Events.Packed.push_flush ch ~at:2 ~copies:3;
+  checkb "full" true (Sim.Events.Packed.is_full ch);
+  checki "no room" 0 (Sim.Events.Packed.room ch);
+  Alcotest.check_raises "push on full"
+    (Invalid_argument "Sim.Events.Packed.push: chunk full") (fun () ->
+      Sim.Events.Packed.push_exec ch ~at:3 ~block:1);
+  Sim.Events.Packed.clear ch;
+  checki "cleared" 0 (Sim.Events.Packed.length ch);
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Sim.Events.Packed.create: capacity must be positive")
+    (fun () -> ignore (Sim.Events.Packed.create ~capacity:0 ()))
+
+let () =
+  Alcotest.run "sim-packed"
+    [
+      ( "packed",
+        [
+          Alcotest.test_case "chunk basics" `Quick test_packed_chunk_basics;
+          QCheck_alcotest.to_alcotest prop_packed_roundtrip;
+          QCheck_alcotest.to_alcotest prop_packed_unsafe_plane;
+          QCheck_alcotest.to_alcotest prop_packed_sink_equivalence;
         ] );
     ]

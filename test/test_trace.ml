@@ -220,7 +220,7 @@ let prop_survival_monotone =
       f 1 <= f 2 +. 1e-9 && f 2 <= f 4 +. 1e-9 && f 4 <= f 8 +. 1e-9)
 
 let () =
-  Alcotest.run "trace-analysis"
+  Alcotest.run ~and_exit:false "trace-analysis"
     [
       ( "analysis",
         [
@@ -231,4 +231,222 @@ let () =
           Alcotest.test_case "summary" `Quick test_summary_renders;
           QCheck_alcotest.to_alcotest prop_survival_monotone;
         ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Binary format (appended suite)                                      *)
+
+(* Block ids in practice are small non-negatives, but the container
+   must round-trip any int the delta coder can see — including
+   negatives and large magnitudes that exercise multi-byte varints. *)
+let ids_gen =
+  QCheck.(
+    list
+      (oneof
+         [
+           int_range 0 64;
+           int_range (-1000) 1000;
+           int_range (-1_000_000_000) 1_000_000_000;
+         ]))
+
+let roundtrip_prop ~lzss (ids, frame) =
+  let ids = Array.of_list ids in
+  match Trace.Binary.decode (Trace.Binary.encode ~lzss ~frame ids) with
+  | Ok ids' -> ids' = ids
+  | Error _ -> false
+
+let prop_binary_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"binary round-trip (plain)"
+    QCheck.(pair ids_gen (int_range 1 64))
+    (roundtrip_prop ~lzss:false)
+
+let prop_binary_roundtrip_lzss =
+  QCheck.Test.make ~count:300 ~name:"binary round-trip (lzss)"
+    QCheck.(pair ids_gen (int_range 1 64))
+    (roundtrip_prop ~lzss:true)
+
+(* Any strict prefix of a valid encoding must decode to [Error] —
+   never raise, loop, or silently return a short array. *)
+let prop_binary_truncation =
+  QCheck.Test.make ~count:300 ~name:"truncation is always Error"
+    QCheck.(triple ids_gen bool small_nat)
+    (fun (ids, lzss, cut) ->
+      let enc = Trace.Binary.encode ~lzss ~frame:16 (Array.of_list ids) in
+      let cut = cut mod String.length enc in
+      Result.is_error (Trace.Binary.decode (String.sub enc 0 cut)))
+
+(* A single bit flip must either be rejected or land on a bit the
+   decoder provably ignores (yielding the identical array) — it can
+   never corrupt data silently. *)
+let prop_binary_bitflip =
+  QCheck.Test.make ~count:500 ~name:"bit flip is Error or harmless"
+    QCheck.(triple ids_gen small_nat (int_range 0 7))
+    (fun (ids, pos, bit) ->
+      let ids = Array.of_list ids in
+      let enc = Trace.Binary.encode ~lzss:true ~frame:16 ids in
+      let pos = pos mod String.length enc in
+      let buf = Bytes.of_string enc in
+      Bytes.set buf pos
+        (Char.chr (Char.code (Bytes.get buf pos) lxor (1 lsl bit)));
+      match Trace.Binary.decode (Bytes.to_string buf) with
+      | Error _ -> true
+      | Ok ids' -> ids' = ids)
+
+let test_binary_empty () =
+  let enc = Trace.Binary.encode [||] in
+  checkb "magic" true (Trace.Binary.is_binary enc);
+  match Trace.Binary.decode enc with
+  | Ok t -> checki "empty roundtrip" 0 (Array.length t)
+  | Error msg -> Alcotest.failf "empty decode failed: %s" msg
+
+let test_binary_rejects_garbage () =
+  checkb "not binary" true (not (Trace.Binary.is_binary "ccomp-trace 1\n0\n"));
+  checkb "garbage" true (Result.is_error (Trace.Binary.decode "ccbtXXXX"));
+  let enc = Trace.Binary.encode [| 1; 2; 3 |] in
+  checkb "trailing junk" true
+    (Result.is_error (Trace.Binary.decode (enc ^ "\001")))
+
+let test_binary_info () =
+  let ids = Array.init 1000 (fun i -> i mod 13) in
+  let enc = Trace.Binary.encode ~lzss:true ~frame:100 ids in
+  match Trace.Binary.info enc with
+  | Error msg -> Alcotest.failf "info failed: %s" msg
+  | Ok i ->
+    checki "version" 1 i.Trace.Binary.version;
+    checkb "lzss flag" true i.Trace.Binary.lzss;
+    checkb "header count" true (i.Trace.Binary.header_count = Some 1000);
+    checki "ids" 1000 i.Trace.Binary.ids;
+    checki "frames" 10 i.Trace.Binary.frames;
+    checkb "lzss shrinks this" true
+      (i.Trace.Binary.stored_bytes < i.Trace.Binary.raw_bytes)
+
+let test_binary_streaming_writer () =
+  (* The streaming writer must produce a stream the one-shot decoder
+     accepts, and the chunked reader must agree with it. *)
+  let path = Filename.temp_file "ccomp" ".ctb" in
+  let ids = Array.init 10_000 (fun i -> (i * 7) mod 97) in
+  let oc = open_out_bin path in
+  let w = Trace.Binary.Writer.create ~lzss:true ~frame:777 oc in
+  Array.iter (fun id -> Trace.Binary.Writer.push w id) ids;
+  Trace.Binary.Writer.close w;
+  close_out oc;
+  (match Trace.Binary.read_file path with
+  | Ok ids' -> checkb "writer/decode agree" true (ids' = ids)
+  | Error msg -> Alcotest.failf "read_file failed: %s" msg);
+  (match
+     Trace.Binary.fold_file path ~init:[] ~f:(fun acc chunk ->
+         chunk :: acc)
+   with
+  | Error msg -> Alcotest.failf "fold_file failed: %s" msg
+  | Ok rev_chunks ->
+    let flat = Array.concat (List.rev rev_chunks) in
+    checkb "fold_file agrees" true (flat = ids);
+    checkb "several frames" true (List.length rev_chunks > 1));
+  Sys.remove path
+
+let test_io_auto_format () =
+  let ids = Array.init 500 (fun i -> i mod 11) in
+  let bin = Filename.temp_file "ccomp" ".bin" in
+  let txt = Filename.temp_file "ccomp" ".trace" in
+  Trace.Io.save bin ids;
+  Trace.Io.save txt ids;
+  let read_all p =
+    let ic = open_in_bin p in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  checkb ".bin is binary" true (Trace.Binary.is_binary (read_all bin));
+  checkb ".trace is text" true (not (Trace.Binary.is_binary (read_all txt)));
+  (match (Trace.Io.load bin, Trace.Io.load txt) with
+  | Ok a, Ok b ->
+    checkb "binary load" true (a = ids);
+    checkb "text load" true (b = ids)
+  | Error msg, _ | _, Error msg -> Alcotest.failf "auto load failed: %s" msg);
+  Sys.remove bin;
+  Sys.remove txt
+
+let test_io_strict_parsing () =
+  let expect_err body frag =
+    match Trace.Io.of_string ("ccomp-trace 1\n" ^ body) with
+    | Ok _ -> Alcotest.failf "accepted %S" body
+    | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i =
+          i + nn <= nh && (String.sub hay i nn = needle || at (i + 1))
+        in
+        at 0
+      in
+      checkb
+        (Printf.sprintf "%S error mentions %S" body frag)
+        true (contains msg frag)
+  in
+  (* int_of_string would happily take all of these *)
+  expect_err "0x10\n" "0x10";
+  expect_err "1_0\n" "1_0";
+  expect_err "0b101\n" "line 2";
+  expect_err "3\n4\n5junk\n" "line 4";
+  expect_err "3\n- 4\n" "line 3";
+  (* signs are still fine *)
+  match Trace.Io.of_string "ccomp-trace 1\n-4\n+3\n" with
+  | Ok t -> checkb "signed ids" true (t = [| -4; 3 |])
+  | Error msg -> Alcotest.failf "signed parse failed: %s" msg
+
+let test_event_log_roundtrip () =
+  let path = Filename.temp_file "ccomp" ".bin" in
+  let events =
+    List.init 400 (fun i ->
+        ((i * 3) mod 11, i, (i * 5) mod 97, -i, i mod 2))
+  in
+  let oc = open_out_bin path in
+  (* frame of 7 ids is not a multiple of 5, so events straddle frames *)
+  let w = Trace.Event_log.Writer.create ~lzss:true ~frame:7 oc in
+  List.iter
+    (fun (kind, at, a, b, c) -> Trace.Event_log.Writer.push w ~kind ~at ~a ~b ~c)
+    events;
+  Trace.Event_log.Writer.close w;
+  close_out oc;
+  (match
+     Trace.Event_log.fold_file path ~init:[] ~f:(fun acc ~kind ~at ~a ~b ~c ->
+         (kind, at, a, b, c) :: acc)
+   with
+  | Error msg -> Alcotest.failf "event fold failed: %s" msg
+  | Ok rev -> checkb "event roundtrip" true (List.rev rev = events));
+  (* a log whose id count is not a multiple of five is rejected *)
+  let oc = open_out_bin path in
+  let w = Trace.Binary.Writer.create ~lzss:false oc in
+  List.iter (Trace.Binary.Writer.push w) [ 1; 2; 3; 4; 5; 6; 7 ];
+  Trace.Binary.Writer.close w;
+  close_out oc;
+  checkb "mid-event tail rejected" true
+    (Result.is_error
+       (Trace.Event_log.fold_file path ~init:() ~f:(fun () ~kind:_ ~at:_ ~a:_
+                                                        ~b:_ ~c:_ -> ())));
+  Sys.remove path
+
+let () =
+  Alcotest.run "trace-binary"
+    [
+      ( "binary",
+        [
+          Alcotest.test_case "empty" `Quick test_binary_empty;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_binary_rejects_garbage;
+          Alcotest.test_case "info" `Quick test_binary_info;
+          Alcotest.test_case "streaming writer" `Quick
+            test_binary_streaming_writer;
+          QCheck_alcotest.to_alcotest prop_binary_roundtrip;
+          QCheck_alcotest.to_alcotest prop_binary_roundtrip_lzss;
+          QCheck_alcotest.to_alcotest prop_binary_truncation;
+          QCheck_alcotest.to_alcotest prop_binary_bitflip;
+        ] );
+      ( "io-strict",
+        [
+          Alcotest.test_case "auto format" `Quick test_io_auto_format;
+          Alcotest.test_case "strict parsing" `Quick test_io_strict_parsing;
+        ] );
+      ( "event-log",
+        [ Alcotest.test_case "roundtrip" `Quick test_event_log_roundtrip ] );
     ]
