@@ -13,14 +13,28 @@ let workload_arg =
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
 
+(* Validated at parse time against the live registry (same known-set
+   message as the service), so a typo'd codec is a usage error in
+   every subcommand that takes one, not an Invalid_argument escaping
+   from a resolve deep inside a sweep. *)
 let codec_arg =
+  let parse s =
+    if s = "code" || List.mem s (Compress.Registry.names ()) then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown codec %S (known: code, %s)" s
+              (String.concat ", " (Compress.Registry.names ()))))
+  in
+  let codec_conv = Arg.conv ~docv:"CODEC" (parse, Format.pp_print_string) in
   let doc =
     Printf.sprintf
       "Codec: %s, or 'code' for the positional shared-Huffman model \
-       trained on the workload itself (default)."
+       trained on the workload itself (default). See `ccomp compress \
+       --list`."
       (String.concat ", " (Compress.Registry.names ()))
   in
-  Arg.(value & opt string "code" & info [ "codec" ] ~docv:"CODEC" ~doc)
+  Arg.(value & opt codec_conv "code" & info [ "codec" ] ~docv:"CODEC" ~doc)
 
 (* Bounds-checked integer options: a bad --k/--jobs/--queue/--budget
    is a usage error cmdliner reports cleanly, not an Invalid_argument
@@ -68,6 +82,21 @@ let k_arg =
     value
     & opt (positive_int "k") 8
     & info [ "k" ] ~docv:"K" ~doc:"k of the k-edge compression algorithm.")
+
+let line_size_arg =
+  let doc =
+    Printf.sprintf
+      "Compress and retain the image per fixed-size cache line of $(docv) \
+       bytes instead of per basic block — the compressed-I-cache \
+       scenario. The bdi-* and cpack-* codecs are line codecs at sizes \
+       %s."
+      (String.concat ", "
+         (List.map string_of_int Compress.Linecodec.line_sizes))
+  in
+  Arg.(
+    value
+    & opt (some (bounded_int ~min:4 "line-size")) None
+    & info [ "line-size" ] ~docv:"BYTES" ~doc)
 
 let lookahead_arg =
   Arg.(
@@ -235,7 +264,7 @@ let scenario_of ~codec name =
 (* ccomp sim                                                           *)
 
 let sim workload codec k strategy lookahead predictor budget recompress
-    retention device_profile trace_out metrics =
+    retention device_profile line_size trace_out metrics =
   match scenario_of ~codec workload with
   | sc -> (
     let predictor =
@@ -264,8 +293,13 @@ let sim workload codec k strategy lookahead predictor budget recompress
     try
       let m =
         with_observability trace_out metrics (fun ?sink ?registry () ->
-            Core.Scenario.run ~profile:device_profile ?sink ?registry sc
-              policy)
+            match line_size with
+            | None ->
+              Core.Scenario.run ~profile:device_profile ?sink ?registry sc
+                policy
+            | Some line_size ->
+              Core.Lineview.run ~profile:device_profile ?sink ?registry
+                ~line_size sc policy)
       in
       Format.printf "%a@." Core.Metrics.pp m;
       0
@@ -284,7 +318,8 @@ let sim_cmd =
     Term.(
       const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
       $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg
-      $ retention_arg $ device_profile_arg $ trace_out_arg $ metrics_arg)
+      $ retention_arg $ device_profile_arg $ line_size_arg $ trace_out_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Fleet options (shared by sweep and experiments)                     *)
@@ -446,14 +481,13 @@ let experiments_cmd =
 (* ccomp sweep                                                         *)
 
 let sweep workloads ks codec strategy lookahead predictor budget recompress
-    retention device_profile jobs cache_dir no_cache progress fuel timeout_ms
-    metrics =
+    retention device_profile line_size jobs cache_dir no_cache progress fuel
+    timeout_ms metrics =
   match
     let names =
       match workloads with [] -> Workloads.Suite.names | ws -> ws
     in
     List.iter (fun n -> ignore (Workloads.Suite.find_exn n)) names;
-    if codec <> "code" then ignore (Compress.Registry.find_exn codec);
     let predictor =
       match predictor with
       | `First -> "first"
@@ -488,7 +522,8 @@ let sweep workloads ks codec strategy lookahead predictor budget recompress
     let specs =
       Fleet.Sweep.matrix ~codecs:[ codec ] ~strategies:[ strategy ]
         ~modes:[ mode ] ~budgets:[ budget ] ~retentions:[ retention ]
-        ~profiles:[ device_profile ] ~scenarios:names ~ks ()
+        ~profiles:[ device_profile ] ~line_sizes:[ line_size ]
+        ~scenarios:names ~ks ()
     in
     let registry = Sim.Metrics.create () in
     let outcomes =
@@ -583,7 +618,7 @@ let sweep_cmd =
     Term.(
       const sweep $ workloads $ ks $ codec_arg $ strategy_arg $ lookahead_arg
       $ predictor_arg $ budget_arg $ recompress_arg $ retention_arg
-      $ device_profile_arg $ jobs_arg
+      $ device_profile_arg $ line_size_arg $ jobs_arg
       $ cache_dir_arg ~default:true
       $ no_cache_arg $ progress_arg $ fuel $ timeout_ms $ metrics_arg)
 
@@ -875,7 +910,8 @@ let cc_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp run                                                           *)
 
-let run_real workload codec k retention device_profile trace_out metrics =
+let run_real workload codec k retention device_profile line_size trace_out
+    metrics =
   let w = Workloads.Suite.find_exn workload in
   let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
   let codec_v =
@@ -891,7 +927,7 @@ let run_real workload codec k retention device_profile trace_out metrics =
   match
     with_observability trace_out metrics (fun ?sink ?registry () ->
         Runtime.run ~k ~retention ~profile:device_profile ?codec:codec_v
-          ?sink ?registry prog)
+          ?line_size ?sink ?registry prog)
   with
   | Ok (machine, stats) ->
     let got = Eris.Machine.read_word machine w.Workloads.Common.result_addr in
@@ -925,7 +961,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run_real $ workload_arg $ codec_arg $ k_arg $ retention_arg
-      $ device_profile_arg $ trace_out_arg $ metrics_arg)
+      $ device_profile_arg $ line_size_arg $ trace_out_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp analyze                                                       *)
@@ -1352,7 +1388,36 @@ let cache_cmd =
    images, through the same Compress.Stats.throughput measurement the
    bench harness uses — the CLI answer to "how fast is decompression
    on this machine", next to the simulator's cycle-cost model. *)
-let compress_report workloads min_time_ms =
+(* `ccomp compress --list`: the registry contents, so --codec takers
+   and the unknown-codec error have a discoverable source of truth. *)
+let compress_list () =
+  let t =
+    Report.Table.create
+      ~title:
+        "registered codecs (--codec also takes 'code': the positional \
+         shared-Huffman model trained on the workload itself)"
+      ~columns:
+        [
+          ("codec", Report.Table.Left);
+          ("dec cycles/B", Report.Table.Right);
+          ("comp cycles/B", Report.Table.Right);
+        ]
+  in
+  List.iter
+    (fun (c : Compress.Codec.t) ->
+      Report.Table.add_row t
+        [
+          c.name;
+          string_of_int c.dec_cycles_per_byte;
+          string_of_int c.comp_cycles_per_byte;
+        ])
+    (Compress.Registry.all ());
+  Report.Table.print t;
+  0
+
+let compress_report list_only workloads min_time_ms =
+  if list_only then compress_list ()
+  else
   let names =
     match workloads with [] -> Workloads.Suite.names | ws -> ws
   in
@@ -1430,12 +1495,20 @@ let compress_cmd =
       & info [ "min-time" ] ~docv:"MS"
           ~doc:"Minimum wall-clock time per codec per direction.")
   in
+  let list_only =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:
+            "List the registered codecs (with their modeled cycle costs) \
+             and exit without measuring anything.")
+  in
   let doc =
     "Measure per-codec compress/decompress throughput and ratio on \
      workload images (same measurement code as the bench harness)."
   in
   Cmd.v (Cmd.info "compress" ~doc)
-    Term.(const compress_report $ workloads $ min_time)
+    Term.(const compress_report $ list_only $ workloads $ min_time)
 
 (* ------------------------------------------------------------------ *)
 

@@ -26,6 +26,17 @@ module Writer = struct
 
   let add_bit t b = add_bits t ~value:(if b then 1 else 0) ~bits:1
 
+  (* Byte-aligned writers blit; misaligned ones fall back to the
+     bit path, byte by byte. Same wire bytes either way. *)
+  let write_bytes t b ~pos ~len =
+    if pos < 0 || len < 0 || pos > Bytes.length b - len then
+      invalid_arg "Bitio.Writer.write_bytes";
+    if t.nbits = 0 then Buffer.add_subbytes t.buf b pos len
+    else
+      for i = pos to pos + len - 1 do
+        add_bits t ~value:(Char.code (Bytes.unsafe_get b i)) ~bits:8
+      done
+
   let bit_length t = (Buffer.length t.buf * 8) + t.nbits
 
   let contents t =
@@ -91,4 +102,29 @@ module Reader = struct
     let v = peek t 1 in
     consume t 1;
     v = 1
+
+  (* Byte-aligned readers drain the accumulator's whole bytes, then
+     blit straight from the input; misaligned ones fall back to
+     read_bits. Same consumed bits either way. *)
+  let read_bytes t len =
+    if len < 0 then invalid_arg "Bitio.Reader.read_bytes";
+    if len * 8 > bits_left t then raise (Codec.Corrupt "Bitio: out of bits");
+    let out = Bytes.create len in
+    if t.nbits land 7 = 0 then begin
+      let i = ref 0 in
+      while t.nbits > 0 && !i < len do
+        t.nbits <- t.nbits - 8;
+        Bytes.unsafe_set out !i (Char.unsafe_chr ((t.acc lsr t.nbits) land 0xFF));
+        t.acc <- t.acc land ((1 lsl t.nbits) - 1);
+        incr i
+      done;
+      let rest = len - !i in
+      Bytes.blit t.data t.byte_pos out !i rest;
+      t.byte_pos <- t.byte_pos + rest
+    end
+    else
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set out i (Char.unsafe_chr (read_bits t 8))
+      done;
+    out
 end

@@ -17,6 +17,13 @@ module Writer : sig
   (** Writes the low [bits] bits of [value], most significant first.
       @raise Invalid_argument if [bits] is outside [0, 30]. *)
 
+  val write_bytes : t -> bytes -> pos:int -> len:int -> unit
+  (** Appends [len] whole bytes from [b] starting at [pos], MSB-first
+      — exactly [8 * len] calls to {!add_bits} with 8-bit values, but
+      a single buffer blit when the writer is byte-aligned (the line
+      codecs' payload sections and immediate fallback hit this path).
+      @raise Invalid_argument on an out-of-bounds slice. *)
+
   val bit_length : t -> int
 
   val contents : t -> bytes
@@ -52,4 +59,11 @@ module Reader : sig
       @raise Invalid_argument if [bits] is outside [0, 30] (mirrors
       {!Writer.add_bits}).
       @raise Compress.Codec.Corrupt past the end of input. *)
+
+  val read_bytes : t -> int -> bytes
+  (** [read_bytes t len] reads [len] whole bytes — equivalent to [len]
+      8-bit {!read_bits} calls, but a single blit from the input when
+      the reader is byte-aligned. Checks the full length up front.
+      @raise Compress.Codec.Corrupt if fewer than [8 * len] bits
+      remain. *)
 end

@@ -1,0 +1,196 @@
+type family =
+  | Bdi
+  | Cpack
+
+let line_sizes = Lines.Line.sizes
+
+let family_name = function Bdi -> "bdi" | Cpack -> "cpack"
+let name f size = Printf.sprintf "%s-%d" (family_name f) size
+
+let of_name s =
+  let try_family f =
+    let prefix = family_name f ^ "-" in
+    let pl = String.length prefix in
+    if String.length s > pl && String.sub s 0 pl = prefix then
+      match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+      | Some size when List.mem size line_sizes -> Some (f, size)
+      | _ -> None
+    else None
+  in
+  match try_family Bdi with Some _ as r -> r | None -> try_family Cpack
+
+(* Decoders bound the claimed original length before trusting it; the
+   tag-section and total-size checks below then pin every other size
+   to the real input, so nothing is allocated from corrupt framing. *)
+let max_claim = 1 lsl 30
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Codec.Corrupt m)) fmt
+
+let write_header w n =
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Int32.of_int n);
+  Bitio.Writer.write_bytes w hdr ~pos:0 ~len:4
+
+let read_header z =
+  if Bytes.length z < 4 then corrupt "Linecodec: missing length header";
+  let n = Int32.to_int (Bytes.get_int32_le z 0) land 0xFFFFFFFF in
+  if n > max_claim then corrupt "Linecodec: absurd claimed length %d" n;
+  n
+
+let pad_to_byte w =
+  let r = Bitio.Writer.bit_length w land 7 in
+  if r > 0 then Bitio.Writer.add_bits w ~value:0 ~bits:(8 - r)
+
+let skip_padding r ~bits_read =
+  let pad = (8 - (bits_read land 7)) land 7 in
+  if pad > 0 then ignore (Bitio.Reader.read_bits r pad)
+
+let line_len ~line_size ~total i = min line_size (total - (i * line_size))
+
+(* ------------------------------------------------------------------ *)
+(* BDI                                                                 *)
+
+let bdi_compress ~line_size b =
+  let n = Bytes.length b in
+  let nlines = (n + line_size - 1) / line_size in
+  let encoded =
+    Array.init nlines (fun i ->
+        Lines.Bdi.compress b ~pos:(i * line_size)
+          ~len:(line_len ~line_size ~total:n i))
+  in
+  let w = Bitio.Writer.create () in
+  write_header w n;
+  Array.iter
+    (fun (enc, payload) ->
+      Bitio.Writer.add_bits w ~value:enc ~bits:4;
+      Bitio.Writer.add_bits w
+        ~value:(Lines.Bdi.segments ~payload_bytes:(Bytes.length payload))
+        ~bits:7)
+    encoded;
+  pad_to_byte w;
+  Array.iter
+    (fun (_, payload) ->
+      Bitio.Writer.write_bytes w payload ~pos:0 ~len:(Bytes.length payload))
+    encoded;
+  Bitio.Writer.contents w
+
+let bdi_decompress ~line_size z =
+  let total = Bytes.length z in
+  let n = read_header z in
+  let nlines = (n + line_size - 1) / line_size in
+  let tag_bytes = ((Lines.Bdi.tag_bits * nlines) + 7) / 8 in
+  if 4 + tag_bytes > total then corrupt "Linecodec: truncated bdi tag section";
+  let r = Bitio.Reader.create ~pos:4 z in
+  let payload_of = Array.make nlines 0 in
+  let encoding_of = Array.make nlines 0 in
+  let payload_total = ref 0 in
+  for i = 0 to nlines - 1 do
+    let enc = Bitio.Reader.read_bits r 4 in
+    let ptr = Bitio.Reader.read_bits r 7 in
+    let len = line_len ~line_size ~total:n i in
+    match Lines.Bdi.payload_bytes ~encoding:enc ~len with
+    | None -> corrupt "Linecodec: bdi encoding %d invalid for %d-byte line" enc len
+    | Some p ->
+      if Lines.Bdi.segments ~payload_bytes:p <> ptr then
+        corrupt "Linecodec: bdi segment pointer %d does not match encoding %d"
+          ptr enc;
+      encoding_of.(i) <- enc;
+      payload_of.(i) <- p;
+      payload_total := !payload_total + p
+  done;
+  skip_padding r ~bits_read:(Lines.Bdi.tag_bits * nlines);
+  if 4 + tag_bytes + !payload_total <> total then
+    corrupt "Linecodec: bdi stream is %d bytes, framing says %d" total
+      (4 + tag_bytes + !payload_total);
+  let out = Bytes.create n in
+  for i = 0 to nlines - 1 do
+    let payload = Bitio.Reader.read_bytes r payload_of.(i) in
+    let len = line_len ~line_size ~total:n i in
+    let line = Lines.Bdi.decompress ~encoding:encoding_of.(i) ~len payload in
+    Bytes.blit line 0 out (i * line_size) len
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* CPack                                                               *)
+
+let cpack_compress ~line_size b =
+  let n = Bytes.length b in
+  let nlines = (n + line_size - 1) / line_size in
+  let encoded =
+    Array.init nlines (fun i ->
+        Lines.Cpack.compress b ~pos:(i * line_size)
+          ~len:(line_len ~line_size ~total:n i))
+  in
+  let payload_bytes codes =
+    (List.fold_left (fun a (_, bits) -> a + bits) 0 codes + 7) / 8
+  in
+  let w = Bitio.Writer.create () in
+  write_header w n;
+  Array.iter
+    (fun codes -> Bitio.Writer.add_bits w ~value:(payload_bytes codes) ~bits:7)
+    encoded;
+  pad_to_byte w;
+  Array.iter
+    (fun codes ->
+      List.iter (fun (v, bits) -> Bitio.Writer.add_bits w ~value:v ~bits) codes;
+      pad_to_byte w)
+    encoded;
+  Bitio.Writer.contents w
+
+let cpack_decompress ~line_size z =
+  let total = Bytes.length z in
+  let n = read_header z in
+  let nlines = (n + line_size - 1) / line_size in
+  let tag_bytes = ((Lines.Cpack.tag_bits * nlines) + 7) / 8 in
+  if 4 + tag_bytes > total then
+    corrupt "Linecodec: truncated cpack tag section";
+  let r = Bitio.Reader.create ~pos:4 z in
+  let payload_of = Array.init nlines (fun _ -> Bitio.Reader.read_bits r 7) in
+  let payload_total = Array.fold_left ( + ) 0 payload_of in
+  skip_padding r ~bits_read:(Lines.Cpack.tag_bits * nlines);
+  if 4 + tag_bytes + payload_total <> total then
+    corrupt "Linecodec: cpack stream is %d bytes, framing says %d" total
+      (4 + tag_bytes + payload_total);
+  let out = Bytes.create n in
+  for i = 0 to nlines - 1 do
+    let payload = Bitio.Reader.read_bytes r payload_of.(i) in
+    let pr = Bitio.Reader.create payload in
+    let len = line_len ~line_size ~total:n i in
+    let line =
+      Lines.Cpack.decompress ~len ~read:(fun bits ->
+          Bitio.Reader.read_bits pr bits)
+    in
+    (* the tag may not claim more bytes than the code stream fills *)
+    if Bitio.Reader.bits_left pr >= 8 then
+      corrupt "Linecodec: cpack payload longer than its code stream";
+    Bytes.blit line 0 out (i * line_size) len
+  done;
+  out
+
+(* ------------------------------------------------------------------ *)
+(* Registry surface                                                    *)
+
+let translate f x =
+  try f x with Lines.Line.Corrupt m -> raise (Codec.Corrupt m)
+
+let codec family line_size =
+  let dec, comp = match family with Bdi -> (1, 2) | Cpack -> (2, 4) in
+  let compress, decompress =
+    match family with
+    | Bdi -> (bdi_compress ~line_size, bdi_decompress ~line_size)
+    | Cpack -> (cpack_compress ~line_size, cpack_decompress ~line_size)
+  in
+  Codec.make
+    ~name:(name family line_size)
+    ~dec_cycles_per_byte:dec ~comp_cycles_per_byte:comp
+    ~compress:(translate compress)
+    ~decompress:(translate decompress) ()
+
+let all () =
+  List.concat_map (fun f -> List.map (codec f) line_sizes) [ Bdi; Cpack ]
+
+let cost_bits family b ~pos ~len =
+  match family with
+  | Bdi -> Lines.Bdi.cost_bits b ~pos ~len
+  | Cpack -> Lines.Cpack.cost_bits b ~pos ~len

@@ -1,0 +1,50 @@
+(** Registry adapters for the {!Lines} cache-line kernels.
+
+    A program image is chunked into fixed-size lines (the last line
+    may be short) and each line is compressed independently with BDI
+    or CPack. The wire format mirrors a hardware compressed cache's
+    tag/data split:
+
+    {v
+    [0..3]  original length, 32-bit little-endian
+    tags    one per line, bit-packed MSB-first, padded to a byte:
+              bdi)   4-bit encoding + 7-bit segment pointer
+                     (payload bytes / 8, rounded up)
+              cpack) 7-bit payload byte count
+    data    per-line payloads, each starting on a byte boundary
+            (cpack code streams are zero-padded to a whole byte)
+    v}
+
+    Decoders validate the tag section against the encodings' exact
+    payload sizes and the total against the input length before
+    allocating the output; any mismatch raises {!Codec.Corrupt}.
+
+    The per-line wire cost (tag bits + payload bits, the number the
+    line-granular residency scenario charges per line) is exposed via
+    {!cost_bits}. *)
+
+type family =
+  | Bdi
+  | Cpack
+
+val line_sizes : int list
+(** [16; 32; 64]. *)
+
+val name : family -> int -> string
+(** ["bdi-32"], ["cpack-64"], ... *)
+
+val of_name : string -> (family * int) option
+(** Inverse of {!name} for registered sizes; [None] otherwise. *)
+
+val codec : family -> int -> Codec.t
+(** The raw codec (not {!Codec.never_expanding}-wrapped; the registry
+    wraps). Decompression rates: BDI 1 cycle/byte, CPack 2 (simple
+    hardware-style decoders); compression 2 and 4. *)
+
+val all : unit -> Codec.t list
+(** Both families at every line size, raw. *)
+
+val cost_bits : family -> bytes -> pos:int -> len:int -> int
+(** Exact wire bits for one line, tag included — without the shared
+    4-byte stream header, which a per-line residency store does not
+    hold. *)

@@ -1,5 +1,6 @@
 let raw () =
   [ Null.codec; Rle.codec; Huffman.codec; Lzss.codec; Lzw.codec; Mtf.codec ]
+  @ Linecodec.all ()
 
 let all () = List.map Codec.never_expanding (raw ())
 

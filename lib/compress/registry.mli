@@ -1,9 +1,11 @@
 (** Codec registry used by the CLI, the experiments and the tests. *)
 
 val all : unit -> Codec.t list
-(** The built-in codecs (null, rle, huffman, lzss, lzw, mtf-rle), each
-    wrapped with {!Codec.never_expanding} so pathological blocks only
-    cost one extra byte. *)
+(** The built-in codecs — the block coders (null, rle, huffman, lzss,
+    lzw, mtf-rle) plus the cache-line family ({!Linecodec}: bdi-16/
+    32/64, cpack-16/32/64) — each wrapped with
+    {!Codec.never_expanding} so pathological blocks only cost one
+    extra byte. *)
 
 val find : string -> Codec.t option
 (** Lookup by name among {!all}. *)

@@ -56,19 +56,29 @@ type throughput = {
 let mib = 1024.0 *. 1024.0
 
 (* Repeats [f] over whole passes until [min_time_s] of wall clock has
-   elapsed, then converts to MiB/s of [bytes_per_pass]. *)
+   elapsed, then converts to MiB/s of [bytes_per_pass]. A fast codec
+   on a tiny input can finish inside the clock's resolution, leaving
+   [elapsed] at exactly 0.0 — clamp to one clock tick so the rate
+   stays finite (it is a floor on the true rate, never [inf]). *)
+let min_elapsed_s = 1e-9
+
 let time_mbps ~min_time_s ~bytes_per_pass f =
   if bytes_per_pass = 0 then 0.0
   else begin
     let t0 = Unix.gettimeofday () in
     let passes = ref 0 in
     let elapsed = ref 0.0 in
-    while !elapsed < min_time_s do
+    let again = ref true in
+    (* test-after-body: even [min_time_s = 0.] measures one real pass
+       instead of dividing zero passes by zero seconds *)
+    while !again do
       f ();
       incr passes;
-      elapsed := Unix.gettimeofday () -. t0
+      elapsed := Unix.gettimeofday () -. t0;
+      if !elapsed >= min_time_s then again := false
     done;
-    float_of_int !passes *. float_of_int bytes_per_pass /. !elapsed /. mib
+    let elapsed = Float.max !elapsed min_elapsed_s in
+    float_of_int !passes *. float_of_int bytes_per_pass /. elapsed /. mib
   end
 
 let throughput ?(min_time_s = 0.05) codec blocks =

@@ -30,4 +30,6 @@ val throughput : ?min_time_s:float -> Codec.t -> bytes list -> throughput
     (default 0.05) have elapsed per direction. Both rates are in MiB/s
     of {e uncompressed} bytes — the unit that matters for a
     decompress-on-fetch execution path. Used by the bench codec phase
-    and [ccomp compress]. *)
+    and [ccomp compress]. Always runs at least one pass and clamps the
+    elapsed time away from zero, so the rates are finite even with
+    [min_time_s = 0.] on a clock too coarse to see the run. *)

@@ -1,0 +1,73 @@
+(* One job per (workload, variant); the block-granular baseline uses
+   the workload's own positional-Huffman codec, the line rows pair
+   each line size with its matched BDI and CPack codecs. Everything
+   funnels through the fleet, so line jobs exercise the v3 content
+   key (line_size is part of it) and cache/parallelism apply. *)
+
+let profile = "sram-heavy"
+let k = 8
+
+let variants =
+  ("block", "code", None)
+  :: List.concat_map
+       (fun l ->
+         [
+           (Printf.sprintf "line %dB" l, Compress.Linecodec.name Bdi l, Some l);
+           ( Printf.sprintf "line %dB" l,
+             Compress.Linecodec.name Cpack l,
+             Some l );
+         ])
+       Compress.Linecodec.line_sizes
+
+let jobs () =
+  List.concat_map
+    (fun sc ->
+      List.map
+        (fun (_, codec, line_size) ->
+          Fleet.Job.make ~codec ~profile ?line_size
+            ~scenario:sc.Core.Scenario.name ~k ())
+        variants)
+    (Util.scenarios ())
+
+let run () =
+  let results = Util.fleet_sweep (jobs ()) in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "E19: line- vs block-granular residency (k=%d, %s device \
+            profile); ratio = resident compressed image / original"
+           k profile)
+      ~columns:
+        [
+          ("workload", Report.Table.Left);
+          ("granularity", Report.Table.Left);
+          ("codec", Report.Table.Left);
+          ("ratio", Report.Table.Right);
+          ("cycles", Report.Table.Right);
+          ("overhead", Report.Table.Right);
+          ("demand decs", Report.Table.Right);
+          ("energy nJ", Report.Table.Right);
+        ]
+  in
+  (* fleet_sweep preserves submission order, so the variant labels
+     line up with the results by position. *)
+  List.iteri
+    (fun i ((job : Fleet.Job.t), (m : Core.Metrics.t)) ->
+      let granularity, _, _ = List.nth variants (i mod List.length variants) in
+      let ratio =
+        float_of_int m.compressed_area_bytes /. float_of_int m.original_bytes
+      in
+      Report.Table.add_row t
+        [
+          job.scenario;
+          granularity;
+          job.codec;
+          Report.Table.fmt_float ~decimals:3 ratio;
+          string_of_int m.total_cycles;
+          Report.Table.fmt_pct (Core.Metrics.overhead_ratio m);
+          string_of_int m.demand_decompressions;
+          string_of_int m.energy_nj;
+        ])
+    results;
+  t

@@ -1,0 +1,8 @@
+(** E19 — compressed-I-cache residency: every workload at block
+    granularity (the paper's unit) and at 16/32/64-byte line
+    granularity with the matched BDI/CPack cache-line codecs.
+    Compares the resident compressed-image ratio, run cycles,
+    overhead, demand decompressions, and energy under the
+    [sram-heavy] device profile. *)
+
+val run : unit -> Report.Table.t

@@ -90,6 +90,12 @@ let all =
       paper_anchor = "extension: energy dimension of the section 3 tradeoff";
       runner = Energy_pareto.run;
     };
+    {
+      id = "E19";
+      slug = "line-granularity";
+      paper_anchor = "extension: hardware compressed-I-cache residency";
+      runner = Line_granularity.run;
+    };
   ]
 
 let find key =

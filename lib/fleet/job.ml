@@ -22,18 +22,21 @@ type t = {
   budget : int option;
   retention : retention;
   profile : string;
+  line_size : int option;
 }
 
 let default_profile = "paper-2005"
 
 let make ?(codec = "code") ?(strategy = On_demand) ?(mode = Discard) ?budget
-    ?(retention = Kedge) ?(profile = default_profile) ~scenario ~k () =
-  { scenario; codec; k; strategy; mode; budget; retention; profile }
+    ?(retention = Kedge) ?(profile = default_profile) ?line_size ~scenario ~k
+    () =
+  { scenario; codec; k; strategy; mode; budget; retention; profile; line_size }
 
 (* Bump when the canonical rendering below (or the meaning of any
    field) changes: old cache entries must stop matching.
-   v2: device profile joined the spec. *)
-let spec_version = 2
+   v2: device profile joined the spec.
+   v3: line_size joined the spec (line-granular residency runs). *)
+let spec_version = 3
 
 let strategy_to_string = function
   | On_demand -> "on-demand"
@@ -56,13 +59,14 @@ let retention_to_string = function
 let canonical t =
   Printf.sprintf
     "ccomp-job \
-     %d|scenario=%s|codec=%s|k=%d|strategy=%s|mode=%s|budget=%s|retention=%s|profile=%s"
+     %d|scenario=%s|codec=%s|k=%d|strategy=%s|mode=%s|budget=%s|retention=%s|profile=%s|line_size=%s"
     spec_version t.scenario t.codec t.k
     (strategy_to_string t.strategy)
     (mode_to_string t.mode)
     (match t.budget with None -> "none" | Some b -> string_of_int b)
     (retention_to_string t.retention)
     t.profile
+    (match t.line_size with None -> "none" | Some l -> string_of_int l)
 
 let key t =
   Printf.sprintf "v%d-%s" spec_version (Digest.to_hex (Digest.string (canonical t)))
@@ -76,8 +80,12 @@ let describe t =
     | None -> ""
     | Some b -> Printf.sprintf " budget=%dB" b)
     (retention_to_string t.retention)
-    (if t.profile = default_profile then ""
-     else Printf.sprintf " profile=%s" t.profile)
+    ((if t.profile = default_profile then ""
+      else Printf.sprintf " profile=%s" t.profile)
+    ^
+    match t.line_size with
+    | None -> ""
+    | Some l -> Printf.sprintf " line=%dB" l)
 
 let predictor_of sc = function
   | "first" -> Core.Predictor.First_successor
@@ -113,4 +121,7 @@ let execute ?sink sc t =
     Core.Policy.make ~mode ~strategy ?budget:t.budget ~retention
       ~compress_k:t.k ()
   in
-  Core.Scenario.run ~profile:t.profile ?sink sc policy
+  match t.line_size with
+  | None -> Core.Scenario.run ~profile:t.profile ?sink sc policy
+  | Some line_size ->
+    Core.Lineview.run ~profile:t.profile ?sink ~line_size sc policy

@@ -36,6 +36,10 @@ type t = {
   budget : int option;
   retention : retention;
   profile : string;  (** device profile naming the cost coefficients *)
+  line_size : int option;
+      (** [Some bytes] runs the scenario through {!Core.Lineview} —
+          line-granular residency — instead of block-granular
+          {!Core.Scenario.run} *)
 }
 
 val default_profile : string
@@ -48,14 +52,16 @@ val make :
   ?budget:int ->
   ?retention:retention ->
   ?profile:string ->
+  ?line_size:int ->
   scenario:string ->
   k:int ->
   unit ->
   t
 (** Defaults: codec ["code"], [On_demand], [Discard], no budget,
-    [Kedge], profile {!default_profile}. The profile is part of the
-    content key — the same sweep under two device profiles never
-    shares cache entries. *)
+    [Kedge], profile {!default_profile}, block granularity (no
+    [line_size]). The profile and line size are part of the content
+    key — the same sweep under two device profiles, or at two line
+    granularities, never shares cache entries. *)
 
 val canonical : t -> string
 (** Canonical one-line serialization: every field rendered in a fixed

@@ -177,7 +177,7 @@ let run ?(jobs = 1) ?pool ?cache ?registry ?progress ?fuel ?timeout_ms ?cancel
 let matrix ?(codecs = [ "code" ]) ?(strategies = [ Job.On_demand ])
     ?(modes = [ Job.Discard ]) ?(budgets = [ None ])
     ?(retentions = [ Job.Kedge ]) ?(profiles = [ Job.default_profile ])
-    ~scenarios ~ks () =
+    ?(line_sizes = [ None ]) ~scenarios ~ks () =
   List.concat_map
     (fun scenario ->
       List.concat_map
@@ -192,10 +192,14 @@ let matrix ?(codecs = [ "code" ]) ?(strategies = [ Job.On_demand ])
                         (fun budget ->
                           List.concat_map
                             (fun retention ->
-                              List.map
+                              List.concat_map
                                 (fun profile ->
-                                  Job.make ~codec ~strategy ~mode ?budget
-                                    ~retention ~profile ~scenario ~k ())
+                                  List.map
+                                    (fun line_size ->
+                                      Job.make ~codec ~strategy ~mode ?budget
+                                        ~retention ~profile ?line_size
+                                        ~scenario ~k ())
+                                    line_sizes)
                                 profiles)
                             retentions)
                         budgets)

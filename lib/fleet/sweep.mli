@@ -69,16 +69,17 @@ val matrix :
   ?budgets:int option list ->
   ?retentions:Job.retention list ->
   ?profiles:string list ->
+  ?line_sizes:int option list ->
   scenarios:string list ->
   ks:int list ->
   unit ->
   Job.t list
 (** Cartesian expansion in deterministic row order: scenarios
     outermost, then ks, codecs, strategies, modes, budgets,
-    retentions, device profiles innermost. Defaults are singleton
-    lists (["code"], [On_demand], [Discard], [None], [Kedge],
-    [{!Job.default_profile}]), so [matrix ~scenarios ~ks ()] is the
-    classic E6 grid. *)
+    retentions, device profiles, line sizes innermost. Defaults are
+    singleton lists (["code"], [On_demand], [Discard], [None],
+    [Kedge], [{!Job.default_profile}], [None] = block granularity),
+    so [matrix ~scenarios ~ks ()] is the classic E6 grid. *)
 
 val normalize_ks : int list -> int list
 (** Sorted deduplication of a sweep's k axis. Duplicate or unsorted

@@ -1,0 +1,171 @@
+(* All word arithmetic runs in Int64 regardless of the word size:
+   deltas wrap exactly like the 8/4/2-byte two's-complement hardware
+   adders would, so [base + delta] on decode inverts [word - base]
+   from encode even across overflow. *)
+
+let tag_bits = 11
+let segments ~payload_bytes = (payload_bytes + 7) / 8
+
+(* (word-size, delta-size) per base+delta encoding, indexed 2..7. *)
+let base_delta = [| (8, 1); (8, 2); (8, 4); (4, 1); (4, 2); (2, 1) |]
+
+let encoding_name = function
+  | 0 -> "zeros"
+  | 1 -> "repeat"
+  | e when e >= 2 && e <= 7 ->
+    let k, d = base_delta.(e - 2) in
+    Printf.sprintf "base%d-d%d" k d
+  | 15 -> "immediate"
+  | e -> Printf.sprintf "invalid-%d" e
+
+let payload_bytes ~encoding ~len =
+  match encoding with
+  | 0 -> Some 0
+  | 1 -> if len > 0 && len mod 8 = 0 then Some 8 else None
+  | e when e >= 2 && e <= 7 ->
+    let k, d = base_delta.(e - 2) in
+    if len > 0 && len mod k = 0 then Some (k + (d * (len / k))) else None
+  | 15 -> Some len
+  | _ -> None
+
+let get_word b pos k =
+  match k with
+  | 8 -> Bytes.get_int64_le b pos
+  | 4 -> Int64.of_int32 (Bytes.get_int32_le b pos)
+  | 2 -> Int64.of_int (Bytes.get_uint16_le b pos)
+  | _ -> invalid_arg "Bdi.get_word"
+
+let set_word b pos k v =
+  match k with
+  | 8 -> Bytes.set_int64_le b pos v
+  | 4 -> Bytes.set_int32_le b pos (Int64.to_int32 v)
+  | 2 -> Bytes.set_uint16_le b pos (Int64.to_int v land 0xFFFF)
+  | _ -> invalid_arg "Bdi.set_word"
+
+let fits_signed v d =
+  let half = Int64.shift_left 1L ((8 * d) - 1) in
+  Int64.compare v (Int64.neg half) >= 0
+  && Int64.compare v (Int64.sub half 1L) < 1
+
+(* d <= 4, so the delta's low bytes fit a native int. *)
+let set_delta b pos d v =
+  let v = Int64.to_int v in
+  for j = 0 to d - 1 do
+    Bytes.unsafe_set b (pos + j) (Char.unsafe_chr ((v lsr (8 * j)) land 0xFF))
+  done
+
+let get_delta b pos d =
+  let v = ref 0 in
+  for j = d - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.get b (pos + j))
+  done;
+  let half = 1 lsl ((8 * d) - 1) in
+  Int64.of_int (if !v >= half then !v - (half lsl 1) else !v)
+
+let all_zero b ~pos ~len =
+  let i = ref 0 in
+  while !i < len && Bytes.get b (pos + !i) = '\000' do
+    incr i
+  done;
+  !i = len
+
+let try_repeat b ~pos ~len =
+  if len mod 8 <> 0 || len = 0 then None
+  else begin
+    let w0 = Bytes.get_int64_le b pos in
+    let ok = ref true in
+    let off = ref 8 in
+    while !ok && !off < len do
+      if not (Int64.equal (Bytes.get_int64_le b (pos + !off)) w0) then
+        ok := false;
+      off := !off + 8
+    done;
+    if !ok then begin
+      let payload = Bytes.create 8 in
+      Bytes.set_int64_le payload 0 w0;
+      Some payload
+    end
+    else None
+  end
+
+let try_base_delta b ~pos ~len ~k ~d =
+  if len mod k <> 0 || len = 0 then None
+  else begin
+    let words = len / k in
+    let size = k + (d * words) in
+    if size >= len then None
+    else begin
+      let base = get_word b pos k in
+      let ok = ref true in
+      let i = ref 0 in
+      while !ok && !i < words do
+        let delta = Int64.sub (get_word b (pos + (k * !i)) k) base in
+        if not (fits_signed delta d) then ok := false;
+        incr i
+      done;
+      if not !ok then None
+      else begin
+        let payload = Bytes.create size in
+        set_word payload 0 k base;
+        for w = 0 to words - 1 do
+          let delta = Int64.sub (get_word b (pos + (k * w)) k) base in
+          set_delta payload (k + (d * w)) d delta
+        done;
+        Some payload
+      end
+    end
+  end
+
+let compress b ~pos ~len =
+  Line.check_slice b ~pos ~len;
+  if all_zero b ~pos ~len then (0, Bytes.empty)
+  else
+    match try_repeat b ~pos ~len with
+    | Some p -> (1, p)
+    | None ->
+      let rec try_enc e =
+        if e > 7 then (15, Bytes.sub b pos len)
+        else
+          let k, d = base_delta.(e - 2) in
+          match try_base_delta b ~pos ~len ~k ~d with
+          | Some p -> (e, p)
+          | None -> try_enc (e + 1)
+      in
+      try_enc 2
+
+let decompress ~encoding ~len payload =
+  if len < 0 then raise (Line.Corrupt "Bdi: negative line length");
+  (match payload_bytes ~encoding ~len with
+  | None ->
+    raise
+      (Line.Corrupt
+         (Printf.sprintf "Bdi: encoding %d invalid for a %d-byte line"
+            encoding len))
+  | Some expect ->
+    if Bytes.length payload <> expect then
+      raise
+        (Line.Corrupt
+           (Printf.sprintf "Bdi: encoding %d wants %d payload bytes, got %d"
+              encoding expect (Bytes.length payload))));
+  match encoding with
+  | 0 -> Bytes.make len '\000'
+  | 1 ->
+    let out = Bytes.create len in
+    let w = Bytes.get_int64_le payload 0 in
+    for i = 0 to (len / 8) - 1 do
+      Bytes.set_int64_le out (8 * i) w
+    done;
+    out
+  | 15 -> Bytes.sub payload 0 len
+  | e ->
+    let k, d = base_delta.(e - 2) in
+    let out = Bytes.create len in
+    let base = get_word payload 0 k in
+    for w = 0 to (len / k) - 1 do
+      set_word out (k * w) k (Int64.add base (get_delta payload (k + (d * w)) d))
+    done;
+    out
+
+let cost_bits b ~pos ~len =
+  let _, payload = compress b ~pos ~len in
+  tag_bits + (8 * Bytes.length payload)

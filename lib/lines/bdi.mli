@@ -1,0 +1,50 @@
+(** Base-delta-immediate line compression (Pekhimenko et al.), after
+    the bluelove8939/MEmory-Compression-Algorithms reference: a line
+    is stored as one base word plus narrow per-word deltas when every
+    word sits close to the first, with dedicated encodings for
+    all-zero and single-repeated-value lines and an uncompressed
+    (immediate) fallback.
+
+    Encodings (words are little-endian):
+    - [0]  zeros — empty payload;
+    - [1]  repeat — one 8-byte word, the line is that word repeated;
+    - [2..4]  8-byte base + 1/2/4-byte signed deltas;
+    - [5..6]  4-byte base + 1/2-byte signed deltas;
+    - [7]  2-byte base + 1-byte signed deltas;
+    - [15] immediate — the raw line bytes.
+
+    A base-[k] encoding applies only when the line length is a
+    multiple of [k]; the payload is the [k]-byte base followed by one
+    [d]-byte delta per word. The per-line tag is {!tag_bits} wide:
+    4 encoding bits plus a 7-bit segment pointer counting the payload
+    in 8-byte segments, exactly the metadata the reference charges. *)
+
+val tag_bits : int
+(** 11 = 4 encoding bits + 7 segment-pointer bits. *)
+
+val segments : payload_bytes:int -> int
+(** Segment-pointer value for a payload: [ceil (payload / 8)]. *)
+
+val payload_bytes : encoding:int -> len:int -> int option
+(** Exact payload size of [encoding] over a [len]-byte line, or [None]
+    if the encoding does not apply (unknown number, or [len] not a
+    multiple of the word size). *)
+
+val compress : bytes -> pos:int -> len:int -> int * bytes
+(** [compress b ~pos ~len] encodes the line [b.[pos .. pos+len-1]],
+    returning [(encoding, payload)]. Deterministic: the first
+    applicable encoding in the order 0..7 whose payload is strictly
+    smaller than the line wins, else immediate (15).
+    @raise Invalid_argument on an out-of-bounds slice. *)
+
+val decompress : encoding:int -> len:int -> bytes -> bytes
+(** Rebuilds the [len]-byte line from [(encoding, payload)].
+    @raise Line.Corrupt on an unknown or inapplicable encoding or a
+    payload whose size is not exactly [payload_bytes]. *)
+
+val cost_bits : bytes -> pos:int -> len:int -> int
+(** Wire cost of the line in bits, tag included:
+    [tag_bits + 8 * payload]. *)
+
+val encoding_name : int -> string
+(** Short human name ("zeros", "base8-d2", "immediate", ...). *)

@@ -1,0 +1,115 @@
+(* Words are kept as 32-bit ints with the line's first byte in the
+   high bits, so "the first k bytes match" is a compare of the top
+   k*8 bits. *)
+
+let tag_bits = 7
+let dict_size = 16
+
+type dict = { entries : int array; mutable next : int }
+
+let dict_create () = { entries = Array.make dict_size 0; next = 0 }
+
+let dict_push d w =
+  d.entries.(d.next) <- w;
+  d.next <- (d.next + 1) mod dict_size
+
+(* First (lowest-index) entry whose top [bytes] bytes match. *)
+let dict_find d w ~bytes =
+  let shift = 8 * (4 - bytes) in
+  let target = w lsr shift in
+  let rec go i =
+    if i >= dict_size then None
+    else if d.entries.(i) lsr shift = target then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let word b pos =
+  (Char.code (Bytes.get b pos) lsl 24)
+  lor (Char.code (Bytes.get b (pos + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (pos + 2)) lsl 8)
+  lor Char.code (Bytes.get b (pos + 3))
+
+let encode_word d w =
+  if w = 0 then [ (0b00, 2) ]
+  else
+    match dict_find d w ~bytes:4 with
+    | Some i -> [ (0b10, 2); (i, 4) ]
+    | None ->
+      if w land 0xFFFFFF00 = 0 then [ (0b1101, 4); (w, 8) ]
+      else begin
+        let codes =
+          match dict_find d w ~bytes:3 with
+          | Some i -> [ (0b1110, 4); (i, 4); (w land 0xFF, 8) ]
+          | None -> (
+            match dict_find d w ~bytes:2 with
+            | Some i -> [ (0b1100, 4); (i, 4); (w land 0xFFFF, 16) ]
+            | None -> [ (0b01, 2); (w lsr 16, 16); (w land 0xFFFF, 16) ])
+        in
+        dict_push d w;
+        codes
+      end
+
+let compress b ~pos ~len =
+  Line.check_slice b ~pos ~len;
+  let d = dict_create () in
+  let out = ref [] in
+  for w = 0 to (len / 4) - 1 do
+    out := List.rev_append (encode_word d (word b (pos + (4 * w)))) !out
+  done;
+  for t = 4 * (len / 4) to len - 1 do
+    out := (Char.code (Bytes.get b (pos + t)), 8) :: !out
+  done;
+  List.rev !out
+
+let compressed_bits b ~pos ~len =
+  List.fold_left (fun a (_, w) -> a + w) 0 (compress b ~pos ~len)
+
+(* [read] calls are sequenced by lets: OCaml's operand order is
+   unspecified, and the bit stream cares. *)
+let decode_word d read =
+  match read 2 with
+  | 0b00 -> 0
+  | 0b01 ->
+    let hi = read 16 in
+    let lo = read 16 in
+    let w = (hi lsl 16) lor lo in
+    dict_push d w;
+    w
+  | 0b10 -> d.entries.(read 4)
+  | _ -> (
+    match read 2 with
+    | 0b00 ->
+      let i = read 4 in
+      let lo = read 16 in
+      let w = (d.entries.(i) land 0xFFFF0000) lor lo in
+      dict_push d w;
+      w
+    | 0b01 -> read 8
+    | 0b10 ->
+      let i = read 4 in
+      let lo = read 8 in
+      let w = (d.entries.(i) land 0xFFFFFF00) lor lo in
+      dict_push d w;
+      w
+    | _ -> raise (Line.Corrupt "Cpack: invalid code 1111"))
+
+let decompress ~len ~read =
+  if len < 0 then raise (Line.Corrupt "Cpack: negative line length");
+  let d = dict_create () in
+  let out = Bytes.create len in
+  for w = 0 to (len / 4) - 1 do
+    let v = decode_word d read in
+    let pos = 4 * w in
+    Bytes.set out pos (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out (pos + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out (pos + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out (pos + 3) (Char.chr (v land 0xFF))
+  done;
+  for t = 4 * (len / 4) to len - 1 do
+    Bytes.set out t (Char.chr (read 8 land 0xFF))
+  done;
+  out
+
+let cost_bits b ~pos ~len =
+  tag_bits + (8 * ((compressed_bits b ~pos ~len + 7) / 8))

@@ -1,0 +1,52 @@
+(** CPack (cache packer) line compression (Chen et al.), after the
+    etip00123/DSCC reference: each 4-byte word is matched against a
+    16-entry FIFO dictionary of recent words and emitted as one of six
+    patterns, cheapest first:
+
+    {v
+    pattern  code    bits  meaning
+    zzzz     00        2   all-zero word
+    mmmm     10        6   full dictionary match (4-bit index)
+    zzzx     1101     12   three zero bytes + literal low byte
+    mmmx     1110     16   3-byte prefix match + literal low byte
+    mmxx     1100     24   2-byte prefix match + 2 literal bytes
+    xxxx     01       34   no match, 32-bit literal
+    v}
+
+    Words are taken in stream order; "prefix" means the first bytes of
+    the word as stored. Unmatched and partially matched words (xxxx,
+    mmxx, mmmx) are pushed into the dictionary FIFO. The dictionary
+    starts zeroed and is reset for every line, so lines decode
+    independently. Trailing bytes of a line that is not a multiple of
+    4 are emitted as raw 8-bit literals.
+
+    The kernel is bit-format agnostic: compression yields the code
+    stream as (value, width) pairs (widths at most 16 — 32-bit
+    literals are split), decompression pulls bits through a caller
+    callback. The per-line tag a compressed cache would hold is a
+    {!tag_bits}-wide segment pointer, accounted by the adapter. *)
+
+val tag_bits : int
+(** 7: the per-line segment pointer (payload byte count). *)
+
+val dict_size : int
+(** 16 entries of 4 bytes. *)
+
+val compress : bytes -> pos:int -> len:int -> (int * int) list
+(** [compress b ~pos ~len] encodes the line as a code stream of
+    [(value, width)] pairs, MSB-first, widths at most 16.
+    @raise Invalid_argument on an out-of-bounds slice. *)
+
+val compressed_bits : bytes -> pos:int -> len:int -> int
+(** Total width of {!compress}'s code stream, without the tag. *)
+
+val decompress : len:int -> read:(int -> int) -> bytes
+(** Rebuilds a [len]-byte line, pulling [read w] for the next [w] bits
+    (MSB-first) of the code stream. [read] may raise to signal
+    exhaustion; {!Line.Corrupt} is raised on an invalid code.
+    @raise Line.Corrupt on malformed input. *)
+
+val cost_bits : bytes -> pos:int -> len:int -> int
+(** Wire cost of the line in bits: [tag_bits] + the code stream
+    rounded up to a whole byte (lines are byte-addressable on the
+    wire). *)

@@ -1,0 +1,7 @@
+exception Corrupt of string
+
+let sizes = [ 16; 32; 64 ]
+
+let check_slice b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Lines: slice out of bounds"

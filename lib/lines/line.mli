@@ -1,0 +1,19 @@
+(** Shared definitions for the fixed-size-line codec kernels.
+
+    The kernels in this library ({!Bdi}, {!Cpack}) compress one cache
+    line at a time, the way a hardware compressed cache would: each
+    line is encoded independently (no state leaks between lines), and
+    the per-line metadata a real tag array would hold is accounted
+    bit-exactly. The library is dependency-free so the [compress]
+    layer can wrap the kernels into registry codecs without a cycle. *)
+
+exception Corrupt of string
+(** Raised by the decompressors on any malformed input — unknown
+    encodings, payload size mismatches, out-of-range indices. The
+    [compress] adapter translates it into [Compress.Codec.Corrupt]. *)
+
+val sizes : int list
+(** The line sizes exposed through the registry: [16; 32; 64] bytes. *)
+
+val check_slice : bytes -> pos:int -> len:int -> unit
+(** @raise Invalid_argument unless [pos, len] is a valid slice. *)

@@ -1,0 +1,81 @@
+type t = {
+  line_size : int;
+  nlines : int;
+  addr : int array;
+  len : int array;
+  of_block : int array array;
+}
+
+let build ~line_size g =
+  if line_size < 4 then invalid_arg "Residency.Linemap.build: line_size < 4";
+  let blocks = Cfg.Graph.blocks g in
+  let image_end =
+    Array.fold_left
+      (fun a (b : Cfg.Graph.block) -> max a (b.addr + b.byte_size))
+      0 blocks
+  in
+  (* Raw line index -> dense id, for lines some block touches. Blocks
+     are contiguous in practice but nothing here assumes it. *)
+  let raw_count = (image_end + line_size - 1) / line_size in
+  let dense_of_raw = Array.make raw_count (-1) in
+  Array.iter
+    (fun (b : Cfg.Graph.block) ->
+      if b.byte_size > 0 then
+        for raw = b.addr / line_size to (b.addr + b.byte_size - 1) / line_size
+        do
+          dense_of_raw.(raw) <- 0
+        done)
+    blocks;
+  let nlines = ref 0 in
+  Array.iteri
+    (fun raw v ->
+      if v >= 0 then begin
+        dense_of_raw.(raw) <- !nlines;
+        incr nlines
+      end)
+    dense_of_raw;
+  let nlines = !nlines in
+  let addr = Array.make nlines 0 in
+  let len = Array.make nlines 0 in
+  Array.iteri
+    (fun raw d ->
+      if d >= 0 then begin
+        addr.(d) <- raw * line_size;
+        len.(d) <- min line_size (image_end - (raw * line_size))
+      end)
+    dense_of_raw;
+  let of_block =
+    Array.map
+      (fun (b : Cfg.Graph.block) ->
+        if b.byte_size = 0 then [||]
+        else begin
+          let lo = b.addr / line_size in
+          let hi = (b.addr + b.byte_size - 1) / line_size in
+          Array.init (hi - lo + 1) (fun i -> dense_of_raw.(lo + i))
+        end)
+      blocks
+  in
+  { line_size; nlines; addr; len; of_block }
+
+let expand_trace t g ~trace =
+  let total = ref 0 in
+  Array.iter (fun b -> total := !total + Array.length t.of_block.(b)) trace;
+  let line_trace = Array.make !total 0 in
+  let step_cycles = Array.make !total 0 in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      let lines = t.of_block.(b) in
+      let m = Array.length lines in
+      if m > 0 then begin
+        let c = (Cfg.Graph.block g b).exec_cycles in
+        let share = c / m and extra = c mod m in
+        Array.iteri
+          (fun i l ->
+            line_trace.(!pos) <- l;
+            step_cycles.(!pos) <- (share + if i < extra then 1 else 0);
+            incr pos)
+          lines
+      end)
+    trace;
+  (line_trace, step_cycles)

@@ -1,0 +1,36 @@
+(** Address-space line map: the geometry of a line-granular residency
+    surface.
+
+    The paper's unit of residency is the basic block; a compressed
+    instruction cache's is the fixed-size line. This module projects a
+    CFG's blocks onto cache lines of a given size: every [line_size]-
+    aligned window of the image that at least one block touches gets a
+    dense line id, each block knows the lines it spans (a line on a
+    block boundary belongs to both neighbours), and a block trace can
+    be expanded into the line trace an I-cache would see — each block
+    visit touches its lines in address order, with the block's
+    execution cycles split across them.
+
+    Pure geometry: no policy, no bytes. {!Core.Lineview} combines it
+    with real line contents and per-line compressed sizes, and the
+    executable runtime uses it to account decompression per line. *)
+
+type t = {
+  line_size : int;
+  nlines : int;
+  addr : int array;  (** dense line id -> image byte offset (aligned) *)
+  len : int array;
+      (** dense line id -> bytes the image actually covers, [<= line_size]
+          (short only for the last line of the image) *)
+  of_block : int array array;
+      (** block id -> the dense line ids it spans, ascending *)
+}
+
+val build : line_size:int -> Cfg.Graph.t -> t
+(** @raise Invalid_argument if [line_size < 4]. *)
+
+val expand_trace : t -> Cfg.Graph.t -> trace:int array -> int array * int array
+(** [(line_trace, step_cycles)]: each block visit becomes its lines in
+    address order; the visit's [exec_cycles] is split evenly across
+    them, remainder to the earliest lines, so totals are preserved
+    exactly. *)

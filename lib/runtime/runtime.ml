@@ -116,6 +116,19 @@ type copy = {
   mutable live : bool;
 }
 
+(* Line-granular accounting (compressed I-cache mode): the image is
+   compressed per cache line instead of per block, a trap decompresses
+   only the target block's lines that no live copy already covers, and
+   a line leaves residency when the last copy referencing it dies.
+   Relocation itself stays block-shaped — copies are still whole
+   blocks — so the executed instruction stream is identical; only the
+   decompression work and the compressed image change. *)
+type linestate = {
+  lmap : Residency.Linemap.t;
+  line_z : bytes array;  (* per-line compressed streams *)
+  line_refs : int array;  (* live copies referencing each line *)
+}
+
 type state = {
   prog : Eris.Program.t;
   graph : Cfg.Graph.t;
@@ -130,6 +143,7 @@ type state = {
       (* every event — the runtime's own and the area's — funnels
          through this one chunk, so stream order survives batching *)
   compressed : bytes array;
+  lines : linestate option;
   layouts : layout array;
   area : (copy * int) Residency.Area.t;
       (* copy lifecycle: the retention policy plus the paper's remember
@@ -236,6 +250,25 @@ let unpatch_site st ~target (c, idx) =
   end
   else false
 
+(* A dying copy drops its claim on its lines; a line with no live
+   claimant leaves residency and will cost a real decompression next
+   time. *)
+let line_release st block_id =
+  match st.lines with
+  | None -> ()
+  | Some ls ->
+    Array.iter
+      (fun l -> ls.line_refs.(l) <- ls.line_refs.(l) - 1)
+      ls.lmap.Residency.Linemap.of_block.(block_id)
+
+let line_acquire st block_id =
+  match st.lines with
+  | None -> ()
+  | Some ls ->
+    Array.iter
+      (fun l -> ls.line_refs.(l) <- ls.line_refs.(l) + 1)
+      ls.lmap.Residency.Linemap.of_block.(block_id)
+
 let delete_copy st c =
   ignore
     (Residency.Area.discard st.area ~block:c.block
@@ -244,6 +277,7 @@ let delete_copy st c =
   st.by_block.(c.block) <- None;
   st.live_bytes <- st.live_bytes - copy_bytes c;
   c.instrs <- [||];
+  line_release st c.block;
   st.deletions <- st.deletions + 1
 
 (* Retire everything and recycle the address space. Safe because
@@ -261,6 +295,7 @@ let flush st =
         c.live <- false;
         c.instrs <- [||];
         st.by_block.(b) <- None;
+        line_release st b;
         st.deletions <- st.deletions + 1;
         incr retired
       | None -> ())
@@ -276,28 +311,69 @@ let flush st =
 (* ------------------------------------------------------------------ *)
 (* Copy creation (the real decompression path)                         *)
 
+(* Decompress a block through its cache lines: every line no live
+   copy covers is really decompressed and charged; already-resident
+   lines are read back for free, like cache hits. Returns the block
+   bytes (assembled from the decompressed lines, so the codec is
+   exercised for real) and the cycles charged. *)
+let decompress_block_lines st ls (b : Cfg.Graph.block) block_id =
+  let buf = Bytes.create b.byte_size in
+  let cycles = ref 0 in
+  Array.iter
+    (fun l ->
+      let addr = ls.lmap.Residency.Linemap.addr.(l) in
+      let len = ls.lmap.Residency.Linemap.len.(l) in
+      let lbytes = st.codec.Compress.Codec.decompress ls.line_z.(l) in
+      if Bytes.length lbytes <> len then
+        raise (Runtime_bug "line decompressed size mismatch");
+      if ls.line_refs.(l) = 0 then begin
+        st.decompressions <- st.decompressions + 1;
+        let charge =
+          Sim.Cost.demand_dec_charge st.cost
+            ~compressed_bytes:(Bytes.length ls.line_z.(l))
+            ~uncompressed_bytes:len
+        in
+        cycles := !cycles + charge.Sim.Cost.cycles;
+        Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec charge
+      end;
+      let lo = max addr b.addr
+      and hi = min (addr + len) (b.addr + b.byte_size) in
+      Bytes.blit lbytes (lo - addr) buf (lo - b.addr) (hi - lo))
+    ls.lmap.Residency.Linemap.of_block.(block_id);
+  (buf, !cycles)
+
 let make_copy st block_id =
   let b = Cfg.Graph.block st.graph block_id in
   (* Really decompress and decode; any codec bug surfaces here. *)
-  let bytes = st.codec.Compress.Codec.decompress st.compressed.(block_id) in
-  if Bytes.length bytes <> b.byte_size then
-    raise (Runtime_bug "decompressed size mismatch");
+  let bytes, dec_cycles =
+    match st.lines with
+    | None ->
+      let bytes = st.codec.Compress.Codec.decompress st.compressed.(block_id) in
+      if Bytes.length bytes <> b.byte_size then
+        raise (Runtime_bug "decompressed size mismatch");
+      st.decompressions <- st.decompressions + 1;
+      let charge =
+        Sim.Cost.demand_dec_charge st.cost
+          ~compressed_bytes:(Bytes.length st.compressed.(block_id))
+          ~uncompressed_bytes:b.byte_size
+      in
+      Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec charge;
+      (bytes, charge.Sim.Cost.cycles)
+    | Some ls ->
+      let bytes, cycles = decompress_block_lines st ls b block_id in
+      if Bytes.length bytes <> b.byte_size then
+        raise (Runtime_bug "decompressed size mismatch");
+      (bytes, cycles)
+  in
   (match Eris.Encoding.decode_program bytes with
   | Ok decoded ->
     (* cross-check against the layout built at startup *)
     if Array.length decoded <> b.n_instrs then
       raise (Runtime_bug "decode after decompress: wrong instruction count")
   | Error msg -> raise (Runtime_bug ("decode after decompress: " ^ msg)));
-  st.decompressions <- st.decompressions + 1;
-  let charge =
-    Sim.Cost.demand_dec_charge st.cost
-      ~compressed_bytes:(Bytes.length st.compressed.(block_id))
-      ~uncompressed_bytes:b.byte_size
-  in
-  Sim.Cost.Acc.charge st.acc Sim.Cost.Demand_dec charge;
   emit_room st;
   Sim.Events.Packed.push_demand st.ev ~at:(at st) ~block:block_id
-    ~cycles:charge.Sim.Cost.cycles;
+    ~cycles:dec_cycles;
   let layout = st.layouts.(block_id) in
   let slots = Array.length layout.slots in
   (* guard word between copies keeps one-past-the-end unambiguous *)
@@ -320,6 +396,7 @@ let make_copy st block_id =
   st.copies.(st.ncopies) <- c;
   st.ncopies <- st.ncopies + 1;
   st.by_block.(block_id) <- Some c;
+  line_acquire st block_id;
   st.live_bytes <- st.live_bytes + (4 * slots);
   if st.live_bytes > st.peak_bytes then st.peak_bytes <- st.live_bytes;
   Residency.Area.on_materialize st.area ~block:block_id ~step:st.edges;
@@ -410,7 +487,10 @@ let stats_of st =
     peak_copy_bytes = st.peak_bytes;
     live_copy_bytes = st.live_bytes;
     compressed_image_bytes =
-      Array.fold_left (fun a b -> a + Bytes.length b) 0 st.compressed;
+      (match st.lines with
+      | None -> Array.fold_left (fun a b -> a + Bytes.length b) 0 st.compressed
+      | Some ls ->
+        Array.fold_left (fun a z -> a + Bytes.length z) 0 ls.line_z);
     original_image_bytes = image_size st;
     energy_nj = (Sim.Cost.Acc.total st.acc).Sim.Cost.energy_nj;
   }
@@ -434,7 +514,7 @@ let register_stats ?(labels = []) registry (s : stats) =
   c "energy_nj" s.energy_nj
 
 let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
-    ?codec ?cost ?profile ?sink ?registry prog =
+    ?codec ?cost ?profile ?sink ?registry ?line_size prog =
   let graph = Cfg.Build.of_program prog in
   let codec =
     match codec with
@@ -481,6 +561,27 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
         layout_of_block b instrs)
       (Cfg.Graph.blocks graph)
   in
+  let lines =
+    match line_size with
+    | None -> None
+    | Some l ->
+      let lmap = Residency.Linemap.build ~line_size:l graph in
+      let line_z =
+        Array.init lmap.Residency.Linemap.nlines (fun i ->
+            codec.Compress.Codec.compress
+              (Eris.Program.slice_bytes prog
+                 ~lo:lmap.Residency.Linemap.addr.(i)
+                 ~hi:
+                   (lmap.Residency.Linemap.addr.(i)
+                   + lmap.Residency.Linemap.len.(i))))
+      in
+      Some
+        {
+          lmap;
+          line_z;
+          line_refs = Array.make lmap.Residency.Linemap.nlines 0;
+        }
+  in
   let copy_base = ((Eris.Program.byte_size prog / 4096) + 1) * 4096 in
   let machine = Eris.Machine.create prog in
   let n = Cfg.Graph.num_blocks graph in
@@ -514,6 +615,7 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
       snk;
       ev;
       compressed;
+      lines;
       layouts;
       area;
       by_block = Array.make n None;
@@ -600,7 +702,7 @@ let run ?(fuel = 20_000_000) ?(k = 8) ?(retention = Residency.Policy.Kedge)
          (Machine_fault
             { pc = Eris.Machine.pc st.machine; message; stats = stats_of st }))
 
-let run_source ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry source
-    =
-  run ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry
+let run_source ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry
+    ?line_size source =
+  run ?fuel ?k ?retention ?codec ?cost ?profile ?sink ?registry ?line_size
     (Eris.Asm.assemble_exn source)

@@ -61,6 +61,7 @@ val run :
   ?profile:string ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
+  ?line_size:int ->
   Eris.Program.t ->
   (Eris.Machine.t * stats, error) result
 (** Executes the program from an all-compressed image until [Halt].
@@ -79,7 +80,18 @@ val run :
     when neither is given; an explicit [cost] wins). The sink is
     {e not} closed. [registry] receives the final {!stats} via
     {!register_stats} on both success and failure.
-    @raise Invalid_argument on an unknown [profile]. *)
+
+    [line_size] switches the image to compressed-I-cache accounting:
+    the image is compressed per {!Residency.Linemap} cache line
+    instead of per block, a trap really decompresses only the target
+    block's lines that no live copy already covers (so
+    [decompressions] counts {e lines}), and a line leaves residency
+    when the last copy spanning it is deleted. Relocation stays
+    block-shaped, so the executed instruction stream — and any
+    workload checksum — is unchanged; only decompression work,
+    [compressed_image_bytes], and the priced costs move.
+    @raise Invalid_argument on an unknown [profile] or a [line_size]
+    below 4. *)
 
 val run_source :
   ?fuel:int ->
@@ -90,6 +102,7 @@ val run_source :
   ?profile:string ->
   ?sink:Sim.Events.sink ->
   ?registry:Sim.Metrics.t ->
+  ?line_size:int ->
   string ->
   (Eris.Machine.t * stats, error) result
 (** {!run} over assembled source. @raise Eris.Asm.Error on syntax

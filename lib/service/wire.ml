@@ -138,6 +138,13 @@ let job_builder obj =
   let* profile = str_field obj "profile" in
   let profile = default Fleet.Job.default_profile profile in
   let* profile = check_profile profile in
+  let* line_size = positive obj "line_size" in
+  let* () =
+    match line_size with
+    | Some l when l < 4 ->
+      fail "field \"line_size\": must be >= 4 bytes (got %d)" l
+    | _ -> Ok ()
+  in
   let* weight = positive obj "weight" in
   let weight = default 2 weight in
   let* fraction = float_field obj "fraction" in
@@ -162,7 +169,7 @@ let job_builder obj =
   Ok
     (fun ~scenario ~k ->
       Fleet.Job.make ~codec ~strategy ~mode ?budget ~retention ~profile
-        ~scenario ~k ())
+        ?line_size ~scenario ~k ())
 
 let parse_sim obj =
   let* workload = str_field obj "workload" in
@@ -394,7 +401,8 @@ let job_to_json (j : Fleet.Job.t) =
     @ [ ("retention", Json.Str retention) ]
     @ optional "weight" (fun v -> Json.Int v) weight
     @ optional "fraction" (fun v -> Json.Float v) fraction
-    @ [ ("profile", Json.Str j.profile) ])
+    @ [ ("profile", Json.Str j.profile) ]
+    @ optional "line_size" (fun v -> Json.Int v) j.line_size)
 
 let outcome_to_json (o : Fleet.Sweep.outcome) =
   Json.Obj

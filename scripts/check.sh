@@ -18,7 +18,8 @@ dune exec bench/main.exe -- --smoke
 # Codec-throughput smoke: the bench smoke must have written a
 # comp-MBps and dec-MBps entry for every registry codec, so a codec
 # silently dropping out of the measured set fails here.
-for codec in null rle huffman lzss lzw mtf-rle; do
+for codec in null rle huffman lzss lzw mtf-rle \
+  bdi-16 bdi-32 bdi-64 cpack-16 cpack-32 cpack-64; do
   for dir in comp dec; do
     grep -q "\"codec/$codec/$dir-MBps\"" BENCH.json || {
       echo "check: FAIL — BENCH.json is missing codec/$codec/$dir-MBps" >&2
@@ -77,6 +78,22 @@ echo "$pareto_out" | grep -q 'yes' || {
   echo "$pareto_out" >&2
   exit 1
 }
+
+# Line-granularity smoke: E19 (the compressed-I-cache scenario) must
+# render its line-vs-block comparison for every suite workload, and a
+# second run must be byte-identical (deterministic tables).
+e19_a=$(dune exec bin/ccomp.exe -- experiments E19 --jobs 2)
+e19_b=$(dune exec bin/ccomp.exe -- experiments E19 --jobs 2)
+if [ "$e19_a" != "$e19_b" ]; then
+  echo "check: FAIL — E19 is not deterministic across runs" >&2
+  exit 1
+fi
+suite=$("$ccomp" workloads | wc -l)
+block_rows=$(printf '%s\n' "$e19_a" | grep -c ' block ' || true)
+if [ "$block_rows" -ne "$suite" ]; then
+  echo "check: FAIL — E19 has $block_rows block-granularity rows for $suite workloads" >&2
+  exit 1
+fi
 
 cache_dir=$(mktemp -d)
 trap 'rm -rf "$cache_dir"' EXIT

@@ -51,6 +51,63 @@ let test_bitio_rejects_wide_writes () =
     (Invalid_argument "Bitio.Writer.add_bits") (fun () ->
       Compress.Bitio.Writer.add_bits w ~value:0 ~bits:31)
 
+let test_bitio_bulk_bytes () =
+  (* out-of-range slices are caller errors, not Corrupt *)
+  let w = Compress.Bitio.Writer.create () in
+  Alcotest.check_raises "bad slice"
+    (Invalid_argument "Bitio.Writer.write_bytes") (fun () ->
+      Compress.Bitio.Writer.write_bytes w (Bytes.of_string "ab") ~pos:1 ~len:2);
+  (* an exhausted reader raises Corrupt, not a silent short read *)
+  let r = Compress.Bitio.Reader.create (Bytes.of_string "ab") in
+  checkb "short read_bytes" true
+    (match Compress.Bitio.Reader.read_bytes r 3 with
+    | (_ : bytes) -> false
+    | exception Compress.Codec.Corrupt _ -> true);
+  (* bulk read resumes correctly after it drains the bit accumulator *)
+  let w = Compress.Bitio.Writer.create () in
+  Compress.Bitio.Writer.write_bytes w (Bytes.of_string "hello world") ~pos:6
+    ~len:5;
+  let r = Compress.Bitio.Reader.create (Compress.Bitio.Writer.contents w) in
+  ignore (Compress.Bitio.Reader.read_bits r 16);
+  checks "tail" "rld"
+    (Bytes.to_string (Compress.Bitio.Reader.read_bytes r 3))
+
+(* The bulk path must produce the same stream and the same reads as
+   the bit-at-a-time path, from aligned and misaligned bit offsets
+   alike. *)
+let prop_bitio_bulk_equiv =
+  QCheck.Test.make ~count:300 ~name:"write_bytes/read_bytes = per-byte bits"
+    QCheck.(
+      pair (int_range 0 13) (string_of_size Gen.(int_range 0 64)))
+    (fun (prefix_bits, body) ->
+      let bulk = Compress.Bitio.Writer.create () in
+      let slow = Compress.Bitio.Writer.create () in
+      for i = 1 to prefix_bits do
+        Compress.Bitio.Writer.add_bit bulk (i land 1 = 1);
+        Compress.Bitio.Writer.add_bit slow (i land 1 = 1)
+      done;
+      Compress.Bitio.Writer.write_bytes bulk (Bytes.of_string body) ~pos:0
+        ~len:(String.length body);
+      String.iter
+        (fun c -> Compress.Bitio.Writer.add_bits slow ~value:(Char.code c) ~bits:8)
+        body;
+      let b = Compress.Bitio.Writer.contents bulk in
+      if not (Bytes.equal b (Compress.Bitio.Writer.contents slow)) then false
+      else begin
+        let r_bulk = Compress.Bitio.Reader.create b in
+        let r_slow = Compress.Bitio.Reader.create b in
+        for _ = 1 to prefix_bits do
+          ignore (Compress.Bitio.Reader.read_bit r_bulk);
+          ignore (Compress.Bitio.Reader.read_bit r_slow)
+        done;
+        let got = Compress.Bitio.Reader.read_bytes r_bulk (String.length body) in
+        let slow_bytes =
+          Bytes.init (String.length body) (fun _ ->
+              Char.chr (Compress.Bitio.Reader.read_bits r_slow 8))
+        in
+        Bytes.equal got (Bytes.of_string body) && Bytes.equal got slow_bytes
+      end)
+
 (* ------------------------------------------------------------------ *)
 (* Codec roundtrips                                                    *)
 
@@ -251,8 +308,11 @@ let test_mtf_transform () =
 (* Registry & stats                                                    *)
 
 let test_registry () =
-  checki "six built-ins" 6 (List.length (Compress.Registry.all ()));
+  (* six stream codecs + the BDI/CPack line family at 16/32/64 *)
+  checki "twelve built-ins" 12 (List.length (Compress.Registry.all ()));
   checkb "find lzss" true (Compress.Registry.find "lzss" <> None);
+  checkb "find bdi-32" true (Compress.Registry.find "bdi-32" <> None);
+  checkb "find cpack-64" true (Compress.Registry.find "cpack-64" <> None);
   checkb "find unknown" true (Compress.Registry.find "gzip" = None);
   checks "default is lzss" "lzss" Compress.Registry.default.Compress.Codec.name;
   Alcotest.check_raises "find_exn unknown"
@@ -269,6 +329,18 @@ let test_stats () =
   checkb "ratio sane" true (s.Compress.Stats.ratio > 0.0);
   checkb "best <= worst" true
     (s.Compress.Stats.best_block_ratio <= s.Compress.Stats.worst_block_ratio)
+
+let test_throughput_zero_min_time () =
+  (* a run too fast for the clock must still report finite rates *)
+  let tp =
+    Compress.Stats.throughput ~min_time_s:0.0
+      (Compress.Registry.find_exn "null")
+      [ Bytes.create 16 ]
+  in
+  checkb "comp finite" true (Float.is_finite tp.Compress.Stats.comp_mbps);
+  checkb "dec finite" true (Float.is_finite tp.Compress.Stats.dec_mbps);
+  checkb "comp positive" true (tp.Compress.Stats.comp_mbps > 0.0);
+  checkb "dec positive" true (tp.Compress.Stats.dec_mbps > 0.0)
 
 let test_codec_helpers () =
   let c = Compress.Registry.find_exn "rle" in
@@ -292,6 +364,8 @@ let () =
           Alcotest.test_case "out of bits" `Quick test_bitio_out_of_bits;
           Alcotest.test_case "wide writes rejected" `Quick
             test_bitio_rejects_wide_writes;
+          Alcotest.test_case "bulk bytes" `Quick test_bitio_bulk_bytes;
+          qcheck prop_bitio_bulk_equiv;
         ] );
       ("roundtrips", all_roundtrips);
       ( "random-roundtrips",
@@ -322,6 +396,8 @@ let () =
         [
           Alcotest.test_case "lookup" `Quick test_registry;
           Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "throughput zero min-time" `Quick
+            test_throughput_zero_min_time;
           Alcotest.test_case "codec helpers" `Quick test_codec_helpers;
         ] );
     ]

@@ -552,6 +552,63 @@ let test_scenario_profile () =
   let p = Core.Scenario.profile sc in
   checki "profile counts" 2 (Cfg.Profile.block_count p 0)
 
+(* ------------------------------------------------------------------ *)
+(* Lineview                                                            *)
+
+let test_lineview_exec_cycles_preserved () =
+  (* re-expressing at line granularity splits each visit's cycles
+     across the block's lines — the total execution cost must come
+     out exactly the same at every line size *)
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn "fir") in
+  let policy = Core.Policy.on_demand ~k:8 in
+  let base = Core.Scenario.run sc policy in
+  List.iter
+    (fun line_size ->
+      let m = Core.Lineview.run ~line_size sc policy in
+      checki
+        (Printf.sprintf "exec cycles at %dB" line_size)
+        base.Core.Metrics.exec_cycles m.Core.Metrics.exec_cycles)
+    [ 16; 32; 64 ]
+
+let test_lineview_view_shape () =
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn "fir") in
+  let v = Core.Lineview.view ~line_size:32 sc in
+  let lines = Array.length v.Core.Lineview.info in
+  checkb "one node per line" true
+    (Array.length (Cfg.Graph.blocks v.Core.Lineview.graph) = lines);
+  checki "step cycles per trace step" (Array.length v.Core.Lineview.trace)
+    (Array.length v.Core.Lineview.step_cycles);
+  checkb "line trace longer than block trace" true
+    (Array.length v.Core.Lineview.trace >= Array.length sc.Core.Scenario.trace);
+  checkb "trace ids in range" true
+    (Array.for_all
+       (fun id -> id >= 0 && id < lines)
+       v.Core.Lineview.trace);
+  checkb "compressed sizes positive" true
+    (Array.for_all
+       (fun (i : Core.Engine.block_info) -> i.compressed_bytes > 0)
+       v.Core.Lineview.info)
+
+let test_lineview_line_codec () =
+  (* a scenario whose codec is a line codec runs and the per-line
+     compressed area is charged from exact tag-inclusive wire bits *)
+  let w = Workloads.Suite.find_exn "fir" in
+  let sc =
+    Core.Scenario.of_source ~name:"fir-bdi"
+      ~codec:(Compress.Registry.find_exn "bdi-32")
+      w.Workloads.Common.source
+  in
+  let m = Core.Lineview.run ~line_size:32 sc (Core.Policy.on_demand ~k:8) in
+  checkb "ran" true (m.Core.Metrics.total_cycles > 0);
+  checkb "compressed area positive" true
+    (m.Core.Metrics.compressed_area_bytes > 0)
+
+let test_lineview_validation () =
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn "fir") in
+  Alcotest.check_raises "line_size below 4"
+    (Invalid_argument "Residency.Linemap.build: line_size < 4") (fun () ->
+      ignore (Core.Lineview.view ~line_size:2 sc))
+
 let qcheck = QCheck_alcotest.to_alcotest
 
 let () =
@@ -616,6 +673,15 @@ let () =
           Alcotest.test_case "synthetic bytes" `Quick
             test_scenario_synthetic_bytes_deterministic;
           Alcotest.test_case "profile" `Quick test_scenario_profile;
+        ] );
+      ( "lineview",
+        [
+          Alcotest.test_case "exec cycles preserved" `Quick
+            test_lineview_exec_cycles_preserved;
+          Alcotest.test_case "view shape" `Quick test_lineview_view_shape;
+          Alcotest.test_case "line codec scenario" `Quick
+            test_lineview_line_codec;
+          Alcotest.test_case "validation" `Quick test_lineview_validation;
         ] );
     ]
 

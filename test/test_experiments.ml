@@ -51,16 +51,18 @@ let test_fig1_has_two_cycles () =
 (* Registry                                                            *)
 
 let test_registry () =
-  checki "eighteen experiments" 18 (List.length Experiments.Registry.all);
+  checki "nineteen experiments" 19 (List.length Experiments.Registry.all);
   checkb "find by id" true (Experiments.Registry.find "E6" <> None);
   checkb "find by id case-insensitive" true
     (Experiments.Registry.find "e6" <> None);
   checkb "find by slug" true (Experiments.Registry.find "kedge-sweep" <> None);
   checkb "find energy pareto" true
     (Experiments.Registry.find "energy-pareto" <> None);
+  checkb "find line granularity" true
+    (Experiments.Registry.find "line-granularity" <> None);
   checkb "unknown" true (Experiments.Registry.find "E99" = None);
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 18)
+  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 19)
 
 let table_tests =
   (* Every experiment table renders with rows. The heavyweight sweeps

@@ -16,10 +16,10 @@ let temp_dir prefix =
 (* ------------------------------------------------------------------ *)
 (* Job keys                                                            *)
 
-let job ?codec ?strategy ?mode ?budget ?retention ?profile
+let job ?codec ?strategy ?mode ?budget ?retention ?profile ?line_size
     ?(scenario = "fir") ?(k = 8) () =
-  Fleet.Job.make ?codec ?strategy ?mode ?budget ?retention ?profile ~scenario
-    ~k ()
+  Fleet.Job.make ?codec ?strategy ?mode ?budget ?retention ?profile ?line_size
+    ~scenario ~k ()
 
 let test_key_stable () =
   checks "equal specs equal keys" (Fleet.Job.key (job ()))
@@ -39,6 +39,8 @@ let test_key_stable () =
       job ~retention:(Fleet.Job.Pin_hot { fraction = 0.5 }) ();
       job ~profile:"cortex-m-flash" ();
       job ~profile:"sram-heavy" ();
+      job ~line_size:32 ();
+      job ~line_size:64 ();
     ]
   in
   List.iter
@@ -48,6 +50,30 @@ let test_key_stable () =
   checki "variant keys distinct"
     (List.length keys)
     (List.length (List.sort_uniq compare keys))
+
+let contains_sub needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_line_size_in_spec () =
+  checkb "canonical carries line_size" true
+    (contains_sub "line_size=32" (Fleet.Job.canonical (job ~line_size:32 ())));
+  checkb "canonical none by default" true
+    (contains_sub "line_size=none" (Fleet.Job.canonical (job ())));
+  checkb "describe shows line size" true
+    (contains_sub " line=32B" (Fleet.Job.describe (job ~line_size:32 ())));
+  checkb "describe silent without it" false
+    (contains_sub "line=" (Fleet.Job.describe (job ())));
+  (* a line-granular job executes through Lineview and preserves the
+     execution cycles of the block-granular run *)
+  let sc = Workloads.Common.scenario (Workloads.Suite.find_exn "fir") in
+  let block = Fleet.Job.execute sc (job ()) in
+  let line = Fleet.Job.execute sc (job ~line_size:32 ()) in
+  checki "exec cycles preserved" block.Core.Metrics.exec_cycles
+    line.Core.Metrics.exec_cycles;
+  checkb "line run really decompressed" true
+    (line.Core.Metrics.demand_decompressions > 0)
 
 let test_key_filesystem_safe () =
   String.iter
@@ -415,6 +441,21 @@ let test_sweep_matrix_order () =
     [ ("a", 1); ("a", 2); ("b", 1); ("b", 2) ]
     (List.map (fun (j : Fleet.Job.t) -> (j.scenario, j.k)) jobs)
 
+let test_sweep_matrix_line_sizes () =
+  let jobs =
+    Fleet.Sweep.matrix ~scenarios:[ "a" ] ~ks:[ 1 ]
+      ~line_sizes:[ None; Some 16; Some 64 ] ()
+  in
+  Alcotest.check
+    Alcotest.(list (option int))
+    "line sizes innermost"
+    [ None; Some 16; Some 64 ]
+    (List.map (fun (j : Fleet.Job.t) -> j.line_size) jobs);
+  checkb "default matrix has no line dimension" true
+    (List.for_all
+       (fun (j : Fleet.Job.t) -> j.line_size = None)
+       (Fleet.Sweep.matrix ~scenarios:[ "a" ] ~ks:[ 1 ] ()))
+
 let test_sweep_shard () =
   let xs = [ 1; 2; 3; 4; 5; 6; 7 ] in
   let shards =
@@ -520,6 +561,8 @@ let () =
         [
           Alcotest.test_case "key stability" `Quick test_key_stable;
           Alcotest.test_case "key charset" `Quick test_key_filesystem_safe;
+          Alcotest.test_case "line size in the spec" `Quick
+            test_line_size_in_spec;
         ] );
       ( "pool",
         [
@@ -553,6 +596,8 @@ let () =
         [
           Alcotest.test_case "normalize ks" `Quick test_sweep_normalize_ks;
           Alcotest.test_case "matrix order" `Quick test_sweep_matrix_order;
+          Alcotest.test_case "matrix line sizes" `Quick
+            test_sweep_matrix_line_sizes;
           Alcotest.test_case "shard" `Quick test_sweep_shard;
           Alcotest.test_case "dedup + counters" `Quick
             test_sweep_dedup_and_counters;

@@ -1,0 +1,439 @@
+(* Tests for the cache-line codec family: the BDI and CPack kernels,
+   the Linecodec registry adapter's wire format (golden-pinned), the
+   exact tag/metadata bit accounting, and adversarial decompression.
+   The registry-wrapped variants also ride through test_compress's
+   generic roundtrip/fuzz suites; everything here is line-specific. *)
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let bytes_eq =
+  Alcotest.testable
+    (fun ppf b -> Format.fprintf ppf "%S" (Bytes.to_string b))
+    Bytes.equal
+
+let hex_of_bytes b =
+  let buf = Buffer.create (Bytes.length b * 2) in
+  Bytes.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+    b;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* BDI kernel                                                          *)
+
+let bdi_roundtrip ?(pos = 0) b len =
+  let encoding, payload = Lines.Bdi.compress b ~pos ~len in
+  let back = Lines.Bdi.decompress ~encoding ~len payload in
+  checkb "bdi kernel roundtrip" true
+    (Bytes.equal (Bytes.sub b pos len) back);
+  encoding
+
+let test_bdi_encodings () =
+  (* all-zero line: empty payload, 11-bit tag only *)
+  checki "zeros" 0 (bdi_roundtrip (Bytes.make 32 '\000') 32);
+  (* one 8-byte word repeated *)
+  let repeat = Bytes.init 32 (fun i -> Char.chr (i mod 8 * 17)) in
+  checki "repeat" 1 (bdi_roundtrip repeat 32);
+  (* 8-byte words differing from the first only in the low byte *)
+  let ramp =
+    Bytes.init 32 (fun i -> if i mod 8 = 0 then Char.chr (i / 8) else '\x42')
+  in
+  checki "base8+d1" 2 (bdi_roundtrip ramp 32);
+  (* 2-byte words with small spreads: base2+d1 *)
+  let b2 =
+    Bytes.init 16 (fun i ->
+        if i mod 2 = 0 then Char.chr (40 + (i / 2)) else '\x01')
+  in
+  checki "base2+d1" 7 (bdi_roundtrip b2 16);
+  (* incompressible: immediate fallback *)
+  let st = Random.State.make [| 7 |] in
+  let rand = Bytes.init 32 (fun _ -> Char.chr (Random.State.int st 256)) in
+  checki "immediate" 15 (bdi_roundtrip rand 32);
+  (* a short tail line (len not a multiple of 8) still round-trips *)
+  ignore (bdi_roundtrip (Bytes.of_string "abcdefghijk") 11);
+  (* slices compress like copies *)
+  let framed = Bytes.cat (Bytes.of_string "XX") (Bytes.cat ramp Bytes.empty) in
+  checki "mid-buffer slice" 2 (bdi_roundtrip ~pos:2 framed 32)
+
+let test_bdi_wraparound () =
+  (* deltas are added with hardware-adder wrap: a base at the top of
+     the 8-byte range plus positive deltas must still round-trip *)
+  let b = Bytes.make 32 '\xFF' in
+  (* word 1..3 = 0xFFFF..FF plus i in the low byte via subtraction *)
+  Bytes.set b 8 '\x01';
+  Bytes.set b 16 '\x02';
+  Bytes.set b 24 '\x03';
+  ignore (bdi_roundtrip b 32)
+
+let test_bdi_accounting () =
+  checki "tag bits" 11 Lines.Bdi.tag_bits;
+  checki "segments 0" 0 (Lines.Bdi.segments ~payload_bytes:0);
+  checki "segments 8" 1 (Lines.Bdi.segments ~payload_bytes:8);
+  checki "segments 9" 2 (Lines.Bdi.segments ~payload_bytes:9);
+  checki "zeros payload" 0
+    (Option.get (Lines.Bdi.payload_bytes ~encoding:0 ~len:64));
+  (* base8+d2 over 32 bytes: 8-byte base + 4 deltas of 2 *)
+  checki "base8+d2 payload" 16
+    (Option.get (Lines.Bdi.payload_bytes ~encoding:3 ~len:32));
+  checkb "base4 needs multiple of 4" true
+    (Lines.Bdi.payload_bytes ~encoding:5 ~len:30 = None);
+  let zeros = Bytes.make 32 '\000' in
+  checki "zeros cost = tag only" 11
+    (Lines.Bdi.cost_bits zeros ~pos:0 ~len:32);
+  checks "encoding names" "zeros" (Lines.Bdi.encoding_name 0);
+  checks "immediate name" "immediate" (Lines.Bdi.encoding_name 15)
+
+let test_bdi_corrupt () =
+  let corrupt f =
+    match f () with
+    | (_ : bytes) -> false
+    | exception Lines.Line.Corrupt _ -> true
+  in
+  checkb "unknown encoding" true
+    (corrupt (fun () ->
+         Lines.Bdi.decompress ~encoding:9 ~len:32 (Bytes.create 8)));
+  checkb "payload size mismatch" true
+    (corrupt (fun () ->
+         Lines.Bdi.decompress ~encoding:0 ~len:32 (Bytes.create 1)));
+  checkb "inapplicable length" true
+    (corrupt (fun () ->
+         Lines.Bdi.decompress ~encoding:2 ~len:30 (Bytes.create 8)))
+
+(* ------------------------------------------------------------------ *)
+(* CPack kernel                                                        *)
+
+(* Run the kernel's code stream back through its own reader. *)
+let cpack_roundtrip b len =
+  let codes = Lines.Cpack.compress b ~pos:0 ~len in
+  let w = Compress.Bitio.Writer.create () in
+  List.iter
+    (fun (value, bits) -> Compress.Bitio.Writer.add_bits w ~value ~bits)
+    codes;
+  let r = Compress.Bitio.Reader.create (Compress.Bitio.Writer.contents w) in
+  let back =
+    Lines.Cpack.decompress ~len ~read:(Compress.Bitio.Reader.read_bits r)
+  in
+  checkb "cpack kernel roundtrip" true (Bytes.equal (Bytes.sub b 0 len) back);
+  codes
+
+let test_cpack_patterns () =
+  (* all-zero line: one 2-bit zzzz code per word *)
+  let codes = cpack_roundtrip (Bytes.make 32 '\000') 32 in
+  checki "zzzz codes" 8 (List.length codes);
+  checkb "zzzz is 2 bits" true (List.for_all (fun (_, w) -> w = 2) codes);
+  (* a repeated word: xxxx (split 2+16+16) then mmmm matches *)
+  let rep = Bytes.init 16 (fun i -> Char.chr (i mod 4 + 1)) in
+  let bits = Lines.Cpack.compressed_bits rep ~pos:0 ~len:16 in
+  checki "repeat word cost" (34 + (3 * 6)) bits;
+  ignore (cpack_roundtrip rep 16);
+  (* zzzx: three zero bytes + low literal *)
+  let zzzx = Bytes.make 4 '\000' in
+  Bytes.set zzzx 3 '\x09';
+  checki "zzzx cost" 12 (Lines.Cpack.compressed_bits zzzx ~pos:0 ~len:4);
+  ignore (cpack_roundtrip zzzx 4);
+  (* mmmx: second word differs from the first only in its last byte *)
+  let mmmx = Bytes.of_string "\x01\x02\x03\x04\x01\x02\x03\x99" in
+  checki "mmmx cost" (34 + 16) (Lines.Cpack.compressed_bits mmmx ~pos:0 ~len:8);
+  ignore (cpack_roundtrip mmmx 8);
+  (* mmxx: second word shares only the 2-byte prefix *)
+  let mmxx = Bytes.of_string "\x01\x02\x03\x04\x01\x02\x88\x99" in
+  checki "mmxx cost" (34 + 24) (Lines.Cpack.compressed_bits mmxx ~pos:0 ~len:8);
+  ignore (cpack_roundtrip mmxx 8);
+  (* trailing bytes: 8-bit raw literals *)
+  let tail = Bytes.of_string "\x00\x00\x00\x00ab" in
+  checki "tail cost" (2 + 16) (Lines.Cpack.compressed_bits tail ~pos:0 ~len:6);
+  ignore (cpack_roundtrip tail 6)
+
+let test_cpack_dict_independence () =
+  (* the dictionary resets per line: compressing line B right after
+     line A gives the same codes as compressing B alone *)
+  let a = Bytes.init 32 (fun i -> Char.chr (i + 1)) in
+  let b = Bytes.init 32 (fun i -> Char.chr (255 - i)) in
+  let alone = Lines.Cpack.compress b ~pos:0 ~len:32 in
+  ignore (Lines.Cpack.compress a ~pos:0 ~len:32);
+  let after = Lines.Cpack.compress b ~pos:0 ~len:32 in
+  checkb "per-line dictionary" true (alone = after)
+
+let test_cpack_bad_code () =
+  (* 0b1111 is not a pattern: an all-ones bit stream must raise *)
+  let read bits = (1 lsl bits) - 1 in
+  checkb "code 1111" true
+    (match Lines.Cpack.decompress ~len:4 ~read with
+    | (_ : bytes) -> false
+    | exception Lines.Line.Corrupt _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Adapter roundtrips over every workload image at every line size     *)
+
+let workload_images =
+  lazy
+    (List.map
+       (fun name ->
+         let w = Workloads.Suite.find_exn name in
+         ( name,
+           (Eris.Asm.assemble_exn w.Workloads.Common.source).Eris.Program.image
+         ))
+       Workloads.Suite.names)
+
+let test_adapter_workloads () =
+  List.iter
+    (fun family ->
+      List.iter
+        (fun size ->
+          let raw = Compress.Linecodec.codec family size in
+          let wrapped =
+            Compress.Registry.find_exn raw.Compress.Codec.name
+          in
+          List.iter
+            (fun (name, image) ->
+              let what c =
+                Printf.sprintf "%s on %s" c.Compress.Codec.name name
+              in
+              Alcotest.check bytes_eq (what raw) image
+                (raw.Compress.Codec.decompress
+                   (raw.Compress.Codec.compress image));
+              Alcotest.check bytes_eq (what wrapped) image
+                (wrapped.Compress.Codec.decompress
+                   (wrapped.Compress.Codec.compress image)))
+            (Lazy.force workload_images))
+        Compress.Linecodec.line_sizes)
+    [ Compress.Linecodec.Bdi; Compress.Linecodec.Cpack ]
+
+let test_adapter_names () =
+  checks "bdi name" "bdi-32" (Compress.Linecodec.name Compress.Linecodec.Bdi 32);
+  checkb "of_name inverse" true
+    (Compress.Linecodec.of_name "cpack-64"
+    = Some (Compress.Linecodec.Cpack, 64));
+  checkb "of_name unknown size" true (Compress.Linecodec.of_name "bdi-48" = None);
+  checkb "of_name garbage" true (Compress.Linecodec.of_name "lzss" = None);
+  checki "six line codecs" 6 (List.length (Compress.Linecodec.all ()))
+
+(* ------------------------------------------------------------------ *)
+(* Golden vectors: wire bytes and tag-inclusive bit counts             *)
+
+(* Exact compressed streams for both families at every line size, and
+   the summed per-line cost_bits (tag + payload, the number the
+   line-granular residency scenario charges). Any wire-format drift —
+   a reordered encoding preference, a changed tag width — fails here
+   even though the roundtrips still pass. Regenerate only for a
+   deliberate, versioned format change. *)
+
+let golden_inputs =
+  [
+    ("zeros-64", Bytes.make 64 '\000');
+    ("repeat-64", Bytes.init 64 (fun i -> Char.chr (i mod 8 * 17)));
+    ( "ramp-64",
+      Bytes.init 64 (fun i -> if i mod 8 = 0 then Char.chr (i / 8) else '\x42')
+    );
+    ("text", Bytes.of_string "the quick brown fox jumps over the lazy dog");
+    ("code-512", Core.Scenario.synthetic_block_bytes ~id:3 ~size:512);
+    ( "random-1024",
+      let st = Random.State.make [| 91 |] in
+      Bytes.init 1024 (fun _ -> Char.chr (Random.State.int st 256)) );
+  ]
+
+(* codec|input|length|md5|hex|cost-bits (hex is "-" above 64 bytes) *)
+let golden_table =
+  {golden|
+bdi-16|zeros-64|10|3e3c9e5df6115e32ce8b7174b0440bb5|40000000000000000000|44
+bdi-16|repeat-64|42|1682351314e8a34176893e6bfca4c723|400000001022044088100011223344556677001122334455667700112233445566770011223344556677|300
+bdi-16|ramp-64|50|30ae2b7f6b8813fb00b61ca2b47d745b|4000000020440881102000424242424242420001024242424242424200010442424242424242000106424242424242420001|364
+bdi-16|text|52|9bd5468e211cd7f1bb957a4b83baca3a|2b000000f05e0bc10074686520717569636b2062726f776e20666f78206a756d7073206f76657220746865206c617a7920646f67|377
+bdi-16|code-512|560|324092b42c516c70a484c8f59d74cb41|-|4448
+bdi-16|random-1024|1116|350bbcea5c762b734bff058d7a912ebf|-|8896
+bdi-32|zeros-64|7|d17261476305f90c90a0517e6570db7d|40000000000000|22
+bdi-32|repeat-64|23|cfac4994f78c392d00471edab242f656|4000000010220400112233445566770011223344556677|150
+bdi-32|ramp-64|31|4d5d4bc16dde03c487a6f2c48cda87d8|40000000204408004242424242424200010203044242424242424200010203|214
+bdi-32|text|50|9b83912f9897ef02c6e7053349318430|2b000000f09e0874686520717569636b2062726f776e20666f78206a756d7073206f76657220746865206c617a7920646f67|366
+bdi-32|code-512|538|244e619afbc6ffbf8ca48b7d07efea5b|-|4272
+bdi-32|random-1024|1072|c61cd4f4182e28fe628e4a3a13f55e0e|-|8544
+bdi-64|zeros-64|6|6478780b90426afb9cdb5c9ad3119336|400000000000|11
+bdi-64|repeat-64|14|42aebf1c7c6827e30ceb1131490b4066|4000000010200011223344556677|75
+bdi-64|ramp-64|22|26d49e63ace2f567291dfe424211a152|40000000204000424242424242420001020304050607|139
+bdi-64|text|49|fd43e8b8ade2d749f6fc3a38be9a7d5d|2b000000f0c074686520717569636b2062726f776e20666f78206a756d7073206f76657220746865206c617a7920646f67|355
+bdi-64|code-512|527|5163855fe5029c455d0c2090a7dde6eb|-|4184
+bdi-64|random-1024|1050|5827f09453a09d5c0388da2eed44efdf|-|8368
+cpack-16|zeros-64|12|e212b29d6da86b92d6f638b4ffde024f|400000000204081000000000|60
+cpack-16|repeat-64|48|e88505b93cd18c11894b5b8f8d05c7ea|40000000142850a04004488cd445566778214004488cd445566778214004488cd445566778214004488cd44556677821|348
+cpack-16|ramp-64|64|e4bf88b1af42733b34fd98bf3010fb0f|400000001c3870e04010909094242424240509090a104090909094242424240d09090a104110909094242424241509090a104190909094242424241d09090a10|476
+cpack-16|text|53|ded65d8be7f6cd32fc69eb36245ac4d4|2b0000002244605d1a19481717569635ac8189c96f776e20599bde0816a756d705cc81bdd9657220745a19481b1617a7920646f670|389
+cpack-16|code-512|499|405820bcc9f5e09af5648221e03a330e|-|3960
+cpack-16|random-1024|1148|1b355fad4f9901e0bfefad6bdeef4691|-|9152
+cpack-32|zeros-64|10|fe3b71058c188d5bd55af6fdf20f1865|40000000040800000000|46
+cpack-32|repeat-64|32|c45628dec7e8795565e87b8b76f21235|400000001a344004488cd445566778218218214004488cd44556677821821821|222
+cpack-32|ramp-64|54|21afccad7242c404474d960f9cda6c50|4000000030604010909094242424240509090a140909090a140d09090a104110909094242424241509090a141909090a141d09090a10|398
+cpack-32|text|52|88de5b2b568bc1db383b45cb9ff7d154|2b00000044305d1a19481717569635ac8189c96f776e20599bde0816a756d705cc81bdd9657220745a19481b1617a7920646f670|382
+cpack-32|code-512|413|4232eeb5a3eed9eddc5999eae7172ce5|-|3272
+cpack-32|random-1024|1120|df9a3a11504c331a11dfc2f842b10b48|-|8928
+cpack-64|zeros-64|9|ad8bf6f29cc12d10ebfe24474cad5059|400000000800000000|39
+cpack-64|repeat-64|24|10902e25d5ab51fda7408b0b797fcc3d|40000000264004488cd44556677821821821821821821821|159
+cpack-64|ramp-64|49|c35e6327382a8a39cbb00353f4672bac|40000000584010909094242424240509090a140909090a140d09090a141109090a141509090a141909090a141d09090a10|359
+cpack-64|text|51|4ebe3d40110892f6146c03c6853b5f47|2b0000005c5d1a19481717569635ac8189c96f776e20599bde0816a756d705cc81bdd9657220745a19481b1617a7920646f670|375
+cpack-64|code-512|329|af0bfa39e83dada776f036d6ffe78919|-|2600
+cpack-64|random-1024|1106|234c77ac23c279b11e6381b24097f9aa|-|8816
+|golden}
+
+let line_cost_bits family size payload =
+  let total = Bytes.length payload in
+  let bits = ref 0 in
+  let i = ref 0 in
+  while !i < total do
+    let len = min size (total - !i) in
+    bits := !bits + Compress.Linecodec.cost_bits family payload ~pos:!i ~len;
+    i := !i + size
+  done;
+  !bits
+
+let test_golden_vectors () =
+  let rows =
+    String.split_on_char '\n' golden_table
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun l ->
+           match String.split_on_char '|' (String.trim l) with
+           | [ codec; input; len; md5; hex; bits ] ->
+             (codec, input, int_of_string len, md5, hex, int_of_string bits)
+           | _ -> Alcotest.failf "bad golden row %S" l)
+  in
+  checki "full cross product"
+    (2 * List.length Compress.Linecodec.line_sizes
+   * List.length golden_inputs)
+    (List.length rows);
+  List.iter
+    (fun (codec_name, input_name, len, md5, hex, bits) ->
+      let family, size =
+        Option.get (Compress.Linecodec.of_name codec_name)
+      in
+      let codec = Compress.Linecodec.codec family size in
+      let payload = List.assoc input_name golden_inputs in
+      let z = codec.Compress.Codec.compress payload in
+      let what field =
+        Printf.sprintf "%s on %s: %s" codec_name input_name field
+      in
+      checki (what "length") len (Bytes.length z);
+      checks (what "md5") md5 (Digest.to_hex (Digest.bytes z));
+      if hex <> "-" then checks (what "bytes") hex (hex_of_bytes z);
+      checki (what "cost bits") bits (line_cost_bits family size payload))
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Strict framing and adversarial decompression                        *)
+
+let expect_corrupt codec payload =
+  match codec.Compress.Codec.decompress payload with
+  | (_ : bytes) -> false
+  | exception Compress.Codec.Corrupt _ -> true
+
+let test_framing_corruption () =
+  List.iter
+    (fun (codec : Compress.Codec.t) ->
+      let name what = Printf.sprintf "%s: %s" codec.name what in
+      checkb (name "empty") true (expect_corrupt codec Bytes.empty);
+      checkb (name "truncated header") true
+        (expect_corrupt codec (Bytes.of_string "\x10\x00"));
+      (* a header claiming gigabytes must be rejected before any
+         allocation happens (reject-before-alloc) *)
+      checkb (name "huge claim") true
+        (expect_corrupt codec (Bytes.of_string "\xff\xff\xff\x7f\x00\x00"));
+      let good = codec.compress (Bytes.make 64 '\x5A') in
+      checkb (name "roundtrip sane") true
+        (Bytes.equal (Bytes.make 64 '\x5A') (codec.decompress good));
+      (* strict framing: a trailing byte is an error, not ignored *)
+      checkb (name "trailing byte") true
+        (expect_corrupt codec (Bytes.cat good (Bytes.make 1 '\000')));
+      (* and so is losing the last payload byte *)
+      checkb (name "truncated payload") true
+        (expect_corrupt codec (Bytes.sub good 0 (Bytes.length good - 1))))
+    (Compress.Linecodec.all ())
+
+(* Bit flips, truncations and random bytes against the raw adapters:
+   anything but Corrupt escaping means attacker-controlled lengths
+   reached an unchecked operation. Same shape as test_compress's fuzz
+   (which covers the never_expanding-wrapped registry variants). *)
+let fuzz_codec (codec : Compress.Codec.t) =
+  let st = Random.State.make [| 0x11E5; Hashtbl.hash codec.name |] in
+  let total b =
+    match codec.decompress b with
+    | (_ : bytes) -> ()
+    | exception Compress.Codec.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "%s leaked %s on %d-byte input %s..." codec.name
+        (Printexc.to_string e) (Bytes.length b)
+        (String.sub (hex_of_bytes b) 0 (min 48 (2 * Bytes.length b)))
+  in
+  List.iter
+    (fun (_, payload) ->
+      let z = codec.compress payload in
+      let n = Bytes.length z in
+      for _ = 1 to 300 do
+        let m = Bytes.copy z in
+        for _ = 0 to Random.State.int st 4 do
+          let i = Random.State.int st n in
+          let bit = 1 lsl Random.State.int st 8 in
+          Bytes.set m i (Char.chr (Char.code (Bytes.get m i) lxor bit))
+        done;
+        total m
+      done;
+      for _ = 1 to 100 do
+        total (Bytes.sub z 0 (Random.State.int st n))
+      done)
+    golden_inputs;
+  for _ = 1 to 300 do
+    let b =
+      Bytes.init (Random.State.int st 200) (fun _ ->
+          Char.chr (Random.State.int st 256))
+    in
+    total b
+  done
+
+let fuzz_tests =
+  List.map
+    (fun (codec : Compress.Codec.t) ->
+      Alcotest.test_case
+        (Printf.sprintf "fuzz %s" codec.name)
+        `Quick
+        (fun () -> fuzz_codec codec))
+    (Compress.Linecodec.all ())
+
+(* QCheck: every line codec round-trips arbitrary bytes (including
+   lengths that leave a short final line). *)
+let prop_roundtrips =
+  List.map
+    (fun (codec : Compress.Codec.t) ->
+      QCheck.Test.make ~count:300
+        ~name:(Printf.sprintf "%s random roundtrip" codec.name)
+        QCheck.(map Bytes.of_string (string_of_size Gen.(int_range 0 700)))
+        (fun payload -> Compress.Codec.roundtrip_ok codec payload))
+    (Compress.Linecodec.all ())
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run ~and_exit:false "lines"
+    [
+      ( "bdi",
+        [
+          Alcotest.test_case "encodings" `Quick test_bdi_encodings;
+          Alcotest.test_case "wraparound" `Quick test_bdi_wraparound;
+          Alcotest.test_case "accounting" `Quick test_bdi_accounting;
+          Alcotest.test_case "corruption" `Quick test_bdi_corrupt;
+        ] );
+      ( "cpack",
+        [
+          Alcotest.test_case "patterns" `Quick test_cpack_patterns;
+          Alcotest.test_case "dictionary independence" `Quick
+            test_cpack_dict_independence;
+          Alcotest.test_case "bad code" `Quick test_cpack_bad_code;
+        ] );
+      ( "adapter",
+        [
+          Alcotest.test_case "names" `Quick test_adapter_names;
+          Alcotest.test_case "every workload, every line size" `Quick
+            test_adapter_workloads;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "pinned vectors" `Quick test_golden_vectors ] );
+      ("adversarial", Alcotest.test_case "framing" `Quick test_framing_corruption :: fuzz_tests);
+      ("random-roundtrips", List.map qcheck prop_roundtrips);
+    ]

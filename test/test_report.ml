@@ -123,6 +123,53 @@ let test_formatters () =
   checks "negative pct" "-5.0%" (Report.Table.fmt_pct (-0.05));
   checks "bytes" "100B" (Report.Table.fmt_bytes 100)
 
+(* ------------------------------------------------------------------ *)
+(* Pareto                                                              *)
+
+let pt label cycles energy =
+  { Report.Pareto.label; values = [ ("cycles", cycles); ("energy", energy) ] }
+
+let labels pts = List.map (fun p -> p.Report.Pareto.label) pts
+
+let test_pareto_dominates () =
+  let open Report.Pareto in
+  checkb "strictly better everywhere" true
+    (dominates (pt "a" 1.0 1.0) (pt "b" 2.0 2.0));
+  checkb "better in one, equal in the other" true
+    (dominates (pt "a" 1.0 2.0) (pt "b" 2.0 2.0));
+  checkb "worse in one dimension" false
+    (dominates (pt "a" 1.0 3.0) (pt "b" 2.0 2.0));
+  (* ties: equal points dominate in neither direction *)
+  checkb "equal forward" false (dominates (pt "a" 1.0 2.0) (pt "b" 1.0 2.0));
+  checkb "equal backward" false (dominates (pt "b" 1.0 2.0) (pt "a" 1.0 2.0));
+  checkb "dominance is not symmetric" false
+    (dominates (pt "b" 2.0 2.0) (pt "a" 1.0 1.0))
+
+let test_pareto_front () =
+  let front =
+    Report.Pareto.front
+      [ pt "good" 1.0 4.0; pt "mid" 2.0 2.0; pt "bad" 3.0 5.0; pt "also" 4.0 1.0 ]
+  in
+  checkb "dominated point dropped" true
+    (labels front = [ "good"; "mid"; "also" ]);
+  (* duplicate coordinates never dominate each other: both survive *)
+  let dup = Report.Pareto.front [ pt "x" 1.0 1.0; pt "y" 1.0 1.0 ] in
+  checkb "duplicates all survive" true (labels dup = [ "x"; "y" ]);
+  checkb "empty front" true (Report.Pareto.front [] = []);
+  let solo = Report.Pareto.front [ pt "only" 9.0 9.0 ] in
+  checkb "singleton survives" true (labels solo = [ "only" ])
+
+let test_pareto_dimension_mismatch () =
+  let odd = { Report.Pareto.label = "odd"; values = [ ("cycles", 1.0) ] } in
+  checkb "mismatched dimensions raise" true
+    (match Report.Pareto.dominates (pt "a" 1.0 1.0) odd with
+    | (_ : bool) -> false
+    | exception Invalid_argument _ -> true);
+  checkb "missing dimension raises" true
+    (match Report.Pareto.value odd "energy" with
+    | (_ : float) -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "report"
     [
@@ -139,5 +186,12 @@ let () =
           Alcotest.test_case "markdown escaping" `Quick
             test_markdown_escaping;
           Alcotest.test_case "formatters" `Quick test_formatters;
+        ] );
+      ( "pareto",
+        [
+          Alcotest.test_case "dominates" `Quick test_pareto_dominates;
+          Alcotest.test_case "front" `Quick test_pareto_front;
+          Alcotest.test_case "dimension mismatch" `Quick
+            test_pareto_dimension_mismatch;
         ] );
     ]

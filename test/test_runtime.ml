@@ -6,8 +6,11 @@
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
 
-let run_ok ?k ?codec w =
-  match Runtime.run ?k ?codec (Eris.Asm.assemble_exn w.Workloads.Common.source) with
+let run_ok ?k ?codec ?line_size w =
+  match
+    Runtime.run ?k ?codec ?line_size
+      (Eris.Asm.assemble_exn w.Workloads.Common.source)
+  with
   | Ok (machine, stats) -> (machine, stats)
   | Error (Runtime.Out_of_fuel _) ->
     Alcotest.failf "%s: out of fuel" w.Workloads.Common.name
@@ -116,6 +119,54 @@ let test_codec_choice () =
         (Eris.Machine.read_word machine w.Workloads.Common.result_addr))
     [ "null"; "rle"; "lzss" ]
 
+(* Compressed-I-cache mode: per-line decompression must not change
+   what the program computes, only how decompression work is counted. *)
+let test_line_mode_checksums () =
+  List.iter
+    (fun w ->
+      List.iter
+        (fun line_size ->
+          let machine, stats = run_ok ~k:8 ~line_size w in
+          checki
+            (Printf.sprintf "%s checksum at %dB lines" w.Workloads.Common.name
+               line_size)
+            w.Workloads.Common.expected
+            (Eris.Machine.read_word machine w.Workloads.Common.result_addr);
+          checkb "really decompressed lines" true
+            (stats.Runtime.decompressions > 0))
+        [ 16; 64 ])
+    [ Workloads.Suite.find_exn "fir"; Workloads.Suite.find_exn "fsm" ]
+
+let test_line_mode_counts_lines () =
+  (* a block spans several 16-byte lines, so a line-granular run must
+     decompress strictly more units than the block-granular one — and
+     the executed instruction stream must be identical *)
+  let w = Workloads.Suite.find_exn "crc32" in
+  let machine_block, block = run_ok ~k:8 w in
+  let machine_line, line = run_ok ~k:8 ~line_size:16 w in
+  checkb "lines outnumber blocks" true
+    (line.Runtime.decompressions > block.Runtime.decompressions);
+  checki "same instruction stream"
+    (Eris.Machine.instr_count machine_block)
+    (Eris.Machine.instr_count machine_line)
+
+let test_line_mode_line_codec () =
+  (* the line codec family plugs into the runtime like any other *)
+  let w = Workloads.Suite.find_exn "fir" in
+  let machine, _ =
+    run_ok ~k:8 ~codec:(Compress.Registry.find_exn "cpack-32") ~line_size:32 w
+  in
+  checki "checksum under cpack-32" w.Workloads.Common.expected
+    (Eris.Machine.read_word machine w.Workloads.Common.result_addr)
+
+let test_line_mode_validation () =
+  let w = Workloads.Suite.find_exn "fir" in
+  Alcotest.check_raises "line_size below 4"
+    (Invalid_argument "Residency.Linemap.build: line_size < 4") (fun () ->
+      ignore
+        (Runtime.run ~line_size:2
+           (Eris.Asm.assemble_exn w.Workloads.Common.source)))
+
 (* The runtime and the model (Core.Engine) must agree on the shape:
    runtime trap counts move with k the same way the engine's demand
    decompressions do. *)
@@ -153,5 +204,14 @@ let () =
           Alcotest.test_case "codec independence" `Quick test_codec_choice;
           Alcotest.test_case "agrees with the model" `Quick
             test_runtime_engine_agreement;
+        ] );
+      ( "line-mode",
+        [
+          Alcotest.test_case "checksums unchanged" `Quick
+            test_line_mode_checksums;
+          Alcotest.test_case "decompressions count lines" `Quick
+            test_line_mode_counts_lines;
+          Alcotest.test_case "line codec" `Quick test_line_mode_line_codec;
+          Alcotest.test_case "validation" `Quick test_line_mode_validation;
         ] );
     ]

@@ -122,7 +122,20 @@ let test_wire_rejects () =
   expect Wire.bad_request {|{"op":"sim","workload":"fir","strategy":"warp"}|};
   expect Wire.bad_request {|{"op":"sim","workload":"fir","timeout_ms":-1}|};
   expect Wire.bad_request {|{"op":"sweep","ks":[]}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","line_size":2}|};
+  expect Wire.bad_request {|{"op":"sim","workload":"fir","line_size":-8}|};
   expect Wire.bad_request {|{"op":"compress","workload":"fir","codec":"code"}|}
+
+let test_wire_line_size () =
+  match
+    Wire.parse_request
+      {|{"op":"sim","workload":"fir","codec":"bdi-32","line_size":32}|}
+  with
+  | Ok { request = Wire.Sim job; _ } ->
+    checkb "line_size parsed" true (job.Fleet.Job.line_size = Some 32);
+    checks "codec carried" "bdi-32" job.Fleet.Job.codec
+  | Ok _ -> Alcotest.fail "parsed as a different op"
+  | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg
 
 (* The error id is salvaged from the malformed line whenever the line
    at least parses, so responses still correlate. *)
@@ -546,6 +559,7 @@ let () =
             test_wire_sweep_normalizes_ks;
           Alcotest.test_case "rejects invalid requests" `Quick
             test_wire_rejects;
+          Alcotest.test_case "line size field" `Quick test_wire_line_size;
           Alcotest.test_case "salvages the id" `Quick test_wire_salvages_id;
           Alcotest.test_case "response round trip" `Quick
             test_wire_response_roundtrip;
