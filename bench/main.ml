@@ -319,6 +319,31 @@ let energy_phase () =
   entries
 
 (* ------------------------------------------------------------------ *)
+(* Corpus generator phase                                              *)
+
+(* A 100-program batch through Corpus.Gen.build — emission plus the
+   calibration replays on the real machine. Generated-corpus
+   experiments (E20) pay this cost once per program, so its throughput
+   is a first-class figure; BENCH.json carries it as
+   corpus/gen-programs-per-s in both full and --smoke modes. *)
+let corpus_phase () =
+  let n = 100 in
+  let t0 = Unix.gettimeofday () in
+  let visits = ref 0 in
+  for seed = 1 to n do
+    let spec = { Corpus.Spec.default with Corpus.Spec.seed } in
+    let bt = Corpus.Gen.build spec in
+    visits := !visits + Array.length bt.Corpus.Gen.trace
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let per_s = float_of_int n /. dt in
+  Printf.printf
+    "corpus generator: %d programs in %.2fs (%.1f programs/s, %d trace \
+     visits)\n"
+    n dt per_s !visits;
+  [ ("corpus/gen-programs-per-s", per_s) ]
+
+(* ------------------------------------------------------------------ *)
 (* Streaming event-bus benchmark                                       *)
 
 (* A million-step Markov walk streamed through a counting sink: the
@@ -548,11 +573,13 @@ let () =
     let trace_entries = trace_codec_phase () in
     print_newline ();
     let energy_entries = energy_phase () in
+    print_newline ();
+    let corpus_entries = corpus_phase () in
     write_bench_json
       (("streaming-1M/wall-s", dt)
       :: ("streaming-100M/events-per-s", eps_100m)
       :: ("service-roundtrip/p50-ms", p50)
-      :: (codec_entries @ trace_entries @ energy_entries))
+      :: (codec_entries @ trace_entries @ energy_entries @ corpus_entries))
   end
   else begin
     print_endline
@@ -572,6 +599,8 @@ let () =
     let trace_entries = trace_codec_phase () in
     print_newline ();
     let energy_entries = energy_phase () in
+    print_newline ();
+    let corpus_entries = corpus_phase () in
     print_newline ();
     (* Full-table regeneration runs through the fleet pool (cache off:
        a benchmark should measure engine work, not disk reads). The
@@ -601,6 +630,7 @@ let () =
       @ codec_entries
       @ trace_entries
       @ energy_entries
+      @ corpus_entries
       @ [
           ("streaming-1M/wall-s", streaming_dt);
           ("streaming-100M/events-per-s", eps_100m);

@@ -6,12 +6,42 @@ open Cmdliner
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsers                                             *)
 
+let workload_doc =
+  Printf.sprintf
+    "Workload name (one of: %s), a gen: generator spec, or a multi: \
+     composition."
+    (String.concat ", " Workloads.Suite.names)
+
 let workload_arg =
-  let doc =
-    Printf.sprintf "Workload name (one of: %s)."
-      (String.concat ", " Workloads.Suite.names)
-  in
-  Arg.(required & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:workload_doc)
+
+(* sim/run accept the workload either positionally or via --gen (and,
+   for sim, --tasks); the positional argument becomes optional there. *)
+let workload_opt_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc:workload_doc)
+
+let gen_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "gen" ] ~docv:"SPEC"
+        ~doc:
+          "Generate the program from a gen: spec (equivalent to passing the \
+           spec as WORKLOAD).")
+
+(* The effective scenario string for sim/run: positional or --gen,
+   exactly one. *)
+let effective_workload workload gen =
+  match (workload, gen) with
+  | Some w, None -> Ok w
+  | None, Some g ->
+    if Corpus.Resolve.is_gen g then Ok g
+    else Error "--gen expects a gen: spec"
+  | Some _, Some _ -> Error "give either WORKLOAD or --gen, not both"
+  | None, None -> Error "missing WORKLOAD (or --gen SPEC)"
 
 (* Validated at parse time against the live registry (same known-set
    message as the service), so a typo'd codec is a usage error in
@@ -253,18 +283,123 @@ let with_observability ?(observe_events = true) trace_out metrics run =
   | None -> ());
   result
 
+(* Any scenario string: a suite workload name, a [gen:] generator spec
+   or a [multi:] composition — everywhere a WORKLOAD is accepted. *)
 let scenario_of ~codec name =
-  let w = Workloads.Suite.find_exn name in
-  match codec with
-  | "code" -> Workloads.Common.scenario w
-  | other ->
-    Workloads.Common.scenario ~codec:(Compress.Registry.find_exn other) w
+  let plain name =
+    let w = Workloads.Suite.find_exn name in
+    match codec with
+    | "code" -> Workloads.Common.scenario w
+    | other ->
+      Workloads.Common.scenario ~codec:(Compress.Registry.find_exn other) w
+  in
+  if Corpus.Resolve.is_spec name then
+    Corpus.Resolve.scenario ~lookup:plain
+      ?codec:
+        (match codec with
+        | "code" -> None
+        | other -> Some (Compress.Registry.find_exn other))
+      name
+  else plain name
 
 (* ------------------------------------------------------------------ *)
 (* ccomp sim                                                           *)
 
-let sim workload codec k strategy lookahead predictor budget recompress
-    retention device_profile line_size trace_out metrics =
+(* Per-task attribution printout for multitask sims. *)
+let print_task_stats stats =
+  let t =
+    Report.Table.create ~title:"per-task attribution"
+      ~columns:
+        [
+          ("task", Report.Table.Left);
+          ("visits", Report.Table.Right);
+          ("demand decs", Report.Table.Right);
+          ("discards", Report.Table.Right);
+          ("evictions", Report.Table.Right);
+          ("cross-task", Report.Table.Right);
+        ]
+  in
+  Array.iter
+    (fun (s : Corpus.Multitask.task_stats) ->
+      Report.Table.add_row t
+        [
+          s.task.Corpus.Multitask.name;
+          Report.Table.fmt_int s.visits;
+          Report.Table.fmt_int s.demand_decompressions;
+          Report.Table.fmt_int s.discards;
+          Report.Table.fmt_int s.evictions;
+          Report.Table.fmt_int s.evicted_while_inactive;
+        ])
+    stats;
+  print_string (Report.Table.render t)
+
+let sim workload gen tasks quantum mt_seed jitter codec k strategy lookahead
+    predictor budget recompress retention device_profile line_size trace_out
+    metrics =
+  let scenario_or_tasks =
+    match tasks with
+    | Some ts ->
+      Result.map
+        (fun m -> `Tasks m)
+        (Corpus.Resolve.multi_of_string
+           (Printf.sprintf "multi:quantum=%d,seed=%d,jitter=%g;%s" quantum
+              mt_seed jitter (String.concat "+" ts)))
+    | None -> Result.map (fun w -> `One w) (effective_workload workload gen)
+  in
+  match scenario_or_tasks with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok (`Tasks m) -> (
+    match
+      Corpus.Resolve.multitask ~lookup:(fun n -> scenario_of ~codec n)
+        ?codec:
+          (match codec with
+          | "code" -> None
+          | other -> Some (Compress.Registry.find_exn other))
+        m
+    with
+    | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | mt -> (
+      let sc = mt.Corpus.Multitask.scenario in
+      let retention =
+        retention_spec retention ~profile:(fun () -> Core.Scenario.profile sc)
+      in
+      let mode =
+        if recompress then Core.Policy.Recompress else Core.Policy.Discard
+      in
+      let predictor =
+        match predictor with
+        | `First -> Core.Predictor.First_successor
+        | `Last -> Core.Predictor.Last_taken
+        | `Profile -> Core.Predictor.By_profile (Core.Scenario.profile sc)
+      in
+      let strategy =
+        match strategy with
+        | `On_demand -> Core.Policy.On_demand
+        | `Pre_all -> Core.Policy.Pre_all { lookahead }
+        | `Pre_single -> Core.Policy.Pre_single { lookahead; predictor }
+      in
+      let policy =
+        Core.Policy.make ~mode ~strategy ?budget ~retention ~compress_k:k ()
+      in
+      Format.printf "%a@.policy: %s@.@." Core.Scenario.pp_summary sc
+        (Core.Policy.describe policy);
+      try
+        let metrics_v, stats =
+          with_observability trace_out metrics (fun ?sink ?registry () ->
+              Corpus.Multitask.run ~profile:device_profile ?sink ?registry mt
+                policy)
+        in
+        Format.printf "%a@.@." Core.Metrics.pp metrics_v;
+        print_task_stats stats;
+        0
+      with Invalid_argument msg ->
+        Format.eprintf "error: %s@." msg;
+        1))
+  | Ok (`One workload) -> (
   match scenario_of ~codec workload with
   | sc -> (
     let predictor =
@@ -309,14 +444,47 @@ let sim workload codec k strategy lookahead predictor budget recompress
       1)
   | exception Invalid_argument msg ->
     Format.eprintf "error: %s@." msg;
-    1
+    1)
+
+let tasks_arg =
+  Arg.(
+    value
+    & opt (some (list string)) None
+    & info [ "tasks" ] ~docv:"W,W,..."
+        ~doc:
+          "Simulate a preemptive multitask composition of these workloads \
+           (names or gen: specs) sharing one decompressed area.")
+
+let quantum_arg =
+  Arg.(
+    value
+    & opt (positive_int "quantum") 64
+    & info [ "quantum" ] ~docv:"VISITS"
+        ~doc:"Preemption quantum for --tasks, in block visits.")
+
+let mt_seed_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "mt-seed" ] ~docv:"SEED"
+        ~doc:"Seed of the preemption jitter stream for --tasks.")
+
+let jitter_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "jitter" ] ~docv:"FRACTION"
+        ~doc:
+          "Preemption jitter for --tasks: each slice is perturbed by up to \
+           this fraction of the quantum (seeded, deterministic).")
 
 let sim_cmd =
   let doc = "Simulate one workload under a compression policy." in
   Cmd.v
     (Cmd.info "sim" ~doc)
     Term.(
-      const sim $ workload_arg $ codec_arg $ k_arg $ strategy_arg
+      const sim $ workload_opt_arg $ gen_arg $ tasks_arg $ quantum_arg
+      $ mt_seed_arg $ jitter_arg $ codec_arg $ k_arg $ strategy_arg
       $ lookahead_arg $ predictor_arg $ budget_arg $ recompress_arg
       $ retention_arg $ device_profile_arg $ line_size_arg $ trace_out_arg
       $ metrics_arg)
@@ -455,7 +623,7 @@ let experiments_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:"Experiment ids (E1..E18) or slugs; all when omitted.")
+          ~doc:"Experiment ids (E1..E21) or slugs; all when omitted.")
   in
   let csv =
     Arg.(
@@ -470,7 +638,7 @@ let experiments_cmd =
             "Print each registered experiment's id, slug and paper anchor \
              without running anything.")
   in
-  let doc = "Regenerate the paper's figures/tables (E1..E18)." in
+  let doc = "Regenerate the paper's figures/tables (E1..E21)." in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const experiments $ ids $ csv $ list_only $ jobs_arg
@@ -480,14 +648,27 @@ let experiments_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp sweep                                                         *)
 
-let sweep workloads ks codec strategy lookahead predictor budget recompress
-    retention device_profile line_size jobs cache_dir no_cache progress fuel
-    timeout_ms metrics =
+let sweep workloads gens ks codec strategy lookahead predictor budget
+    recompress retention device_profile line_size jobs cache_dir no_cache
+    progress fuel timeout_ms metrics =
   match
     let names =
-      match workloads with [] -> Workloads.Suite.names | ws -> ws
+      match workloads @ gens with [] -> Workloads.Suite.names | ws -> ws
     in
-    List.iter (fun n -> ignore (Workloads.Suite.find_exn n)) names;
+    (* plain names are checked against the suite; gen:/multi: specs are
+       canonicalized so equal shapes share cache keys *)
+    let names =
+      List.map
+        (fun n ->
+          match
+            Corpus.Resolve.canonicalize
+              ~known:(fun w -> List.mem w Workloads.Suite.names)
+              n
+          with
+          | Ok canonical -> canonical
+          | Error msg -> invalid_arg msg)
+        names
+    in
     let predictor =
       match predictor with
       | `First -> "first"
@@ -587,7 +768,18 @@ let sweep_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"WORKLOAD"
-          ~doc:"Workloads to sweep (all when omitted).")
+          ~doc:
+            "Workloads to sweep: suite names, gen: specs or multi: \
+             compositions (all suite workloads when omitted).")
+  in
+  let gens =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "gen" ] ~docv:"SPEC"
+          ~doc:
+            "Add a gen: generated program to the sweep (repeatable; joins \
+             any positional workloads).")
   in
   let ks =
     Arg.(
@@ -616,7 +808,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc)
     Term.(
-      const sweep $ workloads $ ks $ codec_arg $ strategy_arg $ lookahead_arg
+      const sweep $ workloads $ gens $ ks $ codec_arg $ strategy_arg
+      $ lookahead_arg
       $ predictor_arg $ budget_arg $ recompress_arg $ retention_arg
       $ device_profile_arg $ line_size_arg $ jobs_arg
       $ cache_dir_arg ~default:true
@@ -910,8 +1103,58 @@ let cc_cmd =
 (* ------------------------------------------------------------------ *)
 (* ccomp run                                                           *)
 
-let run_real workload codec k retention device_profile line_size trace_out
+let run_gen spec codec_v k retention device_profile line_size trace_out
     metrics =
+  let sc = scenario_of ~codec:"code" spec in
+  let prog = Option.get sc.Core.Scenario.program in
+  let retention =
+    retention_spec retention ~profile:(fun () -> Core.Scenario.profile sc)
+  in
+  match
+    with_observability trace_out metrics (fun ?sink ?registry () ->
+        Runtime.run ~k ~retention ~profile:device_profile ?codec:codec_v
+          ?line_size ?sink ?registry prog)
+  with
+  | Ok (_, stats) ->
+    (* generated programs carry no reference checksum; the runtime
+       completing the same trace shape is the verification *)
+    Format.printf
+      "@[<v>%s executed from compressed memory (k=%d)@,\
+       instructions: %d; traps: %d; decompressions: %d; patches: %d; \
+       deletions: %d@,\
+       image: %dB original, %dB compressed; copies: %dB peak, %dB at halt@]@."
+      spec k stats.Runtime.instructions stats.Runtime.traps
+      stats.Runtime.decompressions stats.Runtime.patches
+      stats.Runtime.deletions stats.Runtime.original_image_bytes
+      stats.Runtime.compressed_image_bytes stats.Runtime.peak_copy_bytes
+      stats.Runtime.live_copy_bytes;
+    0
+  | Error (Runtime.Out_of_fuel _) ->
+    Format.eprintf "error: out of fuel@.";
+    1
+  | Error (Runtime.Machine_fault { pc; message; _ }) ->
+    Format.eprintf "error: fault at %d: %s@." pc message;
+    1
+
+let run_real workload gen codec k retention device_profile line_size trace_out
+    metrics =
+  match effective_workload workload gen with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok name when Corpus.Resolve.is_multi name ->
+    Format.eprintf
+      "error: multi: compositions are simulation-only (one machine runs one \
+       program) — use `ccomp sim --tasks`@.";
+    1
+  | Ok name when Corpus.Resolve.is_gen name ->
+    let codec_v =
+      match codec with
+      | "code" -> None
+      | other -> Some (Compress.Registry.find_exn other)
+    in
+    run_gen name codec_v k retention device_profile line_size trace_out metrics
+  | Ok workload ->
   let w = Workloads.Suite.find_exn workload in
   let prog = Eris.Asm.assemble_exn w.Workloads.Common.source in
   let codec_v =
@@ -960,8 +1203,9 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run_real $ workload_arg $ codec_arg $ k_arg $ retention_arg
-      $ device_profile_arg $ line_size_arg $ trace_out_arg $ metrics_arg)
+      const run_real $ workload_opt_arg $ gen_arg $ codec_arg $ k_arg
+      $ retention_arg $ device_profile_arg $ line_size_arg $ trace_out_arg
+      $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp analyze                                                       *)
@@ -1511,6 +1755,47 @@ let compress_cmd =
     Term.(const compress_report $ list_only $ workloads $ min_time)
 
 (* ------------------------------------------------------------------ *)
+(* ccomp gen                                                           *)
+
+let gen_describe spec_str =
+  match Corpus.Spec.of_string spec_str with
+  | Error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | Ok spec ->
+    let bt = Corpus.Gen.build spec in
+    Format.printf
+      "@[<v>spec: %s@,\
+       blocks: %d (%d hot)@,\
+       image: %dB@,\
+       trace: %d visits@,\
+       measured skew: %.3f@,\
+       image md5: %s@,\
+       trace md5: %s@]@."
+      (Corpus.Spec.to_string bt.Corpus.Gen.spec)
+      (Cfg.Graph.num_blocks bt.Corpus.Gen.graph)
+      bt.Corpus.Gen.hot_blocks
+      (Eris.Program.byte_size bt.Corpus.Gen.program)
+      (Array.length bt.Corpus.Gen.trace)
+      bt.Corpus.Gen.measured_skew (Corpus.Gen.image_md5 bt)
+      (Corpus.Gen.trace_md5 bt);
+    0
+
+let gen_cmd =
+  let spec =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SPEC" ~doc:"A gen: generator spec.")
+  in
+  let doc =
+    "Generate a synthetic program from a gen: spec and print its canonical \
+     spec, shape and content digests (equal specs print identical digests in \
+     any process — the determinism contract)."
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const gen_describe $ spec)
+
+(* ------------------------------------------------------------------ *)
 
 let main_cmd =
   let doc =
@@ -1521,6 +1806,7 @@ let main_cmd =
     (Cmd.info "ccomp" ~version:"1.0.0" ~doc)
     [
       sim_cmd;
+      gen_cmd;
       cc_cmd;
       compress_cmd;
       run_cmd;

@@ -108,6 +108,7 @@ type state = {
   prefetch_nj : int array;
   recompress_nj : int array;
   succ_arr : int array array;  (* successor ids, precomputed *)
+  ret_sites : int array array;  (* per target: return-only pred sites *)
   exc_cyc : int;
   exc_nj : int;
   patch_cyc : int;
@@ -349,11 +350,22 @@ let charge_patch st ~target ~site =
   Sim.Clock.advance st.clock ~cycles:st.patch_cyc;
   Packed.push_patch (chunk st) ~at:(now st) ~target ~site
 
+(* [site -> target] transfers the runtime can never patch: return
+   addresses are home-valued constants materialized at call time, so a
+   [jalr] site re-traps on every return and is never recorded. A pair
+   qualifies only when every [site -> target] edge is a return — a
+   site that can also branch there keeps its patchable slot. *)
+let return_only_site st ~site ~target =
+  let a = Array.unsafe_get st.ret_sites target in
+  let n = Array.length a in
+  let rec go i = i < n && (Array.unsafe_get a i = site || go (i + 1)) in
+  go 0
+
 (* Records the branch site and charges the patch if it is new. The
    caller has already paid the exception. [site] is -1 on the initial
-   entry (nothing to patch). *)
+   entry (nothing to patch); return-only sites are never recorded. *)
 let patch_site st ~target ~site =
-  if site >= 0 then
+  if site >= 0 && not (return_only_site st ~site ~target) then
     if Residency.Area.record_site st.area ~target ~site then
       charge_patch st ~target ~site
 
@@ -376,7 +388,12 @@ let rec arrive st ~step ~prev b =
        steps 5-6). The initial entry (no prev) faults too but has no
        site to patch. *)
     if prev >= 0 then begin
-      if Residency.Area.record_site st.area ~target:b ~site:prev then begin
+      if return_only_site st ~site:prev ~target:b then
+        (* the runtime traps on every home-valued return, resident or
+           not, and the handler has nothing to patch *)
+        charge_exception st b
+      else if Residency.Area.record_site st.area ~target:b ~site:prev
+      then begin
         charge_exception st b;
         charge_patch st ~target:b ~site:prev
       end
@@ -520,6 +537,15 @@ let run_fast st ~trace ~k len =
   let base = Array.make blocks (-1) in
   (* sbits.(b * blocks + s) <> '\000' iff site [s] patched into [b] *)
   let sbits = Bytes.make (blocks * blocks) '\000' in
+  (* retq mirrors sbits' indexing: pairs that only a return reaches,
+     which trap every visit and are never patched *)
+  let retq = Bytes.make (blocks * blocks) '\000' in
+  Array.iteri
+    (fun t sites ->
+      Array.iter
+        (fun s -> Bytes.unsafe_set retq ((t * blocks) + s) '\001')
+        sites)
+    st.ret_sites;
   let scount = Array.make blocks 0 in
   let ev = st.ev in
   let u_size = st.u_size
@@ -581,7 +607,12 @@ let run_fast st ~trace ~k len =
     (if Array.unsafe_get stat b = tag_resident then begin
        if prev >= 0 then begin
          let idx = (b * blocks) + prev in
-         if Bytes.unsafe_get sbits idx = '\000' then begin
+         if Bytes.unsafe_get retq idx <> '\000' then begin
+           incr n_exc;
+           clk := !clk + exc_cyc;
+           Packed.unsafe_push_ka ev ~kind:1 ~at:!clk ~a:b
+         end
+         else if Bytes.unsafe_get sbits idx = '\000' then begin
            Bytes.unsafe_set sbits idx '\001';
            Array.unsafe_set scount b (Array.unsafe_get scount b + 1);
            incr n_exc;
@@ -623,7 +654,10 @@ let run_fast st ~trace ~k len =
        Packed.unsafe_push_kab ev ~kind:2 ~at:!clk ~a:b ~b:dc;
        if prev >= 0 then begin
          let idx = (b * blocks) + prev in
-         if Bytes.unsafe_get sbits idx = '\000' then begin
+         if
+           Bytes.unsafe_get retq idx = '\000'
+           && Bytes.unsafe_get sbits idx = '\000'
+         then begin
            Bytes.unsafe_set sbits idx '\001';
            Array.unsafe_set scount b (Array.unsafe_get scount b + 1);
            incr n_patch;
@@ -811,6 +845,18 @@ let run ?(config = Config.default) ?log ?sink ?registry ?charge_log
           info;
       succ_arr =
         Array.init n (fun i -> Array.of_list (Cfg.Graph.succ_ids graph i));
+      ret_sites =
+        (let ret = Array.make n [] and other = Array.make n [] in
+         List.iter
+           (fun (s, t, k) ->
+             match k with
+             | Cfg.Graph.Return -> ret.(t) <- s :: ret.(t)
+             | Cfg.Graph.Fallthrough | Cfg.Graph.Taken | Cfg.Graph.Call ->
+               other.(t) <- s :: other.(t))
+           (Cfg.Graph.edges graph);
+         Array.init n (fun t ->
+             Array.of_list
+               (List.filter (fun s -> not (List.mem s other.(t))) ret.(t))));
       exc_cyc = (Sim.Cost.exception_charge costs).Sim.Cost.cycles;
       exc_nj = (Sim.Cost.exception_charge costs).Sim.Cost.energy_nj;
       patch_cyc = (Sim.Cost.patch_charge costs).Sim.Cost.cycles;

@@ -1,0 +1,298 @@
+(* Lowering a Spec.t to a real ERIS-32 program.
+
+   Register plan (r0 is hardwired zero):
+     r1..r6   loop counters, one per nesting level (count down to 0)
+     r7       in-program LCG state (drives the branch dispatch)
+     r8       filler accumulator
+     r9       rounds countdown
+     r10      LCG multiplier
+     r11      dispatch selector
+     r12      scratch (compare constants, filler)
+     sp       call-chain stack, grows down from 48 KiB
+
+   Static layout: prologue, round header, cold chain, hot loop nest,
+   round footer, halt, call-chain functions. The hot region is the two
+   address ranges [nest) and [functions); everything else — prologue,
+   round scaffold, cold chain — executes once per round and counts as
+   cold when measuring skew. *)
+
+let counter l = Eris.Types.reg (1 + l) (* loop-level l counts in r1..r6 *)
+let r7 = Eris.Types.reg 7
+let r8 = Eris.Types.reg 8
+let r9 = Eris.Types.reg 9
+let r10 = Eris.Types.reg 10
+let r11 = Eris.Types.reg 11
+let r12 = Eris.Types.reg 12
+
+type built = {
+  spec : Spec.t;
+  program : Eris.Program.t;
+  graph : Cfg.Graph.t;
+  trace : int array;
+  measured_skew : float;
+  hot_blocks : int;
+}
+
+let lcg_mult = 1103515245
+let lcg_add = 4321 (* must fit imm14; the classic 12345 does not *)
+
+(* Loads a 32-bit constant in at most two instructions. *)
+let emit_const b rd v =
+  let v = v land 0xFFFFFFFF in
+  let hi = v lsr 14 and lo = v land 0x3FFF in
+  if hi <> 0 then begin
+    Eris.Builder.emit b (Eris.Types.Lui (rd, hi));
+    if lo <> 0 then Eris.Builder.emit b (Eris.Types.Alui (Eris.Types.Or, rd, rd, lo))
+  end
+  else Eris.Builder.emit b (Eris.Types.Alui (Eris.Types.Add, rd, Eris.Types.r0, lo))
+
+let sample_size prng = function
+  | Spec.Uniform (lo, hi) -> Prng.range prng lo hi
+  | Spec.Geometric mean ->
+    let u = Prng.float prng in
+    let m = float_of_int mean in
+    let s = 2 + int_of_float (-.(m -. 2.0) *. log (1.0 -. u)) in
+    min 256 (max 2 s)
+  | Spec.Bimodal (lo, hi) -> if Prng.bool prng then lo else hi
+
+let mean_size = function
+  | Spec.Uniform (lo, hi) | Spec.Bimodal (lo, hi) ->
+    float_of_int (lo + hi) /. 2.0
+  | Spec.Geometric m -> float_of_int m
+
+(* ALU soup with PRNG-chosen ops and immediates: locally repetitive,
+   word-structured, compresses like real code rather than like noise. *)
+let emit_filler b ops n =
+  let open Eris.Types in
+  for _ = 1 to n do
+    match Prng.int ops 5 with
+    | 0 -> Eris.Builder.emit b (Alui (Add, r8, r8, Prng.int ops 1024))
+    | 1 -> Eris.Builder.emit b (Alui (Xor, r8, r8, Prng.int ops 1024))
+    | 2 -> Eris.Builder.emit b (Alu (Add, r8, r8, r7))
+    | 3 -> Eris.Builder.emit b (Alui (Or, r12, r8, Prng.int ops 1024))
+    | _ -> Eris.Builder.emit b (Alu (Xor, r8, r8, r11))
+  done
+
+let next_pow2_mask n =
+  let rec go m = if m + 1 >= n then m else go ((2 * m) + 1) in
+  go 0
+
+(* Emits the whole program for the given per-level trip counts.
+   Returns the program plus the hot address ranges. Every PRNG stream
+   restarts from the spec seed, so two calls with different [iters]
+   draw identical sizes and opcodes — only trip-count immediates
+   change, which is what calibration relies on. *)
+let emit_program (spec : Spec.t) ~iters =
+  let open Eris.Types in
+  let b = Eris.Builder.create () in
+  let master = Prng.create spec.Spec.seed in
+  let sizes = Prng.split master in
+  let ops = Prng.split master in
+  let lcg_init = (Int64.to_int (Prng.next64 master) land 0x7FFFFFFF) lor 1 in
+  let depth = Array.length iters in
+  Eris.Builder.comment b (Spec.to_string spec);
+  Eris.Builder.comment b "prologue";
+  emit_const b r10 lcg_mult;
+  emit_const b r7 lcg_init;
+  Eris.Builder.emit b (Lui (sp, 3));
+  Eris.Builder.emit b (Alui (Add, r9, r0, spec.Spec.rounds));
+  (* round header *)
+  Eris.Builder.place b "round";
+  Eris.Builder.branch_to b Eq r9 r0 "done";
+  (* cold chain: straight-line blocks, one visit per round *)
+  for i = 0 to spec.Spec.cold - 1 do
+    Eris.Builder.comment b (Printf.sprintf "cold block %d" i);
+    let size = sample_size sizes spec.Spec.blocks in
+    emit_filler b ops (size - 1);
+    if i = spec.Spec.cold - 1 then Eris.Builder.jump_to b "hot"
+    else Eris.Builder.jump_to b (Printf.sprintf "cold%d" (i + 1));
+    if i < spec.Spec.cold - 1 then
+      Eris.Builder.place b (Printf.sprintf "cold%d" (i + 1))
+  done;
+  Eris.Builder.place b "hot";
+  Eris.Builder.comment b "hot loop nest";
+  let hot_lo = Eris.Builder.position b in
+  (* loop nest: level l counts down in register 1+l *)
+  for l = 0 to depth - 1 do
+    Eris.Builder.emit b (Alui (Add, counter l, r0, iters.(l)));
+    Eris.Builder.place b (Printf.sprintf "top%d" l);
+    Eris.Builder.branch_to b Eq (counter l) r0 (Printf.sprintf "end%d" l)
+  done;
+  (* innermost body: LCG step, dispatch, call chain *)
+  Eris.Builder.emit b (Alu (Mul, r7, r7, r10));
+  Eris.Builder.emit b (Alui (Add, r7, r7, lcg_add));
+  if spec.Spec.fanout > 1 then begin
+    let mask = next_pow2_mask spec.Spec.fanout in
+    Eris.Builder.emit b (Alui (Srl, r11, r7, 16));
+    Eris.Builder.emit b (Alui (And, r11, r11, mask));
+    for a = 0 to spec.Spec.fanout - 2 do
+      Eris.Builder.emit b (Alui (Add, r12, r0, a));
+      Eris.Builder.branch_to b Eq r11 r12 (Printf.sprintf "arm%d" a)
+    done;
+    (* any selector >= fanout-1 takes the last arm *)
+    Eris.Builder.jump_to b (Printf.sprintf "arm%d" (spec.Spec.fanout - 1));
+    for a = 0 to spec.Spec.fanout - 1 do
+      Eris.Builder.place b (Printf.sprintf "arm%d" a);
+      let size = sample_size sizes spec.Spec.blocks in
+      emit_filler b ops (size - 1);
+      Eris.Builder.jump_to b "join"
+    done;
+    Eris.Builder.place b "join"
+  end
+  else begin
+    let size = sample_size sizes spec.Spec.blocks in
+    emit_filler b ops size
+  end;
+  if spec.Spec.calls > 0 then Eris.Builder.call_to b "fn1";
+  emit_filler b ops 2;
+  (* close the nest, innermost first *)
+  for l = depth - 1 downto 0 do
+    Eris.Builder.emit b (Alui (Sub, counter l, counter l, 1));
+    Eris.Builder.jump_to b (Printf.sprintf "top%d" l);
+    Eris.Builder.place b (Printf.sprintf "end%d" l)
+  done;
+  let hot_hi = Eris.Builder.position b in
+  (* round footer *)
+  Eris.Builder.emit b (Alui (Sub, r9, r9, 1));
+  Eris.Builder.jump_to b "round";
+  Eris.Builder.place b "done";
+  Eris.Builder.halt b;
+  (* call chain: fn1 -> fn2 -> ... , each saving ra on the sp stack *)
+  let fn_lo = Eris.Builder.position b in
+  for i = 1 to spec.Spec.calls do
+    Eris.Builder.comment b (Printf.sprintf "call-chain fn%d" i);
+    Eris.Builder.place b (Printf.sprintf "fn%d" i);
+    Eris.Builder.emit b (Alui (Sub, sp, sp, 8));
+    Eris.Builder.emit b (Store (W32, ra, sp, 0));
+    let size = sample_size sizes spec.Spec.blocks in
+    emit_filler b ops (max 1 (size - 6));
+    if i < spec.Spec.calls then
+      Eris.Builder.call_to b (Printf.sprintf "fn%d" (i + 1));
+    Eris.Builder.emit b (Load (W32, ra, sp, 0));
+    Eris.Builder.emit b (Alui (Add, sp, sp, 8));
+    Eris.Builder.emit b (Jalr (r0, ra, 0))
+  done;
+  let fn_hi = Eris.Builder.position b in
+  (Eris.Builder.to_program b, ((hot_lo, hot_hi), (fn_lo, fn_hi)))
+
+let in_ranges ((a_lo, a_hi), (b_lo, b_hi)) addr =
+  (addr >= a_lo && addr < a_hi) || (addr >= b_lo && addr < b_hi)
+
+let measure graph trace ranges =
+  let n = Cfg.Graph.num_blocks graph in
+  let hot = Array.make n false in
+  for i = 0 to n - 1 do
+    hot.(i) <- in_ranges ranges (Cfg.Graph.block graph i).Cfg.Graph.addr
+  done;
+  let hot_visits = ref 0 in
+  Array.iter (fun id -> if hot.(id) then incr hot_visits) trace;
+  let total = Array.length trace in
+  let skew =
+    if total = 0 then 0.0 else float_of_int !hot_visits /. float_of_int total
+  in
+  let hot_blocks = Array.fold_left (fun a h -> if h then a + 1 else a) 0 hot in
+  (skew, hot_blocks)
+
+(* Rough dynamic block visits per innermost iteration: loop header,
+   LCG/dispatch block, arm, join, plus the call-chain blocks. Only an
+   initial guess — calibration replays correct it. *)
+let visits_per_iter (spec : Spec.t) =
+  4.0 +. (float_of_int spec.fanout /. 2.0) +. (1.5 *. float_of_int spec.calls)
+
+let replay_fuel = 60_000_000
+
+(* Splits a total trip count across [depth] levels: outer levels get
+   the geometric mean, the innermost absorbs the remainder. *)
+let distribute total depth =
+  let cap v = max 1 (min 8000 v) in
+  if depth = 0 then [||]
+  else begin
+    let base =
+      cap (int_of_float (Float.round (total ** (1.0 /. float_of_int depth))))
+    in
+    let iters = Array.make depth base in
+    let outer = float_of_int base ** float_of_int (depth - 1) in
+    iters.(depth - 1) <- cap (int_of_float (Float.round (total /. outer)));
+    iters
+  end
+
+let build (spec : Spec.t) =
+  let skew = spec.Spec.skew in
+  let ratio = if skew >= 0.995 then 199.0 else skew /. (1.0 -. skew) in
+  let est_cold = float_of_int (spec.Spec.cold + 2 + spec.Spec.depth) in
+  let v_iter = visits_per_iter spec in
+  let rounds = float_of_int spec.Spec.rounds in
+  (* Trip-count ceiling: keep a single run under ~150k block visits
+     and ~3M interpreted instructions, whatever the spec asks for. *)
+  let t_cap =
+    let by_visits = ((150_000.0 /. rounds) -. est_cold) /. v_iter in
+    let by_instrs =
+      ((3_000_000.0 /. (rounds *. mean_size spec.Spec.blocks)) -. est_cold)
+      /. v_iter
+    in
+    max 1.0 (min by_visits by_instrs)
+  in
+  let clamp t = max 1.0 (min t_cap t) in
+  let attempt t =
+    let iters = distribute t spec.Spec.depth in
+    let program, ranges = emit_program spec ~iters in
+    let graph, trace = Cfg.Build.trace_of_run ~fuel:replay_fuel program in
+    let measured_skew, hot_blocks = measure graph trace ranges in
+    ({ spec; program; graph; trace; measured_skew; hot_blocks }, t)
+  in
+  let better a b =
+    if
+      Float.abs (a.measured_skew -. skew) <= Float.abs (b.measured_skew -. skew)
+    then a
+    else b
+  in
+  let t0 = clamp (if spec.Spec.depth = 0 then 1.0 else ratio *. est_cold /. v_iter) in
+  let first, t = attempt t0 in
+  let rec calibrate n best t =
+    if
+      n >= 3 || spec.Spec.depth = 0
+      || Float.abs (best.measured_skew -. skew) <= 0.02
+    then best
+    else begin
+      let total = float_of_int (Array.length best.trace) in
+      let h = best.measured_skew *. total in
+      let c = total -. h in
+      let t' = clamp (t *. (ratio *. c /. max 1.0 h)) in
+      if Float.abs (t' -. t) < 0.5 then best
+      else begin
+        let cand, t' = attempt t' in
+        calibrate (n + 1) (better cand best) t'
+      end
+    end
+  in
+  calibrate 1 first t
+
+let program spec = (build spec).program
+
+let scenario ?codec spec =
+  let bt = build spec in
+  let codec =
+    match codec with
+    | Some c -> c
+    | None -> Compress.Registry.code_codec ~corpus:bt.program.Eris.Program.image
+  in
+  let info = Core.Engine.info_of_program ~codec bt.program bt.graph in
+  {
+    Core.Scenario.name = Spec.to_string spec;
+    graph = bt.graph;
+    info;
+    trace = bt.trace;
+    codec;
+    program = Some bt.program;
+  }
+
+let image_md5 bt = Digest.to_hex (Digest.bytes bt.program.Eris.Program.image)
+
+let trace_md5 bt =
+  let buf = Buffer.create (4 * Array.length bt.trace) in
+  Array.iter
+    (fun id ->
+      Buffer.add_string buf (string_of_int id);
+      Buffer.add_char buf ';')
+    bt.trace;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

@@ -1,0 +1,45 @@
+(** Seeded synthetic program generator.
+
+    A {!Spec.t} is lowered through {!Eris.Builder} into a real,
+    runnable ERIS-32 program: an outer round loop walks a cold chain of
+    straight-line blocks once per round, then enters a hot region — a
+    loop nest of the requested depth whose innermost body runs an
+    in-program LCG, dispatches over [fanout] branch arms on its output,
+    and descends a call chain of the requested depth. Loop trip counts
+    are calibrated (≤ 3 deterministic rebuild-and-replay iterations on
+    {!Eris.Machine}) so that the measured hot fraction of dynamic block
+    visits lands near the requested [skew].
+
+    Everything is a pure function of the spec: equal specs give
+    byte-identical images and identical traces in any process. *)
+
+type built = {
+  spec : Spec.t;
+  program : Eris.Program.t;
+  graph : Cfg.Graph.t;
+  trace : int array;  (** dynamic block-id trace of one full run *)
+  measured_skew : float;
+      (** hot fraction of [trace] visits actually achieved *)
+  hot_blocks : int;  (** static blocks in the hot region *)
+}
+
+val build : Spec.t -> built
+(** Generates and calibrates. The replay that produces [trace] runs on
+    a fresh {!Eris.Machine}, so the trace is the real dynamic shape of
+    the emitted code, not a model of it.
+    @raise Invalid_argument if the program cannot be emitted (spec
+    validation should make this unreachable). *)
+
+val program : Spec.t -> Eris.Program.t
+
+val scenario : ?codec:Compress.Codec.t -> Spec.t -> Core.Scenario.t
+(** Ready-to-run scenario named by the canonical spec string (so
+    tables, fleet progress lines and cache keys all show the spec).
+    [codec] defaults to the image-trained code codec, same as
+    {!Core.Scenario.of_program}. *)
+
+val image_md5 : built -> string
+(** Hex MD5 of the instruction image bytes. *)
+
+val trace_md5 : built -> string
+(** Hex MD5 of the block-id trace. *)

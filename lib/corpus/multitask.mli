@@ -1,0 +1,66 @@
+(** Preemptive multi-tasking scenarios.
+
+    Composes several scenarios into one: block ids and addresses are
+    offset into disjoint ranges, per-block info is concatenated, and
+    the task traces are interleaved by a round-robin scheduler that
+    preempts the running task every [quantum] block visits (a seeded
+    jitter on the quantum models irregular interrupt arrivals — the
+    stream of preemption points is still fully deterministic for a
+    given seed). The composed scenario runs on the unmodified
+    {!Core.Engine}, so every retention policy, budget and codec path
+    applies as-is — except that now the decompressed area and its
+    budget are shared, and a policy evicting a block may well be
+    evicting {e another task's} working set. That contention is what
+    the paper's three-thread model never faced. *)
+
+type task = {
+  name : string;
+  first_block : int;  (** id of the task's first block in the union *)
+  n_blocks : int;
+  trace_len : int;  (** visits this task contributes *)
+}
+
+type t = {
+  name : string;
+  scenario : Core.Scenario.t;  (** the composed union scenario *)
+  tasks : task array;
+  owner : int array;  (** composed block id -> task index *)
+}
+
+val compose :
+  ?name:string ->
+  quantum:int ->
+  ?seed:int ->
+  ?jitter:float ->
+  Core.Scenario.t list ->
+  t
+(** Builds the union scenario. [quantum] is the preemption interval in
+    block visits; [jitter] (default 0, range [0, 1\)) scales a
+    seeded ±[jitter]·[quantum] perturbation applied to every slice.
+    Tasks that exhaust their trace drop out of the rotation; the
+    composed trace ends when every task has finished.
+    @raise Invalid_argument on an empty task list, [quantum < 1], or
+    [jitter] outside [0, 1). *)
+
+(** Per-task tallies attributed by block ownership while replaying the
+    composed run's event stream. *)
+type task_stats = {
+  task : task;
+  visits : int;
+  demand_decompressions : int;
+  discards : int;
+  evictions : int;
+  evicted_while_inactive : int;
+      (** this task's copies discarded or evicted while {e another}
+          task was executing — the cross-task contention signal *)
+}
+
+val run :
+  ?profile:string ->
+  ?sink:Sim.Events.sink ->
+  ?registry:Sim.Metrics.t ->
+  t ->
+  Core.Policy.t ->
+  Core.Metrics.t * task_stats array
+(** {!Core.Scenario.run} on the composed scenario, with an attribution
+    sink teed in front of [sink]. *)

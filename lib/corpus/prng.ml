@@ -1,0 +1,32 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next64 t =
+  t.state <- Int64.add t.state 0x9e3779b97f4a7c15L;
+  let z = t.state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xbf58476d1ce4e5b9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94d049bb133111ebL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Corpus.Prng.int: bound <= 0";
+  (* The modulo bias is < bound / 2^62 — irrelevant for the shape
+     parameters drawn here (all bounds are tiny). *)
+  Int64.to_int (Int64.shift_right_logical (next64 t) 2) mod bound
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Corpus.Prng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  (* 53 high bits, the double-precision mantissa width. *)
+  Int64.to_float (Int64.shift_right_logical (next64 t) 11) *. 0x1p-53
+
+let bool t = Int64.logand (next64 t) 1L = 1L

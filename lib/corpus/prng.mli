@@ -1,0 +1,29 @@
+(** Self-contained splitmix64 generator. The corpus layer must be
+    bit-reproducible from a spec string alone, so it never touches the
+    [Random] global state (which other layers seed, advance, or leave
+    untouched depending on the code path). *)
+
+type t
+
+val create : int -> t
+(** A fresh stream seeded from an integer. Equal seeds give equal
+    streams, on every run and in every process. *)
+
+val split : t -> t
+(** An independent child stream, advancing the parent by one draw. *)
+
+val next64 : t -> int64
+(** The raw 64-bit splitmix64 output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform-ish in [\[0, bound)].
+    @raise Invalid_argument when [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument when [hi < lo]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)], 53 bits of precision. *)
+
+val bool : t -> bool

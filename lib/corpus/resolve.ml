@@ -1,0 +1,121 @@
+type multi = {
+  quantum : int;
+  seed : int;
+  jitter : float;
+  tasks : string list;
+}
+
+let is_gen = Spec.is_spec
+let is_multi s = String.starts_with ~prefix:"multi:" s
+let is_spec s = is_gen s || is_multi s
+
+let permille f = Float.of_int (int_of_float (Float.round (f *. 1000.))) /. 1000.
+
+let canonical_task t = if is_gen t then Spec.to_string (Spec.of_string_exn t) else t
+
+let multi_to_string m =
+  Printf.sprintf "multi:quantum=%d,seed=%d,jitter=%g;%s" m.quantum m.seed
+    m.jitter
+    (String.concat "+" (List.map canonical_task m.tasks))
+
+let multi_of_string s =
+  let ( let* ) = Result.bind in
+  if not (is_multi s) then
+    Error (Printf.sprintf "%S does not start with multi:" s)
+  else begin
+    let body = String.sub s 6 (String.length s - 6) in
+    let* header, tasks_str =
+      match String.index_opt body ';' with
+      | Some i ->
+        Ok
+          ( String.sub body 0 i,
+            String.sub body (i + 1) (String.length body - i - 1) )
+      | None -> Error "multi: spec needs ';' between header and tasks"
+    in
+    let* quantum, seed, jitter =
+      List.fold_left
+        (fun acc field ->
+          let* q, sd, j = acc in
+          match String.index_opt field '=' with
+          | None -> Error (Printf.sprintf "bad field %S (want key=value)" field)
+          | Some i ->
+            let k = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            (match k with
+            | "quantum" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 1 && n <= 100_000 -> Ok (Some n, sd, j)
+              | Some n -> Error (Printf.sprintf "quantum %d not in [1, 100000]" n)
+              | None -> Error (Printf.sprintf "bad quantum %S" v))
+            | "seed" -> (
+              match int_of_string_opt v with
+              | Some n when n >= 0 -> Ok (q, n, j)
+              | Some n -> Error (Printf.sprintf "seed %d is negative" n)
+              | None -> Error (Printf.sprintf "bad seed %S" v))
+            | "jitter" -> (
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 && f < 1.0 -> Ok (q, sd, permille f)
+              | Some f -> Error (Printf.sprintf "jitter %g not in [0, 1)" f)
+              | None -> Error (Printf.sprintf "bad jitter %S" v))
+            | other -> Error (Printf.sprintf "unknown multi: key %S" other)))
+        (Ok (None, 1, 0.0))
+        (String.split_on_char ',' header)
+    in
+    let* quantum =
+      match quantum with
+      | Some q -> Ok q
+      | None -> Error "multi: spec needs quantum=N"
+    in
+    let tasks = String.split_on_char '+' tasks_str in
+    let* () =
+      if List.length tasks < 2 then Error "multi: spec needs at least 2 tasks"
+      else Ok ()
+    in
+    let* tasks =
+      List.fold_left
+        (fun acc t ->
+          let* ts = acc in
+          if t = "" then Error "multi: spec has an empty task"
+          else if is_multi t then Error "multi: specs do not nest"
+          else if is_gen t then
+            let* sp = Spec.of_string t in
+            Ok (Spec.to_string sp :: ts)
+          else Ok (t :: ts))
+        (Ok []) tasks
+    in
+    Ok { quantum; seed; jitter; tasks = List.rev tasks }
+  end
+
+let multi_of_string_exn s =
+  match multi_of_string s with
+  | Ok m -> m
+  | Error msg ->
+    invalid_arg (Printf.sprintf "Corpus.Resolve.multi_of_string_exn: %s" msg)
+
+let canonicalize ~known s =
+  if is_gen s then Result.map Spec.to_string (Spec.of_string s)
+  else if is_multi s then begin
+    match multi_of_string s with
+    | Error _ as e -> e
+    | Ok m -> (
+      match List.find_opt (fun t -> (not (is_gen t)) && not (known t)) m.tasks with
+      | Some t -> Error (Printf.sprintf "unknown task workload %S" t)
+      | None -> Ok (multi_to_string m))
+  end
+  else if known s then Ok s
+  else Error (Printf.sprintf "unknown workload %S" s)
+
+let multitask ~lookup ?codec m =
+  let resolve_task t =
+    if is_gen t then Gen.scenario ?codec (Spec.of_string_exn t) else lookup t
+  in
+  let scenarios = List.map resolve_task m.tasks in
+  Multitask.compose
+    ~name:(multi_to_string m)
+    ~quantum:m.quantum ~seed:m.seed ~jitter:m.jitter scenarios
+
+let scenario ~lookup ?codec s =
+  if is_gen s then Gen.scenario ?codec (Spec.of_string_exn s)
+  else if is_multi s then
+    (multitask ~lookup ?codec (multi_of_string_exn s)).Multitask.scenario
+  else lookup s

@@ -1,0 +1,57 @@
+(** One string vocabulary for "a scenario": a workload name, a [gen:]
+    generator spec ({!Spec}), or a [multi:] multitasking composition.
+    Every consumer of scenario names — the CLI, fleet sweeps, the
+    service wire — funnels through here, so a generated or composed
+    scenario is cacheable and sweepable exactly like a named one.
+
+    The corpus layer does not know the workload suite; callers inject
+    a [lookup] for plain names, keeping the dependency arrow pointing
+    from consumers down into the corpus, not sideways. *)
+
+type multi = {
+  quantum : int;
+  seed : int;
+  jitter : float;  (** permille-rounded, like {!Spec.t}'s skew *)
+  tasks : string list;  (** workload names or [gen:] specs, ≥ 2 *)
+}
+
+val is_gen : string -> bool
+val is_multi : string -> bool
+
+val is_spec : string -> bool
+(** [gen:] or [multi:] — i.e. not a plain workload name. *)
+
+val multi_to_string : multi -> string
+(** Canonical: [multi:quantum=Q,seed=S,jitter=J;task+task+…]. *)
+
+val multi_of_string : string -> (multi, string) result
+(** Parses [multi:k=v,…;t1+t2+…]. Header fields may appear in any
+    order (defaults: [seed=1], [jitter=0]); [quantum] is required.
+    Embedded [gen:] tasks are parsed and canonicalized; plain-name
+    tasks pass through untouched. *)
+
+val multi_of_string_exn : string -> multi
+
+val canonicalize : known:(string -> bool) -> string -> (string, string) result
+(** Canonical form of any scenario string: [gen:] and [multi:] specs
+    are parsed and re-printed (so equal specs always hash to equal
+    fleet cache keys); plain names must satisfy [known]. *)
+
+val scenario :
+  lookup:(string -> Core.Scenario.t) ->
+  ?codec:Compress.Codec.t ->
+  string ->
+  Core.Scenario.t
+(** Resolves any scenario string. [lookup] serves plain workload
+    names (closing over whatever codec handling the caller wants);
+    [codec] applies to [gen:] specs (including those nested in a
+    [multi:]).
+    @raise Invalid_argument on a malformed spec. *)
+
+val multitask :
+  lookup:(string -> Core.Scenario.t) ->
+  ?codec:Compress.Codec.t ->
+  multi ->
+  Multitask.t
+(** The composed scenario plus per-task attribution (what
+    {!scenario} returns just the [.scenario] of). *)

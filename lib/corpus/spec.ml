@@ -1,0 +1,182 @@
+type blocks =
+  | Uniform of int * int
+  | Geometric of int
+  | Bimodal of int * int
+
+type t = {
+  seed : int;
+  depth : int;
+  fanout : int;
+  blocks : blocks;
+  calls : int;
+  skew : float;
+  cold : int;
+  rounds : int;
+}
+
+let default =
+  {
+    seed = 1;
+    depth = 2;
+    fanout = 2;
+    blocks = Geometric 16;
+    calls = 1;
+    skew = 0.9;
+    cold = 8;
+    rounds = 8;
+  }
+
+(* Skew lives on a permille grid so that the %g rendering and
+   float_of_string are exact inverses: cache keys must never depend on
+   float printing subtleties. *)
+let permille f = Float.of_int (int_of_float (Float.round (f *. 1000.))) /. 1000.
+
+let validate t =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let check_size what s =
+    if s < 2 || s > 256 then err "%s block size %d not in [2, 256]" what s
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = if t.seed < 0 then err "seed %d is negative" t.seed else Ok () in
+  let* () =
+    if t.depth < 0 || t.depth > 6 then err "depth %d not in [0, 6]" t.depth
+    else Ok ()
+  in
+  let* () =
+    if t.fanout < 1 || t.fanout > 8 then err "fanout %d not in [1, 8]" t.fanout
+    else Ok ()
+  in
+  let* () =
+    match t.blocks with
+    | Geometric m -> check_size "geo" m
+    | Uniform (lo, hi) | Bimodal (lo, hi) ->
+      let* () = check_size "blocks" lo in
+      let* () = check_size "blocks" hi in
+      if hi < lo then err "blocks range %d-%d is inverted" lo hi else Ok ()
+  in
+  let* () =
+    if t.calls < 0 || t.calls > 6 then err "calls %d not in [0, 6]" t.calls
+    else Ok ()
+  in
+  let skew = permille t.skew in
+  let* () =
+    if skew < 0.0 || skew > 0.995 then err "skew %g not in [0, 0.995]" t.skew
+    else Ok ()
+  in
+  let* () =
+    if t.cold < 1 || t.cold > 64 then err "cold %d not in [1, 64]" t.cold
+    else Ok ()
+  in
+  let* () =
+    if t.rounds < 1 || t.rounds > 500 then
+      err "rounds %d not in [1, 500]" t.rounds
+    else Ok ()
+  in
+  Ok { t with skew }
+
+let prefix = "gen:"
+let is_spec s = String.starts_with ~prefix s
+
+let blocks_to_string = function
+  | Uniform (lo, hi) -> Printf.sprintf "uni:%d-%d" lo hi
+  | Geometric m -> Printf.sprintf "geo:%d" m
+  | Bimodal (lo, hi) -> Printf.sprintf "bim:%d-%d" lo hi
+
+let to_string t =
+  Printf.sprintf
+    "gen:seed=%d,depth=%d,fanout=%d,blocks=%s,calls=%d,skew=%g,cold=%d,rounds=%d"
+    t.seed t.depth t.fanout (blocks_to_string t.blocks) t.calls t.skew t.cold
+    t.rounds
+
+let parse_range what v =
+  match String.index_opt v '-' with
+  | Some i when i > 0 && i < String.length v - 1 -> (
+    match
+      ( int_of_string_opt (String.sub v 0 i),
+        int_of_string_opt (String.sub v (i + 1) (String.length v - i - 1)) )
+    with
+    | Some lo, Some hi -> Ok (lo, hi)
+    | _ -> Error (Printf.sprintf "bad %s range %S" what v))
+  | _ -> Error (Printf.sprintf "bad %s range %S (want LO-HI)" what v)
+
+let parse_blocks v =
+  let ( let* ) = Result.bind in
+  match String.index_opt v ':' with
+  | Some i -> (
+    let kind = String.sub v 0 i in
+    let rest = String.sub v (i + 1) (String.length v - i - 1) in
+    match kind with
+    | "uni" ->
+      let* lo, hi = parse_range "uni" rest in
+      Ok (Uniform (lo, hi))
+    | "geo" -> (
+      match int_of_string_opt rest with
+      | Some m -> Ok (Geometric m)
+      | None -> Error (Printf.sprintf "bad geo mean %S" rest))
+    | "bim" ->
+      let* lo, hi = parse_range "bim" rest in
+      Ok (Bimodal (lo, hi))
+    | other -> Error (Printf.sprintf "unknown blocks kind %S" other))
+  | None -> Error (Printf.sprintf "bad blocks %S (want uni:|geo:|bim:)" v)
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  if not (is_spec s) then Error (Printf.sprintf "%S does not start with gen:" s)
+  else begin
+    let body = String.sub s 4 (String.length s - 4) in
+    let fields =
+      if body = "" then [] else String.split_on_char ',' body
+    in
+    (* blocks=uni:8-40 survives the comma split intact: the only commas
+       in the grammar are field separators. *)
+    let parse_int what v =
+      match int_of_string_opt v with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "bad %s %S" what v)
+    in
+    let* t =
+      List.fold_left
+        (fun acc field ->
+          let* t = acc in
+          match String.index_opt field '=' with
+          | None -> Error (Printf.sprintf "bad field %S (want key=value)" field)
+          | Some i ->
+            let k = String.sub field 0 i in
+            let v = String.sub field (i + 1) (String.length field - i - 1) in
+            (match k with
+            | "seed" ->
+              let* n = parse_int "seed" v in
+              Ok { t with seed = n }
+            | "depth" ->
+              let* n = parse_int "depth" v in
+              Ok { t with depth = n }
+            | "fanout" ->
+              let* n = parse_int "fanout" v in
+              Ok { t with fanout = n }
+            | "blocks" ->
+              let* b = parse_blocks v in
+              Ok { t with blocks = b }
+            | "calls" ->
+              let* n = parse_int "calls" v in
+              Ok { t with calls = n }
+            | "skew" -> (
+              match float_of_string_opt v with
+              | Some f -> Ok { t with skew = f }
+              | None -> Error (Printf.sprintf "bad skew %S" v))
+            | "cold" ->
+              let* n = parse_int "cold" v in
+              Ok { t with cold = n }
+            | "rounds" ->
+              let* n = parse_int "rounds" v in
+              Ok { t with rounds = n }
+            | other -> Error (Printf.sprintf "unknown gen: key %S" other)))
+        (Ok default) fields
+    in
+    validate t
+  end
+
+let of_string_exn s =
+  match of_string s with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Corpus.Spec.of_string_exn: %s" msg)

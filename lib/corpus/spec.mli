@@ -1,0 +1,46 @@
+(** Generator specs: the compact string form under which a synthetic
+    program joins everything that already consumes workload {e names} —
+    fleet job keys, the service wire, sweep matrices. The canonical
+    rendering is what gets hashed into cache keys, so equal specs must
+    print identically; {!of_string} therefore canonicalizes (fixed
+    field order, permille-rounded skew) rather than preserving the
+    input spelling. *)
+
+(** Block-size distribution, in instructions per basic block. *)
+type blocks =
+  | Uniform of int * int  (** [uni:LO-HI], inclusive *)
+  | Geometric of int  (** [geo:MEAN], mean size *)
+  | Bimodal of int * int  (** [bim:LO-HI], half small, half large *)
+
+type t = {
+  seed : int;  (** PRNG seed; the only source of randomness *)
+  depth : int;  (** loop nesting depth, 0–6 *)
+  fanout : int;  (** branch arms in the hot dispatch, 1–8 *)
+  blocks : blocks;
+  calls : int;  (** call-chain depth from the hot loop body, 0–6 *)
+  skew : float;  (** requested hot fraction of block visits, 0–0.995 *)
+  cold : int;  (** cold-chain blocks walked once per round, 1–64 *)
+  rounds : int;  (** outer repetitions, 1–500 *)
+}
+
+val default : t
+(** [gen:seed=1,depth=2,fanout=2,blocks=geo:16,calls=1,skew=0.9,cold=8,rounds=8] *)
+
+val validate : t -> (t, string) result
+(** Range-checks every field and canonicalizes [skew] to a permille
+    grid (so print → parse is exact). *)
+
+val is_spec : string -> bool
+(** True when the string carries the [gen:] prefix. *)
+
+val to_string : t -> string
+(** Canonical rendering: every field, fixed order, [gen:] prefix. *)
+
+val of_string : string -> (t, string) result
+(** Parses [gen:k=v,…]. Fields may appear in any order; missing fields
+    take their {!default}; unknown keys are errors. The result is
+    validated and canonical, so
+    [to_string ∘ of_string ∘ to_string = to_string]. *)
+
+val of_string_exn : string -> t
+(** @raise Invalid_argument on a malformed spec. *)

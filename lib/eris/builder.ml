@@ -8,10 +8,17 @@ type t = {
   mutable count : int;
   labels : (string, int) Hashtbl.t;  (* label -> instruction index *)
   mutable next_label : int;
+  mutable rev_comments : (int * string) list;  (* instruction index, text *)
 }
 
 let create () =
-  { rev_items = []; count = 0; labels = Hashtbl.create 16; next_label = 0 }
+  {
+    rev_items = [];
+    count = 0;
+    labels = Hashtbl.create 16;
+    next_label = 0;
+    rev_comments = [];
+  }
 
 let fresh_label t =
   let l = Printf.sprintf "L%d" t.next_label in
@@ -28,6 +35,9 @@ let push t item =
   t.count <- t.count + 1
 
 let emit t i = push t (Literal i)
+let emit_all t is = List.iter (emit t) is
+let comment t text = t.rev_comments <- (t.count, text) :: t.rev_comments
+let comments t = List.rev t.rev_comments
 let branch_to t c rs1 rs2 label = push t (Branch_to (c, rs1, rs2, label))
 let jump_to t label = push t (Jump_to (Types.r0, label))
 let call_to t label = push t (Jump_to (Types.ra, label))

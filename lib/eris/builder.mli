@@ -17,6 +17,18 @@ val place : t -> string -> unit
 val emit : t -> Types.instruction -> unit
 (** Appends a literal instruction (no label resolution). *)
 
+val emit_all : t -> Types.instruction list -> unit
+(** [emit] for each instruction in order. *)
+
+val comment : t -> string -> unit
+(** Attaches a note to the next emitted instruction's index. Comments
+    are pure annotation: they occupy no instruction slot and never
+    reach {!to_program} — they exist so generated programs can be
+    diffed and listed with their structure visible. *)
+
+val comments : t -> (int * string) list
+(** All comments in emission order, as (instruction index, text). *)
+
 val branch_to : t -> Types.cond -> Types.reg -> Types.reg -> string -> unit
 (** Conditional branch to a label. *)
 

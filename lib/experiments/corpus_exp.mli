@@ -1,0 +1,29 @@
+(** E20: retention-policy ranking robustness over a generated corpus.
+    Four {!Corpus.Gen} shape families × many seeds (default 200
+    programs, [CCOMP_E20_COUNT] overrides) each run under the three
+    profile-free retention policies at one k; the table counts wins
+    (min total cycles) per family and the modal policy's share —
+    whether the suite-derived ranking generalizes beyond the 8
+    hand-picked workloads. *)
+
+val compress_k : int
+val policies : string list
+
+val families : (string * string) list
+(** (family name, base [gen:] spec) — seeds vary per program. *)
+
+val count : unit -> int
+(** Corpus size: [CCOMP_E20_COUNT] or 200.
+    @raise Invalid_argument on a malformed override. *)
+
+val specs : unit -> (string * string) list
+(** The corpus: (family, canonical [gen:] spec) pairs. *)
+
+type row = {
+  family : string;
+  programs : int;
+  wins : (string * int) list;  (** policy -> programs it won *)
+}
+
+val rows : unit -> row list
+val run : unit -> Report.Table.t

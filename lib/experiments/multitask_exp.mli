@@ -1,0 +1,21 @@
+(** E21: preemptive multitasking contention. Suite-workload pairs
+    interleaved by {!Corpus.Multitask} under a shared decompressed-area
+    budget, swept over preemption quanta and retention policies; the
+    cross-eviction column isolates evictions one task inflicts on the
+    other's working set. *)
+
+val compress_k : int
+val quanta : int list
+val retentions : string list
+val combos : string list list
+
+type row = {
+  tasks : string list;
+  quantum : int;
+  retention : string;
+  metrics : Core.Metrics.t;
+  stats : Corpus.Multitask.task_stats array;
+}
+
+val rows : unit -> row list
+val run : unit -> Report.Table.t

@@ -96,6 +96,18 @@ let all =
       paper_anchor = "extension: hardware compressed-I-cache residency";
       runner = Line_granularity.run;
     };
+    {
+      id = "E20";
+      slug = "corpus-robustness";
+      paper_anchor = "extension: generated-program corpus";
+      runner = Corpus_exp.run;
+    };
+    {
+      id = "E21";
+      slug = "multitask-contention";
+      paper_anchor = "extension: preemptive multitasking";
+      runner = Multitask_exp.run;
+    };
   ]
 
 let find key =

@@ -46,13 +46,27 @@ let configure_fleet ?(jobs = 1) ?cache ?registry ?progress () =
   fleet.registry <- registry;
   fleet.progress <- progress
 
-let resolve ~scenario:name ~codec =
+let resolve_plain ~scenario:name ~codec =
   match codec with
   | "code" -> scenario name
   | other ->
     Workloads.Common.scenario
       ~codec:(Compress.Registry.find_exn other)
       (Workloads.Suite.find_exn name)
+
+(* The fleet's scenario resolver: plain workload names, [gen:]
+   generator specs and [multi:] compositions all resolve here, so a
+   generated program sweeps and caches exactly like a suite one. *)
+let resolve ~scenario:name ~codec =
+  if Corpus.Resolve.is_spec name then
+    let lookup n = resolve_plain ~scenario:n ~codec
+    and codec =
+      match codec with
+      | "code" -> None
+      | other -> Some (Compress.Registry.find_exn other)
+    in
+    Corpus.Resolve.scenario ~lookup ?codec name
+  else resolve_plain ~scenario:name ~codec
 
 let fleet_sweep specs =
   Fleet.Sweep.run ~jobs:fleet.jobs ?cache:fleet.cache ?registry:fleet.registry

@@ -34,8 +34,14 @@ val configure_fleet :
     the fleet guarantees produces identical tables.
     @raise Invalid_argument if [jobs < 1]. *)
 
+val resolve : scenario:string -> codec:string -> Core.Scenario.t
+(** The fleet's scenario resolver: a plain workload name (memoized
+    suite, or a named registry codec for non-["code"] jobs), a [gen:]
+    generator spec or a [multi:] composition ({!Corpus.Resolve}). *)
+
 val fleet_sweep : Fleet.Job.t list -> (Fleet.Job.t * Core.Metrics.t) list
 (** {!Fleet.Sweep.run} under the current {!configure_fleet} settings,
-    resolving scenario names through the memoized suite (or a named
-    registry codec for non-["code"] jobs). Results come back in
-    submission order. @raise Failure if any job errored. *)
+    resolving scenario strings through {!resolve} — so generated
+    [gen:]/[multi:] scenarios sweep and cache exactly like suite
+    workloads. Results come back in submission order.
+    @raise Failure if any job errored. *)

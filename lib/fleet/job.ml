@@ -35,8 +35,10 @@ let make ?(codec = "code") ?(strategy = On_demand) ?(mode = Discard) ?budget
 (* Bump when the canonical rendering below (or the meaning of any
    field) changes: old cache entries must stop matching.
    v2: device profile joined the spec.
-   v3: line_size joined the spec (line-granular residency runs). *)
-let spec_version = 3
+   v3: line_size joined the spec (line-granular residency runs).
+   v4: scenario may be a corpus spec (gen:/multi:), canonicalized at
+   parse time — the same shape always renders the same key. *)
+let spec_version = 4
 
 let strategy_to_string = function
   | On_demand -> "on-demand"

@@ -83,10 +83,11 @@ let run ?(jobs = 1) ?pool ?cache ?registry ?progress ?fuel ?timeout_ms ?cancel
       incr pseq;
       let line =
         Printf.sprintf
-          {|{"kind": "fleet_job", "at": %d, "key": "%s", "job": "%s", "status": "%s"}|}
+          {|{"kind": "fleet_job", "at": %d, "key": "%s", "job": "%s", "scenario": "%s", "status": "%s"}|}
           !pseq
           (Report.Table.json_escape key)
           (Report.Table.json_escape (Job.describe spec))
+          (Report.Table.json_escape spec.Job.scenario)
           status
       in
       (try p line with e -> Mutex.unlock pmutex; raise e);

@@ -54,9 +54,10 @@ val run :
     [fleet_jobs_errored]); totals accumulate across calls sharing a
     registry. [progress] receives one JSONL object per job
     completion — same shape discipline as [--trace-out] lines: a
-    ["kind"] tag, an ["at"] sequence number, then job key, spec and
-    status. Called from worker domains under a mutex; keep it
-    cheap. *)
+    ["kind"] tag, an ["at"] sequence number, then job key, spec, the
+    job's ["scenario"] name (so corpus-generated sweeps can be grouped
+    by shape without re-parsing the spec string) and status. Called
+    from worker domains under a mutex; keep it cheap. *)
 
 val counter_names : string list
 (** The registry counter names {!run} maintains, in a stable order

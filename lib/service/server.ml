@@ -218,14 +218,24 @@ let resolve_scenario t ~scenario ~codec =
       match Hashtbl.find_opt t.scenarios key with
       | Some sc -> sc
       | None ->
-        let w = Workloads.Suite.find_exn scenario in
-        let sc =
+        let plain name =
+          let w = Workloads.Suite.find_exn name in
           match codec with
           | "code" -> Workloads.Common.scenario w
           | other ->
             Workloads.Common.scenario
               ~codec:(Compress.Registry.find_exn other)
               w
+        in
+        let sc =
+          if Corpus.Resolve.is_spec scenario then
+            Corpus.Resolve.scenario ~lookup:plain
+              ?codec:
+                (match codec with
+                | "code" -> None
+                | other -> Some (Compress.Registry.find_exn other))
+              scenario
+          else plain scenario
         in
         Hashtbl.replace t.scenarios key sc;
         sc)

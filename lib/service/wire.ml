@@ -85,10 +85,17 @@ let enum_field obj name choices ~fallback =
 
 let workload_ok name = List.mem name Workloads.Suite.names
 
+(* A workload field also accepts corpus specs ([gen:]/[multi:]); they
+   are canonicalized here so equal shapes share fleet cache keys no
+   matter how the client spelled them. *)
 let check_workload name =
-  if workload_ok name then Ok name
+  if Corpus.Resolve.is_spec name then
+    match Corpus.Resolve.canonicalize ~known:workload_ok name with
+    | Ok canonical -> Ok canonical
+    | Error msg -> fail "bad scenario spec %S: %s" name msg
+  else if workload_ok name then Ok name
   else
-    fail "unknown workload %S (known: %s)" name
+    fail "unknown workload %S (known: %s, or a gen:/multi: spec)" name
       (String.concat ", " Workloads.Suite.names)
 
 let check_codec name =

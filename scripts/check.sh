@@ -49,6 +49,52 @@ for key in trace/encode-MBps trace/decode-MBps trace/lzss-encode-MBps \
   }
 done
 
+# Corpus smoke: the bench smoke must have measured the generator's
+# batch throughput.
+grep -q '"corpus/gen-programs-per-s"' BENCH.json || {
+  echo "check: FAIL — BENCH.json is missing corpus/gen-programs-per-s" >&2
+  exit 1
+}
+
+# Generator determinism: the same gen: spec must print the same
+# canonical form and identical image/trace digests across two separate
+# processes (the cache-key contract), and a non-canonical spelling
+# must canonicalize.
+gen_dir=$(mktemp -d)
+ccomp=_build/default/bin/ccomp.exe
+"$ccomp" gen 'gen:fanout=3,seed=9,blocks=bim:4-40' > "$gen_dir/a.out"
+"$ccomp" gen 'gen:seed=9,fanout=3,blocks=bim:4-40' > "$gen_dir/b.out"
+if ! cmp -s "$gen_dir/a.out" "$gen_dir/b.out"; then
+  echo "check: FAIL — ccomp gen is not deterministic across processes" >&2
+  diff "$gen_dir/a.out" "$gen_dir/b.out" >&2 || true
+  exit 1
+fi
+grep -q 'spec: gen:seed=9,depth=2,fanout=3,blocks=bim:4-40,calls=1,skew=0.9,cold=8,rounds=8' \
+  "$gen_dir/a.out" || {
+  echo "check: FAIL — ccomp gen did not canonicalize the spec" >&2
+  cat "$gen_dir/a.out" >&2
+  exit 1
+}
+rm -rf "$gen_dir"
+
+# E20 smoke: a small generated corpus through the fleet cache, cold
+# then warm — the warm run must be served entirely from cache.
+e20_dir=$(mktemp -d)
+e20="env CCOMP_E20_COUNT=8 $ccomp experiments E20 --jobs 2 --cache-dir $e20_dir/cache"
+$e20 > "$e20_dir/cold.out"
+$e20 > "$e20_dir/warm.out"
+grep -q 'corpus-robustness' "$e20_dir/cold.out" || {
+  echo "check: FAIL — E20 did not render" >&2
+  cat "$e20_dir/cold.out" >&2
+  exit 1
+}
+grep '^fleet:' "$e20_dir/warm.out" | grep -q 'engine_runs=0' || {
+  echo "check: FAIL — warm E20 re-ran the engine" >&2
+  grep '^fleet:' "$e20_dir/warm.out" >&2 || true
+  exit 1
+}
+rm -rf "$e20_dir"
+
 # Binary-trace smoke: generate a text trace, convert it to binary and
 # back; both hops must load to byte-identical id streams, and `trace
 # info` must parse the binary header.

@@ -642,6 +642,33 @@ let prop_cfg_matches_builder =
              reachable_via_fallthrough src_block)
            !expected_edges)
 
+(* emit_all is emit folded over the list, and comments are pure
+   annotation: they occupy no slot and leave to_program untouched. *)
+let test_builder_emit_all_and_comments () =
+  let body =
+    [
+      T.Alui (T.Add, T.reg 1, T.r0, 7);
+      T.Alu (T.Add, T.reg 2, T.reg 1, T.reg 1);
+      T.Halt;
+    ]
+  in
+  let one = Eris.Builder.create () in
+  List.iter (Eris.Builder.emit one) body;
+  let all = Eris.Builder.create () in
+  Eris.Builder.comment all "prologue";
+  Eris.Builder.emit_all all body;
+  Eris.Builder.comment all "epilogue";
+  let p1 = Eris.Builder.to_program one
+  and p2 = Eris.Builder.to_program all in
+  checki "same length" (Eris.Program.length p1) (Eris.Program.length p2);
+  for i = 0 to Eris.Program.length p1 - 1 do
+    checkb "same instruction" true
+      (T.equal (Eris.Program.instr_at p1 (4 * i)) (Eris.Program.instr_at p2 (4 * i)))
+  done;
+  checkb "comments recorded" true
+    (Eris.Builder.comments all = [ (0, "prologue"); (3, "epilogue") ]);
+  checkb "no comments by default" true (Eris.Builder.comments one = [])
+
 (* Text roundtrip: printing an instruction and re-parsing it yields the
    same instruction. *)
 let prop_asm_text_roundtrip =
@@ -660,6 +687,8 @@ let () =
           Alcotest.test_case "basic loop" `Quick test_builder_basic;
           Alcotest.test_case "call" `Quick test_builder_call;
           Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "emit_all and comments" `Quick
+            test_builder_emit_all_and_comments;
           qcheck prop_cfg_matches_builder;
           qcheck prop_asm_text_roundtrip;
         ] );

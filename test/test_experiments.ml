@@ -51,7 +51,7 @@ let test_fig1_has_two_cycles () =
 (* Registry                                                            *)
 
 let test_registry () =
-  checki "nineteen experiments" 19 (List.length Experiments.Registry.all);
+  checki "twenty-one experiments" 21 (List.length Experiments.Registry.all);
   checkb "find by id" true (Experiments.Registry.find "E6" <> None);
   checkb "find by id case-insensitive" true
     (Experiments.Registry.find "e6" <> None);
@@ -62,7 +62,7 @@ let test_registry () =
     (Experiments.Registry.find "line-granularity" <> None);
   checkb "unknown" true (Experiments.Registry.find "E99" = None);
   let ids = List.map (fun e -> e.Experiments.Registry.id) Experiments.Registry.all in
-  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 19)
+  checkb "ids unique" true (List.length (List.sort_uniq compare ids) = 21)
 
 let table_tests =
   (* Every experiment table renders with rows. The heavyweight sweeps
@@ -250,9 +250,14 @@ let test_predictor_accuracy_ordering () =
    change must be deliberate. *)
 let golden_digests =
   [
-    ("E6", "0a31d4f06906f8cb31969c33865c52a0");
+    (* E6/E17 re-pinned 2026-08: the engine stopped recording
+       return-only sites as patchable (jalr return addresses are
+       home-valued; the runtime re-traps and never patches them), so
+       call-bearing workloads count more exceptions and fewer
+       patches. *)
+    ("E6", "3afa4fb3143be36e438f5c2bba55f18a");
     ("E16", "747dc36ec31b578dc704dc4cce19c5d1");
-    ("E17", "1f12da03cb83c84426c7832329d51d42");
+    ("E17", "6aff796559975621c93711a5ecc35554");
   ]
 
 let golden_tests =

@@ -91,6 +91,33 @@ let test_wire_sim_defaults () =
   | Ok _ -> Alcotest.fail "parsed as a different op"
   | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg
 
+let test_wire_corpus_spec () =
+  (* gen:/multi: specs pass the workload check and come back
+     canonicalized (key order, defaults filled in). *)
+  (match
+     Wire.parse_request
+       {|{"op":"sim","workload":"gen:fanout=3,seed=7,blocks=geo:12"}|}
+   with
+  | Ok { request = Wire.Sim job; _ } ->
+    checks "canonical gen spec"
+      "gen:seed=7,depth=2,fanout=3,blocks=geo:12,calls=1,skew=0.9,cold=8,rounds=8"
+      job.Fleet.Job.scenario
+  | Ok _ -> Alcotest.fail "parsed as a different op"
+  | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg);
+  (match
+     Wire.parse_request {|{"op":"sim","workload":"multi:quantum=32;fir+crc32"}|}
+   with
+  | Ok { request = Wire.Sim job; _ } ->
+    checks "canonical multi spec" "multi:quantum=32,seed=1,jitter=0;fir+crc32"
+      job.Fleet.Job.scenario
+  | Ok _ -> Alcotest.fail "parsed as a different op"
+  | Error (_, e) -> Alcotest.failf "rejected: %s: %s" e.Wire.code e.Wire.msg);
+  match
+    Wire.parse_request {|{"op":"sim","workload":"gen:seed=1,zip=2"}|}
+  with
+  | Ok _ -> Alcotest.fail "malformed gen: spec accepted"
+  | Error (_, e) -> checks "bad spec code" Wire.bad_request e.Wire.code
+
 let test_wire_sweep_normalizes_ks () =
   match
     Wire.parse_request {|{"op":"sweep","workloads":["fir"],"ks":[8,2,2,8]}|}
@@ -560,6 +587,7 @@ let () =
           Alcotest.test_case "rejects invalid requests" `Quick
             test_wire_rejects;
           Alcotest.test_case "line size field" `Quick test_wire_line_size;
+          Alcotest.test_case "corpus specs" `Quick test_wire_corpus_spec;
           Alcotest.test_case "salvages the id" `Quick test_wire_salvages_id;
           Alcotest.test_case "response round trip" `Quick
             test_wire_response_roundtrip;
