@@ -479,6 +479,43 @@ let service_probe () =
   p50
 
 (* ------------------------------------------------------------------ *)
+(* Service load phase                                                  *)
+
+(* The event loop under pipelined concurrent load (the regime the
+   single-ping probe above cannot see): N generator domains, a window
+   of requests in flight each, against an in-process daemon. BENCH.json
+   carries service/{req-per-s,p50-ms,p99-ms} in both full and --smoke
+   modes. *)
+let serve_phase ~clients ~requests ~pipeline () =
+  let r = Service.Bench.run_load ~clients ~requests ~pipeline () in
+  let t =
+    Report.Table.create
+      ~title:
+        (Printf.sprintf
+           "service load: %d clients x %d health requests, pipeline %d"
+           clients requests pipeline)
+      ~columns:[ ("measure", Report.Table.Left); ("value", Report.Table.Right) ]
+  in
+  Report.Table.add_row t
+    [ "req/s"; Report.Table.fmt_float ~decimals:0 r.Service.Bench.req_per_s ];
+  Report.Table.add_row t
+    [ "p50 (ms)"; Report.Table.fmt_float ~decimals:3 r.Service.Bench.p50_ms ];
+  Report.Table.add_row t
+    [ "p99 (ms)"; Report.Table.fmt_float ~decimals:3 r.Service.Bench.p99_ms ];
+  Report.Table.add_row t
+    [ "max (ms)"; Report.Table.fmt_float ~decimals:3 r.Service.Bench.max_ms ];
+  Report.Table.add_row t
+    [ "errors"; string_of_int r.Service.Bench.errors ];
+  Report.Table.print t;
+  if r.Service.Bench.errors > 0 then
+    failwith "service load phase: generator saw errors";
+  [
+    ("service/req-per-s", r.Service.Bench.req_per_s);
+    ("service/p50-ms", r.Service.Bench.p50_ms);
+    ("service/p99-ms", r.Service.Bench.p99_ms);
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let benchmark tests =
@@ -568,6 +605,10 @@ let () =
     print_newline ();
     let p50 = service_probe () in
     print_newline ();
+    let serve_entries =
+      serve_phase ~clients:2 ~requests:5_000 ~pipeline:32 ()
+    in
+    print_newline ();
     let codec_entries = codec_throughput_phase ~min_time_s:0.01 () in
     print_newline ();
     let trace_entries = trace_codec_phase () in
@@ -579,7 +620,8 @@ let () =
       (("streaming-1M/wall-s", dt)
       :: ("streaming-100M/events-per-s", eps_100m)
       :: ("service-roundtrip/p50-ms", p50)
-      :: (codec_entries @ trace_entries @ energy_entries @ corpus_entries))
+      :: (serve_entries @ codec_entries @ trace_entries @ energy_entries
+         @ corpus_entries))
   end
   else begin
     print_endline
@@ -593,6 +635,10 @@ let () =
     let eps_100m = streaming_100m_bench () in
     print_newline ();
     let p50 = service_probe () in
+    print_newline ();
+    let serve_entries =
+      serve_phase ~clients:4 ~requests:25_000 ~pipeline:32 ()
+    in
     print_newline ();
     let codec_entries = codec_throughput_phase () in
     print_newline ();
@@ -627,6 +673,7 @@ let () =
       fleet_jobs tables_dt jobs_per_sec;
     write_bench_json
       (estimates
+      @ serve_entries
       @ codec_entries
       @ trace_entries
       @ energy_entries

@@ -1256,7 +1256,7 @@ let analyze_cmd =
 (* ccomp serve                                                         *)
 
 let serve socket tcp jobs queue max_conns cache_dir no_cache fuel timeout_ms
-    idle_timeout =
+    idle_timeout max_buffer_kb =
   if socket = None && tcp = None then begin
     Format.eprintf "error: need --socket PATH and/or --tcp PORT@.";
     1
@@ -1277,6 +1277,7 @@ let serve socket tcp jobs queue max_conns cache_dir no_cache fuel timeout_ms
           fuel;
           timeout_ms;
           idle_timeout_s = Option.map float_of_int idle_timeout;
+          max_buffer_bytes = max_buffer_kb * 1024;
         }
       in
       Service.Server.create ~lifecycle config
@@ -1360,18 +1361,29 @@ let serve_cmd =
             "Drain and exit after this long with no connections and no \
              requests.")
   in
+  let max_buffer_kb =
+    Arg.(
+      value
+      & opt (bounded_int ~min:16 "max-buffer-kb") 4096
+      & info [ "max-buffer-kb" ] ~docv:"KB"
+          ~doc:
+            "Per-connection write-buffer cap: a client that stops reading \
+             while responses pile up past this is sent a 'slow_consumer' \
+             error and disconnected (reads pause at half the cap).")
+  in
   let doc =
     "Run the resident simulation daemon: a JSONL request/response \
      service over a Unix-domain socket (and/or loopback TCP) whose \
      requests share one worker pool, scenario memo and result cache. \
-     SIGTERM/SIGINT drain gracefully; a second signal cancels in-flight \
-     work."
+     Clients may pipeline requests; responses to heavy ops may arrive \
+     out of order, re-associated by id. SIGTERM/SIGINT drain \
+     gracefully; a second signal cancels in-flight work."
   in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const serve $ socket_arg $ tcp_arg $ jobs_arg $ queue $ max_conns
       $ cache_dir_arg ~default:false
-      $ no_cache_arg $ fuel $ timeout_ms $ idle_timeout)
+      $ no_cache_arg $ fuel $ timeout_ms $ idle_timeout $ max_buffer_kb)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp call                                                          *)
@@ -1458,10 +1470,29 @@ let call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead ~predictor
           use --raw for anything else)"
          other)
 
+(* One reply on stdout/stderr; returns whether it was ok. *)
+let print_reply ~compact reply =
+  match Service.Wire.parse_response reply with
+  | Error msg ->
+    Format.eprintf "error: unparseable response (%s): %s@." msg reply;
+    false
+  | Ok (_id, Ok payload) ->
+    print_endline
+      (if compact then Service.Json.to_string payload
+       else Service.Json.pretty payload);
+    true
+  | Ok (_id, Error e) ->
+    Format.eprintf "error: %s: %s%s@." e.Service.Wire.code e.Service.Wire.msg
+      (match e.Service.Wire.retry_after_ms with
+      | Some ms -> Printf.sprintf " (retry after %dms)" ms
+      | None -> "");
+    false
+
 let call socket tcp raw op_args codec k ks strategy lookahead predictor
-    budget recompress retention profile fuel timeout_ms id compact =
+    budget recompress retention profile fuel timeout_ms id compact repeat
+    pipeline =
   match
-    let line =
+    let build i =
       match (raw, op_args) with
       | Some line, [] -> line
       | Some _, _ :: _ -> failwith "--raw and OP are mutually exclusive"
@@ -1471,17 +1502,40 @@ let call socket tcp raw op_args codec k ks strategy lookahead predictor
         Service.Json.to_string
           (call_request ~op ~workloads ~codec ~k ~ks ~strategy ~lookahead
              ~predictor ~budget ~recompress ~retention ~profile ~fuel
-             ~timeout_ms ~id)
+             ~timeout_ms ~id:(id + i))
     in
+    let lines = Array.init repeat build in
+    let window = min pipeline repeat in
     let fd = call_connect ~socket ~tcp in
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
         let oc = Unix.out_channel_of_descr fd in
         let ic = Unix.in_channel_of_descr fd in
-        output_string oc (line ^ "\n");
-        flush oc;
-        input_line ic)
+        let sent = ref 0 in
+        let send_upto target =
+          let target = min target repeat in
+          if !sent < target then begin
+            while !sent < target do
+              output_string oc lines.(!sent);
+              output_char oc '\n';
+              incr sent
+            done;
+            flush oc
+          end
+        in
+        send_upto window;
+        let failures = ref 0 in
+        let received = ref 0 in
+        while !received < repeat do
+          let reply = input_line ic in
+          incr received;
+          if not (print_reply ~compact reply) then incr failures;
+          (* refill the pipeline once it half-drains *)
+          if !sent < repeat && !sent - !received <= window / 2 then
+            send_upto (!received + window)
+        done;
+        if !failures = 0 then 0 else 1)
   with
   | exception Failure msg ->
     Format.eprintf "error: %s@." msg;
@@ -1493,23 +1547,7 @@ let call socket tcp raw op_args codec k ks strategy lookahead predictor
     Format.eprintf "error: %s: %s%s@." fn (Unix.error_message e)
       (if arg = "" then "" else " (" ^ arg ^ ")");
     1
-  | reply -> (
-    match Service.Wire.parse_response reply with
-    | Error msg ->
-      Format.eprintf "error: unparseable response (%s): %s@." msg reply;
-      1
-    | Ok (_id, Ok payload) ->
-      print_endline
-        (if compact then Service.Json.to_string payload
-         else Service.Json.pretty payload);
-      0
-    | Ok (_id, Error e) ->
-      Format.eprintf "error: %s: %s%s@." e.Service.Wire.code
-        e.Service.Wire.msg
-        (match e.Service.Wire.retry_after_ms with
-        | Some ms -> Printf.sprintf " (retry after %dms)" ms
-        | None -> "");
-      1)
+  | code -> code
 
 let call_cmd =
   let op_args =
@@ -1558,17 +1596,120 @@ let call_cmd =
       & info [ "compact" ]
           ~doc:"Print the reply as one line instead of pretty-printing.")
   in
+  let repeat =
+    Arg.(
+      value
+      & opt (positive_int "repeat") 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the request N times on one connection (ids ID..ID+N-1), \
+             printing each reply as it arrives.")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt (positive_int "pipeline") 1
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:
+            "With --repeat, keep up to N requests in flight instead of \
+             waiting for each reply (heavy ops may answer out of order; \
+             match replies by id).")
+  in
   let doc =
-    "Send one request to a running $(b,ccomp serve) daemon and \
-     pretty-print the reply. Exits 0 on an ok reply, 1 on a structured \
-     error."
+    "Send a request to a running $(b,ccomp serve) daemon and \
+     pretty-print the reply (or several, with --repeat/--pipeline). \
+     Exits 0 when every reply is ok, 1 otherwise."
   in
   Cmd.v (Cmd.info "call" ~doc)
     Term.(
       const call $ socket_arg $ tcp_arg $ raw $ op_args $ codec_arg $ k_arg
       $ ks $ strategy_arg $ lookahead_arg $ predictor_arg $ budget_arg
       $ recompress_arg $ retention_arg $ device_profile_arg $ fuel
-      $ timeout_ms $ id $ compact)
+      $ timeout_ms $ id $ compact $ repeat $ pipeline)
+
+(* ------------------------------------------------------------------ *)
+(* ccomp bench-serve                                                   *)
+
+let bench_serve clients requests pipeline tcp op smoke =
+  let clients, requests, pipeline =
+    if smoke then (2, 5_000, 32) else (clients, requests, pipeline)
+  in
+  match Service.Bench.run_load ~tcp ~op ~clients ~requests ~pipeline () with
+  | exception Invalid_argument msg | exception Sys_error msg ->
+    Format.eprintf "error: %s@." msg;
+    1
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Format.eprintf "error: %s: %s%s@." fn (Unix.error_message e)
+      (if arg = "" then "" else " (" ^ arg ^ ")");
+    1
+  | r ->
+    Printf.printf
+      "bench-serve: %d client%s x %d requests, pipeline %d, %s, op %s\n"
+      r.Service.Bench.clients
+      (if r.Service.Bench.clients = 1 then "" else "s")
+      requests r.Service.Bench.pipeline
+      (if tcp then "tcp" else "unix")
+      op;
+    Printf.printf
+      "bench-serve: %d responses in %.3f s = %.0f req/s, p50 %.3f ms, p99 \
+       %.3f ms, max %.3f ms, errors %d\n"
+      r.Service.Bench.total r.Service.Bench.wall_s r.Service.Bench.req_per_s
+      r.Service.Bench.p50_ms r.Service.Bench.p99_ms r.Service.Bench.max_ms
+      r.Service.Bench.errors;
+    if r.Service.Bench.errors = 0 then 0 else 1
+
+let bench_serve_cmd =
+  let clients =
+    Arg.(
+      value
+      & opt (positive_int "clients") 4
+      & info [ "clients" ] ~docv:"N"
+          ~doc:"Concurrent load-generator clients (each its own domain).")
+  in
+  let requests =
+    Arg.(
+      value
+      & opt (positive_int "requests") 25_000
+      & info [ "requests" ] ~docv:"N" ~doc:"Requests per client.")
+  in
+  let pipeline =
+    Arg.(
+      value
+      & opt (positive_int "pipeline") 32
+      & info [ "pipeline" ] ~docv:"N"
+          ~doc:"Requests each client keeps in flight.")
+  in
+  let tcp =
+    Arg.(
+      value & flag
+      & info [ "tcp" ]
+          ~doc:
+            "Benchmark over an ephemeral loopback TCP port instead of a \
+             Unix-domain socket.")
+  in
+  let op =
+    Arg.(
+      value
+      & opt (enum [ ("health", "health"); ("stats", "stats") ]) "health"
+      & info [ "op" ] ~docv:"OP"
+          ~doc:"Request to hammer with: $(b,health) or $(b,stats).")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "Quick CI-sized run (2 clients x 5000 requests), overriding \
+             --clients/--requests/--pipeline.")
+  in
+  let doc =
+    "Load-test the service event loop: spin up an in-process daemon and \
+     hammer it with pipelined requests from concurrent clients, \
+     reporting throughput and latency quantiles."
+  in
+  Cmd.v (Cmd.info "bench-serve" ~doc)
+    Term.(
+      const bench_serve $ clients $ requests $ pipeline $ tcp $ op $ smoke)
 
 (* ------------------------------------------------------------------ *)
 (* ccomp cache                                                         *)
@@ -1818,6 +1959,7 @@ let main_cmd =
       analyze_cmd;
       serve_cmd;
       call_cmd;
+      bench_serve_cmd;
       cache_cmd;
     ]
 

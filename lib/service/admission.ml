@@ -1,7 +1,6 @@
 type t = {
   capacity : int;
   max_conns : int;
-  mutex : Mutex.t;
   mutable in_flight : int;
   mutable conns : int;
   mutable avg_ms : float;  (* EWMA of request service time *)
@@ -21,7 +20,6 @@ let create ?(capacity = 64) ?(max_conns = 64) () =
   {
     capacity;
     max_conns;
-    mutex = Mutex.create ();
     in_flight = 0;
     conns = 0;
     avg_ms = 50.0 (* optimistic prior; converges after a few requests *);
@@ -30,37 +28,30 @@ let create ?(capacity = 64) ?(max_conns = 64) () =
 let capacity t = t.capacity
 let max_conns t = t.max_conns
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
-
 let try_acquire t =
-  locked t (fun () ->
-      if t.in_flight < t.capacity then begin
-        t.in_flight <- t.in_flight + 1;
-        Ok ()
-      end
-      else
-        (* "come back once the backlog ahead of you has drained" *)
-        let hint = t.avg_ms *. float_of_int t.in_flight in
-        Error
-          { retry_after_ms = int_of_float (Float.min 5000.0 (Float.max 25.0 hint)) })
+  if t.in_flight < t.capacity then begin
+    t.in_flight <- t.in_flight + 1;
+    Ok ()
+  end
+  else
+    (* "come back once the backlog ahead of you has drained" *)
+    let hint = t.avg_ms *. float_of_int t.in_flight in
+    Error
+      { retry_after_ms = int_of_float (Float.min 5000.0 (Float.max 25.0 hint)) }
 
 let release t ~elapsed_ms =
-  locked t (fun () ->
-      t.in_flight <- max 0 (t.in_flight - 1);
-      if elapsed_ms >= 0.0 then
-        t.avg_ms <- (0.8 *. t.avg_ms) +. (0.2 *. elapsed_ms))
+  t.in_flight <- max 0 (t.in_flight - 1);
+  if elapsed_ms >= 0.0 then
+    t.avg_ms <- (0.8 *. t.avg_ms) +. (0.2 *. elapsed_ms)
 
-let in_flight t = locked t (fun () -> t.in_flight)
+let in_flight t = t.in_flight
 
 let try_connect t =
-  locked t (fun () ->
-      if t.conns < t.max_conns then begin
-        t.conns <- t.conns + 1;
-        true
-      end
-      else false)
+  if t.conns < t.max_conns then begin
+    t.conns <- t.conns + 1;
+    true
+  end
+  else false
 
-let disconnect t = locked t (fun () -> t.conns <- max 0 (t.conns - 1))
-let connections t = locked t (fun () -> t.conns)
+let disconnect t = t.conns <- max 0 (t.conns - 1)
+let connections t = t.conns

@@ -18,8 +18,10 @@
     scaled by the current depth — i.e. "roughly one drain period from
     now" — clamped to [25..5000] ms.
 
-    All operations are thread-safe; connection handler threads call
-    them concurrently. *)
+    Not thread-safe: admission decisions are owned by the server's
+    event loop, which acquires on parse and releases when a
+    completion is delivered back to it — so no lock sits on the
+    fast path. *)
 
 type t
 

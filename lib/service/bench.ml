@@ -1,0 +1,199 @@
+type result = {
+  clients : int;
+  pipeline : int;
+  total : int;
+  errors : int;
+  wall_s : float;
+  req_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type client_result = {
+  lat_ms : float array;  (* one entry per received response *)
+  started : float;
+  finished : float;
+  errs : int;
+}
+
+(* One generator client: blocking socket, a sliding window of
+   [pipeline] requests in flight, writes batched through one buffer
+   so a refill is a single syscall. Requests are [{"op":OP,"id":N}]
+   and responses are re-associated by that id, so out-of-order
+   completion still times every request against its own send. *)
+let client ~addr ~op ~requests ~pipeline =
+  let fd = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd addr;
+      (match addr with
+      | Unix.ADDR_INET _ -> (
+        try Unix.setsockopt fd Unix.TCP_NODELAY true
+        with Unix.Unix_error _ -> ())
+      | _ -> ());
+      let ic = Unix.in_channel_of_descr fd in
+      let prefix = Printf.sprintf "{\"op\":%s,\"id\":" (Json.to_string (Json.Str op)) in
+      let sent_at = Array.make requests 0.0 in
+      let lat_ms = Array.make requests 0.0 in
+      let sent = ref 0 in
+      let received = ref 0 in
+      let errs = ref 0 in
+      let batch = Buffer.create (pipeline * 32) in
+      let send_upto target =
+        let target = min target requests in
+        if !sent < target then begin
+          Buffer.clear batch;
+          let t = Unix.gettimeofday () in
+          while !sent < target do
+            Buffer.add_string batch prefix;
+            Buffer.add_string batch (string_of_int !sent);
+            Buffer.add_string batch "}\n";
+            sent_at.(!sent) <- t;
+            incr sent
+          done;
+          let line = Buffer.contents batch in
+          let n = String.length line in
+          let off = ref 0 in
+          while !off < n do
+            off := !off + Unix.write_substring fd line !off (n - !off)
+          done
+        end
+      in
+      (* response head is always [{"id":N,"ok":...] on success *)
+      let parse line =
+        let n = String.length line in
+        if n > 6 && String.sub line 0 6 = "{\"id\":" then begin
+          let i = ref 6 in
+          let v = ref 0 in
+          let any = ref false in
+          while
+            !i < n
+            && match line.[!i] with '0' .. '9' -> true | _ -> false
+          do
+            v := (!v * 10) + (Char.code line.[!i] - 48);
+            incr i;
+            any := true
+          done;
+          if !any && !i + 6 <= n && String.sub line !i 6 = ",\"ok\":" then
+            Some !v
+          else None
+        end
+        else None
+      in
+      let started = Unix.gettimeofday () in
+      send_upto pipeline;
+      (try
+         while !received < requests do
+           let line = input_line ic in
+           let t1 = Unix.gettimeofday () in
+           (match parse line with
+           | Some id when id >= 0 && id < requests ->
+             lat_ms.(!received) <- (t1 -. sent_at.(id)) *. 1000.0
+           | _ -> incr errs);
+           incr received;
+           if !sent < requests && !sent - !received <= pipeline / 2 then
+             send_upto (!received + pipeline)
+         done
+       with End_of_file ->
+         (* server shed or died; whatever never arrived is an error *)
+         errs := !errs + (requests - !received));
+      let finished = Unix.gettimeofday () in
+      {
+        lat_ms = (if !received = requests then lat_ms
+                  else Array.sub lat_ms 0 !received);
+        started;
+        finished;
+        errs = !errs;
+      })
+
+let sockaddr_of_endpoint ep =
+  match String.index_opt ep ':' with
+  | Some i when String.sub ep 0 i = "unix" ->
+    Unix.ADDR_UNIX (String.sub ep (i + 1) (String.length ep - i - 1))
+  | Some i when String.sub ep 0 i = "tcp" -> (
+    let rest = String.sub ep (i + 1) (String.length ep - i - 1) in
+    match String.rindex_opt rest ':' with
+    | Some j ->
+      Unix.ADDR_INET
+        ( Unix.inet_addr_of_string (String.sub rest 0 j),
+          int_of_string (String.sub rest (j + 1) (String.length rest - j - 1))
+        )
+    | None -> invalid_arg ("Service.Bench: bad endpoint " ^ ep))
+  | _ -> invalid_arg ("Service.Bench: bad endpoint " ^ ep)
+
+let summarize ~clients ~pipeline per =
+  let per = Array.to_list per in
+  let all = Array.concat (List.map (fun r -> r.lat_ms) per) in
+  Array.sort Float.compare all;
+  let n = Array.length all in
+  let q p =
+    if n = 0 then 0.0 else all.(int_of_float (p *. float_of_int (n - 1)))
+  in
+  let errors = List.fold_left (fun a r -> a + r.errs) 0 per in
+  let started =
+    List.fold_left (fun a r -> Float.min a r.started) infinity per
+  in
+  let finished =
+    List.fold_left (fun a r -> Float.max a r.finished) neg_infinity per
+  in
+  let wall_s = Float.max 1e-9 (finished -. started) in
+  {
+    clients;
+    pipeline;
+    total = n;
+    errors;
+    wall_s;
+    req_per_s = float_of_int n /. wall_s;
+    p50_ms = q 0.50;
+    p99_ms = q 0.99;
+    max_ms = (if n = 0 then 0.0 else all.(n - 1));
+  }
+
+let run_against ~addr ?(op = "health") ~clients ~requests ~pipeline () =
+  if clients < 1 then invalid_arg "Service.Bench: clients must be >= 1";
+  if requests < 1 then invalid_arg "Service.Bench: requests must be >= 1";
+  if pipeline < 1 then invalid_arg "Service.Bench: pipeline must be >= 1";
+  let domains =
+    Array.init clients (fun _ ->
+        Domain.spawn (fun () -> client ~addr ~op ~requests ~pipeline))
+  in
+  summarize ~clients ~pipeline (Array.map Domain.join domains)
+
+let fresh_socket_path =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ccomp-bench-%d-%d.sock" (Unix.getpid ()) !counter)
+    in
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    path
+
+let run_load ?(tcp = false) ?(op = "health") ?(jobs = 1) ~clients ~requests
+    ~pipeline () =
+  let socket_path = if tcp then None else Some (fresh_socket_path ()) in
+  let config =
+    {
+      Server.default_config with
+      socket_path;
+      tcp_port = (if tcp then Some 0 (* ephemeral *) else None);
+      jobs;
+      max_conns = clients + 8;
+    }
+  in
+  let server = Server.create config in
+  let runner = Thread.create Server.run server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop server;
+      Thread.join runner)
+    (fun () ->
+      let addr = sockaddr_of_endpoint (List.hd (Server.endpoints server)) in
+      run_against ~addr ~op ~clients ~requests ~pipeline ())

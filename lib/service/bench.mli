@@ -1,0 +1,52 @@
+(** Load generator for the service event loop.
+
+    Each client is a {!Domain} (systhreads share one runtime lock, so
+    threads could not generate load in parallel) running a blocking
+    socket with a sliding window of [pipeline] requests in flight;
+    writes are batched so a window refill is one syscall. Requests
+    carry [id = 0..requests-1] and responses are re-associated by
+    that id, so the measured latency of a request is its own
+    send-to-receive time even when the server answers out of order.
+
+    Throughput is total responses over the union wall-clock of all
+    clients (first send to last receive); latency quantiles are over
+    the merged per-request samples. *)
+
+type result = {
+  clients : int;
+  pipeline : int;
+  total : int;  (** responses received *)
+  errors : int;  (** non-[ok] responses + responses that never came *)
+  wall_s : float;
+  req_per_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run_load :
+  ?tcp:bool ->
+  ?op:string ->
+  ?jobs:int ->
+  clients:int ->
+  requests:int ->
+  pipeline:int ->
+  unit ->
+  result
+(** Spins up an in-process {!Server} (on a throwaway Unix socket
+    under the temp dir, or an ephemeral loopback TCP port when [tcp]),
+    runs [clients] generator domains of [requests] requests each
+    against it, then drains the server. [op] defaults to ["health"]
+    (the fast path); [jobs] sizes the server pool (default 1 — light
+    ops never touch it).
+    @raise Invalid_argument when a knob is < 1. *)
+
+val run_against :
+  addr:Unix.sockaddr ->
+  ?op:string ->
+  clients:int ->
+  requests:int ->
+  pipeline:int ->
+  unit ->
+  result
+(** The client half only, against a server someone else runs. *)

@@ -1,0 +1,106 @@
+(* A growable byte buffer specialised for the event loop: data is
+   appended at the tail, consumed from the head, and moved in and out
+   of nonblocking fds in bulk. The live region is [off, off + len);
+   consuming everything resets [off] to 0 so steady-state traffic
+   never memmoves, and a partially-consumed buffer compacts lazily
+   only when an append would otherwise grow it. *)
+
+type t = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let create ?(initial = 4096) () =
+  { buf = Bytes.create (max 16 initial); off = 0; len = 0 }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let clear t =
+  t.off <- 0;
+  t.len <- 0
+
+let bytes t = t.buf
+let offset t = t.off
+
+let compact t =
+  if t.off > 0 then begin
+    if t.len > 0 then Bytes.blit t.buf t.off t.buf 0 t.len;
+    t.off <- 0
+  end
+
+let reserve t n =
+  if t.off + t.len + n > Bytes.length t.buf then begin
+    compact t;
+    if t.len + n > Bytes.length t.buf then begin
+      let cap = ref (Bytes.length t.buf) in
+      while t.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit t.buf 0 grown 0 t.len;
+      t.buf <- grown
+    end
+  end
+
+let add_subbytes t src pos n =
+  reserve t n;
+  Bytes.blit src pos t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let add_string t s =
+  let n = String.length s in
+  reserve t n;
+  Bytes.blit_string s 0 t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+let add_char t c =
+  reserve t 1;
+  Bytes.set t.buf (t.off + t.len) c;
+  t.len <- t.len + 1
+
+let consume t n =
+  if n < 0 || n > t.len then
+    invalid_arg "Service.Iobuf.consume: out of range";
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  if t.len = 0 then t.off <- 0
+
+(* Bounded to the live region: a '\n' lurking in the dead tail of the
+   backing store must not count. *)
+let find_newline t ~from =
+  let stop = t.off + t.len in
+  let rec go i =
+    if i >= stop then None
+    else if Bytes.unsafe_get t.buf i = '\n' then Some (i - t.off)
+    else go (i + 1)
+  in
+  if from < 0 || from > t.len then None else go (t.off + from)
+
+type fill =
+  | Filled of int
+  | Fill_eof
+  | Fill_blocked
+
+let rec fill_from t fd ~max =
+  reserve t max;
+  match Unix.read fd t.buf (t.off + t.len) max with
+  | 0 -> Fill_eof
+  | n ->
+    t.len <- t.len + n;
+    Filled n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    Fill_blocked
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill_from t fd ~max
+
+type drain =
+  | Drained
+  | Drain_blocked
+
+let rec drain_to t fd =
+  if t.len = 0 then Drained
+  else
+    match Unix.write fd t.buf t.off t.len with
+    | n ->
+      consume t n;
+      drain_to t fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain_to t fd
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Drain_blocked

@@ -1,0 +1,67 @@
+(** Growable I/O buffers for the event loop.
+
+    One [t] per direction per connection: the read buffer accumulates
+    raw socket bytes until complete JSONL lines can be carved out of
+    it in place; the write buffer holds response bytes waiting for the
+    socket to accept them. Appends go at the tail, consumption at the
+    head; draining the buffer fully resets it, so a connection that
+    keeps up never copies.
+
+    Not thread-safe — buffers are owned by the loop. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+(** [initial] is the starting capacity (default 4096, minimum 16).
+    The buffer doubles as needed and never shrinks. *)
+
+val length : t -> int
+(** Bytes currently buffered (appended and not yet consumed). *)
+
+val is_empty : t -> bool
+val clear : t -> unit
+
+(** {1 Zero-copy access}
+
+    [bytes]/[offset] expose the live region directly:
+    [Bytes.sub (bytes t) (offset t) (length t)] is the buffered data.
+    Any [add_*], [consume], [fill_from] or [drain_to] call invalidates
+    previously-read positions. *)
+
+val bytes : t -> Bytes.t
+val offset : t -> int
+
+val find_newline : t -> from:int -> int option
+(** Position (relative to the live region's start) of the first ['\n']
+    at or after offset [from], if any — the incremental line framer.
+    Out-of-range [from] returns [None]. *)
+
+(** {1 Appending and consuming} *)
+
+val add_subbytes : t -> Bytes.t -> int -> int -> unit
+val add_string : t -> string -> unit
+val add_char : t -> char -> unit
+
+val consume : t -> int -> unit
+(** Drops [n] bytes from the head.
+    @raise Invalid_argument when [n] is outside [0, length t]. *)
+
+(** {1 Nonblocking fd transfer} *)
+
+type fill =
+  | Filled of int  (** that many bytes appended *)
+  | Fill_eof  (** orderly shutdown from the peer *)
+  | Fill_blocked  (** [EAGAIN]: nothing ready *)
+
+val fill_from : t -> Unix.file_descr -> max:int -> fill
+(** One [read(2)] of at most [max] bytes appended at the tail.
+    Retries [EINTR]; other I/O errors (connection reset, bad fd)
+    propagate as [Unix.Unix_error] for the caller's close path. *)
+
+type drain =
+  | Drained  (** buffer now empty *)
+  | Drain_blocked  (** kernel buffer full; bytes remain *)
+
+val drain_to : t -> Unix.file_descr -> drain
+(** Writes from the head until empty or [EAGAIN]. Retries [EINTR];
+    [EPIPE] and friends propagate. *)

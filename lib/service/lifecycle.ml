@@ -2,6 +2,7 @@ type t = {
   drain : bool Atomic.t;
   cancel : bool Atomic.t;
   last_activity : float Atomic.t;  (* Unix.gettimeofday *)
+  drain_at : float Atomic.t;  (* 0.0 until the first request_drain *)
 }
 
 let create () =
@@ -9,13 +10,20 @@ let create () =
     drain = Atomic.make false;
     cancel = Atomic.make false;
     last_activity = Atomic.make (Unix.gettimeofday ());
+    drain_at = Atomic.make 0.0;
   }
 
-let request_drain t = Atomic.set t.drain true
+let request_drain t =
+  if Atomic.compare_and_set t.drain false true then
+    Atomic.set t.drain_at (Unix.gettimeofday ())
+
 let draining t = Atomic.get t.drain
 
+let draining_since t =
+  match Atomic.get t.drain_at with 0.0 -> None | at -> Some at
+
 let force_cancel t =
-  Atomic.set t.drain true;
+  request_drain t;
   Atomic.set t.cancel true
 
 let cancel_requested t = Atomic.get t.cancel

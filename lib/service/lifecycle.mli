@@ -2,10 +2,12 @@
 
     The drain contract ([ccomp serve]'s exit path): on SIGINT /
     SIGTERM (or an explicit {!request_drain}) the server stops
-    accepting, finishes every in-flight request, answers anything
-    newly read on open connections with a [shutting_down] error,
-    flushes the cache (stores are synchronous, so "finish in-flight"
-    implies it) and exits 0. A second signal during the drain
+    accepting, finishes every in-flight request — including pipelined
+    ones already admitted — answers anything newly read on open
+    connections with a [shutting_down] error, then stops reading,
+    flushes every connection's write buffer, and exits 0. The cache
+    needs no separate flush (stores are synchronous, so "finish
+    in-flight" implies it). A second signal during the drain
     escalates to the cooperative {!Fleet.Pool} cancel hook, so a
     wedged job cannot hold the process hostage.
 
@@ -26,6 +28,11 @@ val request_drain : t -> unit
 (** Idempotent; safe from signal handlers and any thread. *)
 
 val draining : t -> bool
+
+val draining_since : t -> float option
+(** [Unix.gettimeofday] of the first {!request_drain}, once one
+    happened — the event loop anchors its grace deadline here rather
+    than at the (possibly later) poll tick that noticed the flag. *)
 
 val force_cancel : t -> unit
 (** Flips the flag behind {!cancel_requested} — wired as the

@@ -3,6 +3,15 @@ type t = {
   mutex : Mutex.t;
   mutable ops_seen : string list;  (* registration order *)
   mutable reject_codes : string list;
+  (* bumped on every mutation, so the server can cache its rendered
+     stats payload and rebuild only when something changed *)
+  mutable version : int;
+  (* preregistered cells for the zero-alloc fast path: bumping these
+     allocates no label lists and no hashtable probes *)
+  fast_health_count : Sim.Metrics.counter;
+  fast_health_latency : Sim.Metrics.histogram;
+  fast_stats_count : Sim.Metrics.counter;
+  fast_stats_latency : Sim.Metrics.histogram;
 }
 
 (* Sub-millisecond to half a minute; service latencies outside this
@@ -10,12 +19,29 @@ type t = {
 let latency_buckets_ms =
   [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000; 30000 ]
 
+let latency_of registry ~op =
+  Sim.Metrics.histogram registry ~labels:[ ("op", op) ]
+    ~buckets:latency_buckets_ms "service_latency_ms"
+
+let ok_counter_of registry ~op =
+  Sim.Metrics.counter registry
+    ~labels:[ ("op", op); ("status", "ok") ]
+    "service_requests_total"
+
 let create ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Sim.Metrics.create ()
+  in
   {
-    registry = (match registry with Some r -> r | None -> Sim.Metrics.create ());
+    registry;
     mutex = Mutex.create ();
-    ops_seen = [];
+    ops_seen = [ "health"; "stats" ];
     reject_codes = [];
+    version = 0;
+    fast_health_count = ok_counter_of registry ~op:"health";
+    fast_health_latency = latency_of registry ~op:"health";
+    fast_stats_count = ok_counter_of registry ~op:"stats";
+    fast_stats_latency = latency_of registry ~op:"stats";
   }
 
 let registry t = t.registry
@@ -24,12 +50,12 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
-let latency t ~op =
-  Sim.Metrics.histogram t.registry ~labels:[ ("op", op) ]
-    ~buckets:latency_buckets_ms "service_latency_ms"
+let version t = locked t (fun () -> t.version)
+let latency t ~op = latency_of t.registry ~op
 
 let record t ~op ~ok ~elapsed_ms =
   locked t (fun () ->
+      t.version <- t.version + 1;
       if not (List.mem op t.ops_seen) then t.ops_seen <- t.ops_seen @ [ op ];
       let status = if ok then "ok" else "error" in
       Sim.Metrics.incr
@@ -39,8 +65,20 @@ let record t ~op ~ok ~elapsed_ms =
       Sim.Metrics.observe (latency t ~op)
         (max 0 (int_of_float (Float.round elapsed_ms))))
 
+let record_fast t op =
+  locked t (fun () ->
+      t.version <- t.version + 1;
+      let count, lat =
+        match op with
+        | `Health -> (t.fast_health_count, t.fast_health_latency)
+        | `Stats -> (t.fast_stats_count, t.fast_stats_latency)
+      in
+      Sim.Metrics.incr count;
+      Sim.Metrics.observe lat 0)
+
 let reject t ~code =
   locked t (fun () ->
+      t.version <- t.version + 1;
       if not (List.mem code t.reject_codes) then
         t.reject_codes <- t.reject_codes @ [ code ];
       Sim.Metrics.incr
@@ -50,6 +88,7 @@ let reject t ~code =
 
 let connection t event =
   locked t (fun () ->
+      t.version <- t.version + 1;
       let name =
         match event with
         | `Opened -> "service_connections_opened"
@@ -60,12 +99,14 @@ let connection t event =
 
 let queue_depth t depth =
   locked t (fun () ->
+      t.version <- t.version + 1;
       Sim.Metrics.set
         (Sim.Metrics.counter t.registry "service_queue_depth")
         depth)
 
 let absorb_fleet t other =
   locked t (fun () ->
+      t.version <- t.version + 1;
       List.iter
         (fun name ->
           let v = Sim.Metrics.value (Sim.Metrics.counter other name) in

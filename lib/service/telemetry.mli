@@ -26,6 +26,17 @@ val record : t -> op:string -> ok:bool -> elapsed_ms:float -> unit
     observes the whole-request latency (admission to response
     write). *)
 
+val record_fast : t -> [ `Health | `Stats ] -> unit
+(** {!record} for the event loop's preformatted-response path: bumps
+    cells preregistered at {!create} time (no label-list allocation)
+    and observes a 0 ms latency — these requests are answered within
+    one loop iteration, under the histogram's finest bucket. *)
+
+val version : t -> int
+(** Monotonic mutation counter: any [record]/[reject]/[connection]/
+    [queue_depth]/[absorb_fleet] call bumps it, so a cached rendering
+    of {!stats_json} is valid exactly while [version] is unchanged. *)
+
 val reject : t -> code:string -> unit
 (** One rejected request ([service_rejections_total{code}]). *)
 

@@ -16,6 +16,7 @@ let deadline_exceeded = "deadline_exceeded"
 let fuel_exhausted = "fuel_exhausted"
 let cancelled = "cancelled"
 let shutting_down = "shutting_down"
+let slow_consumer = "slow_consumer"
 let internal = "internal"
 
 let err ?retry_after_ms code msg = { code; msg; retry_after_ms }
@@ -293,6 +294,146 @@ let parse_request line =
     with
     | Ok envelope -> Ok envelope
     | Error e -> tag e)
+
+(* ------------------------------------------------------------------ *)
+(* Fast-path scanner                                                   *)
+
+type fast_op =
+  | Fast_health
+  | Fast_stats
+
+exception Bail
+
+(* Recognizes exactly the hot read-only requests —
+   [{"op":"health"}]-shaped lines whose only members are [op], a
+   scalar [id] and [v] equal to 1 — without allocating. Anything
+   else (escapes, duplicate members, extra fields, nested ids, other
+   protocol versions) bails to the full parser, so the fast path can
+   never accept a request the slow path would reject or vice versa.
+   The returned id span points into [buf] and is valid only until the
+   caller consumes the line. *)
+let scan_fast buf ~pos ~len =
+  let stop = pos + len in
+  let i = ref pos in
+  let peek () = if !i < stop then Bytes.unsafe_get buf !i else raise Bail in
+  let ws () =
+    while
+      !i < stop
+      &&
+      match Bytes.unsafe_get buf !i with
+      | ' ' | '\t' | '\r' -> true
+      | _ -> false
+    do
+      incr i
+    done
+  in
+  let expect c =
+    if peek () = c then incr i else raise Bail
+  in
+  let literal s =
+    String.iter
+      (fun c ->
+        if peek () = c then incr i else raise Bail)
+      s
+  in
+  (* a quoted string with no escapes; returns (start, length) of the
+     whole token including the quotes *)
+  let quoted () =
+    let s0 = !i in
+    expect '"';
+    let rec go () =
+      match peek () with
+      | '"' -> incr i
+      | '\\' -> raise Bail
+      | c when Char.code c < 0x20 -> raise Bail
+      | _ ->
+        incr i;
+        go ()
+    in
+    go ();
+    (s0, !i - s0)
+  in
+  let number () =
+    (match peek () with
+    | '-' -> incr i
+    | _ -> ());
+    (match peek () with '0' .. '9' -> incr i | _ -> raise Bail);
+    while
+      !i < stop
+      &&
+      match Bytes.unsafe_get buf !i with
+      | '0' .. '9' | '.' | 'e' | 'E' | '+' | '-' -> true
+      | _ -> false
+    do
+      incr i
+    done
+  in
+  let scalar () =
+    let s0 = !i in
+    (match peek () with
+    | '"' -> ignore (quoted ())
+    | '-' | '0' .. '9' -> number ()
+    | 't' -> literal "true"
+    | 'f' -> literal "false"
+    | 'n' -> literal "null"
+    | _ -> raise Bail);
+    (s0, !i - s0)
+  in
+  let key_is s (k0, klen) =
+    klen = String.length s + 2
+    &&
+    let ok = ref true in
+    String.iteri
+      (fun j c -> if Bytes.unsafe_get buf (k0 + 1 + j) <> c then ok := false)
+      s;
+    !ok
+  in
+  try
+    ws ();
+    expect '{';
+    let op = ref None and id = ref None and v_seen = ref false in
+    let rec members () =
+      ws ();
+      let k = quoted () in
+      ws ();
+      expect ':';
+      ws ();
+      if key_is "op" k then begin
+        if !op <> None then raise Bail;
+        let v0, vlen = quoted () in
+        if key_is "health" (v0, vlen) then op := Some Fast_health
+        else if key_is "stats" (v0, vlen) then op := Some Fast_stats
+        else raise Bail
+      end
+      else if key_is "id" k then begin
+        if !id <> None then raise Bail;
+        id := Some (scalar ())
+      end
+      else if key_is "v" k then begin
+        if !v_seen then raise Bail;
+        v_seen := true;
+        expect '1';
+        match if !i < stop then Bytes.unsafe_get buf !i else ',' with
+        | '0' .. '9' | '.' | 'e' | 'E' -> raise Bail (* 10, 1.5, 1e2 *)
+        | _ -> ()
+      end
+      else raise Bail;
+      ws ();
+      match peek () with
+      | ',' ->
+        incr i;
+        members ()
+      | '}' -> incr i
+      | _ -> raise Bail
+    in
+    ws ();
+    (match peek () with
+    | '}' -> raise Bail (* no op: the slow path owns the error *)
+    | _ -> members ());
+    ws ();
+    if !i <> stop then raise Bail;
+    match !op with Some o -> Some (o, !id) | None -> raise Bail
+  with Bail -> None
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)

@@ -1,7 +1,11 @@
 (** The versioned JSONL request/response protocol.
 
-    One request per line, one response line per request, in order.
-    A request is a flat JSON object:
+    One request per line, one response line per request. Clients may
+    pipeline: many requests can be outstanding on one connection, and
+    responses to {e heavy} ops ([sim]/[sweep]/[compress]) may arrive
+    out of order as the pool finishes them — the echoed ["id"] is the
+    correlation key. Light ops ([health]/[stats]) are answered inline
+    in arrival order. A request is a flat JSON object:
 
     {v
     {"v": 1, "id": 7, "op": "sim", "workload": "fir", "k": 8}
@@ -9,7 +13,8 @@
 
     - ["v"] (optional) must equal {!protocol_version} when present.
     - ["id"] (optional, any scalar) is echoed verbatim in the
-      response so clients can pipeline.
+      response; pipelining clients should make it unique per
+      outstanding request.
     - ["op"] selects the operation: [health], [stats], [sim],
       [sweep] or [compress].
     - [sim]/[sweep] accept the CLI's whole policy surface
@@ -51,7 +56,13 @@ val too_many_connections : string
 val deadline_exceeded : string
 val fuel_exhausted : string
 val cancelled : string
+
 val shutting_down : string
+val slow_consumer : string
+(** The connection's write buffer outgrew the server's cap (the
+    client stopped reading while responses kept landing); the server
+    sends this and hangs up. *)
+
 val internal : string
 
 val err : ?retry_after_ms:int -> string -> string -> error
@@ -84,6 +95,23 @@ val parse_request : string -> (envelope, Json.t * error) result
     failed), so the error response still correlates. Workload, codec
     and enum values are validated here against the registries — a
     request that parses is executable. *)
+
+(** {1 Fast-path scanner} *)
+
+type fast_op =
+  | Fast_health
+  | Fast_stats
+
+val scan_fast :
+  Bytes.t -> pos:int -> len:int -> (fast_op * (int * int) option) option
+(** [scan_fast buf ~pos ~len] recognizes the hot read-only requests
+    without allocating: a line that is exactly a JSON object whose
+    members are [op] ("health" or "stats"), optionally a scalar [id]
+    (returned as a byte span into [buf], quotes included for
+    strings), and optionally [v] equal to 1 — no escapes, no
+    duplicates, nothing else. Any other shape returns [None] and must
+    go through {!parse_request}; by construction the two paths agree
+    on every line the scanner accepts. *)
 
 (** {1 Responses} *)
 

@@ -5,8 +5,9 @@
 # condition), a fleet sweep smoke (parallel run against a cold
 # cache, then the same sweep warm — the second run must be served
 # entirely from cache and print identical tables), and a service
-# smoke (real daemon on a Unix socket: serve, call, counters move,
-# SIGTERM drains to exit 0).
+# smoke (real daemon on a Unix socket: serve, call — sequential and
+# pipelined — counters move, SIGTERM drains to exit 0) plus a
+# bench-serve load-generator smoke.
 # `make check` runs the same build + tests.
 set -eu
 cd "$(dirname "$0")/.."
@@ -53,6 +54,23 @@ done
 # batch throughput.
 grep -q '"corpus/gen-programs-per-s"' BENCH.json || {
   echo "check: FAIL — BENCH.json is missing corpus/gen-programs-per-s" >&2
+  exit 1
+}
+
+# Service-load smoke: the bench smoke must have measured the event
+# loop under pipelined concurrent load, so the serve path silently
+# dropping out of the measured set fails here.
+for key in service/req-per-s service/p50-ms service/p99-ms; do
+  grep -q "\"$key\"" BENCH.json || {
+    echo "check: FAIL — BENCH.json is missing $key" >&2
+    exit 1
+  }
+done
+
+# bench-serve smoke: the standalone load generator must run clean
+# (exit 0 means zero protocol errors) and report a throughput figure.
+dune exec bin/ccomp.exe -- bench-serve --smoke | grep -q 'req/s' || {
+  echo "check: FAIL — bench-serve --smoke reported no throughput" >&2
   exit 1
 }
 
@@ -196,6 +214,14 @@ if "$ccomp" call --socket "$sock" --raw 'not json' > /dev/null 2>&1; then
 fi
 # the connection-killing request above must not have killed the daemon
 "$ccomp" call --socket "$sock" health > /dev/null
+# pipelined calls: 8 healths on one connection, all ok (exit 0), all
+# eight replies printed
+pipe_lines=$("$ccomp" call --socket "$sock" --compact \
+  --repeat 8 --pipeline 8 health | wc -l)
+if [ "$pipe_lines" -ne 8 ]; then
+  echo "check: FAIL — call --repeat 8 printed $pipe_lines replies" >&2
+  exit 1
+fi
 # prune the cache the daemon just populated
 "$ccomp" cache --dir "$cache_dir/serve-cache" --stats \
   | grep -q '1 entry' || {

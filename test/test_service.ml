@@ -230,7 +230,8 @@ let temp_sock () =
   path
 
 let make_server ?(jobs = 2) ?(queue = 8) ?(max_conns = 8) ?cache ?fuel
-    ?timeout_ms ?max_request_bytes ?(drain_grace_s = 10.0) () =
+    ?timeout_ms ?max_request_bytes ?max_buffer_bytes ?(drain_grace_s = 10.0)
+    () =
   let path = temp_sock () in
   let config =
     {
@@ -250,14 +251,19 @@ let make_server ?(jobs = 2) ?(queue = 8) ?(max_conns = 8) ?cache ?fuel
     | Some n -> { config with max_request_bytes = n }
     | None -> config
   in
+  let config =
+    match max_buffer_bytes with
+    | Some n -> { config with max_buffer_bytes = n }
+    | None -> config
+  in
   let server = Service.Server.create config in
   (path, server, Thread.create Service.Server.run server)
 
 let with_server ?jobs ?queue ?max_conns ?cache ?fuel ?timeout_ms
-    ?max_request_bytes ?drain_grace_s f =
+    ?max_request_bytes ?max_buffer_bytes ?drain_grace_s f =
   let path, server, runner =
     make_server ?jobs ?queue ?max_conns ?cache ?fuel ?timeout_ms
-      ?max_request_bytes ?drain_grace_s ()
+      ?max_request_bytes ?max_buffer_bytes ?drain_grace_s ()
   in
   Fun.protect
     ~finally:(fun () ->
@@ -569,6 +575,174 @@ let test_server_drain () =
             Alcotest.fail "listener still accepting after drain"
           | exception Unix.Unix_error _ -> ()))
 
+(* ------------------------------------------------------------------ *)
+(* Event-loop behaviors: partial I/O, pipelining, slow consumers       *)
+
+let test_wire_scan_fast () =
+  let scan s =
+    let b = Bytes.of_string s in
+    Wire.scan_fast b ~pos:0 ~len:(Bytes.length b)
+  in
+  let span s = function
+    | Some (pos, len) -> String.sub s pos len
+    | None -> "<none>"
+  in
+  (match scan {|{"op":"health","id":7}|} with
+  | Some (Wire.Fast_health, id) ->
+    checks "int id span" "7" (span {|{"op":"health","id":7}|} id)
+  | _ -> Alcotest.fail "minimal health did not take the fast path");
+  (match scan {|{"op":"stats"}|} with
+  | Some (Wire.Fast_stats, None) -> ()
+  | _ -> Alcotest.fail "id-less stats did not take the fast path");
+  (match scan {|{"id":"a-1","op":"health","v":1}|} with
+  | Some (Wire.Fast_health, id) ->
+    (* quotes included: the span is echoed raw into the response *)
+    checks "string id span" {|"a-1"|}
+      (span {|{"id":"a-1","op":"health","v":1}|} id)
+  | _ -> Alcotest.fail "reordered members did not take the fast path");
+  (* anything the scanner is not sure about falls to the full parser *)
+  List.iter
+    (fun line ->
+      checkb ("slow path: " ^ line) true (scan line = None))
+    [
+      {|{"op":"sim","workload":"fir"}|} (* heavy op *);
+      {|{"op":"health","extra":1}|} (* unknown member *);
+      {|{"op":"health","id":"a\"b"}|} (* escaped id *);
+      {|{"op":"health","op":"health"}|} (* duplicate member *);
+      {|{"op":"health","v":2}|} (* wrong protocol *);
+      {|{}|} (* no op: the slow path owns the error *);
+      {|{"op":"health"} trailing|} (* trailing garbage *);
+    ]
+
+let test_server_dribble () =
+  (* a byte-at-a-time client must not stall anyone else: between every
+     dribbled byte, a second client completes a full round trip *)
+  with_server ~jobs:1 (fun path _server ->
+      let a = connect path in
+      let b = connect path in
+      Fun.protect
+        ~finally:(fun () ->
+          close a;
+          close b)
+        (fun () ->
+          let line = "{\"id\":\"slow\",\"op\":\"health\"}\n" in
+          String.iteri
+            (fun i _ ->
+              ignore (Unix.write_substring a.fd line i 1);
+              let h = ok_payload (rpc b {|{"op":"health"}|}) in
+              checkb "fast client answered mid-dribble" true
+                (Json.member "status" h = Some (Json.Str "ok")))
+            line;
+          match Wire.parse_response (recv a) with
+          | Ok (Json.Str "slow", Ok _) -> ()
+          | _ -> Alcotest.fail "dribbled request got the wrong reply"))
+
+let test_server_pipeline_out_of_order () =
+  (* a light op pipelined behind a heavy one overtakes it; replies are
+     re-associated by id *)
+  with_server ~jobs:1 (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          send c heavy_sweep;
+          send c {|{"id":"ping","op":"health"}|};
+          (match Wire.parse_response (recv c) with
+          | Ok (Json.Str "ping", Ok _) -> ()
+          | _ -> Alcotest.fail "health did not overtake the running sweep");
+          match Wire.parse_response (recv c) with
+          | Ok (Json.Str "heavy", Ok payload) ->
+            checki "sweep clean" 0 (int_member "failed" payload)
+          | _ -> Alcotest.fail "sweep reply missing or mis-tagged"))
+
+let test_server_slow_consumer_shed () =
+  (* a client that pipelines heavy work but never reads is shed with a
+     structured error once its write buffer passes the cap *)
+  let cache_dir = Filename.temp_file "ccomp-shed-cache" "" in
+  Sys.remove cache_dir;
+  Unix.mkdir cache_dir 0o700;
+  with_server ~jobs:2 ~queue:128 ~max_buffer_bytes:(16 * 1024)
+    ~cache:(Fleet.Cache.open_dir cache_dir)
+    (fun path _server ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          (* ~9 KB per response, 80 responses: far more than the kernel
+             socket buffer plus the 16 KB cap can absorb *)
+          for i = 1 to 80 do
+            send c
+              (Printf.sprintf
+                 {|{"id":%d,"op":"sweep","workloads":["fir","crc32"],"ks":[1,2,3,4]}|}
+                 i)
+          done;
+          wait_in_flight path ~at_least:1;
+          (* every sweep finished (or was dropped on the shed
+             connection); only then start reading *)
+          let probe = connect path in
+          Fun.protect
+            ~finally:(fun () -> close probe)
+            (fun () ->
+              let rec settle tries =
+                if tries = 0 then Alcotest.fail "sweeps never finished";
+                let h = ok_payload (rpc probe {|{"op":"health"}|}) in
+                if int_member "in_flight" h > 0 then begin
+                  Thread.delay 0.02;
+                  settle (tries - 1)
+                end
+              in
+              settle 1000);
+          let lines = ref [] in
+          (try
+             while true do
+               lines := recv c :: !lines
+             done
+           with End_of_file -> ());
+          (match !lines with
+          | [] -> Alcotest.fail "shed connection delivered nothing"
+          | last :: _ ->
+            let e = err_of last in
+            checks "shed error code" Wire.slow_consumer e.Wire.code);
+          checkb "some responses preceded the shed" true
+            (List.length !lines > 1);
+          checkb "not every response was delivered" true
+            (List.length !lines < 81)))
+
+let test_server_drain_pipelined () =
+  (* a drain arriving with several pipelined heavy requests in flight
+     still answers all of them before the server exits *)
+  let path, server, runner = make_server ~jobs:1 ~queue:4 () in
+  let cleanup_ok = ref false in
+  Fun.protect
+    ~finally:(fun () ->
+      if not !cleanup_ok then begin
+        Service.Server.stop server;
+        Thread.join runner
+      end;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let c = connect path in
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          send c
+            {|{"id":"h1","op":"sweep","workloads":["collatz"],"ks":[1,2]}|};
+          send c
+            {|{"id":"h2","op":"sweep","workloads":["collatz"],"ks":[3,4]}|};
+          wait_in_flight path ~at_least:1;
+          Service.Server.stop server;
+          let id_of reply =
+            match Wire.parse_response reply with
+            | Ok (Json.Str id, Ok _) -> id
+            | _ -> Alcotest.failf "bad drain-time reply: %s" reply
+          in
+          let ids = [ id_of (recv c); id_of (recv c) ] in
+          checkb "both pipelined sweeps answered" true
+            (List.sort compare ids = [ "h1"; "h2" ]);
+          Thread.join runner;
+          cleanup_ok := true;
+          checkb "socket unlinked" true (not (Sys.file_exists path))))
+
 let () =
   Alcotest.run "service"
     [
@@ -592,6 +766,7 @@ let () =
           Alcotest.test_case "response round trip" `Quick
             test_wire_response_roundtrip;
           Alcotest.test_case "error classification" `Quick test_wire_classify;
+          Alcotest.test_case "fast-path scanner" `Quick test_wire_scan_fast;
         ] );
       ( "admission",
         [
@@ -616,5 +791,13 @@ let () =
           Alcotest.test_case "per-request guards" `Quick test_server_guards;
           Alcotest.test_case "deadline exceeded" `Quick test_server_deadline;
           Alcotest.test_case "graceful drain" `Quick test_server_drain;
+          Alcotest.test_case "byte-dribbling client" `Quick
+            test_server_dribble;
+          Alcotest.test_case "pipelined out-of-order replies" `Quick
+            test_server_pipeline_out_of_order;
+          Alcotest.test_case "slow consumer is shed" `Quick
+            test_server_slow_consumer_shed;
+          Alcotest.test_case "drain completes pipelined work" `Quick
+            test_server_drain_pipelined;
         ] );
     ]
